@@ -1,0 +1,222 @@
+//! Differential private-vs-public summary: the compact comparison table
+//! that the paper's narrative builds (and that a workload knowledge base
+//! would export to operators).
+
+use crate::report::CharacterizationReport;
+use crate::UtilizationPattern;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One compared metric: its name and both clouds' values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparedMetric {
+    /// Human-readable metric name.
+    pub name: String,
+    /// Private-cloud value.
+    pub private: f64,
+    /// Public-cloud value.
+    pub public: f64,
+    /// The paper's qualitative expectation: `private > public`?
+    pub expect_private_higher: bool,
+}
+
+impl ComparedMetric {
+    /// `true` if the measured ordering matches the paper's expectation.
+    #[must_use]
+    pub fn ordering_holds(&self) -> bool {
+        if self.expect_private_higher {
+            self.private > self.public
+        } else {
+            self.private < self.public
+        }
+    }
+}
+
+/// The full differential summary, derived from a
+/// [`CharacterizationReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudComparison {
+    /// Compared metrics in presentation order.
+    pub metrics: Vec<ComparedMetric>,
+}
+
+impl CloudComparison {
+    /// Builds the comparison from a finished report.
+    #[must_use]
+    pub fn from_report(report: &CharacterizationReport) -> Self {
+        let m = |name: &str, private: f64, public: f64, expect_private_higher: bool| {
+            ComparedMetric {
+                name: name.to_owned(),
+                private,
+                public,
+                expect_private_higher,
+            }
+        };
+        let metrics = vec![
+            m(
+                "median VMs per subscription",
+                report.deployment.private_vms_per_subscription.median(),
+                report.deployment.public_vms_per_subscription.median(),
+                true,
+            ),
+            m(
+                "median subscriptions per cluster",
+                report.deployment.private_subscriptions_per_cluster.median,
+                report.deployment.public_subscriptions_per_cluster.median,
+                false,
+            ),
+            m(
+                "VM-size corner mass",
+                report.vm_size.private_corner_mass,
+                report.vm_size.public_corner_mass,
+                false,
+            ),
+            m(
+                "shortest-lifetime-bin fraction",
+                report.temporal.private_short_fraction,
+                report.temporal.public_short_fraction,
+                false,
+            ),
+            m(
+                "median creation CV across regions",
+                report.temporal.creation_cv.0.median,
+                report.temporal.creation_cv.1.median,
+                true,
+            ),
+            m(
+                "single-region core share",
+                report.spatial.private_single_region_core_share,
+                report.spatial.public_single_region_core_share,
+                false,
+            ),
+            m(
+                "diurnal pattern share",
+                report.private_patterns.fraction(UtilizationPattern::Diurnal),
+                report.public_patterns.fraction(UtilizationPattern::Diurnal),
+                true,
+            ),
+            m(
+                "stable pattern share",
+                report.private_patterns.fraction(UtilizationPattern::Stable),
+                report.public_patterns.fraction(UtilizationPattern::Stable),
+                false,
+            ),
+            m(
+                "hourly-peak pattern share",
+                report
+                    .private_patterns
+                    .fraction(UtilizationPattern::HourlyPeak),
+                report
+                    .public_patterns
+                    .fraction(UtilizationPattern::HourlyPeak),
+                true,
+            ),
+            m(
+                "daily median-utilization variability",
+                report.private_utilization.daily_median_variability(),
+                report.public_utilization.daily_median_variability(),
+                true,
+            ),
+            m(
+                "median VM-node correlation",
+                report.node_correlation.0.median(),
+                report.node_correlation.1.median(),
+                true,
+            ),
+            m(
+                "median cross-region correlation",
+                report.region_correlation.0.median(),
+                report.region_correlation.1.median(),
+                true,
+            ),
+        ];
+        Self { metrics }
+    }
+
+    /// Number of metrics whose measured ordering matches the paper.
+    #[must_use]
+    pub fn orderings_holding(&self) -> usize {
+        self.metrics.iter().filter(|m| m.ordering_holds()).count()
+    }
+}
+
+impl fmt::Display for CloudComparison {
+    /// Renders a fixed-width text table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<42} {:>10} {:>10}  {}",
+            "metric", "private", "public", "paper ordering"
+        )?;
+        for m in &self.metrics {
+            writeln!(
+                f,
+                "{:<42} {:>10.3} {:>10.3}  {} {}",
+                m.name,
+                m.private,
+                m.public,
+                if m.expect_private_higher { "P > p" } else { "P < p" },
+                if m.ordering_holds() { "ok" } else { "MISS" },
+            )?;
+        }
+        write!(
+            f,
+            "{}/{} orderings hold",
+            self.orderings_holding(),
+            self.metrics.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ReportConfig;
+    use crate::test_support::tiny_trace;
+    use cloudscope_model::time::SimTime;
+
+    fn comparison() -> CloudComparison {
+        let trace = tiny_trace();
+        let config = ReportConfig {
+            snapshot: SimTime::from_hours(24),
+            ..ReportConfig::default()
+        };
+        let report = CharacterizationReport::analyze(&trace, &config).unwrap();
+        CloudComparison::from_report(&report)
+    }
+
+    #[test]
+    fn covers_all_headline_metrics() {
+        let c = comparison();
+        assert_eq!(c.metrics.len(), 12);
+        // Deployment-size ordering must hold even on the tiny trace.
+        let deploy = &c.metrics[0];
+        assert!(deploy.ordering_holds(), "{deploy:?}");
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let c = comparison();
+        let text = c.to_string();
+        assert!(text.contains("metric"));
+        assert!(text.contains("median VM-node correlation"));
+        assert!(text.contains("orderings hold"));
+        assert_eq!(text.lines().count(), 1 + c.metrics.len() + 1);
+    }
+
+    #[test]
+    fn ordering_logic() {
+        let m = ComparedMetric {
+            name: "x".into(),
+            private: 2.0,
+            public: 1.0,
+            expect_private_higher: true,
+        };
+        assert!(m.ordering_holds());
+        let m2 = ComparedMetric {
+            expect_private_higher: false,
+            ..m
+        };
+        assert!(!m2.ordering_holds());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the characterization pipeline.
+
+use cloudscope_stats::StatsError;
+use cloudscope_timeseries::SeriesError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the analysis pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The trace holds no data for the requested analysis; carries what
+    /// was being computed.
+    NoData(&'static str),
+    /// A statistics kernel rejected its input.
+    Stats(StatsError),
+    /// A time-series transform rejected its input.
+    Series(SeriesError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NoData(what) => write!(f, "no data for {what}"),
+            AnalysisError::Stats(e) => write!(f, "statistics error: {e}"),
+            AnalysisError::Series(e) => write!(f, "time-series error: {e}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::NoData(_) => None,
+            AnalysisError::Stats(e) => Some(e),
+            AnalysisError::Series(e) => Some(e),
+        }
+    }
+}
+
+impl From<StatsError> for AnalysisError {
+    fn from(e: StatsError) -> Self {
+        AnalysisError::Stats(e)
+    }
+}
+
+impl From<SeriesError> for AnalysisError {
+    fn from(e: SeriesError) -> Self {
+        AnalysisError::Series(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_sources() {
+        let e = AnalysisError::NoData("lifetimes");
+        assert_eq!(e.to_string(), "no data for lifetimes");
+        assert!(e.source().is_none());
+        let e: AnalysisError = StatsError::EmptyInput("x").into();
+        assert!(e.source().is_some());
+        let e: AnalysisError = SeriesError::ZeroVariance.into();
+        assert!(e.to_string().contains("time-series"));
+    }
+
+    #[test]
+    fn trait_bounds() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<AnalysisError>();
+    }
+}

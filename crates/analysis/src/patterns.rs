@@ -1,0 +1,349 @@
+//! The utilization-pattern classifier (Figure 5): assigns each VM's CPU
+//! series to one of the four archetypes — diurnal, stable, irregular, or
+//! hourly-peak — using the Vlachos-style period detector plus a standard-
+//! deviation gate, exactly the recipe the paper describes.
+
+use crate::error::AnalysisError;
+use cloudscope_model::prelude::*;
+use cloudscope_timeseries::{PeriodDetector, Series};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four utilization-pattern classes of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UtilizationPattern {
+    /// Daily periodicity tied to user activity.
+    Diurnal,
+    /// Low standard deviation — over-subscription candidate.
+    Stable,
+    /// Neither periodic nor flat.
+    Irregular,
+    /// Periodicity at the hour/half-hour scale (meeting joins).
+    HourlyPeak,
+}
+
+impl UtilizationPattern {
+    /// All classes, in Figure 5 order.
+    pub const ALL: [UtilizationPattern; 4] = [
+        UtilizationPattern::Diurnal,
+        UtilizationPattern::Stable,
+        UtilizationPattern::Irregular,
+        UtilizationPattern::HourlyPeak,
+    ];
+}
+
+impl fmt::Display for UtilizationPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UtilizationPattern::Diurnal => "diurnal",
+            UtilizationPattern::Stable => "stable",
+            UtilizationPattern::Irregular => "irregular",
+            UtilizationPattern::HourlyPeak => "hourly-peak",
+        })
+    }
+}
+
+/// Tuning knobs of the classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternClassifierConfig {
+    /// Series with standard deviation below this (percentage points) are
+    /// stable.
+    pub stable_std_threshold: f64,
+    /// Sub-daily periods within this tolerance of 30 or 60 minutes count
+    /// as hourly peaks.
+    pub hourly_tolerance_minutes: f64,
+    /// Periods within this tolerance of 24 h count as diurnal.
+    pub daily_tolerance_minutes: f64,
+    /// Minimum telemetry length (in days) to classify a VM at all.
+    pub min_days: usize,
+}
+
+impl Default for PatternClassifierConfig {
+    fn default() -> Self {
+        Self {
+            stable_std_threshold: 3.0,
+            hourly_tolerance_minutes: 12.0,
+            daily_tolerance_minutes: 240.0,
+            min_days: 3,
+        }
+    }
+}
+
+/// The pattern classifier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PatternClassifier {
+    config: PatternClassifierConfig,
+    detector: PeriodDetector,
+}
+
+impl PatternClassifier {
+    /// Creates a classifier with custom thresholds.
+    #[must_use]
+    pub fn new(config: PatternClassifierConfig) -> Self {
+        Self {
+            config,
+            detector: PeriodDetector::default(),
+        }
+    }
+
+    /// Classifies a 5-minute utilization series; `None` if it is too
+    /// short (fewer than `min_days` days of samples).
+    #[must_use]
+    pub fn classify_series(&self, series: &Series) -> Option<UtilizationPattern> {
+        let samples_per_day = (24 * 60 / series.step_minutes()) as usize;
+        if series.len() < self.config.min_days * samples_per_day {
+            return None;
+        }
+        // Stable gate first: the paper extracts the stable class by
+        // restricting the standard deviation.
+        if series.std_dev() < self.config.stable_std_threshold {
+            return Some(UtilizationPattern::Stable);
+        }
+        // Hourly-peak: a strong sub-daily period at 30/60 minutes,
+        // detected on a two-day window at native resolution.
+        let two_days = (2 * samples_per_day).min(series.len());
+        let window = Series::new(
+            series.start_minute(),
+            series.step_minutes(),
+            series.values()[..two_days].to_vec(),
+        );
+        let tol = self.config.hourly_tolerance_minutes;
+        if self.detector.has_period_near(&window, 60.0, tol)
+            || self.detector.has_period_near(&window, 30.0, tol)
+        {
+            return Some(UtilizationPattern::HourlyPeak);
+        }
+        // Diurnal: a 24-hour period, detected on a half-hourly
+        // downsample of the full series (cheap and leakage-resistant).
+        let coarse = series
+            .downsample_mean((30 / series.step_minutes()).max(1) as usize)
+            .expect("positive factor");
+        if self
+            .detector
+            .has_period_near(&coarse, 24.0 * 60.0, self.config.daily_tolerance_minutes)
+        {
+            return Some(UtilizationPattern::Diurnal);
+        }
+        Some(UtilizationPattern::Irregular)
+    }
+
+    /// Classifies one VM of a trace; `None` if it lacks telemetry or the
+    /// telemetry is too short.
+    #[must_use]
+    pub fn classify_vm(&self, trace: &Trace, vm: VmId) -> Option<UtilizationPattern> {
+        let util = trace.util(vm)?;
+        let series = Series::new(
+            util.start().minutes(),
+            cloudscope_model::time::SAMPLE_INTERVAL_MINUTES,
+            util.to_f64_vec(),
+        );
+        self.classify_series(&series)
+    }
+}
+
+/// Class shares over a VM population (Figure 5(d)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PatternShares {
+    /// VMs classified diurnal.
+    pub diurnal: usize,
+    /// VMs classified stable.
+    pub stable: usize,
+    /// VMs classified irregular.
+    pub irregular: usize,
+    /// VMs classified hourly-peak.
+    pub hourly_peak: usize,
+    /// VMs skipped (no or too-short telemetry).
+    pub unclassified: usize,
+}
+
+impl PatternShares {
+    /// Total classified VMs.
+    #[must_use]
+    pub fn classified(&self) -> usize {
+        self.diurnal + self.stable + self.irregular + self.hourly_peak
+    }
+
+    /// Fraction of classified VMs in `pattern` (0 if nothing classified).
+    #[must_use]
+    pub fn fraction(&self, pattern: UtilizationPattern) -> f64 {
+        let total = self.classified();
+        if total == 0 {
+            return 0.0;
+        }
+        let count = match pattern {
+            UtilizationPattern::Diurnal => self.diurnal,
+            UtilizationPattern::Stable => self.stable,
+            UtilizationPattern::Irregular => self.irregular,
+            UtilizationPattern::HourlyPeak => self.hourly_peak,
+        };
+        count as f64 / total as f64
+    }
+
+    fn add(&mut self, pattern: Option<UtilizationPattern>) {
+        match pattern {
+            Some(UtilizationPattern::Diurnal) => self.diurnal += 1,
+            Some(UtilizationPattern::Stable) => self.stable += 1,
+            Some(UtilizationPattern::Irregular) => self.irregular += 1,
+            Some(UtilizationPattern::HourlyPeak) => self.hourly_peak += 1,
+            None => self.unclassified += 1,
+        }
+    }
+}
+
+/// Classifies (up to `max_vms`, stride-sampled) VMs of one cloud and
+/// tallies the class shares. Work is spread over worker threads.
+///
+/// # Errors
+/// Returns [`AnalysisError::NoData`] if no VM could be classified.
+pub fn pattern_shares(
+    trace: &Trace,
+    cloud: CloudKind,
+    classifier: &PatternClassifier,
+    max_vms: usize,
+) -> Result<PatternShares, AnalysisError> {
+    let candidates: Vec<VmId> = trace
+        .vms_of(cloud)
+        .filter(|vm| trace.util(vm.id).is_some())
+        .map(|vm| vm.id)
+        .collect();
+    let stride = (candidates.len() / max_vms.max(1)).max(1);
+    let sampled: Vec<VmId> = candidates.into_iter().step_by(stride).take(max_vms).collect();
+
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16);
+    let chunk = sampled.len().div_ceil(workers).max(1);
+    let mut shares = PatternShares::default();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for ids in sampled.chunks(chunk) {
+            handles.push(scope.spawn(move |_| {
+                let mut local = PatternShares::default();
+                for &vm in ids {
+                    local.add(classifier.classify_vm(trace, vm));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            let local = handle.join().expect("classifier worker");
+            shares.diurnal += local.diurnal;
+            shares.stable += local.stable;
+            shares.irregular += local.irregular;
+            shares.hourly_peak += local.hourly_peak;
+            shares.unclassified += local.unclassified;
+        }
+    })
+    .expect("classifier scope");
+
+    if shares.classified() == 0 {
+        return Err(AnalysisError::NoData("classifiable telemetry"));
+    }
+    Ok(shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{diurnal_series, stable_series, tiny_trace};
+
+    fn to_series(util: &UtilSeries) -> Series {
+        Series::new(util.start().minutes(), 5, util.to_f64_vec())
+    }
+
+    #[test]
+    fn classifies_diurnal() {
+        let classifier = PatternClassifier::default();
+        let series = to_series(&diurnal_series(14.0, 0, 1));
+        assert_eq!(
+            classifier.classify_series(&series),
+            Some(UtilizationPattern::Diurnal)
+        );
+    }
+
+    #[test]
+    fn classifies_stable() {
+        let classifier = PatternClassifier::default();
+        let series = to_series(&stable_series(20.0, 3));
+        assert_eq!(
+            classifier.classify_series(&series),
+            Some(UtilizationPattern::Stable)
+        );
+    }
+
+    #[test]
+    fn classifies_hourly_peak() {
+        // Spikes at :00 and :30 during work hours for a week.
+        let values: Vec<f64> = (0..2016)
+            .map(|i| {
+                let minute = i * 5;
+                let t = cloudscope_model::time::SimTime::from_minutes(minute);
+                let work = !t.is_weekend() && (8..18).contains(&t.hour_of_day());
+                let m = minute % 30;
+                let spike = if m < 10 { 40.0 * (1.0 - m as f64 / 10.0) } else { 0.0 };
+                8.0 + if work { spike } else { 0.0 }
+            })
+            .collect();
+        let series = Series::new(0, 5, values);
+        assert_eq!(
+            PatternClassifier::default().classify_series(&series),
+            Some(UtilizationPattern::HourlyPeak)
+        );
+    }
+
+    #[test]
+    fn classifies_irregular() {
+        // Low base, a few tall aperiodic plateaus.
+        let values: Vec<f64> = (0..2016)
+            .map(|i| {
+                let spike = matches!(i, 200..=215 | 777..=790 | 1500..=1540);
+                if spike {
+                    70.0
+                } else {
+                    5.0
+                }
+            })
+            .collect();
+        let series = Series::new(0, 5, values);
+        assert_eq!(
+            PatternClassifier::default().classify_series(&series),
+            Some(UtilizationPattern::Irregular)
+        );
+    }
+
+    #[test]
+    fn too_short_series_is_unclassified() {
+        let series = Series::new(0, 5, vec![10.0; 100]);
+        assert_eq!(PatternClassifier::default().classify_series(&series), None);
+    }
+
+    #[test]
+    fn shares_over_tiny_trace() {
+        let trace = tiny_trace();
+        let classifier = PatternClassifier::default();
+        let private =
+            pattern_shares(&trace, CloudKind::Private, &classifier, 1000).unwrap();
+        // All 6 telemetry VMs of the private cloud are diurnal.
+        assert_eq!(private.diurnal, 6);
+        assert_eq!(private.classified(), 6);
+        assert!((private.fraction(UtilizationPattern::Diurnal) - 1.0).abs() < 1e-12);
+        let public = pattern_shares(&trace, CloudKind::Public, &classifier, 1000).unwrap();
+        assert_eq!(public.stable, 2, "sub2 and sub5");
+        assert_eq!(public.diurnal, 2, "sub4's two VMs");
+    }
+
+    #[test]
+    fn max_vms_caps_work() {
+        let trace = tiny_trace();
+        let classifier = PatternClassifier::default();
+        let shares = pattern_shares(&trace, CloudKind::Private, &classifier, 2).unwrap();
+        assert!(shares.classified() <= 2);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(UtilizationPattern::HourlyPeak.to_string(), "hourly-peak");
+        assert_eq!(UtilizationPattern::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,167 @@
+//! Hand-built miniature trace with exactly known properties, shared by
+//! the unit tests of every analysis module.
+
+use cloudscope_model::prelude::*;
+use cloudscope_model::time::SAMPLES_PER_WEEK;
+
+/// Raised-cosine daily activity bump in `[0, 1]` peaking at `peak_hour`.
+pub fn bump(hour: f64, peak_hour: f64) -> f64 {
+    let mut d = (hour - peak_hour).abs();
+    if d > 12.0 {
+        d = 24.0 - d;
+    }
+    if d >= 7.0 {
+        0.0
+    } else {
+        0.5 * (1.0 + (std::f64::consts::PI * d / 7.0).cos())
+    }
+}
+
+/// A full-week diurnal series: base 10%, amplitude 40%, peaking at
+/// `peak_hour` on the clock `tz` hours from UTC, damped to 30% amplitude
+/// on weekends. A deterministic jitter keyed by `salt` keeps series of
+/// different VMs non-identical.
+pub fn diurnal_series(peak_hour: f64, tz: i32, salt: u64) -> UtilSeries {
+    let values = (0..SAMPLES_PER_WEEK).map(|i| {
+        let t = SimTime::from_minutes(i as i64 * 5).to_local(tz);
+        let amp = if t.is_weekend() { 12.0 } else { 40.0 };
+        let jitter = ((i as u64).wrapping_mul(salt.wrapping_add(7)) % 100) as f32 / 100.0;
+        10.0 + amp as f32 * bump(t.fractional_hour_of_day(), peak_hour) as f32 + jitter
+    });
+    UtilSeries::from_percentages(SimTime::ZERO, values.collect::<Vec<_>>())
+}
+
+/// A full-week stable series around `level` percent with a small
+/// deterministic wiggle (so it is not exactly constant).
+pub fn stable_series(level: f32, salt: u64) -> UtilSeries {
+    let values = (0..SAMPLES_PER_WEEK).map(|i| {
+        let wiggle = ((i as u64).wrapping_mul(salt.wrapping_add(13)) % 40) as f32 / 40.0;
+        level + wiggle
+    });
+    UtilSeries::from_percentages(SimTime::ZERO, values.collect::<Vec<_>>())
+}
+
+/// Builds the miniature trace:
+///
+/// * Topology: regions `r0` (UTC-8, US) and `r1` (UTC-5, US); per region
+///   one private and one public cluster of 1 rack × 4 nodes (16c/128g).
+/// * `sub0` (private, service 0, **region-agnostic diurnal**): 4 standing
+///   VMs in r0 (two on the same node) + 2 standing in r1; all share one
+///   UTC-clock diurnal profile.
+/// * `sub1` (private, service 1): one short-lived VM in r0
+///   (10:00–10:30 Monday), no telemetry.
+/// * `sub2` (public, service 2): one stable VM in r0.
+/// * `sub3` (public, service 3): one VM in r0 created 20:00 Monday, ended
+///   30:00 (Tuesday 06:00), no telemetry.
+/// * `sub4` (public, service 4, **region-sensitive diurnal**): one VM in
+///   r0 and one in r1, each following its local clock.
+/// * `sub5` (public, service 5): one stable spot VM in r1.
+pub fn tiny_trace() -> Trace {
+    let mut tb = Topology::builder();
+    let r0 = tb.add_region("us-west", -8, "US");
+    let r1 = tb.add_region("us-east", -5, "US");
+    let d0 = tb.add_datacenter(r0);
+    let d1 = tb.add_datacenter(r1);
+    let sku = NodeSku::new(16, 128.0);
+    let c0 = tb.add_cluster(d0, CloudKind::Private, sku, 1, 4); // nodes 0..4
+    let c1 = tb.add_cluster(d0, CloudKind::Public, sku, 1, 4); // nodes 4..8
+    let c2 = tb.add_cluster(d1, CloudKind::Private, sku, 1, 4); // nodes 8..12
+    let c3 = tb.add_cluster(d1, CloudKind::Public, sku, 1, 4); // nodes 12..16
+    let topology = tb.build();
+
+    let mut b = Trace::builder(topology);
+    let subs = [
+        (CloudKind::Private, PartyKind::FirstParty),
+        (CloudKind::Private, PartyKind::FirstParty),
+        (CloudKind::Public, PartyKind::ThirdParty),
+        (CloudKind::Public, PartyKind::ThirdParty),
+        (CloudKind::Public, PartyKind::FirstParty),
+        (CloudKind::Public, PartyKind::ThirdParty),
+    ];
+    for (i, (cloud, party)) in subs.into_iter().enumerate() {
+        b.add_subscription(Subscription::new(SubscriptionId::new(i as u32), cloud, party))
+            .expect("dense ids");
+    }
+
+    let mut next_vm = 0u64;
+    let mut add = |b: &mut TraceBuilder,
+                   sub: u32,
+                   region: RegionId,
+                   cluster: ClusterId,
+                   node: u32,
+                   size: VmSize,
+                   priority: Priority,
+                   created: i64,
+                   ended: Option<i64>,
+                   util: Option<UtilSeries>| {
+        let record = VmRecord {
+            id: VmId::new(next_vm),
+            subscription: SubscriptionId::new(sub),
+            service: ServiceId::new(sub),
+            size,
+            priority,
+            service_model: ServiceModel::Saas,
+            region,
+            cluster,
+            node: Some(NodeId::new(node)),
+            created: SimTime::from_minutes(created),
+            ended: ended.map(SimTime::from_minutes),
+        };
+        next_vm += 1;
+        b.add_vm(record, util).expect("consistent record");
+    };
+
+    let big = VmSize::new(4, 16.0);
+    let small = VmSize::new(2, 8.0);
+    let before = -2 * 24 * 60;
+
+    // sub0: region-agnostic diurnal service (UTC clock, peak 14:00 UTC).
+    for (node, salt) in [(0u32, 1u64), (0, 2), (1, 3), (2, 4)] {
+        add(
+            &mut b, 0, RegionId::new(0), c0, node, big, Priority::OnDemand,
+            before, None, Some(diurnal_series(14.0, 0, salt)),
+        );
+    }
+    for (node, salt) in [(8u32, 5u64), (9, 6)] {
+        add(
+            &mut b, 0, RegionId::new(1), c2, node, big, Priority::OnDemand,
+            before, None, Some(diurnal_series(14.0, 0, salt)),
+        );
+    }
+
+    // sub1: short-lived private VM (Monday 10:00–10:30).
+    add(
+        &mut b, 1, RegionId::new(0), c0, 3, small, Priority::OnDemand,
+        10 * 60, Some(10 * 60 + 30), None,
+    );
+
+    // sub2: stable public VM in r0, co-located with sub3/sub4 on node 4.
+    add(
+        &mut b, 2, RegionId::new(0), c1, 4, small, Priority::OnDemand,
+        before, None, Some(stable_series(20.0, 7)),
+    );
+
+    // sub3: bounded public VM, Monday 20:00 – Tuesday 06:00.
+    add(
+        &mut b, 3, RegionId::new(0), c1, 4, small, Priority::OnDemand,
+        20 * 60, Some(30 * 60), None,
+    );
+
+    // sub4: region-sensitive diurnal service (local clocks, peak 13:00).
+    add(
+        &mut b, 4, RegionId::new(0), c1, 4, big, Priority::OnDemand,
+        before, None, Some(diurnal_series(13.0, -8, 8)),
+    );
+    add(
+        &mut b, 4, RegionId::new(1), c3, 12, big, Priority::OnDemand,
+        before, None, Some(diurnal_series(13.0, -5, 9)),
+    );
+
+    // sub5: stable spot VM in r1.
+    add(
+        &mut b, 5, RegionId::new(1), c3, 13, small, Priority::Spot,
+        before, None, Some(stable_series(35.0, 10)),
+    );
+
+    b.build()
+}

@@ -1,0 +1,144 @@
+//! CPU-utilization distribution analyses (Figure 6): percentile bands
+//! across the VM population, over the week and folded into a day.
+
+use crate::error::AnalysisError;
+use cloudscope_model::prelude::*;
+use cloudscope_model::time::{SAMPLES_PER_WEEK, SAMPLE_INTERVAL_MINUTES};
+use cloudscope_stats::percentile::FIGURE6_LEVELS;
+use cloudscope_timeseries::{daily_profile, PercentileBands, Series};
+
+/// Collects the hourly-resolution utilization series of up to `max_vms`
+/// VMs of one cloud that have full-week telemetry.
+fn full_week_hourly_series(
+    trace: &Trace,
+    cloud: CloudKind,
+    max_vms: usize,
+) -> Vec<Series> {
+    let candidates: Vec<&UtilSeries> = trace
+        .vms_of(cloud)
+        .filter_map(|vm| trace.util(vm.id))
+        .filter(|u| u.start().minutes() == 0 && u.len() == SAMPLES_PER_WEEK)
+        .collect();
+    let stride = (candidates.len() / max_vms.max(1)).max(1);
+    candidates
+        .into_iter()
+        .step_by(stride)
+        .take(max_vms)
+        .map(|u| {
+            Series::new(0, SAMPLE_INTERVAL_MINUTES, u.to_f64_vec())
+                .downsample_mean(12)
+                .expect("positive factor")
+        })
+        .collect()
+}
+
+/// The Figure 6 bundle for one cloud.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationDistribution {
+    /// Fig 6(a)/(b): percentile bands over the week (hourly resolution).
+    pub weekly: PercentileBands,
+    /// Fig 6(c)/(d): percentile bands over the folded day (hourly).
+    pub daily: PercentileBands,
+    /// Number of VMs the bands aggregate.
+    pub vms: usize,
+}
+
+impl UtilizationDistribution {
+    /// Computes the weekly and daily utilization bands for `cloud` from
+    /// up to `max_vms` full-week telemetry series.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::NoData`] if no VM has full-week
+    /// telemetry.
+    pub fn run(
+        trace: &Trace,
+        cloud: CloudKind,
+        max_vms: usize,
+    ) -> Result<Self, AnalysisError> {
+        let hourly = full_week_hourly_series(trace, cloud, max_vms);
+        if hourly.is_empty() {
+            return Err(AnalysisError::NoData("full-week telemetry"));
+        }
+        let refs: Vec<&Series> = hourly.iter().collect();
+        let weekly = PercentileBands::across(&refs, &FIGURE6_LEVELS)?;
+
+        let daily_profiles: Vec<Series> = hourly
+            .iter()
+            .map(|s| Series::new(0, 60, daily_profile(s).expect("hourly divides a day")))
+            .collect();
+        let daily_refs: Vec<&Series> = daily_profiles.iter().collect();
+        let daily = PercentileBands::across(&daily_refs, &FIGURE6_LEVELS)?;
+
+        Ok(Self {
+            weekly,
+            daily,
+            vms: hourly.len(),
+        })
+    }
+
+    /// Maximum of the 75th-percentile band over the week — the paper
+    /// observes it stays below 30% in both clouds.
+    #[must_use]
+    pub fn p75_peak(&self) -> f64 {
+        self.weekly
+            .band(75.0)
+            .map_or(0.0, |b| b.iter().cloned().fold(0.0, f64::max))
+    }
+
+    /// Standard deviation of the daily median band over the day: high
+    /// for a working-hours shape (private), near zero for a flat profile
+    /// (public).
+    #[must_use]
+    pub fn daily_median_variability(&self) -> f64 {
+        self.daily.median_band_std()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_trace;
+
+    #[test]
+    fn bands_have_expected_shape() {
+        let trace = tiny_trace();
+        let private = UtilizationDistribution::run(&trace, CloudKind::Private, 100).unwrap();
+        assert_eq!(private.vms, 6);
+        assert_eq!(private.weekly.bands[0].len(), 168);
+        assert_eq!(private.daily.bands[0].len(), 24);
+        // Bands are ordered.
+        let p25 = private.weekly.band(25.0).unwrap();
+        let p75 = private.weekly.band(75.0).unwrap();
+        assert!(p25.iter().zip(p75).all(|(a, b)| a <= b));
+    }
+
+    #[test]
+    fn private_daily_profile_varies_more_than_stable_public() {
+        let trace = tiny_trace();
+        let private = UtilizationDistribution::run(&trace, CloudKind::Private, 100).unwrap();
+        let public = UtilizationDistribution::run(&trace, CloudKind::Public, 100).unwrap();
+        // Private VMs are all diurnal; the public population is
+        // stable-dominated, so its median band is flatter.
+        assert!(
+            private.daily_median_variability() > 1.3 * public.daily_median_variability(),
+            "private {} vs public {}",
+            private.daily_median_variability(),
+            public.daily_median_variability()
+        );
+    }
+
+    #[test]
+    fn max_vms_caps_population() {
+        let trace = tiny_trace();
+        let d = UtilizationDistribution::run(&trace, CloudKind::Private, 3).unwrap();
+        assert!(d.vms <= 3);
+    }
+
+    #[test]
+    fn p75_peak_reported() {
+        let trace = tiny_trace();
+        let d = UtilizationDistribution::run(&trace, CloudKind::Public, 100).unwrap();
+        assert!(d.p75_peak() > 0.0);
+        assert!(d.p75_peak() <= 100.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Cross-crate integration of the analysis pipeline against generated
+//! traces (unit tests use the hand-built miniature trace instead).
+
+use cloudscope_analysis::temporal::burst_hours;
+use cloudscope_model::prelude::*;
+use cloudscope_tracegen::{generate, GeneratorConfig};
+use std::sync::OnceLock;
+
+fn generated() -> &'static cloudscope_tracegen::GeneratedTrace {
+    static TRACE: OnceLock<cloudscope_tracegen::GeneratedTrace> = OnceLock::new();
+    TRACE.get_or_init(|| generate(&GeneratorConfig::medium(555)))
+}
+
+#[test]
+fn private_creations_burst_public_do_not() {
+    let g = generated();
+    let mut private_bursts = 0usize;
+    let mut public_bursts = 0usize;
+    for region in g.trace.topology().regions() {
+        private_bursts += burst_hours(&g.trace, CloudKind::Private, region.id).len();
+        public_bursts += burst_hours(&g.trace, CloudKind::Public, region.id).len();
+    }
+    assert!(private_bursts > 0, "private deployment bursts must be detectable");
+    assert!(
+        private_bursts > 2 * public_bursts,
+        "bursts are a private-cloud phenomenon: {private_bursts} vs {public_bursts}"
+    );
+}
+
+#[test]
+fn burst_hours_match_ground_truth_magnitude() {
+    // Every detected burst hour has far more creations than the region's
+    // median hour.
+    let g = generated();
+    for region in g.trace.topology().regions().iter().take(3) {
+        let series =
+            cloudscope_analysis::temporal::creations_per_hour(&g.trace, CloudKind::Private, region.id);
+        let mut sorted = series.values().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        for hour in burst_hours(&g.trace, CloudKind::Private, region.id) {
+            assert!(
+                series.values()[hour] > 3.0 * median.max(1.0),
+                "burst hour {hour} not actually large"
+            );
+        }
+    }
+}

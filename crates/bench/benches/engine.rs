@@ -1,0 +1,186 @@
+//! Micro-benchmarks of the substrates: the allocation service, the
+//! statistics kernels, the FFT/period detector, and trace generation —
+//! the ablation knobs DESIGN.md §5 calls out.
+
+use cloudscope::cluster::{
+    ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule,
+};
+use cloudscope::prelude::*;
+use cloudscope::stats::{pearson, Ecdf};
+use cloudscope::timeseries::{PeriodDetector, Series};
+use cloudscope::tracegen::{generate_vm_series, PatternKind, ServiceUtilProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn build_allocator(policy: PlacementPolicy) -> ClusterAllocator {
+    let mut b = Topology::builder();
+    let r = b.add_region("bench", 0, "US");
+    let d = b.add_datacenter(r);
+    let c = b.add_cluster(d, CloudKind::Public, NodeSku::new(64, 640.0), 5, 40);
+    let topo = b.build();
+    ClusterAllocator::new(
+        topo.cluster(c).unwrap(),
+        policy,
+        SpreadingRule {
+            max_same_service_per_rack: Some(80),
+        },
+    )
+}
+
+/// Ablation: placement policy throughput (DESIGN.md §5, allocator).
+fn bench_allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator_place_release_1000");
+    for policy in [
+        PlacementPolicy::FirstFit,
+        PlacementPolicy::BestFit,
+        PlacementPolicy::WorstFit,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut alloc = build_allocator(policy);
+                    let mut rng = StdRng::seed_from_u64(1);
+                    for i in 0..1000u64 {
+                        let cores = 1 << rng.random_range(0..5);
+                        let _ = alloc.place(PlacementRequest {
+                            vm: VmId::new(i),
+                            size: VmSize::new(cores, f64::from(cores) * 4.0),
+                            service: ServiceId::new(rng.random_range(0..20)),
+                            priority: Priority::OnDemand,
+                        });
+                        if i % 3 == 0 {
+                            let _ = alloc.release(VmId::new(i / 2));
+                        }
+                    }
+                    black_box(alloc.placed_count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stats_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let series_a: Vec<f64> = (0..2016).map(|_| rng.random::<f64>() * 100.0).collect();
+    let series_b: Vec<f64> = (0..2016).map(|_| rng.random::<f64>() * 100.0).collect();
+    c.bench_function("pearson_2016_samples", |b| {
+        b.iter(|| pearson(black_box(&series_a), black_box(&series_b)).unwrap());
+    });
+    let sample: Vec<f64> = (0..10_000).map(|_| rng.random::<f64>()).collect();
+    c.bench_function("ecdf_build_10k", |b| {
+        b.iter(|| Ecdf::new(black_box(sample.clone())).unwrap());
+    });
+}
+
+fn bench_period_detection(c: &mut Criterion) {
+    let values: Vec<f64> = (0..2016)
+        .map(|i| 30.0 + 20.0 * (std::f64::consts::TAU * i as f64 / 288.0).sin())
+        .collect();
+    let series = Series::new(0, 5, values);
+    let detector = PeriodDetector::default();
+    c.bench_function("period_detect_one_week_5min", |b| {
+        b.iter(|| detector.detect(black_box(&series)).unwrap());
+    });
+}
+
+/// Ablation: telemetry synthesis cost per pattern kind.
+fn bench_telemetry_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_week_per_pattern");
+    for kind in PatternKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind}")),
+            &kind,
+            |b, &kind| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let profile = ServiceUtilProfile::sample(kind, false, &mut rng);
+                b.iter(|| {
+                    generate_vm_series(
+                        black_box(&profile),
+                        -8,
+                        SimTime::ZERO,
+                        2016,
+                        &mut rng,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kb_pipeline(c: &mut Criterion) {
+    use cloudscope::analysis::PatternClassifier;
+    use cloudscope::kb::{run_extraction_pipeline, KnowledgeBase};
+    let generated = generate(&GeneratorConfig::small(99));
+    let classifier = PatternClassifier::default();
+    let mut group = c.benchmark_group("kb_extraction_pipeline");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let kb = KnowledgeBase::new();
+                    run_extraction_pipeline(
+                        black_box(&generated.trace),
+                        &kb,
+                        &classifier,
+                        2,
+                        workers,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_node_drain(c: &mut Criterion) {
+    c.bench_function("drain_node_500_vms", |b| {
+        b.iter(|| {
+            let mut alloc = build_allocator(PlacementPolicy::BestFit);
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut first_node = None;
+            for i in 0..500u64 {
+                let cores = 1 << rng.random_range(0..4);
+                if let Ok(node) = alloc.place(PlacementRequest {
+                    vm: VmId::new(i),
+                    size: VmSize::new(cores, f64::from(cores) * 4.0),
+                    service: ServiceId::new(0),
+                    priority: Priority::OnDemand,
+                }) {
+                    first_node.get_or_insert(node);
+                }
+            }
+            let node = first_node.expect("placed");
+            black_box(alloc.drain_node(node).expect("drain"))
+        });
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.bench_function("small_config", |b| {
+        b.iter(|| generate(black_box(&GeneratorConfig::small(1234))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    engine,
+    bench_allocator,
+    bench_stats_kernels,
+    bench_period_detection,
+    bench_telemetry_generation,
+    bench_kb_pipeline,
+    bench_node_drain,
+    bench_generation
+);
+criterion_main!(engine);

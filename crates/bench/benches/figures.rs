@@ -1,0 +1,173 @@
+//! One benchmark group per evaluation artifact of the paper: each group
+//! times the analysis that regenerates the corresponding figure from a
+//! shared mid-scale trace.
+
+use cloudscope::analysis::correlation::{
+    node_vm_correlation_cdf, region_pair_correlation_cdf, service_region_daily_profiles,
+};
+use cloudscope::analysis::deployment::DeploymentSizeAnalysis;
+use cloudscope::analysis::patterns::pattern_shares;
+use cloudscope::analysis::spatial::SpatialAnalysis;
+use cloudscope::analysis::temporal::TemporalAnalysis;
+use cloudscope::analysis::utilization::UtilizationDistribution;
+use cloudscope::analysis::vmsize::VmSizeAnalysis;
+use cloudscope::mgmt::oversub::{OversubMethod, OversubPlanner, VmDemand};
+use cloudscope::mgmt::rebalance::simulate_shift;
+use cloudscope::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn generated() -> &'static GeneratedTrace {
+    static TRACE: OnceLock<GeneratedTrace> = OnceLock::new();
+    TRACE.get_or_init(|| generate(&GeneratorConfig::medium(7777)))
+}
+
+fn snapshot() -> SimTime {
+    SimTime::from_minutes(2 * 24 * 60 + 14 * 60)
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let g = generated();
+    c.bench_function("fig1_deployment_sizes", |b| {
+        b.iter(|| DeploymentSizeAnalysis::run(black_box(&g.trace), snapshot()).unwrap());
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let g = generated();
+    c.bench_function("fig2_vm_size_heatmaps", |b| {
+        b.iter(|| VmSizeAnalysis::run(black_box(&g.trace)).unwrap());
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let g = generated();
+    c.bench_function("fig3_temporal", |b| {
+        b.iter(|| TemporalAnalysis::run(black_box(&g.trace), RegionId::new(0)).unwrap());
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let g = generated();
+    c.bench_function("fig4_spatial", |b| {
+        b.iter(|| SpatialAnalysis::run(black_box(&g.trace)).unwrap());
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let g = generated();
+    let classifier = PatternClassifier::default();
+    let mut group = c.benchmark_group("fig5_patterns");
+    group.sample_size(10);
+    group.bench_function("classify_200_vms_per_cloud", |b| {
+        b.iter(|| {
+            for cloud in CloudKind::BOTH {
+                pattern_shares(black_box(&g.trace), cloud, &classifier, 200).unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let g = generated();
+    let mut group = c.benchmark_group("fig6_utilization_bands");
+    group.sample_size(10);
+    group.bench_function("bands_1000_vms_per_cloud", |b| {
+        b.iter(|| {
+            for cloud in CloudKind::BOTH {
+                UtilizationDistribution::run(black_box(&g.trace), cloud, 1000).unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let g = generated();
+    let mut group = c.benchmark_group("fig7_correlation");
+    group.sample_size(10);
+    group.bench_function("node_level_200_nodes", |b| {
+        b.iter(|| {
+            node_vm_correlation_cdf(black_box(&g.trace), CloudKind::Private, 200).unwrap();
+        });
+    });
+    group.bench_function("cross_region_private", |b| {
+        b.iter(|| {
+            region_pair_correlation_cdf(black_box(&g.trace), CloudKind::Private, "US").unwrap();
+        });
+    });
+    if let Some(flagship) = g.flagship_service() {
+        group.bench_function("servicex_daily_profiles", |b| {
+            b.iter(|| service_region_daily_profiles(black_box(&g.trace), flagship.service).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_pilot(c: &mut Criterion) {
+    let g = generated();
+    let flagship = g.flagship_service().expect("flagship");
+    let from = flagship.regions[0];
+    let to = g
+        .trace
+        .topology()
+        .regions()
+        .iter()
+        .map(|r| r.id)
+        .find(|&r| r != from)
+        .expect("second region");
+    c.bench_function("pilot_region_shift", |b| {
+        b.iter(|| {
+            let _ = simulate_shift(
+                black_box(&g.trace),
+                CloudKind::Private,
+                flagship.service,
+                from,
+                to,
+                snapshot(),
+            );
+        });
+    });
+}
+
+fn bench_oversub(c: &mut Criterion) {
+    let g = generated();
+    let pool: Vec<VmDemand> = g
+        .trace
+        .vms_of(CloudKind::Public)
+        .filter_map(|vm| {
+            let util = g.trace.util(vm.id)?;
+            (util.start().minutes() == 0 && util.len() == 2016).then(|| VmDemand {
+                cores: vm.size.cores(),
+                utilization: util.to_f64_vec(),
+            })
+        })
+        .take(200)
+        .collect();
+    c.bench_function("oversub_sweep_200_vms", |b| {
+        b.iter(|| {
+            for eps in [0.001, 0.01, 0.1] {
+                OversubPlanner::new(eps, OversubMethod::EmpiricalQuantile)
+                    .unwrap()
+                    .plan(black_box(&pool))
+                    .unwrap();
+            }
+        });
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_pilot,
+    bench_oversub
+);
+criterion_main!(figures);

@@ -1,0 +1,11 @@
+//! # cloudscope-bench
+//!
+//! Criterion benchmarks: `figures` regenerates every evaluation artifact
+//! of the paper (one group per figure plus the pilot and the
+//! over-subscription sweep); `engine` micro-benchmarks the substrates
+//! (allocator, statistics kernels, FFT, generation).
+//!
+//! Run with `cargo bench -p cloudscope-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

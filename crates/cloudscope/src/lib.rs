@@ -1,0 +1,58 @@
+//! # cloudscope
+//!
+//! A full reproduction of the DSN'23 study *"How Different are the Cloud
+//! Workloads? Characterizing Large-Scale Private and Public Cloud
+//! Workloads"* as a Rust library suite:
+//!
+//! - [`model`]: the domain model (topology, subscriptions, VMs, 5-minute
+//!   telemetry, the trace container).
+//! - [`stats`] / [`timeseries`] / [`sim`]: the numeric and simulation
+//!   substrates (ECDFs, box-plots, Pearson, FFT/ACF period detection, a
+//!   discrete-event engine).
+//! - [`cluster`]: the allocation-service substrate (placement policies,
+//!   fault-domain spreading, spot eviction, migration).
+//! - [`tracegen`]: the calibrated synthetic stand-in for the proprietary
+//!   Azure trace.
+//! - [`analysis`]: the paper's characterization pipeline — one module per
+//!   figure, plus the four insight verdicts.
+//! - [`kb`]: the centralized workload knowledge base of Section V.
+//! - [`mgmt`]: the management policies the insights motivate (spot,
+//!   over-subscription, regional rebalancing, pre-provisioning,
+//!   deferral, allocation-failure prediction).
+//!
+//! ## Quickstart
+//! ```no_run
+//! use cloudscope::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let generated = generate(&GeneratorConfig::default());
+//! let report = CharacterizationReport::analyze(&generated.trace, &ReportConfig::default())?;
+//! for (holds, verdict) in report.insight_verdicts() {
+//!     println!("[{}] {verdict}", if holds { "ok" } else { "MISS" });
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cloudscope_analysis as analysis;
+pub use cloudscope_cluster as cluster;
+pub use cloudscope_kb as kb;
+pub use cloudscope_mgmt as mgmt;
+pub use cloudscope_model as model;
+pub use cloudscope_sim as sim;
+pub use cloudscope_stats as stats;
+pub use cloudscope_timeseries as timeseries;
+pub use cloudscope_tracegen as tracegen;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crate::analysis::report::{CharacterizationReport, ReportConfig};
+    pub use crate::analysis::{PatternClassifier, UtilizationPattern};
+    pub use crate::kb::{extract_cloud_knowledge, KnowledgeBase, WorkloadKnowledge};
+    pub use crate::mgmt::{PolicyEngine, Recommendation};
+    pub use crate::model::prelude::*;
+    pub use crate::tracegen::{generate, GeneratedTrace, GeneratorConfig};
+}

@@ -1,0 +1,611 @@
+//! The per-cluster allocation service: placement policies, fault-domain
+//! spreading, spot eviction, and live migration.
+//!
+//! This is the simulator's stand-in for the platform's allocation service
+//! (Protean in the real system): requests name a VM, its size, service,
+//! and priority; the allocator picks a node subject to capacity and the
+//! spreading rule, or reports a typed failure.
+
+use crate::error::AllocationError;
+use crate::node::NodeState;
+use cloudscope_model::ids::{ClusterId, NodeId, RackId, ServiceId, VmId};
+use cloudscope_model::topology::Cluster;
+use cloudscope_model::vm::{Priority, VmSize};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A placement request, as the allocation service sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementRequest {
+    /// VM to place.
+    pub vm: VmId,
+    /// Resource shape.
+    pub size: VmSize,
+    /// Logical service, the unit the spreading rule counts.
+    pub service: ServiceId,
+    /// Priority class; spot VMs are evictable by on-demand requests.
+    pub priority: Priority,
+}
+
+/// Node-selection policy among feasible nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Lowest-id node that fits: fast, fragments more.
+    FirstFit,
+    /// Node with the fewest free cores after placement: packs tightly,
+    /// the default of production allocators under capacity pressure.
+    #[default]
+    BestFit,
+    /// Node with the most free cores after placement: spreads load.
+    WorstFit,
+}
+
+/// Fault-domain spreading: at most `max_same_service_per_rack` VMs of one
+/// service per rack. `None` disables the rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpreadingRule {
+    /// Per-rack cap on same-service VMs; `None` = unlimited.
+    pub max_same_service_per_rack: Option<u32>,
+}
+
+/// Counters the allocator maintains; the allocation-failure analyses and
+/// the Insight-1 ablation read these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AllocatorStats {
+    /// Placement attempts.
+    pub attempts: u64,
+    /// Successful placements.
+    pub successes: u64,
+    /// Failures because no node had capacity.
+    pub capacity_failures: u64,
+    /// Failures because spreading forbade every feasible node.
+    pub spreading_failures: u64,
+    /// Spot VMs evicted to make room for on-demand requests.
+    pub evictions: u64,
+    /// Live migrations performed.
+    pub migrations: u64,
+}
+
+impl AllocatorStats {
+    /// Failure rate over all attempts (0 if no attempts).
+    #[must_use]
+    pub fn failure_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            return 0.0;
+        }
+        (self.capacity_failures + self.spreading_failures) as f64 / self.attempts as f64
+    }
+}
+
+/// Where a VM currently lives, kept for release/eviction/migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Placement {
+    node: NodeId,
+    size: VmSize,
+    service: ServiceId,
+    priority: Priority,
+}
+
+/// The allocation service for one cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterAllocator {
+    id: ClusterId,
+    node_ids: Vec<NodeId>,
+    nodes: Vec<NodeState>,
+    node_offset: HashMap<NodeId, usize>,
+    placements: HashMap<VmId, Placement>,
+    rack_service: HashMap<(RackId, ServiceId), u32>,
+    policy: PlacementPolicy,
+    spreading: SpreadingRule,
+    stats: AllocatorStats,
+}
+
+impl ClusterAllocator {
+    /// Creates an empty allocator over a cluster's topology.
+    #[must_use]
+    pub fn new(cluster: &Cluster, policy: PlacementPolicy, spreading: SpreadingRule) -> Self {
+        let mut node_ids = Vec::with_capacity(cluster.nodes.len());
+        let mut nodes = Vec::with_capacity(cluster.nodes.len());
+        let mut node_offset = HashMap::with_capacity(cluster.nodes.len());
+        let nodes_per_rack = cluster.nodes.len() / cluster.racks.len();
+        for (i, &nid) in cluster.nodes.iter().enumerate() {
+            let rack = cluster.racks[(i / nodes_per_rack).min(cluster.racks.len() - 1)];
+            node_ids.push(nid);
+            nodes.push(NodeState::new(cluster.sku, rack));
+            node_offset.insert(nid, i);
+        }
+        Self {
+            id: cluster.id,
+            node_ids,
+            nodes,
+            node_offset,
+            placements: HashMap::new(),
+            rack_service: HashMap::new(),
+            policy,
+            spreading,
+            stats: AllocatorStats::default(),
+        }
+    }
+
+    /// The cluster this allocator manages.
+    #[must_use]
+    pub const fn cluster_id(&self) -> ClusterId {
+        self.id
+    }
+
+    /// Allocation counters so far.
+    #[must_use]
+    pub const fn stats(&self) -> &AllocatorStats {
+        &self.stats
+    }
+
+    /// Number of VMs currently placed.
+    #[must_use]
+    pub fn placed_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Fraction of the cluster's cores currently allocated.
+    #[must_use]
+    pub fn core_allocation_ratio(&self) -> f64 {
+        let used: u64 = self.nodes.iter().map(|n| u64::from(n.cores_used())).sum();
+        let total: u64 = self.nodes.iter().map(|n| u64::from(n.cores_total())).sum();
+        if total == 0 {
+            0.0
+        } else {
+            used as f64 / total as f64
+        }
+    }
+
+    /// Read-only view of a node's state.
+    ///
+    /// # Errors
+    /// Returns [`AllocationError::UnknownNode`] if the node is not here.
+    pub fn node_state(&self, node: NodeId) -> Result<&NodeState, AllocationError> {
+        self.node_offset
+            .get(&node)
+            .map(|&i| &self.nodes[i])
+            .ok_or(AllocationError::UnknownNode(node))
+    }
+
+    /// The node currently hosting `vm`, if placed.
+    #[must_use]
+    pub fn placement_of(&self, vm: VmId) -> Option<NodeId> {
+        self.placements.get(&vm).map(|p| p.node)
+    }
+
+    /// The size `vm` was placed with, if currently placed.
+    #[must_use]
+    pub fn placed_size(&self, vm: VmId) -> Option<VmSize> {
+        self.placements.get(&vm).map(|p| p.size)
+    }
+
+    fn spreading_ok(&self, node_idx: usize, service: ServiceId) -> bool {
+        match self.spreading.max_same_service_per_rack {
+            None => true,
+            Some(cap) => {
+                let rack = self.nodes[node_idx].rack();
+                self.rack_service
+                    .get(&(rack, service))
+                    .copied()
+                    .unwrap_or(0)
+                    < cap
+            }
+        }
+    }
+
+    /// Chooses a node for `request` per the policy, or classifies the
+    /// failure. Does not mutate state.
+    fn choose_node(&self, request: &PlacementRequest) -> Result<usize, AllocationError> {
+        let mut any_fits = false;
+        let mut best: Option<(usize, u32)> = None;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.fits(request.size) {
+                continue;
+            }
+            any_fits = true;
+            if !self.spreading_ok(i, request.service) {
+                continue;
+            }
+            let free_after = node.cores_free() - request.size.cores();
+            let candidate = (i, free_after);
+            best = match (self.policy, best) {
+                (_, None) => Some(candidate),
+                (PlacementPolicy::FirstFit, some) => some,
+                (PlacementPolicy::BestFit, Some((_, f))) if free_after < f => Some(candidate),
+                (PlacementPolicy::WorstFit, Some((_, f))) if free_after > f => Some(candidate),
+                (_, some) => some,
+            };
+            // FirstFit can stop at the first feasible node.
+            if self.policy == PlacementPolicy::FirstFit {
+                break;
+            }
+        }
+        match best {
+            Some((i, _)) => Ok(i),
+            None if any_fits => Err(AllocationError::SpreadingViolation(self.id)),
+            None => Err(AllocationError::InsufficientCapacity(self.id)),
+        }
+    }
+
+    /// Places a VM, returning the chosen node.
+    ///
+    /// # Errors
+    /// - [`AllocationError::AlreadyPlaced`] if the VM is already placed.
+    /// - [`AllocationError::InsufficientCapacity`] if no node fits.
+    /// - [`AllocationError::SpreadingViolation`] if only spreading blocks.
+    pub fn place(&mut self, request: PlacementRequest) -> Result<NodeId, AllocationError> {
+        if self.placements.contains_key(&request.vm) {
+            return Err(AllocationError::AlreadyPlaced(request.vm));
+        }
+        self.stats.attempts += 1;
+        let idx = match self.choose_node(&request) {
+            Ok(idx) => idx,
+            Err(e) => {
+                match e {
+                    AllocationError::InsufficientCapacity(_) => {
+                        self.stats.capacity_failures += 1;
+                    }
+                    AllocationError::SpreadingViolation(_) => {
+                        self.stats.spreading_failures += 1;
+                    }
+                    _ => {}
+                }
+                return Err(e);
+            }
+        };
+        self.commit(idx, request);
+        Ok(self.node_ids[idx])
+    }
+
+    fn commit(&mut self, idx: usize, request: PlacementRequest) {
+        self.nodes[idx].place(request.vm, request.size);
+        let rack = self.nodes[idx].rack();
+        *self.rack_service.entry((rack, request.service)).or_insert(0) += 1;
+        self.placements.insert(
+            request.vm,
+            Placement {
+                node: self.node_ids[idx],
+                size: request.size,
+                service: request.service,
+                priority: request.priority,
+            },
+        );
+        self.stats.successes += 1;
+    }
+
+    /// Places an on-demand VM, evicting spot VMs if necessary: if normal
+    /// placement fails on capacity, the node whose spot VMs would free
+    /// enough room with the fewest evictions is chosen, its spot VMs are
+    /// evicted (youngest placement first), and placement is retried.
+    ///
+    /// Returns the chosen node and the evicted spot VMs (empty on a clean
+    /// placement).
+    ///
+    /// # Errors
+    /// Same as [`ClusterAllocator::place`] when eviction cannot help.
+    pub fn place_with_eviction(
+        &mut self,
+        request: PlacementRequest,
+    ) -> Result<(NodeId, Vec<VmId>), AllocationError> {
+        match self.place(request) {
+            Ok(node) => Ok((node, Vec::new())),
+            Err(AllocationError::InsufficientCapacity(_)) => {
+                let Some((idx, victims)) = self.eviction_plan(&request) else {
+                    return Err(AllocationError::InsufficientCapacity(self.id));
+                };
+                for vm in &victims {
+                    self.release(*vm).expect("victim is placed");
+                    self.stats.evictions += 1;
+                }
+                // Retry directly on the freed node.
+                if !self.spreading_ok(idx, request.service) {
+                    return Err(AllocationError::SpreadingViolation(self.id));
+                }
+                self.stats.attempts += 1;
+                self.commit(idx, request);
+                Ok((self.node_ids[idx], victims))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Finds the node where evicting the fewest spot VMs makes the
+    /// request fit; returns node index and victim list.
+    fn eviction_plan(&self, request: &PlacementRequest) -> Option<(usize, Vec<VmId>)> {
+        if request.priority != Priority::OnDemand {
+            return None;
+        }
+        let mut best: Option<(usize, Vec<VmId>)> = None;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut free_cores = node.cores_free();
+            let mut free_mem = node.memory_free();
+            let mut victims = Vec::new();
+            // Youngest-first: later placements are evicted first.
+            for &vm in node.vms().iter().rev() {
+                if free_cores >= request.size.cores()
+                    && free_mem + 1e-9 >= request.size.memory_gb()
+                {
+                    break;
+                }
+                let p = &self.placements[&vm];
+                if p.priority == Priority::Spot {
+                    free_cores += p.size.cores();
+                    free_mem += p.size.memory_gb();
+                    victims.push(vm);
+                }
+            }
+            if free_cores >= request.size.cores() && free_mem + 1e-9 >= request.size.memory_gb() {
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => victims.len() < b.len(),
+                };
+                if better && self.spreading_ok(i, request.service) {
+                    best = Some((i, victims));
+                }
+            }
+        }
+        best
+    }
+
+    /// Releases a VM's resources (termination or eviction), returning the
+    /// node it occupied.
+    ///
+    /// # Errors
+    /// Returns [`AllocationError::UnknownVm`] if the VM is not placed.
+    pub fn release(&mut self, vm: VmId) -> Result<NodeId, AllocationError> {
+        let placement = self
+            .placements
+            .remove(&vm)
+            .ok_or(AllocationError::UnknownVm(vm))?;
+        let idx = self.node_offset[&placement.node];
+        let released = self.nodes[idx].release(vm, placement.size);
+        debug_assert!(released, "placement table and node state diverged");
+        let rack = self.nodes[idx].rack();
+        if let Some(count) = self.rack_service.get_mut(&(rack, placement.service)) {
+            *count = count.saturating_sub(1);
+        }
+        Ok(placement.node)
+    }
+
+    /// Live-migrates a VM to a specific node (e.g. off an unhealthy host).
+    ///
+    /// The fault-domain spreading rule is *not* re-checked: evacuations
+    /// take priority and may temporarily exceed a rack's same-service cap
+    /// (subsequent placements still observe the inflated counts).
+    ///
+    /// # Errors
+    /// - [`AllocationError::UnknownVm`] if the VM is not placed.
+    /// - [`AllocationError::UnknownNode`] if the target is not here.
+    /// - [`AllocationError::InsufficientCapacity`] if the target cannot
+    ///   hold the VM.
+    pub fn migrate(&mut self, vm: VmId, to: NodeId) -> Result<(), AllocationError> {
+        let placement = *self
+            .placements
+            .get(&vm)
+            .ok_or(AllocationError::UnknownVm(vm))?;
+        let to_idx = *self
+            .node_offset
+            .get(&to)
+            .ok_or(AllocationError::UnknownNode(to))?;
+        if placement.node == to {
+            return Ok(());
+        }
+        if !self.nodes[to_idx].fits(placement.size) {
+            return Err(AllocationError::InsufficientCapacity(self.id));
+        }
+        self.release(vm).expect("vm placed");
+        self.stats.attempts += 1;
+        self.commit(
+            to_idx,
+            PlacementRequest {
+                vm,
+                size: placement.size,
+                service: placement.service,
+                priority: placement.priority,
+            },
+        );
+        self.stats.migrations += 1;
+        Ok(())
+    }
+
+    /// Iterates `(node, state)` pairs.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &NodeState)> {
+        self.node_ids.iter().copied().zip(self.nodes.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudscope_model::subscription::CloudKind;
+    use cloudscope_model::topology::{NodeSku, Topology};
+
+    /// 2 racks × 2 nodes of 8 cores / 64 GiB.
+    fn allocator(policy: PlacementPolicy, spreading: SpreadingRule) -> ClusterAllocator {
+        let mut b = Topology::builder();
+        let r = b.add_region("test", 0, "US");
+        let d = b.add_datacenter(r);
+        let c = b.add_cluster(d, CloudKind::Private, NodeSku::new(8, 64.0), 2, 2);
+        let topo = b.build();
+        ClusterAllocator::new(topo.cluster(c).unwrap(), policy, spreading)
+    }
+
+    fn req(vm: u64, cores: u32, service: u32) -> PlacementRequest {
+        PlacementRequest {
+            vm: VmId::new(vm),
+            size: VmSize::new(cores, f64::from(cores) * 4.0),
+            service: ServiceId::new(service),
+            priority: Priority::OnDemand,
+        }
+    }
+
+    #[test]
+    fn best_fit_packs_tightly() {
+        let mut a = allocator(PlacementPolicy::BestFit, SpreadingRule::default());
+        let n0 = a.place(req(0, 5, 0)).unwrap();
+        // Best fit should co-locate the 3-core VM with the 5-core one.
+        let n1 = a.place(req(1, 3, 0)).unwrap();
+        assert_eq!(n0, n1);
+        assert_eq!(a.placed_count(), 2);
+        assert!((a.core_allocation_ratio() - 8.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_fit_spreads() {
+        let mut a = allocator(PlacementPolicy::WorstFit, SpreadingRule::default());
+        let n0 = a.place(req(0, 5, 0)).unwrap();
+        let n1 = a.place(req(1, 3, 0)).unwrap();
+        assert_ne!(n0, n1);
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_id() {
+        let mut a = allocator(PlacementPolicy::FirstFit, SpreadingRule::default());
+        let n0 = a.place(req(0, 2, 0)).unwrap();
+        let n1 = a.place(req(1, 2, 0)).unwrap();
+        assert_eq!(n0, n1);
+    }
+
+    #[test]
+    fn capacity_failure_when_full() {
+        let mut a = allocator(PlacementPolicy::BestFit, SpreadingRule::default());
+        for i in 0..4 {
+            a.place(req(i, 8, 0)).unwrap();
+        }
+        let err = a.place(req(9, 1, 0)).unwrap_err();
+        assert!(matches!(err, AllocationError::InsufficientCapacity(_)));
+        assert_eq!(a.stats().capacity_failures, 1);
+        assert!(a.stats().failure_rate() > 0.0);
+    }
+
+    #[test]
+    fn spreading_rule_blocks_same_rack() {
+        let spreading = SpreadingRule {
+            max_same_service_per_rack: Some(1),
+        };
+        let mut a = allocator(PlacementPolicy::FirstFit, spreading);
+        // Service 7: one VM per rack allowed -> 2 placements, 3rd fails.
+        a.place(req(0, 1, 7)).unwrap();
+        a.place(req(1, 1, 7)).unwrap();
+        let err = a.place(req(2, 1, 7)).unwrap_err();
+        assert!(matches!(err, AllocationError::SpreadingViolation(_)));
+        assert_eq!(a.stats().spreading_failures, 1);
+        // A different service still places fine.
+        a.place(req(3, 1, 8)).unwrap();
+    }
+
+    #[test]
+    fn release_frees_spreading_budget() {
+        let spreading = SpreadingRule {
+            max_same_service_per_rack: Some(1),
+        };
+        let mut a = allocator(PlacementPolicy::FirstFit, spreading);
+        a.place(req(0, 1, 7)).unwrap();
+        a.place(req(1, 1, 7)).unwrap();
+        assert!(a.place(req(2, 1, 7)).is_err());
+        a.release(VmId::new(0)).unwrap();
+        a.place(req(2, 1, 7)).unwrap();
+    }
+
+    #[test]
+    fn double_place_and_unknown_release() {
+        let mut a = allocator(PlacementPolicy::BestFit, SpreadingRule::default());
+        a.place(req(0, 1, 0)).unwrap();
+        assert!(matches!(
+            a.place(req(0, 1, 0)),
+            Err(AllocationError::AlreadyPlaced(_))
+        ));
+        assert!(matches!(
+            a.release(VmId::new(99)),
+            Err(AllocationError::UnknownVm(_))
+        ));
+    }
+
+    #[test]
+    fn eviction_makes_room_for_on_demand() {
+        let mut a = allocator(PlacementPolicy::BestFit, SpreadingRule::default());
+        // Fill every node with spot VMs.
+        for i in 0..4 {
+            a.place(PlacementRequest {
+                priority: Priority::Spot,
+                ..req(i, 8, 0)
+            })
+            .unwrap();
+        }
+        let (node, evicted) = a.place_with_eviction(req(10, 8, 1)).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(a.stats().evictions, 1);
+        assert_eq!(a.placement_of(VmId::new(10)), Some(node));
+        assert_eq!(a.placement_of(evicted[0]), None);
+    }
+
+    #[test]
+    fn eviction_never_touches_on_demand() {
+        let mut a = allocator(PlacementPolicy::BestFit, SpreadingRule::default());
+        for i in 0..4 {
+            a.place(req(i, 8, 0)).unwrap(); // on-demand fills the cluster
+        }
+        assert!(matches!(
+            a.place_with_eviction(req(10, 8, 1)),
+            Err(AllocationError::InsufficientCapacity(_))
+        ));
+        assert_eq!(a.stats().evictions, 0);
+    }
+
+    #[test]
+    fn spot_request_cannot_trigger_eviction() {
+        let mut a = allocator(PlacementPolicy::BestFit, SpreadingRule::default());
+        for i in 0..4 {
+            a.place(PlacementRequest {
+                priority: Priority::Spot,
+                ..req(i, 8, 0)
+            })
+            .unwrap();
+        }
+        let spot_req = PlacementRequest {
+            priority: Priority::Spot,
+            ..req(10, 8, 1)
+        };
+        assert!(a.place_with_eviction(spot_req).is_err());
+    }
+
+    #[test]
+    fn migration_moves_capacity() {
+        let mut a = allocator(PlacementPolicy::FirstFit, SpreadingRule::default());
+        let from = a.place(req(0, 4, 0)).unwrap();
+        let target = a
+            .nodes()
+            .map(|(id, _)| id)
+            .find(|&id| id != from)
+            .unwrap();
+        a.migrate(VmId::new(0), target).unwrap();
+        assert_eq!(a.placement_of(VmId::new(0)), Some(target));
+        assert_eq!(a.node_state(from).unwrap().cores_used(), 0);
+        assert_eq!(a.stats().migrations, 1);
+        // Self-migration is a no-op.
+        a.migrate(VmId::new(0), target).unwrap();
+        assert_eq!(a.stats().migrations, 1);
+    }
+
+    #[test]
+    fn migration_validates_target() {
+        let mut a = allocator(PlacementPolicy::FirstFit, SpreadingRule::default());
+        a.place(req(0, 8, 0)).unwrap();
+        let occupied = a.placement_of(VmId::new(0)).unwrap();
+        a.place(req(1, 8, 0)).unwrap();
+        let other = a.placement_of(VmId::new(1)).unwrap();
+        assert!(matches!(
+            a.migrate(VmId::new(0), other),
+            Err(AllocationError::InsufficientCapacity(_))
+        ));
+        assert!(matches!(
+            a.migrate(VmId::new(0), NodeId::new(999)),
+            Err(AllocationError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            a.migrate(VmId::new(42), occupied),
+            Err(AllocationError::UnknownVm(_))
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+//! Node draining: evacuating every VM from a node (hardware maintenance,
+//! unhealthy-host signals) using live migration within the cluster.
+
+use crate::allocator::ClusterAllocator;
+use crate::error::AllocationError;
+use cloudscope_model::ids::{NodeId, VmId};
+use serde::{Deserialize, Serialize};
+
+/// The result of draining a node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainOutcome {
+    /// Successfully migrated VMs and their new nodes.
+    pub moved: Vec<(VmId, NodeId)>,
+    /// VMs that could not be placed anywhere else in the cluster.
+    pub stuck: Vec<VmId>,
+}
+
+impl DrainOutcome {
+    /// `true` if the node is fully evacuated.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.stuck.is_empty()
+    }
+}
+
+impl ClusterAllocator {
+    /// Migrates every VM off `node` onto other nodes of the cluster,
+    /// largest VMs first (hardest to place). VMs with no feasible target
+    /// are reported as stuck and remain in place.
+    ///
+    /// # Errors
+    /// Returns [`AllocationError::UnknownNode`] if `node` is not managed
+    /// by this allocator.
+    pub fn drain_node(&mut self, node: NodeId) -> Result<DrainOutcome, AllocationError> {
+        // Snapshot the node's VMs, largest (hardest to re-place) first.
+        let mut sized: Vec<(VmId, u32)> = self
+            .node_state(node)?
+            .vms()
+            .iter()
+            .map(|&vm| (vm, self.placed_size(vm).map_or(0, |s| s.cores())))
+            .collect();
+        sized.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        let mut outcome = DrainOutcome {
+            moved: Vec::new(),
+            stuck: Vec::new(),
+        };
+        for (vm, _) in sized {
+            // Find the best-fit target among other nodes.
+            let target = self
+                .nodes()
+                .filter(|&(id, _)| id != node)
+                .filter(|(_, state)| {
+                    self.placed_size(vm)
+                        .is_some_and(|size| state.fits(size))
+                })
+                .min_by_key(|(_, state)| state.cores_free())
+                .map(|(id, _)| id);
+            match target {
+                Some(target) => {
+                    self.migrate(vm, target)?;
+                    outcome.moved.push((vm, target));
+                }
+                None => outcome.stuck.push(vm),
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::{PlacementPolicy, PlacementRequest, SpreadingRule};
+    use cloudscope_model::ids::ServiceId;
+    use cloudscope_model::subscription::CloudKind;
+    use cloudscope_model::topology::{NodeSku, Topology};
+    use cloudscope_model::vm::{Priority, VmSize};
+
+    fn allocator(nodes: usize) -> ClusterAllocator {
+        let mut b = Topology::builder();
+        let r = b.add_region("d", 0, "US");
+        let d = b.add_datacenter(r);
+        let c = b.add_cluster(d, CloudKind::Private, NodeSku::new(16, 128.0), 1, nodes);
+        let topo = b.build();
+        ClusterAllocator::new(
+            topo.cluster(c).unwrap(),
+            PlacementPolicy::FirstFit,
+            SpreadingRule::default(),
+        )
+    }
+
+    fn req(vm: u64, cores: u32) -> PlacementRequest {
+        PlacementRequest {
+            vm: VmId::new(vm),
+            size: VmSize::new(cores, f64::from(cores) * 4.0),
+            service: ServiceId::new(0),
+            priority: Priority::OnDemand,
+        }
+    }
+
+    #[test]
+    fn drains_fully_when_capacity_exists() {
+        let mut a = allocator(3);
+        // First-fit fills node 0.
+        let n0 = a.place(req(0, 8)).unwrap();
+        a.place(req(1, 4)).unwrap();
+        a.place(req(2, 4)).unwrap();
+        let outcome = a.drain_node(n0).unwrap();
+        assert!(outcome.complete());
+        assert_eq!(outcome.moved.len(), 3);
+        assert_eq!(a.node_state(n0).unwrap().cores_used(), 0);
+        for (vm, target) in &outcome.moved {
+            assert_eq!(a.placement_of(*vm), Some(*target));
+            assert_ne!(*target, n0);
+        }
+    }
+
+    #[test]
+    fn reports_stuck_vms_when_cluster_full() {
+        let mut a = allocator(2);
+        // Fill both nodes completely.
+        let n0 = a.place(req(0, 16)).unwrap();
+        a.place(req(1, 16)).unwrap();
+        let outcome = a.drain_node(n0).unwrap();
+        assert!(!outcome.complete());
+        assert_eq!(outcome.stuck, vec![VmId::new(0)]);
+        // The stuck VM stays placed on the original node.
+        assert_eq!(a.placement_of(VmId::new(0)), Some(n0));
+    }
+
+    #[test]
+    fn drain_empty_node_is_noop() {
+        let mut a = allocator(2);
+        let node = a.nodes().next().unwrap().0;
+        let outcome = a.drain_node(node).unwrap();
+        assert!(outcome.complete());
+        assert!(outcome.moved.is_empty());
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let mut a = allocator(2);
+        assert!(matches!(
+            a.drain_node(NodeId::new(999)),
+            Err(AllocationError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn partial_drain_moves_what_fits() {
+        let mut a = allocator(2);
+        let n0 = a.place(req(0, 12)).unwrap();
+        a.place(req(1, 2)).unwrap(); // also node 0 (first fit)
+        a.place(req(2, 10)).unwrap(); // node 1
+        // Node 1 has 6 free: only the 2-core VM fits there.
+        let outcome = a.drain_node(n0).unwrap();
+        assert_eq!(outcome.moved.len(), 1);
+        assert_eq!(outcome.moved[0].0, VmId::new(1));
+        assert_eq!(outcome.stuck, vec![VmId::new(0)]);
+    }
+}

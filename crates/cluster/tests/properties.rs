@@ -1,0 +1,171 @@
+//! Property tests: the allocator never over-commits and conserves
+//! capacity across arbitrary place/release interleavings.
+
+use cloudscope_cluster::{
+    AllocationError, ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule,
+};
+use cloudscope_model::ids::{ServiceId, VmId};
+use cloudscope_model::subscription::CloudKind;
+use cloudscope_model::topology::{NodeSku, Topology};
+use cloudscope_model::vm::{Priority, VmSize};
+use proptest::prelude::*;
+
+fn build_allocator(policy: PlacementPolicy, spread: Option<u32>) -> ClusterAllocator {
+    let mut b = Topology::builder();
+    let r = b.add_region("prop", 0, "US");
+    let d = b.add_datacenter(r);
+    let c = b.add_cluster(d, CloudKind::Public, NodeSku::new(16, 128.0), 3, 4);
+    let topo = b.build();
+    ClusterAllocator::new(
+        topo.cluster(c).unwrap(),
+        policy,
+        SpreadingRule {
+            max_same_service_per_rack: spread,
+        },
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Place { cores: u32, service: u32, spot: bool },
+    Release { slot: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..=16, 0u32..4, any::<bool>())
+            .prop_map(|(cores, service, spot)| Op::Place { cores, service, spot }),
+        (0usize..64).prop_map(|slot| Op::Release { slot }),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = PlacementPolicy> {
+    prop_oneof![
+        Just(PlacementPolicy::FirstFit),
+        Just(PlacementPolicy::BestFit),
+        Just(PlacementPolicy::WorstFit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocator_never_overcommits(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+        policy in policy_strategy(),
+        spread in prop_oneof![Just(None), (1u32..4).prop_map(Some)],
+    ) {
+        let mut alloc = build_allocator(policy, spread);
+        let mut placed: Vec<(VmId, VmSize)> = Vec::new();
+        let mut next_vm = 0u64;
+        let mut expected_cores = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Place { cores, service, spot } => {
+                    let vm = VmId::new(next_vm);
+                    next_vm += 1;
+                    let size = VmSize::new(cores, f64::from(cores) * 4.0);
+                    let request = PlacementRequest {
+                        vm,
+                        size,
+                        service: ServiceId::new(service),
+                        priority: if spot { Priority::Spot } else { Priority::OnDemand },
+                    };
+                    match alloc.place(request) {
+                        Ok(node) => {
+                            placed.push((vm, size));
+                            expected_cores += u64::from(cores);
+                            prop_assert_eq!(alloc.placement_of(vm), Some(node));
+                        }
+                        Err(AllocationError::InsufficientCapacity(_))
+                        | Err(AllocationError::SpreadingViolation(_)) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+                    }
+                }
+                Op::Release { slot } => {
+                    if !placed.is_empty() {
+                        let (vm, size) = placed.swap_remove(slot % placed.len());
+                        alloc.release(vm).expect("placed vm releases");
+                        expected_cores -= u64::from(size.cores());
+                    }
+                }
+            }
+
+            // Invariants after every operation.
+            let mut used = 0u64;
+            for (_, state) in alloc.nodes() {
+                prop_assert!(state.cores_used() <= state.cores_total());
+                prop_assert!(state.memory_free() >= -1e-9);
+                used += u64::from(state.cores_used());
+            }
+            prop_assert_eq!(used, expected_cores, "capacity conservation");
+            prop_assert_eq!(alloc.placed_count(), placed.len());
+        }
+    }
+
+    #[test]
+    fn full_drain_restores_empty_cluster(
+        cores in prop::collection::vec(1u32..=16, 1..50),
+        policy in policy_strategy(),
+    ) {
+        let mut alloc = build_allocator(policy, None);
+        let mut placed = Vec::new();
+        for (i, &c) in cores.iter().enumerate() {
+            let request = PlacementRequest {
+                vm: VmId::new(i as u64),
+                size: VmSize::new(c, f64::from(c)),
+                service: ServiceId::new(0),
+                priority: Priority::OnDemand,
+            };
+            if alloc.place(request).is_ok() {
+                placed.push(VmId::new(i as u64));
+            }
+        }
+        for vm in placed {
+            alloc.release(vm).unwrap();
+        }
+        prop_assert_eq!(alloc.placed_count(), 0);
+        prop_assert!(alloc.core_allocation_ratio() < 1e-12);
+        for (_, state) in alloc.nodes() {
+            prop_assert_eq!(state.cores_used(), 0);
+            prop_assert!(state.vms().is_empty());
+        }
+    }
+
+    #[test]
+    fn eviction_preserves_conservation(
+        spot_count in 1usize..12,
+        demand_cores in 1u32..=16,
+    ) {
+        let mut alloc = build_allocator(PlacementPolicy::BestFit, None);
+        for i in 0..spot_count {
+            let _ = alloc.place(PlacementRequest {
+                vm: VmId::new(i as u64),
+                size: VmSize::new(16, 64.0),
+                service: ServiceId::new(0),
+                priority: Priority::Spot,
+            });
+        }
+        let request = PlacementRequest {
+            vm: VmId::new(1000),
+            size: VmSize::new(demand_cores, f64::from(demand_cores)),
+            service: ServiceId::new(1),
+            priority: Priority::OnDemand,
+        };
+        let before = alloc.placed_count();
+        match alloc.place_with_eviction(request) {
+            Ok((_, evicted)) => {
+                prop_assert_eq!(alloc.placed_count(), before + 1 - evicted.len());
+                for vm in evicted {
+                    prop_assert_eq!(alloc.placement_of(vm), None);
+                }
+            }
+            Err(_) => prop_assert_eq!(alloc.placed_count(), before),
+        }
+        for (_, state) in alloc.nodes() {
+            prop_assert!(state.cores_used() <= state.cores_total());
+        }
+    }
+}

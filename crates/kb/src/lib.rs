@@ -1,0 +1,40 @@
+//! # cloudscope-kb
+//!
+//! The centralized workload knowledge base the paper's Section V calls
+//! for: extractors turn raw trace telemetry into per-subscription
+//! [`knowledge::WorkloadKnowledge`] (dominant utilization pattern,
+//! lifetime class, burstiness, region-agnosticism, footprint), and a
+//! concurrent [`store::KnowledgeBase`] serves the typed queries that the
+//! optimization policies in `cloudscope-mgmt` consume (spot candidates,
+//! over-subscription candidates, shiftable workloads).
+//!
+//! ## Example
+//! ```no_run
+//! use cloudscope_kb::{extract_cloud_knowledge, KnowledgeBase};
+//! use cloudscope_analysis::PatternClassifier;
+//! use cloudscope_model::prelude::CloudKind;
+//! use cloudscope_tracegen::{generate, GeneratorConfig};
+//!
+//! let generated = generate(&GeneratorConfig::default());
+//! let kb = KnowledgeBase::new();
+//! let classifier = PatternClassifier::default();
+//! for cloud in CloudKind::BOTH {
+//!     kb.feed(extract_cloud_knowledge(&generated.trace, cloud, &classifier, 8));
+//! }
+//! println!("{} spot candidates", kb.spot_candidates().len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod persist;
+pub mod pipeline;
+pub mod knowledge;
+pub mod store;
+
+pub use extract::{extract_cloud_knowledge, extract_subscription_knowledge};
+pub use knowledge::{LifetimeClass, WorkloadKnowledge};
+pub use persist::{read_snapshot, write_snapshot};
+pub use pipeline::{run_extraction_pipeline, PipelineStats};
+pub use store::KnowledgeBase;

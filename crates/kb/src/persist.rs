@@ -1,0 +1,196 @@
+//! Knowledge-base persistence: a line-oriented TSV snapshot format, so
+//! the extracted knowledge can be checkpointed between extraction sweeps
+//! and shared across processes.
+
+use crate::knowledge::{LifetimeClass, WorkloadKnowledge};
+use crate::store::KnowledgeBase;
+use cloudscope_analysis::UtilizationPattern;
+use cloudscope_model::ids::SubscriptionId;
+use cloudscope_model::subscription::CloudKind;
+use cloudscope_model::time::SimTime;
+use std::io::{BufRead, Write};
+
+/// Snapshot header (also the format version marker).
+pub const HEADER: &str = "#cloudscope-kb-v1\tsubscription\tcloud\tpattern\tlifetime\tmean_util\tp95_util\tutil_cv\tregions\tregion_agnostic\tvm_count\tcores\tupdated_min";
+
+/// Writes a TSV snapshot of every entry.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_snapshot<W: Write>(kb: &KnowledgeBase, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "{HEADER}")?;
+    for k in kb.query(|_| true) {
+        writeln!(
+            writer,
+            "{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.6}\t{}\t{}\t{}\t{}\t{}",
+            k.subscription.index(),
+            k.cloud,
+            k.pattern.map_or("-".to_owned(), |p| p.to_string()),
+            lifetime_tag(k.lifetime),
+            k.mean_util,
+            k.p95_util,
+            k.util_cv,
+            k.regions,
+            k.region_agnostic.map_or("-", |b| if b { "yes" } else { "no" }),
+            k.vm_count,
+            k.cores,
+            k.updated_at.minutes(),
+        )?;
+    }
+    Ok(())
+}
+
+fn lifetime_tag(class: LifetimeClass) -> &'static str {
+    match class {
+        LifetimeClass::MostlyShort => "short",
+        LifetimeClass::Mixed => "mixed",
+        LifetimeClass::MostlyLong => "long",
+    }
+}
+
+/// Reads a snapshot back, feeding every entry into `kb`. Returns how
+/// many entries were stored (stale entries are skipped by the store's
+/// freshness rule).
+///
+/// # Errors
+/// Returns a descriptive error string for malformed input; I/O errors
+/// are folded into the same error type.
+pub fn read_snapshot<R: BufRead>(kb: &KnowledgeBase, reader: R) -> Result<usize, String> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| "empty snapshot".to_owned())?
+        .map_err(|e| format!("io error: {e}"))?;
+    if header != HEADER {
+        return Err(format!("unexpected snapshot header: {header}"));
+    }
+    let mut stored = 0;
+    for line in lines {
+        let line = line.map_err(|e| format!("io error: {e}"))?;
+        if line.is_empty() {
+            continue;
+        }
+        if kb.upsert(parse_row(&line)?) {
+            stored += 1;
+        }
+    }
+    Ok(stored)
+}
+
+fn parse_row(line: &str) -> Result<WorkloadKnowledge, String> {
+    let bad = |what: &str| format!("bad snapshot row ({what}): {line}");
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 12 {
+        return Err(bad("field count"));
+    }
+    let pattern = match fields[2] {
+        "-" => None,
+        "diurnal" => Some(UtilizationPattern::Diurnal),
+        "stable" => Some(UtilizationPattern::Stable),
+        "irregular" => Some(UtilizationPattern::Irregular),
+        "hourly-peak" => Some(UtilizationPattern::HourlyPeak),
+        _ => return Err(bad("pattern")),
+    };
+    Ok(WorkloadKnowledge {
+        subscription: SubscriptionId::new(fields[0].parse().map_err(|_| bad("subscription"))?),
+        cloud: match fields[1] {
+            "private" => CloudKind::Private,
+            "public" => CloudKind::Public,
+            _ => return Err(bad("cloud")),
+        },
+        pattern,
+        lifetime: match fields[3] {
+            "short" => LifetimeClass::MostlyShort,
+            "mixed" => LifetimeClass::Mixed,
+            "long" => LifetimeClass::MostlyLong,
+            _ => return Err(bad("lifetime")),
+        },
+        mean_util: fields[4].parse().map_err(|_| bad("mean_util"))?,
+        p95_util: fields[5].parse().map_err(|_| bad("p95_util"))?,
+        util_cv: fields[6].parse().map_err(|_| bad("util_cv"))?,
+        regions: fields[7].parse().map_err(|_| bad("regions"))?,
+        region_agnostic: match fields[8] {
+            "-" => None,
+            "yes" => Some(true),
+            "no" => Some(false),
+            _ => return Err(bad("region_agnostic")),
+        },
+        vm_count: fields[9].parse().map_err(|_| bad("vm_count"))?,
+        cores: fields[10].parse().map_err(|_| bad("cores"))?,
+        updated_at: SimTime::from_minutes(fields[11].parse().map_err(|_| bad("updated"))?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u32, pattern: Option<UtilizationPattern>, agnostic: Option<bool>) -> WorkloadKnowledge {
+        WorkloadKnowledge {
+            subscription: SubscriptionId::new(id),
+            cloud: CloudKind::Private,
+            pattern,
+            lifetime: LifetimeClass::Mixed,
+            mean_util: 12.3456,
+            p95_util: 45.5,
+            util_cv: 0.123456,
+            regions: 3,
+            region_agnostic: agnostic,
+            vm_count: 42,
+            cores: 168,
+            updated_at: SimTime::from_minutes(777),
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let kb = KnowledgeBase::new();
+        kb.upsert(entry(0, Some(UtilizationPattern::Diurnal), Some(true)));
+        kb.upsert(entry(1, None, None));
+        kb.upsert(entry(2, Some(UtilizationPattern::HourlyPeak), Some(false)));
+        let mut buf = Vec::new();
+        write_snapshot(&kb, &mut buf).unwrap();
+
+        let restored = KnowledgeBase::new();
+        let stored = read_snapshot(&restored, buf.as_slice()).unwrap();
+        assert_eq!(stored, 3);
+        for id in 0..3 {
+            let orig = kb.get(SubscriptionId::new(id)).unwrap();
+            let back = restored.get(SubscriptionId::new(id)).unwrap();
+            assert_eq!(orig.pattern, back.pattern);
+            assert_eq!(orig.region_agnostic, back.region_agnostic);
+            assert_eq!(orig.lifetime, back.lifetime);
+            assert!((orig.mean_util - back.mean_util).abs() < 1e-3);
+            assert_eq!(orig.updated_at, back.updated_at);
+        }
+    }
+
+    #[test]
+    fn restore_respects_freshness() {
+        let kb = KnowledgeBase::new();
+        kb.upsert(entry(0, None, None));
+        let mut buf = Vec::new();
+        write_snapshot(&kb, &mut buf).unwrap();
+
+        // A target KB already holding a *newer* entry keeps it.
+        let target = KnowledgeBase::new();
+        let mut newer = entry(0, Some(UtilizationPattern::Stable), None);
+        newer.updated_at = SimTime::from_minutes(9999);
+        target.upsert(newer);
+        let stored = read_snapshot(&target, buf.as_slice()).unwrap();
+        assert_eq!(stored, 0);
+        assert_eq!(
+            target.get(SubscriptionId::new(0)).unwrap().pattern,
+            Some(UtilizationPattern::Stable)
+        );
+    }
+
+    #[test]
+    fn malformed_snapshots_rejected() {
+        let kb = KnowledgeBase::new();
+        assert!(read_snapshot(&kb, "".as_bytes()).is_err());
+        assert!(read_snapshot(&kb, "wrong-header\n".as_bytes()).is_err());
+        let bad_row = format!("{HEADER}\n1\tprivate\tnope\tshort\t1\t1\t1\t1\t-\t1\t1\t0");
+        assert!(read_snapshot(&kb, bad_row.as_bytes()).is_err());
+    }
+}

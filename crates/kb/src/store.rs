@@ -1,0 +1,218 @@
+//! The centralized workload knowledge base: a concurrent store keyed by
+//! subscription, with the typed queries the optimization policies consume.
+
+use crate::knowledge::{LifetimeClass, WorkloadKnowledge};
+use cloudscope_analysis::UtilizationPattern;
+use cloudscope_model::prelude::*;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// The knowledge base of Section V: writers (telemetry extractors) feed
+/// it continuously; readers (optimization policies) query it. Reads and
+/// writes may come from different threads.
+#[derive(Debug, Default)]
+pub struct KnowledgeBase {
+    entries: RwLock<HashMap<SubscriptionId, WorkloadKnowledge>>,
+}
+
+impl KnowledgeBase {
+    /// Creates an empty knowledge base.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or refreshes one subscription's knowledge. Stale updates
+    /// (older `updated_at` than the stored entry) are ignored, so
+    /// out-of-order feeds are safe. Returns `true` if the entry was
+    /// stored.
+    pub fn upsert(&self, knowledge: WorkloadKnowledge) -> bool {
+        let mut entries = self.entries.write();
+        match entries.get(&knowledge.subscription) {
+            Some(existing) if existing.updated_at > knowledge.updated_at => false,
+            _ => {
+                entries.insert(knowledge.subscription, knowledge);
+                true
+            }
+        }
+    }
+
+    /// Bulk-feeds extracted knowledge (e.g. one extraction sweep).
+    /// Returns how many entries were stored.
+    pub fn feed<I: IntoIterator<Item = WorkloadKnowledge>>(&self, batch: I) -> usize {
+        batch.into_iter().filter(|k| self.upsert(k.clone())).count()
+    }
+
+    /// Looks up one subscription.
+    #[must_use]
+    pub fn get(&self, subscription: SubscriptionId) -> Option<WorkloadKnowledge> {
+        self.entries.read().get(&subscription).cloned()
+    }
+
+    /// Removes one subscription (e.g. deleted by the customer).
+    pub fn remove(&self, subscription: SubscriptionId) -> Option<WorkloadKnowledge> {
+        self.entries.write().remove(&subscription)
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// `true` if nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Snapshot of entries matching a predicate, sorted by subscription.
+    #[must_use]
+    pub fn query<F: Fn(&WorkloadKnowledge) -> bool>(&self, predicate: F) -> Vec<WorkloadKnowledge> {
+        let mut out: Vec<WorkloadKnowledge> = self
+            .entries
+            .read()
+            .values()
+            .filter(|k| predicate(k))
+            .cloned()
+            .collect();
+        out.sort_by_key(|k| k.subscription);
+        out
+    }
+
+    /// Workloads of one cloud with the given dominant pattern.
+    #[must_use]
+    pub fn by_pattern(&self, cloud: CloudKind, pattern: UtilizationPattern) -> Vec<WorkloadKnowledge> {
+        self.query(|k| k.cloud == cloud && k.pattern == Some(pattern))
+    }
+
+    /// Spot-VM adoption candidates (Insight 2 implication).
+    #[must_use]
+    pub fn spot_candidates(&self) -> Vec<WorkloadKnowledge> {
+        self.query(WorkloadKnowledge::spot_candidate)
+    }
+
+    /// Over-subscription candidates (Insight 3 implication).
+    #[must_use]
+    pub fn oversubscription_candidates(&self, cloud: CloudKind) -> Vec<WorkloadKnowledge> {
+        self.query(|k| k.cloud == cloud && k.oversubscription_candidate())
+    }
+
+    /// Region-agnostic workloads that can be shifted between regions
+    /// (Insight 4 implication).
+    #[must_use]
+    pub fn shiftable_workloads(&self) -> Vec<WorkloadKnowledge> {
+        self.query(WorkloadKnowledge::shiftable)
+    }
+
+    /// Workloads whose churn is mostly of the given lifetime class.
+    #[must_use]
+    pub fn by_lifetime(&self, class: LifetimeClass) -> Vec<WorkloadKnowledge> {
+        self.query(|k| k.lifetime == class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn knowledge(id: u32, cloud: CloudKind, at: i64) -> WorkloadKnowledge {
+        WorkloadKnowledge {
+            subscription: SubscriptionId::new(id),
+            cloud,
+            pattern: Some(UtilizationPattern::Stable),
+            lifetime: LifetimeClass::MostlyShort,
+            mean_util: 10.0,
+            p95_util: 20.0,
+            util_cv: 0.1,
+            regions: 1,
+            region_agnostic: None,
+            vm_count: 3,
+            cores: 12,
+            updated_at: SimTime::from_minutes(at),
+        }
+    }
+
+    #[test]
+    fn upsert_and_get() {
+        let kb = KnowledgeBase::new();
+        assert!(kb.is_empty());
+        assert!(kb.upsert(knowledge(1, CloudKind::Public, 0)));
+        assert_eq!(kb.len(), 1);
+        assert_eq!(kb.get(SubscriptionId::new(1)).unwrap().cores, 12);
+        assert!(kb.get(SubscriptionId::new(2)).is_none());
+    }
+
+    #[test]
+    fn stale_updates_ignored() {
+        let kb = KnowledgeBase::new();
+        let mut fresh = knowledge(1, CloudKind::Public, 100);
+        fresh.mean_util = 50.0;
+        assert!(kb.upsert(fresh));
+        // An older snapshot must not clobber the newer one.
+        assert!(!kb.upsert(knowledge(1, CloudKind::Public, 10)));
+        assert_eq!(kb.get(SubscriptionId::new(1)).unwrap().mean_util, 50.0);
+        // Same-age updates do apply (refresh).
+        let mut same = knowledge(1, CloudKind::Public, 100);
+        same.mean_util = 60.0;
+        assert!(kb.upsert(same));
+        assert_eq!(kb.get(SubscriptionId::new(1)).unwrap().mean_util, 60.0);
+    }
+
+    #[test]
+    fn queries_filter_and_sort() {
+        let kb = KnowledgeBase::new();
+        kb.feed([
+            knowledge(3, CloudKind::Public, 0),
+            knowledge(1, CloudKind::Public, 0),
+            knowledge(2, CloudKind::Private, 0),
+        ]);
+        let spot = kb.spot_candidates();
+        assert_eq!(spot.len(), 2, "private entries are not spot candidates");
+        assert!(spot[0].subscription < spot[1].subscription);
+        assert_eq!(
+            kb.by_pattern(CloudKind::Private, UtilizationPattern::Stable).len(),
+            1
+        );
+        assert_eq!(kb.by_lifetime(LifetimeClass::MostlyShort).len(), 3);
+        assert_eq!(kb.oversubscription_candidates(CloudKind::Public).len(), 2);
+        assert!(kb.shiftable_workloads().is_empty());
+    }
+
+    #[test]
+    fn remove_entries() {
+        let kb = KnowledgeBase::new();
+        kb.upsert(knowledge(1, CloudKind::Public, 0));
+        assert!(kb.remove(SubscriptionId::new(1)).is_some());
+        assert!(kb.remove(SubscriptionId::new(1)).is_none());
+        assert!(kb.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let kb = Arc::new(KnowledgeBase::new());
+        let mut handles = Vec::new();
+        for w in 0..4u32 {
+            let kb = Arc::clone(&kb);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u32 {
+                    kb.upsert(knowledge(w * 1000 + i, CloudKind::Public, i64::from(i)));
+                }
+            }));
+        }
+        for r in 0..2 {
+            let kb = Arc::clone(&kb);
+            handles.push(std::thread::spawn(move || {
+                let _ = r;
+                for _ in 0..100 {
+                    let _ = kb.spot_candidates();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kb.len(), 1000);
+    }
+}

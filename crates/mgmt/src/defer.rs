@@ -1,0 +1,209 @@
+//! Deferrable-workload scheduling into valley hours (the Insight 3
+//! implication for the diurnal-dominated private cloud): batch jobs that
+//! tolerate delay are placed where the daily utilization profile is
+//! lowest, flattening the peak.
+
+use crate::error::MgmtError;
+use serde::{Deserialize, Serialize};
+
+/// A deferrable batch job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeferrableJob {
+    /// Cores the job occupies while running.
+    pub cores: f64,
+    /// Run length in whole hours.
+    pub duration_hours: usize,
+    /// Latest hour-of-day (exclusive) by which the job must *finish*;
+    /// `24` means any time today.
+    pub deadline_hour: usize,
+}
+
+/// One job's placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobPlacement {
+    /// Index of the job in the input slice.
+    pub job: usize,
+    /// Start hour-of-day.
+    pub start_hour: usize,
+}
+
+/// The scheduling result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeferralSchedule {
+    /// Chosen placements (jobs that fit their deadlines).
+    pub placements: Vec<JobPlacement>,
+    /// Jobs that could not meet their deadline.
+    pub rejected: Vec<usize>,
+    /// Peak hourly load before scheduling (the base profile's max).
+    pub base_peak: f64,
+    /// Peak hourly load after adding the scheduled jobs.
+    pub scheduled_peak: f64,
+    /// Peak if every job had naively started at hour 9 (the business-day
+    /// baseline the valley-scheduler is compared against).
+    pub naive_peak: f64,
+}
+
+/// Greedy valley scheduler: jobs are placed longest/largest first, each
+/// at the feasible start hour minimizing the resulting peak.
+///
+/// `base_profile` is the region's 24-hour core-demand profile (cores in
+/// use per hour).
+///
+/// # Errors
+/// Returns [`MgmtError::InvalidParameter`] if the profile is not 24
+/// entries or a job is degenerate (zero duration, longer than a day, or
+/// non-positive cores).
+pub fn schedule_deferrable(
+    base_profile: &[f64],
+    jobs: &[DeferrableJob],
+) -> Result<DeferralSchedule, MgmtError> {
+    if base_profile.len() != 24 {
+        return Err(MgmtError::InvalidParameter("profile must have 24 hours"));
+    }
+    for job in jobs {
+        if job.duration_hours == 0 || job.duration_hours > 24 || job.cores <= 0.0 {
+            return Err(MgmtError::InvalidParameter("degenerate job"));
+        }
+    }
+
+    // Naive baseline: everything starts at 09:00 (wrapping).
+    let mut naive = base_profile.to_vec();
+    for job in jobs {
+        for h in 0..job.duration_hours {
+            naive[(9 + h) % 24] += job.cores;
+        }
+    }
+    let naive_peak = naive.iter().cloned().fold(0.0, f64::max);
+
+    // Greedy: biggest work first.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        let wa = jobs[a].cores * jobs[a].duration_hours as f64;
+        let wb = jobs[b].cores * jobs[b].duration_hours as f64;
+        wb.partial_cmp(&wa).expect("finite work").then(a.cmp(&b))
+    });
+
+    let mut load = base_profile.to_vec();
+    let mut placements = Vec::new();
+    let mut rejected = Vec::new();
+    for idx in order {
+        let job = &jobs[idx];
+        // Feasible starts: job must finish by deadline_hour without
+        // wrapping past it (deadline 24 = unconstrained, may wrap).
+        let unconstrained = job.deadline_hour >= 24;
+        let mut best: Option<(usize, f64)> = None;
+        for start in 0..24 {
+            if !unconstrained && start + job.duration_hours > job.deadline_hour {
+                continue;
+            }
+            let peak_after = (0..job.duration_hours)
+                .map(|h| load[(start + h) % 24] + job.cores)
+                .fold(
+                    load.iter().cloned().fold(0.0, f64::max),
+                    f64::max,
+                );
+            match best {
+                Some((_, p)) if p <= peak_after => {}
+                _ => best = Some((start, peak_after)),
+            }
+        }
+        match best {
+            Some((start, _)) => {
+                for h in 0..job.duration_hours {
+                    load[(start + h) % 24] += job.cores;
+                }
+                placements.push(JobPlacement {
+                    job: idx,
+                    start_hour: start,
+                });
+            }
+            None => rejected.push(idx),
+        }
+    }
+    Ok(DeferralSchedule {
+        placements,
+        rejected,
+        base_peak: base_profile.iter().cloned().fold(0.0, f64::max),
+        scheduled_peak: load.iter().cloned().fold(0.0, f64::max),
+        naive_peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diurnal profile: valley at night, peak 100 cores at 14:00.
+    fn diurnal_profile() -> Vec<f64> {
+        (0..24)
+            .map(|h| {
+                let d = (h as f64 - 14.0).abs().min(24.0 - (h as f64 - 14.0).abs());
+                20.0 + 80.0 * (1.0 - d / 12.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn jobs_land_in_the_valley() {
+        let jobs = vec![
+            DeferrableJob { cores: 30.0, duration_hours: 3, deadline_hour: 24 },
+            DeferrableJob { cores: 15.0, duration_hours: 2, deadline_hour: 24 },
+        ];
+        let schedule = schedule_deferrable(&diurnal_profile(), &jobs).unwrap();
+        assert_eq!(schedule.placements.len(), 2);
+        assert!(schedule.rejected.is_empty());
+        // The peak must not grow: jobs fit into the valley.
+        assert_eq!(schedule.scheduled_peak, schedule.base_peak);
+        assert!(schedule.naive_peak > schedule.scheduled_peak);
+        // Placements avoid the 10:00-18:00 peak block entirely.
+        for p in &schedule.placements {
+            let job = &jobs[p.job];
+            for h in 0..job.duration_hours {
+                let hour = (p.start_hour + h) % 24;
+                assert!(!(10..18).contains(&hour), "job in peak hour {hour}");
+            }
+        }
+    }
+
+    #[test]
+    fn deadlines_are_respected() {
+        let jobs = vec![DeferrableJob {
+            cores: 10.0,
+            duration_hours: 4,
+            deadline_hour: 8, // must finish by 08:00 -> start <= 4
+        }];
+        let schedule = schedule_deferrable(&diurnal_profile(), &jobs).unwrap();
+        assert_eq!(schedule.placements.len(), 1);
+        assert!(schedule.placements[0].start_hour + 4 <= 8);
+    }
+
+    #[test]
+    fn impossible_deadline_rejects_job() {
+        let jobs = vec![DeferrableJob {
+            cores: 10.0,
+            duration_hours: 10,
+            deadline_hour: 5,
+        }];
+        let schedule = schedule_deferrable(&diurnal_profile(), &jobs).unwrap();
+        assert!(schedule.placements.is_empty());
+        assert_eq!(schedule.rejected, vec![0]);
+    }
+
+    #[test]
+    fn flat_profile_still_schedules() {
+        let flat = vec![50.0; 24];
+        let jobs = vec![DeferrableJob { cores: 10.0, duration_hours: 2, deadline_hour: 24 }];
+        let schedule = schedule_deferrable(&flat, &jobs).unwrap();
+        assert_eq!(schedule.placements.len(), 1);
+        assert_eq!(schedule.scheduled_peak, 60.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(schedule_deferrable(&[1.0; 23], &[]).is_err());
+        let bad = vec![DeferrableJob { cores: 0.0, duration_hours: 1, deadline_hour: 24 }];
+        assert!(schedule_deferrable(&[1.0; 24], &bad).is_err());
+        let too_long = vec![DeferrableJob { cores: 1.0, duration_hours: 25, deadline_hour: 24 }];
+        assert!(schedule_deferrable(&[1.0; 24], &too_long).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the management policies.
+
+use cloudscope_model::ids::{RegionId, ServiceId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by management-policy planners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MgmtError {
+    /// A parameter violated its documented range.
+    InvalidParameter(&'static str),
+    /// Not enough telemetry history to plan from.
+    InsufficientHistory(&'static str),
+    /// The region has no clusters of the requested cloud.
+    UnknownRegion(RegionId),
+    /// The service has no alive VMs in the source region.
+    NothingToShift(ServiceId, RegionId),
+    /// The destination region cannot absorb the shifted cores.
+    InsufficientCapacity(RegionId),
+}
+
+impl fmt::Display for MgmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MgmtError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            MgmtError::InsufficientHistory(what) => {
+                write!(f, "insufficient history: {what}")
+            }
+            MgmtError::UnknownRegion(r) => write!(f, "no clusters in {r}"),
+            MgmtError::NothingToShift(s, r) => {
+                write!(f, "{s} has no alive vms in {r}")
+            }
+            MgmtError::InsufficientCapacity(r) => {
+                write!(f, "{r} cannot absorb the shifted cores")
+            }
+        }
+    }
+}
+
+impl Error for MgmtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(MgmtError::InvalidParameter("x").to_string().contains("invalid"));
+        assert!(MgmtError::UnknownRegion(RegionId::new(3)).to_string().contains("region-3"));
+        assert!(MgmtError::NothingToShift(ServiceId::new(1), RegionId::new(2))
+            .to_string()
+            .contains("svc-1"));
+    }
+
+    #[test]
+    fn trait_bounds() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MgmtError>();
+    }
+}

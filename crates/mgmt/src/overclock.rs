@@ -1,0 +1,163 @@
+//! Overclocking to absorb utilization peaks (the Insight 3 implication;
+//! the paper cites cost-efficient overclocking in immersion-cooled
+//! datacenters as a way to absorb hourly peaks).
+//!
+//! A node may temporarily boost its effective capacity by a headroom
+//! factor, subject to a thermal budget: at most `max_boost_minutes` of
+//! boost per rolling day. The planner decides which predicted peaks to
+//! absorb with boost versus which require capacity action.
+
+use crate::error::MgmtError;
+use serde::{Deserialize, Serialize};
+
+/// The overclocking envelope of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverclockPolicy {
+    /// Extra effective capacity while boosted (e.g. 0.2 = +20%).
+    pub headroom: f64,
+    /// Thermal budget: boost minutes allowed per day.
+    pub max_boost_minutes_per_day: i64,
+}
+
+impl OverclockPolicy {
+    /// Creates a policy.
+    ///
+    /// # Errors
+    /// Returns [`MgmtError::InvalidParameter`] for non-positive headroom
+    /// or budget.
+    pub fn new(headroom: f64, max_boost_minutes_per_day: i64) -> Result<Self, MgmtError> {
+        if !(headroom > 0.0 && headroom.is_finite()) {
+            return Err(MgmtError::InvalidParameter("headroom must be positive"));
+        }
+        if max_boost_minutes_per_day <= 0 {
+            return Err(MgmtError::InvalidParameter("budget must be positive"));
+        }
+        Ok(Self {
+            headroom,
+            max_boost_minutes_per_day,
+        })
+    }
+}
+
+/// The outcome of simulating overclocked peak absorption over one day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverclockOutcome {
+    /// Sample indices (5-minute grid) where boost was engaged.
+    pub boosted_samples: Vec<usize>,
+    /// Samples where demand exceeded nominal capacity and boost covered
+    /// it.
+    pub absorbed: usize,
+    /// Samples where demand exceeded even boosted capacity, or the
+    /// thermal budget was exhausted.
+    pub violations: usize,
+    /// Boost minutes consumed.
+    pub boost_minutes_used: i64,
+}
+
+/// Simulates one day (288 five-minute samples) of node demand (percent
+/// of nominal capacity) against the policy: whenever demand exceeds 100%
+/// of nominal, boost engages if budget remains; demand above the boosted
+/// ceiling (or with no budget left) counts as a violation.
+///
+/// # Errors
+/// Returns [`MgmtError::InsufficientHistory`] unless exactly one day of
+/// samples is provided.
+pub fn simulate_day(
+    policy: &OverclockPolicy,
+    demand_pct: &[f64],
+) -> Result<OverclockOutcome, MgmtError> {
+    if demand_pct.len() != 288 {
+        return Err(MgmtError::InsufficientHistory(
+            "need exactly one day of 5-minute samples",
+        ));
+    }
+    let boosted_ceiling = 100.0 * (1.0 + policy.headroom);
+    let mut outcome = OverclockOutcome {
+        boosted_samples: Vec::new(),
+        absorbed: 0,
+        violations: 0,
+        boost_minutes_used: 0,
+    };
+    for (i, &d) in demand_pct.iter().enumerate() {
+        if d <= 100.0 {
+            continue;
+        }
+        let budget_left =
+            outcome.boost_minutes_used + 5 <= policy.max_boost_minutes_per_day;
+        if d <= boosted_ceiling && budget_left {
+            outcome.boosted_samples.push(i);
+            outcome.boost_minutes_used += 5;
+            outcome.absorbed += 1;
+        } else {
+            outcome.violations += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hourly-peak day: 10 minutes above nominal at every hour mark
+    /// during 8:00-18:00.
+    fn hourly_peak_day(peak_pct: f64) -> Vec<f64> {
+        (0..288)
+            .map(|i| {
+                let minute = i * 5;
+                let hour = minute / 60;
+                let in_work = (8..18).contains(&hour);
+                let at_mark = minute % 60 < 10;
+                if in_work && at_mark {
+                    peak_pct
+                } else {
+                    60.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn absorbs_hourly_peaks_within_budget() {
+        let policy = OverclockPolicy::new(0.25, 180).unwrap();
+        let outcome = simulate_day(&policy, &hourly_peak_day(115.0)).unwrap();
+        // 10 work hours x 10 boost minutes = 100 minutes, within budget.
+        assert_eq!(outcome.violations, 0);
+        assert_eq!(outcome.absorbed, 20, "2 samples per hour x 10 hours");
+        assert_eq!(outcome.boost_minutes_used, 100);
+    }
+
+    #[test]
+    fn budget_exhaustion_causes_violations() {
+        let policy = OverclockPolicy::new(0.25, 30).unwrap();
+        let outcome = simulate_day(&policy, &hourly_peak_day(115.0)).unwrap();
+        assert_eq!(outcome.boost_minutes_used, 30);
+        assert_eq!(outcome.absorbed, 6);
+        assert_eq!(outcome.violations, 14);
+    }
+
+    #[test]
+    fn peaks_above_boosted_ceiling_violate() {
+        let policy = OverclockPolicy::new(0.10, 600).unwrap();
+        let outcome = simulate_day(&policy, &hourly_peak_day(130.0)).unwrap();
+        assert_eq!(outcome.absorbed, 0);
+        assert_eq!(outcome.violations, 20);
+        assert_eq!(outcome.boost_minutes_used, 0);
+    }
+
+    #[test]
+    fn quiet_day_needs_no_boost() {
+        let policy = OverclockPolicy::new(0.2, 120).unwrap();
+        let outcome = simulate_day(&policy, &vec![50.0; 288]).unwrap();
+        assert!(outcome.boosted_samples.is_empty());
+        assert_eq!(outcome.violations, 0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(OverclockPolicy::new(0.0, 60).is_err());
+        assert!(OverclockPolicy::new(0.2, 0).is_err());
+        let policy = OverclockPolicy::new(0.2, 60).unwrap();
+        assert!(simulate_day(&policy, &[100.0; 10]).is_err());
+    }
+}

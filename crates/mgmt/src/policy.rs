@@ -1,0 +1,260 @@
+//! The policy engine: each management policy consumes the knowledge base
+//! and emits typed recommendations — the "abstract out the common
+//! optimization policies and feed them from a centralized workload
+//! knowledge base" architecture of the paper's Section V.
+
+use crate::spot::spot_candidates;
+use cloudscope_kb::KnowledgeBase;
+use cloudscope_model::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A typed management recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Recommendation {
+    /// Move the subscription's short-lived VMs onto spot capacity.
+    AdoptSpot {
+        /// The subscription.
+        subscription: SubscriptionId,
+        /// VMs eligible.
+        vm_count: usize,
+    },
+    /// Enroll the subscription's pool in chance-constrained
+    /// over-subscription.
+    Oversubscribe {
+        /// The subscription.
+        subscription: SubscriptionId,
+        /// Cores it currently reserves.
+        cores: u64,
+    },
+    /// The subscription is region-agnostic: a candidate for regional
+    /// capacity balancing.
+    MarkShiftable {
+        /// The subscription.
+        subscription: SubscriptionId,
+    },
+    /// Hold pre-provisioned headroom for hour-mark peaks.
+    PreProvision {
+        /// The subscription.
+        subscription: SubscriptionId,
+    },
+}
+
+/// A management policy: reads the knowledge base, emits recommendations.
+pub trait Policy {
+    /// The policy's short name (for reports).
+    fn name(&self) -> &'static str;
+    /// Produces this policy's recommendations.
+    fn recommend(&self, kb: &KnowledgeBase) -> Vec<Recommendation>;
+}
+
+/// Spot adoption for short-lived public-cloud workloads (Insight 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpotAdoptionPolicy {
+    /// Only recommend for fleets at least this large.
+    pub min_vms: usize,
+}
+
+impl Policy for SpotAdoptionPolicy {
+    fn name(&self) -> &'static str {
+        "spot-adoption"
+    }
+
+    fn recommend(&self, kb: &KnowledgeBase) -> Vec<Recommendation> {
+        spot_candidates(kb)
+            .into_iter()
+            .filter(|k| k.vm_count >= self.min_vms)
+            .map(|k| Recommendation::AdoptSpot {
+                subscription: k.subscription,
+                vm_count: k.vm_count,
+            })
+            .collect()
+    }
+}
+
+/// Over-subscription enrollment for stable workloads (Insight 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OversubscriptionPolicy;
+
+impl Policy for OversubscriptionPolicy {
+    fn name(&self) -> &'static str {
+        "oversubscription"
+    }
+
+    fn recommend(&self, kb: &KnowledgeBase) -> Vec<Recommendation> {
+        CloudKind::BOTH
+            .iter()
+            .flat_map(|&cloud| kb.oversubscription_candidates(cloud))
+            .map(|k| Recommendation::Oversubscribe {
+                subscription: k.subscription,
+                cores: k.cores,
+            })
+            .collect()
+    }
+}
+
+/// Region-agnostic marking for capacity balancing (Insight 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShiftabilityPolicy;
+
+impl Policy for ShiftabilityPolicy {
+    fn name(&self) -> &'static str {
+        "shiftability"
+    }
+
+    fn recommend(&self, kb: &KnowledgeBase) -> Vec<Recommendation> {
+        kb.shiftable_workloads()
+            .into_iter()
+            .map(|k| Recommendation::MarkShiftable {
+                subscription: k.subscription,
+            })
+            .collect()
+    }
+}
+
+/// Pre-provisioning for hourly-peak workloads (Insight 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreProvisionPolicy;
+
+impl Policy for PreProvisionPolicy {
+    fn name(&self) -> &'static str {
+        "pre-provision"
+    }
+
+    fn recommend(&self, kb: &KnowledgeBase) -> Vec<Recommendation> {
+        kb.query(cloudscope_kb::WorkloadKnowledge::needs_peak_headroom)
+            .into_iter()
+            .map(|k| Recommendation::PreProvision {
+                subscription: k.subscription,
+            })
+            .collect()
+    }
+}
+
+/// Runs a set of policies over the knowledge base.
+#[derive(Default)]
+pub struct PolicyEngine {
+    policies: Vec<Box<dyn Policy + Send + Sync>>,
+}
+
+impl std::fmt::Debug for PolicyEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyEngine")
+            .field("policies", &self.policies.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl PolicyEngine {
+    /// Creates an engine with the four standard policies.
+    #[must_use]
+    pub fn standard() -> Self {
+        let mut engine = Self::default();
+        engine.register(Box::new(SpotAdoptionPolicy { min_vms: 1 }));
+        engine.register(Box::new(OversubscriptionPolicy));
+        engine.register(Box::new(ShiftabilityPolicy));
+        engine.register(Box::new(PreProvisionPolicy));
+        engine
+    }
+
+    /// Adds a policy.
+    pub fn register(&mut self, policy: Box<dyn Policy + Send + Sync>) {
+        self.policies.push(policy);
+    }
+
+    /// Runs every policy, returning `(policy name, recommendations)`.
+    #[must_use]
+    pub fn run(&self, kb: &KnowledgeBase) -> Vec<(&'static str, Vec<Recommendation>)> {
+        self.policies
+            .iter()
+            .map(|p| (p.name(), p.recommend(kb)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudscope_analysis::UtilizationPattern;
+    use cloudscope_kb::{LifetimeClass, WorkloadKnowledge};
+
+    fn entry(
+        id: u32,
+        cloud: CloudKind,
+        pattern: UtilizationPattern,
+        lifetime: LifetimeClass,
+        agnostic: Option<bool>,
+    ) -> WorkloadKnowledge {
+        WorkloadKnowledge {
+            subscription: SubscriptionId::new(id),
+            cloud,
+            pattern: Some(pattern),
+            lifetime,
+            mean_util: 15.0,
+            p95_util: 30.0,
+            util_cv: 0.3,
+            regions: 2,
+            region_agnostic: agnostic,
+            vm_count: 5,
+            cores: 20,
+            updated_at: SimTime::ZERO,
+        }
+    }
+
+    fn populated_kb() -> KnowledgeBase {
+        let kb = KnowledgeBase::new();
+        kb.feed([
+            entry(0, CloudKind::Public, UtilizationPattern::Stable, LifetimeClass::MostlyShort, None),
+            entry(1, CloudKind::Private, UtilizationPattern::Diurnal, LifetimeClass::MostlyLong, Some(true)),
+            entry(2, CloudKind::Private, UtilizationPattern::HourlyPeak, LifetimeClass::MostlyLong, Some(false)),
+            entry(3, CloudKind::Public, UtilizationPattern::Irregular, LifetimeClass::Mixed, None),
+        ]);
+        kb
+    }
+
+    #[test]
+    fn engine_routes_each_workload_to_the_right_policy() {
+        let kb = populated_kb();
+        let results = PolicyEngine::standard().run(&kb);
+        let by_name: std::collections::HashMap<_, _> = results.into_iter().collect();
+        assert_eq!(by_name["spot-adoption"].len(), 1);
+        assert!(matches!(
+            by_name["spot-adoption"][0],
+            Recommendation::AdoptSpot { subscription, .. } if subscription == SubscriptionId::new(0)
+        ));
+        assert_eq!(by_name["oversubscription"].len(), 1);
+        assert_eq!(by_name["shiftability"].len(), 1);
+        assert!(matches!(
+            by_name["shiftability"][0],
+            Recommendation::MarkShiftable { subscription } if subscription == SubscriptionId::new(1)
+        ));
+        assert_eq!(by_name["pre-provision"].len(), 1);
+        assert!(matches!(
+            by_name["pre-provision"][0],
+            Recommendation::PreProvision { subscription } if subscription == SubscriptionId::new(2)
+        ));
+    }
+
+    #[test]
+    fn min_vms_filter() {
+        let kb = populated_kb();
+        let picky = SpotAdoptionPolicy { min_vms: 100 };
+        assert!(picky.recommend(&kb).is_empty());
+    }
+
+    #[test]
+    fn empty_kb_yields_no_recommendations() {
+        let kb = KnowledgeBase::new();
+        for (_, recs) in PolicyEngine::standard().run(&kb) {
+            assert!(recs.is_empty());
+        }
+    }
+
+    #[test]
+    fn debug_lists_policies() {
+        let engine = PolicyEngine::standard();
+        let dbg = format!("{engine:?}");
+        assert!(dbg.contains("spot-adoption"));
+        assert!(dbg.contains("shiftability"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for the model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by model-layer constructors and lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A lookup referenced an entity id that was never built. Carries the
+    /// entity kind and the offending raw id.
+    UnknownEntity(&'static str, u64),
+    /// An argument violated a documented precondition.
+    InvalidArgument(&'static str),
+    /// A trace-consistency rule was violated while building a trace.
+    InconsistentTrace(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownEntity(kind, id) => {
+                write!(f, "unknown {kind} id {id}")
+            }
+            ModelError::InvalidArgument(msg) => f.write_str(msg),
+            ModelError::InconsistentTrace(msg) => {
+                write!(f, "inconsistent trace: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ModelError::UnknownEntity("node", 7).to_string(),
+            "unknown node id 7"
+        );
+        assert_eq!(
+            ModelError::InvalidArgument("boom").to_string(),
+            "boom"
+        );
+        assert!(ModelError::InconsistentTrace("x".into())
+            .to_string()
+            .contains("inconsistent trace"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

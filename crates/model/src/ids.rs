@@ -1,0 +1,200 @@
+//! Newtyped identifiers for every entity in the cloud model.
+//!
+//! Using distinct types (rather than bare `u32`/`u64`) statically prevents
+//! mixing up, say, a [`NodeId`] and a [`ClusterId`] when wiring the
+//! allocation service to the telemetry pipeline (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from its raw index.
+            ///
+            /// # Examples
+            /// ```
+            /// # use cloudscope_model::ids::*;
+            #[doc = concat!("let id = ", stringify!($name), "::new(7);")]
+            /// assert_eq!(id.index(), 7);
+            /// ```
+            #[must_use]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index backing this identifier.
+            #[must_use]
+            pub const fn index(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index as a `usize`, convenient for vector
+            /// indexing in dense per-entity tables.
+            #[must_use]
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "-{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a geographic region (one or more datacenters).
+    RegionId,
+    "region"
+);
+define_id!(
+    /// Identifies a datacenter within a region.
+    DatacenterId,
+    "dc"
+);
+define_id!(
+    /// Identifies a cluster: thousands of nodes with identical SKUs.
+    ClusterId,
+    "cluster"
+);
+define_id!(
+    /// Identifies a rack within a cluster; racks serve as fault domains.
+    RackId,
+    "rack"
+);
+define_id!(
+    /// Identifies a physical node (server) within a cluster.
+    NodeId,
+    "node"
+);
+define_id!(
+    /// Identifies a customer subscription (internal or external user).
+    SubscriptionId,
+    "sub"
+);
+define_id!(
+    /// Identifies a logical service; large first-party services span many
+    /// VMs and possibly many regions.
+    ServiceId,
+    "svc"
+);
+
+/// Identifies a virtual machine. VM populations reach the millions, so this
+/// is the one identifier backed by `u64`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VmId(u64);
+
+impl VmId {
+    /// Creates a VM identifier from its raw index.
+    ///
+    /// # Examples
+    /// ```
+    /// # use cloudscope_model::ids::VmId;
+    /// assert_eq!(VmId::new(3).index(), 3);
+    /// ```
+    #[must_use]
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw index backing this identifier.
+    #[must_use]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the raw index as a `usize` for dense table indexing.
+    #[must_use]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+impl From<u64> for VmId {
+    fn from(index: u64) -> Self {
+        Self(index)
+    }
+}
+
+impl From<VmId> for u64 {
+    fn from(id: VmId) -> u64 {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_roundtrip_and_display() {
+        let node = NodeId::new(42);
+        assert_eq!(node.index(), 42);
+        assert_eq!(node.to_string(), "node-42");
+        assert_eq!(u32::from(node), 42);
+        assert_eq!(NodeId::from(42), node);
+    }
+
+    #[test]
+    fn vm_id_is_u64_backed() {
+        let id = VmId::new(u64::MAX);
+        assert_eq!(id.index(), u64::MAX);
+        assert_eq!(VmId::from(7u64).to_string(), "vm-7");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(ClusterId::new(1));
+        set.insert(ClusterId::new(1));
+        set.insert(ClusterId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(ClusterId::new(1) < ClusterId::new(2));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(RegionId::default().index(), 0);
+        assert_eq!(VmId::default().index(), 0);
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare() {
+        // Purely a compile-shape check: as_usize lets dense tables index.
+        assert_eq!(RackId::new(9).as_usize(), 9usize);
+        assert_eq!(SubscriptionId::new(3).as_usize(), 3usize);
+        assert_eq!(ServiceId::new(3).as_usize(), 3usize);
+        assert_eq!(DatacenterId::new(5).to_string(), "dc-5");
+    }
+}

@@ -1,0 +1,122 @@
+//! Subscriptions and cloud platform membership.
+
+use crate::ids::SubscriptionId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which cloud platform a workload runs on.
+///
+/// In the study, private and public cloud workloads run in disjoint sets of
+/// clusters of the same provider.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum CloudKind {
+    /// The private cloud hosting the provider's own (first-party) services.
+    Private,
+    /// The public cloud shared by first- and third-party customers.
+    Public,
+}
+
+impl CloudKind {
+    /// Both cloud kinds, private first (the paper's normalization baseline).
+    pub const BOTH: [CloudKind; 2] = [CloudKind::Private, CloudKind::Public];
+}
+
+impl fmt::Display for CloudKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CloudKind::Private => "private",
+            CloudKind::Public => "public",
+        })
+    }
+}
+
+/// Who owns a workload: the cloud provider itself or an external customer.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum PartyKind {
+    /// First-party: the provider's own services (e.g. productivity suites).
+    FirstParty,
+    /// Third-party: external customer workloads; opaque to the platform.
+    ThirdParty,
+}
+
+impl fmt::Display for PartyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PartyKind::FirstParty => "first-party",
+            PartyKind::ThirdParty => "third-party",
+        })
+    }
+}
+
+/// A subscription: the unit of ownership. Each user creates one or more
+/// subscriptions; a subscription deploys VMs into one or more regions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Subscription {
+    /// Unique identifier.
+    pub id: SubscriptionId,
+    /// Which cloud platform the subscription's clusters belong to.
+    pub cloud: CloudKind,
+    /// Ownership class. Private-cloud subscriptions are always first-party;
+    /// public-cloud subscriptions may be either.
+    pub party: PartyKind,
+}
+
+impl Subscription {
+    /// Creates a subscription record.
+    ///
+    /// # Panics
+    /// Panics if a third-party subscription is placed in the private cloud,
+    /// which the studied platform does not allow.
+    #[must_use]
+    pub fn new(id: SubscriptionId, cloud: CloudKind, party: PartyKind) -> Self {
+        assert!(
+            !(cloud == CloudKind::Private && party == PartyKind::ThirdParty),
+            "the private cloud hosts only first-party workloads"
+        );
+        Self { id, cloud, party }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_cloud_is_first_party_only() {
+        let s = Subscription::new(
+            SubscriptionId::new(1),
+            CloudKind::Private,
+            PartyKind::FirstParty,
+        );
+        assert_eq!(s.cloud, CloudKind::Private);
+    }
+
+    #[test]
+    #[should_panic(expected = "first-party")]
+    fn third_party_in_private_cloud_rejected() {
+        let _ = Subscription::new(
+            SubscriptionId::new(1),
+            CloudKind::Private,
+            PartyKind::ThirdParty,
+        );
+    }
+
+    #[test]
+    fn public_cloud_hosts_both_parties() {
+        for party in [PartyKind::FirstParty, PartyKind::ThirdParty] {
+            let s = Subscription::new(SubscriptionId::new(2), CloudKind::Public, party);
+            assert_eq!(s.party, party);
+        }
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(CloudKind::Private.to_string(), "private");
+        assert_eq!(CloudKind::Public.to_string(), "public");
+        assert_eq!(PartyKind::FirstParty.to_string(), "first-party");
+    }
+}

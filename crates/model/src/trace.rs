@@ -1,0 +1,465 @@
+//! The trace container: everything one analysis run consumes.
+//!
+//! A [`Trace`] bundles the platform topology, the subscription population,
+//! every VM deployment record, and per-VM utilization telemetry for the
+//! studied week, with dense secondary indices (by subscription, node,
+//! region, and service) so the characterization pipeline never scans.
+
+use crate::error::ModelError;
+use crate::ids::{NodeId, RegionId, ServiceId, SubscriptionId, VmId};
+use crate::subscription::{CloudKind, Subscription};
+use crate::telemetry::UtilSeries;
+use crate::time::{SimTime, SAMPLES_PER_WEEK, SAMPLE_INTERVAL_MINUTES};
+use crate::topology::Topology;
+use crate::vm::VmRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A complete one-week workload trace for one or both clouds.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    topology: Topology,
+    subscriptions: Vec<Subscription>,
+    vms: Vec<VmRecord>,
+    util: Vec<Option<UtilSeries>>,
+    by_subscription: HashMap<SubscriptionId, Vec<VmId>>,
+    by_node: HashMap<NodeId, Vec<VmId>>,
+    by_region: HashMap<RegionId, Vec<VmId>>,
+    by_service: HashMap<ServiceId, Vec<VmId>>,
+}
+
+impl Trace {
+    /// Starts building a trace over the given topology.
+    #[must_use]
+    pub fn builder(topology: Topology) -> TraceBuilder {
+        TraceBuilder {
+            trace: Trace {
+                topology,
+                ..Trace::default()
+            },
+        }
+    }
+
+    /// The platform topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// All subscriptions, indexed by [`SubscriptionId`].
+    #[must_use]
+    pub fn subscriptions(&self) -> &[Subscription] {
+        &self.subscriptions
+    }
+
+    /// All VM records, indexed by [`VmId`].
+    #[must_use]
+    pub fn vms(&self) -> &[VmRecord] {
+        &self.vms
+    }
+
+    /// Looks up one VM record.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::UnknownEntity`] for ids not in this trace.
+    pub fn vm(&self, id: VmId) -> Result<&VmRecord, ModelError> {
+        self.vms
+            .get(id.as_usize())
+            .ok_or(ModelError::UnknownEntity("vm", id.index()))
+    }
+
+    /// Looks up one subscription.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::UnknownEntity`] for ids not in this trace.
+    pub fn subscription(&self, id: SubscriptionId) -> Result<&Subscription, ModelError> {
+        self.subscriptions
+            .get(id.as_usize())
+            .ok_or(ModelError::UnknownEntity("subscription", u64::from(id.index())))
+    }
+
+    /// Utilization telemetry for a VM, if the monitor captured any.
+    #[must_use]
+    pub fn util(&self, id: VmId) -> Option<&UtilSeries> {
+        self.util.get(id.as_usize()).and_then(Option::as_ref)
+    }
+
+    /// The cloud a VM belongs to (through its subscription).
+    ///
+    /// # Errors
+    /// Returns [`ModelError::UnknownEntity`] for ids not in this trace.
+    pub fn cloud_of(&self, id: VmId) -> Result<CloudKind, ModelError> {
+        let vm = self.vm(id)?;
+        Ok(self.subscription(vm.subscription)?.cloud)
+    }
+
+    /// Iterates over VM records belonging to the given cloud.
+    pub fn vms_of(&self, cloud: CloudKind) -> impl Iterator<Item = &VmRecord> {
+        self.vms.iter().filter(move |vm| {
+            self.subscriptions
+                .get(vm.subscription.as_usize())
+                .is_some_and(|s| s.cloud == cloud)
+        })
+    }
+
+    /// Subscriptions belonging to the given cloud.
+    pub fn subscriptions_of(&self, cloud: CloudKind) -> impl Iterator<Item = &Subscription> {
+        self.subscriptions.iter().filter(move |s| s.cloud == cloud)
+    }
+
+    /// VMs of a subscription (empty slice if none).
+    #[must_use]
+    pub fn vms_of_subscription(&self, id: SubscriptionId) -> &[VmId] {
+        self.by_subscription.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// VMs ever placed on a node (empty slice if none).
+    #[must_use]
+    pub fn vms_on_node(&self, id: NodeId) -> &[VmId] {
+        self.by_node.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// VMs deployed into a region (empty slice if none).
+    #[must_use]
+    pub fn vms_in_region(&self, id: RegionId) -> &[VmId] {
+        self.by_region.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// VMs of a logical service (empty slice if none).
+    #[must_use]
+    pub fn vms_of_service(&self, id: ServiceId) -> &[VmId] {
+        self.by_service.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// All service ids present in the trace.
+    pub fn services(&self) -> impl Iterator<Item = ServiceId> + '_ {
+        self.by_service.keys().copied()
+    }
+
+    /// All node ids that hosted at least one VM.
+    pub fn occupied_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_node.keys().copied()
+    }
+
+    /// Derives the node-level utilization series for one node over the
+    /// trace week: the core-weighted sum of hosted VMs' utilization divided
+    /// by the node's physical cores — how a host monitor would see it.
+    ///
+    /// Samples where a VM is not alive contribute zero. VMs without
+    /// telemetry are skipped.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::UnknownEntity`] if the node is not in the
+    /// topology.
+    pub fn node_utilization(&self, node: NodeId) -> Result<UtilSeries, ModelError> {
+        let node_info = self.topology.node(node)?;
+        let sku = self.topology.cluster(node_info.cluster)?.sku;
+        let mut acc = vec![0.0f64; SAMPLES_PER_WEEK];
+        for &vm_id in self.vms_on_node(node) {
+            let vm = &self.vms[vm_id.as_usize()];
+            let Some(series) = self.util(vm_id) else {
+                continue;
+            };
+            let vm_cores = f64::from(vm.size.cores());
+            let base = series.start().minutes() / SAMPLE_INTERVAL_MINUTES;
+            for (i, v) in series.iter().enumerate() {
+                let global = base + i as i64;
+                if (0..SAMPLES_PER_WEEK as i64).contains(&global) {
+                    let t = SimTime::from_minutes(global * SAMPLE_INTERVAL_MINUTES);
+                    if vm.alive_at(t) {
+                        acc[global as usize] += f64::from(v) * vm_cores;
+                    }
+                }
+            }
+        }
+        let node_cores = f64::from(sku.cores);
+        Ok(UtilSeries::from_percentages(
+            SimTime::ZERO,
+            acc.into_iter().map(|sum| (sum / node_cores) as f32),
+        ))
+    }
+
+    /// Summary counts, handy for logging and sanity checks.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        let mut stats = TraceStats::default();
+        for cloud in CloudKind::BOTH {
+            let (vm_slot, sub_slot) = match cloud {
+                CloudKind::Private => (&mut stats.private_vms, &mut stats.private_subscriptions),
+                CloudKind::Public => (&mut stats.public_vms, &mut stats.public_subscriptions),
+            };
+            *vm_slot = self.vms_of(cloud).count();
+            *sub_slot = self.subscriptions_of(cloud).count();
+        }
+        stats.vms_with_telemetry = self.util.iter().filter(|u| u.is_some()).count();
+        stats.services = self.by_service.len();
+        stats.occupied_nodes = self.by_node.len();
+        stats
+    }
+}
+
+/// Summary counts over a [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// VMs owned by private-cloud subscriptions.
+    pub private_vms: usize,
+    /// VMs owned by public-cloud subscriptions.
+    pub public_vms: usize,
+    /// Private-cloud subscriptions.
+    pub private_subscriptions: usize,
+    /// Public-cloud subscriptions.
+    pub public_subscriptions: usize,
+    /// VMs for which telemetry exists.
+    pub vms_with_telemetry: usize,
+    /// Distinct logical services.
+    pub services: usize,
+    /// Nodes that hosted at least one VM.
+    pub occupied_nodes: usize,
+}
+
+/// Builder for [`Trace`] enforcing referential integrity as records arrive.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    trace: Trace,
+}
+
+impl TraceBuilder {
+    /// Registers a subscription. Ids must arrive densely in order.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InconsistentTrace`] if the id is out of order.
+    pub fn add_subscription(&mut self, sub: Subscription) -> Result<(), ModelError> {
+        if sub.id.as_usize() != self.trace.subscriptions.len() {
+            return Err(ModelError::InconsistentTrace(format!(
+                "subscription {} arrived out of order (expected index {})",
+                sub.id,
+                self.trace.subscriptions.len()
+            )));
+        }
+        self.trace.subscriptions.push(sub);
+        Ok(())
+    }
+
+    /// Registers a VM record and optional telemetry. Ids must arrive
+    /// densely in order, the subscription must exist, and placement must
+    /// reference topology entities.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InconsistentTrace`] on any integrity
+    /// violation.
+    pub fn add_vm(
+        &mut self,
+        vm: VmRecord,
+        util: Option<UtilSeries>,
+    ) -> Result<(), ModelError> {
+        if vm.id.as_usize() != self.trace.vms.len() {
+            return Err(ModelError::InconsistentTrace(format!(
+                "vm {} arrived out of order (expected index {})",
+                vm.id,
+                self.trace.vms.len()
+            )));
+        }
+        if vm.subscription.as_usize() >= self.trace.subscriptions.len() {
+            return Err(ModelError::InconsistentTrace(format!(
+                "vm {} references unknown subscription {}",
+                vm.id, vm.subscription
+            )));
+        }
+        let cluster = self
+            .trace
+            .topology
+            .cluster(vm.cluster)
+            .map_err(|e| ModelError::InconsistentTrace(e.to_string()))?;
+        if cluster.region != vm.region {
+            return Err(ModelError::InconsistentTrace(format!(
+                "vm {} region {} disagrees with cluster {} region {}",
+                vm.id, vm.region, vm.cluster, cluster.region
+            )));
+        }
+        if let Some(node) = vm.node {
+            let node_info = self
+                .trace
+                .topology
+                .node(node)
+                .map_err(|e| ModelError::InconsistentTrace(e.to_string()))?;
+            if node_info.cluster != vm.cluster {
+                return Err(ModelError::InconsistentTrace(format!(
+                    "vm {} node {} is not in cluster {}",
+                    vm.id, node, vm.cluster
+                )));
+            }
+            self.trace.by_node.entry(node).or_default().push(vm.id);
+        }
+        if let (Some(end), created) = (vm.ended, vm.created) {
+            if end < created {
+                return Err(ModelError::InconsistentTrace(format!(
+                    "vm {} ends before it starts",
+                    vm.id
+                )));
+            }
+        }
+        self.trace
+            .by_subscription
+            .entry(vm.subscription)
+            .or_default()
+            .push(vm.id);
+        self.trace.by_region.entry(vm.region).or_default().push(vm.id);
+        self.trace.by_service.entry(vm.service).or_default().push(vm.id);
+        self.trace.vms.push(vm);
+        self.trace.util.push(util);
+        Ok(())
+    }
+
+    /// Finishes building.
+    #[must_use]
+    pub fn build(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::*;
+    use crate::subscription::PartyKind;
+    use crate::topology::NodeSku;
+    use crate::vm::{Priority, ServiceModel, VmRecord, VmSize};
+
+    fn topo() -> Topology {
+        let mut b = Topology::builder();
+        let r = b.add_region("us-west", -8, "US");
+        let d = b.add_datacenter(r);
+        b.add_cluster(d, CloudKind::Private, NodeSku::new(10, 64.0), 1, 2);
+        b.build()
+    }
+
+    fn record(id: u64, sub: u32, node: Option<u32>) -> VmRecord {
+        VmRecord {
+            id: VmId::new(id),
+            subscription: SubscriptionId::new(sub),
+            service: ServiceId::new(0),
+            size: VmSize::new(5, 16.0),
+            priority: Priority::OnDemand,
+            service_model: ServiceModel::Iaas,
+            region: RegionId::new(0),
+            cluster: ClusterId::new(0),
+            node: node.map(NodeId::new),
+            created: SimTime::ZERO,
+            ended: None,
+        }
+    }
+
+    #[test]
+    fn builder_wires_indices() {
+        let mut b = Trace::builder(topo());
+        b.add_subscription(Subscription::new(
+            SubscriptionId::new(0),
+            CloudKind::Private,
+            PartyKind::FirstParty,
+        ))
+        .unwrap();
+        b.add_vm(record(0, 0, Some(0)), None).unwrap();
+        b.add_vm(record(1, 0, Some(0)), None).unwrap();
+        let t = b.build();
+        assert_eq!(t.vms_of_subscription(SubscriptionId::new(0)).len(), 2);
+        assert_eq!(t.vms_on_node(NodeId::new(0)).len(), 2);
+        assert_eq!(t.vms_in_region(RegionId::new(0)).len(), 2);
+        assert_eq!(t.vms_of_service(ServiceId::new(0)).len(), 2);
+        assert_eq!(t.cloud_of(VmId::new(0)).unwrap(), CloudKind::Private);
+        let stats = t.stats();
+        assert_eq!(stats.private_vms, 2);
+        assert_eq!(stats.public_vms, 0);
+        assert_eq!(stats.occupied_nodes, 1);
+    }
+
+    #[test]
+    fn out_of_order_ids_rejected() {
+        let mut b = Trace::builder(topo());
+        b.add_subscription(Subscription::new(
+            SubscriptionId::new(0),
+            CloudKind::Private,
+            PartyKind::FirstParty,
+        ))
+        .unwrap();
+        assert!(b.add_vm(record(5, 0, None), None).is_err());
+        assert!(b
+            .add_subscription(Subscription::new(
+                SubscriptionId::new(7),
+                CloudKind::Public,
+                PartyKind::ThirdParty,
+            ))
+            .is_err());
+    }
+
+    #[test]
+    fn dangling_references_rejected() {
+        let mut b = Trace::builder(topo());
+        b.add_subscription(Subscription::new(
+            SubscriptionId::new(0),
+            CloudKind::Private,
+            PartyKind::FirstParty,
+        ))
+        .unwrap();
+        // Unknown subscription.
+        assert!(b.add_vm(record(0, 9, None), None).is_err());
+        // Unknown node.
+        assert!(b.add_vm(record(0, 0, Some(99)), None).is_err());
+        // End before start.
+        let mut bad = record(0, 0, None);
+        bad.created = SimTime::from_hours(2);
+        bad.ended = Some(SimTime::from_hours(1));
+        assert!(b.add_vm(bad, None).is_err());
+    }
+
+    #[test]
+    fn node_utilization_core_weighted() {
+        let mut b = Trace::builder(topo());
+        b.add_subscription(Subscription::new(
+            SubscriptionId::new(0),
+            CloudKind::Private,
+            PartyKind::FirstParty,
+        ))
+        .unwrap();
+        // Two 5-core VMs on a 10-core node, both at 40% for the first two
+        // samples -> node should read 40%.
+        let util = UtilSeries::from_percentages(SimTime::ZERO, [40.0, 40.0]);
+        b.add_vm(record(0, 0, Some(0)), Some(util.clone())).unwrap();
+        b.add_vm(record(1, 0, Some(0)), Some(util)).unwrap();
+        let t = b.build();
+        let node_util = t.node_utilization(NodeId::new(0)).unwrap();
+        assert_eq!(node_util.get(0), Some(40.0));
+        assert_eq!(node_util.get(1), Some(40.0));
+        assert_eq!(node_util.get(2), Some(0.0));
+        assert_eq!(node_util.len(), SAMPLES_PER_WEEK);
+    }
+
+    #[test]
+    fn node_utilization_respects_lifetime() {
+        let mut b = Trace::builder(topo());
+        b.add_subscription(Subscription::new(
+            SubscriptionId::new(0),
+            CloudKind::Private,
+            PartyKind::FirstParty,
+        ))
+        .unwrap();
+        let mut vm = record(0, 0, Some(0));
+        vm.ended = Some(SimTime::from_minutes(5));
+        // Telemetry claims 80% for 3 samples, but the VM dies after one.
+        let util = UtilSeries::from_percentages(SimTime::ZERO, [80.0, 80.0, 80.0]);
+        b.add_vm(vm, Some(util)).unwrap();
+        let t = b.build();
+        let node_util = t.node_utilization(NodeId::new(0)).unwrap();
+        assert_eq!(node_util.get(0), Some(40.0), "5 of 10 cores at 80%");
+        assert_eq!(node_util.get(1), Some(0.0), "vm already terminated");
+    }
+
+    #[test]
+    fn lookups_error_on_unknown_ids() {
+        let t = Trace::builder(topo()).build();
+        assert!(t.vm(VmId::new(0)).is_err());
+        assert!(t.subscription(SubscriptionId::new(0)).is_err());
+        assert!(t.node_utilization(NodeId::new(42)).is_err());
+        assert!(t.util(VmId::new(3)).is_none());
+        assert!(t.vms_of_subscription(SubscriptionId::new(9)).is_empty());
+    }
+}

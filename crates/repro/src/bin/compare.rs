@@ -1,0 +1,28 @@
+//! The private-vs-public differential summary table: every headline
+//! metric of the study side by side, with the paper's expected ordering.
+
+use cloudscope::analysis::compare::CloudComparison;
+use cloudscope::prelude::*;
+use cloudscope_repro::ShapeChecks;
+
+fn main() {
+    let generated = cloudscope_repro::default_trace();
+    let report = CharacterizationReport::analyze(&generated.trace, &ReportConfig::default())
+        .expect("analysis");
+    let comparison = CloudComparison::from_report(&report);
+    println!("## Private-vs-public differential summary");
+    println!("{comparison}");
+    println!();
+
+    let mut checks = ShapeChecks::new();
+    checks.check(
+        "every headline ordering matches the paper",
+        comparison.orderings_holding() == comparison.metrics.len(),
+        format!(
+            "{}/{} orderings hold",
+            comparison.orderings_holding(),
+            comparison.metrics.len()
+        ),
+    );
+    std::process::exit(i32::from(!checks.finish("compare")));
+}

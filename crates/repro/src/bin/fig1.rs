@@ -1,0 +1,43 @@
+//! Figure 1: deployment sizes — CDFs of VMs per subscription and
+//! box-plots of subscriptions per cluster.
+
+use cloudscope::analysis::deployment::DeploymentSizeAnalysis;
+use cloudscope::prelude::*;
+use cloudscope_repro::{print_ecdf, ShapeChecks};
+
+fn main() {
+    let generated = cloudscope_repro::default_trace();
+    let snapshot = SimTime::from_minutes(2 * 24 * 60 + 14 * 60);
+    let a = DeploymentSizeAnalysis::run(&generated.trace, snapshot).expect("analysis");
+
+    print_ecdf("Fig 1(a) private: VMs per subscription", &a.private_vms_per_subscription);
+    print_ecdf("Fig 1(a) public: VMs per subscription", &a.public_vms_per_subscription);
+    for (label, b) in [
+        ("private", &a.private_subscriptions_per_cluster),
+        ("public", &a.public_subscriptions_per_cluster),
+    ] {
+        println!("## Fig 1(b) {label}: subscriptions per cluster");
+        println!(
+            "lower_whisker,q1,median,q3,upper_whisker,outliers\n{:.1},{:.1},{:.1},{:.1},{:.1},{}",
+            b.lower_whisker, b.q1, b.median, b.q3, b.upper_whisker, b.outliers.len()
+        );
+        println!();
+    }
+
+    let mut checks = ShapeChecks::new();
+    checks.check(
+        "private deployments larger (Fig 1a)",
+        a.private_vms_per_subscription.median() > 5.0 * a.public_vms_per_subscription.median(),
+        format!(
+            "median {} vs {}",
+            a.private_vms_per_subscription.median(),
+            a.public_vms_per_subscription.median()
+        ),
+    );
+    checks.check(
+        "public cluster hosts many times more subscriptions (paper ~20x)",
+        a.subscriptions_per_cluster_ratio > 5.0,
+        format!("ratio {:.1}x", a.subscriptions_per_cluster_ratio),
+    );
+    std::process::exit(i32::from(!checks.finish("fig1")));
+}

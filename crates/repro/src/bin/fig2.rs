@@ -1,0 +1,43 @@
+//! Figure 2: heatmaps of core and memory sizes per VM.
+
+use cloudscope::analysis::vmsize::VmSizeAnalysis;
+use cloudscope_repro::ShapeChecks;
+
+fn main() {
+    let generated = cloudscope_repro::default_trace();
+    let a = VmSizeAnalysis::run(&generated.trace).expect("analysis");
+
+    for (label, hm) in [("private", &a.private), ("public", &a.public)] {
+        println!("## Fig 2 {label}: cores x memory heatmap (fractions)");
+        println!("core_bin,memory_bin,fraction");
+        for x in 0..hm.x_axis().bins() {
+            for y in 0..hm.y_axis().bins() {
+                let f = hm.fraction(x, y);
+                if f > 0.0 {
+                    println!("{x},{y},{f:.4}");
+                }
+            }
+        }
+        println!();
+    }
+
+    let mut checks = ShapeChecks::new();
+    // Overlap coefficient: sum of min(p, q) over cells; 1 = identical.
+    let mut overlap = 0.0;
+    for x in 0..a.private.x_axis().bins() {
+        for y in 0..a.private.y_axis().bins() {
+            overlap += a.private.fraction(x, y).min(a.public.fraction(x, y));
+        }
+    }
+    checks.check(
+        "distributions largely similar (mass overlap)",
+        overlap > 0.5,
+        format!("overlap coefficient {overlap:.2}"),
+    );
+    checks.check(
+        "public mass extends to tiny+huge corners (Fig 2b)",
+        a.public_corner_mass > 3.0 * a.private_corner_mass,
+        format!("corner mass {:.3} vs {:.3}", a.public_corner_mass, a.private_corner_mass),
+    );
+    std::process::exit(i32::from(!checks.finish("fig2")));
+}

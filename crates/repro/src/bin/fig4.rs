@@ -1,0 +1,58 @@
+//! Figure 4: spatial deployment — regions per subscription, plain and
+//! core-weighted.
+
+use cloudscope::analysis::spatial::SpatialAnalysis;
+use cloudscope_repro::{print_csv, ShapeChecks};
+
+fn main() {
+    let generated = cloudscope_repro::default_trace();
+    let a = SpatialAnalysis::run(&generated.trace).expect("analysis");
+
+    for (label, cdf) in [("private", &a.private_regions), ("public", &a.public_regions)] {
+        let rows: Vec<[f64; 2]> = (1..=10)
+            .map(|k| [k as f64, cdf.eval(k as f64)])
+            .collect();
+        print_csv(
+            &format!("Fig 4(a) {label}: regions per subscription CDF"),
+            ["regions", "cdf"],
+            &rows,
+        );
+    }
+    for (label, curve) in [
+        ("private", &a.private_core_weighted),
+        ("public", &a.public_core_weighted),
+    ] {
+        let rows: Vec<[f64; 2]> = curve.iter().map(|&(k, f)| [k as f64, f]).collect();
+        print_csv(
+            &format!("Fig 4(b) {label}: core-weighted regions CDF"),
+            ["regions", "core_fraction"],
+            &rows,
+        );
+    }
+
+    let mut checks = ShapeChecks::new();
+    checks.check(
+        ">50% of subscriptions single-region in both clouds (Fig 4a)",
+        a.private_regions.eval(1.0) > 0.5 && a.public_regions.eval(1.0) > 0.5,
+        format!(
+            "single-region {:.0}% / {:.0}%",
+            100.0 * a.private_regions.eval(1.0),
+            100.0 * a.public_regions.eval(1.0)
+        ),
+    );
+    checks.check(
+        "private multi-region tail heavier (Fig 4a)",
+        a.private_regions.eval(1.0) < a.public_regions.eval(1.0),
+        "private single-region share lower".into(),
+    );
+    checks.check(
+        "cores: private mostly multi-region, public mostly single (paper 40%/70%)",
+        a.private_single_region_core_share < 0.5 && a.public_single_region_core_share > 0.5,
+        format!(
+            "single-region core share {:.0}% vs {:.0}%",
+            100.0 * a.private_single_region_core_share,
+            100.0 * a.public_single_region_core_share
+        ),
+    );
+    std::process::exit(i32::from(!checks.finish("fig4")));
+}

@@ -1,0 +1,72 @@
+//! Figure 5: utilization-pattern samples and class shares.
+
+use cloudscope::analysis::patterns::{pattern_shares, PatternClassifier};
+use cloudscope::prelude::*;
+use cloudscope_repro::ShapeChecks;
+
+fn main() {
+    let generated = cloudscope_repro::default_trace();
+    let classifier = PatternClassifier::default();
+
+    // Fig 5(a-c): one sample series per pattern, from ground truth.
+    for pattern in UtilizationPattern::ALL {
+        let sample = generated.trace.vms().iter().find(|vm| {
+            generated.trace.util(vm.id).is_some_and(|u| u.len() > 1500)
+                && classifier.classify_vm(&generated.trace, vm.id) == Some(pattern)
+        });
+        if let Some(vm) = sample {
+            let util = generated.trace.util(vm.id).expect("has telemetry");
+            println!("## Fig 5 sample: {pattern} ({})", vm.id);
+            println!("hour,util_pct");
+            for (i, v) in util.iter().enumerate().step_by(12).take(48) {
+                println!("{:.1},{v:.1}", i as f64 / 12.0);
+            }
+            println!();
+        }
+    }
+
+    let private = pattern_shares(&generated.trace, CloudKind::Private, &classifier, 4000)
+        .expect("private shares");
+    let public = pattern_shares(&generated.trace, CloudKind::Public, &classifier, 4000)
+        .expect("public shares");
+    println!("## Fig 5(d): pattern shares");
+    println!("pattern,private,public");
+    for p in UtilizationPattern::ALL {
+        println!("{p},{:.3},{:.3}", private.fraction(p), public.fraction(p));
+    }
+    println!();
+
+    let mut checks = ShapeChecks::new();
+    let d = UtilizationPattern::Diurnal;
+    checks.check(
+        "diurnal most common in both clouds",
+        UtilizationPattern::ALL.iter().all(|&p| private.fraction(d) >= private.fraction(p))
+            && UtilizationPattern::ALL.iter().all(|&p| public.fraction(d) >= public.fraction(p)),
+        format!("diurnal {:.2} / {:.2}", private.fraction(d), public.fraction(d)),
+    );
+    checks.check(
+        "private has roughly double the diurnal share",
+        private.fraction(d) > 1.3 * public.fraction(d),
+        format!("ratio {:.2}", private.fraction(d) / public.fraction(d)),
+    );
+    checks.check(
+        "stable share higher in public",
+        public.fraction(UtilizationPattern::Stable) > private.fraction(UtilizationPattern::Stable),
+        format!(
+            "stable {:.2} vs {:.2}",
+            private.fraction(UtilizationPattern::Stable),
+            public.fraction(UtilizationPattern::Stable)
+        ),
+    );
+    checks.check(
+        "hourly-peak mostly private",
+        private.fraction(UtilizationPattern::HourlyPeak)
+            > 2.0 * public.fraction(UtilizationPattern::HourlyPeak),
+        format!(
+            "hourly {:.2} vs {:.2}",
+            private.fraction(UtilizationPattern::HourlyPeak),
+            public.fraction(UtilizationPattern::HourlyPeak)
+        ),
+    );
+    std::process::exit(i32::from(!checks.finish("fig5")));
+}

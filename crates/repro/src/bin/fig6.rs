@@ -1,0 +1,58 @@
+//! Figure 6: CPU-utilization percentile bands over the week and the day.
+
+use cloudscope::analysis::utilization::UtilizationDistribution;
+use cloudscope::prelude::*;
+use cloudscope_repro::ShapeChecks;
+
+fn main() {
+    let generated = cloudscope_repro::default_trace();
+    let private =
+        UtilizationDistribution::run(&generated.trace, CloudKind::Private, 3000).expect("private");
+    let public =
+        UtilizationDistribution::run(&generated.trace, CloudKind::Public, 3000).expect("public");
+
+    for (label, d) in [("private", &private), ("public", &public)] {
+        println!("## Fig 6 {label}: weekly percentile bands (hourly)");
+        println!("hour,p5,p25,p50,p75,p95");
+        for h in 0..168 {
+            let row: Vec<String> = d.weekly.bands.iter().map(|b| format!("{:.1}", b[h])).collect();
+            println!("{h},{}", row.join(","));
+        }
+        println!();
+        println!("## Fig 6 {label}: daily percentile bands (hourly)");
+        println!("hour,p5,p25,p50,p75,p95");
+        for h in 0..24 {
+            let row: Vec<String> = d.daily.bands.iter().map(|b| format!("{:.1}", b[h])).collect();
+            println!("{h},{}", row.join(","));
+        }
+        println!();
+    }
+
+    let mut checks = ShapeChecks::new();
+    checks.check(
+        "p75 utilization stays below ~30% in both clouds",
+        private.p75_peak() < 32.0 && public.p75_peak() < 32.0,
+        format!("p75 peaks {:.1} / {:.1}", private.p75_peak(), public.p75_peak()),
+    );
+    checks.check(
+        "private daily profile follows working hours; public flatter",
+        private.daily_median_variability() > 1.5 * public.daily_median_variability(),
+        format!(
+            "daily median std {:.2} vs {:.2}",
+            private.daily_median_variability(),
+            public.daily_median_variability()
+        ),
+    );
+    let weekend_drop = {
+        let median = private.weekly.band(50.0).expect("p50");
+        let weekday: f64 = median[..120].iter().sum::<f64>() / 120.0;
+        let weekend: f64 = median[120..].iter().sum::<f64>() / 48.0;
+        weekend < weekday
+    };
+    checks.check(
+        "private utilization drops on weekends",
+        weekend_drop,
+        "weekend median below weekday median".into(),
+    );
+    std::process::exit(i32::from(!checks.finish("fig6")));
+}

@@ -1,0 +1,106 @@
+//! # cloudscope-repro
+//!
+//! The figure-regeneration harness: one binary per evaluation artifact of
+//! the paper (`fig1` … `fig7`, `pilot`, `oversub`), each printing the
+//! plotted series as CSV plus a `SHAPE-CHECK` section comparing the
+//! measured shape against the paper's reported values.
+//!
+//! Run e.g. `cargo run --release -p cloudscope-repro --bin fig3`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cloudscope::prelude::*;
+use cloudscope::stats::Ecdf;
+
+/// Generates the default full-scale trace, timing it.
+#[must_use]
+pub fn default_trace() -> GeneratedTrace {
+    let t0 = std::time::Instant::now();
+    let generated = generate(&GeneratorConfig::default());
+    let stats = generated.trace.stats();
+    eprintln!(
+        "# generated trace in {:?}: {} private vms, {} public vms, {} subscriptions",
+        t0.elapsed(),
+        stats.private_vms,
+        stats.public_vms,
+        stats.private_subscriptions + stats.public_subscriptions
+    );
+    generated
+}
+
+/// Prints a CSV header followed by rows.
+pub fn print_csv<const N: usize>(title: &str, header: [&str; N], rows: &[[f64; N]]) {
+    println!("## {title}");
+    println!("{}", header.join(","));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
+        println!("{}", cells.join(","));
+    }
+    println!();
+}
+
+/// Prints an ECDF as `(x, F)` rows on a quantile grid.
+pub fn print_ecdf(title: &str, cdf: &Ecdf) {
+    println!("## {title}");
+    println!("x,cdf");
+    for i in 0..=20 {
+        let p = f64::from(i) / 20.0;
+        let x = cdf.quantile(p);
+        println!("{x:.4},{p:.2}");
+    }
+    println!();
+}
+
+/// Accumulates shape checks and renders a verdict table.
+#[derive(Debug, Default)]
+pub struct ShapeChecks {
+    results: Vec<(bool, String)>,
+}
+
+impl ShapeChecks {
+    /// Creates an empty check set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one check: `label` describes the paper's expectation,
+    /// `detail` the measured values.
+    pub fn check(&mut self, label: &str, holds: bool, detail: String) {
+        self.results.push((holds, format!("{label}: {detail}")));
+    }
+
+    /// Prints the verdicts and returns `true` if all hold.
+    pub fn finish(self, figure: &str) -> bool {
+        println!("## SHAPE-CHECK {figure}");
+        let mut all = true;
+        for (holds, line) in &self.results {
+            println!("[{}] {line}", if *holds { "ok" } else { "MISS" });
+            all &= holds;
+        }
+        println!(
+            "{}: {}/{} shape checks hold",
+            figure,
+            self.results.iter().filter(|(h, _)| *h).count(),
+            self.results.len()
+        );
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks_tally() {
+        let mut checks = ShapeChecks::new();
+        checks.check("a", true, "1 > 0".into());
+        checks.check("b", false, "boom".into());
+        assert!(!checks.finish("test"));
+        let mut ok = ShapeChecks::new();
+        ok.check("a", true, "fine".into());
+        assert!(ok.finish("test"));
+    }
+}

@@ -1,0 +1,430 @@
+//! Sampling distributions implemented from first principles on top of
+//! [`rand`]'s uniform source: normal (Box–Muller), log-normal, exponential,
+//! Pareto, Poisson, Zipf, and a Vose alias-method categorical sampler.
+//!
+//! The trace generator composes these to produce deployment sizes
+//! (heavy-tailed), lifetimes (binned mixtures), arrival processes, and
+//! utilization noise.
+
+use crate::error::StatsError;
+use rand::Rng;
+
+/// A distribution that can draw `f64` samples from an RNG.
+pub trait Sample {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+/// Standard normal via the Box–Muller transform (one value per draw).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StdNormal;
+
+impl Sample for StdNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u1 in (0, 1] so ln is finite.
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    /// Returns [`StatsError::OutOfRange`] if `std_dev < 0` or either
+    /// parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(StatsError::OutOfRange("normal parameters"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Sample for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * StdNormal.sample(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`. The canonical
+/// heavy-tailed model for deployment sizes and lifetimes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given log-space parameters.
+    ///
+    /// # Errors
+    /// Returns [`StatsError::OutOfRange`] for invalid parameters.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(StatsError::OutOfRange("log-normal parameters"));
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Creates a log-normal from its real-space median and the
+    /// multiplicative spread `sigma` (log-space standard deviation).
+    ///
+    /// # Errors
+    /// Returns [`StatsError::OutOfRange`] if `median <= 0`.
+    pub fn from_median(median: f64, sigma: f64) -> Result<Self, StatsError> {
+        if median <= 0.0 || !median.is_finite() {
+            return Err(StatsError::OutOfRange("log-normal median"));
+        }
+        Self::new(median.ln(), sigma)
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * StdNormal.sample(rng)).exp()
+    }
+}
+
+/// Exponential distribution with the given rate (events per unit time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Errors
+    /// Returns [`StatsError::OutOfRange`] unless `rate > 0` and finite.
+    pub fn new(rate: f64) -> Result<Self, StatsError> {
+        if !(rate > 0.0) || !rate.is_finite() {
+            return Err(StatsError::OutOfRange("exponential rate"));
+        }
+        Ok(Self { rate })
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+/// Pareto (type I) distribution: `P(X > x) = (scale/x)^shape` for
+/// `x >= scale`. Models the extreme tail of public-cloud deployment sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Errors
+    /// Returns [`StatsError::OutOfRange`] unless both parameters are
+    /// positive and finite.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, StatsError> {
+        if !(scale > 0.0 && shape > 0.0) || !scale.is_finite() || !shape.is_finite() {
+            return Err(StatsError::OutOfRange("pareto parameters"));
+        }
+        Ok(Self { scale, shape })
+    }
+}
+
+impl Sample for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>();
+        self.scale / u.powf(1.0 / self.shape)
+    }
+}
+
+/// Poisson distribution. Uses Knuth's product method for small means and a
+/// normal approximation (rounded, clamped at zero) for large means.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    mean: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution.
+    ///
+    /// # Errors
+    /// Returns [`StatsError::OutOfRange`] unless `mean >= 0` and finite.
+    pub fn new(mean: f64) -> Result<Self, StatsError> {
+        if !(mean >= 0.0) || !mean.is_finite() {
+            return Err(StatsError::OutOfRange("poisson mean"));
+        }
+        Ok(Self { mean })
+    }
+
+    /// Draws one count.
+    pub fn sample_count<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.mean == 0.0 {
+            return 0;
+        }
+        if self.mean < 30.0 {
+            // Knuth: multiply uniforms until the product drops below e^-λ.
+            let limit = (-self.mean).exp();
+            let mut count = 0u64;
+            let mut product: f64 = rng.random();
+            while product > limit {
+                count += 1;
+                product *= rng.random::<f64>();
+            }
+            count
+        } else {
+            let draw = self.mean + self.mean.sqrt() * StdNormal.sample(rng);
+            draw.round().max(0.0) as u64
+        }
+    }
+}
+
+impl Sample for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_count(rng) as f64
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`: popularity of
+/// services/subscriptions follows a power law.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Errors
+    /// Returns [`StatsError::OutOfRange`] if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Result<Self, StatsError> {
+        if n == 0 || !(s >= 0.0) || !s.is_finite() {
+            return Err(StatsError::OutOfRange("zipf parameters"));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(Self { cdf })
+    }
+
+    /// Draws a rank in `1..=n` (1 is most popular).
+    pub fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+}
+
+impl Sample for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_rank(rng) as f64
+    }
+}
+
+/// Weighted categorical sampling in O(1) per draw via Vose's alias method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl Categorical {
+    /// Builds the alias tables from non-negative weights.
+    ///
+    /// # Errors
+    /// Returns [`StatsError::EmptyInput`] for no weights and
+    /// [`StatsError::OutOfRange`] if any weight is negative/non-finite or
+    /// all weights are zero.
+    pub fn new(weights: &[f64]) -> Result<Self, StatsError> {
+        if weights.is_empty() {
+            return Err(StatsError::EmptyInput("categorical weights"));
+        }
+        if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return Err(StatsError::OutOfRange("categorical weights"));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(StatsError::OutOfRange("categorical weights sum to zero"));
+        }
+        let n = weights.len();
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = large.pop().expect("checked non-empty");
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Draws one category index.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC10D)
+    }
+
+    fn moments<D: Sample>(d: &D, n: usize) -> Summary {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r)).collect()
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let s = moments(&StdNormal, 200_000);
+        assert!(s.mean().abs() < 0.02, "mean {}", s.mean());
+        assert!((s.population_std_dev() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn normal_parameterization() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let s = moments(&d, 100_000);
+        assert!((s.mean() - 10.0).abs() < 0.05);
+        assert!((s.population_std_dev() - 2.0).abs() < 0.05);
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::from_median(8.0, 1.0).unwrap();
+        let mut r = rng();
+        let mut draws: Vec<f64> = (0..100_000).map(|_| d.sample(&mut r)).collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = draws[draws.len() / 2];
+        assert!((median - 8.0).abs() / 8.0 < 0.05, "median {median}");
+        assert!(LogNormal::from_median(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let d = Exponential::new(0.25).unwrap();
+        let s = moments(&d, 100_000);
+        assert!((s.mean() - 4.0).abs() < 0.1);
+        assert!(s.min() >= 0.0);
+        assert!(Exponential::new(0.0).is_err());
+    }
+
+    #[test]
+    fn pareto_support_and_tail() {
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        let s = moments(&d, 100_000);
+        assert!(s.min() >= 2.0);
+        // E[X] = shape*scale/(shape-1) = 3.
+        assert!((s.mean() - 3.0).abs() < 0.1, "mean {}", s.mean());
+        assert!(Pareto::new(-1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn poisson_small_and_large_regimes() {
+        for mean in [0.5, 4.0, 100.0] {
+            let d = Poisson::new(mean).unwrap();
+            let s = moments(&d, 60_000);
+            assert!((s.mean() - mean).abs() < mean.max(1.0) * 0.05, "mean {mean}: {}", s.mean());
+            assert!((s.population_variance() - mean).abs() < mean.max(1.0) * 0.15);
+        }
+        assert_eq!(Poisson::new(0.0).unwrap().sample_count(&mut rng()), 0);
+        assert!(Poisson::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn zipf_rank_one_most_popular() {
+        let d = Zipf::new(100, 1.2).unwrap();
+        let mut r = rng();
+        let mut counts = vec![0u32; 101];
+        for _ in 0..50_000 {
+            counts[d.sample_rank(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        assert!(Zipf::new(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn categorical_matches_weights() {
+        let c = Categorical::new(&[1.0, 0.0, 3.0]).unwrap();
+        let mut r = rng();
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[c.sample_index(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn categorical_error_cases() {
+        assert!(Categorical::new(&[]).is_err());
+        assert!(Categorical::new(&[0.0, 0.0]).is_err());
+        assert!(Categorical::new(&[1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..5).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..5).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

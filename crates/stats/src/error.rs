@@ -1,0 +1,57 @@
+//! Error type for the statistics substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by statistical constructors and estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input sample was empty; carries what was being computed.
+    EmptyInput(&'static str),
+    /// The input contained NaN or infinite values.
+    NonFinite(&'static str),
+    /// Two paired inputs had different lengths.
+    LengthMismatch(usize, usize),
+    /// A parameter or level was outside its documented range.
+    OutOfRange(&'static str),
+    /// A variance-normalized statistic was requested of a constant input.
+    ZeroVariance(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            StatsError::NonFinite(what) => write!(f, "non-finite values in {what}"),
+            StatsError::LengthMismatch(a, b) => {
+                write!(f, "length mismatch: {a} vs {b}")
+            }
+            StatsError::OutOfRange(what) => write!(f, "out of range: {what}"),
+            StatsError::ZeroVariance(what) => write!(f, "zero variance in {what}"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert_eq!(
+            StatsError::LengthMismatch(3, 5).to_string(),
+            "length mismatch: 3 vs 5"
+        );
+        assert!(StatsError::EmptyInput("x").to_string().contains("empty"));
+        assert!(StatsError::ZeroVariance("x").to_string().contains("variance"));
+    }
+
+    #[test]
+    fn trait_bounds() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<StatsError>();
+    }
+}

@@ -1,0 +1,259 @@
+//! Streaming quantile estimation with the P² algorithm (Jain & Chlamtac,
+//! 1985): constant memory per tracked quantile, one pass — how production
+//! telemetry pipelines track per-VM p95s without retaining samples.
+
+use crate::error::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// A P² estimator for one quantile.
+///
+/// Maintains five markers whose positions are nudged toward their ideal
+/// (quantile-proportional) positions with parabolic interpolation.
+///
+/// # Examples
+/// ```
+/// # use cloudscope_stats::sketch::P2Quantile;
+/// # fn main() -> Result<(), cloudscope_stats::error::StatsError> {
+/// let mut sketch = P2Quantile::new(0.5)?;
+/// for i in 0..1001 {
+///     sketch.observe(f64::from(i));
+/// }
+/// let median = sketch.estimate().expect("enough samples");
+/// assert!((median - 500.0).abs() < 25.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    p: f64,
+    // Marker heights.
+    q: [f64; 5],
+    // Marker positions (1-based counts).
+    n: [f64; 5],
+    // Desired positions.
+    np: [f64; 5],
+    // Desired-position increments.
+    dn: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p` in `(0, 1)`.
+    ///
+    /// # Errors
+    /// Returns [`StatsError::OutOfRange`] for `p` outside `(0, 1)`.
+    pub fn new(p: f64) -> Result<Self, StatsError> {
+        if !(0.0 < p && p < 1.0) {
+            return Err(StatsError::OutOfRange("quantile must be in (0, 1)"));
+        }
+        Ok(Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        })
+    }
+
+    /// The tracked quantile level.
+    #[must_use]
+    pub const fn quantile_level(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations seen.
+    #[must_use]
+    pub const fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation. Non-finite values are ignored.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (slot, &v) in self.q.iter_mut().zip(&self.initial) {
+                    *slot = v;
+                }
+            }
+            return;
+        }
+
+        // Locate the cell containing x and bump extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if self.q[i] <= x && x < self.q[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            let step_up = self.n[i + 1] - self.n[i] > 1.0;
+            let step_down = self.n[i - 1] - self.n[i] < -1.0;
+            if (d >= 1.0 && step_up) || (d <= -1.0 && step_down) {
+                let sign = d.signum();
+                let parabolic = self.parabolic(i, sign);
+                if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    self.q[i] = parabolic;
+                } else {
+                    self.q[i] = self.linear(i, sign);
+                }
+                self.n[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, sign: f64) -> f64 {
+        let (qm, qi, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
+        let (nm, ni, np_) = (self.n[i - 1], self.n[i], self.n[i + 1]);
+        qi + sign / (np_ - nm)
+            * ((ni - nm + sign) * (qp - qi) / (np_ - ni)
+                + (np_ - ni - sign) * (qi - qm) / (ni - nm))
+    }
+
+    fn linear(&self, i: usize, sign: f64) -> f64 {
+        let j = (i as f64 + sign) as usize;
+        self.q[i] + sign * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate; `None` with fewer than 5 observations.
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        match self.initial.len() {
+            5 => Some(self.q[2]),
+            0 => None,
+            _ => {
+                // Small-sample fallback: exact quantile of the buffer.
+                let mut sorted = self.initial.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let idx = ((sorted.len() as f64 - 1.0) * self.p).round() as usize;
+                Some(sorted[idx])
+            }
+        }
+    }
+}
+
+impl Extend<f64> for P2Quantile {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.observe(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{LogNormal, Sample, StdNormal};
+    use crate::percentile::percentile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut sketch = P2Quantile::new(0.5).unwrap();
+        // Deterministic shuffled-ish stream.
+        for i in 0..10_000u64 {
+            let v = (i.wrapping_mul(2654435761) % 10_000) as f64;
+            sketch.observe(v);
+        }
+        let est = sketch.estimate().unwrap();
+        assert!((est - 5000.0).abs() < 200.0, "median estimate {est}");
+        assert_eq!(sketch.count(), 10_000);
+    }
+
+    #[test]
+    fn p95_of_normal_stream() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sketch = P2Quantile::new(0.95).unwrap();
+        let data: Vec<f64> = (0..50_000).map(|_| StdNormal.sample(&mut rng)).collect();
+        sketch.extend(data.iter().copied());
+        let exact = percentile(&data, 95.0).unwrap();
+        let est = sketch.estimate().unwrap();
+        assert!((est - exact).abs() < 0.1, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn heavy_tailed_stream() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dist = LogNormal::new(0.0, 1.0).unwrap();
+        let mut sketch = P2Quantile::new(0.9).unwrap();
+        let data: Vec<f64> = (0..50_000).map(|_| dist.sample(&mut rng)).collect();
+        sketch.extend(data.iter().copied());
+        let exact = percentile(&data, 90.0).unwrap();
+        let est = sketch.estimate().unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.1,
+            "est {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn small_samples_fall_back_to_exact() {
+        let mut sketch = P2Quantile::new(0.5).unwrap();
+        assert!(sketch.estimate().is_none());
+        sketch.observe(3.0);
+        assert_eq!(sketch.estimate(), Some(3.0));
+        sketch.observe(1.0);
+        sketch.observe(2.0);
+        let est = sketch.estimate().unwrap();
+        assert!((1.0..=3.0).contains(&est));
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut sketch = P2Quantile::new(0.5).unwrap();
+        sketch.extend([1.0, f64::NAN, 2.0, f64::INFINITY, 3.0]);
+        assert_eq!(sketch.count(), 3);
+    }
+
+    #[test]
+    fn invalid_levels_rejected() {
+        assert!(P2Quantile::new(0.0).is_err());
+        assert!(P2Quantile::new(1.0).is_err());
+        assert!(P2Quantile::new(-0.5).is_err());
+    }
+
+    #[test]
+    fn estimate_stays_within_observed_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sketch = P2Quantile::new(0.75).unwrap();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..5000 {
+            let v = StdNormal.sample(&mut rng) * 10.0;
+            lo = lo.min(v);
+            hi = hi.max(v);
+            sketch.observe(v);
+        }
+        let est = sketch.estimate().unwrap();
+        assert!((lo..=hi).contains(&est));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests over the statistics substrate.
+
+use cloudscope_stats::boxplot::BoxPlot;
+use cloudscope_stats::correlation::{pearson, spearman};
+use cloudscope_stats::dist::{Categorical, Sample, StdNormal};
+use cloudscope_stats::ecdf::Ecdf;
+use cloudscope_stats::histogram::{Axis, Histogram};
+use cloudscope_stats::percentile::percentiles;
+use cloudscope_stats::summary::Summary;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn ecdf_is_monotone_and_bounded(sample in finite_vec(64), probe in -2e6f64..2e6) {
+        let cdf = Ecdf::new(sample).unwrap();
+        let f = cdf.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Monotone: a larger probe never decreases F.
+        let f2 = cdf.eval(probe + 1.0);
+        prop_assert!(f2 >= f);
+        // Boundary behaviour.
+        prop_assert_eq!(cdf.eval(cdf.max()), 1.0);
+        prop_assert!(cdf.eval(cdf.min() - 1.0) == 0.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_inverts(sample in finite_vec(64), p in 0.0f64..=1.0) {
+        let cdf = Ecdf::new(sample).unwrap();
+        let q = cdf.quantile(p);
+        // At least a fraction p of the mass lies at or below the quantile.
+        prop_assert!(cdf.eval(q) >= p - 1e-12);
+    }
+
+    #[test]
+    fn boxplot_invariants(sample in finite_vec(128)) {
+        let b = BoxPlot::new(sample.clone()).unwrap();
+        // Quartiles are ordered; whiskers bracket each other. (With
+        // interpolated quartiles, an extreme outlier can pull q1 below
+        // the smallest non-outlier, so lower_whisker <= q1 need NOT
+        // hold; only the fence relation is guaranteed.)
+        prop_assert!(b.q1 <= b.median);
+        prop_assert!(b.median <= b.q3);
+        prop_assert!(b.lower_whisker <= b.upper_whisker);
+        prop_assert!(b.lower_whisker >= b.q1 - 1.5 * b.iqr() - 1e-9);
+        prop_assert!(b.upper_whisker <= b.q3 + 1.5 * b.iqr() + 1e-9);
+        // Outliers lie strictly outside the fences, and every
+        // non-outlier observation lies within the whiskers.
+        for o in &b.outliers {
+            prop_assert!(*o < b.q1 - 1.5 * b.iqr() || *o > b.q3 + 1.5 * b.iqr());
+        }
+        for v in &sample {
+            if !b.outliers.contains(v) {
+                prop_assert!(*v >= b.lower_whisker && *v <= b.upper_whisker);
+            }
+        }
+        prop_assert_eq!(b.count, sample.len());
+    }
+
+    #[test]
+    fn pearson_bounded_and_symmetric(
+        x in prop::collection::vec(-1e3f64..1e3, 3..32),
+        seed in any::<u64>(),
+    ) {
+        // Add jitter so variance is almost surely nonzero.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y: Vec<f64> = x.iter().map(|v| v + StdNormal.sample(&mut rng)).collect();
+        if let (Ok(r_xy), Ok(r_yx)) = (pearson(&x, &y), pearson(&y, &x)) {
+            prop_assert!((-1.0..=1.0).contains(&r_xy));
+            prop_assert!((r_xy - r_yx).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pearson_affine_invariance(
+        x in prop::collection::vec(-1e3f64..1e3, 3..32),
+        scale in 0.1f64..100.0,
+        shift in -1e3f64..1e3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + StdNormal.sample(&mut rng)).collect();
+        if let Ok(base) = pearson(&x, &y) {
+            let transformed: Vec<f64> = x.iter().map(|v| scale * v + shift).collect();
+            if let Ok(r) = pearson(&transformed, &y) {
+                prop_assert!((r - base).abs() < 1e-6, "{r} vs {base}");
+            }
+        }
+    }
+
+    #[test]
+    fn spearman_bounded(
+        x in prop::collection::vec(-1e3f64..1e3, 3..32),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y: Vec<f64> = x.iter().map(|v| v.sin() + StdNormal.sample(&mut rng)).collect();
+        if let Ok(r) = spearman(&x, &y) {
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential(
+        a in prop::collection::vec(-1e5f64..1e5, 0..64),
+        b in prop::collection::vec(-1e5f64..1e5, 0..64),
+    ) {
+        let mut merged: Summary = a.iter().copied().collect();
+        let right: Summary = b.iter().copied().collect();
+        merged.merge(&right);
+        let sequential: Summary = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), sequential.count());
+        if merged.count() > 0 {
+            prop_assert!((merged.mean() - sequential.mean()).abs() < 1e-6);
+            prop_assert!(
+                (merged.population_variance() - sequential.population_variance()).abs()
+                    < 1e-3 * (1.0 + sequential.population_variance())
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_monotone_in_level(sample in finite_vec(128)) {
+        let levels = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0];
+        let vals = percentiles(&sample, &levels).unwrap();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_observations(
+        sample in prop::collection::vec(-10.0f64..20.0, 0..256),
+    ) {
+        let mut h = Histogram::new(Axis::linear(0.0, 10.0, 7).unwrap());
+        h.extend(sample.iter().copied());
+        prop_assert_eq!(h.total() + h.overflow(), sample.len() as u64);
+        let fr: f64 = h.fractions().iter().sum();
+        prop_assert!(h.total() == 0 || (fr - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categorical_alias_tables_cover_all_indices(
+        weights in prop::collection::vec(0.01f64..10.0, 1..24),
+        seed in any::<u64>(),
+    ) {
+        let c = Categorical::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let idx = c.sample_index(&mut rng);
+            prop_assert!(idx < weights.len());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Autocorrelation function and helpers for validating candidate periods
+//! on the ACF, the second stage of Vlachos-style period detection.
+
+use crate::error::SeriesError;
+
+/// Sample autocorrelation at lags `0..=max_lag` of a signal.
+///
+/// Uses the biased estimator (normalizing by `n` at every lag), which is
+/// what periodicity detection expects: it damps long-lag noise.
+///
+/// # Errors
+/// - [`SeriesError::TooShort`] if the signal has fewer than 2 points or
+///   `max_lag >= len`.
+/// - [`SeriesError::ZeroVariance`] if the signal is constant.
+///
+/// # Examples
+/// ```
+/// # use cloudscope_timeseries::acf::autocorrelation;
+/// # fn main() -> Result<(), cloudscope_timeseries::error::SeriesError> {
+/// let acf = autocorrelation(&[1.0, -1.0, 1.0, -1.0, 1.0, -1.0], 2)?;
+/// assert!((acf[0] - 1.0).abs() < 1e-12);
+/// assert!(acf[1] < 0.0); // alternating signal
+/// assert!(acf[2] > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn autocorrelation(signal: &[f64], max_lag: usize) -> Result<Vec<f64>, SeriesError> {
+    let n = signal.len();
+    if n < 2 || max_lag >= n {
+        return Err(SeriesError::TooShort(n));
+    }
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let var: f64 = signal.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if var == 0.0 {
+        return Err(SeriesError::ZeroVariance);
+    }
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag {
+        let cov: f64 = signal[..n - lag]
+            .iter()
+            .zip(&signal[lag..])
+            .map(|(a, b)| (a - mean) * (b - mean))
+            .sum();
+        acf.push(cov / var);
+    }
+    Ok(acf)
+}
+
+/// `true` if `lag` sits on a *hill* of the ACF: a local maximum whose
+/// value exceeds `threshold`. Vlachos et al. validate periodogram
+/// candidates by requiring them to land on an ACF hill rather than a
+/// valley; this rejects spectral-leakage false positives.
+#[must_use]
+pub fn is_acf_hill(acf: &[f64], lag: usize, threshold: f64) -> bool {
+    if lag == 0 || lag + 1 >= acf.len() {
+        return false;
+    }
+    let v = acf[lag];
+    // Look one step and a few steps out so flat-topped hills still count.
+    let left = acf[lag - 1];
+    let right = acf[lag + 1];
+    v >= threshold && v >= left && v >= right
+}
+
+/// Searches the neighbourhood `lag ± radius` for the strongest ACF hill
+/// and returns `(refined_lag, acf_value)` if one clears `threshold`.
+#[must_use]
+pub fn refine_on_acf(
+    acf: &[f64],
+    lag: usize,
+    radius: usize,
+    threshold: f64,
+) -> Option<(usize, f64)> {
+    let lo = lag.saturating_sub(radius).max(1);
+    let hi = (lag + radius).min(acf.len().saturating_sub(2));
+    let mut best: Option<(usize, f64)> = None;
+    for cand in lo..=hi {
+        if is_acf_hill(acf, cand, threshold) {
+            match best {
+                Some((_, v)) if v >= acf[cand] => {}
+                _ => best = Some((cand, acf[cand])),
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(period: usize, cycles: usize) -> Vec<f64> {
+        (0..period * cycles)
+            .map(|i| (std::f64::consts::TAU * i as f64 / period as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let acf = autocorrelation(&[1.0, 3.0, 2.0, 5.0], 2).unwrap();
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        assert_eq!(acf.len(), 3);
+    }
+
+    #[test]
+    fn periodic_signal_peaks_at_period() {
+        let signal = sine(24, 6);
+        let acf = autocorrelation(&signal, 48).unwrap();
+        // The ACF at the true period is a strong hill.
+        assert!(acf[24] > 0.8, "acf[24] = {}", acf[24]);
+        assert!(is_acf_hill(&acf, 24, 0.5));
+        // Half-period is a valley for a sine.
+        assert!(acf[12] < -0.5);
+        assert!(!is_acf_hill(&acf, 12, 0.0));
+    }
+
+    #[test]
+    fn white_noise_has_small_acf() {
+        // Deterministic pseudo-noise via a splitmix64-style hash.
+        fn hash_noise(i: u64) -> f64 {
+            let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z = z ^ (z >> 31);
+            (z % 10_000) as f64 / 10_000.0
+        }
+        let signal: Vec<f64> = (0..512).map(hash_noise).collect();
+        let acf = autocorrelation(&signal, 32).unwrap();
+        for &v in &acf[1..] {
+            assert!(v.abs() < 0.2, "noise acf too large: {v}");
+        }
+    }
+
+    #[test]
+    fn error_conditions() {
+        assert!(matches!(
+            autocorrelation(&[1.0], 0),
+            Err(SeriesError::TooShort(1))
+        ));
+        assert!(matches!(
+            autocorrelation(&[1.0, 2.0, 3.0], 3),
+            Err(SeriesError::TooShort(3))
+        ));
+        assert!(matches!(
+            autocorrelation(&[2.0, 2.0, 2.0], 1),
+            Err(SeriesError::ZeroVariance)
+        ));
+    }
+
+    #[test]
+    fn refine_finds_nearby_hill() {
+        let signal = sine(20, 8);
+        let acf = autocorrelation(&signal, 60).unwrap();
+        // Candidate slightly off the true period is refined to it.
+        let (lag, v) = refine_on_acf(&acf, 18, 4, 0.3).expect("hill found");
+        assert_eq!(lag, 20);
+        assert!(v > 0.8);
+        // No hill clears an impossible threshold.
+        assert!(refine_on_acf(&acf, 18, 4, 0.999999).is_none());
+    }
+
+    #[test]
+    fn hill_edges_are_not_hills() {
+        let acf = vec![1.0, 0.9, 0.8];
+        assert!(!is_acf_hill(&acf, 0, 0.0));
+        assert!(!is_acf_hill(&acf, 2, 0.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Classical additive decomposition of a series into trend, seasonal,
+//! and residual components — the preprocessing behind robust diurnal
+//! detection and anomaly screening on utilization telemetry.
+
+use crate::error::SeriesError;
+use crate::series::Series;
+use serde::{Deserialize, Serialize};
+
+/// The result of an additive decomposition:
+/// `value[t] = trend[t] + seasonal[t % period] + residual[t]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// Centered-moving-average trend (same length as the input).
+    pub trend: Vec<f64>,
+    /// One seasonal cycle of length `period`, mean-centred.
+    pub seasonal: Vec<f64>,
+    /// Residuals (same length as the input).
+    pub residual: Vec<f64>,
+    /// The seasonal period in samples.
+    pub period: usize,
+}
+
+impl Decomposition {
+    /// Fraction of the detrended variance explained by the seasonal
+    /// component, in `[0, 1]`: near 1 for a cleanly periodic signal.
+    #[must_use]
+    pub fn seasonal_strength(&self) -> f64 {
+        let var = |xs: &[f64]| {
+            if xs.is_empty() {
+                return 0.0;
+            }
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64
+        };
+        let resid_var = var(&self.residual);
+        // Detrended = seasonal + residual, sampled per slot.
+        let seasonal_var = var(&self.seasonal);
+        if seasonal_var + resid_var == 0.0 {
+            return 0.0;
+        }
+        (seasonal_var / (seasonal_var + resid_var)).clamp(0.0, 1.0)
+    }
+}
+
+/// Decomposes `series` with seasonal period `period` (in samples) using
+/// the classical method: centered moving average of window `period`
+/// (even windows use the standard 2×MA), seasonal means of the
+/// detrended values per phase slot, residual as the remainder.
+///
+/// # Errors
+/// - [`SeriesError::TooShort`] unless the series covers at least two
+///   full periods.
+/// - [`SeriesError::BadResampleFactor`] if `period < 2`.
+pub fn decompose(series: &Series, period: usize) -> Result<Decomposition, SeriesError> {
+    if period < 2 {
+        return Err(SeriesError::BadResampleFactor);
+    }
+    let n = series.len();
+    if n < 2 * period {
+        return Err(SeriesError::TooShort(n));
+    }
+    let values = series.values();
+
+    // Centered moving average; even periods average two adjacent windows.
+    let trend: Vec<f64> = (0..n)
+        .map(|i| {
+            let half = period / 2;
+            if i < half || i + half >= n {
+                // Edge: partial window mean.
+                let lo = i.saturating_sub(half);
+                let hi = (i + half + 1).min(n);
+                values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            } else if period % 2 == 1 {
+                values[i - half..=i + half].iter().sum::<f64>() / period as f64
+            } else {
+                let a: f64 = values[i - half..i + half].iter().sum::<f64>() / period as f64;
+                let b: f64 =
+                    values[i - half + 1..=i + half].iter().sum::<f64>() / period as f64;
+                (a + b) / 2.0
+            }
+        })
+        .collect();
+
+    // Seasonal means per phase slot of the detrended series. Edge
+    // samples use partial trend windows whose bias would leak into the
+    // seasonal component, so (as in the classical method) they are
+    // excluded from the seasonal means.
+    let half = period / 2;
+    let mut slot_sum = vec![0.0f64; period];
+    let mut slot_n = vec![0u32; period];
+    for i in half..n.saturating_sub(half) {
+        slot_sum[i % period] += values[i] - trend[i];
+        slot_n[i % period] += 1;
+    }
+    let mut seasonal: Vec<f64> = slot_sum
+        .iter()
+        .zip(&slot_n)
+        .map(|(&s, &c)| if c == 0 { 0.0 } else { s / f64::from(c) })
+        .collect();
+    // Centre the seasonal component so the trend keeps the level.
+    let seasonal_mean = seasonal.iter().sum::<f64>() / period as f64;
+    for s in &mut seasonal {
+        *s -= seasonal_mean;
+    }
+
+    let residual: Vec<f64> = (0..n)
+        .map(|i| values[i] - trend[i] - seasonal[i % period])
+        .collect();
+
+    Ok(Decomposition {
+        trend,
+        seasonal,
+        residual,
+        period,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal_signal(n: usize, period: usize, trend_slope: f64, noise_amp: f64) -> Series {
+        fn hash_noise(i: u64) -> f64 {
+            let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = z ^ (z >> 27);
+            (z % 1000) as f64 / 500.0 - 1.0
+        }
+        let values = (0..n)
+            .map(|i| {
+                20.0 + trend_slope * i as f64
+                    + 10.0 * (std::f64::consts::TAU * (i % period) as f64 / period as f64).sin()
+                    + noise_amp * hash_noise(i as u64)
+            })
+            .collect();
+        Series::new(0, 5, values)
+    }
+
+    #[test]
+    fn recovers_seasonal_shape() {
+        let s = seasonal_signal(288 * 4, 288, 0.0, 0.2);
+        let d = decompose(&s, 288).unwrap();
+        // The seasonal component tracks the sine.
+        let expected: Vec<f64> = (0..288)
+            .map(|i| 10.0 * (std::f64::consts::TAU * i as f64 / 288.0).sin())
+            .collect();
+        for (got, want) in d.seasonal.iter().zip(&expected) {
+            assert!((got - want).abs() < 1.5, "{got} vs {want}");
+        }
+        assert!(d.seasonal_strength() > 0.9, "{}", d.seasonal_strength());
+    }
+
+    #[test]
+    fn recovers_linear_trend() {
+        let s = seasonal_signal(288 * 4, 288, 0.05, 0.2);
+        let d = decompose(&s, 288).unwrap();
+        // Away from edges, trend[i+288] - trend[i] ≈ 288 * slope.
+        let i = 400;
+        let rise = d.trend[i + 288] - d.trend[i];
+        assert!((rise - 288.0 * 0.05).abs() < 1.5, "rise {rise}");
+    }
+
+    #[test]
+    fn components_sum_to_signal() {
+        let s = seasonal_signal(288 * 3, 288, 0.01, 1.0);
+        let d = decompose(&s, 288).unwrap();
+        for i in 0..s.len() {
+            let reconstructed = d.trend[i] + d.seasonal[i % 288] + d.residual[i];
+            assert!((reconstructed - s.values()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noise_has_low_seasonal_strength() {
+        fn hash_noise(i: u64) -> f64 {
+            let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = z ^ (z >> 27);
+            (z % 1000) as f64 / 500.0 - 1.0
+        }
+        let s = Series::new(0, 5, (0..1000).map(|i| hash_noise(i as u64) * 5.0).collect());
+        let d = decompose(&s, 100).unwrap();
+        assert!(d.seasonal_strength() < 0.4, "{}", d.seasonal_strength());
+    }
+
+    #[test]
+    fn odd_periods_supported() {
+        let s = seasonal_signal(99 * 3, 99, 0.0, 0.1);
+        let d = decompose(&s, 99).unwrap();
+        assert_eq!(d.seasonal.len(), 99);
+        assert!(d.seasonal_strength() > 0.8);
+    }
+
+    #[test]
+    fn error_conditions() {
+        let s = Series::new(0, 5, vec![1.0; 100]);
+        assert!(matches!(decompose(&s, 1), Err(SeriesError::BadResampleFactor)));
+        assert!(matches!(decompose(&s, 80), Err(SeriesError::TooShort(100))));
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the time-series substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by time-series transforms and detectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SeriesError {
+    /// The series is too short for the requested operation; carries its
+    /// length.
+    TooShort(usize),
+    /// An FFT buffer length was not a power of two; carries the length.
+    NotPowerOfTwo(usize),
+    /// The series is constant, so variance-normalized analysis is
+    /// undefined.
+    ZeroVariance,
+    /// Two series that must share start/step/length do not.
+    Misaligned,
+    /// A resampling factor or window was invalid.
+    BadResampleFactor,
+}
+
+impl fmt::Display for SeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeriesError::TooShort(n) => write!(f, "series too short: {n} samples"),
+            SeriesError::NotPowerOfTwo(n) => {
+                write!(f, "fft length {n} is not a power of two")
+            }
+            SeriesError::ZeroVariance => f.write_str("series has zero variance"),
+            SeriesError::Misaligned => f.write_str("series are misaligned"),
+            SeriesError::BadResampleFactor => f.write_str("invalid resample factor"),
+        }
+    }
+}
+
+impl Error for SeriesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(SeriesError::TooShort(3).to_string().contains("3"));
+        assert!(SeriesError::NotPowerOfTwo(6).to_string().contains("power of two"));
+        assert!(SeriesError::ZeroVariance.to_string().contains("variance"));
+    }
+
+    #[test]
+    fn trait_bounds() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SeriesError>();
+    }
+}

@@ -1,0 +1,238 @@
+//! Radix-2 iterative fast Fourier transform and the periodogram built on
+//! it. Implemented from scratch: the period detector only needs power
+//! spectra of zero-padded real signals.
+
+use crate::error::SeriesError;
+
+/// A complex number as a `(re, im)` pair; kept private-shaped but public
+/// for testability of round-trips.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex multiplication.
+    #[must_use]
+    pub fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    /// Squared magnitude.
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Errors
+/// Returns [`SeriesError::NotPowerOfTwo`] unless `buf.len()` is a power of
+/// two (and nonzero).
+pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), SeriesError> {
+    let n = buf.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(SeriesError::NotPowerOfTwo(n));
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let angle = -std::f64::consts::TAU / len as f64;
+        let w_len = Complex::new(angle.cos(), angle.sin());
+        for chunk in buf.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let t = chunk[k + half].mul(w);
+                chunk[k] = Complex::new(u.re + t.re, u.im + t.im);
+                chunk[k + half] = Complex::new(u.re - t.re, u.im - t.im);
+                w = w.mul(w_len);
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Inverse FFT via conjugation, for round-trip testing and convolution.
+///
+/// # Errors
+/// Returns [`SeriesError::NotPowerOfTwo`] unless the length is a power of
+/// two.
+pub fn ifft_in_place(buf: &mut [Complex]) -> Result<(), SeriesError> {
+    for c in buf.iter_mut() {
+        c.im = -c.im;
+    }
+    fft_in_place(buf)?;
+    let n = buf.len() as f64;
+    for c in buf.iter_mut() {
+        c.re /= n;
+        c.im = -c.im / n;
+    }
+    Ok(())
+}
+
+/// Smallest power of two ≥ `n`.
+#[must_use]
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Periodogram of a real signal: the signal is mean-centred, zero-padded
+/// to the next power of two, transformed, and the one-sided power spectrum
+/// `|X_k|²/N` returned for `k = 0..N/2`.
+///
+/// Frequency of bin `k` is `k / (N * step)` cycles per time unit, where
+/// `N` is the padded length.
+///
+/// Returns the power vector and the padded length `N`.
+///
+/// # Errors
+/// Returns [`SeriesError::TooShort`] for signals with fewer than 4 points.
+pub fn periodogram(signal: &[f64]) -> Result<(Vec<f64>, usize), SeriesError> {
+    if signal.len() < 4 {
+        return Err(SeriesError::TooShort(signal.len()));
+    }
+    let mean = signal.iter().sum::<f64>() / signal.len() as f64;
+    let n = next_power_of_two(signal.len());
+    let mut buf: Vec<Complex> = signal
+        .iter()
+        .map(|&v| Complex::new(v - mean, 0.0))
+        .chain(std::iter::repeat(Complex::default()))
+        .take(n)
+        .collect();
+    fft_in_place(&mut buf)?;
+    let power = buf[..n / 2]
+        .iter()
+        .map(|c| c.norm_sq() / n as f64)
+        .collect();
+    Ok((power, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::default(); 8];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut buf).unwrap();
+        for c in &buf {
+            assert!(approx(c.re, 1.0, 1e-12) && approx(c.im, 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_at_dc() {
+        let mut buf = vec![Complex::new(1.0, 0.0); 8];
+        fft_in_place(&mut buf).unwrap();
+        assert!(approx(buf[0].re, 8.0, 1e-12));
+        for c in &buf[1..] {
+            assert!(c.norm_sq() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let original: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut buf = original.clone();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (a, b) in original.iter().zip(&buf) {
+            assert!(approx(a.re, b.re, 1e-9) && approx(a.im, b.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let mut buf = vec![Complex::default(); 6];
+        assert!(matches!(
+            fft_in_place(&mut buf),
+            Err(SeriesError::NotPowerOfTwo(6))
+        ));
+        let mut empty: Vec<Complex> = vec![];
+        assert!(fft_in_place(&mut empty).is_err());
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let signal: Vec<f64> = (0..128).map(|i| ((i as f64) * 0.1).sin() * 3.0).collect();
+        let mut buf: Vec<Complex> = signal.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft_in_place(&mut buf).unwrap();
+        let time_energy: f64 = signal.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = buf.iter().map(|c| c.norm_sq()).sum::<f64>() / 128.0;
+        assert!(approx(time_energy, freq_energy, 1e-6));
+    }
+
+    #[test]
+    fn periodogram_peaks_at_signal_frequency() {
+        // 8 cycles over 256 samples -> padded N = 256, peak at bin 8.
+        let signal: Vec<f64> = (0..256)
+            .map(|i| (std::f64::consts::TAU * 8.0 * i as f64 / 256.0).sin())
+            .collect();
+        let (power, n) = periodogram(&signal).unwrap();
+        assert_eq!(n, 256);
+        let peak = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 8);
+    }
+
+    #[test]
+    fn periodogram_zero_pads_awkward_lengths() {
+        let signal: Vec<f64> = (0..300)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin())
+            .collect();
+        let (power, n) = periodogram(&signal).unwrap();
+        assert_eq!(n, 512);
+        assert_eq!(power.len(), 256);
+    }
+
+    #[test]
+    fn periodogram_rejects_tiny_input() {
+        assert!(matches!(
+            periodogram(&[1.0, 2.0]),
+            Err(SeriesError::TooShort(2))
+        ));
+    }
+
+    #[test]
+    fn dc_removed_before_transform() {
+        let signal = vec![5.0; 64];
+        let (power, _) = periodogram(&signal).unwrap();
+        assert!(power.iter().all(|&p| p < 1e-18));
+    }
+}

@@ -1,0 +1,264 @@
+//! Periodicity detection in the style of Vlachos, Yu & Castelli (ICDM'05),
+//! the method the paper cites (\[18\]) for identifying diurnal and
+//! hourly-peak utilization patterns.
+//!
+//! Stage 1 extracts candidate periods from periodogram bins whose power
+//! clears an adaptive threshold. Stage 2 validates each candidate on the
+//! autocorrelation function: a true period must land on an ACF *hill*
+//! (local maximum above a correlation threshold); spectral leakage and
+//! harmonics land on slopes or valleys and are discarded.
+
+use crate::acf::{autocorrelation, refine_on_acf};
+use crate::error::SeriesError;
+use crate::fft::periodogram;
+use crate::series::Series;
+use serde::{Deserialize, Serialize};
+
+/// A detected period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectedPeriod {
+    /// Period length in minutes.
+    pub minutes: f64,
+    /// Period length in samples of the analyzed series.
+    pub lag: usize,
+    /// ACF value at the validated lag (strength of the periodicity).
+    pub acf_strength: f64,
+    /// Normalized periodogram power of the originating candidate bin.
+    pub power_fraction: f64,
+}
+
+/// Tuning knobs for the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodDetectorConfig {
+    /// How many of the strongest periodogram bins become candidates.
+    pub max_candidates: usize,
+    /// A candidate bin must carry at least this fraction of total
+    /// (non-DC) spectral power.
+    pub min_power_fraction: f64,
+    /// Minimum ACF value for a hill to validate a candidate.
+    pub min_acf: f64,
+    /// Search radius (in samples) around the candidate lag when looking
+    /// for the ACF hill, as a fraction of the candidate lag.
+    pub refine_radius_fraction: f64,
+}
+
+impl Default for PeriodDetectorConfig {
+    fn default() -> Self {
+        Self {
+            max_candidates: 8,
+            min_power_fraction: 0.04,
+            min_acf: 0.3,
+            refine_radius_fraction: 0.2,
+        }
+    }
+}
+
+/// Periodicity detector. Construct once, reuse across series.
+///
+/// # Examples
+/// ```
+/// # use cloudscope_timeseries::period::PeriodDetector;
+/// # use cloudscope_timeseries::series::Series;
+/// // A daily (1440-minute) pattern sampled every 5 minutes for a week.
+/// let values: Vec<f64> = (0..2016)
+///     .map(|i| (std::f64::consts::TAU * (i as f64) / 288.0).sin())
+///     .collect();
+/// let series = Series::new(0, 5, values);
+/// let detector = PeriodDetector::default();
+/// let periods = detector.detect(&series).unwrap();
+/// assert!(periods.iter().any(|p| (p.minutes - 1440.0).abs() < 150.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PeriodDetector {
+    config: PeriodDetectorConfig,
+}
+
+impl PeriodDetector {
+    /// Creates a detector with custom configuration.
+    #[must_use]
+    pub const fn new(config: PeriodDetectorConfig) -> Self {
+        Self { config }
+    }
+
+    /// Detects periods in a series, strongest (by ACF) first.
+    ///
+    /// # Errors
+    /// - [`SeriesError::TooShort`] if the series has fewer than 16 samples.
+    /// - [`SeriesError::ZeroVariance`] if the series is constant.
+    pub fn detect(&self, series: &Series) -> Result<Vec<DetectedPeriod>, SeriesError> {
+        let values = series.values();
+        if values.len() < 16 {
+            return Err(SeriesError::TooShort(values.len()));
+        }
+        let (power, padded_n) = periodogram(values)?;
+        let total_power: f64 = power.iter().skip(1).sum();
+        if total_power <= 0.0 {
+            return Err(SeriesError::ZeroVariance);
+        }
+
+        // Stage 1: candidate bins, strongest first, above the power floor.
+        let mut bins: Vec<(usize, f64)> = power
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(k, &p)| (k, p / total_power))
+            .filter(|&(_, frac)| frac >= self.config.min_power_fraction)
+            .collect();
+        bins.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite power"));
+        bins.truncate(self.config.max_candidates);
+
+        // Stage 2: validate on the ACF.
+        let max_lag = values.len() / 2;
+        let acf = autocorrelation(values, max_lag)?;
+        let mut found: Vec<DetectedPeriod> = Vec::new();
+        for (k, frac) in bins {
+            // Bin k of an N-point transform corresponds to period N/k samples.
+            let lag_estimate = (padded_n as f64 / k as f64).round() as usize;
+            if lag_estimate < 2 || lag_estimate > max_lag {
+                continue;
+            }
+            let radius =
+                ((lag_estimate as f64 * self.config.refine_radius_fraction) as usize).max(1);
+            let Some((lag, strength)) =
+                refine_on_acf(&acf, lag_estimate, radius, self.config.min_acf)
+            else {
+                continue;
+            };
+            // Deduplicate: skip lags within 10% of an accepted period.
+            if found
+                .iter()
+                .any(|p| (p.lag as f64 - lag as f64).abs() < 0.1 * p.lag as f64)
+            {
+                continue;
+            }
+            found.push(DetectedPeriod {
+                minutes: lag as f64 * series.step_minutes() as f64,
+                lag,
+                acf_strength: strength,
+                power_fraction: frac,
+            });
+        }
+        found.sort_by(|a, b| b.acf_strength.partial_cmp(&a.acf_strength).expect("finite"));
+        Ok(found)
+    }
+
+    /// Convenience: `true` if some detected period lies within
+    /// `tolerance_minutes` of `target_minutes`. Constant or too-short
+    /// series simply report `false`.
+    #[must_use]
+    pub fn has_period_near(
+        &self,
+        series: &Series,
+        target_minutes: f64,
+        tolerance_minutes: f64,
+    ) -> bool {
+        self.detect(series).is_ok_and(|periods| {
+            periods
+                .iter()
+                .any(|p| (p.minutes - target_minutes).abs() <= tolerance_minutes)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-noise in [-1, 1] via a splitmix64-style hash.
+    fn noise(i: usize) -> f64 {
+        let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = z ^ (z >> 31);
+        (z % 10_000) as f64 / 5_000.0 - 1.0
+    }
+
+    fn weekly_series(period_samples: usize, amplitude: f64, noise_amp: f64) -> Series {
+        let values: Vec<f64> = (0..2016)
+            .map(|i| {
+                amplitude * (std::f64::consts::TAU * i as f64 / period_samples as f64).sin()
+                    + noise_amp * noise(i)
+            })
+            .collect();
+        Series::new(0, 5, values)
+    }
+
+    #[test]
+    fn detects_daily_period_in_five_minute_data() {
+        // 288 five-minute samples per day.
+        let series = weekly_series(288, 10.0, 1.0);
+        let detector = PeriodDetector::default();
+        let periods = detector.detect(&series).unwrap();
+        assert!(!periods.is_empty());
+        assert!(
+            (periods[0].minutes - 1440.0).abs() <= 150.0,
+            "got {:?}",
+            periods[0]
+        );
+        assert!(detector.has_period_near(&series, 1440.0, 150.0));
+    }
+
+    #[test]
+    fn detects_hourly_period() {
+        let series = weekly_series(12, 10.0, 1.0);
+        let detector = PeriodDetector::default();
+        assert!(detector.has_period_near(&series, 60.0, 10.0));
+        assert!(!detector.has_period_near(&series, 1440.0, 150.0));
+    }
+
+    #[test]
+    fn pure_noise_detects_nothing_strong() {
+        let values: Vec<f64> = (0..2016).map(noise).collect();
+        let series = Series::new(0, 5, values);
+        let periods = PeriodDetector::default().detect(&series).unwrap();
+        for p in &periods {
+            assert!(
+                p.acf_strength < 0.5,
+                "noise produced a strong period: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_series_errors() {
+        let series = Series::new(0, 5, vec![3.0; 64]);
+        assert!(matches!(
+            PeriodDetector::default().detect(&series),
+            Err(SeriesError::ZeroVariance)
+        ));
+        assert!(!PeriodDetector::default().has_period_near(&series, 60.0, 5.0));
+    }
+
+    #[test]
+    fn short_series_errors() {
+        let series = Series::new(0, 5, vec![1.0, 2.0, 3.0]);
+        assert!(matches!(
+            PeriodDetector::default().detect(&series),
+            Err(SeriesError::TooShort(3))
+        ));
+    }
+
+    #[test]
+    fn two_superimposed_periods_both_found() {
+        let values: Vec<f64> = (0..2016)
+            .map(|i| {
+                10.0 * (std::f64::consts::TAU * i as f64 / 288.0).sin()
+                    + 6.0 * (std::f64::consts::TAU * i as f64 / 12.0).sin()
+                    + 0.5 * noise(i)
+            })
+            .collect();
+        let series = Series::new(0, 5, values);
+        let detector = PeriodDetector::default();
+        assert!(detector.has_period_near(&series, 1440.0, 150.0), "daily missing");
+        assert!(detector.has_period_near(&series, 60.0, 10.0), "hourly missing");
+    }
+
+    #[test]
+    fn results_sorted_by_strength() {
+        let series = weekly_series(288, 10.0, 1.0);
+        let periods = PeriodDetector::default().detect(&series).unwrap();
+        for w in periods.windows(2) {
+            assert!(w[0].acf_strength >= w[1].acf_strength);
+        }
+    }
+}

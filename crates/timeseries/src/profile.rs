@@ -1,0 +1,267 @@
+//! Temporal profiles: folding a week of telemetry into daily shapes,
+//! weekday/weekend splits, cross-population percentile bands (Figure 6),
+//! and peak-alignment helpers (Figure 7(c)).
+
+use crate::error::SeriesError;
+use crate::series::Series;
+use cloudscope_stats::percentile::percentiles;
+use serde::{Deserialize, Serialize};
+
+/// Minutes per day, re-declared to avoid a model-crate dependency.
+const MINUTES_PER_DAY: i64 = 24 * 60;
+/// Minutes per week.
+const MINUTES_PER_WEEK: i64 = 7 * MINUTES_PER_DAY;
+
+/// Folds a series into its average daily shape: bucket `i` is the mean of
+/// all samples whose time-of-day falls in the `i`-th step-sized slot.
+///
+/// # Errors
+/// Returns [`SeriesError::TooShort`] if the series is empty or its step
+/// does not divide a day.
+pub fn daily_profile(series: &Series) -> Result<Vec<f64>, SeriesError> {
+    let step = series.step_minutes();
+    if series.is_empty() || MINUTES_PER_DAY % step != 0 {
+        return Err(SeriesError::TooShort(series.len()));
+    }
+    let buckets = (MINUTES_PER_DAY / step) as usize;
+    let mut sums = vec![0.0f64; buckets];
+    let mut counts = vec![0u32; buckets];
+    for (i, &v) in series.values().iter().enumerate() {
+        let minute = series.time_of(i).rem_euclid(MINUTES_PER_DAY);
+        let b = (minute / step) as usize;
+        sums[b] += v;
+        counts[b] += 1;
+    }
+    Ok(sums
+        .into_iter()
+        .zip(counts)
+        .map(|(s, c)| if c == 0 { 0.0 } else { s / f64::from(c) })
+        .collect())
+}
+
+/// Mean over weekday samples and mean over weekend samples, assuming the
+/// series starts at minute 0 = Monday 00:00 (the trace convention).
+///
+/// # Errors
+/// Returns [`SeriesError::TooShort`] if the series is empty.
+pub fn weekday_weekend_means(series: &Series) -> Result<(f64, f64), SeriesError> {
+    if series.is_empty() {
+        return Err(SeriesError::TooShort(0));
+    }
+    let (mut wd_sum, mut wd_n, mut we_sum, mut we_n) = (0.0f64, 0u32, 0.0f64, 0u32);
+    for (i, &v) in series.values().iter().enumerate() {
+        let day = series.time_of(i).rem_euclid(MINUTES_PER_WEEK) / MINUTES_PER_DAY;
+        if day >= 5 {
+            we_sum += v;
+            we_n += 1;
+        } else {
+            wd_sum += v;
+            wd_n += 1;
+        }
+    }
+    let wd = if wd_n == 0 { 0.0 } else { wd_sum / f64::from(wd_n) };
+    let we = if we_n == 0 { 0.0 } else { we_sum / f64::from(we_n) };
+    Ok((wd, we))
+}
+
+/// Time-of-day (minutes since midnight) at which the average daily
+/// profile peaks.
+///
+/// # Errors
+/// Propagates [`daily_profile`] errors.
+pub fn peak_minute_of_day(series: &Series) -> Result<i64, SeriesError> {
+    let profile = daily_profile(series)?;
+    let (idx, _) = profile
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("profile non-empty");
+    Ok(idx as i64 * series.step_minutes())
+}
+
+/// Percentile bands across a *population* of series: at each time index,
+/// the requested percentiles of the population's values — exactly what
+/// Figure 6 plots for CPU utilization over a week and over a day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PercentileBands {
+    /// Percentile levels, ascending (e.g. `[5, 25, 50, 75, 95]`).
+    pub levels: Vec<f64>,
+    /// `bands[level_idx][time_idx]` = that percentile at that time.
+    pub bands: Vec<Vec<f64>>,
+    /// Step in minutes of the underlying series.
+    pub step_minutes: i64,
+}
+
+impl PercentileBands {
+    /// Computes bands across equally long series.
+    ///
+    /// # Errors
+    /// - [`SeriesError::TooShort`] if `population` is empty or any series
+    ///   is empty.
+    /// - [`SeriesError::Misaligned`] if lengths or steps differ.
+    pub fn across(population: &[&Series], levels: &[f64]) -> Result<Self, SeriesError> {
+        let first = population.first().ok_or(SeriesError::TooShort(0))?;
+        if first.is_empty() {
+            return Err(SeriesError::TooShort(0));
+        }
+        if population
+            .iter()
+            .any(|s| s.len() != first.len() || s.step_minutes() != first.step_minutes())
+        {
+            return Err(SeriesError::Misaligned);
+        }
+        let mut bands = vec![Vec::with_capacity(first.len()); levels.len()];
+        let mut column = Vec::with_capacity(population.len());
+        for t in 0..first.len() {
+            column.clear();
+            column.extend(population.iter().map(|s| s.values()[t]));
+            let vals = percentiles(&column, levels).map_err(|_| SeriesError::Misaligned)?;
+            for (band, v) in bands.iter_mut().zip(vals) {
+                band.push(v);
+            }
+        }
+        Ok(Self {
+            levels: levels.to_vec(),
+            bands,
+            step_minutes: first.step_minutes(),
+        })
+    }
+
+    /// The band for one level, if it was requested.
+    #[must_use]
+    pub fn band(&self, level: f64) -> Option<&[f64]> {
+        self.levels
+            .iter()
+            .position(|&l| l == level)
+            .map(|i| self.bands[i].as_slice())
+    }
+
+    /// Mean width between the highest and lowest requested band — a
+    /// flatness measure: the paper observes public-cloud utilization bands
+    /// are tighter/more stable than private-cloud ones.
+    #[must_use]
+    pub fn mean_spread(&self) -> f64 {
+        if self.bands.len() < 2 || self.bands[0].is_empty() {
+            return 0.0;
+        }
+        let lo = &self.bands[0];
+        let hi = &self.bands[self.bands.len() - 1];
+        lo.iter()
+            .zip(hi)
+            .map(|(a, b)| b - a)
+            .sum::<f64>()
+            / lo.len() as f64
+    }
+
+    /// Temporal variability of the median band (its population standard
+    /// deviation over time): near zero for a flat profile.
+    #[must_use]
+    pub fn median_band_std(&self) -> f64 {
+        let Some(median) = self.band(50.0) else {
+            return 0.0;
+        };
+        let mean = median.iter().sum::<f64>() / median.len() as f64;
+        (median.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / median.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day_sine(step: i64, days: usize, amp: f64, phase_minutes: f64) -> Series {
+        let per_day = (MINUTES_PER_DAY / step) as usize;
+        let values = (0..per_day * days)
+            .map(|i| {
+                let minute = i as f64 * step as f64;
+                50.0 + amp
+                    * (std::f64::consts::TAU * (minute - phase_minutes)
+                        / MINUTES_PER_DAY as f64)
+                        .sin()
+            })
+            .collect();
+        Series::new(0, step, values)
+    }
+
+    #[test]
+    fn daily_profile_folds_days() {
+        let s = day_sine(60, 7, 10.0, 0.0);
+        let profile = daily_profile(&s).unwrap();
+        assert_eq!(profile.len(), 24);
+        // All days identical, so the profile equals one day's shape.
+        for (i, &v) in profile.iter().enumerate() {
+            assert!((v - s.values()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn daily_profile_requires_divisible_step() {
+        let s = Series::new(0, 7, vec![1.0; 100]);
+        assert!(daily_profile(&s).is_err());
+        let empty = Series::new(0, 60, vec![]);
+        assert!(daily_profile(&empty).is_err());
+    }
+
+    #[test]
+    fn weekday_weekend_split() {
+        // 7 days hourly: weekdays at 80, weekend at 20.
+        let values: Vec<f64> = (0..168)
+            .map(|h| if h / 24 >= 5 { 20.0 } else { 80.0 })
+            .collect();
+        let s = Series::new(0, 60, values);
+        let (wd, we) = weekday_weekend_means(&s).unwrap();
+        assert_eq!(wd, 80.0);
+        assert_eq!(we, 20.0);
+    }
+
+    #[test]
+    fn peak_minute_found() {
+        // Sine peaking a quarter-day after the phase reference.
+        let s = day_sine(60, 7, 10.0, 0.0);
+        let peak = peak_minute_of_day(&s).unwrap();
+        assert_eq!(peak, 6 * 60, "sine peaks at 06:00");
+        let shifted = day_sine(60, 7, 10.0, 3.0 * 60.0);
+        assert_eq!(peak_minute_of_day(&shifted).unwrap(), 9 * 60);
+    }
+
+    #[test]
+    fn bands_across_population() {
+        let population: Vec<Series> = (0..10)
+            .map(|k| Series::new(0, 60, vec![k as f64; 24]))
+            .collect();
+        let refs: Vec<&Series> = population.iter().collect();
+        let bands = PercentileBands::across(&refs, &[25.0, 50.0, 75.0]).unwrap();
+        let median = bands.band(50.0).unwrap();
+        assert!(median.iter().all(|&v| (v - 4.5).abs() < 1e-9));
+        assert!(bands.band(99.0).is_none());
+        assert!((bands.mean_spread() - 4.5).abs() < 1e-9);
+        assert!(bands.median_band_std() < 1e-12);
+    }
+
+    #[test]
+    fn bands_reject_misaligned_population() {
+        let a = Series::new(0, 60, vec![1.0; 24]);
+        let b = Series::new(0, 60, vec![1.0; 23]);
+        assert!(PercentileBands::across(&[&a, &b], &[50.0]).is_err());
+        assert!(PercentileBands::across(&[], &[50.0]).is_err());
+        let c = Series::new(0, 30, vec![1.0; 24]);
+        assert!(PercentileBands::across(&[&a, &c], &[50.0]).is_err());
+    }
+
+    #[test]
+    fn flat_vs_varying_median_band() {
+        // A population whose median moves over time has a larger
+        // median-band std than a static one.
+        let moving: Vec<Series> = (0..6)
+            .map(|_| day_sine(60, 1, 20.0, 0.0))
+            .collect();
+        let flat: Vec<Series> = (0..6)
+            .map(|k| Series::new(0, 60, vec![10.0 + k as f64; 24]))
+            .collect();
+        let m_refs: Vec<&Series> = moving.iter().collect();
+        let f_refs: Vec<&Series> = flat.iter().collect();
+        let m = PercentileBands::across(&m_refs, &[50.0]).unwrap();
+        let f = PercentileBands::across(&f_refs, &[50.0]).unwrap();
+        assert!(m.median_band_std() > 5.0 * f.median_band_std());
+    }
+}

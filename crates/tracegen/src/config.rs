@@ -1,0 +1,419 @@
+//! Generator configuration: every knob is calibrated to a quantitative
+//! statement of the DSN'23 study (see DESIGN.md §4 for the fact ledger).
+
+use cloudscope_model::topology::NodeSku;
+use serde::{Deserialize, Serialize};
+
+/// One region of the simulated platform.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Region name (e.g. `us-west`).
+    pub name: String,
+    /// Offset from UTC in whole hours.
+    pub tz_offset_hours: i32,
+    /// Geography tag; the paper's cross-region study restricts to "US".
+    pub geo: String,
+}
+
+/// Shape of the physical plant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Regions to build. The default mirrors the paper's US study setup:
+    /// about 10 regions spread over many time zones.
+    pub regions: Vec<RegionSpec>,
+    /// Private-cloud clusters per region.
+    pub private_clusters_per_region: usize,
+    /// Public-cloud clusters per region. The paper samples a similar
+    /// number of public clusters as private ones.
+    pub public_clusters_per_region: usize,
+    /// Racks (fault domains) per cluster.
+    pub racks_per_cluster: usize,
+    /// Nodes per rack.
+    pub nodes_per_rack: usize,
+    /// Node SKU, identical within a cluster (and, here, across clusters —
+    /// the paper notes private and public clusters have similar sizes).
+    pub node_sku: NodeSku,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        // ~10 US regions over 9 time zones, as in the paper's Fig 7(b)
+        // setting, plus tz variety resembling US geography.
+        let regions = [
+            ("us-east", -5),
+            ("us-east-2", -5),
+            ("us-central", -6),
+            ("us-south-central", -6),
+            ("us-mountain", -7),
+            ("us-west", -8),
+            ("us-west-2", -8),
+            ("us-northwest", -8),
+            ("us-alaska", -9),
+            ("us-hawaii", -10),
+        ]
+        .into_iter()
+        .map(|(name, tz)| RegionSpec {
+            name: name.to_owned(),
+            tz_offset_hours: tz,
+            geo: "US".to_owned(),
+        })
+        .collect();
+        Self {
+            regions,
+            private_clusters_per_region: 2,
+            public_clusters_per_region: 2,
+            racks_per_cluster: 5,
+            nodes_per_rack: 40,
+            node_sku: NodeSku::new(64, 640.0),
+        }
+    }
+}
+
+/// Mixture of the four utilization-pattern archetypes (Figure 5).
+/// Weights need not be normalized; sampling normalizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternMix {
+    /// Daily cycle tied to user activity.
+    pub diurnal: f64,
+    /// Flat utilization (over-subscription candidates).
+    pub stable: f64,
+    /// Low base with unpredictable spikes.
+    pub irregular: f64,
+    /// Spikes at hour/half-hour marks (meeting joins).
+    pub hourly_peak: f64,
+}
+
+impl PatternMix {
+    /// Weights as an array in `[diurnal, stable, irregular, hourly_peak]`
+    /// order.
+    #[must_use]
+    pub fn weights(&self) -> [f64; 4] {
+        [self.diurnal, self.stable, self.irregular, self.hourly_peak]
+    }
+}
+
+/// Parameters of one cloud's VM arrival machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalProfile {
+    /// Mean regular (non-burst) VM creations per hour per region at the
+    /// diurnal baseline.
+    pub base_rate_per_hour: f64,
+    /// Diurnal modulation amplitude in `[0, 1]`: 0 = flat, 1 = rate swings
+    /// from 0 to 2× base at the daily peak.
+    pub diurnal_amplitude: f64,
+    /// Multiplier applied to the rate on weekends (the paper observes a
+    /// significant weekend decrease in both clouds).
+    pub weekend_factor: f64,
+    /// Expected number of deployment bursts per region over the week
+    /// (private-cloud spikes of Figure 3(b)/(c)); 0 disables bursts.
+    pub bursts_per_region_week: f64,
+    /// Mean VMs created by one burst (geometric-ish around this mean).
+    pub burst_size_mean: f64,
+}
+
+/// Churn lifetime mixture, calibrated to Figure 3(a): the shortest
+/// lifetime bin holds 49% of private and 81% of public bounded VMs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeProfile {
+    /// Probability a regular churn VM is short-lived (exponential with
+    /// [`LifetimeProfile::short_mean_minutes`]).
+    pub short_fraction: f64,
+    /// Mean of the short-lived exponential, in minutes.
+    pub short_mean_minutes: f64,
+    /// Median of the medium log-normal, in minutes.
+    pub medium_median_minutes: f64,
+    /// Log-space sigma of the medium log-normal.
+    pub medium_sigma: f64,
+    /// Probability a churn VM is long-lived (log-normal in days) —
+    /// usually censored by the week window and excluded from Fig 3(a).
+    pub long_fraction: f64,
+    /// Median of the long-lived log-normal, in minutes.
+    pub long_median_minutes: f64,
+}
+
+/// VM-size sampling profile over the SKU catalog (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeProfile {
+    /// Extra probability mass pushed to the catalog's extreme corners
+    /// (1-core/min-memory and max-core/max-memory). The paper observes
+    /// non-negligible corner demand only in the public cloud.
+    pub corner_mass: f64,
+    /// Concentration of the central sizes: higher = narrower, more
+    /// homogeneous size distribution (private cloud).
+    pub concentration: f64,
+}
+
+/// Full per-cloud workload profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudProfile {
+    /// Number of subscriptions.
+    pub subscriptions: usize,
+    /// Median standing VMs per subscription (log-normal).
+    pub deployment_median: f64,
+    /// Log-space sigma of the deployment-size log-normal.
+    pub deployment_sigma: f64,
+    /// Fraction of subscriptions deployed in a single region (Fig 4(a):
+    /// >50% in both clouds; larger multi-region tail in private).
+    pub single_region_fraction: f64,
+    /// Maximum regions a multi-region subscription spans.
+    pub max_regions: usize,
+    /// Deployment-size multiplier per extra region: multi-region private
+    /// subscriptions are the large ones (Fig 4(b): 60% of private cores
+    /// are multi-region vs 30% public).
+    pub multi_region_size_boost: f64,
+    /// Fraction of a subscription's VMs that are long-standing (alive
+    /// before and often beyond the trace week) as opposed to churn.
+    pub standing_fraction: f64,
+    /// Arrival machinery.
+    pub arrival: ArrivalProfile,
+    /// Churn lifetime mixture.
+    pub lifetime: LifetimeProfile,
+    /// Utilization-pattern mixture (per service).
+    pub pattern_mix: PatternMix,
+    /// Fraction of multi-region services fronted by a geo-level load
+    /// balancer, making them region-agnostic (Fig 7(b)/(c)).
+    pub geo_lb_fraction: f64,
+    /// VM size sampling.
+    pub size: SizeProfile,
+    /// Fraction of churn creations that belong to diurnal auto-scaling
+    /// (created in the local morning, removed in the local evening) —
+    /// the mechanism behind the public cloud's clean diurnal counts.
+    pub autoscale_fraction: f64,
+    /// Fraction of VMs launched as evictable spot instances.
+    pub spot_fraction: f64,
+    /// Range of local peak hours diurnal services draw from. First-party
+    /// work-related services cluster in the early afternoon; third-party
+    /// customer services serve diverse user bases and spread wider.
+    pub peak_hour_range: (f64, f64),
+}
+
+impl CloudProfile {
+    /// Default private-cloud profile (first-party workloads).
+    #[must_use]
+    pub fn private_default() -> Self {
+        Self {
+            subscriptions: 100,
+            deployment_median: 48.0,
+            deployment_sigma: 0.85,
+            single_region_fraction: 0.52,
+            max_regions: 8,
+            multi_region_size_boost: 1.20,
+            standing_fraction: 0.78,
+            arrival: ArrivalProfile {
+                base_rate_per_hour: 8.0,
+                diurnal_amplitude: 0.35,
+                weekend_factor: 0.55,
+                bursts_per_region_week: 3.0,
+                burst_size_mean: 260.0,
+            },
+            lifetime: LifetimeProfile {
+                short_fraction: 0.75,
+                short_mean_minutes: 22.0,
+                medium_median_minutes: 9.0 * 60.0,
+                medium_sigma: 0.9,
+                long_fraction: 0.10,
+                long_median_minutes: 4.0 * 24.0 * 60.0,
+            },
+            pattern_mix: PatternMix {
+                diurnal: 0.58,
+                stable: 0.13,
+                irregular: 0.07,
+                hourly_peak: 0.22,
+            },
+            geo_lb_fraction: 0.70,
+            size: SizeProfile {
+                corner_mass: 0.01,
+                concentration: 2.2,
+            },
+            autoscale_fraction: 0.06,
+            spot_fraction: 0.02,
+            peak_hour_range: (12.5, 16.5),
+        }
+    }
+
+    /// Default public-cloud profile (first- plus third-party workloads).
+    #[must_use]
+    pub fn public_default() -> Self {
+        Self {
+            subscriptions: 5000,
+            deployment_median: 1.8,
+            deployment_sigma: 1.1,
+            single_region_fraction: 0.76,
+            max_regions: 4,
+            multi_region_size_boost: 0.85,
+            standing_fraction: 0.60,
+            arrival: ArrivalProfile {
+                base_rate_per_hour: 30.0,
+                diurnal_amplitude: 0.75,
+                weekend_factor: 0.60,
+                bursts_per_region_week: 0.0,
+                burst_size_mean: 0.0,
+            },
+            lifetime: LifetimeProfile {
+                short_fraction: 0.90,
+                short_mean_minutes: 18.0,
+                medium_median_minutes: 7.0 * 60.0,
+                medium_sigma: 1.0,
+                long_fraction: 0.04,
+                long_median_minutes: 4.0 * 24.0 * 60.0,
+            },
+            pattern_mix: PatternMix {
+                diurnal: 0.36,
+                stable: 0.32,
+                irregular: 0.24,
+                hourly_peak: 0.08,
+            },
+            geo_lb_fraction: 0.15,
+            size: SizeProfile {
+                corner_mass: 0.10,
+                concentration: 1.0,
+            },
+            autoscale_fraction: 0.22,
+            spot_fraction: 0.08,
+            peak_hour_range: (7.0, 21.0),
+        }
+    }
+}
+
+/// Top-level generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Master seed; every stochastic choice derives from it.
+    pub seed: u64,
+    /// Physical plant.
+    pub topology: TopologyConfig,
+    /// Private-cloud workload profile.
+    pub private: CloudProfile,
+    /// Public-cloud workload profile.
+    pub public: CloudProfile,
+    /// Generate 5-minute utilization telemetry (disable for deployment-
+    /// only studies to speed up generation).
+    pub telemetry: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC10D_5C09,
+            topology: TopologyConfig::default(),
+            private: CloudProfile::private_default(),
+            public: CloudProfile::public_default(),
+            telemetry: true,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A mid-scale configuration for examples and integration tests:
+    /// 6 regions and roughly a quarter of the default telemetry volume,
+    /// large enough for every figure's shape to be stable.
+    #[must_use]
+    pub fn medium(seed: u64) -> Self {
+        let mut cfg = Self {
+            seed,
+            ..Self::default()
+        };
+        cfg.topology.regions.truncate(6);
+        cfg.topology.private_clusters_per_region = 1;
+        cfg.topology.public_clusters_per_region = 1;
+        cfg.topology.racks_per_cluster = 3;
+        cfg.topology.nodes_per_rack = 40;
+        cfg.private.subscriptions = 60;
+        cfg.private.deployment_median = 30.0;
+        cfg.private.arrival.base_rate_per_hour = 4.0;
+        cfg.private.arrival.burst_size_mean = 120.0;
+        cfg.public.subscriptions = 1100;
+        cfg.public.arrival.base_rate_per_hour = 12.0;
+        cfg
+    }
+
+    /// A scaled-down configuration for unit tests and doc examples:
+    /// 3 regions, small clusters, ~40× fewer subscriptions.
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        let mut cfg = Self {
+            seed,
+            ..Self::default()
+        };
+        cfg.topology.regions.truncate(3);
+        cfg.topology.private_clusters_per_region = 1;
+        cfg.topology.public_clusters_per_region = 1;
+        cfg.topology.racks_per_cluster = 2;
+        cfg.topology.nodes_per_rack = 16;
+        cfg.private.subscriptions = 20;
+        cfg.private.deployment_median = 14.0;
+        cfg.private.arrival.base_rate_per_hour = 2.0;
+        cfg.private.arrival.burst_size_mean = 40.0;
+        cfg.public.subscriptions = 300;
+        cfg.public.arrival.base_rate_per_hour = 10.0;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reflect_paper_facts() {
+        let cfg = GeneratorConfig::default();
+        // Fig 1: private deployments much larger, far fewer subscriptions.
+        assert!(cfg.private.deployment_median > 10.0 * cfg.public.deployment_median);
+        assert!(cfg.public.subscriptions > 10 * cfg.private.subscriptions);
+        // Fig 3(a): public churn much more short-lived.
+        assert!(cfg.public.lifetime.short_fraction > cfg.private.lifetime.short_fraction);
+        // Fig 3(c): only the private cloud has deployment bursts.
+        assert!(cfg.private.arrival.bursts_per_region_week > 0.0);
+        assert_eq!(cfg.public.arrival.bursts_per_region_week, 0.0);
+        // Fig 4: both clouds mostly single-region; private tail heavier.
+        assert!(cfg.private.single_region_fraction > 0.5);
+        assert!(cfg.public.single_region_fraction > 0.5);
+        assert!(cfg.private.max_regions > cfg.public.max_regions);
+        // Fig 5(d): diurnal most common in both; private roughly double;
+        // stable higher in public; hourly-peak mostly private.
+        let p = cfg.private.pattern_mix;
+        let q = cfg.public.pattern_mix;
+        assert!(p.diurnal >= p.stable && p.diurnal >= p.irregular && p.diurnal >= p.hourly_peak);
+        assert!(q.diurnal >= q.stable && q.diurnal >= q.irregular && q.diurnal >= q.hourly_peak);
+        assert!(p.diurnal / q.diurnal > 1.4);
+        assert!(q.stable > p.stable);
+        assert!(p.hourly_peak > 2.0 * q.hourly_peak);
+        // Fig 7: geo-LB (region-agnostic) mostly a private phenomenon.
+        assert!(cfg.private.geo_lb_fraction > 3.0 * cfg.public.geo_lb_fraction);
+        // Fig 2: corner sizes only material in public.
+        assert!(cfg.public.size.corner_mass > 5.0 * cfg.private.size.corner_mass);
+    }
+
+    #[test]
+    fn topology_spans_many_time_zones() {
+        let topo = TopologyConfig::default();
+        assert!(topo.regions.len() >= 9);
+        let zones: std::collections::HashSet<i32> =
+            topo.regions.iter().map(|r| r.tz_offset_hours).collect();
+        assert!(zones.len() >= 5);
+        assert!(topo.regions.iter().all(|r| r.geo == "US"));
+    }
+
+    #[test]
+    fn small_and_medium_scale_down() {
+        let small = GeneratorConfig::small(1);
+        let medium = GeneratorConfig::medium(1);
+        let full = GeneratorConfig::default();
+        assert!(small.topology.regions.len() < medium.topology.regions.len());
+        assert!(medium.topology.regions.len() < full.topology.regions.len());
+        assert!(small.public.subscriptions < full.public.subscriptions / 10);
+        assert!(medium.public.subscriptions < full.public.subscriptions);
+        assert!(medium.public.subscriptions > small.public.subscriptions);
+    }
+
+    #[test]
+    fn pattern_weights_order() {
+        let mix = PatternMix {
+            diurnal: 1.0,
+            stable: 2.0,
+            irregular: 3.0,
+            hourly_peak: 4.0,
+        };
+        assert_eq!(mix.weights(), [1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,708 @@
+//! End-to-end trace generation: builds the topology, synthesizes
+//! subscription plans, drives standing deployments and week-long churn
+//! through the allocation service on the discrete-event engine, and
+//! attaches per-VM 5-minute telemetry.
+
+use crate::arrivals::{sample_bursts_week, sample_nhpp_week};
+use crate::config::GeneratorConfig;
+use crate::lifetime::LifetimeSampler;
+use crate::services::{synthesize_plans, SubscriptionPlan};
+use crate::sizes::SizeSampler;
+use crate::utilization::{generate_vm_series, PatternKind, ServiceUtilProfile};
+use cloudscope_cluster::{
+    AllocatorStats, Fleet, PlacementPolicy, PlacementRequest, SpreadingRule,
+};
+use cloudscope_model::prelude::*;
+use cloudscope_model::time::{MINUTES_PER_WEEK, SAMPLE_INTERVAL_MINUTES};
+use cloudscope_sim::engine::Simulation;
+use cloudscope_sim::rng::RngFactory;
+use cloudscope_stats::dist::{Categorical, LogNormal, Sample};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-rack cap on same-service VMs (the fault-domain spreading rule the
+/// paper's Insight 1 discusses).
+const MAX_SAME_SERVICE_PER_RACK: u32 = 80;
+/// How far before the window standing VMs may have been created.
+const MAX_STANDING_LEAD_MINUTES: i64 = 3 * MINUTES_PER_WEEK;
+
+/// Ground truth about one service (= one subscription's workload), kept
+/// alongside the trace for classifier evaluation and policy case studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceInfo {
+    /// The service's id (equals its subscription's index).
+    pub service: ServiceId,
+    /// Owning subscription.
+    pub subscription: SubscriptionId,
+    /// Cloud the service runs in.
+    pub cloud: CloudKind,
+    /// The utilization profile its VMs share.
+    pub profile: ServiceUtilProfile,
+    /// Regions it deploys into.
+    pub regions: Vec<RegionId>,
+    /// Standing VM count at generation time.
+    pub standing_vms: usize,
+}
+
+/// Counters describing one generation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GenerationReport {
+    /// Allocation-service counters for the private fleet.
+    pub private_alloc: AllocatorStats,
+    /// Allocation-service counters for the public fleet.
+    pub public_alloc: AllocatorStats,
+    /// VMs dropped because placement failed.
+    pub dropped_vms: u64,
+    /// Standing VMs created.
+    pub standing_vms: u64,
+    /// Regular churn VMs created.
+    pub churn_vms: u64,
+    /// Burst-deployed VMs created.
+    pub burst_vms: u64,
+}
+
+/// The output of [`generate`]: the trace plus ground truth and counters.
+#[derive(Debug, Clone)]
+pub struct GeneratedTrace {
+    /// The synthetic one-week trace.
+    pub trace: Trace,
+    /// Ground-truth service directory, indexed by [`ServiceId`] index.
+    pub services: Vec<ServiceInfo>,
+    /// Generation counters.
+    pub report: GenerationReport,
+}
+
+impl GeneratedTrace {
+    /// The "ServiceX" of the paper's Figure 7(c): the largest
+    /// region-agnostic multi-region private service, if any exists.
+    #[must_use]
+    pub fn flagship_service(&self) -> Option<&ServiceInfo> {
+        self.services
+            .iter()
+            .filter(|s| {
+                s.cloud == CloudKind::Private
+                    && s.profile.region_agnostic
+                    && s.regions.len() >= 3
+            })
+            .max_by_key(|s| s.standing_vms)
+    }
+}
+
+/// One VM to be materialized, before placement.
+#[derive(Debug, Clone, Copy)]
+struct VmSpec {
+    subscription: usize,
+    group: usize,
+    region: RegionId,
+    created: SimTime,
+    ended: Option<SimTime>,
+    priority: Priority,
+    kind: SpecKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecKind {
+    Standing,
+    Churn,
+    Burst,
+}
+
+/// Discrete events driving placement in time order.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Create(usize),
+    Release(VmId),
+}
+
+/// Generates a full synthetic trace from a configuration.
+///
+/// Deterministic in `config.seed`: the same configuration always yields
+/// the same trace, regardless of thread scheduling.
+///
+/// # Panics
+/// Panics if the configuration is invalid; call
+/// [`GeneratorConfig::validate`] first to get a typed
+/// [`crate::ConfigError`] instead.
+#[must_use]
+pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
+    if let Err(e) = config.validate() {
+        panic!("{e}");
+    }
+    let factory = RngFactory::new(config.seed);
+
+    // 1. Physical plant.
+    let mut tb = Topology::builder();
+    let mut region_ids = Vec::new();
+    for spec in &config.topology.regions {
+        let region = tb.add_region(spec.name.clone(), spec.tz_offset_hours, spec.geo.clone());
+        region_ids.push(region);
+        let dc = tb.add_datacenter(region);
+        for _ in 0..config.topology.private_clusters_per_region {
+            tb.add_cluster(
+                dc,
+                CloudKind::Private,
+                config.topology.node_sku,
+                config.topology.racks_per_cluster,
+                config.topology.nodes_per_rack,
+            );
+        }
+        for _ in 0..config.topology.public_clusters_per_region {
+            tb.add_cluster(
+                dc,
+                CloudKind::Public,
+                config.topology.node_sku,
+                config.topology.racks_per_cluster,
+                config.topology.nodes_per_rack,
+            );
+        }
+    }
+    let topology = tb.build();
+    let tz_of: Vec<i32> = topology.regions().iter().map(|r| r.tz_offset_hours).collect();
+
+    // 2. Subscription plans (private first: dense subscription ids).
+    let mut plan_rng = factory.stream("plans/private");
+    let mut plans = synthesize_plans(
+        CloudKind::Private,
+        &config.private,
+        &region_ids,
+        &mut plan_rng,
+    );
+    let mut plan_rng = factory.stream("plans/public");
+    plans.extend(synthesize_plans(
+        CloudKind::Public,
+        &config.public,
+        &region_ids,
+        &mut plan_rng,
+    ));
+
+    // Global service ids: one service per (subscription, group).
+    let mut service_base: Vec<u32> = Vec::with_capacity(plans.len());
+    let mut next_service = 0u32;
+    for plan in &plans {
+        service_base.push(next_service);
+        next_service += plan.groups.len() as u32;
+    }
+    let mut standing_per_service = vec![0usize; next_service as usize];
+
+    // 3. Materialize VM specs.
+    let mut report = GenerationReport::default();
+    let mut specs: Vec<VmSpec> = Vec::new();
+    let mut standing_rng = factory.stream("standing");
+    for (idx, plan) in plans.iter().enumerate() {
+        let profile = cloud_profile(config, plan.cloud);
+        for (region, &count) in plan.regions.iter().zip(&plan.standing_per_region) {
+            for _ in 0..count {
+                let lead = standing_rng.random_range(1..=MAX_STANDING_LEAD_MINUTES);
+                let survives = standing_rng.random::<f64>() < profile.standing_fraction;
+                let ended = if survives {
+                    None
+                } else {
+                    Some(SimTime::from_minutes(
+                        standing_rng.random_range(0..MINUTES_PER_WEEK),
+                    ))
+                };
+                let group = standing_rng.random_range(0..plan.groups.len());
+                standing_per_service[(service_base[idx] + group as u32) as usize] += 1;
+                specs.push(VmSpec {
+                    subscription: idx,
+                    group,
+                    region: *region,
+                    created: SimTime::from_minutes(-lead),
+                    ended,
+                    priority: Priority::OnDemand,
+                    kind: SpecKind::Standing,
+                });
+                report.standing_vms += 1;
+            }
+        }
+    }
+
+    churn_specs(config, &plans, &region_ids, &tz_of, &factory, &mut specs, &mut report);
+
+    // Sort churn after standing, by creation time, keeping standing
+    // first (they are placed before the week starts).
+    specs.sort_by_key(|s| (s.kind != SpecKind::Standing, s.created));
+
+    // 4. Placement through the allocation service, in event order.
+    let spreading = SpreadingRule {
+        max_same_service_per_rack: Some(MAX_SAME_SERVICE_PER_RACK),
+    };
+    let mut fleets = [
+        Fleet::new(&topology, CloudKind::Private, PlacementPolicy::BestFit, spreading),
+        Fleet::new(&topology, CloudKind::Public, PlacementPolicy::BestFit, spreading),
+    ];
+    let size_samplers = [
+        SizeSampler::new(config.private.size),
+        SizeSampler::new(config.public.size),
+    ];
+    let mut size_rng = factory.stream("sizes");
+
+    // Dense output tables, indexed by VmId.
+    let mut records: Vec<VmRecord> = Vec::with_capacity(specs.len());
+
+    // Standing VMs place first (outside the DES), then churn replays
+    // through the event queue so releases free capacity for later
+    // creations.
+    let mut sim: Simulation<Event> = Simulation::new();
+    for spec in &specs {
+        let plan = &plans[spec.subscription];
+        let fleet_idx = fleet_index(plan.cloud);
+        let size = size_samplers[fleet_idx].sample(&mut size_rng);
+        let request = PlacementRequest {
+            vm: VmId::new(records.len() as u64),
+            size,
+            service: ServiceId::new(service_base[spec.subscription] + spec.group as u32),
+            priority: spec.priority,
+        };
+        match spec.kind {
+            SpecKind::Standing => {
+                match fleets[fleet_idx].place_in_region(spec.region, request) {
+                    Ok((cluster, node)) => {
+                        if let Some(end) = spec.ended {
+                            sim.schedule(end, Event::Release(request.vm));
+                        }
+                        records.push(make_record(request, spec, plan, cluster, Some(node)));
+                    }
+                    Err(_) => {
+                        report.dropped_vms += 1;
+                    }
+                }
+            }
+            SpecKind::Churn | SpecKind::Burst => {
+                // Materialize the record now; the DES will place it.
+                records.push(make_record(
+                    request,
+                    spec,
+                    plan,
+                    ClusterId::new(u32::MAX),
+                    None,
+                ));
+                sim.schedule(spec.created, Event::Create(records.len() - 1));
+            }
+        }
+    }
+
+    let week_end = SimTime::WEEK_END;
+    {
+        let fleets = &mut fleets;
+        let records_ref = &mut records;
+        let plans_ref = &plans;
+        sim.run(week_end, |scheduler, time, event| match event {
+            Event::Create(record_idx) => {
+                let record = &mut records_ref[record_idx];
+                let plan = &plans_ref[record.subscription.as_usize()];
+                let fleet_idx = fleet_index(plan.cloud);
+                let request = PlacementRequest {
+                    vm: record.id,
+                    size: record.size,
+                    service: record.service,
+                    priority: record.priority,
+                };
+                match fleets[fleet_idx].place_in_region(record.region, request) {
+                    Ok((cluster, node)) => {
+                        record.cluster = cluster;
+                        record.node = Some(node);
+                        if let Some(end) = record.ended {
+                            if end < week_end {
+                                scheduler.schedule(end.max(time), Event::Release(record.id));
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // Placement failed: the VM never ran.
+                        record.node = None;
+                    }
+                }
+            }
+            Event::Release(vm) => {
+                let record = &records_ref[vm.as_usize()];
+                let plan = &plans_ref[record.subscription.as_usize()];
+                let _ = fleets[fleet_index(plan.cloud)].release(vm);
+            }
+        });
+    }
+
+    report.private_alloc = fleets[0].stats();
+    report.public_alloc = fleets[1].stats();
+
+    // 5. Telemetry (deterministic per-VM streams, so order is free).
+    let telemetry: Vec<Option<UtilSeries>> = if config.telemetry {
+        let tz_of = &tz_of;
+        let plans = &plans;
+        let records_ref = &records;
+        let service_base = &service_base;
+        let gen_one = |record: &VmRecord| -> Option<UtilSeries> {
+            record.node?;
+            let plan = &plans[record.subscription.as_usize()];
+            let group =
+                (record.service.index() - service_base[record.subscription.as_usize()]) as usize;
+            let first_sample =
+                (record.created.minutes().max(0) + SAMPLE_INTERVAL_MINUTES - 1)
+                    / SAMPLE_INTERVAL_MINUTES;
+            let end_minute = record
+                .ended
+                .map_or(MINUTES_PER_WEEK, |e| e.minutes().min(MINUTES_PER_WEEK));
+            let end_sample = end_minute / SAMPLE_INTERVAL_MINUTES;
+            let samples = end_sample - first_sample;
+            if samples < 2 {
+                return None;
+            }
+            let mut rng = factory.indexed_stream("telemetry", record.id.index());
+            Some(generate_vm_series(
+                &plan.groups[group],
+                tz_of[record.region.as_usize()],
+                SimTime::from_minutes(first_sample * SAMPLE_INTERVAL_MINUTES),
+                samples as usize,
+                &mut rng,
+            ))
+        };
+        // Parallel map, chunked across worker threads; per-VM RNG streams
+        // keep results independent of the thread count.
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(16);
+        let chunk_size = records_ref.len().div_ceil(workers).max(1);
+        let mut out: Vec<Option<UtilSeries>> = vec![None; records_ref.len()];
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (chunk_idx, chunk) in records_ref.chunks(chunk_size).enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    (
+                        chunk_idx * chunk_size,
+                        chunk.iter().map(gen_one).collect::<Vec<_>>(),
+                    )
+                }));
+            }
+            for handle in handles {
+                let (offset, series) = handle.join().expect("telemetry worker");
+                for (i, s) in series.into_iter().enumerate() {
+                    out[offset + i] = s;
+                }
+            }
+        })
+        .expect("telemetry scope");
+        out
+    } else {
+        vec![None; records.len()]
+    };
+
+    // 6. Assemble the trace.
+    let mut builder = Trace::builder(topology);
+    for (idx, plan) in plans.iter().enumerate() {
+        builder
+            .add_subscription(Subscription::new(
+                SubscriptionId::new(idx as u32),
+                plan.cloud,
+                plan.party,
+            ))
+            .expect("dense subscription ids");
+    }
+    // Unplaced churn VMs are dropped (the platform never ran them), and
+    // the survivors renumbered so VmIds stay dense in the trace.
+    let mut next_id = 0u64;
+    for (mut record, util) in records.into_iter().zip(telemetry) {
+        if record.node.is_none() && record.cluster.index() == u32::MAX {
+            report.dropped_vms += 1;
+            continue;
+        }
+        record.id = VmId::new(next_id);
+        next_id += 1;
+        builder.add_vm(record, util).expect("consistent record");
+    }
+
+    let mut services = Vec::with_capacity(next_service as usize);
+    for (idx, plan) in plans.iter().enumerate() {
+        for (group, profile) in plan.groups.iter().enumerate() {
+            let sid = service_base[idx] + group as u32;
+            services.push(ServiceInfo {
+                service: ServiceId::new(sid),
+                subscription: SubscriptionId::new(idx as u32),
+                cloud: plan.cloud,
+                profile: *profile,
+                regions: plan.regions.clone(),
+                standing_vms: standing_per_service[sid as usize],
+            });
+        }
+    }
+
+    GeneratedTrace {
+        trace: builder.build(),
+        services,
+        report,
+    }
+}
+
+fn fleet_index(cloud: CloudKind) -> usize {
+    match cloud {
+        CloudKind::Private => 0,
+        CloudKind::Public => 1,
+    }
+}
+
+fn cloud_profile(config: &GeneratorConfig, cloud: CloudKind) -> &crate::config::CloudProfile {
+    match cloud {
+        CloudKind::Private => &config.private,
+        CloudKind::Public => &config.public,
+    }
+}
+
+fn make_record(
+    request: PlacementRequest,
+    spec: &VmSpec,
+    plan: &SubscriptionPlan,
+    cluster: ClusterId,
+    node: Option<NodeId>,
+) -> VmRecord {
+    VmRecord {
+        id: request.vm,
+        subscription: SubscriptionId::new(spec.subscription as u32),
+        service: request.service,
+        size: request.size,
+        priority: request.priority,
+        service_model: service_model_for(&plan.groups[spec.group]),
+        region: spec.region,
+        cluster,
+        node,
+        created: spec.created,
+        ended: spec.ended,
+    }
+}
+
+/// Service model, derived deterministically from the group's profile:
+/// SaaS for user-facing diurnal/hourly services, PaaS for stable
+/// backends, IaaS otherwise.
+fn service_model_for(profile: &ServiceUtilProfile) -> ServiceModel {
+    match profile.kind {
+        PatternKind::Diurnal | PatternKind::HourlyPeak => ServiceModel::Saas,
+        PatternKind::Stable => ServiceModel::Paas,
+        PatternKind::Irregular => ServiceModel::Iaas,
+    }
+}
+
+/// Generates churn and burst VM specs for both clouds.
+fn churn_specs(
+    config: &GeneratorConfig,
+    plans: &[SubscriptionPlan],
+    region_ids: &[RegionId],
+    tz_of: &[i32],
+    factory: &RngFactory,
+    specs: &mut Vec<VmSpec>,
+    report: &mut GenerationReport,
+) {
+    for cloud in CloudKind::BOTH {
+        let profile = cloud_profile(config, cloud);
+        let lifetimes = LifetimeSampler::new(&profile.lifetime);
+        let burst_lifetime =
+            LogNormal::from_median(5.0 * 60.0, 0.6).expect("valid burst lifetime");
+        let mut rng = factory.stream(&format!("churn/{cloud}"));
+
+        // Subscriptions by region (indices into `plans`).
+        let mut by_region: Vec<Vec<usize>> = vec![Vec::new(); region_ids.len()];
+        for (idx, plan) in plans.iter().enumerate() {
+            if plan.cloud == cloud {
+                for r in &plan.regions {
+                    by_region[r.as_usize()].push(idx);
+                }
+            }
+        }
+
+        for (region_idx, &region) in region_ids.iter().enumerate() {
+            let members = &by_region[region_idx];
+            if members.is_empty() {
+                continue;
+            }
+            let tz = tz_of[region_idx];
+            let churn_weights: Vec<f64> =
+                members.iter().map(|&i| plans[i].churn_weight).collect();
+            let churn_pick = Categorical::new(&churn_weights).expect("positive weights");
+
+            // Regular (possibly diurnal) churn.
+            for created in sample_nhpp_week(&mut rng, &profile.arrival, tz) {
+                let sub = members[churn_pick.sample_index(&mut rng)];
+                let group = rng.random_range(0..plans[sub].groups.len());
+                let autoscale = rng.random::<f64>() < profile.autoscale_fraction;
+                let ended = if autoscale {
+                    Some(autoscale_end(created, tz, &mut rng))
+                } else {
+                    Some(created + lifetimes.sample(&mut rng))
+                };
+                let spot = rng.random::<f64>() < profile.spot_fraction;
+                specs.push(VmSpec {
+                    subscription: sub,
+                    group,
+                    region,
+                    created,
+                    ended,
+                    priority: if spot { Priority::Spot } else { Priority::OnDemand },
+                    kind: SpecKind::Churn,
+                });
+                report.churn_vms += 1;
+            }
+
+            // Deployment bursts (private-cloud spikes).
+            let burst_weights: Vec<f64> = members
+                .iter()
+                .map(|&i| {
+                    let s = plans[i].standing_total() as f64;
+                    s * s
+                })
+                .collect();
+            if burst_weights.iter().sum::<f64>() <= 0.0 {
+                continue;
+            }
+            let burst_pick = Categorical::new(&burst_weights).expect("positive weights");
+            for burst in sample_bursts_week(&mut rng, &profile.arrival, tz) {
+                let sub = members[burst_pick.sample_index(&mut rng)];
+                let group = rng.random_range(0..plans[sub].groups.len());
+                for _ in 0..burst.size {
+                    let life = burst_lifetime.sample(&mut rng).max(30.0) as i64;
+                    specs.push(VmSpec {
+                        subscription: sub,
+                        group,
+                        region,
+                        created: burst.at,
+                        ended: Some(burst.at + SimDuration::from_minutes(life)),
+                        priority: Priority::OnDemand,
+                        kind: SpecKind::Burst,
+                    });
+                    report.burst_vms += 1;
+                }
+            }
+        }
+    }
+}
+
+/// End time for an auto-scaled VM: around 19:00 local on its creation
+/// day (or a short life if created in the evening).
+fn autoscale_end<R: Rng + ?Sized>(created: SimTime, tz: i32, rng: &mut R) -> SimTime {
+    let local = created.to_local(tz);
+    let evening = i64::from(19 * 60) + rng.random_range(-45..45);
+    let remaining = evening - i64::from(local.minute_of_day());
+    if remaining > 30 {
+        created + SimDuration::from_minutes(remaining)
+    } else {
+        created + SimDuration::from_minutes(rng.random_range(20..60))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+
+    fn small_trace(seed: u64) -> GeneratedTrace {
+        generate(&GeneratorConfig::small(seed))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_trace(7);
+        let b = small_trace(7);
+        assert_eq!(a.trace.stats(), b.trace.stats());
+        assert_eq!(a.report, b.report);
+        let vm = VmId::new(3);
+        assert_eq!(a.trace.vm(vm).unwrap(), b.trace.vm(vm).unwrap());
+        assert_eq!(a.trace.util(vm), b.trace.util(vm));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_trace(1);
+        let b = small_trace(2);
+        assert_ne!(a.trace.stats(), b.trace.stats());
+    }
+
+    #[test]
+    fn both_clouds_populated() {
+        let g = small_trace(3);
+        let stats = g.trace.stats();
+        assert!(stats.private_vms > 100, "{stats:?}");
+        assert!(stats.public_vms > 100, "{stats:?}");
+        assert!(stats.private_subscriptions > 0);
+        assert!(stats.public_subscriptions > stats.private_subscriptions);
+        assert!(stats.vms_with_telemetry > 0);
+    }
+
+    #[test]
+    fn records_reference_valid_entities() {
+        let g = small_trace(4);
+        for vm in g.trace.vms() {
+            let cluster = g.trace.topology().cluster(vm.cluster).expect("cluster");
+            assert_eq!(cluster.region, vm.region);
+            let sub = g.trace.subscription(vm.subscription).expect("subscription");
+            assert_eq!(sub.cloud, cluster.cloud);
+            if let Some(node) = vm.node {
+                assert_eq!(g.trace.topology().node(node).unwrap().cluster, vm.cluster);
+            }
+            if let Some(end) = vm.ended {
+                assert!(end >= vm.created);
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_spans_alive_window() {
+        let g = small_trace(5);
+        let mut checked = 0;
+        for vm in g.trace.vms() {
+            if let Some(series) = g.trace.util(vm.id) {
+                assert!(series.start().minutes() >= 0);
+                assert!(series.start() >= vm.created);
+                let last = series.time_at(series.len() - 1);
+                assert!(last < SimTime::WEEK_END);
+                if let Some(end) = vm.ended {
+                    assert!(last < end.max(SimTime::ZERO) || end > SimTime::WEEK_END);
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 100);
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let g = small_trace(6);
+        let total_specs = g.report.standing_vms + g.report.churn_vms + g.report.burst_vms;
+        assert_eq!(
+            g.trace.vms().len() as u64 + g.report.dropped_vms,
+            total_specs
+        );
+        assert!(g.report.burst_vms > 0, "private bursts expected");
+        assert!(
+            g.report.private_alloc.successes + g.report.public_alloc.successes
+                >= g.trace.vms().iter().filter(|v| v.node.is_some()).count() as u64
+        );
+    }
+
+    #[test]
+    fn flagship_service_exists_and_is_private_agnostic() {
+        // Flagship needs >=3 regions; use a seed-stable small config.
+        let g = small_trace(8);
+        if let Some(svc) = g.flagship_service() {
+            assert_eq!(svc.cloud, CloudKind::Private);
+            assert!(svc.profile.region_agnostic);
+            assert!(svc.regions.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn telemetry_can_be_disabled() {
+        let mut cfg = GeneratorConfig::small(9);
+        cfg.telemetry = false;
+        let g = generate(&cfg);
+        assert_eq!(g.trace.stats().vms_with_telemetry, 0);
+        assert!(!g.trace.vms().is_empty());
+    }
+
+    #[test]
+    fn spot_vms_only_where_configured() {
+        let g = small_trace(10);
+        let spot_public = g
+            .trace
+            .vms_of(CloudKind::Public)
+            .filter(|v| v.priority == Priority::Spot)
+            .count();
+        assert!(spot_public > 0, "public cloud should have spot VMs");
+    }
+}

@@ -1,0 +1,432 @@
+//! Utilization-pattern generators for the four archetypes of Figure 5:
+//! diurnal, stable, irregular, and hourly-peak.
+//!
+//! All VMs of one *service* share a [`ServiceUtilProfile`] (same pattern,
+//! base, amplitude, and phase) — this is what makes co-located
+//! private-cloud VMs correlate with their host node (Figure 7(a)). Each VM
+//! adds independent sampling noise and, for irregular services, its own
+//! spike schedule.
+//!
+//! A region-agnostic (geo-load-balanced) service follows one *global*
+//! clock in every region; a region-sensitive service follows the region's
+//! local wall clock (Figure 7(c)).
+
+use crate::config::PatternMix;
+use cloudscope_model::telemetry::UtilSeries;
+use cloudscope_model::time::{SimTime, SAMPLE_INTERVAL_MINUTES};
+use cloudscope_stats::dist::{Categorical, Poisson, Sample, StdNormal};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The four utilization-pattern archetypes of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Daily cycle tied to user activity; weekday peaks ≈ 3× weekend.
+    Diurnal,
+    /// Flat utilization with small noise.
+    Stable,
+    /// Low base with unpredictable short spikes.
+    Irregular,
+    /// Sharp peaks at hour/half-hour marks during working hours.
+    HourlyPeak,
+}
+
+impl PatternKind {
+    /// All four kinds in Figure 5 order.
+    pub const ALL: [PatternKind; 4] = [
+        PatternKind::Diurnal,
+        PatternKind::Stable,
+        PatternKind::Irregular,
+        PatternKind::HourlyPeak,
+    ];
+
+    /// Draws a pattern kind from a cloud's mixture.
+    pub fn sample_from_mix<R: Rng + ?Sized>(mix: &PatternMix, rng: &mut R) -> PatternKind {
+        let picker = Categorical::new(&mix.weights()).expect("valid mixture weights");
+        Self::ALL[picker.sample_index(rng)]
+    }
+}
+
+impl std::fmt::Display for PatternKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PatternKind::Diurnal => "diurnal",
+            PatternKind::Stable => "stable",
+            PatternKind::Irregular => "irregular",
+            PatternKind::HourlyPeak => "hourly-peak",
+        })
+    }
+}
+
+/// The utilization profile every VM of one service shares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceUtilProfile {
+    /// Pattern archetype.
+    pub kind: PatternKind,
+    /// Baseline utilization in percent.
+    pub base: f64,
+    /// Peak height above base in percent.
+    pub amplitude: f64,
+    /// Local (or global, if region-agnostic) hour of the diurnal peak.
+    pub peak_hour: f64,
+    /// Multiplier on the amplitude during weekends (the paper's Fig 5(a)
+    /// shows weekday peaks ≈ 60% vs weekend ≈ 20%).
+    pub weekend_damp: f64,
+    /// If `true`, the activity clock is global (UTC): a geo-level load
+    /// balancer routes demand, so peaks align across time zones.
+    pub region_agnostic: bool,
+    /// Std-dev of per-sample Gaussian noise each VM adds, in percent.
+    pub noise_std: f64,
+    /// Expected irregular spikes per day (irregular pattern only).
+    pub spikes_per_day: f64,
+    /// Duration of an irregular spike in minutes.
+    pub spike_minutes: f64,
+    /// Height of irregular/hourly spikes above base, in percent.
+    pub spike_height: f64,
+}
+
+impl ServiceUtilProfile {
+    /// Samples a profile for one service of the given archetype, with
+    /// diurnal peak hours drawn from `peak_hour_range`.
+    pub fn sample_in_range<R: Rng + ?Sized>(
+        kind: PatternKind,
+        region_agnostic: bool,
+        peak_hour_range: (f64, f64),
+        rng: &mut R,
+    ) -> Self {
+        let (peak_lo, peak_hi) = peak_hour_range;
+        let peak = peak_lo + rng.random::<f64>() * (peak_hi - peak_lo).max(0.0);
+        let base = 3.0 + rng.random::<f64>() * 10.0;
+        match kind {
+            PatternKind::Diurnal => Self {
+                kind,
+                base,
+                // Some services peak near 50%, most lower -> p75 < 30%.
+                amplitude: 8.0 + rng.random::<f64>() * 32.0,
+                peak_hour: peak,
+                weekend_damp: 0.25 + rng.random::<f64>() * 0.2,
+                region_agnostic,
+                noise_std: 1.5,
+                spikes_per_day: 0.0,
+                spike_minutes: 0.0,
+                spike_height: 0.0,
+            },
+            PatternKind::Stable => Self {
+                kind,
+                base: 5.0 + rng.random::<f64>() * 25.0,
+                amplitude: 0.0,
+                peak_hour: 0.0,
+                weekend_damp: 1.0,
+                region_agnostic,
+                noise_std: 0.8,
+                spikes_per_day: 0.0,
+                spike_minutes: 0.0,
+                spike_height: 0.0,
+            },
+            PatternKind::Irregular => Self {
+                kind,
+                base: 2.0 + rng.random::<f64>() * 6.0,
+                amplitude: 0.0,
+                peak_hour: 0.0,
+                weekend_damp: 1.0,
+                region_agnostic,
+                noise_std: 1.0,
+                spikes_per_day: 0.5 + rng.random::<f64>() * 2.5,
+                spike_minutes: 15.0 + rng.random::<f64>() * 45.0,
+                spike_height: 40.0 + rng.random::<f64>() * 40.0,
+            },
+            PatternKind::HourlyPeak => Self {
+                kind,
+                base,
+                amplitude: 6.0 + rng.random::<f64>() * 10.0,
+                peak_hour: peak,
+                weekend_damp: 0.3,
+                region_agnostic,
+                noise_std: 1.2,
+                spikes_per_day: 0.0,
+                spike_minutes: 10.0,
+                spike_height: 25.0 + rng.random::<f64>() * 30.0,
+            },
+        }
+    }
+
+    /// Samples a profile with the default early-afternoon peak range.
+    pub fn sample<R: Rng + ?Sized>(
+        kind: PatternKind,
+        region_agnostic: bool,
+        rng: &mut R,
+    ) -> Self {
+        Self::sample_in_range(kind, region_agnostic, (13.0, 16.0), rng)
+    }
+
+    /// The deterministic (noise-free, spike-free) shape component at a UTC
+    /// minute for a VM in a region with the given time-zone offset.
+    #[must_use]
+    pub fn shape_at(&self, utc_minute: i64, tz_offset_hours: i32) -> f64 {
+        let clock = if self.region_agnostic {
+            SimTime::from_minutes(utc_minute)
+        } else {
+            SimTime::from_minutes(utc_minute).to_local(tz_offset_hours)
+        };
+        match self.kind {
+            PatternKind::Stable | PatternKind::Irregular => self.base,
+            PatternKind::Diurnal => {
+                let amp = if clock.is_weekend() {
+                    self.amplitude * self.weekend_damp
+                } else {
+                    self.amplitude
+                };
+                self.base + amp * activity_bump(clock.fractional_hour_of_day(), self.peak_hour)
+            }
+            PatternKind::HourlyPeak => {
+                let work_hours = !clock.is_weekend()
+                    && (8..18).contains(&clock.hour_of_day());
+                let work_damp = if work_hours { 1.0 } else { self.weekend_damp };
+                // Mild diurnal floor plus the on-the-hour/half-hour spike.
+                let floor = self.base
+                    + self.amplitude
+                        * activity_bump(clock.fractional_hour_of_day(), self.peak_hour)
+                        * work_damp;
+                let minute_in_half_hour = f64::from(clock.minute_of_hour() % 30);
+                let spike = if minute_in_half_hour < self.spike_minutes {
+                    self.spike_height
+                        * (1.0 - minute_in_half_hour / self.spike_minutes)
+                        * work_damp
+                } else {
+                    0.0
+                };
+                floor + spike
+            }
+        }
+    }
+}
+
+/// A smooth daily activity bump: raised cosine of half-width 7 hours
+/// centred on `peak_hour`, in `[0, 1]`, wrapping across midnight.
+#[must_use]
+fn activity_bump(hour: f64, peak_hour: f64) -> f64 {
+    let mut d = (hour - peak_hour).abs();
+    if d > 12.0 {
+        d = 24.0 - d;
+    }
+    const HALF_WIDTH: f64 = 7.0;
+    if d >= HALF_WIDTH {
+        0.0
+    } else {
+        0.5 * (1.0 + (std::f64::consts::PI * d / HALF_WIDTH).cos())
+    }
+}
+
+/// Generates the telemetry for one VM: the service shape at each 5-minute
+/// sample, plus this VM's own noise and (for irregular services) its own
+/// spike schedule.
+///
+/// `start` is the first sample's time; `samples` the number of 5-minute
+/// samples. The same `(profile, tz, rng-stream)` always produces the same
+/// series.
+pub fn generate_vm_series<R: Rng + ?Sized>(
+    profile: &ServiceUtilProfile,
+    tz_offset_hours: i32,
+    start: SimTime,
+    samples: usize,
+    rng: &mut R,
+) -> UtilSeries {
+    // Pre-draw this VM's irregular spikes over the window.
+    let spikes: Vec<(i64, i64, f64)> = if profile.kind == PatternKind::Irregular {
+        let window_minutes = samples as i64 * SAMPLE_INTERVAL_MINUTES;
+        let expected = profile.spikes_per_day * window_minutes as f64 / (24.0 * 60.0);
+        let count = Poisson::new(expected.max(0.0))
+            .expect("non-negative spike rate")
+            .sample_count(rng);
+        (0..count)
+            .map(|_| {
+                let at = start.minutes() + rng.random_range(0..window_minutes.max(1));
+                let dur = (profile.spike_minutes * (0.5 + rng.random::<f64>())) as i64;
+                let height = profile.spike_height * (0.6 + 0.4 * rng.random::<f64>());
+                (at, at + dur.max(SAMPLE_INTERVAL_MINUTES), height)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let values = (0..samples).map(|i| {
+        let minute = start.minutes() + i as i64 * SAMPLE_INTERVAL_MINUTES;
+        let mut v = profile.shape_at(minute, tz_offset_hours);
+        for &(s, e, h) in &spikes {
+            if (s..e).contains(&minute) {
+                v += h;
+            }
+        }
+        v += profile.noise_std * StdNormal.sample(rng);
+        v as f32
+    });
+    UtilSeries::from_percentages(start, values.collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudscope_model::time::SAMPLES_PER_WEEK;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen_week(kind: PatternKind, agnostic: bool, tz: i32, seed: u64) -> (ServiceUtilProfile, UtilSeries) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = ServiceUtilProfile::sample(kind, agnostic, &mut rng);
+        let series = generate_vm_series(&profile, tz, SimTime::ZERO, SAMPLES_PER_WEEK, &mut rng);
+        (profile, series)
+    }
+
+    #[test]
+    fn diurnal_has_daynight_contrast_and_weekend_dip() {
+        let (profile, series) = gen_week(PatternKind::Diurnal, false, 0, 1);
+        let vals = series.to_f64_vec();
+        // Weekday (Tue) peak hour vs night.
+        let day_idx = (24 + profile.peak_hour as usize) * 12;
+        let night_idx = (24 + 3) * 12;
+        assert!(vals[day_idx] > vals[night_idx] + profile.amplitude * 0.5);
+        // Saturday same hour is damped.
+        let sat_idx = (5 * 24 + profile.peak_hour as usize) * 12;
+        assert!(vals[day_idx] > vals[sat_idx] + profile.amplitude * 0.3);
+    }
+
+    #[test]
+    fn stable_is_flat() {
+        let (profile, series) = gen_week(PatternKind::Stable, false, 0, 2);
+        let vals = series.to_f64_vec();
+        let summary: cloudscope_stats::Summary = vals.iter().copied().collect();
+        assert!(summary.population_std_dev() < 3.0 * profile.noise_std + 0.5);
+        assert!((summary.mean() - profile.base).abs() < 1.0);
+    }
+
+    #[test]
+    fn irregular_spikes_rare_but_tall() {
+        let (profile, series) = gen_week(PatternKind::Irregular, false, 0, 3);
+        let vals = series.to_f64_vec();
+        let above = vals.iter().filter(|&&v| v > profile.base + 20.0).count();
+        let frac = above as f64 / vals.len() as f64;
+        assert!(frac > 0.0, "no spikes generated");
+        assert!(frac < 0.2, "spikes too frequent: {frac}");
+        let max = vals.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 30.0, "spikes too small: {max}");
+    }
+
+    #[test]
+    fn hourly_peak_spikes_on_the_half_hour() {
+        let (_, series) = gen_week(PatternKind::HourlyPeak, false, 0, 4);
+        let vals = series.to_f64_vec();
+        // Tuesday 10:00-16:00: compare on-the-hour samples vs :20 samples.
+        let mut on_mark = 0.0;
+        let mut off_mark = 0.0;
+        let mut n = 0.0;
+        for hour in 10..16 {
+            let base_idx = (24 + hour) * 12;
+            on_mark += vals[base_idx];
+            off_mark += vals[base_idx + 4]; // :20
+            n += 1.0;
+        }
+        assert!(
+            on_mark / n > off_mark / n + 10.0,
+            "on {on_mark} vs off {off_mark}"
+        );
+    }
+
+    #[test]
+    fn region_agnostic_aligns_peaks_across_time_zones() {
+        // Same service profile, two regions 8 hours apart.
+        let mut rng = StdRng::seed_from_u64(5);
+        let profile = ServiceUtilProfile::sample(PatternKind::Diurnal, true, &mut rng);
+        let a: Vec<f64> = (0..SAMPLES_PER_WEEK as i64)
+            .map(|i| profile.shape_at(i * 5, 0))
+            .collect();
+        let b: Vec<f64> = (0..SAMPLES_PER_WEEK as i64)
+            .map(|i| profile.shape_at(i * 5, -8))
+            .collect();
+        assert_eq!(a, b, "geo-LB service must ignore the local clock");
+
+        // The same service without geo-LB shifts with the zone.
+        let local = ServiceUtilProfile {
+            region_agnostic: false,
+            ..profile
+        };
+        let c: Vec<f64> = (0..SAMPLES_PER_WEEK as i64)
+            .map(|i| local.shape_at(i * 5, -8))
+            .collect();
+        assert_ne!(a, c);
+        let r = cloudscope_stats::pearson(&a, &c).unwrap();
+        assert!(r < 0.7, "8-hour shift should decorrelate: {r}");
+    }
+
+    #[test]
+    fn same_service_vms_correlate() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let profile = ServiceUtilProfile::sample(PatternKind::Diurnal, false, &mut rng);
+        let v1 = generate_vm_series(&profile, -5, SimTime::ZERO, 2016, &mut rng).to_f64_vec();
+        let v2 = generate_vm_series(&profile, -5, SimTime::ZERO, 2016, &mut rng).to_f64_vec();
+        let r = cloudscope_stats::pearson(&v1, &v2).unwrap();
+        assert!(r > 0.8, "same-service VMs should correlate: {r}");
+    }
+
+    #[test]
+    fn different_phase_services_decorrelate() {
+        let morning = ServiceUtilProfile {
+            kind: PatternKind::Diurnal,
+            base: 10.0,
+            amplitude: 30.0,
+            peak_hour: 6.0,
+            weekend_damp: 1.0,
+            region_agnostic: false,
+            noise_std: 0.5,
+            spikes_per_day: 0.0,
+            spike_minutes: 0.0,
+            spike_height: 0.0,
+        };
+        let evening = ServiceUtilProfile {
+            peak_hour: 18.0,
+            ..morning
+        };
+        let a: Vec<f64> = (0..2016i64).map(|i| morning.shape_at(i * 5, 0)).collect();
+        let b: Vec<f64> = (0..2016i64).map(|i| evening.shape_at(i * 5, 0)).collect();
+        let r = cloudscope_stats::pearson(&a, &b).unwrap();
+        assert!(r < 0.2, "opposite phases should not correlate: {r}");
+    }
+
+    #[test]
+    fn pattern_mix_sampling_respects_weights() {
+        let mix = PatternMix {
+            diurnal: 0.7,
+            stable: 0.3,
+            irregular: 0.0,
+            hourly_peak: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut diurnal = 0;
+        for _ in 0..2000 {
+            match PatternKind::sample_from_mix(&mix, &mut rng) {
+                PatternKind::Diurnal => diurnal += 1,
+                PatternKind::Stable => {}
+                other => panic!("zero-weight pattern drawn: {other}"),
+            }
+        }
+        let frac = f64::from(diurnal) / 2000.0;
+        assert!((frac - 0.7).abs() < 0.05, "diurnal fraction {frac}");
+    }
+
+    #[test]
+    fn utilization_stays_in_percent_range() {
+        for (seed, kind) in PatternKind::ALL.iter().enumerate() {
+            let (_, series) = gen_week(*kind, false, -8, seed as u64 + 10);
+            for v in series.iter() {
+                assert!((0.0..=100.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn activity_bump_wraps_midnight() {
+        // Peak at 23:00: 01:00 is 2h away, not 22h.
+        assert!(activity_bump(1.0, 23.0) > 0.5);
+        assert_eq!(activity_bump(11.0, 23.0), 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests over the trace generator: whatever the configuration,
+//! the emitted trace obeys the model's invariants.
+
+use cloudscope_model::prelude::*;
+use cloudscope_model::time::SAMPLES_PER_WEEK;
+use cloudscope_tracegen::{generate, GeneratorConfig};
+use proptest::prelude::*;
+
+/// Small random configurations that still generate in tens of
+/// milliseconds.
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        any::<u64>(),
+        2usize..4,   // regions
+        4usize..16,  // private subscriptions
+        20usize..80, // public subscriptions
+        1.0f64..20.0, // private deployment median
+        0.0f64..1.0, // geo-lb fraction
+        prop::bool::ANY, // telemetry
+    )
+        .prop_map(|(seed, regions, private_subs, public_subs, median, geo, telemetry)| {
+            let mut cfg = GeneratorConfig::small(seed);
+            cfg.topology.regions.truncate(regions);
+            cfg.private.subscriptions = private_subs;
+            cfg.private.deployment_median = median;
+            cfg.public.subscriptions = public_subs;
+            cfg.private.geo_lb_fraction = geo;
+            cfg.private.arrival.base_rate_per_hour = 0.5;
+            cfg.public.arrival.base_rate_per_hour = 2.0;
+            cfg.telemetry = telemetry;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_traces_are_internally_consistent(config in config_strategy()) {
+        let g = generate(&config);
+        let trace = &g.trace;
+
+        // Dense, ordered VM ids.
+        for (i, vm) in trace.vms().iter().enumerate() {
+            prop_assert_eq!(vm.id.as_usize(), i);
+        }
+
+        for vm in trace.vms() {
+            // Placement consistency.
+            let cluster = trace.topology().cluster(vm.cluster).expect("cluster exists");
+            prop_assert_eq!(cluster.region, vm.region);
+            let sub = trace.subscription(vm.subscription).expect("subscription exists");
+            prop_assert_eq!(sub.cloud, cluster.cloud);
+            if let Some(node) = vm.node {
+                prop_assert_eq!(trace.topology().node(node).expect("node").cluster, vm.cluster);
+            }
+            // Temporal sanity.
+            if let Some(end) = vm.ended {
+                prop_assert!(end >= vm.created);
+            }
+            // Telemetry stays inside the window and percent range.
+            if let Some(util) = trace.util(vm.id) {
+                prop_assert!(config.telemetry);
+                prop_assert!(util.start().minutes() >= 0);
+                prop_assert!(util.len() <= SAMPLES_PER_WEEK);
+                for v in util.iter() {
+                    prop_assert!((0.0..=100.0).contains(&v));
+                }
+            }
+        }
+
+        // Counters reconcile.
+        let total = g.report.standing_vms + g.report.churn_vms + g.report.burst_vms;
+        prop_assert_eq!(trace.vms().len() as u64 + g.report.dropped_vms, total);
+
+        // Every subscription the plans created exists in the trace.
+        prop_assert_eq!(
+            trace.subscriptions().len(),
+            config.private.subscriptions + config.public.subscriptions
+        );
+
+        // Service directory covers all services referenced by VMs.
+        for vm in trace.vms() {
+            prop_assert!(vm.service.as_usize() < g.services.len());
+            let svc = &g.services[vm.service.as_usize()];
+            prop_assert_eq!(svc.subscription, vm.subscription);
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_config(seed in any::<u64>()) {
+        let mut cfg = GeneratorConfig::small(seed);
+        cfg.topology.regions.truncate(2);
+        cfg.private.subscriptions = 5;
+        cfg.public.subscriptions = 20;
+        cfg.private.arrival.base_rate_per_hour = 0.5;
+        cfg.public.arrival.base_rate_per_hour = 1.0;
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        prop_assert_eq!(a.trace.stats(), b.trace.stats());
+        prop_assert_eq!(a.report, b.report);
+    }
+}

@@ -1,0 +1,56 @@
+//! Capacity planning: chance-constrained over-subscription of a pool of
+//! stable workloads, plus allocation-failure risk scoring for a bursty
+//! private-cloud deployment.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use cloudscope::mgmt::allocfail::{AllocFailureFeatures, AllocFailurePredictor};
+use cloudscope::mgmt::oversub::{OversubMethod, OversubPlanner, VmDemand};
+use cloudscope::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generated = generate(&GeneratorConfig::small(7));
+
+    // Pool the public cloud's full-week telemetry VMs.
+    let pool: Vec<VmDemand> = generated
+        .trace
+        .vms_of(CloudKind::Public)
+        .filter_map(|vm| {
+            let util = generated.trace.util(vm.id)?;
+            (util.start().minutes() == 0 && util.len() == 2016).then(|| VmDemand {
+                cores: vm.size.cores(),
+                utilization: util.to_f64_vec(),
+            })
+        })
+        .take(200)
+        .collect();
+    println!("over-subscribing a pool of {} public-cloud VMs:", pool.len());
+    println!("  epsilon  reserved/requested  improvement  violations");
+    for eps in [0.001, 0.01, 0.05, 0.1] {
+        let plan = OversubPlanner::new(eps, OversubMethod::EmpiricalQuantile)?.plan(&pool)?;
+        println!(
+            "  {eps:<7}  {:>6.0} / {:<8.0}  {:>9.0}%  {:>9.4}",
+            plan.reserved_cores,
+            plan.requested_cores,
+            100.0 * plan.utilization_improvement,
+            plan.violation_rate
+        );
+    }
+
+    // Risk-score a burst deployment against clusters at varying load.
+    let predictor = AllocFailurePredictor::default();
+    println!("\nallocation-failure risk of a 500-core burst (bursty tenant, CV=3):");
+    for allocation in [0.3, 0.6, 0.8, 0.9, 0.97] {
+        let risk = predictor.failure_risk(&AllocFailureFeatures {
+            allocation_ratio: allocation,
+            request_fraction: 500.0 / 12_800.0,
+            creation_cv: 3.0,
+            spreading_pressure: 0.2,
+        });
+        let verdict = if risk > 0.5 { "REROUTE" } else { "place" };
+        println!("  cluster at {:>3.0}% allocated -> risk {risk:.3}  [{verdict}]", 100.0 * allocation);
+    }
+    Ok(())
+}

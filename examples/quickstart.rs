@@ -1,0 +1,56 @@
+//! Quickstart: generate a synthetic private+public cloud week, run the
+//! full characterization, and print the paper's four insight verdicts.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudscope::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A scaled-down platform so the example runs in seconds; use
+    // `GeneratorConfig::default()` for the full-scale study.
+    let config = GeneratorConfig::medium(2024);
+    let generated = generate(&config);
+
+    let stats = generated.trace.stats();
+    println!(
+        "generated one week: {} private VMs ({} subscriptions), {} public VMs ({} subscriptions)",
+        stats.private_vms,
+        stats.private_subscriptions,
+        stats.public_vms,
+        stats.public_subscriptions
+    );
+    println!(
+        "allocation service: {} placements, {} failures, {} VMs dropped",
+        generated.report.private_alloc.successes + generated.report.public_alloc.successes,
+        generated.report.private_alloc.capacity_failures
+            + generated.report.private_alloc.spreading_failures
+            + generated.report.public_alloc.capacity_failures
+            + generated.report.public_alloc.spreading_failures,
+        generated.report.dropped_vms
+    );
+
+    let report = CharacterizationReport::analyze(&generated.trace, &ReportConfig::default())?;
+    println!("\npaper insight verdicts:");
+    for (holds, verdict) in report.insight_verdicts() {
+        println!("  [{}] {verdict}", if holds { "ok" } else { "MISS" });
+    }
+
+    println!("\nheadline statistics (paper values in parentheses):");
+    println!(
+        "  shortest-lifetime bin: {:.0}% private vs {:.0}% public   (49% vs 81%)",
+        100.0 * report.temporal.private_short_fraction,
+        100.0 * report.temporal.public_short_fraction
+    );
+    println!(
+        "  subscriptions per cluster: public = {:.1}x private        (~20x)",
+        report.deployment.subscriptions_per_cluster_ratio
+    );
+    println!(
+        "  node-level correlation median: {:.2} vs {:.2}             (0.55 vs 0.02)",
+        report.node_correlation.0.median(),
+        report.node_correlation.1.median()
+    );
+    Ok(())
+}

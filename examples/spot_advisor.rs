@@ -1,0 +1,65 @@
+//! Spot advisor: build the workload knowledge base, select spot-VM
+//! candidates (short-lived public workloads), predict eviction rates, and
+//! plan cost-minimal spot/on-demand mixtures.
+//!
+//! ```sh
+//! cargo run --release --example spot_advisor
+//! ```
+
+use cloudscope::mgmt::spot::{spot_candidates, EvictionFeatures, EvictionPredictor, SpotMixPolicy};
+use cloudscope::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generated = generate(&GeneratorConfig::small(13));
+
+    // Feed the knowledge base from telemetry.
+    let kb = KnowledgeBase::new();
+    let classifier = PatternClassifier::default();
+    for cloud in CloudKind::BOTH {
+        kb.feed(extract_cloud_knowledge(&generated.trace, cloud, &classifier, 4));
+    }
+    println!("knowledge base: {} subscriptions", kb.len());
+
+    let candidates = spot_candidates(&kb);
+    println!(
+        "{} spot-adoption candidates ({} VMs total)",
+        candidates.len(),
+        candidates.iter().map(|k| k.vm_count).sum::<usize>()
+    );
+
+    // Eviction risk across cluster load levels.
+    let predictor = EvictionPredictor::default();
+    println!("\npredicted eviction rate per hour:");
+    for load in [0.3, 0.6, 0.9] {
+        let rate = predictor.eviction_rate_per_hour(&EvictionFeatures {
+            cluster_allocation_ratio: load,
+            relative_vm_size: 0.1,
+            demand_intensity: 0.7,
+        });
+        println!("  cluster {:.0}% allocated -> {:.1}%/h", 100.0 * load, 100.0 * rate);
+    }
+
+    // Plan a mixture for a 20-VM batch needing 16 survivors over 6 hours.
+    let policy = SpotMixPolicy::new(0.3, 0.95)?;
+    println!("\nspot/on-demand mixtures for 20 VMs, 16 required, 6 hours:");
+    for load in [0.3, 0.6, 0.9] {
+        let survival = predictor.survival_probability(
+            &EvictionFeatures {
+                cluster_allocation_ratio: load,
+                relative_vm_size: 0.1,
+                demand_intensity: 0.7,
+            },
+            6.0,
+        );
+        let plan = policy.plan(20, 16, survival)?;
+        println!(
+            "  load {:.0}%: {} spot + {} on-demand (availability {:.3}, cost {:.0}% of on-demand)",
+            100.0 * load,
+            plan.spot_vms,
+            plan.on_demand_vms,
+            plan.availability,
+            100.0 * plan.relative_cost
+        );
+    }
+    Ok(())
+}

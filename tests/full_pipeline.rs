@@ -1,0 +1,142 @@
+//! End-to-end integration: generate both clouds, run the entire
+//! characterization pipeline, and assert the paper's shape criteria
+//! (the same criteria the `cloudscope-repro` binaries print).
+
+use cloudscope::analysis::correlation::service_region_alignment;
+use cloudscope::prelude::*;
+use std::sync::OnceLock;
+
+fn generated() -> &'static GeneratedTrace {
+    static TRACE: OnceLock<GeneratedTrace> = OnceLock::new();
+    TRACE.get_or_init(|| generate(&GeneratorConfig::medium(99)))
+}
+
+fn report() -> &'static CharacterizationReport {
+    static REPORT: OnceLock<CharacterizationReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        CharacterizationReport::analyze(&generated().trace, &ReportConfig::default())
+            .expect("analysis succeeds on the medium trace")
+    })
+}
+
+#[test]
+fn all_four_insights_hold() {
+    for (holds, verdict) in report().insight_verdicts() {
+        assert!(holds, "insight failed: {verdict}");
+    }
+}
+
+#[test]
+fn fig1_deployment_sizes() {
+    let d = &report().deployment;
+    assert!(
+        d.private_vms_per_subscription.median() > 5.0 * d.public_vms_per_subscription.median(),
+        "private deployments are much larger"
+    );
+    assert!(
+        d.subscriptions_per_cluster_ratio > 4.0,
+        "public clusters host many times more subscriptions: {}",
+        d.subscriptions_per_cluster_ratio
+    );
+}
+
+#[test]
+fn fig2_vm_sizes() {
+    let v = &report().vm_size;
+    assert!(
+        v.public_corner_mass > 3.0 * v.private_corner_mass,
+        "corner mass {} vs {}",
+        v.public_corner_mass,
+        v.private_corner_mass
+    );
+}
+
+#[test]
+fn fig3_lifetimes_and_burstiness() {
+    let t = &report().temporal;
+    assert!(
+        (t.private_short_fraction - 0.49).abs() < 0.15,
+        "private shortest bin near paper's 49%: {}",
+        t.private_short_fraction
+    );
+    assert!(
+        (t.public_short_fraction - 0.81).abs() < 0.15,
+        "public shortest bin near paper's 81%: {}",
+        t.public_short_fraction
+    );
+    assert!(t.creation_cv.0.median > t.creation_cv.1.median);
+}
+
+#[test]
+fn fig4_spatial() {
+    let s = &report().spatial;
+    assert!(s.private_regions.eval(1.0) > 0.5);
+    assert!(s.public_regions.eval(1.0) > 0.5);
+    assert!(s.private_single_region_core_share < s.public_single_region_core_share);
+    assert!(s.public_single_region_core_share > 0.5, "paper: 70%");
+}
+
+#[test]
+fn fig5_pattern_shares() {
+    let r = report();
+    let d = UtilizationPattern::Diurnal;
+    for p in UtilizationPattern::ALL {
+        assert!(r.private_patterns.fraction(d) >= r.private_patterns.fraction(p));
+        assert!(r.public_patterns.fraction(d) >= r.public_patterns.fraction(p));
+    }
+    assert!(r.private_patterns.fraction(d) > 1.3 * r.public_patterns.fraction(d));
+}
+
+#[test]
+fn fig6_utilization_bands() {
+    let r = report();
+    assert!(r.private_utilization.p75_peak() < 35.0, "paper: p75 < 30%");
+    assert!(r.public_utilization.p75_peak() < 35.0);
+    assert!(
+        r.private_utilization.daily_median_variability()
+            > r.public_utilization.daily_median_variability()
+    );
+}
+
+#[test]
+fn fig7_correlations() {
+    let r = report();
+    assert!(r.node_correlation.0.median() > r.node_correlation.1.median() + 0.2);
+    assert!(r.region_correlation.0.median() > r.region_correlation.1.median());
+}
+
+#[test]
+fn fig7c_flagship_service_is_region_aligned() {
+    let g = generated();
+    let flagship = g.flagship_service().expect("flagship exists in medium config");
+    let alignment =
+        service_region_alignment(&g.trace, flagship.service).expect("alignment computes");
+    assert!(alignment > 0.9, "geo-LB service aligns: {alignment}");
+}
+
+#[test]
+fn classifier_agrees_with_generator_ground_truth() {
+    // Classify full-week VMs and compare against the generating profile.
+    let g = generated();
+    let classifier = PatternClassifier::default();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for svc in &g.services {
+        for &vm in g.trace.vms_of_service(svc.service).iter().take(2) {
+            if g.trace.util(vm).is_none_or(|u| u.len() < 2016) {
+                continue;
+            }
+            let Some(found) = classifier.classify_vm(&g.trace, vm) else {
+                continue;
+            };
+            total += 1;
+            let expected = format!("{:?}", svc.profile.kind);
+            if format!("{found:?}") == expected {
+                agree += 1;
+            }
+        }
+    }
+    assert!(total > 200, "enough classifiable VMs: {total}");
+    let accuracy = agree as f64 / total as f64;
+    assert!(accuracy > 0.7, "classifier accuracy vs ground truth: {accuracy:.2}");
+}
