@@ -44,14 +44,13 @@ impl CloudComparison {
     /// Builds the comparison from a finished report.
     #[must_use]
     pub fn from_report(report: &CharacterizationReport) -> Self {
-        let m = |name: &str, private: f64, public: f64, expect_private_higher: bool| {
-            ComparedMetric {
+        let m =
+            |name: &str, private: f64, public: f64, expect_private_higher: bool| ComparedMetric {
                 name: name.to_owned(),
                 private,
                 public,
                 expect_private_higher,
-            }
-        };
+            };
         let metrics = vec![
             m(
                 "median VMs per subscription",
@@ -91,7 +90,9 @@ impl CloudComparison {
             ),
             m(
                 "diurnal pattern share",
-                report.private_patterns.fraction(UtilizationPattern::Diurnal),
+                report
+                    .private_patterns
+                    .fraction(UtilizationPattern::Diurnal),
                 report.public_patterns.fraction(UtilizationPattern::Diurnal),
                 true,
             ),
@@ -145,8 +146,8 @@ impl fmt::Display for CloudComparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<42} {:>10} {:>10}  {}",
-            "metric", "private", "public", "paper ordering"
+            "{:<42} {:>10} {:>10}  paper ordering",
+            "metric", "private", "public"
         )?;
         for m in &self.metrics {
             writeln!(
@@ -155,7 +156,11 @@ impl fmt::Display for CloudComparison {
                 m.name,
                 m.private,
                 m.public,
-                if m.expect_private_higher { "P > p" } else { "P < p" },
+                if m.expect_private_higher {
+                    "P > p"
+                } else {
+                    "P < p"
+                },
                 if m.ordering_holds() { "ok" } else { "MISS" },
             )?;
         }

@@ -27,11 +27,8 @@ pub fn node_vm_correlation_cdf(
     max_nodes: usize,
 ) -> Result<Ecdf, AnalysisError> {
     // Nodes of this cloud's clusters.
-    let cloud_clusters: HashSet<ClusterId> = trace
-        .topology()
-        .clusters_of(cloud)
-        .map(|c| c.id)
-        .collect();
+    let cloud_clusters: HashSet<ClusterId> =
+        trace.topology().clusters_of(cloud).map(|c| c.id).collect();
     let mut nodes: Vec<NodeId> = trace
         .occupied_nodes()
         .filter(|&n| {
@@ -51,7 +48,11 @@ pub fn node_vm_correlation_cdf(
             .vms_on_node(node)
             .iter()
             .copied()
-            .filter(|&vm| trace.util(vm).is_some_and(|u| u.len() >= MIN_OVERLAP_SAMPLES))
+            .filter(|&vm| {
+                trace
+                    .util(vm)
+                    .is_some_and(|u| u.len() >= MIN_OVERLAP_SAMPLES)
+            })
             .collect();
         if vms_with_telemetry.len() < 2 {
             continue;
@@ -65,9 +66,7 @@ pub fn node_vm_correlation_cdf(
             let offset = (util.start().minutes() / SAMPLE_INTERVAL_MINUTES) as usize;
             let len = util.len().min(SAMPLES_PER_WEEK - offset);
             let vm_vals = util.to_f64_vec();
-            if let Some(r) =
-                pearson_or_zero(&vm_vals[..len], &node_series[offset..offset + len])
-            {
+            if let Some(r) = pearson_or_zero(&vm_vals[..len], &node_series[offset..offset + len]) {
                 correlations.push(r);
             }
         }
@@ -156,16 +155,16 @@ pub fn cross_region_correlations(
     cloud: CloudKind,
     geo: &str,
 ) -> Vec<CrossRegionCorrelation> {
-    let geo_regions: HashSet<RegionId> = trace
-        .topology()
-        .regions_in_geo(geo)
-        .map(|r| r.id)
-        .collect();
+    let geo_regions: HashSet<RegionId> =
+        trace.topology().regions_in_geo(geo).map(|r| r.id).collect();
     // Regions per subscription.
     let mut sub_regions: HashMap<SubscriptionId, HashSet<RegionId>> = HashMap::new();
     for vm in trace.vms_of(cloud) {
         if geo_regions.contains(&vm.region) {
-            sub_regions.entry(vm.subscription).or_default().insert(vm.region);
+            sub_regions
+                .entry(vm.subscription)
+                .or_default()
+                .insert(vm.region);
         }
     }
     let mut out = Vec::new();
@@ -292,10 +291,7 @@ pub fn service_region_daily_profiles(
 /// # Errors
 /// Propagates [`service_region_daily_profiles`] errors; also fails if the
 /// service occupies fewer than two regions.
-pub fn service_region_alignment(
-    trace: &Trace,
-    service: ServiceId,
-) -> Result<f64, AnalysisError> {
+pub fn service_region_alignment(trace: &Trace, service: ServiceId) -> Result<f64, AnalysisError> {
     let profiles = service_region_daily_profiles(trace, service)?;
     if profiles.len() < 2 {
         return Err(AnalysisError::NoData("multi-region service"));
@@ -328,7 +324,11 @@ mod tests {
         let public = node_vm_correlation_cdf(&trace, CloudKind::Public, 100).unwrap();
         // Node 0 hosts two same-profile diurnal VMs -> high correlation;
         // node 4 hosts a stable and a diurnal VM -> mixed.
-        assert!(private.median() > 0.9, "private median {}", private.median());
+        assert!(
+            private.median() > 0.9,
+            "private median {}",
+            private.median()
+        );
         assert!(
             private.median() > public.median(),
             "private {} vs public {}",
@@ -366,8 +366,7 @@ mod tests {
     #[test]
     fn region_agnostic_candidates_detected() {
         let trace = tiny_trace();
-        let candidates =
-            region_agnostic_candidates(&trace, CloudKind::Private, "US", 0.9);
+        let candidates = region_agnostic_candidates(&trace, CloudKind::Private, "US", 0.9);
         assert_eq!(candidates, vec![SubscriptionId::new(0)]);
         // At an impossible threshold nothing qualifies.
         assert!(region_agnostic_candidates(&trace, CloudKind::Private, "US", 1.01).is_empty());

@@ -44,7 +44,10 @@ pub fn subscriptions_per_cluster(
     let mut per_cluster: HashMap<ClusterId, HashSet<SubscriptionId>> = HashMap::new();
     for vm in trace.vms_of(cloud) {
         if vm.node.is_some() && vm.alive_at(at) {
-            per_cluster.entry(vm.cluster).or_default().insert(vm.subscription);
+            per_cluster
+                .entry(vm.cluster)
+                .or_default()
+                .insert(vm.subscription);
         }
     }
     if per_cluster.is_empty() {
@@ -125,7 +128,10 @@ mod tests {
         let private = subscriptions_per_cluster(&trace, CloudKind::Private, at).unwrap();
         assert_eq!(private.median, 1.0, "one private subscription");
         let public = subscriptions_per_cluster(&trace, CloudKind::Public, at).unwrap();
-        assert!(public.median >= 2.0, "several public subscriptions share a cluster");
+        assert!(
+            public.median >= 2.0,
+            "several public subscriptions share a cluster"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use crate::error::AnalysisError;
 use cloudscope_model::prelude::*;
+use cloudscope_par::Parallelism;
 use cloudscope_timeseries::{PeriodDetector, Series};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -207,35 +208,21 @@ pub fn pattern_shares(
         .map(|vm| vm.id)
         .collect();
     let stride = (candidates.len() / max_vms.max(1)).max(1);
-    let sampled: Vec<VmId> = candidates.into_iter().step_by(stride).take(max_vms).collect();
+    let sampled: Vec<VmId> = candidates
+        .into_iter()
+        .step_by(stride)
+        .take(max_vms)
+        .collect();
 
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(16);
-    let chunk = sampled.len().div_ceil(workers).max(1);
-    let mut shares = PatternShares::default();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for ids in sampled.chunks(chunk) {
-            handles.push(scope.spawn(move |_| {
-                let mut local = PatternShares::default();
-                for &vm in ids {
-                    local.add(classifier.classify_vm(trace, vm));
-                }
-                local
-            }));
-        }
-        for handle in handles {
-            let local = handle.join().expect("classifier worker");
-            shares.diurnal += local.diurnal;
-            shares.stable += local.stable;
-            shares.irregular += local.irregular;
-            shares.hourly_peak += local.hourly_peak;
-            shares.unclassified += local.unclassified;
-        }
-    })
-    .expect("classifier scope");
+    let shares = Parallelism::auto().par_map_reduce(
+        &sampled,
+        |&vm| classifier.classify_vm(trace, vm),
+        PatternShares::default(),
+        |mut acc, pattern| {
+            acc.add(pattern);
+            acc
+        },
+    );
 
     if shares.classified() == 0 {
         return Err(AnalysisError::NoData("classifiable telemetry"));
@@ -281,7 +268,11 @@ mod tests {
                 let t = cloudscope_model::time::SimTime::from_minutes(minute);
                 let work = !t.is_weekend() && (8..18).contains(&t.hour_of_day());
                 let m = minute % 30;
-                let spike = if m < 10 { 40.0 * (1.0 - m as f64 / 10.0) } else { 0.0 };
+                let spike = if m < 10 {
+                    40.0 * (1.0 - m as f64 / 10.0)
+                } else {
+                    0.0
+                };
                 8.0 + if work { spike } else { 0.0 }
             })
             .collect();
@@ -322,8 +313,7 @@ mod tests {
     fn shares_over_tiny_trace() {
         let trace = tiny_trace();
         let classifier = PatternClassifier::default();
-        let private =
-            pattern_shares(&trace, CloudKind::Private, &classifier, 1000).unwrap();
+        let private = pattern_shares(&trace, CloudKind::Private, &classifier, 1000).unwrap();
         // All 6 telemetry VMs of the private cloud are diurnal.
         assert_eq!(private.diurnal, 6);
         assert_eq!(private.classified(), 6);

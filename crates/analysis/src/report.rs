@@ -162,8 +162,7 @@ impl CharacterizationReport {
         // stable share higher in public.
         let p = &self.private_patterns;
         let q = &self.public_patterns;
-        let i3 = p.fraction(UtilizationPattern::Diurnal)
-            > q.fraction(UtilizationPattern::Diurnal)
+        let i3 = p.fraction(UtilizationPattern::Diurnal) > q.fraction(UtilizationPattern::Diurnal)
             && p.fraction(UtilizationPattern::HourlyPeak)
                 > q.fraction(UtilizationPattern::HourlyPeak)
             && q.fraction(UtilizationPattern::Stable) > p.fraction(UtilizationPattern::Stable);

@@ -28,7 +28,10 @@ pub fn subscription_extents(trace: &Trace, cloud: CloudKind) -> Vec<Subscription
         if vm.node.is_none() {
             continue;
         }
-        regions.entry(vm.subscription).or_default().insert(vm.region);
+        regions
+            .entry(vm.subscription)
+            .or_default()
+            .insert(vm.region);
         *cores.entry(vm.subscription).or_insert(0) += u64::from(vm.size.cores());
     }
     let mut extents: Vec<SubscriptionExtent> = regions
@@ -171,8 +174,7 @@ mod tests {
         // The private single-region core share is lower than public:
         // private cores are concentrated in the multi-region sub0.
         assert!(
-            analysis.private_single_region_core_share
-                < analysis.public_single_region_core_share
+            analysis.private_single_region_core_share < analysis.public_single_region_core_share
         );
         // Public: sub2 (2) + sub3 (2) + sub5 (2) of 14 cores are
         // single-region.

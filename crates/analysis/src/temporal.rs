@@ -177,10 +177,7 @@ impl TemporalAnalysis {
                 creations_per_hour(trace, CloudKind::Private, sample_region),
                 creations_per_hour(trace, CloudKind::Public, sample_region),
             ),
-            creation_cv: (
-                BoxPlot::new(cv_private)?,
-                BoxPlot::new(cv_public)?,
-            ),
+            creation_cv: (BoxPlot::new(cv_private)?, BoxPlot::new(cv_public)?),
         })
     }
 }

@@ -79,8 +79,12 @@ pub fn tiny_trace() -> Trace {
         (CloudKind::Public, PartyKind::ThirdParty),
     ];
     for (i, (cloud, party)) in subs.into_iter().enumerate() {
-        b.add_subscription(Subscription::new(SubscriptionId::new(i as u32), cloud, party))
-            .expect("dense ids");
+        b.add_subscription(Subscription::new(
+            SubscriptionId::new(i as u32),
+            cloud,
+            party,
+        ))
+        .expect("dense ids");
     }
 
     let mut next_vm = 0u64;
@@ -118,49 +122,113 @@ pub fn tiny_trace() -> Trace {
     // sub0: region-agnostic diurnal service (UTC clock, peak 14:00 UTC).
     for (node, salt) in [(0u32, 1u64), (0, 2), (1, 3), (2, 4)] {
         add(
-            &mut b, 0, RegionId::new(0), c0, node, big, Priority::OnDemand,
-            before, None, Some(diurnal_series(14.0, 0, salt)),
+            &mut b,
+            0,
+            RegionId::new(0),
+            c0,
+            node,
+            big,
+            Priority::OnDemand,
+            before,
+            None,
+            Some(diurnal_series(14.0, 0, salt)),
         );
     }
     for (node, salt) in [(8u32, 5u64), (9, 6)] {
         add(
-            &mut b, 0, RegionId::new(1), c2, node, big, Priority::OnDemand,
-            before, None, Some(diurnal_series(14.0, 0, salt)),
+            &mut b,
+            0,
+            RegionId::new(1),
+            c2,
+            node,
+            big,
+            Priority::OnDemand,
+            before,
+            None,
+            Some(diurnal_series(14.0, 0, salt)),
         );
     }
 
     // sub1: short-lived private VM (Monday 10:00–10:30).
     add(
-        &mut b, 1, RegionId::new(0), c0, 3, small, Priority::OnDemand,
-        10 * 60, Some(10 * 60 + 30), None,
+        &mut b,
+        1,
+        RegionId::new(0),
+        c0,
+        3,
+        small,
+        Priority::OnDemand,
+        10 * 60,
+        Some(10 * 60 + 30),
+        None,
     );
 
     // sub2: stable public VM in r0, co-located with sub3/sub4 on node 4.
     add(
-        &mut b, 2, RegionId::new(0), c1, 4, small, Priority::OnDemand,
-        before, None, Some(stable_series(20.0, 7)),
+        &mut b,
+        2,
+        RegionId::new(0),
+        c1,
+        4,
+        small,
+        Priority::OnDemand,
+        before,
+        None,
+        Some(stable_series(20.0, 7)),
     );
 
     // sub3: bounded public VM, Monday 20:00 – Tuesday 06:00.
     add(
-        &mut b, 3, RegionId::new(0), c1, 4, small, Priority::OnDemand,
-        20 * 60, Some(30 * 60), None,
+        &mut b,
+        3,
+        RegionId::new(0),
+        c1,
+        4,
+        small,
+        Priority::OnDemand,
+        20 * 60,
+        Some(30 * 60),
+        None,
     );
 
     // sub4: region-sensitive diurnal service (local clocks, peak 13:00).
     add(
-        &mut b, 4, RegionId::new(0), c1, 4, big, Priority::OnDemand,
-        before, None, Some(diurnal_series(13.0, -8, 8)),
+        &mut b,
+        4,
+        RegionId::new(0),
+        c1,
+        4,
+        big,
+        Priority::OnDemand,
+        before,
+        None,
+        Some(diurnal_series(13.0, -8, 8)),
     );
     add(
-        &mut b, 4, RegionId::new(1), c3, 12, big, Priority::OnDemand,
-        before, None, Some(diurnal_series(13.0, -5, 9)),
+        &mut b,
+        4,
+        RegionId::new(1),
+        c3,
+        12,
+        big,
+        Priority::OnDemand,
+        before,
+        None,
+        Some(diurnal_series(13.0, -5, 9)),
     );
 
     // sub5: stable spot VM in r1.
     add(
-        &mut b, 5, RegionId::new(1), c3, 13, small, Priority::Spot,
-        before, None, Some(stable_series(35.0, 10)),
+        &mut b,
+        5,
+        RegionId::new(1),
+        c3,
+        13,
+        small,
+        Priority::Spot,
+        before,
+        None,
+        Some(stable_series(35.0, 10)),
     );
 
     b.build()

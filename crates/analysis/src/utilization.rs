@@ -9,11 +9,7 @@ use cloudscope_timeseries::{daily_profile, PercentileBands, Series};
 
 /// Collects the hourly-resolution utilization series of up to `max_vms`
 /// VMs of one cloud that have full-week telemetry.
-fn full_week_hourly_series(
-    trace: &Trace,
-    cloud: CloudKind,
-    max_vms: usize,
-) -> Vec<Series> {
+fn full_week_hourly_series(trace: &Trace, cloud: CloudKind, max_vms: usize) -> Vec<Series> {
     let candidates: Vec<&UtilSeries> = trace
         .vms_of(cloud)
         .filter_map(|vm| trace.util(vm.id))
@@ -50,11 +46,7 @@ impl UtilizationDistribution {
     /// # Errors
     /// Returns [`AnalysisError::NoData`] if no VM has full-week
     /// telemetry.
-    pub fn run(
-        trace: &Trace,
-        cloud: CloudKind,
-        max_vms: usize,
-    ) -> Result<Self, AnalysisError> {
+    pub fn run(trace: &Trace, cloud: CloudKind, max_vms: usize) -> Result<Self, AnalysisError> {
         let hourly = full_week_hourly_series(trace, cloud, max_vms);
         if hourly.is_empty() {
             return Err(AnalysisError::NoData("full-week telemetry"));

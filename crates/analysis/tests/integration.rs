@@ -20,7 +20,10 @@ fn private_creations_burst_public_do_not() {
         private_bursts += burst_hours(&g.trace, CloudKind::Private, region.id).len();
         public_bursts += burst_hours(&g.trace, CloudKind::Public, region.id).len();
     }
-    assert!(private_bursts > 0, "private deployment bursts must be detectable");
+    assert!(
+        private_bursts > 0,
+        "private deployment bursts must be detectable"
+    );
     assert!(
         private_bursts > 2 * public_bursts,
         "bursts are a private-cloud phenomenon: {private_bursts} vs {public_bursts}"
@@ -33,8 +36,11 @@ fn burst_hours_match_ground_truth_magnitude() {
     // median hour.
     let g = generated();
     for region in g.trace.topology().regions().iter().take(3) {
-        let series =
-            cloudscope_analysis::temporal::creations_per_hour(&g.trace, CloudKind::Private, region.id);
+        let series = cloudscope_analysis::temporal::creations_per_hour(
+            &g.trace,
+            CloudKind::Private,
+            region.id,
+        );
         let mut sorted = series.values().to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sorted[sorted.len() / 2];

@@ -2,9 +2,7 @@
 //! statistics kernels, the FFT/period detector, and trace generation —
 //! the ablation knobs DESIGN.md §5 calls out.
 
-use cloudscope::cluster::{
-    ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule,
-};
+use cloudscope::cluster::{ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule};
 use cloudscope::prelude::*;
 use cloudscope::stats::{pearson, Ecdf};
 use cloudscope::timeseries::{PeriodDetector, Series};
@@ -99,13 +97,7 @@ fn bench_telemetry_generation(c: &mut Criterion) {
                 let mut rng = StdRng::seed_from_u64(3);
                 let profile = ServiceUtilProfile::sample(kind, false, &mut rng);
                 b.iter(|| {
-                    generate_vm_series(
-                        black_box(&profile),
-                        -8,
-                        SimTime::ZERO,
-                        2016,
-                        &mut rng,
-                    )
+                    generate_vm_series(black_box(&profile), -8, SimTime::ZERO, 2016, &mut rng)
                 });
             },
         );

@@ -100,7 +100,9 @@ fn bench_fig7(c: &mut Criterion) {
     });
     if let Some(flagship) = g.flagship_service() {
         group.bench_function("servicex_daily_profiles", |b| {
-            b.iter(|| service_region_daily_profiles(black_box(&g.trace), flagship.service).unwrap());
+            b.iter(|| {
+                service_region_daily_profiles(black_box(&g.trace), flagship.service).unwrap()
+            });
         });
     }
     group.finish();

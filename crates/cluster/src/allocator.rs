@@ -261,7 +261,10 @@ impl ClusterAllocator {
     fn commit(&mut self, idx: usize, request: PlacementRequest) {
         self.nodes[idx].place(request.vm, request.size);
         let rack = self.nodes[idx].rack();
-        *self.rack_service.entry((rack, request.service)).or_insert(0) += 1;
+        *self
+            .rack_service
+            .entry((rack, request.service))
+            .or_insert(0) += 1;
         self.placements.insert(
             request.vm,
             Placement {
@@ -323,8 +326,7 @@ impl ClusterAllocator {
             let mut victims = Vec::new();
             // Youngest-first: later placements are evicted first.
             for &vm in node.vms().iter().rev() {
-                if free_cores >= request.size.cores()
-                    && free_mem + 1e-9 >= request.size.memory_gb()
+                if free_cores >= request.size.cores() && free_mem + 1e-9 >= request.size.memory_gb()
                 {
                     break;
                 }
@@ -574,11 +576,7 @@ mod tests {
     fn migration_moves_capacity() {
         let mut a = allocator(PlacementPolicy::FirstFit, SpreadingRule::default());
         let from = a.place(req(0, 4, 0)).unwrap();
-        let target = a
-            .nodes()
-            .map(|(id, _)| id)
-            .find(|&id| id != from)
-            .unwrap();
+        let target = a.nodes().map(|(id, _)| id).find(|&id| id != from).unwrap();
         a.migrate(VmId::new(0), target).unwrap();
         assert_eq!(a.placement_of(VmId::new(0)), Some(target));
         assert_eq!(a.node_state(from).unwrap().cores_used(), 0);

@@ -50,10 +50,7 @@ impl ClusterAllocator {
             let target = self
                 .nodes()
                 .filter(|&(id, _)| id != node)
-                .filter(|(_, state)| {
-                    self.placed_size(vm)
-                        .is_some_and(|size| state.fits(size))
-                })
+                .filter(|(_, state)| self.placed_size(vm).is_some_and(|size| state.fits(size)))
                 .min_by_key(|(_, state)| state.cores_free())
                 .map(|(id, _)| id);
             match target {
@@ -153,7 +150,7 @@ mod tests {
         let n0 = a.place(req(0, 12)).unwrap();
         a.place(req(1, 2)).unwrap(); // also node 0 (first fit)
         a.place(req(2, 10)).unwrap(); // node 1
-        // Node 1 has 6 free: only the 2-core VM fits there.
+                                      // Node 1 has 6 free: only the 2-core VM fits there.
         let outcome = a.drain_node(n0).unwrap();
         assert_eq!(outcome.moved.len(), 1);
         assert_eq!(outcome.moved[0].0, VmId::new(1));

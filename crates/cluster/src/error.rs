@@ -48,7 +48,9 @@ mod tests {
         assert!(AllocationError::InsufficientCapacity(ClusterId::new(1))
             .to_string()
             .contains("capacity"));
-        assert!(AllocationError::UnknownVm(VmId::new(2)).to_string().contains("vm-2"));
+        assert!(AllocationError::UnknownVm(VmId::new(2))
+            .to_string()
+            .contains("vm-2"));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Fleet-level allocation: routing placement requests to clusters within
 //! a region, with fallback across the region's clusters.
 
-use crate::allocator::{AllocatorStats, ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule};
+use crate::allocator::{
+    AllocatorStats, ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule,
+};
 use crate::error::AllocationError;
 use cloudscope_model::ids::{ClusterId, NodeId, RegionId, VmId};
 use cloudscope_model::subscription::CloudKind;
@@ -236,6 +238,9 @@ mod tests {
         assert_eq!(f.region_allocation_ratio(RegionId::new(0)), Some(0.0));
         f.place_in_region(RegionId::new(0), req(0)).unwrap();
         let ratio = f.region_allocation_ratio(RegionId::new(0)).unwrap();
-        assert!((ratio - 0.25).abs() < 1e-12, "one of 2 clusters half full: {ratio}");
+        assert!(
+            (ratio - 0.25).abs() < 1e-12,
+            "one of 2 clusters half full: {ratio}"
+        );
     }
 }

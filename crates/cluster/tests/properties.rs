@@ -27,14 +27,23 @@ fn build_allocator(policy: PlacementPolicy, spread: Option<u32>) -> ClusterAlloc
 
 #[derive(Debug, Clone)]
 enum Op {
-    Place { cores: u32, service: u32, spot: bool },
-    Release { slot: usize },
+    Place {
+        cores: u32,
+        service: u32,
+        spot: bool,
+    },
+    Release {
+        slot: usize,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (1u32..=16, 0u32..4, any::<bool>())
-            .prop_map(|(cores, service, spot)| Op::Place { cores, service, spot }),
+        (1u32..=16, 0u32..4, any::<bool>()).prop_map(|(cores, service, spot)| Op::Place {
+            cores,
+            service,
+            spot
+        }),
         (0usize..64).prop_map(|slot| Op::Release { slot }),
     ]
 }

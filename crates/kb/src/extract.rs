@@ -211,8 +211,14 @@ mod tests {
         let g = generate(&GeneratorConfig::small(23));
         let classifier = PatternClassifier::default();
         let private = extract_cloud_knowledge(&g.trace, CloudKind::Private, &classifier, 2);
-        let agnostic = private.iter().filter(|k| k.region_agnostic == Some(true)).count();
-        assert!(agnostic > 0, "some private workloads must be region-agnostic");
+        let agnostic = private
+            .iter()
+            .filter(|k| k.region_agnostic == Some(true))
+            .count();
+        assert!(
+            agnostic > 0,
+            "some private workloads must be region-agnostic"
+        );
         // Single-region subscriptions stay unmeasured.
         assert!(private
             .iter()

@@ -28,9 +28,9 @@
 #![warn(missing_docs)]
 
 pub mod extract;
+pub mod knowledge;
 pub mod persist;
 pub mod pipeline;
-pub mod knowledge;
 pub mod store;
 
 pub use extract::{extract_cloud_knowledge, extract_subscription_knowledge};

@@ -31,7 +31,8 @@ pub fn write_snapshot<W: Write>(kb: &KnowledgeBase, mut writer: W) -> std::io::R
             k.p95_util,
             k.util_cv,
             k.regions,
-            k.region_agnostic.map_or("-", |b| if b { "yes" } else { "no" }),
+            k.region_agnostic
+                .map_or("-", |b| if b { "yes" } else { "no" }),
             k.vm_count,
             k.cores,
             k.updated_at.minutes(),
@@ -125,7 +126,11 @@ fn parse_row(line: &str) -> Result<WorkloadKnowledge, String> {
 mod tests {
     use super::*;
 
-    fn entry(id: u32, pattern: Option<UtilizationPattern>, agnostic: Option<bool>) -> WorkloadKnowledge {
+    fn entry(
+        id: u32,
+        pattern: Option<UtilizationPattern>,
+        agnostic: Option<bool>,
+    ) -> WorkloadKnowledge {
         WorkloadKnowledge {
             subscription: SubscriptionId::new(id),
             cloud: CloudKind::Private,

@@ -1,15 +1,14 @@
-//! The continuous extraction pipeline of Section V: worker threads pull
-//! subscriptions off a channel, extract their workload knowledge from
-//! telemetry, and feed the knowledge base concurrently — the shape a
-//! production deployment would have, with the trace standing in for the
-//! telemetry stream.
+//! The continuous extraction pipeline of Section V: worker threads sweep
+//! the subscriptions, extract their workload knowledge from telemetry,
+//! and feed the knowledge base — the shape a production deployment would
+//! have, with the trace standing in for the telemetry stream.
 
 use crate::extract::extract_subscription_knowledge;
 use crate::store::KnowledgeBase;
 use cloudscope_analysis::PatternClassifier;
 use cloudscope_model::ids::SubscriptionId;
 use cloudscope_model::trace::Trace;
-use crossbeam::channel;
+use cloudscope_par::Parallelism;
 
 /// Statistics of one pipeline run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,48 +35,26 @@ pub fn run_extraction_pipeline(
     max_classified_vms_per_sub: usize,
     workers: usize,
 ) -> PipelineStats {
-    assert!(workers > 0, "need at least one worker");
-    let (job_tx, job_rx) = channel::unbounded::<SubscriptionId>();
-    for sub in trace.subscriptions() {
-        job_tx.send(sub.id).expect("receiver alive");
-    }
-    drop(job_tx);
-
+    let subscriptions: Vec<SubscriptionId> =
+        trace.subscriptions().iter().map(|sub| sub.id).collect();
+    // Extraction (the expensive part) runs on the shared executor; the
+    // upserts happen on this thread in subscription order, so the KB sees
+    // the same feed sequence for any worker count.
+    let extracted = Parallelism::with_workers(workers).par_map(&subscriptions, |&sub| {
+        extract_subscription_knowledge(trace, sub, classifier, max_classified_vms_per_sub, None)
+    });
     let mut stats = PipelineStats::default();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            handles.push(scope.spawn(move |_| {
-                let mut local = PipelineStats::default();
-                while let Ok(sub) = job_rx.recv() {
-                    local.processed += 1;
-                    match extract_subscription_knowledge(
-                        trace,
-                        sub,
-                        classifier,
-                        max_classified_vms_per_sub,
-                        None,
-                    ) {
-                        Some(knowledge) => {
-                            if kb.upsert(knowledge) {
-                                local.stored += 1;
-                            }
-                        }
-                        None => local.skipped += 1,
-                    }
+    for knowledge in extracted {
+        stats.processed += 1;
+        match knowledge {
+            Some(knowledge) => {
+                if kb.upsert(knowledge) {
+                    stats.stored += 1;
                 }
-                local
-            }));
+            }
+            None => stats.skipped += 1,
         }
-        for handle in handles {
-            let local = handle.join().expect("pipeline worker");
-            stats.processed += local.processed;
-            stats.stored += local.stored;
-            stats.skipped += local.skipped;
-        }
-    })
-    .expect("pipeline scope");
+    }
     stats
 }
 

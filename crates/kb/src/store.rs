@@ -4,8 +4,8 @@
 use crate::knowledge::{LifetimeClass, WorkloadKnowledge};
 use cloudscope_analysis::UtilizationPattern;
 use cloudscope_model::prelude::*;
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// The knowledge base of Section V: writers (telemetry extractors) feed
 /// it continuously; readers (optimization policies) query it. Reads and
@@ -22,12 +22,23 @@ impl KnowledgeBase {
         Self::default()
     }
 
+    /// Read access; a poisoned lock is recovered rather than propagated,
+    /// since every write below keeps the map consistent.
+    fn read(&self) -> RwLockReadGuard<'_, HashMap<SubscriptionId, WorkloadKnowledge>> {
+        self.entries.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write access; see [`Self::read`] on poisoning.
+    fn write(&self) -> RwLockWriteGuard<'_, HashMap<SubscriptionId, WorkloadKnowledge>> {
+        self.entries.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Inserts or refreshes one subscription's knowledge. Stale updates
     /// (older `updated_at` than the stored entry) are ignored, so
     /// out-of-order feeds are safe. Returns `true` if the entry was
     /// stored.
     pub fn upsert(&self, knowledge: WorkloadKnowledge) -> bool {
-        let mut entries = self.entries.write();
+        let mut entries = self.write();
         match entries.get(&knowledge.subscription) {
             Some(existing) if existing.updated_at > knowledge.updated_at => false,
             _ => {
@@ -46,31 +57,30 @@ impl KnowledgeBase {
     /// Looks up one subscription.
     #[must_use]
     pub fn get(&self, subscription: SubscriptionId) -> Option<WorkloadKnowledge> {
-        self.entries.read().get(&subscription).cloned()
+        self.read().get(&subscription).cloned()
     }
 
     /// Removes one subscription (e.g. deleted by the customer).
     pub fn remove(&self, subscription: SubscriptionId) -> Option<WorkloadKnowledge> {
-        self.entries.write().remove(&subscription)
+        self.write().remove(&subscription)
     }
 
     /// Number of stored entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.read().len()
     }
 
     /// `true` if nothing is stored.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.read().is_empty()
     }
 
     /// Snapshot of entries matching a predicate, sorted by subscription.
     #[must_use]
     pub fn query<F: Fn(&WorkloadKnowledge) -> bool>(&self, predicate: F) -> Vec<WorkloadKnowledge> {
         let mut out: Vec<WorkloadKnowledge> = self
-            .entries
             .read()
             .values()
             .filter(|k| predicate(k))
@@ -82,7 +92,11 @@ impl KnowledgeBase {
 
     /// Workloads of one cloud with the given dominant pattern.
     #[must_use]
-    pub fn by_pattern(&self, cloud: CloudKind, pattern: UtilizationPattern) -> Vec<WorkloadKnowledge> {
+    pub fn by_pattern(
+        &self,
+        cloud: CloudKind,
+        pattern: UtilizationPattern,
+    ) -> Vec<WorkloadKnowledge> {
         self.query(|k| k.cloud == cloud && k.pattern == Some(pattern))
     }
 
@@ -172,7 +186,8 @@ mod tests {
         assert_eq!(spot.len(), 2, "private entries are not spot candidates");
         assert!(spot[0].subscription < spot[1].subscription);
         assert_eq!(
-            kb.by_pattern(CloudKind::Private, UtilizationPattern::Stable).len(),
+            kb.by_pattern(CloudKind::Private, UtilizationPattern::Stable)
+                .len(),
             1
         );
         assert_eq!(kb.by_lifetime(LifetimeClass::MostlyShort).len(), 3);

@@ -85,9 +85,7 @@ impl AllocFailurePredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cloudscope_cluster::{
-        ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule,
-    };
+    use cloudscope_cluster::{ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule};
     use cloudscope_model::ids::{ServiceId, VmId};
     use cloudscope_model::subscription::CloudKind;
     use cloudscope_model::topology::{NodeSku, Topology};

@@ -98,10 +98,7 @@ pub fn schedule_deferrable(
             }
             let peak_after = (0..job.duration_hours)
                 .map(|h| load[(start + h) % 24] + job.cores)
-                .fold(
-                    load.iter().cloned().fold(0.0, f64::max),
-                    f64::max,
-                );
+                .fold(load.iter().cloned().fold(0.0, f64::max), f64::max);
             match best {
                 Some((_, p)) if p <= peak_after => {}
                 _ => best = Some((start, peak_after)),
@@ -146,8 +143,16 @@ mod tests {
     #[test]
     fn jobs_land_in_the_valley() {
         let jobs = vec![
-            DeferrableJob { cores: 30.0, duration_hours: 3, deadline_hour: 24 },
-            DeferrableJob { cores: 15.0, duration_hours: 2, deadline_hour: 24 },
+            DeferrableJob {
+                cores: 30.0,
+                duration_hours: 3,
+                deadline_hour: 24,
+            },
+            DeferrableJob {
+                cores: 15.0,
+                duration_hours: 2,
+                deadline_hour: 24,
+            },
         ];
         let schedule = schedule_deferrable(&diurnal_profile(), &jobs).unwrap();
         assert_eq!(schedule.placements.len(), 2);
@@ -192,7 +197,11 @@ mod tests {
     #[test]
     fn flat_profile_still_schedules() {
         let flat = vec![50.0; 24];
-        let jobs = vec![DeferrableJob { cores: 10.0, duration_hours: 2, deadline_hour: 24 }];
+        let jobs = vec![DeferrableJob {
+            cores: 10.0,
+            duration_hours: 2,
+            deadline_hour: 24,
+        }];
         let schedule = schedule_deferrable(&flat, &jobs).unwrap();
         assert_eq!(schedule.placements.len(), 1);
         assert_eq!(schedule.scheduled_peak, 60.0);
@@ -201,9 +210,17 @@ mod tests {
     #[test]
     fn validation() {
         assert!(schedule_deferrable(&[1.0; 23], &[]).is_err());
-        let bad = vec![DeferrableJob { cores: 0.0, duration_hours: 1, deadline_hour: 24 }];
+        let bad = vec![DeferrableJob {
+            cores: 0.0,
+            duration_hours: 1,
+            deadline_hour: 24,
+        }];
         assert!(schedule_deferrable(&[1.0; 24], &bad).is_err());
-        let too_long = vec![DeferrableJob { cores: 1.0, duration_hours: 25, deadline_hour: 24 }];
+        let too_long = vec![DeferrableJob {
+            cores: 1.0,
+            duration_hours: 25,
+            deadline_hour: 24,
+        }];
         assert!(schedule_deferrable(&[1.0; 24], &too_long).is_err());
     }
 }

@@ -46,11 +46,17 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(MgmtError::InvalidParameter("x").to_string().contains("invalid"));
-        assert!(MgmtError::UnknownRegion(RegionId::new(3)).to_string().contains("region-3"));
-        assert!(MgmtError::NothingToShift(ServiceId::new(1), RegionId::new(2))
+        assert!(MgmtError::InvalidParameter("x")
             .to_string()
-            .contains("svc-1"));
+            .contains("invalid"));
+        assert!(MgmtError::UnknownRegion(RegionId::new(3))
+            .to_string()
+            .contains("region-3"));
+        assert!(
+            MgmtError::NothingToShift(ServiceId::new(1), RegionId::new(2))
+                .to_string()
+                .contains("svc-1")
+        );
     }
 
     #[test]

@@ -35,9 +35,9 @@
 #![warn(missing_docs)]
 
 pub mod allocfail;
-pub mod maintenance;
 pub mod defer;
 pub mod error;
+pub mod maintenance;
 pub mod overclock;
 pub mod oversub;
 pub mod policy;

@@ -55,8 +55,7 @@ impl RemainingLifetimePredictor {
             .get(vm.subscription)
             .map_or(LifetimeClass::Mixed, |k| k.lifetime);
         let age_minutes = now.saturating_since(vm.created).minutes() as f64;
-        let long_estimate =
-            (self.long_age_factor * age_minutes).max(self.mixed_mean_minutes);
+        let long_estimate = (self.long_age_factor * age_minutes).max(self.mixed_mean_minutes);
         let remaining = match class {
             LifetimeClass::MostlyShort
                 if age_minutes <= self.escalation_factor * self.short_mean_minutes =>
@@ -221,7 +220,7 @@ mod tests {
         let mut tb = Topology::builder();
         let r = tb.add_region("m", 0, "US");
         let d = tb.add_datacenter(r);
-        let c = tb.add_cluster(d, CloudKind::Public, NodeSku::new(32, 256.0), 1, 1);
+        let _c = tb.add_cluster(d, CloudKind::Public, NodeSku::new(32, 256.0), 1, 1);
         let mut b = Trace::builder(tb.build());
         for (i, lifetime) in [LifetimeClass::MostlyShort, LifetimeClass::MostlyLong]
             .iter()
@@ -291,11 +290,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plan.decisions.len(), 2, "terminated VM excluded");
-        let actions: std::collections::HashMap<VmId, MaintenanceAction> = plan
-            .decisions
-            .iter()
-            .map(|(vm, _, a)| (*vm, *a))
-            .collect();
+        let actions: std::collections::HashMap<VmId, MaintenanceAction> =
+            plan.decisions.iter().map(|(vm, _, a)| (*vm, *a)).collect();
         assert_eq!(actions[&VmId::new(0)], MaintenanceAction::LetFinish);
         assert_eq!(actions[&VmId::new(1)], MaintenanceAction::Migrate);
         assert_eq!(plan.migrations_saved(), 1);

@@ -82,8 +82,7 @@ pub fn simulate_day(
         if d <= 100.0 {
             continue;
         }
-        let budget_left =
-            outcome.boost_minutes_used + 5 <= policy.max_boost_minutes_per_day;
+        let budget_left = outcome.boost_minutes_used + 5 <= policy.max_boost_minutes_per_day;
         if d <= boosted_ceiling && budget_left {
             outcome.boosted_samples.push(i);
             outcome.boost_minutes_used += 5;

@@ -101,11 +101,9 @@ impl OversubPlanner {
                 let z = inverse_normal_cdf(1.0 - self.epsilon);
                 (summary.mean() + z * summary.population_std_dev()).min(requested)
             }
-            OversubMethod::EmpiricalQuantile => {
-                percentile(&demand, 100.0 * (1.0 - self.epsilon))
-                    .map_err(|_| MgmtError::InsufficientHistory("demand percentile"))?
-                    .min(requested)
-            }
+            OversubMethod::EmpiricalQuantile => percentile(&demand, 100.0 * (1.0 - self.epsilon))
+                .map_err(|_| MgmtError::InsufficientHistory("demand percentile"))?
+                .min(requested),
         }
         .max(summary.mean().max(1e-9));
         let violations = demand.iter().filter(|&&d| d > reserved).count();
@@ -140,7 +138,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -188,7 +186,9 @@ mod tests {
 
     /// Deterministic pseudo-noise in [0, 1).
     fn noise(i: usize, salt: u64) -> f64 {
-        let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt);
+        let mut z = (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = z ^ (z >> 27);
         (z % 10_000) as f64 / 10_000.0
@@ -271,7 +271,9 @@ mod tests {
             .map(|_| VmDemand {
                 cores: 8,
                 utilization: (0..2016)
-                    .map(|i| 15.0 + 45.0 * ((i as f64 / 288.0) * std::f64::consts::TAU).sin().max(0.0))
+                    .map(|i| {
+                        15.0 + 45.0 * ((i as f64 / 288.0) * std::f64::consts::TAU).sin().max(0.0)
+                    })
                     .collect(),
             })
             .collect();
@@ -282,7 +284,9 @@ mod tests {
                     .map(|i| {
                         let phase = v as f64 / 10.0 * std::f64::consts::TAU;
                         15.0 + 45.0
-                            * ((i as f64 / 288.0) * std::f64::consts::TAU + phase).sin().max(0.0)
+                            * ((i as f64 / 288.0) * std::f64::consts::TAU + phase)
+                                .sin()
+                                .max(0.0)
                     })
                     .collect(),
             })
@@ -303,8 +307,14 @@ mod tests {
         let planner = OversubPlanner::new(0.05, OversubMethod::GaussianBound).unwrap();
         assert!(planner.plan(&[]).is_err());
         let misaligned = vec![
-            VmDemand { cores: 1, utilization: vec![1.0, 2.0] },
-            VmDemand { cores: 1, utilization: vec![1.0] },
+            VmDemand {
+                cores: 1,
+                utilization: vec![1.0, 2.0],
+            },
+            VmDemand {
+                cores: 1,
+                utilization: vec![1.0],
+            },
         ];
         assert!(planner.plan(&misaligned).is_err());
     }

@@ -140,7 +140,10 @@ pub struct PolicyEngine {
 impl std::fmt::Debug for PolicyEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PolicyEngine")
-            .field("policies", &self.policies.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field(
+                "policies",
+                &self.policies.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -204,10 +207,34 @@ mod tests {
     fn populated_kb() -> KnowledgeBase {
         let kb = KnowledgeBase::new();
         kb.feed([
-            entry(0, CloudKind::Public, UtilizationPattern::Stable, LifetimeClass::MostlyShort, None),
-            entry(1, CloudKind::Private, UtilizationPattern::Diurnal, LifetimeClass::MostlyLong, Some(true)),
-            entry(2, CloudKind::Private, UtilizationPattern::HourlyPeak, LifetimeClass::MostlyLong, Some(false)),
-            entry(3, CloudKind::Public, UtilizationPattern::Irregular, LifetimeClass::Mixed, None),
+            entry(
+                0,
+                CloudKind::Public,
+                UtilizationPattern::Stable,
+                LifetimeClass::MostlyShort,
+                None,
+            ),
+            entry(
+                1,
+                CloudKind::Private,
+                UtilizationPattern::Diurnal,
+                LifetimeClass::MostlyLong,
+                Some(true),
+            ),
+            entry(
+                2,
+                CloudKind::Private,
+                UtilizationPattern::HourlyPeak,
+                LifetimeClass::MostlyLong,
+                Some(false),
+            ),
+            entry(
+                3,
+                CloudKind::Public,
+                UtilizationPattern::Irregular,
+                LifetimeClass::Mixed,
+                None,
+            ),
         ]);
         kb
     }

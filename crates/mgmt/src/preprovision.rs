@@ -136,7 +136,11 @@ mod tests {
         let history = hourly_peak_history();
         let plan = plan_preprovision(&history, 95.0).unwrap();
         let eval = evaluate_preprovision(&plan, &history).unwrap();
-        assert!(eval.covered_fraction > 0.95, "covered {}", eval.covered_fraction);
+        assert!(
+            eval.covered_fraction > 0.95,
+            "covered {}",
+            eval.covered_fraction
+        );
         assert_eq!(eval.reactive_fraction, 0.0);
     }
 

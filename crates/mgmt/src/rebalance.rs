@@ -241,8 +241,7 @@ pub fn recommend_shifts(
 
     let mut recommendations = Vec::new();
     for (service, cores) in candidates {
-        if hot_stats.core_utilization_rate() - cold_stats.core_utilization_rate() <= target_gap
-        {
+        if hot_stats.core_utilization_rate() - cold_stats.core_utilization_rate() <= target_gap {
             break;
         }
         if cold_stats.allocated_cores + cores > cold_stats.total_cores {
@@ -288,7 +287,12 @@ mod tests {
     fn unknown_region_errors() {
         let g = generated();
         assert!(matches!(
-            region_capacity_stats(&g.trace, CloudKind::Private, RegionId::new(99), SimTime::ZERO),
+            region_capacity_stats(
+                &g.trace,
+                CloudKind::Private,
+                RegionId::new(99),
+                SimTime::ZERO
+            ),
             Err(MgmtError::UnknownRegion(_))
         ));
     }
@@ -328,11 +332,12 @@ mod tests {
             outcome.destination_after.allocated_cores
         );
         // The source region gets healthier on both pilot metrics.
-        assert!(outcome.source_after.core_utilization_rate()
-            < outcome.source_before.core_utilization_rate());
         assert!(
-            outcome.source_after.underutilized_pct()
-                <= outcome.source_before.underutilized_pct()
+            outcome.source_after.core_utilization_rate()
+                < outcome.source_before.core_utilization_rate()
+        );
+        assert!(
+            outcome.source_after.underutilized_pct() <= outcome.source_before.underutilized_pct()
         );
     }
 
@@ -362,11 +367,12 @@ mod tests {
             .filter(|s| s.cloud == CloudKind::Private && s.profile.region_agnostic)
             .map(|s| s.service)
             .collect();
-        let recs =
-            recommend_shifts(&g.trace, CloudKind::Private, &shiftable, at, 0.0).unwrap();
+        let recs = recommend_shifts(&g.trace, CloudKind::Private, &shiftable, at, 0.0).unwrap();
         // All recommendations share the same hot source and cold sink.
         if let Some(first) = recs.first() {
-            assert!(recs.iter().all(|r| r.from == first.from && r.to == first.to));
+            assert!(recs
+                .iter()
+                .all(|r| r.from == first.from && r.to == first.to));
             let hot = region_capacity_stats(&g.trace, CloudKind::Private, first.from, at)
                 .unwrap()
                 .core_utilization_rate();

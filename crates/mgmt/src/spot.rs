@@ -145,9 +145,8 @@ impl SpotMixPolicy {
             let need_from_spot = required_vms.saturating_sub(on_demand);
             let availability = binomial_tail_at_least(spot, need_from_spot, survival);
             if availability >= self.availability_target {
-                let relative_cost = (on_demand as f64
-                    + spot as f64 * self.spot_price_ratio)
-                    / total_vms as f64;
+                let relative_cost =
+                    (on_demand as f64 + spot as f64 * self.spot_price_ratio) / total_vms as f64;
                 return Ok(SpotMixPlan {
                     spot_vms: spot,
                     on_demand_vms: on_demand,
@@ -198,7 +197,7 @@ fn binomial_tail_at_least(n: usize, k: usize, p: f64) -> f64 {
 #[must_use]
 pub fn spot_candidates(kb: &KnowledgeBase) -> Vec<WorkloadKnowledge> {
     let mut candidates = kb.spot_candidates();
-    candidates.sort_by(|a, b| b.vm_count.cmp(&a.vm_count));
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.vm_count));
     candidates
 }
 
@@ -258,7 +257,10 @@ mod tests {
     fn flaky_spot_keeps_on_demand_floor() {
         let policy = SpotMixPolicy::new(0.3, 0.99).unwrap();
         let plan = policy.plan(10, 8, 0.5).unwrap();
-        assert!(plan.on_demand_vms >= 8, "must guarantee the floor on-demand");
+        assert!(
+            plan.on_demand_vms >= 8,
+            "must guarantee the floor on-demand"
+        );
         assert!(plan.availability >= 0.99);
         assert!(plan.relative_cost > 0.8);
     }

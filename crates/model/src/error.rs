@@ -42,10 +42,7 @@ mod tests {
             ModelError::UnknownEntity("node", 7).to_string(),
             "unknown node id 7"
         );
-        assert_eq!(
-            ModelError::InvalidArgument("boom").to_string(),
-            "boom"
-        );
+        assert_eq!(ModelError::InvalidArgument("boom").to_string(), "boom");
         assert!(ModelError::InconsistentTrace("x".into())
             .to_string()
             .contains("inconsistent trace"));

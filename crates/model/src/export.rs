@@ -56,7 +56,12 @@ pub fn write_telemetry<W: Write>(trace: &Trace, mut writer: W) -> std::io::Resul
     for vm in trace.vms() {
         if let Some(util) = trace.util(vm.id) {
             for (i, v) in util.iter().enumerate() {
-                writeln!(writer, "{},{},{v:.1}", vm.id.index(), util.time_at(i).minutes())?;
+                writeln!(
+                    writer,
+                    "{},{},{v:.1}",
+                    vm.id.index(),
+                    util.time_at(i).minutes()
+                )?;
             }
         }
     }

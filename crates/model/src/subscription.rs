@@ -8,9 +8,7 @@ use std::fmt;
 ///
 /// In the study, private and public cloud workloads run in disjoint sets of
 /// clusters of the same provider.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum CloudKind {
     /// The private cloud hosting the provider's own (first-party) services.
     Private,
@@ -33,9 +31,7 @@ impl fmt::Display for CloudKind {
 }
 
 /// Who owns a workload: the cloud provider itself or an external customer.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PartyKind {
     /// First-party: the provider's own services (e.g. productivity suites).
     FirstParty,

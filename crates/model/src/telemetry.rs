@@ -228,9 +228,8 @@ mod tests {
     #[test]
     fn downsample_to_hourly() {
         // 24 five-minute samples = 2 hours; first hour all 10%, second 30%.
-        let vals: Vec<f32> = std::iter::repeat(10.0)
-            .take(12)
-            .chain(std::iter::repeat(30.0).take(12))
+        let vals: Vec<f32> = std::iter::repeat_n(10.0, 12)
+            .chain(std::iter::repeat_n(30.0, 12))
             .collect();
         let s = UtilSeries::from_percentages(SimTime::ZERO, vals);
         let hourly = s.downsample(12).unwrap();

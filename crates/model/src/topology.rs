@@ -199,7 +199,12 @@ pub struct TopologyBuilder {
 
 impl TopologyBuilder {
     /// Adds a region and returns its id.
-    pub fn add_region(&mut self, name: impl Into<String>, tz_offset_hours: i32, geo: impl Into<String>) -> RegionId {
+    pub fn add_region(
+        &mut self,
+        name: impl Into<String>,
+        tz_offset_hours: i32,
+        geo: impl Into<String>,
+    ) -> RegionId {
         let id = RegionId::new(self.topology.regions.len() as u32);
         self.topology.regions.push(Region {
             id,

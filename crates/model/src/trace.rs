@@ -75,7 +75,10 @@ impl Trace {
     pub fn subscription(&self, id: SubscriptionId) -> Result<&Subscription, ModelError> {
         self.subscriptions
             .get(id.as_usize())
-            .ok_or(ModelError::UnknownEntity("subscription", u64::from(id.index())))
+            .ok_or(ModelError::UnknownEntity(
+                "subscription",
+                u64::from(id.index()),
+            ))
     }
 
     /// Utilization telemetry for a VM, if the monitor captured any.
@@ -247,11 +250,7 @@ impl TraceBuilder {
     /// # Errors
     /// Returns [`ModelError::InconsistentTrace`] on any integrity
     /// violation.
-    pub fn add_vm(
-        &mut self,
-        vm: VmRecord,
-        util: Option<UtilSeries>,
-    ) -> Result<(), ModelError> {
+    pub fn add_vm(&mut self, vm: VmRecord, util: Option<UtilSeries>) -> Result<(), ModelError> {
         if vm.id.as_usize() != self.trace.vms.len() {
             return Err(ModelError::InconsistentTrace(format!(
                 "vm {} arrived out of order (expected index {})",
@@ -303,8 +302,16 @@ impl TraceBuilder {
             .entry(vm.subscription)
             .or_default()
             .push(vm.id);
-        self.trace.by_region.entry(vm.region).or_default().push(vm.id);
-        self.trace.by_service.entry(vm.service).or_default().push(vm.id);
+        self.trace
+            .by_region
+            .entry(vm.region)
+            .or_default()
+            .push(vm.id);
+        self.trace
+            .by_service
+            .entry(vm.service)
+            .or_default()
+            .push(vm.id);
         self.trace.vms.push(vm);
         self.trace.util.push(util);
         Ok(())

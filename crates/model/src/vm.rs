@@ -176,14 +176,18 @@ impl VmRecord {
     /// Creation is inclusive, termination exclusive.
     #[must_use]
     pub fn alive_at(&self, t: SimTime) -> bool {
-        self.created <= t && self.ended.map_or(true, |e| t < e)
+        self.created <= t && self.ended.is_none_or(|e| t < e)
     }
 
     /// The half-open interval `[created, ended_or(end_of_window))` clipped
     /// to `[window_start, window_end)`; `None` if the VM never overlaps the
     /// window.
     #[must_use]
-    pub fn overlap_with(&self, window_start: SimTime, window_end: SimTime) -> Option<(SimTime, SimTime)> {
+    pub fn overlap_with(
+        &self,
+        window_start: SimTime,
+        window_end: SimTime,
+    ) -> Option<(SimTime, SimTime)> {
         let start = self.created.max(window_start);
         let end = self.ended.unwrap_or(window_end).min(window_end);
         (start < end).then_some((start, end))
@@ -213,17 +217,26 @@ mod tests {
 
     #[test]
     fn lifetime_requires_termination() {
-        assert_eq!(vm(0, Some(90)).lifetime(), Some(SimDuration::from_minutes(90)));
+        assert_eq!(
+            vm(0, Some(90)).lifetime(),
+            Some(SimDuration::from_minutes(90))
+        );
         assert_eq!(vm(0, None).lifetime(), None);
     }
 
     #[test]
     fn trace_week_bounding_filter() {
         assert!(vm(10, Some(100)).bounded_by_trace_week());
-        assert!(!vm(-10, Some(100)).bounded_by_trace_week(), "created before window");
+        assert!(
+            !vm(-10, Some(100)).bounded_by_trace_week(),
+            "created before window"
+        );
         assert!(!vm(10, None).bounded_by_trace_week(), "still running");
         let beyond = crate::time::MINUTES_PER_WEEK + 5;
-        assert!(!vm(10, Some(beyond)).bounded_by_trace_week(), "ends after window");
+        assert!(
+            !vm(10, Some(beyond)).bounded_by_trace_week(),
+            "ends after window"
+        );
     }
 
     #[test]
@@ -244,7 +257,9 @@ mod tests {
             .expect("overlaps");
         assert_eq!(s, SimTime::ZERO);
         assert_eq!(e, SimTime::from_minutes(50));
-        assert!(vm(-100, Some(-10)).overlap_with(SimTime::ZERO, SimTime::WEEK_END).is_none());
+        assert!(vm(-100, Some(-10))
+            .overlap_with(SimTime::ZERO, SimTime::WEEK_END)
+            .is_none());
     }
 
     #[test]

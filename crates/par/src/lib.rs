@@ -1,0 +1,242 @@
+//! Shared parallel-sweep executor for the workspace's embarrassingly
+//! parallel loops (telemetry synthesis, VM classification, knowledge
+//! extraction).
+//!
+//! The design goal is a **determinism contract**: [`Parallelism::par_map`]
+//! returns exactly what `items.iter().map(f).collect()` would, for any
+//! worker count — including 1 — as long as `f` itself is a pure function
+//! of its input. Scheduling is work-stealing over fixed chunks (an atomic
+//! chunk cursor that idle workers race on), so a straggler chunk cannot
+//! serialize the sweep, but results are reassembled in input order.
+//!
+//! Built on `std::thread::scope`; the workspace carries no external
+//! thread-pool dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Upper bound on auto-detected workers: the sweeps here saturate memory
+/// bandwidth well before 16 cores.
+const MAX_AUTO_WORKERS: usize = 16;
+
+/// Target chunks per worker. >1 so workers that finish early steal the
+/// tail instead of idling; small enough that per-chunk overhead (one
+/// atomic fetch-add + one mutex lock) stays negligible.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// A parallel-sweep configuration: how many workers, and optionally a
+/// fixed chunk size.
+///
+/// ```
+/// use cloudscope_par::Parallelism;
+///
+/// let squares = Parallelism::auto().par_map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// // Same output for any worker count.
+/// assert_eq!(squares, Parallelism::with_workers(1).par_map(&[1, 2, 3, 4], |&x| x * x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    workers: usize,
+    chunk_size: Option<usize>,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl Parallelism {
+    /// Worker count from the environment: `CLOUDSCOPE_WORKERS` if set to a
+    /// positive integer, else the machine's available parallelism capped
+    /// at 16.
+    #[must_use]
+    pub fn auto() -> Self {
+        let workers = std::env::var("CLOUDSCOPE_WORKERS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(4)
+                    .min(MAX_AUTO_WORKERS)
+            });
+        Self {
+            workers,
+            chunk_size: None,
+        }
+    }
+
+    /// An explicit worker count.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` — a sweep needs at least one worker.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Self {
+            workers,
+            chunk_size: None,
+        }
+    }
+
+    /// Overrides the chunk size (items per steal). The default derives a
+    /// size giving each worker [`CHUNKS_PER_WORKER`] chunks.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size == 0`.
+    #[must_use]
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        self.chunk_size = Some(chunk_size);
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps `f` over `items` on the configured workers, returning results
+    /// in input order. Output is identical for every worker count.
+    ///
+    /// # Panics
+    /// Propagates a panic from `f` (the sweep stops; remaining chunks may
+    /// or may not run).
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.workers.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk_size = self
+            .chunk_size
+            .unwrap_or_else(|| items.len().div_ceil(workers * CHUNKS_PER_WORKER))
+            .max(1);
+        let num_chunks = items.len().div_ceil(chunk_size);
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Vec<R>>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(num_chunks) {
+                scope.spawn(|| loop {
+                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= num_chunks {
+                        break;
+                    }
+                    let start = chunk * chunk_size;
+                    let end = (start + chunk_size).min(items.len());
+                    let results: Vec<R> = items[start..end].iter().map(&f).collect();
+                    *slots[chunk].lock().unwrap_or_else(PoisonError::into_inner) = Some(results);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .flat_map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every chunk below the cursor was computed")
+            })
+            .collect()
+    }
+
+    /// [`par_map`](Self::par_map) followed by a sequential left fold over
+    /// the results in input order — the map runs in parallel, the
+    /// reduction stays deterministic.
+    pub fn par_map_reduce<T, R, A, F, G>(&self, items: &[T], f: F, init: A, fold: G) -> A
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+        G: FnMut(A, R) -> A,
+    {
+        self.par_map(items, f).into_iter().fold(init, fold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [1, 2, 3, 7, 16] {
+            let got = Parallelism::with_workers(workers).par_map(&items, |&x| x * 3 + 1);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let par = Parallelism::with_workers(8);
+        assert_eq!(par.par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par.par_map(&[5], |&x| x + 1), vec![6]);
+        assert_eq!(par.par_map(&[1, 2], |&x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn explicit_chunk_size_preserves_order() {
+        let items: Vec<usize> = (0..101).collect();
+        let got = Parallelism::with_workers(4)
+            .chunk_size(3)
+            .par_map(&items, |&x| x);
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn map_reduce_folds_in_input_order() {
+        let items: Vec<u32> = (1..=50).collect();
+        let concat = Parallelism::with_workers(5).par_map_reduce(
+            &items,
+            |&x| x.to_string(),
+            String::new(),
+            |mut acc, s| {
+                acc.push_str(&s);
+                acc.push(',');
+                acc
+            },
+        );
+        let expected: String = (1..=50).map(|x| format!("{x},")).collect();
+        assert_eq!(concat, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Parallelism::with_workers(0);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            Parallelism::with_workers(4).par_map(&items, |&x| {
+                assert!(x != 42, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn borrows_captured_context() {
+        let offsets = [10u64, 20, 30];
+        let items: Vec<usize> = vec![0, 1, 2, 0];
+        let got = Parallelism::with_workers(2).par_map(&items, |&i| offsets[i]);
+        assert_eq!(got, vec![10, 20, 30, 10]);
+    }
+}

@@ -3,9 +3,7 @@
 //! over-subscription rule, and the period-detection method.
 
 use cloudscope::analysis::correlation::region_agnostic_candidates;
-use cloudscope::cluster::{
-    ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule,
-};
+use cloudscope::cluster::{ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule};
 use cloudscope::mgmt::oversub::{OversubMethod, OversubPlanner, VmDemand};
 use cloudscope::prelude::*;
 use cloudscope::timeseries::acf::{autocorrelation, refine_on_acf};
@@ -75,8 +73,14 @@ fn allocator_policy_ablation(checks: &mut ShapeChecks) {
         results.push((policy, whole_nodes));
     }
     println!();
-    let best = results.iter().find(|(p, _)| *p == PlacementPolicy::BestFit).expect("ran");
-    let worst = results.iter().find(|(p, _)| *p == PlacementPolicy::WorstFit).expect("ran");
+    let best = results
+        .iter()
+        .find(|(p, _)| *p == PlacementPolicy::BestFit)
+        .expect("ran");
+    let worst = results
+        .iter()
+        .find(|(p, _)| *p == PlacementPolicy::WorstFit)
+        .expect("ran");
     checks.check(
         "best-fit preserves whole nodes for large requests; worst-fit fragments",
         best.1 > worst.1,
@@ -147,7 +151,10 @@ fn geo_lb_ablation(checks: &mut ShapeChecks) {
     checks.check(
         "geo-LB services are what the region-agnostic detector finds",
         detected[1] > detected[0],
-        format!("{} detected with geo-LB vs {} without", detected[1], detected[0]),
+        format!(
+            "{} detected with geo-LB vs {} without",
+            detected[1], detected[0]
+        ),
     );
 }
 
@@ -242,7 +249,10 @@ fn period_detection_ablation(checks: &mut ShapeChecks) {
     checks.check(
         "two-stage detection at least matches the ACF-only baseline",
         two_stage_total >= acf_only_total && two_stage_total > 2 * trials,
-        format!("{two_stage_total} vs {acf_only_total} hits over {} trials", 3 * trials),
+        format!(
+            "{two_stage_total} vs {acf_only_total} hits over {} trials",
+            3 * trials
+        ),
     );
 }
 

@@ -10,8 +10,14 @@ fn main() {
     let snapshot = SimTime::from_minutes(2 * 24 * 60 + 14 * 60);
     let a = DeploymentSizeAnalysis::run(&generated.trace, snapshot).expect("analysis");
 
-    print_ecdf("Fig 1(a) private: VMs per subscription", &a.private_vms_per_subscription);
-    print_ecdf("Fig 1(a) public: VMs per subscription", &a.public_vms_per_subscription);
+    print_ecdf(
+        "Fig 1(a) private: VMs per subscription",
+        &a.private_vms_per_subscription,
+    );
+    print_ecdf(
+        "Fig 1(a) public: VMs per subscription",
+        &a.public_vms_per_subscription,
+    );
     for (label, b) in [
         ("private", &a.private_subscriptions_per_cluster),
         ("public", &a.public_subscriptions_per_cluster),
@@ -19,7 +25,12 @@ fn main() {
         println!("## Fig 1(b) {label}: subscriptions per cluster");
         println!(
             "lower_whisker,q1,median,q3,upper_whisker,outliers\n{:.1},{:.1},{:.1},{:.1},{:.1},{}",
-            b.lower_whisker, b.q1, b.median, b.q3, b.upper_whisker, b.outliers.len()
+            b.lower_whisker,
+            b.q1,
+            b.median,
+            b.q3,
+            b.upper_whisker,
+            b.outliers.len()
         );
         println!();
     }

@@ -37,7 +37,10 @@ fn main() {
     checks.check(
         "public mass extends to tiny+huge corners (Fig 2b)",
         a.public_corner_mass > 3.0 * a.private_corner_mass,
-        format!("corner mass {:.3} vs {:.3}", a.public_corner_mass, a.private_corner_mass),
+        format!(
+            "corner mass {:.3} vs {:.3}",
+            a.public_corner_mass, a.private_corner_mass
+        ),
     );
     std::process::exit(i32::from(!checks.finish("fig2")));
 }

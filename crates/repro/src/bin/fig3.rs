@@ -9,8 +9,14 @@ fn main() {
     let generated = cloudscope_repro::default_trace();
     let a = TemporalAnalysis::run(&generated.trace, RegionId::new(0)).expect("analysis");
 
-    print_ecdf("Fig 3(a) private: VM lifetime (minutes)", &a.private_lifetimes);
-    print_ecdf("Fig 3(a) public: VM lifetime (minutes)", &a.public_lifetimes);
+    print_ecdf(
+        "Fig 3(a) private: VM lifetime (minutes)",
+        &a.private_lifetimes,
+    );
+    print_ecdf(
+        "Fig 3(a) public: VM lifetime (minutes)",
+        &a.public_lifetimes,
+    );
 
     let rows: Vec<[f64; 3]> = (0..168)
         .map(|h| {
@@ -21,7 +27,11 @@ fn main() {
             ]
         })
         .collect();
-    print_csv("Fig 3(b): VM counts per hour (region 0)", ["hour", "private", "public"], &rows);
+    print_csv(
+        "Fig 3(b): VM counts per hour (region 0)",
+        ["hour", "private", "public"],
+        &rows,
+    );
 
     let rows: Vec<[f64; 3]> = (0..168)
         .map(|h| {
@@ -32,7 +42,11 @@ fn main() {
             ]
         })
         .collect();
-    print_csv("Fig 3(c): VM creations per hour (region 0)", ["hour", "private", "public"], &rows);
+    print_csv(
+        "Fig 3(c): VM creations per hour (region 0)",
+        ["hour", "private", "public"],
+        &rows,
+    );
 
     for (label, b) in [("private", &a.creation_cv.0), ("public", &a.creation_cv.1)] {
         println!("## Fig 3(d) {label}: creation CV across regions");
@@ -57,8 +71,7 @@ fn main() {
     );
     checks.check(
         "private creations bursty: higher CV in every quartile (Fig 3d)",
-        a.creation_cv.0.median > a.creation_cv.1.median
-            && a.creation_cv.0.q1 > a.creation_cv.1.q3,
+        a.creation_cv.0.median > a.creation_cv.1.median && a.creation_cv.0.q1 > a.creation_cv.1.q3,
         format!(
             "median CV {:.2} vs {:.2}",
             a.creation_cv.0.median, a.creation_cv.1.median
@@ -69,6 +82,10 @@ fn main() {
         let we: f64 = a.vm_counts.1.values()[120..].iter().sum::<f64>() / 48.0;
         we < wk
     };
-    checks.check("public VM counts dip on weekends (Fig 3b)", weekend_dip, "weekend mean < weekday mean".into());
+    checks.check(
+        "public VM counts dip on weekends (Fig 3b)",
+        weekend_dip,
+        "weekend mean < weekday mean".into(),
+    );
     std::process::exit(i32::from(!checks.finish("fig3")));
 }

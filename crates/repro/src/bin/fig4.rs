@@ -8,10 +8,11 @@ fn main() {
     let generated = cloudscope_repro::default_trace();
     let a = SpatialAnalysis::run(&generated.trace).expect("analysis");
 
-    for (label, cdf) in [("private", &a.private_regions), ("public", &a.public_regions)] {
-        let rows: Vec<[f64; 2]> = (1..=10)
-            .map(|k| [k as f64, cdf.eval(k as f64)])
-            .collect();
+    for (label, cdf) in [
+        ("private", &a.private_regions),
+        ("public", &a.public_regions),
+    ] {
+        let rows: Vec<[f64; 2]> = (1..=10).map(|k| [k as f64, cdf.eval(k as f64)]).collect();
         print_csv(
             &format!("Fig 4(a) {label}: regions per subscription CDF"),
             ["regions", "cdf"],

@@ -40,9 +40,17 @@ fn main() {
     let d = UtilizationPattern::Diurnal;
     checks.check(
         "diurnal most common in both clouds",
-        UtilizationPattern::ALL.iter().all(|&p| private.fraction(d) >= private.fraction(p))
-            && UtilizationPattern::ALL.iter().all(|&p| public.fraction(d) >= public.fraction(p)),
-        format!("diurnal {:.2} / {:.2}", private.fraction(d), public.fraction(d)),
+        UtilizationPattern::ALL
+            .iter()
+            .all(|&p| private.fraction(d) >= private.fraction(p))
+            && UtilizationPattern::ALL
+                .iter()
+                .all(|&p| public.fraction(d) >= public.fraction(p)),
+        format!(
+            "diurnal {:.2} / {:.2}",
+            private.fraction(d),
+            public.fraction(d)
+        ),
     );
     checks.check(
         "private has roughly double the diurnal share",

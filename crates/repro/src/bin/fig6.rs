@@ -15,14 +15,24 @@ fn main() {
         println!("## Fig 6 {label}: weekly percentile bands (hourly)");
         println!("hour,p5,p25,p50,p75,p95");
         for h in 0..168 {
-            let row: Vec<String> = d.weekly.bands.iter().map(|b| format!("{:.1}", b[h])).collect();
+            let row: Vec<String> = d
+                .weekly
+                .bands
+                .iter()
+                .map(|b| format!("{:.1}", b[h]))
+                .collect();
             println!("{h},{}", row.join(","));
         }
         println!();
         println!("## Fig 6 {label}: daily percentile bands (hourly)");
         println!("hour,p5,p25,p50,p75,p95");
         for h in 0..24 {
-            let row: Vec<String> = d.daily.bands.iter().map(|b| format!("{:.1}", b[h])).collect();
+            let row: Vec<String> = d
+                .daily
+                .bands
+                .iter()
+                .map(|b| format!("{:.1}", b[h]))
+                .collect();
             println!("{h},{}", row.join(","));
         }
         println!();
@@ -32,7 +42,11 @@ fn main() {
     checks.check(
         "p75 utilization stays below ~30% in both clouds",
         private.p75_peak() < 32.0 && public.p75_peak() < 32.0,
-        format!("p75 peaks {:.1} / {:.1}", private.p75_peak(), public.p75_peak()),
+        format!(
+            "p75 peaks {:.1} / {:.1}",
+            private.p75_peak(),
+            public.p75_peak()
+        ),
     );
     checks.check(
         "private daily profile follows working hours; public flatter",

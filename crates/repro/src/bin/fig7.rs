@@ -16,11 +16,14 @@ fn main() {
     print_ecdf("Fig 7(a) private: VM-node correlation", &node_private);
     print_ecdf("Fig 7(a) public: VM-node correlation", &node_public);
 
-    let region_private =
-        region_pair_correlation_cdf(&generated.trace, CloudKind::Private, "US").expect("7b private");
+    let region_private = region_pair_correlation_cdf(&generated.trace, CloudKind::Private, "US")
+        .expect("7b private");
     let region_public =
         region_pair_correlation_cdf(&generated.trace, CloudKind::Public, "US").expect("7b public");
-    print_ecdf("Fig 7(b) private: cross-region correlation", &region_private);
+    print_ecdf(
+        "Fig 7(b) private: cross-region correlation",
+        &region_private,
+    );
     print_ecdf("Fig 7(b) public: cross-region correlation", &region_public);
 
     let flagship = generated.flagship_service().expect("flagship ServiceX");
@@ -48,16 +51,26 @@ fn main() {
     checks.check(
         "node-level correlation higher in private (paper medians 0.55 vs 0.02)",
         node_private.median() > 0.4 && node_private.median() > node_public.median() + 0.2,
-        format!("medians {:.2} vs {:.2}", node_private.median(), node_public.median()),
+        format!(
+            "medians {:.2} vs {:.2}",
+            node_private.median(),
+            node_public.median()
+        ),
     );
     checks.check(
         "cross-region correlation higher in private (Fig 7b)",
         region_private.median() > region_public.median() + 0.3,
-        format!("medians {:.2} vs {:.2}", region_private.median(), region_public.median()),
+        format!(
+            "medians {:.2} vs {:.2}",
+            region_private.median(),
+            region_public.median()
+        ),
     );
-    let alignment =
-        cloudscope::analysis::correlation::service_region_alignment(&generated.trace, flagship.service)
-            .expect("alignment");
+    let alignment = cloudscope::analysis::correlation::service_region_alignment(
+        &generated.trace,
+        flagship.service,
+    )
+    .expect("alignment");
     checks.check(
         "ServiceX peaks align across time zones (Fig 7c)",
         alignment > 0.9,

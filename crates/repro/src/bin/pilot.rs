@@ -14,11 +14,9 @@ fn main() {
     // one dragging down its source region's health: pick the
     // (service, region) pair with the most cores on underutilized VMs.
     let mut best: Option<(&cloudscope::tracegen::ServiceInfo, RegionId, u64)> = None;
-    for svc in generated
-        .services
-        .iter()
-        .filter(|s| s.cloud == CloudKind::Private && s.profile.region_agnostic && s.regions.len() >= 2)
-    {
+    for svc in generated.services.iter().filter(|s| {
+        s.cloud == CloudKind::Private && s.profile.region_agnostic && s.regions.len() >= 2
+    }) {
         for &region in &svc.regions {
             let mut under = 0u64;
             for &vm_id in generated.trace.vms_of_service(svc.service) {
@@ -31,7 +29,7 @@ fn main() {
                     under += u64::from(vm.size.cores());
                 }
             }
-            if best.map_or(true, |(_, _, b)| under > b) {
+            if best.is_none_or(|(_, _, b)| under > b) {
                 best = Some((svc, region, under));
             }
         }
@@ -62,7 +60,10 @@ fn main() {
     )
     .expect("shift");
 
-    println!("## Pilot: shift ServiceX ({}) {hot} -> {cold}", flagship.service);
+    println!(
+        "## Pilot: shift ServiceX ({}) {hot} -> {cold}",
+        flagship.service
+    );
     println!("metric,source_before,source_after,dest_before,dest_after");
     println!(
         "underutilized_core_pct,{:.1},{:.1},{:.1},{:.1}",

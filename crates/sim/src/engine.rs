@@ -58,6 +58,17 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events, so
+    /// bulk schedulers (the trace generator enqueues every churn VM up
+    /// front) skip the doubling reallocations.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
     /// Schedules `event` at `time`.
     pub fn schedule(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
@@ -144,6 +155,16 @@ impl<E> Simulation<E> {
         }
     }
 
+    /// Creates an empty simulation whose queue has room for `capacity`
+    /// pending events; see [`EventQueue::with_capacity`].
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            queue: EventQueue::with_capacity(capacity),
+            now: SimTime::ZERO,
+        }
+    }
+
     /// Schedules an initial event.
     pub fn schedule(&mut self, time: SimTime, event: E) {
         self.queue.schedule(time, event);
@@ -214,6 +235,19 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop().unwrap().1, i);
         }
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_hours(2), "b");
+        q.schedule(SimTime::from_hours(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+
+        let mut sim = Simulation::with_capacity(8);
+        sim.schedule(SimTime::ZERO, ());
+        assert_eq!(sim.run(SimTime::from_hours(1), |_, _, ()| {}), 1);
     }
 
     #[test]

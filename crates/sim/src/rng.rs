@@ -69,7 +69,8 @@ impl RngFactory {
     /// An indexed stream, for per-entity substreams (e.g. one per VM).
     #[must_use]
     pub fn indexed_stream(&self, label: &str, index: u64) -> StdRng {
-        let mut state = self.master_seed ^ hash_label(label) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut state =
+            self.master_seed ^ hash_label(label) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let seed = splitmix64(&mut state);
         StdRng::seed_from_u64(seed)
     }

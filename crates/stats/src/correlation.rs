@@ -176,6 +176,9 @@ mod tests {
 
     #[test]
     fn ranks_midrank_convention() {
-        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]).unwrap(), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(
+            ranks(&[10.0, 20.0, 20.0, 30.0]).unwrap(),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
     }
 }

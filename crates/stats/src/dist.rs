@@ -106,7 +106,7 @@ impl Exponential {
     /// # Errors
     /// Returns [`StatsError::OutOfRange`] unless `rate > 0` and finite.
     pub fn new(rate: f64) -> Result<Self, StatsError> {
-        if !(rate > 0.0) || !rate.is_finite() {
+        if rate <= 0.0 || !rate.is_finite() {
             return Err(StatsError::OutOfRange("exponential rate"));
         }
         Ok(Self { rate })
@@ -135,7 +135,7 @@ impl Pareto {
     /// Returns [`StatsError::OutOfRange`] unless both parameters are
     /// positive and finite.
     pub fn new(scale: f64, shape: f64) -> Result<Self, StatsError> {
-        if !(scale > 0.0 && shape > 0.0) || !scale.is_finite() || !shape.is_finite() {
+        if scale <= 0.0 || shape <= 0.0 || !scale.is_finite() || !shape.is_finite() {
             return Err(StatsError::OutOfRange("pareto parameters"));
         }
         Ok(Self { scale, shape })
@@ -162,7 +162,7 @@ impl Poisson {
     /// # Errors
     /// Returns [`StatsError::OutOfRange`] unless `mean >= 0` and finite.
     pub fn new(mean: f64) -> Result<Self, StatsError> {
-        if !(mean >= 0.0) || !mean.is_finite() {
+        if mean < 0.0 || !mean.is_finite() {
             return Err(StatsError::OutOfRange("poisson mean"));
         }
         Ok(Self { mean })
@@ -209,7 +209,7 @@ impl Zipf {
     /// # Errors
     /// Returns [`StatsError::OutOfRange`] if `n == 0` or `s < 0`.
     pub fn new(n: usize, s: f64) -> Result<Self, StatsError> {
-        if n == 0 || !(s >= 0.0) || !s.is_finite() {
+        if n == 0 || s < 0.0 || !s.is_finite() {
             return Err(StatsError::OutOfRange("zipf parameters"));
         }
         let mut cdf = Vec::with_capacity(n);
@@ -373,7 +373,11 @@ mod tests {
         for mean in [0.5, 4.0, 100.0] {
             let d = Poisson::new(mean).unwrap();
             let s = moments(&d, 60_000);
-            assert!((s.mean() - mean).abs() < mean.max(1.0) * 0.05, "mean {mean}: {}", s.mean());
+            assert!(
+                (s.mean() - mean).abs() < mean.max(1.0) * 0.05,
+                "mean {mean}: {}",
+                s.mean()
+            );
             assert!((s.population_variance() - mean).abs() < mean.max(1.0) * 0.15);
         }
         assert_eq!(Poisson::new(0.0).unwrap().sample_count(&mut rng()), 0);

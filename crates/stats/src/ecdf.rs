@@ -44,6 +44,7 @@ impl Ecdf {
     ///
     /// # Errors
     /// Same as [`Ecdf::new`].
+    #[allow(clippy::should_implement_trait)] // fallible, unlike FromIterator
     pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Result<Self, StatsError> {
         Self::new(iter.into_iter().collect())
     }

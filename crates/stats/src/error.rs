@@ -46,7 +46,9 @@ mod tests {
             "length mismatch: 3 vs 5"
         );
         assert!(StatsError::EmptyInput("x").to_string().contains("empty"));
-        assert!(StatsError::ZeroVariance("x").to_string().contains("variance"));
+        assert!(StatsError::ZeroVariance("x")
+            .to_string()
+            .contains("variance"));
     }
 
     #[test]

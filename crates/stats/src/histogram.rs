@@ -20,10 +20,15 @@ impl Axis {
     /// # Errors
     /// Returns [`StatsError::OutOfRange`] if `lo >= hi` or `bins == 0`.
     pub fn linear(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
-        if !(lo < hi) || bins == 0 || !lo.is_finite() || !hi.is_finite() {
+        if lo >= hi || bins == 0 || !lo.is_finite() || !hi.is_finite() {
             return Err(StatsError::OutOfRange("axis definition"));
         }
-        Ok(Self { lo, hi, bins, log: false })
+        Ok(Self {
+            lo,
+            hi,
+            bins,
+            log: false,
+        })
     }
 
     /// Logarithmic axis over `[lo, hi)` with `bins` bins; `lo` must be > 0.
@@ -34,7 +39,12 @@ impl Axis {
         if !(0.0 < lo && lo < hi) || bins == 0 || !hi.is_finite() {
             return Err(StatsError::OutOfRange("axis definition"));
         }
-        Ok(Self { lo, hi, bins, log: true })
+        Ok(Self {
+            lo,
+            hi,
+            bins,
+            log: true,
+        })
     }
 
     /// Number of bins.
@@ -132,7 +142,10 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 
     /// The axis this histogram bins over.

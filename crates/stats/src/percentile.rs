@@ -1,6 +1,13 @@
 //! Percentile computation with linear interpolation (the "type 7"
 //! definition used by most plotting stacks), plus a multi-percentile
 //! helper for the utilization-band figures (Figure 6).
+//!
+//! The single-percentile path uses quickselect
+//! (`select_nth_unstable_by`, expected O(n)) instead of a full sort; the
+//! multi-percentile path sorts once and additionally offers
+//! [`percentiles_into`], which reuses caller-owned buffers so tight loops
+//! (the Figure 6 band sweep calls it once per time index) allocate
+//! nothing.
 
 use crate::error::StatsError;
 
@@ -50,9 +57,32 @@ pub fn percentile(sample: &[f64], p: f64) -> Result<f64, StatsError> {
     if !(0.0..=100.0).contains(&p) {
         return Err(StatsError::OutOfRange("percentile level"));
     }
-    let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-    Ok(percentile_sorted(&sorted, p))
+    let mut scratch = sample.to_vec();
+    Ok(percentile_select(&mut scratch, p))
+}
+
+/// Type-7 percentile by quickselect, expected O(n): partition at the
+/// floor rank, and when the rank interpolates, take the ceil-rank order
+/// statistic as the minimum of the right partition (every element there
+/// is ≥ the pivot). Reorders `scratch`.
+///
+/// Values must be finite and `p` in `[0, 100]` (callers validate).
+fn percentile_select(scratch: &mut [f64], p: f64) -> f64 {
+    let n = scratch.len();
+    if n == 1 {
+        return scratch[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let frac = rank - lo as f64;
+    let (_, &mut lo_val, right) =
+        scratch.select_nth_unstable_by(lo, |a, b| a.partial_cmp(b).expect("finite values compare"));
+    if frac == 0.0 {
+        return lo_val;
+    }
+    // frac > 0 implies lo < n - 1, so the right partition is non-empty.
+    let hi_val = right.iter().copied().fold(f64::INFINITY, f64::min);
+    lo_val + (hi_val - lo_val) * frac
 }
 
 /// Computes several percentiles of one sample with a single sort.
@@ -60,6 +90,25 @@ pub fn percentile(sample: &[f64], p: f64) -> Result<f64, StatsError> {
 /// # Errors
 /// Same conditions as [`percentile`], applied to each level.
 pub fn percentiles(sample: &[f64], levels: &[f64]) -> Result<Vec<f64>, StatsError> {
+    let mut scratch = Vec::new();
+    let mut out = Vec::new();
+    percentiles_into(sample, levels, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`percentiles`] with caller-owned buffers: `scratch` holds the sorted
+/// copy of the sample and `out` receives the results (cleared first).
+/// Both retain their capacity, so a loop calling this per column reuses
+/// the same two allocations throughout.
+///
+/// # Errors
+/// Same conditions as [`percentiles`].
+pub fn percentiles_into(
+    sample: &[f64],
+    levels: &[f64],
+    scratch: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) -> Result<(), StatsError> {
     if sample.is_empty() {
         return Err(StatsError::EmptyInput("percentile sample"));
     }
@@ -69,9 +118,12 @@ pub fn percentiles(sample: &[f64], levels: &[f64]) -> Result<Vec<f64>, StatsErro
     if levels.iter().any(|p| !(0.0..=100.0).contains(p)) {
         return Err(StatsError::OutOfRange("percentile level"));
     }
-    let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-    Ok(levels.iter().map(|&p| percentile_sorted(&sorted, p)).collect())
+    scratch.clear();
+    scratch.extend_from_slice(sample);
+    scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    out.clear();
+    out.extend(levels.iter().map(|&p| percentile_sorted(scratch, p)));
+    Ok(())
 }
 
 /// The percentile levels Figure 6 of the paper plots as bands.
@@ -103,7 +155,10 @@ mod tests {
 
     #[test]
     fn error_conditions() {
-        assert!(matches!(percentile(&[], 50.0), Err(StatsError::EmptyInput(_))));
+        assert!(matches!(
+            percentile(&[], 50.0),
+            Err(StatsError::EmptyInput(_))
+        ));
         assert!(matches!(
             percentile(&[f64::NAN], 50.0),
             Err(StatsError::NonFinite(_))
@@ -129,6 +184,40 @@ mod tests {
     #[test]
     fn single_element_slice() {
         assert_eq!(percentile_sorted(&[42.0], 75.0), 42.0);
+    }
+
+    #[test]
+    fn selection_matches_sorted_at_every_level() {
+        // Duplicates, negatives, and an awkward length to stress the
+        // partition boundaries.
+        let data: Vec<f64> = (0..97).map(|i| (((i * 31) % 17) as f64) - 8.0).collect();
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in 0..=100 {
+            let p = f64::from(p);
+            assert_eq!(
+                percentile(&data, p).unwrap(),
+                percentile_sorted(&sorted, p),
+                "level {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_into_reuses_buffers() {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        percentiles_into(&[3.0, 1.0, 2.0], &FIGURE6_LEVELS, &mut scratch, &mut out).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[2], 2.0);
+        let cap = (scratch.capacity(), out.capacity());
+        percentiles_into(&[9.0, 7.0], &[50.0], &mut scratch, &mut out).unwrap();
+        assert_eq!(out, vec![8.0]);
+        assert_eq!((scratch.capacity(), out.capacity()), cap, "no reallocation");
+        assert!(matches!(
+            percentiles_into(&[], &[50.0], &mut scratch, &mut out),
+            Err(StatsError::EmptyInput(_))
+        ));
     }
 
     #[test]

@@ -61,8 +61,8 @@ impl Summary {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -180,7 +180,11 @@ impl Extend<f64> for Summary {
 /// ```
 #[must_use]
 pub fn coefficient_of_variation(values: &[f64]) -> Option<f64> {
-    values.iter().copied().collect::<Summary>().coefficient_of_variation()
+    values
+        .iter()
+        .copied()
+        .collect::<Summary>()
+        .coefficient_of_variation()
 }
 
 #[cfg(test)]
@@ -200,7 +204,10 @@ mod tests {
 
     #[test]
     fn known_moments() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .copied()
+            .collect();
         assert_eq!(s.count(), 8);
         assert_eq!(s.mean(), 5.0);
         assert!((s.population_variance() - 4.0).abs() < 1e-12);
@@ -212,7 +219,10 @@ mod tests {
 
     #[test]
     fn non_finite_values_ignored() {
-        let s: Summary = [1.0, f64::NAN, 3.0, f64::INFINITY].iter().copied().collect();
+        let s: Summary = [1.0, f64::NAN, 3.0, f64::INFINITY]
+            .iter()
+            .copied()
+            .collect();
         assert_eq!(s.count(), 2);
         assert_eq!(s.mean(), 2.0);
     }
@@ -259,7 +269,9 @@ mod tests {
     #[test]
     fn bursty_series_has_larger_cv_than_smooth() {
         // The Figure 3(d) discriminator in miniature.
-        let smooth: Vec<f64> = (0..168).map(|h| 50.0 + 20.0 * ((h % 24) as f64 / 24.0 * std::f64::consts::TAU).sin()).collect();
+        let smooth: Vec<f64> = (0..168)
+            .map(|h| 50.0 + 20.0 * ((h % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect();
         let mut bursty = vec![5.0; 168];
         bursty[40] = 400.0;
         bursty[100] = 350.0;

@@ -5,7 +5,7 @@ use cloudscope_stats::correlation::{pearson, spearman};
 use cloudscope_stats::dist::{Categorical, Sample, StdNormal};
 use cloudscope_stats::ecdf::Ecdf;
 use cloudscope_stats::histogram::{Axis, Histogram};
-use cloudscope_stats::percentile::percentiles;
+use cloudscope_stats::percentile::{percentile, percentile_sorted, percentiles};
 use cloudscope_stats::summary::Summary;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -122,6 +122,15 @@ proptest! {
                     < 1e-3 * (1.0 + sequential.population_variance())
             );
         }
+    }
+
+    #[test]
+    fn selection_percentile_matches_sorted(sample in finite_vec(128), p in 0.0f64..=100.0) {
+        // The quickselect path must return bit-identical results to the
+        // full-sort definition at any level, including interpolated ranks.
+        let mut sorted = sample.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(percentile(&sample, p).unwrap(), percentile_sorted(&sorted, p));
     }
 
     #[test]

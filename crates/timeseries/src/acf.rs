@@ -1,12 +1,28 @@
 //! Autocorrelation function and helpers for validating candidate periods
 //! on the ACF, the second stage of Vlachos-style period detection.
+//!
+//! Two implementations share one contract. [`autocorrelation_naive`] is
+//! the O(n·max_lag) reference oracle, a direct transcription of the
+//! biased estimator. [`autocorrelation_fft`] computes the same estimator
+//! through the Wiener–Khinchin theorem — forward FFT, power spectrum,
+//! inverse FFT — in O(m log m) for `m = next_pow2(n + max_lag)`, reusing
+//! the thread-local plan cache of [`crate::fft`]. [`autocorrelation`]
+//! dispatches: FFT for the large inputs the period detector feeds it,
+//! naive where the direct sums are cheaper than a transform.
 
 use crate::error::SeriesError;
+use crate::fft::{next_power_of_two, with_plan, Complex};
+
+/// Below this many multiply-adds (`n · (max_lag + 1)`), the direct sums
+/// beat the FFT's fixed costs; measured crossover is a few thousand.
+const NAIVE_WORK_CUTOFF: usize = 4096;
 
 /// Sample autocorrelation at lags `0..=max_lag` of a signal.
 ///
 /// Uses the biased estimator (normalizing by `n` at every lag), which is
-/// what periodicity detection expects: it damps long-lag noise.
+/// what periodicity detection expects: it damps long-lag noise. Large
+/// inputs are computed via FFT (Wiener–Khinchin), small ones directly;
+/// both paths agree within `1e-9` in ACF units.
 ///
 /// # Errors
 /// - [`SeriesError::TooShort`] if the signal has fewer than 2 points or
@@ -25,15 +41,21 @@ use crate::error::SeriesError;
 /// # }
 /// ```
 pub fn autocorrelation(signal: &[f64], max_lag: usize) -> Result<Vec<f64>, SeriesError> {
+    if signal.len().saturating_mul(max_lag + 1) <= NAIVE_WORK_CUTOFF {
+        autocorrelation_naive(signal, max_lag)
+    } else {
+        autocorrelation_fft(signal, max_lag)
+    }
+}
+
+/// Direct O(n·max_lag) biased-estimator autocorrelation: the reference
+/// oracle the FFT path is verified against.
+///
+/// # Errors
+/// Same contract as [`autocorrelation`].
+pub fn autocorrelation_naive(signal: &[f64], max_lag: usize) -> Result<Vec<f64>, SeriesError> {
+    let (mean, var) = check_signal(signal, max_lag)?;
     let n = signal.len();
-    if n < 2 || max_lag >= n {
-        return Err(SeriesError::TooShort(n));
-    }
-    let mean = signal.iter().sum::<f64>() / n as f64;
-    let var: f64 = signal.iter().map(|v| (v - mean) * (v - mean)).sum();
-    if var == 0.0 {
-        return Err(SeriesError::ZeroVariance);
-    }
     let mut acf = Vec::with_capacity(max_lag + 1);
     for lag in 0..=max_lag {
         let cov: f64 = signal[..n - lag]
@@ -44,6 +66,52 @@ pub fn autocorrelation(signal: &[f64], max_lag: usize) -> Result<Vec<f64>, Serie
         acf.push(cov / var);
     }
     Ok(acf)
+}
+
+/// FFT autocorrelation via the Wiener–Khinchin theorem: zero-pad the
+/// mean-centred signal to `m = next_pow2(n + max_lag)` (enough room that
+/// circular correlation equals linear correlation for every requested
+/// lag), transform, take `|X_k|²`, transform back. The real parts of the
+/// first `max_lag + 1` slots are the raw autocovariance sums, normalized
+/// by the exact time-domain variance so the estimator semantics match
+/// [`autocorrelation_naive`]. Lag 0 is pinned to exactly `1.0`, as the
+/// naive quotient is by construction.
+///
+/// # Errors
+/// Same contract as [`autocorrelation`].
+pub fn autocorrelation_fft(signal: &[f64], max_lag: usize) -> Result<Vec<f64>, SeriesError> {
+    let (mean, var) = check_signal(signal, max_lag)?;
+    let n = signal.len();
+    let m = next_power_of_two(n + max_lag);
+    with_plan(m, |plan, buf| {
+        for (slot, &v) in buf.iter_mut().zip(signal) {
+            *slot = Complex::new(v - mean, 0.0);
+        }
+        plan.forward(buf);
+        for c in buf.iter_mut() {
+            *c = Complex::new(c.norm_sq(), 0.0);
+        }
+        plan.inverse(buf);
+        let mut acf = Vec::with_capacity(max_lag + 1);
+        acf.push(1.0);
+        acf.extend(buf[1..max_lag + 1].iter().map(|c| c.re / var));
+        acf
+    })
+}
+
+/// Shared validation: length/lag bounds and the mean/variance pass, with
+/// error semantics identical across both implementations.
+fn check_signal(signal: &[f64], max_lag: usize) -> Result<(f64, f64), SeriesError> {
+    let n = signal.len();
+    if n < 2 || max_lag >= n {
+        return Err(SeriesError::TooShort(n));
+    }
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let var: f64 = signal.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if var == 0.0 {
+        return Err(SeriesError::ZeroVariance);
+    }
+    Ok((mean, var))
 }
 
 /// `true` if `lag` sits on a *hill* of the ACF: a local maximum whose
@@ -145,6 +213,61 @@ mod tests {
             autocorrelation(&[2.0, 2.0, 2.0], 1),
             Err(SeriesError::ZeroVariance)
         ));
+    }
+
+    #[test]
+    fn both_implementations_share_error_semantics() {
+        for f in [autocorrelation_naive, autocorrelation_fft] {
+            assert!(matches!(f(&[1.0], 0), Err(SeriesError::TooShort(1))));
+            assert!(matches!(
+                f(&[1.0, 2.0, 3.0], 3),
+                Err(SeriesError::TooShort(3))
+            ));
+            assert!(matches!(
+                f(&[2.0, 2.0, 2.0], 1),
+                Err(SeriesError::ZeroVariance)
+            ));
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_on_periodic_signal() {
+        let signal = sine(24, 12);
+        let naive = autocorrelation_naive(&signal, signal.len() / 2).unwrap();
+        let fft = autocorrelation_fft(&signal, signal.len() / 2).unwrap();
+        assert_eq!(naive.len(), fft.len());
+        for (lag, (a, b)) in naive.iter().zip(&fft).enumerate() {
+            assert!((a - b).abs() < 1e-9, "lag {lag}: naive {a} vs fft {b}");
+        }
+        assert_eq!(fft[0], 1.0, "lag 0 is pinned exactly");
+    }
+
+    #[test]
+    fn fft_matches_naive_on_awkward_lengths() {
+        // Non-power-of-two lengths and max_lag = n - 1 (the tightest
+        // padding case, m = next_pow2(2n - 1)).
+        for n in [5usize, 37, 100, 333] {
+            let signal: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.83).sin() + 0.1 * i as f64)
+                .collect();
+            let naive = autocorrelation_naive(&signal, n - 1).unwrap();
+            let fft = autocorrelation_fft(&signal, n - 1).unwrap();
+            for (lag, (a, b)) in naive.iter().zip(&fft).enumerate() {
+                assert!((a - b).abs() < 1e-9, "n {n} lag {lag}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatcher_uses_fft_above_cutoff() {
+        // Large enough that the dispatcher takes the FFT path; results
+        // must stay within oracle tolerance either way.
+        let signal = sine(288, 7);
+        let via_dispatch = autocorrelation(&signal, signal.len() / 2).unwrap();
+        let naive = autocorrelation_naive(&signal, signal.len() / 2).unwrap();
+        for (a, b) in via_dispatch.iter().zip(&naive) {
+            assert!((a - b).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub fn detect_bursts(
     window: usize,
     threshold: f64,
 ) -> Result<Vec<Burst>, SeriesError> {
-    if window < 5 || window % 2 == 0 {
+    if window < 5 || window.is_multiple_of(2) {
         return Err(SeriesError::BadResampleFactor);
     }
     let n = series.len();
@@ -126,8 +126,17 @@ mod tests {
     #[test]
     fn error_conditions() {
         let s = Series::new(0, 60, vec![1.0; 10]);
-        assert!(matches!(detect_bursts(&s, 4, 3.0), Err(SeriesError::BadResampleFactor)));
-        assert!(matches!(detect_bursts(&s, 6, 3.0), Err(SeriesError::BadResampleFactor)));
-        assert!(matches!(detect_bursts(&s, 11, 3.0), Err(SeriesError::TooShort(10))));
+        assert!(matches!(
+            detect_bursts(&s, 4, 3.0),
+            Err(SeriesError::BadResampleFactor)
+        ));
+        assert!(matches!(
+            detect_bursts(&s, 6, 3.0),
+            Err(SeriesError::BadResampleFactor)
+        ));
+        assert!(matches!(
+            detect_bursts(&s, 11, 3.0),
+            Err(SeriesError::TooShort(10))
+        ));
     }
 }

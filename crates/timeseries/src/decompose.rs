@@ -74,8 +74,7 @@ pub fn decompose(series: &Series, period: usize) -> Result<Decomposition, Series
                 values[i - half..=i + half].iter().sum::<f64>() / period as f64
             } else {
                 let a: f64 = values[i - half..i + half].iter().sum::<f64>() / period as f64;
-                let b: f64 =
-                    values[i - half + 1..=i + half].iter().sum::<f64>() / period as f64;
+                let b: f64 = values[i - half + 1..=i + half].iter().sum::<f64>() / period as f64;
                 (a + b) / 2.0
             }
         })
@@ -178,7 +177,11 @@ mod tests {
             z = z ^ (z >> 27);
             (z % 1000) as f64 / 500.0 - 1.0
         }
-        let s = Series::new(0, 5, (0..1000).map(|i| hash_noise(i as u64) * 5.0).collect());
+        let s = Series::new(
+            0,
+            5,
+            (0..1000).map(|i| hash_noise(i as u64) * 5.0).collect(),
+        );
         let d = decompose(&s, 100).unwrap();
         assert!(d.seasonal_strength() < 0.4, "{}", d.seasonal_strength());
     }
@@ -194,7 +197,10 @@ mod tests {
     #[test]
     fn error_conditions() {
         let s = Series::new(0, 5, vec![1.0; 100]);
-        assert!(matches!(decompose(&s, 1), Err(SeriesError::BadResampleFactor)));
+        assert!(matches!(
+            decompose(&s, 1),
+            Err(SeriesError::BadResampleFactor)
+        ));
         assert!(matches!(decompose(&s, 80), Err(SeriesError::TooShort(100))));
     }
 }

@@ -44,7 +44,9 @@ mod tests {
     #[test]
     fn messages() {
         assert!(SeriesError::TooShort(3).to_string().contains("3"));
-        assert!(SeriesError::NotPowerOfTwo(6).to_string().contains("power of two"));
+        assert!(SeriesError::NotPowerOfTwo(6)
+            .to_string()
+            .contains("power of two"));
         assert!(SeriesError::ZeroVariance.to_string().contains("variance"));
     }
 

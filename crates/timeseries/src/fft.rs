@@ -1,8 +1,21 @@
 //! Radix-2 iterative fast Fourier transform and the periodogram built on
 //! it. Implemented from scratch: the period detector only needs power
 //! spectra of zero-padded real signals.
+//!
+//! Two transform paths exist. [`fft_in_place`]/[`ifft_in_place`] are the
+//! self-contained reference: they recompute twiddles incrementally on
+//! every call. [`FftPlan`] precomputes the bit-reversal permutation and
+//! twiddle table once per size, and [`with_plan`] caches plans (plus one
+//! scratch buffer) per thread, so sweeps that transform thousands of
+//! same-length series — the period detector over a whole trace — do no
+//! redundant trig and near-zero per-series allocation. Thread-local
+//! storage keeps the cache lock-free and composes with the per-thread
+//! workers of `cloudscope-par`.
 
 use crate::error::SeriesError;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// A complex number as a `(re, im)` pair; kept private-shaped but public
 /// for testability of round-trips.
@@ -21,19 +34,21 @@ impl Complex {
         Self { re, im }
     }
 
-    /// Complex multiplication.
-    #[must_use]
-    pub fn mul(self, other: Complex) -> Complex {
-        Complex::new(
-            self.re * other.re - self.im * other.im,
-            self.re * other.im + self.im * other.re,
-        )
-    }
-
     /// Squared magnitude.
     #[must_use]
     pub fn norm_sq(self) -> f64 {
         self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
     }
 }
 
@@ -66,10 +81,10 @@ pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), SeriesError> {
             let half = len / 2;
             for k in 0..half {
                 let u = chunk[k];
-                let t = chunk[k + half].mul(w);
+                let t = chunk[k + half] * w;
                 chunk[k] = Complex::new(u.re + t.re, u.im + t.im);
                 chunk[k + half] = Complex::new(u.re - t.re, u.im - t.im);
-                w = w.mul(w_len);
+                w = w * w_len;
             }
         }
         len <<= 1;
@@ -101,6 +116,184 @@ pub fn next_power_of_two(n: usize) -> usize {
     n.next_power_of_two()
 }
 
+/// A precomputed FFT plan for one power-of-two size: the bit-reversal
+/// permutation and the twiddle table `w_k = exp(-iτk/n)`, `k < n/2`.
+/// Stage `len` of the butterfly pass uses every `(n/len)`-th twiddle, so
+/// one table serves all stages with zero trig at transform time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FftPlan {
+    n: usize,
+    bit_rev: Vec<u32>,
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    /// Returns [`SeriesError::NotPowerOfTwo`] unless `n` is a nonzero
+    /// power of two.
+    pub fn new(n: usize) -> Result<Self, SeriesError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(SeriesError::NotPowerOfTwo(n));
+        }
+        let bits = n.trailing_zeros();
+        let bit_rev = (0..n as u64)
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    (i.reverse_bits() >> (64 - bits)) as u32
+                }
+            })
+            .collect();
+        let twiddles = (0..n / 2)
+            .map(|k| {
+                let angle = -std::f64::consts::TAU * k as f64 / n as f64;
+                Complex::new(angle.cos(), angle.sin())
+            })
+            .collect();
+        Ok(Self {
+            n,
+            bit_rev,
+            twiddles,
+        })
+    }
+
+    /// The transform length this plan serves.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` only for the degenerate length-1 plan.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// Forward DFT, in place.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        assert_eq!(buf.len(), self.n, "buffer does not match plan length");
+        for (i, &j) in self.bit_rev.iter().enumerate() {
+            let j = j as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= self.n {
+            let stride = self.n / len;
+            let half = len / 2;
+            for chunk in buf.chunks_mut(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * stride];
+                    let u = chunk[k];
+                    let t = chunk[k + half] * w;
+                    chunk[k] = Complex::new(u.re + t.re, u.im + t.im);
+                    chunk[k + half] = Complex::new(u.re - t.re, u.im - t.im);
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Inverse DFT, in place (conjugate → forward → conjugate-and-scale).
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        for c in buf.iter_mut() {
+            c.im = -c.im;
+        }
+        self.forward(buf);
+        let n = self.n as f64;
+        for c in buf.iter_mut() {
+            c.re /= n;
+            c.im = -c.im / n;
+        }
+    }
+}
+
+/// Plan-cache counters, exposed for tests and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a new plan.
+    pub misses: u64,
+}
+
+struct PlanCache {
+    plans: HashMap<usize, Rc<FftPlan>>,
+    scratch: Vec<Complex>,
+    stats: PlanCacheStats,
+}
+
+thread_local! {
+    static PLAN_CACHE: RefCell<PlanCache> = RefCell::new(PlanCache {
+        plans: HashMap::new(),
+        scratch: Vec::new(),
+        stats: PlanCacheStats::default(),
+    });
+}
+
+/// Runs `f` with this thread's cached plan for size `n` and the shared
+/// scratch buffer, resized to `n` and zeroed. Plans are built on first
+/// use per thread and reused forever after; the scratch buffer grows to
+/// the largest size requested and is reused across calls, so steady-state
+/// transforms allocate nothing.
+///
+/// # Errors
+/// Returns [`SeriesError::NotPowerOfTwo`] unless `n` is a nonzero power
+/// of two.
+///
+/// # Panics
+/// Panics if `f` itself re-enters `with_plan` on the same thread (the
+/// scratch buffer is singular).
+pub fn with_plan<R>(
+    n: usize,
+    f: impl FnOnce(&FftPlan, &mut Vec<Complex>) -> R,
+) -> Result<R, SeriesError> {
+    let (plan, mut scratch) = PLAN_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let plan = match cache.plans.get(&n).map(Rc::clone) {
+            Some(plan) => {
+                cache.stats.hits += 1;
+                plan
+            }
+            None => {
+                let plan = Rc::new(FftPlan::new(n)?);
+                cache.stats.misses += 1;
+                cache.plans.insert(n, Rc::clone(&plan));
+                plan
+            }
+        };
+        Ok((plan, std::mem::take(&mut cache.scratch)))
+    })?;
+    scratch.clear();
+    scratch.resize(n, Complex::default());
+    let result = f(&plan, &mut scratch);
+    PLAN_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        // Keep the larger buffer so the cache converges on the biggest
+        // working size instead of thrashing.
+        if scratch.capacity() > cache.scratch.capacity() {
+            cache.scratch = scratch;
+        }
+    });
+    Ok(result)
+}
+
+/// This thread's plan-cache counters.
+#[must_use]
+pub fn plan_cache_stats() -> PlanCacheStats {
+    PLAN_CACHE.with(|cache| cache.borrow().stats)
+}
+
 /// Periodogram of a real signal: the signal is mean-centred, zero-padded
 /// to the next power of two, transformed, and the one-sided power spectrum
 /// `|X_k|²/N` returned for `k = 0..N/2`.
@@ -118,17 +311,16 @@ pub fn periodogram(signal: &[f64]) -> Result<(Vec<f64>, usize), SeriesError> {
     }
     let mean = signal.iter().sum::<f64>() / signal.len() as f64;
     let n = next_power_of_two(signal.len());
-    let mut buf: Vec<Complex> = signal
-        .iter()
-        .map(|&v| Complex::new(v - mean, 0.0))
-        .chain(std::iter::repeat(Complex::default()))
-        .take(n)
-        .collect();
-    fft_in_place(&mut buf)?;
-    let power = buf[..n / 2]
-        .iter()
-        .map(|c| c.norm_sq() / n as f64)
-        .collect();
+    let power = with_plan(n, |plan, buf| {
+        for (slot, &v) in buf.iter_mut().zip(signal) {
+            *slot = Complex::new(v - mean, 0.0);
+        }
+        plan.forward(buf);
+        buf[..n / 2]
+            .iter()
+            .map(|c| c.norm_sq() / n as f64)
+            .collect()
+    })?;
     Ok((power, n))
 }
 
@@ -234,5 +426,76 @@ mod tests {
         let signal = vec![5.0; 64];
         let (power, _) = periodogram(&signal).unwrap();
         assert!(power.iter().all(|&p| p < 1e-18));
+    }
+
+    #[test]
+    fn planned_fft_matches_reference() {
+        for n in [1usize, 2, 4, 64, 256] {
+            let plan = FftPlan::new(n).unwrap();
+            assert_eq!(plan.len(), n);
+            let original: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let mut planned = original.clone();
+            plan.forward(&mut planned);
+            let mut reference = original.clone();
+            fft_in_place(&mut reference).unwrap();
+            for (a, b) in planned.iter().zip(&reference) {
+                assert!(approx(a.re, b.re, 1e-9) && approx(a.im, b.im, 1e-9));
+            }
+            plan.inverse(&mut planned);
+            for (a, b) in planned.iter().zip(&original) {
+                assert!(approx(a.re, b.re, 1e-9) && approx(a.im, b.im, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_rejects_bad_lengths() {
+        assert!(matches!(
+            FftPlan::new(0),
+            Err(SeriesError::NotPowerOfTwo(0))
+        ));
+        assert!(matches!(
+            FftPlan::new(12),
+            Err(SeriesError::NotPowerOfTwo(12))
+        ));
+        assert!(matches!(
+            with_plan(6, |_, _| ()),
+            Err(SeriesError::NotPowerOfTwo(6))
+        ));
+    }
+
+    #[test]
+    fn plan_cache_reuses_plans() {
+        let before = plan_cache_stats();
+        let signal: Vec<f64> = (0..256).map(|i| (i as f64 * 0.21).sin()).collect();
+        let first = periodogram(&signal).unwrap();
+        let after_first = plan_cache_stats();
+        let second = periodogram(&signal).unwrap();
+        let after_second = plan_cache_stats();
+        assert_eq!(first, second, "cached plan must not change results");
+        // The second run of the same size must be a pure cache hit.
+        assert_eq!(after_second.misses, after_first.misses);
+        assert!(after_second.hits > after_first.hits);
+        // The first run either built the plan or found it from an earlier
+        // test on this thread.
+        assert!(after_first.hits + after_first.misses > before.hits + before.misses);
+    }
+
+    #[test]
+    fn scratch_buffer_is_zeroed_between_uses() {
+        // Fill scratch with garbage at one size, then check a smaller
+        // transform still sees zeros in its padding.
+        with_plan(64, |_, buf| {
+            for c in buf.iter_mut() {
+                *c = Complex::new(7.0, -3.0);
+            }
+        })
+        .unwrap();
+        with_plan(32, |_, buf| {
+            assert!(buf.iter().all(|c| c.re == 0.0 && c.im == 0.0));
+        })
+        .unwrap();
     }
 }

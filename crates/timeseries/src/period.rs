@@ -249,8 +249,14 @@ mod tests {
             .collect();
         let series = Series::new(0, 5, values);
         let detector = PeriodDetector::default();
-        assert!(detector.has_period_near(&series, 1440.0, 150.0), "daily missing");
-        assert!(detector.has_period_near(&series, 60.0, 10.0), "hourly missing");
+        assert!(
+            detector.has_period_near(&series, 1440.0, 150.0),
+            "daily missing"
+        );
+        assert!(
+            detector.has_period_near(&series, 60.0, 10.0),
+            "hourly missing"
+        );
     }
 
     #[test]

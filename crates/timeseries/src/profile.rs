@@ -4,7 +4,7 @@
 
 use crate::error::SeriesError;
 use crate::series::Series;
-use cloudscope_stats::percentile::percentiles;
+use cloudscope_stats::percentile::percentiles_into;
 use serde::{Deserialize, Serialize};
 
 /// Minutes per day, re-declared to avoid a model-crate dependency.
@@ -59,8 +59,16 @@ pub fn weekday_weekend_means(series: &Series) -> Result<(f64, f64), SeriesError>
             wd_n += 1;
         }
     }
-    let wd = if wd_n == 0 { 0.0 } else { wd_sum / f64::from(wd_n) };
-    let we = if we_n == 0 { 0.0 } else { we_sum / f64::from(we_n) };
+    let wd = if wd_n == 0 {
+        0.0
+    } else {
+        wd_sum / f64::from(wd_n)
+    };
+    let we = if we_n == 0 {
+        0.0
+    } else {
+        we_sum / f64::from(we_n)
+    };
     Ok((wd, we))
 }
 
@@ -112,11 +120,14 @@ impl PercentileBands {
         }
         let mut bands = vec![Vec::with_capacity(first.len()); levels.len()];
         let mut column = Vec::with_capacity(population.len());
+        let mut scratch = Vec::with_capacity(population.len());
+        let mut vals = Vec::with_capacity(levels.len());
         for t in 0..first.len() {
             column.clear();
             column.extend(population.iter().map(|s| s.values()[t]));
-            let vals = percentiles(&column, levels).map_err(|_| SeriesError::Misaligned)?;
-            for (band, v) in bands.iter_mut().zip(vals) {
+            percentiles_into(&column, levels, &mut scratch, &mut vals)
+                .map_err(|_| SeriesError::Misaligned)?;
+            for (band, &v) in bands.iter_mut().zip(&vals) {
                 band.push(v);
             }
         }
@@ -146,11 +157,7 @@ impl PercentileBands {
         }
         let lo = &self.bands[0];
         let hi = &self.bands[self.bands.len() - 1];
-        lo.iter()
-            .zip(hi)
-            .map(|(a, b)| b - a)
-            .sum::<f64>()
-            / lo.len() as f64
+        lo.iter().zip(hi).map(|(a, b)| b - a).sum::<f64>() / lo.len() as f64
     }
 
     /// Temporal variability of the median band (its population standard
@@ -175,8 +182,7 @@ mod tests {
             .map(|i| {
                 let minute = i as f64 * step as f64;
                 50.0 + amp
-                    * (std::f64::consts::TAU * (minute - phase_minutes)
-                        / MINUTES_PER_DAY as f64)
+                    * (std::f64::consts::TAU * (minute - phase_minutes) / MINUTES_PER_DAY as f64)
                         .sin()
             })
             .collect();
@@ -252,9 +258,7 @@ mod tests {
     fn flat_vs_varying_median_band() {
         // A population whose median moves over time has a larger
         // median-band std than a static one.
-        let moving: Vec<Series> = (0..6)
-            .map(|_| day_sine(60, 1, 20.0, 0.0))
-            .collect();
+        let moving: Vec<Series> = (0..6).map(|_| day_sine(60, 1, 20.0, 0.0)).collect();
         let flat: Vec<Series> = (0..6)
             .map(|k| Series::new(0, 60, vec![10.0 + k as f64; 24]))
             .collect();

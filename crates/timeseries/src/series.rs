@@ -208,7 +208,7 @@ impl Series {
     /// # Errors
     /// Returns [`SeriesError::BadResampleFactor`] if `window` is even or 0.
     pub fn moving_average(&self, window: usize) -> Result<Series, SeriesError> {
-        if window == 0 || window % 2 == 0 {
+        if window == 0 || window.is_multiple_of(2) {
             return Err(SeriesError::BadResampleFactor);
         }
         let half = window / 2;

@@ -1,6 +1,6 @@
 //! Property-based tests for the time-series substrate.
 
-use cloudscope_timeseries::acf::autocorrelation;
+use cloudscope_timeseries::acf::{autocorrelation, autocorrelation_fft, autocorrelation_naive};
 use cloudscope_timeseries::fft::{fft_in_place, ifft_in_place, periodogram, Complex};
 use cloudscope_timeseries::profile::{daily_profile, weekday_weekend_means};
 use cloudscope_timeseries::series::Series;
@@ -55,6 +55,34 @@ proptest! {
             prop_assert!((acf[0] - 1.0).abs() < 1e-9);
             for &v in &acf {
                 prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn fft_acf_matches_naive_oracle(
+        values in prop::collection::vec(-1e3f64..1e3, 2..160),
+        lag_frac in 0.0f64..1.0,
+    ) {
+        // Random signal, random lag up to n - 1: the FFT path must agree
+        // with the direct-sum oracle within 1e-9 in ACF units, and both
+        // paths must fail identically when either fails.
+        let max_lag = (lag_frac * (values.len() - 1) as f64) as usize;
+        match (
+            autocorrelation_naive(&values, max_lag),
+            autocorrelation_fft(&values, max_lag),
+        ) {
+            (Ok(naive), Ok(fft)) => {
+                prop_assert_eq!(naive.len(), fft.len());
+                for (lag, (a, b)) in naive.iter().zip(&fft).enumerate() {
+                    prop_assert!((a - b).abs() < 1e-9, "lag {}: {} vs {}", lag, a, b);
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (naive, fft) => {
+                return Err(TestCaseError::fail(format!(
+                    "paths disagree on failure: naive {naive:?} vs fft {fft:?}"
+                )));
             }
         }
     }

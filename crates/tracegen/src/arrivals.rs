@@ -214,8 +214,7 @@ mod tests {
 
     #[test]
     fn rate_factor_peaks_afternoon_and_damps_weekend() {
-        let weekday_peak =
-            diurnal_rate_factor(SimTime::from_minutes(14 * 60), 0.8, 0.5);
+        let weekday_peak = diurnal_rate_factor(SimTime::from_minutes(14 * 60), 0.8, 0.5);
         let weekday_night = diurnal_rate_factor(SimTime::from_minutes(2 * 60), 0.8, 0.5);
         assert!(weekday_peak > weekday_night);
         let saturday = SimTime::from_minutes(5 * MINUTES_PER_DAY + 14 * 60);

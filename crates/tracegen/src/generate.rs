@@ -9,11 +9,10 @@ use crate::lifetime::LifetimeSampler;
 use crate::services::{synthesize_plans, SubscriptionPlan};
 use crate::sizes::SizeSampler;
 use crate::utilization::{generate_vm_series, PatternKind, ServiceUtilProfile};
-use cloudscope_cluster::{
-    AllocatorStats, Fleet, PlacementPolicy, PlacementRequest, SpreadingRule,
-};
+use cloudscope_cluster::{AllocatorStats, Fleet, PlacementPolicy, PlacementRequest, SpreadingRule};
 use cloudscope_model::prelude::*;
 use cloudscope_model::time::{MINUTES_PER_WEEK, SAMPLE_INTERVAL_MINUTES};
+use cloudscope_par::Parallelism;
 use cloudscope_sim::engine::Simulation;
 use cloudscope_sim::rng::RngFactory;
 use cloudscope_stats::dist::{Categorical, LogNormal, Sample};
@@ -80,9 +79,7 @@ impl GeneratedTrace {
         self.services
             .iter()
             .filter(|s| {
-                s.cloud == CloudKind::Private
-                    && s.profile.region_agnostic
-                    && s.regions.len() >= 3
+                s.cloud == CloudKind::Private && s.profile.region_agnostic && s.regions.len() >= 3
             })
             .max_by_key(|s| s.standing_vms)
     }
@@ -157,7 +154,11 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
         }
     }
     let topology = tb.build();
-    let tz_of: Vec<i32> = topology.regions().iter().map(|r| r.tz_offset_hours).collect();
+    let tz_of: Vec<i32> = topology
+        .regions()
+        .iter()
+        .map(|r| r.tz_offset_hours)
+        .collect();
 
     // 2. Subscription plans (private first: dense subscription ids).
     let mut plan_rng = factory.stream("plans/private");
@@ -217,7 +218,15 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
         }
     }
 
-    churn_specs(config, &plans, &region_ids, &tz_of, &factory, &mut specs, &mut report);
+    churn_specs(
+        config,
+        &plans,
+        &region_ids,
+        &tz_of,
+        &factory,
+        &mut specs,
+        &mut report,
+    );
 
     // Sort churn after standing, by creation time, keeping standing
     // first (they are placed before the week starts).
@@ -228,8 +237,18 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
         max_same_service_per_rack: Some(MAX_SAME_SERVICE_PER_RACK),
     };
     let mut fleets = [
-        Fleet::new(&topology, CloudKind::Private, PlacementPolicy::BestFit, spreading),
-        Fleet::new(&topology, CloudKind::Public, PlacementPolicy::BestFit, spreading),
+        Fleet::new(
+            &topology,
+            CloudKind::Private,
+            PlacementPolicy::BestFit,
+            spreading,
+        ),
+        Fleet::new(
+            &topology,
+            CloudKind::Public,
+            PlacementPolicy::BestFit,
+            spreading,
+        ),
     ];
     let size_samplers = [
         SizeSampler::new(config.private.size),
@@ -243,7 +262,7 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
     // Standing VMs place first (outside the DES), then churn replays
     // through the event queue so releases free capacity for later
     // creations.
-    let mut sim: Simulation<Event> = Simulation::new();
+    let mut sim: Simulation<Event> = Simulation::with_capacity(specs.len());
     for spec in &specs {
         let plan = &plans[spec.subscription];
         let fleet_idx = fleet_index(plan.cloud);
@@ -255,19 +274,17 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
             priority: spec.priority,
         };
         match spec.kind {
-            SpecKind::Standing => {
-                match fleets[fleet_idx].place_in_region(spec.region, request) {
-                    Ok((cluster, node)) => {
-                        if let Some(end) = spec.ended {
-                            sim.schedule(end, Event::Release(request.vm));
-                        }
-                        records.push(make_record(request, spec, plan, cluster, Some(node)));
+            SpecKind::Standing => match fleets[fleet_idx].place_in_region(spec.region, request) {
+                Ok((cluster, node)) => {
+                    if let Some(end) = spec.ended {
+                        sim.schedule(end, Event::Release(request.vm));
                     }
-                    Err(_) => {
-                        report.dropped_vms += 1;
-                    }
+                    records.push(make_record(request, spec, plan, cluster, Some(node)));
                 }
-            }
+                Err(_) => {
+                    report.dropped_vms += 1;
+                }
+            },
             SpecKind::Churn | SpecKind::Burst => {
                 // Materialize the record now; the DES will place it.
                 records.push(make_record(
@@ -336,9 +353,8 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
             let plan = &plans[record.subscription.as_usize()];
             let group =
                 (record.service.index() - service_base[record.subscription.as_usize()]) as usize;
-            let first_sample =
-                (record.created.minutes().max(0) + SAMPLE_INTERVAL_MINUTES - 1)
-                    / SAMPLE_INTERVAL_MINUTES;
+            let first_sample = (record.created.minutes().max(0) + SAMPLE_INTERVAL_MINUTES - 1)
+                / SAMPLE_INTERVAL_MINUTES;
             let end_minute = record
                 .ended
                 .map_or(MINUTES_PER_WEEK, |e| e.minutes().min(MINUTES_PER_WEEK));
@@ -356,33 +372,9 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
                 &mut rng,
             ))
         };
-        // Parallel map, chunked across worker threads; per-VM RNG streams
-        // keep results independent of the thread count.
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
-            .min(16);
-        let chunk_size = records_ref.len().div_ceil(workers).max(1);
-        let mut out: Vec<Option<UtilSeries>> = vec![None; records_ref.len()];
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (chunk_idx, chunk) in records_ref.chunks(chunk_size).enumerate() {
-                handles.push(scope.spawn(move |_| {
-                    (
-                        chunk_idx * chunk_size,
-                        chunk.iter().map(gen_one).collect::<Vec<_>>(),
-                    )
-                }));
-            }
-            for handle in handles {
-                let (offset, series) = handle.join().expect("telemetry worker");
-                for (i, s) in series.into_iter().enumerate() {
-                    out[offset + i] = s;
-                }
-            }
-        })
-        .expect("telemetry scope");
-        out
+        // Parallel sweep on the shared executor; per-VM RNG streams keep
+        // results independent of the worker count.
+        Parallelism::auto().par_map(records_ref, gen_one)
     } else {
         vec![None; records.len()]
     };
@@ -493,8 +485,7 @@ fn churn_specs(
     for cloud in CloudKind::BOTH {
         let profile = cloud_profile(config, cloud);
         let lifetimes = LifetimeSampler::new(&profile.lifetime);
-        let burst_lifetime =
-            LogNormal::from_median(5.0 * 60.0, 0.6).expect("valid burst lifetime");
+        let burst_lifetime = LogNormal::from_median(5.0 * 60.0, 0.6).expect("valid burst lifetime");
         let mut rng = factory.stream(&format!("churn/{cloud}"));
 
         // Subscriptions by region (indices into `plans`).
@@ -513,8 +504,7 @@ fn churn_specs(
                 continue;
             }
             let tz = tz_of[region_idx];
-            let churn_weights: Vec<f64> =
-                members.iter().map(|&i| plans[i].churn_weight).collect();
+            let churn_weights: Vec<f64> = members.iter().map(|&i| plans[i].churn_weight).collect();
             let churn_pick = Categorical::new(&churn_weights).expect("positive weights");
 
             // Regular (possibly diurnal) churn.
@@ -534,7 +524,11 @@ fn churn_specs(
                     region,
                     created,
                     ended,
-                    priority: if spot { Priority::Spot } else { Priority::OnDemand },
+                    priority: if spot {
+                        Priority::Spot
+                    } else {
+                        Priority::OnDemand
+                    },
                     kind: SpecKind::Churn,
                 });
                 report.churn_vms += 1;

@@ -33,8 +33,7 @@ impl LifetimeSampler {
         Self {
             short_fraction: profile.short_fraction,
             long_fraction: profile.long_fraction,
-            short: Exponential::new(1.0 / profile.short_mean_minutes)
-                .expect("positive short mean"),
+            short: Exponential::new(1.0 / profile.short_mean_minutes).expect("positive short mean"),
             medium: LogNormal::from_median(profile.medium_median_minutes, profile.medium_sigma)
                 .expect("positive medium median"),
             long: LogNormal::from_median(profile.long_median_minutes, 0.8)

@@ -110,8 +110,7 @@ pub fn synthesize_plans<R: Rng + ?Sized>(
                 }
             }
         };
-        let region_agnostic =
-            region_count > 1 && rng.random::<f64>() < profile.geo_lb_fraction;
+        let region_agnostic = region_count > 1 && rng.random::<f64>() < profile.geo_lb_fraction;
         let group_count = total
             .div_ceil(VMS_PER_SERVICE_GROUP)
             .clamp(1, MAX_SERVICE_GROUPS);
@@ -180,7 +179,8 @@ mod tests {
         let private = plans_for(CloudKind::Private, &CloudProfile::private_default(), 2);
         let public = plans_for(CloudKind::Public, &CloudProfile::public_default(), 2);
         let med = |plans: &[SubscriptionPlan]| {
-            let mut sizes: Vec<usize> = plans.iter().map(SubscriptionPlan::standing_total).collect();
+            let mut sizes: Vec<usize> =
+                plans.iter().map(SubscriptionPlan::standing_total).collect();
             sizes.sort_unstable();
             sizes[sizes.len() / 2]
         };
@@ -194,8 +194,8 @@ mod tests {
             (CloudKind::Public, CloudProfile::public_default()),
         ] {
             let plans = plans_for(cloud, &profile, 3);
-            let single = plans.iter().filter(|p| !p.is_multi_region()).count() as f64
-                / plans.len() as f64;
+            let single =
+                plans.iter().filter(|p| !p.is_multi_region()).count() as f64 / plans.len() as f64;
             assert!(
                 (single - profile.single_region_fraction).abs() < 0.12,
                 "{cloud}: single fraction {single}"

@@ -121,7 +121,10 @@ mod tests {
             },
             20_000,
         );
-        assert!(public > 4.0 * private, "public {public} vs private {private}");
+        assert!(
+            public > 4.0 * private,
+            "public {public} vs private {private}"
+        );
         assert!(public > 0.08);
     }
 

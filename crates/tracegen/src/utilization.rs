@@ -151,11 +151,7 @@ impl ServiceUtilProfile {
     }
 
     /// Samples a profile with the default early-afternoon peak range.
-    pub fn sample<R: Rng + ?Sized>(
-        kind: PatternKind,
-        region_agnostic: bool,
-        rng: &mut R,
-    ) -> Self {
+    pub fn sample<R: Rng + ?Sized>(kind: PatternKind, region_agnostic: bool, rng: &mut R) -> Self {
         Self::sample_in_range(kind, region_agnostic, (13.0, 16.0), rng)
     }
 
@@ -179,8 +175,7 @@ impl ServiceUtilProfile {
                 self.base + amp * activity_bump(clock.fractional_hour_of_day(), self.peak_hour)
             }
             PatternKind::HourlyPeak => {
-                let work_hours = !clock.is_weekend()
-                    && (8..18).contains(&clock.hour_of_day());
+                let work_hours = !clock.is_weekend() && (8..18).contains(&clock.hour_of_day());
                 let work_damp = if work_hours { 1.0 } else { self.weekend_damp };
                 // Mild diurnal floor plus the on-the-hour/half-hour spike.
                 let floor = self.base
@@ -189,9 +184,7 @@ impl ServiceUtilProfile {
                         * work_damp;
                 let minute_in_half_hour = f64::from(clock.minute_of_hour() % 30);
                 let spike = if minute_in_half_hour < self.spike_minutes {
-                    self.spike_height
-                        * (1.0 - minute_in_half_hour / self.spike_minutes)
-                        * work_damp
+                    self.spike_height * (1.0 - minute_in_half_hour / self.spike_minutes) * work_damp
                 } else {
                     0.0
                 };
@@ -271,7 +264,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn gen_week(kind: PatternKind, agnostic: bool, tz: i32, seed: u64) -> (ServiceUtilProfile, UtilSeries) {
+    fn gen_week(
+        kind: PatternKind,
+        agnostic: bool,
+        tz: i32,
+        seed: u64,
+    ) -> (ServiceUtilProfile, UtilSeries) {
         let mut rng = StdRng::seed_from_u64(seed);
         let profile = ServiceUtilProfile::sample(kind, agnostic, &mut rng);
         let series = generate_vm_series(&profile, tz, SimTime::ZERO, SAMPLES_PER_WEEK, &mut rng);

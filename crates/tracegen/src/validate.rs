@@ -41,11 +41,17 @@ fn validate_cloud(profile: &CloudProfile, prefix: &str) -> Result<(), ConfigErro
     if profile.subscriptions == 0 {
         return Err(err(format!("{prefix}.subscriptions"), "must be positive"));
     }
-    if !(profile.deployment_median > 0.0) {
-        return Err(err(format!("{prefix}.deployment_median"), "must be positive"));
+    if profile.deployment_median.is_nan() || profile.deployment_median <= 0.0 {
+        return Err(err(
+            format!("{prefix}.deployment_median"),
+            "must be positive",
+        ));
     }
-    if !(profile.deployment_sigma >= 0.0) {
-        return Err(err(format!("{prefix}.deployment_sigma"), "must be non-negative"));
+    if profile.deployment_sigma.is_nan() || profile.deployment_sigma < 0.0 {
+        return Err(err(
+            format!("{prefix}.deployment_sigma"),
+            "must be non-negative",
+        ));
     }
     check_fraction(
         profile.single_region_fraction,
@@ -54,12 +60,24 @@ fn validate_cloud(profile: &CloudProfile, prefix: &str) -> Result<(), ConfigErro
     if profile.max_regions < 1 {
         return Err(err(format!("{prefix}.max_regions"), "must be at least 1"));
     }
-    check_fraction(profile.standing_fraction, &format!("{prefix}.standing_fraction"))?;
-    check_fraction(profile.geo_lb_fraction, &format!("{prefix}.geo_lb_fraction"))?;
-    check_fraction(profile.autoscale_fraction, &format!("{prefix}.autoscale_fraction"))?;
+    check_fraction(
+        profile.standing_fraction,
+        &format!("{prefix}.standing_fraction"),
+    )?;
+    check_fraction(
+        profile.geo_lb_fraction,
+        &format!("{prefix}.geo_lb_fraction"),
+    )?;
+    check_fraction(
+        profile.autoscale_fraction,
+        &format!("{prefix}.autoscale_fraction"),
+    )?;
     check_fraction(profile.spot_fraction, &format!("{prefix}.spot_fraction"))?;
-    check_fraction(profile.size.corner_mass, &format!("{prefix}.size.corner_mass"))?;
-    if !(profile.arrival.base_rate_per_hour >= 0.0) {
+    check_fraction(
+        profile.size.corner_mass,
+        &format!("{prefix}.size.corner_mass"),
+    )?;
+    if profile.arrival.base_rate_per_hour.is_nan() || profile.arrival.base_rate_per_hour < 0.0 {
         return Err(err(
             format!("{prefix}.arrival.base_rate_per_hour"),
             "must be non-negative",
@@ -69,7 +87,7 @@ fn validate_cloud(profile: &CloudProfile, prefix: &str) -> Result<(), ConfigErro
         profile.arrival.diurnal_amplitude,
         &format!("{prefix}.arrival.diurnal_amplitude"),
     )?;
-    if !(profile.arrival.weekend_factor >= 0.0) {
+    if profile.arrival.weekend_factor.is_nan() || profile.arrival.weekend_factor < 0.0 {
         return Err(err(
             format!("{prefix}.arrival.weekend_factor"),
             "must be non-negative",
@@ -85,14 +103,18 @@ fn validate_cloud(profile: &CloudProfile, prefix: &str) -> Result<(), ConfigErro
             "short+long fractions must form a sub-probability",
         ));
     }
-    if !(lt.short_mean_minutes > 0.0)
-        || !(lt.medium_median_minutes > 0.0)
-        || !(lt.long_median_minutes > 0.0)
+    if [
+        lt.short_mean_minutes,
+        lt.medium_median_minutes,
+        lt.long_median_minutes,
+    ]
+    .iter()
+    .any(|&scale| scale.is_nan() || scale <= 0.0)
     {
         return Err(err(format!("{prefix}.lifetime"), "scales must be positive"));
     }
     let mix = profile.pattern_mix.weights();
-    if mix.iter().any(|&w| !(w >= 0.0) || !w.is_finite()) || mix.iter().sum::<f64>() <= 0.0 {
+    if mix.iter().any(|&w| w < 0.0 || !w.is_finite()) || mix.iter().sum::<f64>() <= 0.0 {
         return Err(err(
             format!("{prefix}.pattern_mix"),
             "weights must be non-negative with positive sum",

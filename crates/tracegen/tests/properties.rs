@@ -1,7 +1,6 @@
 //! Property tests over the trace generator: whatever the configuration,
 //! the emitted trace obeys the model's invariants.
 
-use cloudscope_model::prelude::*;
 use cloudscope_model::time::SAMPLES_PER_WEEK;
 use cloudscope_tracegen::{generate, GeneratorConfig};
 use proptest::prelude::*;
@@ -11,25 +10,27 @@ use proptest::prelude::*;
 fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
     (
         any::<u64>(),
-        2usize..4,   // regions
-        4usize..16,  // private subscriptions
-        20usize..80, // public subscriptions
-        1.0f64..20.0, // private deployment median
-        0.0f64..1.0, // geo-lb fraction
+        2usize..4,       // regions
+        4usize..16,      // private subscriptions
+        20usize..80,     // public subscriptions
+        1.0f64..20.0,    // private deployment median
+        0.0f64..1.0,     // geo-lb fraction
         prop::bool::ANY, // telemetry
     )
-        .prop_map(|(seed, regions, private_subs, public_subs, median, geo, telemetry)| {
-            let mut cfg = GeneratorConfig::small(seed);
-            cfg.topology.regions.truncate(regions);
-            cfg.private.subscriptions = private_subs;
-            cfg.private.deployment_median = median;
-            cfg.public.subscriptions = public_subs;
-            cfg.private.geo_lb_fraction = geo;
-            cfg.private.arrival.base_rate_per_hour = 0.5;
-            cfg.public.arrival.base_rate_per_hour = 2.0;
-            cfg.telemetry = telemetry;
-            cfg
-        })
+        .prop_map(
+            |(seed, regions, private_subs, public_subs, median, geo, telemetry)| {
+                let mut cfg = GeneratorConfig::small(seed);
+                cfg.topology.regions.truncate(regions);
+                cfg.private.subscriptions = private_subs;
+                cfg.private.deployment_median = median;
+                cfg.public.subscriptions = public_subs;
+                cfg.private.geo_lb_fraction = geo;
+                cfg.private.arrival.base_rate_per_hour = 0.5;
+                cfg.public.arrival.base_rate_per_hour = 2.0;
+                cfg.telemetry = telemetry;
+                cfg
+            },
+        )
 }
 
 proptest! {

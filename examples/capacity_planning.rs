@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .take(200)
         .collect();
-    println!("over-subscribing a pool of {} public-cloud VMs:", pool.len());
+    println!(
+        "over-subscribing a pool of {} public-cloud VMs:",
+        pool.len()
+    );
     println!("  epsilon  reserved/requested  improvement  violations");
     for eps in [0.001, 0.01, 0.05, 0.1] {
         let plan = OversubPlanner::new(eps, OversubMethod::EmpiricalQuantile)?.plan(&pool)?;
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             spreading_pressure: 0.2,
         });
         let verdict = if risk > 0.5 { "REROUTE" } else { "place" };
-        println!("  cluster at {:>3.0}% allocated -> risk {risk:.3}  [{verdict}]", 100.0 * allocation);
+        println!(
+            "  cluster at {:>3.0}% allocated -> risk {risk:.3}  [{verdict}]",
+            100.0 * allocation
+        );
     }
     Ok(())
 }

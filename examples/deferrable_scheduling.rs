@@ -21,18 +21,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("daily demand profile (cores in use):");
     for (h, cores) in profile.iter().enumerate() {
-        println!("  {h:02}:00  {:>6.0} {}", cores, "#".repeat((cores / 40.0) as usize));
+        println!(
+            "  {h:02}:00  {:>6.0} {}",
+            cores,
+            "#".repeat((cores / 40.0) as usize)
+        );
     }
 
     let jobs = vec![
-        DeferrableJob { cores: 600.0, duration_hours: 4, deadline_hour: 24 },
-        DeferrableJob { cores: 400.0, duration_hours: 6, deadline_hour: 24 },
-        DeferrableJob { cores: 300.0, duration_hours: 2, deadline_hour: 9 },
-        DeferrableJob { cores: 200.0, duration_hours: 3, deadline_hour: 24 },
+        DeferrableJob {
+            cores: 600.0,
+            duration_hours: 4,
+            deadline_hour: 24,
+        },
+        DeferrableJob {
+            cores: 400.0,
+            duration_hours: 6,
+            deadline_hour: 24,
+        },
+        DeferrableJob {
+            cores: 300.0,
+            duration_hours: 2,
+            deadline_hour: 9,
+        },
+        DeferrableJob {
+            cores: 200.0,
+            duration_hours: 3,
+            deadline_hour: 24,
+        },
     ];
     let schedule = schedule_deferrable(&profile, &jobs)?;
 
-    println!("\nschedule ({} placed, {} rejected):", schedule.placements.len(), schedule.rejected.len());
+    println!(
+        "\nschedule ({} placed, {} rejected):",
+        schedule.placements.len(),
+        schedule.rejected.len()
+    );
     for p in &schedule.placements {
         let job = &jobs[p.job];
         println!(

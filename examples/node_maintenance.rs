@@ -18,13 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Continuous telemetry extraction feeds the knowledge base.
     let kb = KnowledgeBase::new();
-    let stats = run_extraction_pipeline(
-        &generated.trace,
-        &kb,
-        &PatternClassifier::default(),
-        3,
-        4,
-    );
+    let stats = run_extraction_pipeline(&generated.trace, &kb, &PatternClassifier::default(), 3, 4);
     println!(
         "knowledge base fed: {} subscriptions ({} skipped)",
         stats.stored, stats.skipped

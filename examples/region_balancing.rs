@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Detect region-agnostic subscriptions from utilization telemetry.
     let candidates = region_agnostic_candidates(&generated.trace, CloudKind::Private, "US", 0.8);
-    println!("{} region-agnostic private subscriptions detected", candidates.len());
+    println!(
+        "{} region-agnostic private subscriptions detected",
+        candidates.len()
+    );
 
     // 2. Their services are the shiftable set.
     let shiftable: Vec<ServiceId> = generated

@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kb = KnowledgeBase::new();
     let classifier = PatternClassifier::default();
     for cloud in CloudKind::BOTH {
-        kb.feed(extract_cloud_knowledge(&generated.trace, cloud, &classifier, 4));
+        kb.feed(extract_cloud_knowledge(
+            &generated.trace,
+            cloud,
+            &classifier,
+            4,
+        ));
     }
     println!("knowledge base: {} subscriptions", kb.len());
 
@@ -36,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             relative_vm_size: 0.1,
             demand_intensity: 0.7,
         });
-        println!("  cluster {:.0}% allocated -> {:.1}%/h", 100.0 * load, 100.0 * rate);
+        println!(
+            "  cluster {:.0}% allocated -> {:.1}%/h",
+            100.0 * load,
+            100.0 * rate
+        );
     }
 
     // Plan a mixture for a 20-VM batch needing 16 survivors over 6 hours.

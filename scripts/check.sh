@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints, and the tier-1 build+test suite.
+# Everything runs offline against the vendored dependency shims.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q --release"
+cargo test -q --release --workspace
+
+echo "==> OK: all checks passed"

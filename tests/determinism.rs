@@ -21,7 +21,10 @@ fn same_seed_same_trace_and_report() {
         ra.temporal.private_short_fraction,
         rb.temporal.private_short_fraction
     );
-    assert_eq!(ra.node_correlation.0.median(), rb.node_correlation.0.median());
+    assert_eq!(
+        ra.node_correlation.0.median(),
+        rb.node_correlation.0.median()
+    );
     assert_eq!(
         ra.private_patterns.classified(),
         rb.private_patterns.classified()

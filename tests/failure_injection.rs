@@ -43,9 +43,7 @@ fn capacity_exhaustion_drops_vms_but_keeps_consistency() {
     let g = generate(&config);
     let report = g.report;
     assert!(report.dropped_vms > 0, "starved platform must drop VMs");
-    assert!(
-        report.private_alloc.capacity_failures + report.public_alloc.capacity_failures > 0
-    );
+    assert!(report.private_alloc.capacity_failures + report.public_alloc.capacity_failures > 0);
     // Every surviving record is placed and consistent.
     for vm in g.trace.vms() {
         assert!(vm.node.is_some() || vm.cluster.index() != u32::MAX);
@@ -54,10 +52,7 @@ fn capacity_exhaustion_drops_vms_but_keeps_consistency() {
     }
     // The allocator never over-committed despite the pressure.
     let stats = g.trace.stats();
-    assert_eq!(
-        stats.private_vms + stats.public_vms,
-        g.trace.vms().len()
-    );
+    assert_eq!(stats.private_vms + stats.public_vms, g.trace.vms().len());
 }
 
 #[test]

@@ -108,7 +108,9 @@ fn fig7_correlations() {
 #[test]
 fn fig7c_flagship_service_is_region_aligned() {
     let g = generated();
-    let flagship = g.flagship_service().expect("flagship exists in medium config");
+    let flagship = g
+        .flagship_service()
+        .expect("flagship exists in medium config");
     let alignment =
         service_region_alignment(&g.trace, flagship.service).expect("alignment computes");
     assert!(alignment > 0.9, "geo-LB service aligns: {alignment}");
@@ -138,5 +140,8 @@ fn classifier_agrees_with_generator_ground_truth() {
     }
     assert!(total > 200, "enough classifiable VMs: {total}");
     let accuracy = agree as f64 / total as f64;
-    assert!(accuracy > 0.7, "classifier accuracy vs ground truth: {accuracy:.2}");
+    assert!(
+        accuracy > 0.7,
+        "classifier accuracy vs ground truth: {accuracy:.2}"
+    );
 }

@@ -17,7 +17,12 @@ fn kb() -> &'static KnowledgeBase {
         let kb = KnowledgeBase::new();
         let classifier = PatternClassifier::default();
         for cloud in CloudKind::BOTH {
-            kb.feed(extract_cloud_knowledge(&generated().trace, cloud, &classifier, 3));
+            kb.feed(extract_cloud_knowledge(
+                &generated().trace,
+                cloud,
+                &classifier,
+                3,
+            ));
         }
         kb
     })
@@ -34,14 +39,20 @@ fn kb_covers_active_subscriptions() {
 #[test]
 fn spot_candidates_are_public_and_nontrivial() {
     let candidates = kb().spot_candidates();
-    assert!(!candidates.is_empty(), "the public cloud's short-lived churn yields candidates");
+    assert!(
+        !candidates.is_empty(),
+        "the public cloud's short-lived churn yields candidates"
+    );
     assert!(candidates.iter().all(|k| k.cloud == CloudKind::Public));
 }
 
 #[test]
 fn shiftable_workloads_are_private_multi_region() {
     let shiftable = kb().shiftable_workloads();
-    assert!(!shiftable.is_empty(), "geo-LB private services are shiftable");
+    assert!(
+        !shiftable.is_empty(),
+        "geo-LB private services are shiftable"
+    );
     for k in &shiftable {
         assert!(k.regions >= 2, "shiftable implies multi-region");
     }
@@ -49,7 +60,10 @@ fn shiftable_workloads_are_private_multi_region() {
     // agnosticism was measurable, the private fraction is much higher.
     let fraction = |cloud: CloudKind| {
         let measured = kb().query(|k| k.cloud == cloud && k.region_agnostic.is_some());
-        let agnostic = measured.iter().filter(|k| k.region_agnostic == Some(true)).count();
+        let agnostic = measured
+            .iter()
+            .filter(|k| k.region_agnostic == Some(true))
+            .count();
         agnostic as f64 / measured.len().max(1) as f64
     };
     let private = fraction(CloudKind::Private);
@@ -78,7 +92,11 @@ fn kb_driven_shift_improves_source_region() {
     let shiftable = kb().shiftable_workloads();
     let mut shifted = false;
     'outer: for k in &shiftable {
-        for svc in g.services.iter().filter(|s| s.subscription == k.subscription) {
+        for svc in g
+            .services
+            .iter()
+            .filter(|s| s.subscription == k.subscription)
+        {
             for &from in &svc.regions {
                 let to = g
                     .trace
@@ -88,9 +106,7 @@ fn kb_driven_shift_improves_source_region() {
                     .map(|r| r.id)
                     .find(|&r| r != from);
                 let Some(to) = to else { continue };
-                if let Ok(outcome) =
-                    simulate_shift(&g.trace, k.cloud, svc.service, from, to, at)
-                {
+                if let Ok(outcome) = simulate_shift(&g.trace, k.cloud, svc.service, from, to, at) {
                     assert!(outcome.moved_vms > 0);
                     assert!(
                         outcome.source_after.core_utilization_rate()
@@ -102,7 +118,10 @@ fn kb_driven_shift_improves_source_region() {
             }
         }
     }
-    assert!(shifted, "at least one shiftable service can actually be shifted");
+    assert!(
+        shifted,
+        "at least one shiftable service can actually be shifted"
+    );
 }
 
 #[test]

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `bytes` crate: a cheaply cloneable,
+//! slice-shareable immutable byte buffer. Implements the subset the
+//! workspace uses — construction from `Vec<u8>`, `Deref<Target = [u8]>`,
+//! and zero-copy [`Bytes::slice`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable byte buffer; clones and sub-slices share the underlying
+/// allocation.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    buf: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self::from(data.to_vec())
+    }
+
+    /// Returns a sub-buffer sharing the underlying allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.end - self.start;
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&i) => i,
+            std::ops::Bound::Excluded(&i) => i + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&i) => i + 1,
+            std::ops::Bound::Excluded(&i) => i,
+            std::ops::Bound::Unbounded => len,
+        };
+        assert!(
+            lo <= hi && hi <= len,
+            "slice {lo}..{hi} out of bounds for {len}"
+        );
+        Self {
+            buf: Arc::clone(&self.buf),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            buf: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (**self).hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_slicing_share_storage() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b[2], 3);
+        let s = b.slice(1..4);
+        assert_eq!(&*s, &[2, 3, 4]);
+        let ss = s.slice(1..);
+        assert_eq!(&*ss, &[3, 4]);
+        assert_eq!(Arc::strong_count(&b.buf), 3);
+    }
+
+    #[test]
+    fn equality_ignores_offsets() {
+        let a = Bytes::from(vec![9u8, 7, 7, 9]).slice(1..3);
+        let b = Bytes::from(vec![7u8, 7]);
+        assert_eq!(a, b);
+        assert_ne!(a, Bytes::from(vec![7u8, 8]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_bounds_checked() {
+        let _ = Bytes::from(vec![1u8]).slice(0..2);
+    }
+}

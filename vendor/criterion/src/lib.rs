@@ -1,0 +1,315 @@
+//! Offline stand-in for `criterion`, implementing the subset the
+//! workspace's benches use: [`Criterion::bench_function`], benchmark
+//! groups with `sample_size`/`bench_with_input`/`finish`, [`BenchmarkId`],
+//! [`black_box`], and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up once, then timed over
+//! adaptively sized batches until `sample_size` samples are collected or a
+//! per-benchmark wall-clock budget is exhausted. The median per-iteration
+//! time is reported on stdout and, when the `BENCH_JSON` environment
+//! variable names a file (or [`Criterion::json_output`] is called), all
+//! results are merged into that JSON file — the hook the repo uses to
+//! track `BENCH_analysis.json` across PRs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Display;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark wall-clock budget (warmup + sampling).
+const TIME_BUDGET: Duration = Duration::from_millis(1500);
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Fully qualified id (`group/function[/parameter]`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Samples collected.
+    pub samples: usize,
+}
+
+/// The benchmark harness handle passed to group functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    json_path: Option<PathBuf>,
+}
+
+impl Criterion {
+    /// Mirrors upstream's CLI-configuration hook; a no-op here.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Requests that results be merged into a JSON file at `path` when
+    /// this handle finalizes (equivalent to setting `BENCH_JSON`).
+    pub fn json_output(&mut self, path: impl Into<PathBuf>) -> &mut Self {
+        self.json_path = Some(path.into());
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_named(id.to_string(), DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// All results measured through this handle so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints results and merges them into the JSON output file, if one
+    /// was configured here or via `BENCH_JSON`. Called by
+    /// `criterion_main!`; safe to call repeatedly.
+    pub fn finalize(&self) {
+        let path = self
+            .json_path
+            .clone()
+            .or_else(|| std::env::var_os("BENCH_JSON").map(PathBuf::from));
+        let Some(path) = path else { return };
+        let mut merged = read_flat_json(&path);
+        for r in &self.results {
+            merged.insert(r.id.clone(), r.median_ns);
+        }
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in merged.iter().enumerate() {
+            let comma = if i + 1 == merged.len() { "" } else { "," };
+            out.push_str(&format!("  \"{k}\": {v:.1}{comma}\n"));
+        }
+        out.push_str("}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+
+    fn run_named<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target_samples: sample_size.max(2),
+            deadline: Instant::now() + TIME_BUDGET,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            eprintln!("warning: bench {id} measured nothing");
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median_ns = samples[samples.len() / 2];
+        println!(
+            "bench {id:<60} {median_ns:>14.1} ns/iter ({} samples)",
+            samples.len()
+        );
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            samples: samples.len(),
+        });
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// A group of related benchmarks sharing an id prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.run_named(full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure with an input value under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let sample_size = self.sample_size;
+        self.criterion.run_named(full, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; results are already recorded).
+    pub fn finish(self) {}
+}
+
+/// A benchmark id, optionally parameterized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{parameter}", name.into()))
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    target_samples: usize,
+    deadline: Instant,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly, recording per-iteration times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + batch-size calibration: aim for batches of >= ~1 ms so
+        // timer overhead stays below 0.1%.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed();
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000)
+            as usize;
+        while self.samples.len() < self.target_samples && Instant::now() < self.deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+        if self.samples.is_empty() {
+            // The single warmup iteration blew the whole budget; report it.
+            self.samples.push(once.as_nanos() as f64);
+        }
+    }
+}
+
+/// Minimal parser for the flat `{"id": number, ...}` files [`Criterion::finalize`]
+/// writes; anything unparsable is ignored.
+fn read_flat_json(path: &std::path::Path) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return map;
+    };
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            map.insert(key.to_string(), v);
+        }
+    }
+    map
+}
+
+/// Defines a benchmark group function callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Defines `main`, running each group against one shared [`Criterion`]
+/// and finalizing (stdout report + optional JSON merge) at the end.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        let r = c.results();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, "noop_sum");
+        assert!(r[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn group_ids_are_prefixed() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::from_parameter(4), &4, |b, &x| {
+                b.iter(|| x * 2);
+            });
+            g.finish();
+        }
+        let ids: Vec<&str> = c.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["g/f", "g/4"]);
+    }
+
+    #[test]
+    fn flat_json_roundtrip() {
+        let dir = std::env::temp_dir().join("criterion_shim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion::default();
+        c.json_output(&path);
+        c.bench_function("a/b", |b| b.iter(|| 2 + 2));
+        c.finalize();
+        let parsed = read_flat_json(&path);
+        assert!(parsed.contains_key("a/b"));
+        // Merge keeps existing keys.
+        let mut c2 = Criterion::default();
+        c2.json_output(&path);
+        c2.bench_function("c/d", |b| b.iter(|| 2 + 2));
+        c2.finalize();
+        let merged = read_flat_json(&path);
+        assert!(merged.contains_key("a/b") && merged.contains_key("c/d"));
+    }
+}

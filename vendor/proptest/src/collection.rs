@@ -1,0 +1,72 @@
+//! Collection strategies: `prop::collection::vec`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specifications accepted by [`vec`]: a fixed size or a
+/// (half-open or inclusive) range of sizes.
+pub trait SizeRange {
+    /// Picks a length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty vec length range");
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty vec length range");
+        lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize
+    }
+}
+
+/// Strategy generating `Vec`s whose elements come from `element` and whose
+/// length comes from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors of `element`-generated values with lengths in `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_and_elements_in_range() {
+        let mut rng = TestRng::for_test("vec");
+        let s = vec(-1.0f64..1.0, 3..10);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..10).contains(&v.len()));
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+        let fixed = vec(0u32..5, 24..=24).generate(&mut rng);
+        assert_eq!(fixed.len(), 24);
+    }
+}

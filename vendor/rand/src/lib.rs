@@ -1,0 +1,259 @@
+//! Offline stand-in for the `rand` crate, implementing the API subset the
+//! cloudscope workspace uses: [`RngCore`], the [`Rng`] extension trait
+//! (`random`, `random_range`, `random_bool`, `random_iter`),
+//! [`SeedableRng`], [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64),
+//! and [`seq::SliceRandom::shuffle`].
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` cannot be fetched; this shim keeps the workspace self-contained.
+//! Streams are high-quality and deterministic per seed, but are *not*
+//! bit-compatible with upstream `rand` — nothing in the workspace depends
+//! on upstream's exact sequences, only on seed-determinism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be drawn uniformly from an RNG (the `StandardUniform`
+/// distribution of upstream `rand`).
+pub trait StandardRandom {
+    /// Draws one uniform value.
+    fn standard_random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardRandom for f64 {
+    fn standard_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardRandom for f32 {
+    fn standard_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardRandom for u64 {
+    fn standard_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardRandom for u32 {
+    fn standard_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardRandom for bool {
+    fn standard_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types a uniform range sample can be drawn for, mirroring upstream's
+/// `SampleUniform`. The blanket [`SampleRange`] impls below are over this
+/// trait so type inference flows from the call site into range literals,
+/// exactly as with upstream rand (e.g. `i64 + rng.random_range(-45..45)`
+/// makes the literals `i64`).
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform draw from `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = hi.abs_diff(lo) as u64;
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi.abs_diff(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        lo + f64::standard_random(rng) * (hi - lo)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::standard_random(rng) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        lo + f32::standard_random(rng) * (hi - lo)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f32::standard_random(rng) * (hi - lo)
+    }
+}
+
+/// Ranges a uniform sample can be drawn from, mirroring upstream's
+/// `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T`.
+    fn random<T: StandardRandom>(&mut self) -> T {
+        T::standard_random(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::standard_random(self) < p
+    }
+
+    /// Consumes the RNG into an infinite iterator of uniform draws.
+    fn random_iter<T: StandardRandom>(self) -> RandomIter<Self, T>
+    where
+        Self: Sized,
+    {
+        RandomIter {
+            rng: self,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Infinite iterator of uniform draws; see [`Rng::random_iter`].
+#[derive(Debug, Clone)]
+pub struct RandomIter<R, T> {
+    rng: R,
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<R: RngCore, T: StandardRandom> Iterator for RandomIter<R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(T::standard_random(&mut self.rng))
+    }
+}
+
+/// RNGs constructible from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed type (fixed-length byte array upstream; kept simple here).
+    type Seed;
+
+    /// Constructs the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the RNG from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = StdRng::seed_from_u64(9).random_iter().take(8).collect();
+        let b: Vec<u64> = StdRng::seed_from_u64(9).random_iter().take(8).collect();
+        let c: Vec<u64> = StdRng::seed_from_u64(10).random_iter().take(8).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let i = rng.random_range(-45i64..45);
+            assert!((-45..45).contains(&i));
+            let u = rng.random_range(3usize..=7);
+            assert!((3..=7).contains(&u));
+        }
+    }
+
+    #[test]
+    fn mean_of_uniform_is_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        assert!((sum / f64::from(n) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn random_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+}

@@ -1,0 +1,90 @@
+//! Concrete RNGs: [`StdRng`], a xoshiro256++ generator.
+
+use crate::{RngCore, SeedableRng};
+
+/// One SplitMix64 step, used to expand a `u64` seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard RNG: xoshiro256++ (Blackman & Vigna), a fast
+/// generator with 256 bits of state that passes BigCrush. Not
+/// bit-compatible with upstream `rand`'s ChaCha12-based `StdRng`; the
+/// workspace only relies on seed-determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        if s == [0; 4] {
+            // All-zero state is a fixed point of xoshiro; remap it.
+            return Self::seed_from_u64(0);
+        }
+        Self { s }
+    }
+
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        Self { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_bytes_do_not_wedge() {
+        let mut rng = StdRng::from_seed([0; 32]);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn from_seed_uses_all_bytes() {
+        let mut a = [1u8; 32];
+        let mut b = [1u8; 32];
+        b[31] = 2;
+        let x = StdRng::from_seed(a).next_u64();
+        let y = StdRng::from_seed(b).next_u64();
+        assert_ne!(x, y);
+        a[31] = 2;
+        assert_eq!(StdRng::from_seed(a).next_u64(), y);
+    }
+}

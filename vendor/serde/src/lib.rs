@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`: the workspace derives `Serialize` and
+//! `Deserialize` on its model types but never serializes through serde
+//! itself (export paths write CSV/JSON by hand), so marker traits plus a
+//! no-op derive keep every annotation compiling with no network access.
+//!
+//! If a future PR introduces a real serializer, replace this shim with the
+//! actual crates (they are API-supersets of what is stubbed here).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Sub-module mirroring `serde::de` for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
