@@ -10,6 +10,13 @@ use cloudscope_model::ids::SubscriptionId;
 use cloudscope_model::trace::Trace;
 use cloudscope_par::Parallelism;
 
+/// Extraction batch size per worker: large enough that each batch keeps
+/// every worker busy across several steal chunks, small enough that the
+/// buffered [`WorkloadKnowledge`](crate::knowledge::WorkloadKnowledge)
+/// values between upserts
+/// stay bounded regardless of trace size.
+const EXTRACTION_BATCH_PER_WORKER: usize = 64;
+
 /// Statistics of one pipeline run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PipelineStats {
@@ -39,20 +46,26 @@ pub fn run_extraction_pipeline(
         trace.subscriptions().iter().map(|sub| sub.id).collect();
     // Extraction (the expensive part) runs on the shared executor; the
     // upserts happen on this thread in subscription order, so the KB sees
-    // the same feed sequence for any worker count.
-    let extracted = Parallelism::with_workers(workers).par_map(&subscriptions, |&sub| {
-        extract_subscription_knowledge(trace, sub, classifier, max_classified_vms_per_sub, None)
-    });
+    // the same feed sequence for any worker count. Subscriptions are
+    // processed in bounded batches so peak memory holds O(batch) extracted
+    // knowledge values, not O(subscriptions), no matter the trace size.
+    let parallelism = Parallelism::with_workers(workers);
+    let batch = (workers * EXTRACTION_BATCH_PER_WORKER).max(1);
     let mut stats = PipelineStats::default();
-    for knowledge in extracted {
-        stats.processed += 1;
-        match knowledge {
-            Some(knowledge) => {
-                if kb.upsert(knowledge) {
-                    stats.stored += 1;
+    for chunk in subscriptions.chunks(batch) {
+        let extracted = parallelism.par_map(chunk, |&sub| {
+            extract_subscription_knowledge(trace, sub, classifier, max_classified_vms_per_sub, None)
+        });
+        for knowledge in extracted {
+            stats.processed += 1;
+            match knowledge {
+                Some(knowledge) => {
+                    if kb.upsert(knowledge) {
+                        stats.stored += 1;
+                    }
                 }
+                None => stats.skipped += 1,
             }
-            None => stats.skipped += 1,
         }
     }
     stats

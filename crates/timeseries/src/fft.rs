@@ -62,13 +62,15 @@ pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), SeriesError> {
     if n == 0 || !n.is_power_of_two() {
         return Err(SeriesError::NotPowerOfTwo(n));
     }
-    // Bit-reversal permutation.
+    // Bit-reversal permutation. `bits == 0` means n == 1: nothing to
+    // permute, and the `64 - bits` shift below would overflow.
     let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
-        let j = j as usize;
-        if i < j {
-            buf.swap(i, j);
+    if bits > 0 {
+        for i in 0..n {
+            let j = ((i as u64).reverse_bits() >> (64 - bits)) as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
         }
     }
     // Butterfly passes.
@@ -247,13 +249,15 @@ thread_local! {
 /// the largest size requested and is reused across calls, so steady-state
 /// transforms allocate nothing.
 ///
+/// Re-entrancy: `f` may itself call `with_plan` — the cached scratch
+/// buffer is taken out of the cache for the duration of the outer call,
+/// so the inner call simply allocates a fresh buffer instead of reusing
+/// the cached one. Correct, but the steady-state zero-allocation property
+/// only holds for non-nested use.
+///
 /// # Errors
 /// Returns [`SeriesError::NotPowerOfTwo`] unless `n` is a nonzero power
 /// of two.
-///
-/// # Panics
-/// Panics if `f` itself re-enters `with_plan` on the same thread (the
-/// scratch buffer is singular).
 pub fn with_plan<R>(
     n: usize,
     f: impl FnOnce(&FftPlan, &mut Vec<Complex>) -> R,
@@ -481,6 +485,32 @@ mod tests {
         // The first run either built the plan or found it from an earlier
         // test on this thread.
         assert!(after_first.hits + after_first.misses > before.hits + before.misses);
+    }
+
+    #[test]
+    fn fft_of_single_sample_is_identity() {
+        let mut buf = vec![Complex::new(2.5, -1.5)];
+        fft_in_place(&mut buf).unwrap();
+        assert_eq!(buf, vec![Complex::new(2.5, -1.5)]);
+        ifft_in_place(&mut buf).unwrap();
+        assert_eq!(buf, vec![Complex::new(2.5, -1.5)]);
+    }
+
+    #[test]
+    fn with_plan_is_reentrant() {
+        // The inner call takes an empty scratch and allocates fresh; both
+        // levels must still compute correct transforms.
+        let inner = with_plan(8, |_, outer_buf| {
+            outer_buf[0] = Complex::new(1.0, 0.0);
+            with_plan(4, |plan, buf| {
+                buf[0] = Complex::new(1.0, 0.0);
+                plan.forward(buf);
+                buf.iter().map(|c| c.re).sum::<f64>()
+            })
+            .unwrap()
+        })
+        .unwrap();
+        assert!((inner - 4.0).abs() < 1e-12);
     }
 
     #[test]

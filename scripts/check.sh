@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> cargo test -q (debug: catches overflow/shift panics release wraps)"
+cargo test -q --workspace
+
 echo "==> cargo test -q --release"
 cargo test -q --release --workspace
 

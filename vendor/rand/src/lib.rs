@@ -90,13 +90,28 @@ pub trait SampleUniform: Sized {
     fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
 }
 
+/// Unbiased uniform draw from `[0, span)` for `span > 0`, via Lemire's
+/// multiply-shift method with rejection: map a 64-bit word `x` to
+/// `(x * span) >> 64` and reject the `2^64 mod span` words that would
+/// overweight the low residues. Expected rejections per draw < 1.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    let mut m = u128::from(rng.next_u64()) * u128::from(span);
+    if (m as u64) < span {
+        let threshold = span.wrapping_neg() % span;
+        while (m as u64) < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(span);
+        }
+    }
+    (m >> 64) as u64
+}
+
 macro_rules! impl_sample_uniform_int {
     ($($t:ty),*) => {$(
         impl SampleUniform for $t {
             fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
                 assert!(lo < hi, "cannot sample empty range");
                 let span = hi.abs_diff(lo) as u64;
-                lo.wrapping_add((rng.next_u64() % span) as $t)
+                lo.wrapping_add(uniform_below(rng, span) as $t)
             }
             fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
                 assert!(lo <= hi, "cannot sample empty range");
@@ -104,7 +119,7 @@ macro_rules! impl_sample_uniform_int {
                 if span == u64::MAX {
                     return rng.next_u64() as $t;
                 }
-                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+                lo.wrapping_add(uniform_below(rng, span + 1) as $t)
             }
         }
     )*};
@@ -239,6 +254,18 @@ mod tests {
             assert!((-45..45).contains(&i));
             let u = rng.random_range(3usize..=7);
             assert!((3..=7).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_draws_cover_buckets_uniformly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 3];
+        for _ in 0..90_000 {
+            counts[rng.random_range(0usize..3)] += 1;
+        }
+        for &c in &counts {
+            assert!((f64::from(c) / 90_000.0 - 1.0 / 3.0).abs() < 0.01);
         }
     }
 
