@@ -66,7 +66,9 @@ pub fn node_vm_correlation_cdf(
             let offset = (util.start().minutes() / SAMPLE_INTERVAL_MINUTES) as usize;
             let len = util.len().min(SAMPLES_PER_WEEK - offset);
             let vm_vals = util.to_f64_vec();
-            if let Some(r) = pearson_or_zero(&vm_vals[..len], &node_series[offset..offset + len]) {
+            // Joint-finite masking: gap slots in the VM series drop out of
+            // the correlation instead of poisoning it.
+            if let Some(r) = joint_pearson(&vm_vals[..len], &node_series[offset..offset + len]) {
                 correlations.push(r);
             }
         }
@@ -91,6 +93,9 @@ fn region_mean_series(trace: &Trace, sub: SubscriptionId, region: RegionId) -> O
         let Some(util) = trace.util(vm) else { continue };
         let offset = (util.start().minutes() / SAMPLE_INTERVAL_MINUTES) as usize;
         for (i, v) in util.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
             let slot = offset + i;
             if slot < SAMPLES_PER_WEEK {
                 sum[slot] += f64::from(v);

@@ -1,0 +1,121 @@
+//! Week-grid projection and coverage accounting for gap-bearing
+//! telemetry.
+//!
+//! Figure-level analyses that need a dense, aligned week of samples per
+//! VM (the Figure 6 bands, the oversubscription planner's demand pool)
+//! go through [`filled_week_series`]: the VM's telemetry is projected
+//! onto the global week grid, its coverage measured, and — if it clears
+//! the caller's floor — the remaining gaps are linearly interpolated
+//! (edge gaps held) so downstream percentile kernels see finite input.
+//! Coverage ratios are reported upward so every figure can state how
+//! much data actually backed it.
+
+use cloudscope_model::prelude::*;
+use cloudscope_model::time::{SAMPLES_PER_WEEK, SAMPLE_INTERVAL_MINUTES};
+use cloudscope_timeseries::gaps::{coverage, fill_linear_capped};
+
+/// Projects a telemetry series onto the week grid: a vector of
+/// `SAMPLES_PER_WEEK` values where slot `i` is the sample at minute
+/// `i * 5`, NaN where the series has a gap or never covered the slot.
+#[must_use]
+pub fn week_grid_values(util: &UtilSeries) -> Vec<f64> {
+    let mut grid = vec![f64::NAN; SAMPLES_PER_WEEK];
+    let base = util.start().minutes() / SAMPLE_INTERVAL_MINUTES;
+    for (i, v) in util.iter().enumerate() {
+        if !v.is_finite() {
+            continue;
+        }
+        let slot = base + i as i64;
+        if (0..SAMPLES_PER_WEEK as i64).contains(&slot) {
+            grid[slot as usize] = f64::from(v);
+        }
+    }
+    grid
+}
+
+/// Projects `util` onto the week grid and, if its coverage is at least
+/// `min_coverage`, repairs all gaps (linear interpolation, edges held)
+/// and returns the dense values together with the pre-fill coverage.
+/// Returns `None` below the floor — the VM does not carry enough of the
+/// week to stand in for it.
+#[must_use]
+pub fn filled_week_series(util: &UtilSeries, min_coverage: f64) -> Option<(Vec<f64>, f64)> {
+    let mut grid = week_grid_values(util);
+    let cov = coverage(&grid);
+    if cov < min_coverage || cov == 0.0 {
+        return None;
+    }
+    fill_linear_capped(&mut grid, SAMPLES_PER_WEEK);
+    Some((grid, cov))
+}
+
+/// Mean week-grid coverage over the telemetry-bearing VMs of one cloud,
+/// or `None` if the cloud has no telemetry at all. This is the figure
+/// input-quality number the report surfaces per cloud.
+#[must_use]
+pub fn telemetry_slot_coverage(trace: &Trace, cloud: CloudKind) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for vm in trace.vms_of(cloud) {
+        if let Some(util) = trace.util(vm.id) {
+            sum += coverage(&week_grid_values(util));
+            count += 1;
+        }
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudscope_model::time::SimTime;
+
+    #[test]
+    fn full_week_projects_onto_grid() {
+        let util = UtilSeries::from_percentages(
+            SimTime::ZERO,
+            std::iter::repeat_n(10.0f32, SAMPLES_PER_WEEK),
+        );
+        let grid = week_grid_values(&util);
+        assert_eq!(grid.len(), SAMPLES_PER_WEEK);
+        assert!(grid.iter().all(|v| (*v - 10.0).abs() < 0.3));
+        let (filled, cov) = filled_week_series(&util, 0.9).unwrap();
+        assert_eq!(cov, 1.0);
+        assert!(filled.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn partial_series_lands_at_its_offset() {
+        let util = UtilSeries::from_percentages(SimTime::from_hours(1), [20.0, 30.0]);
+        let grid = week_grid_values(&util);
+        assert!(grid[11].is_nan());
+        assert!((grid[12] - 20.0).abs() < 0.3);
+        assert!((grid[13] - 30.0).abs() < 0.3);
+        assert!(grid[14].is_nan());
+    }
+
+    #[test]
+    fn coverage_floor_rejects_sparse_vms() {
+        // Half a week of telemetry: below a 0.9 floor, above 0.4.
+        let util = UtilSeries::from_percentages(
+            SimTime::ZERO,
+            std::iter::repeat_n(10.0f32, SAMPLES_PER_WEEK / 2),
+        );
+        assert!(filled_week_series(&util, 0.9).is_none());
+        let (filled, cov) = filled_week_series(&util, 0.4).unwrap();
+        assert!((cov - 0.5).abs() < 0.01);
+        // The missing half is edge-held, not NaN.
+        assert!(filled.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gaps_inside_the_week_count_against_coverage() {
+        let values: Vec<f32> = (0..SAMPLES_PER_WEEK)
+            .map(|i| if i % 10 == 0 { f32::NAN } else { 50.0 })
+            .collect();
+        let util = UtilSeries::from_percentages(SimTime::ZERO, values);
+        let (filled, cov) = filled_week_series(&util, 0.85).unwrap();
+        assert!((cov - 0.9).abs() < 0.01);
+        assert!(filled.iter().all(|v| v.is_finite()));
+    }
+}

@@ -6,12 +6,23 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors returned by the analysis pipeline.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// `Eq` is deliberately absent: `InsufficientData` carries coverage ratios.
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum AnalysisError {
     /// The trace holds no data for the requested analysis; carries what
     /// was being computed.
     NoData(&'static str),
+    /// Telemetry exists but covers too little of the requested window to
+    /// trust the figure — the gap-aware degradation path.
+    InsufficientData {
+        /// What was being computed.
+        what: &'static str,
+        /// Achieved coverage, in `[0, 1]`.
+        coverage: f64,
+        /// The coverage floor the analysis requires.
+        required: f64,
+    },
     /// A statistics kernel rejected its input.
     Stats(StatsError),
     /// A time-series transform rejected its input.
@@ -22,6 +33,14 @@ impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::NoData(what) => write!(f, "no data for {what}"),
+            AnalysisError::InsufficientData {
+                what,
+                coverage,
+                required,
+            } => write!(
+                f,
+                "insufficient data for {what}: coverage {coverage:.3} below required {required:.3}"
+            ),
             AnalysisError::Stats(e) => write!(f, "statistics error: {e}"),
             AnalysisError::Series(e) => write!(f, "time-series error: {e}"),
         }
@@ -31,7 +50,7 @@ impl fmt::Display for AnalysisError {
 impl Error for AnalysisError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            AnalysisError::NoData(_) => None,
+            AnalysisError::NoData(_) | AnalysisError::InsufficientData { .. } => None,
             AnalysisError::Stats(e) => Some(e),
             AnalysisError::Series(e) => Some(e),
         }
@@ -58,6 +77,14 @@ mod tests {
     fn messages_and_sources() {
         let e = AnalysisError::NoData("lifetimes");
         assert_eq!(e.to_string(), "no data for lifetimes");
+        assert!(e.source().is_none());
+        let e = AnalysisError::InsufficientData {
+            what: "figure 6 bands",
+            coverage: 0.41,
+            required: 0.75,
+        };
+        assert!(e.to_string().contains("figure 6 bands"));
+        assert!(e.to_string().contains("0.410"));
         assert!(e.source().is_none());
         let e: AnalysisError = StatsError::EmptyInput("x").into();
         assert!(e.source().is_some());

@@ -35,6 +35,7 @@
 
 pub mod compare;
 pub mod correlation;
+pub mod coverage;
 pub mod deployment;
 pub mod error;
 pub mod patterns;
@@ -48,6 +49,7 @@ pub mod vmsize;
 pub(crate) mod test_support;
 
 pub use compare::{CloudComparison, ComparedMetric};
+pub use coverage::{filled_week_series, telemetry_slot_coverage, week_grid_values};
 pub use error::AnalysisError;
 pub use patterns::{PatternClassifier, PatternClassifierConfig, PatternShares, UtilizationPattern};
 pub use report::{CharacterizationReport, ReportConfig};

@@ -6,6 +6,7 @@
 use crate::error::AnalysisError;
 use cloudscope_model::prelude::*;
 use cloudscope_par::Parallelism;
+use cloudscope_timeseries::gaps::{coverage, fill_linear_capped, finite_std};
 use cloudscope_timeseries::{PeriodDetector, Series};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -57,6 +58,13 @@ pub struct PatternClassifierConfig {
     pub daily_tolerance_minutes: f64,
     /// Minimum telemetry length (in days) to classify a VM at all.
     pub min_days: usize,
+    /// Minimum fraction of present (non-gap) samples to classify a
+    /// gap-bearing series at all.
+    pub min_coverage: f64,
+    /// Gaps up to this many samples are linearly interpolated before
+    /// classification; longer ones stay masked and are handled by the
+    /// gap-aware period detector.
+    pub max_fill_gap_samples: usize,
 }
 
 impl Default for PatternClassifierConfig {
@@ -66,6 +74,10 @@ impl Default for PatternClassifierConfig {
             hourly_tolerance_minutes: 12.0,
             daily_tolerance_minutes: 240.0,
             min_days: 3,
+            // A 30-minute fill cap: short monitor hiccups are repaired,
+            // but a blackout window stays masked rather than invented.
+            min_coverage: 0.6,
+            max_fill_gap_samples: 6,
         }
     }
 }
@@ -88,16 +100,39 @@ impl PatternClassifier {
     }
 
     /// Classifies a 5-minute utilization series; `None` if it is too
-    /// short (fewer than `min_days` days of samples).
+    /// short (fewer than `min_days` days of *present* samples) or too
+    /// sparse (coverage below `min_coverage`).
+    ///
+    /// Gap-bearing series (NaN slots) are repaired first: gaps up to
+    /// `max_fill_gap_samples` are linearly interpolated, longer ones stay
+    /// masked and flow into the gap-aware period detector.
     #[must_use]
     pub fn classify_series(&self, series: &Series) -> Option<UtilizationPattern> {
         let samples_per_day = (24 * 60 / series.step_minutes()) as usize;
-        if series.len() < self.config.min_days * samples_per_day {
+        let has_gaps = series.values().iter().any(|v| !v.is_finite());
+        let filled_storage: Series;
+        let series = if has_gaps {
+            if coverage(series.values()) < self.config.min_coverage {
+                return None;
+            }
+            let mut values = series.values().to_vec();
+            fill_linear_capped(&mut values, self.config.max_fill_gap_samples);
+            filled_storage = Series::new(series.start_minute(), series.step_minutes(), values);
+            &filled_storage
+        } else {
+            series
+        };
+        let present = if has_gaps {
+            series.values().iter().filter(|v| v.is_finite()).count()
+        } else {
+            series.len()
+        };
+        if present < self.config.min_days * samples_per_day {
             return None;
         }
         // Stable gate first: the paper extracts the stable class by
-        // restricting the standard deviation.
-        if series.std_dev() < self.config.stable_std_threshold {
+        // restricting the standard deviation (over present samples).
+        if finite_std(series.values()).unwrap_or(0.0) < self.config.stable_std_threshold {
             return Some(UtilizationPattern::Stable);
         }
         // Hourly-peak: a strong sub-daily period at 30/60 minutes,
@@ -162,6 +197,17 @@ impl PatternShares {
     #[must_use]
     pub fn classified(&self) -> usize {
         self.diurnal + self.stable + self.irregular + self.hourly_peak
+    }
+
+    /// Fraction of sampled VMs that could be classified, in `[0, 1]` —
+    /// the figure's coverage ratio (0 if nothing was sampled).
+    #[must_use]
+    pub fn classified_fraction(&self) -> f64 {
+        let total = self.classified() + self.unclassified;
+        if total == 0 {
+            return 0.0;
+        }
+        self.classified() as f64 / total as f64
     }
 
     /// Fraction of classified VMs in `pattern` (0 if nothing classified).
@@ -306,6 +352,47 @@ mod tests {
     #[test]
     fn too_short_series_is_unclassified() {
         let series = Series::new(0, 5, vec![10.0; 100]);
+        assert_eq!(PatternClassifier::default().classify_series(&series), None);
+    }
+
+    #[test]
+    fn corrupted_diurnal_still_classifies_diurnal() {
+        let classifier = PatternClassifier::default();
+        let mut series = to_series(&diurnal_series(14.0, 0, 1));
+        let values = series.values_mut();
+        // 5% pseudo-random loss plus a 6-hour blackout.
+        for i in (0..values.len()).step_by(20) {
+            values[i] = f64::NAN;
+        }
+        for v in &mut values[700..772] {
+            *v = f64::NAN;
+        }
+        assert_eq!(
+            classifier.classify_series(&series),
+            Some(UtilizationPattern::Diurnal)
+        );
+    }
+
+    #[test]
+    fn corrupted_stable_still_classifies_stable() {
+        let classifier = PatternClassifier::default();
+        let mut series = to_series(&stable_series(20.0, 3));
+        for i in (0..series.len()).step_by(13) {
+            series.values_mut()[i] = f64::NAN;
+        }
+        assert_eq!(
+            classifier.classify_series(&series),
+            Some(UtilizationPattern::Stable)
+        );
+    }
+
+    #[test]
+    fn sparse_series_is_unclassified() {
+        // Only every fourth sample present: coverage 0.25 < 0.6 floor.
+        let values: Vec<f64> = (0..2016)
+            .map(|i| if i % 4 == 0 { 10.0 } else { f64::NAN })
+            .collect();
+        let series = Series::new(0, 5, values);
         assert_eq!(PatternClassifier::default().classify_series(&series), None);
     }
 

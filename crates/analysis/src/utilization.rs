@@ -1,31 +1,53 @@
 //! CPU-utilization distribution analyses (Figure 6): percentile bands
 //! across the VM population, over the week and folded into a day.
 
+use crate::coverage::filled_week_series;
 use crate::error::AnalysisError;
 use cloudscope_model::prelude::*;
-use cloudscope_model::time::{SAMPLES_PER_WEEK, SAMPLE_INTERVAL_MINUTES};
+use cloudscope_model::time::SAMPLE_INTERVAL_MINUTES;
 use cloudscope_stats::percentile::FIGURE6_LEVELS;
 use cloudscope_timeseries::{daily_profile, PercentileBands, Series};
 
+/// A VM must cover at least this fraction of the week's slots to join
+/// the band population. High enough to keep the population semantics of
+/// "VMs that span the whole week", tolerant enough that realistic sample
+/// loss (a few percent plus a blackout window) does not empty the figure.
+pub const MIN_VM_WEEK_COVERAGE: f64 = 0.88;
+
+/// Below this mean coverage across the included VMs the bands are
+/// considered untrustworthy and [`UtilizationDistribution::run`] degrades
+/// to [`AnalysisError::InsufficientData`].
+pub const MIN_POPULATION_COVERAGE: f64 = 0.75;
+
 /// Collects the hourly-resolution utilization series of up to `max_vms`
-/// VMs of one cloud that have full-week telemetry.
-fn full_week_hourly_series(trace: &Trace, cloud: CloudKind, max_vms: usize) -> Vec<Series> {
-    let candidates: Vec<&UtilSeries> = trace
+/// VMs of one cloud whose telemetry covers (almost all of) the week,
+/// with gaps repaired. Returns the series and the mean pre-fill
+/// coverage.
+fn full_week_hourly_series(trace: &Trace, cloud: CloudKind, max_vms: usize) -> (Vec<Series>, f64) {
+    let candidates: Vec<(Vec<f64>, f64)> = trace
         .vms_of(cloud)
         .filter_map(|vm| trace.util(vm.id))
-        .filter(|u| u.start().minutes() == 0 && u.len() == SAMPLES_PER_WEEK)
+        .filter_map(|u| filled_week_series(u, MIN_VM_WEEK_COVERAGE))
         .collect();
     let stride = (candidates.len() / max_vms.max(1)).max(1);
-    candidates
+    let mut coverage_sum = 0.0;
+    let series: Vec<Series> = candidates
         .into_iter()
         .step_by(stride)
         .take(max_vms)
-        .map(|u| {
-            Series::new(0, SAMPLE_INTERVAL_MINUTES, u.to_f64_vec())
+        .map(|(values, cov)| {
+            coverage_sum += cov;
+            Series::new(0, SAMPLE_INTERVAL_MINUTES, values)
                 .downsample_mean(12)
                 .expect("positive factor")
         })
-        .collect()
+        .collect();
+    let mean_coverage = if series.is_empty() {
+        0.0
+    } else {
+        coverage_sum / series.len() as f64
+    };
+    (series, mean_coverage)
 }
 
 /// The Figure 6 bundle for one cloud.
@@ -37,19 +59,34 @@ pub struct UtilizationDistribution {
     pub daily: PercentileBands,
     /// Number of VMs the bands aggregate.
     pub vms: usize,
+    /// Mean pre-fill week coverage of the aggregated VMs, in `[0, 1]` —
+    /// how much measured (rather than interpolated) data backs the bands.
+    pub coverage: f64,
 }
 
 impl UtilizationDistribution {
     /// Computes the weekly and daily utilization bands for `cloud` from
-    /// up to `max_vms` full-week telemetry series.
+    /// up to `max_vms` week-covering telemetry series. Gap-bearing
+    /// series participate as long as they cover at least
+    /// [`MIN_VM_WEEK_COVERAGE`] of the week; their gaps are linearly
+    /// interpolated before banding and the achieved mean coverage is
+    /// reported in [`UtilizationDistribution::coverage`].
     ///
     /// # Errors
-    /// Returns [`AnalysisError::NoData`] if no VM has full-week
-    /// telemetry.
+    /// - [`AnalysisError::NoData`] if no VM covers enough of the week.
+    /// - [`AnalysisError::InsufficientData`] if VMs qualified but their
+    ///   mean coverage falls below [`MIN_POPULATION_COVERAGE`].
     pub fn run(trace: &Trace, cloud: CloudKind, max_vms: usize) -> Result<Self, AnalysisError> {
-        let hourly = full_week_hourly_series(trace, cloud, max_vms);
+        let (hourly, coverage) = full_week_hourly_series(trace, cloud, max_vms);
         if hourly.is_empty() {
             return Err(AnalysisError::NoData("full-week telemetry"));
+        }
+        if coverage < MIN_POPULATION_COVERAGE {
+            return Err(AnalysisError::InsufficientData {
+                what: "figure 6 utilization bands",
+                coverage,
+                required: MIN_POPULATION_COVERAGE,
+            });
         }
         let refs: Vec<&Series> = hourly.iter().collect();
         let weekly = PercentileBands::across(&refs, &FIGURE6_LEVELS)?;
@@ -65,6 +102,7 @@ impl UtilizationDistribution {
             weekly,
             daily,
             vms: hourly.len(),
+            coverage,
         })
     }
 
@@ -132,5 +170,12 @@ mod tests {
         let d = UtilizationDistribution::run(&trace, CloudKind::Public, 100).unwrap();
         assert!(d.p75_peak() > 0.0);
         assert!(d.p75_peak() <= 100.0);
+    }
+
+    #[test]
+    fn clean_trace_reports_full_coverage() {
+        let trace = tiny_trace();
+        let d = UtilizationDistribution::run(&trace, CloudKind::Private, 100).unwrap();
+        assert!((d.coverage - 1.0).abs() < 1e-9);
     }
 }

@@ -16,6 +16,9 @@
 //! - [`analysis`]: the paper's characterization pipeline — one module per
 //!   figure, plus the four insight verdicts.
 //! - [`kb`]: the centralized workload knowledge base of Section V.
+//! - [`par`]: the shared deterministic fork-join executor.
+//! - [`faults`]: deterministic telemetry fault injection — the seeded
+//!   corruption plans and flaky stores the robustness tests run under.
 //! - [`mgmt`]: the management policies the insights motivate (spot,
 //!   over-subscription, regional rebalancing, pre-provisioning,
 //!   deferral, allocation-failure prediction).
@@ -39,9 +42,11 @@
 
 pub use cloudscope_analysis as analysis;
 pub use cloudscope_cluster as cluster;
+pub use cloudscope_faults as faults;
 pub use cloudscope_kb as kb;
 pub use cloudscope_mgmt as mgmt;
 pub use cloudscope_model as model;
+pub use cloudscope_par as par;
 pub use cloudscope_sim as sim;
 pub use cloudscope_stats as stats;
 pub use cloudscope_timeseries as timeseries;

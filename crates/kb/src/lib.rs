@@ -36,5 +36,7 @@ pub mod store;
 pub use extract::{extract_cloud_knowledge, extract_subscription_knowledge};
 pub use knowledge::{LifetimeClass, WorkloadKnowledge};
 pub use persist::{read_snapshot, write_snapshot};
-pub use pipeline::{run_extraction_pipeline, PipelineStats};
-pub use store::KnowledgeBase;
+pub use pipeline::{
+    run_extraction_pipeline, run_extraction_pipeline_with, PipelineStats, RetryPolicy,
+};
+pub use store::{KbStore, KnowledgeBase, StoreError};

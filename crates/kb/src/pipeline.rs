@@ -4,11 +4,13 @@
 //! have, with the trace standing in for the telemetry stream.
 
 use crate::extract::extract_subscription_knowledge;
-use crate::store::KnowledgeBase;
+use crate::knowledge::WorkloadKnowledge;
+use crate::store::{KbStore, KnowledgeBase, StoreError};
 use cloudscope_analysis::PatternClassifier;
 use cloudscope_model::ids::SubscriptionId;
 use cloudscope_model::trace::Trace;
 use cloudscope_par::Parallelism;
+use std::time::Duration;
 
 /// Extraction batch size per worker: large enough that each batch keeps
 /// every worker busy across several steal chunks, small enough that the
@@ -26,6 +28,64 @@ pub struct PipelineStats {
     pub stored: usize,
     /// Subscriptions skipped (no VMs).
     pub skipped: usize,
+    /// Store writes that had to be retried after a transient failure.
+    pub retries: usize,
+    /// Entries dropped because the store kept failing past the retry
+    /// budget. Always zero with the infallible in-memory store.
+    pub failed: usize,
+}
+
+/// Bounded retry-with-backoff policy for transient store failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per write, the first included. Must be at least 1.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles on each further retry
+    /// (1×, 2×, 4×, …).
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts with 1 ms base backoff: rides out brief blips
+    /// (worst-case ~7 ms asleep per entry) without stalling the sweep on
+    /// a store that is actually down.
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Writes one entry, retrying transient failures with exponential
+/// backoff per `policy`. Counts retries into `retries`; returns the
+/// final outcome.
+fn upsert_with_retry<S: KbStore + ?Sized>(
+    store: &S,
+    knowledge: WorkloadKnowledge,
+    policy: &RetryPolicy,
+    retries: &mut usize,
+) -> Result<bool, StoreError> {
+    assert!(
+        policy.max_attempts >= 1,
+        "retry policy needs at least one attempt"
+    );
+    let mut backoff = policy.base_backoff;
+    let mut attempt = 1;
+    loop {
+        match store.try_upsert(knowledge.clone()) {
+            Ok(stored) => return Ok(stored),
+            Err(e) if attempt >= policy.max_attempts => return Err(e),
+            Err(_) => {
+                *retries += 1;
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                backoff = backoff.saturating_mul(2);
+                attempt += 1;
+            }
+        }
+    }
 }
 
 /// Runs the extraction pipeline over every subscription in the trace
@@ -41,6 +101,33 @@ pub fn run_extraction_pipeline(
     classifier: &PatternClassifier,
     max_classified_vms_per_sub: usize,
     workers: usize,
+) -> PipelineStats {
+    run_extraction_pipeline_with(
+        trace,
+        kb,
+        classifier,
+        max_classified_vms_per_sub,
+        workers,
+        &RetryPolicy::default(),
+    )
+}
+
+/// [`run_extraction_pipeline`] over any [`KbStore`] backend: transient
+/// write failures are retried per `retry` (exponential backoff), and
+/// entries the store keeps rejecting are counted into
+/// [`PipelineStats::failed`] rather than aborting the sweep — one bad
+/// entry must not cost the rest of the batch.
+///
+/// # Panics
+/// Panics if `workers == 0` or `retry.max_attempts == 0`.
+#[must_use]
+pub fn run_extraction_pipeline_with<S: KbStore + ?Sized>(
+    trace: &Trace,
+    store: &S,
+    classifier: &PatternClassifier,
+    max_classified_vms_per_sub: usize,
+    workers: usize,
+    retry: &RetryPolicy,
 ) -> PipelineStats {
     let subscriptions: Vec<SubscriptionId> =
         trace.subscriptions().iter().map(|sub| sub.id).collect();
@@ -60,8 +147,10 @@ pub fn run_extraction_pipeline(
             stats.processed += 1;
             match knowledge {
                 Some(knowledge) => {
-                    if kb.upsert(knowledge) {
-                        stats.stored += 1;
+                    match upsert_with_retry(store, knowledge, retry, &mut stats.retries) {
+                        Ok(true) => stats.stored += 1,
+                        Ok(false) => {}
+                        Err(_) => stats.failed += 1,
                     }
                 }
                 None => stats.skipped += 1,
@@ -107,6 +196,79 @@ mod tests {
         let second = run_extraction_pipeline(&g.trace, &kb, &classifier, 2, 2);
         assert_eq!(kb.len(), size);
         assert_eq!(first.processed, second.processed);
+    }
+
+    struct FlakyEveryOther {
+        inner: KnowledgeBase,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl KbStore for FlakyEveryOther {
+        fn try_upsert(&self, knowledge: crate::WorkloadKnowledge) -> Result<bool, StoreError> {
+            let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if n.is_multiple_of(2) {
+                return Err(StoreError::Transient("injected"));
+            }
+            self.inner.try_upsert(knowledge)
+        }
+    }
+
+    struct AlwaysDown;
+
+    impl KbStore for AlwaysDown {
+        fn try_upsert(&self, _: crate::WorkloadKnowledge) -> Result<bool, StoreError> {
+            Err(StoreError::Transient("down"))
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let g = generate(&GeneratorConfig::small(64));
+        let classifier = PatternClassifier::default();
+        let store = FlakyEveryOther {
+            inner: KnowledgeBase::new(),
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+        };
+        let stats = run_extraction_pipeline_with(&g.trace, &store, &classifier, 2, 2, &retry);
+        // Every write fails once, then lands on the retry.
+        assert_eq!(stats.failed, 0);
+        assert!(stats.stored > 0);
+        assert_eq!(stats.retries, stats.stored);
+        assert_eq!(store.inner.len(), stats.stored);
+
+        // Same trace against the infallible store: identical contents.
+        let clean = KnowledgeBase::new();
+        let clean_stats = run_extraction_pipeline(&g.trace, &clean, &classifier, 2, 2);
+        assert_eq!(clean_stats.stored, stats.stored);
+        for sub in g.trace.subscriptions() {
+            assert_eq!(store.inner.get(sub.id), clean.get(sub.id));
+        }
+    }
+
+    #[test]
+    fn persistent_failures_are_bounded_and_counted() {
+        let g = generate(&GeneratorConfig::small(65));
+        let retry = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::ZERO,
+        };
+        let stats = run_extraction_pipeline_with(
+            &g.trace,
+            &AlwaysDown,
+            &PatternClassifier::default(),
+            2,
+            2,
+            &retry,
+        );
+        assert_eq!(stats.stored, 0);
+        assert!(stats.failed > 0);
+        assert_eq!(stats.failed + stats.skipped, stats.processed);
+        // Each failed entry burns exactly max_attempts - 1 retries.
+        assert_eq!(stats.retries, stats.failed * 3);
     }
 
     #[test]

@@ -5,7 +5,51 @@ use crate::knowledge::{LifetimeClass, WorkloadKnowledge};
 use cloudscope_analysis::UtilizationPattern;
 use cloudscope_model::prelude::*;
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Error a knowledge-base backend can raise on a write. The in-memory
+/// [`KnowledgeBase`] never fails, but a networked or disk-backed store
+/// does, and the extraction pipeline has to cope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The write failed for a reason that may clear on retry (timeout,
+    /// contention, brief unavailability). Carries the backend's reason.
+    Transient(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Transient(reason) => write!(f, "transient store failure: {reason}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+/// Write interface of a knowledge-base backend, as the extraction
+/// pipeline sees it. `Ok(true)` means the entry was stored, `Ok(false)`
+/// that it was ignored as stale; `Err` reports a backend failure the
+/// caller may retry.
+pub trait KbStore {
+    /// Attempts to insert or refresh one subscription's knowledge.
+    ///
+    /// # Errors
+    /// [`StoreError::Transient`] if the backend could not take the write
+    /// right now.
+    fn try_upsert(&self, knowledge: WorkloadKnowledge) -> Result<bool, StoreError>;
+}
+
+impl KbStore for KnowledgeBase {
+    /// The in-memory store is infallible; this simply delegates to
+    /// [`KnowledgeBase::upsert`].
+    fn try_upsert(&self, knowledge: WorkloadKnowledge) -> Result<bool, StoreError> {
+        Ok(self.upsert(knowledge))
+    }
+}
 
 /// The knowledge base of Section V: writers (telemetry extractors) feed
 /// it continuously; readers (optimization policies) query it. Reads and
@@ -193,6 +237,23 @@ mod tests {
         assert_eq!(kb.by_lifetime(LifetimeClass::MostlyShort).len(), 3);
         assert_eq!(kb.oversubscription_candidates(CloudKind::Public).len(), 2);
         assert!(kb.shiftable_workloads().is_empty());
+    }
+
+    #[test]
+    fn kb_store_trait_delegates_to_upsert() {
+        let kb = KnowledgeBase::new();
+        assert_eq!(
+            kb.try_upsert(knowledge(1, CloudKind::Public, 100)),
+            Ok(true)
+        );
+        // Stale write: surfaced as Ok(false), not an error.
+        assert_eq!(
+            kb.try_upsert(knowledge(1, CloudKind::Public, 10)),
+            Ok(false)
+        );
+        assert_eq!(kb.len(), 1);
+        let e = StoreError::Transient("timeout");
+        assert!(e.to_string().contains("timeout"));
     }
 
     #[test]

@@ -47,7 +47,9 @@ fn deployment_row(vm: &VmRecord) -> String {
 }
 
 /// Writes telemetry in long format: `vm_id,minute,cpu_pct`, one row per
-/// 5-minute sample of every VM with telemetry.
+/// 5-minute sample of every VM with telemetry. Missing samples emit no
+/// row — exactly what a production monitor that never received the
+/// reading would produce.
 ///
 /// # Errors
 /// Propagates I/O errors from the writer.
@@ -56,6 +58,9 @@ pub fn write_telemetry<W: Write>(trace: &Trace, mut writer: W) -> std::io::Resul
     for vm in trace.vms() {
         if let Some(util) = trace.util(vm.id) {
             for (i, v) in util.iter().enumerate() {
+                if !v.is_finite() {
+                    continue;
+                }
                 writeln!(
                     writer,
                     "{},{},{v:.1}",

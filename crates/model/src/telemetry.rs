@@ -16,6 +16,12 @@ use serde::{Deserialize, Serialize};
 const QUANT_STEPS_PER_PERCENT: f32 = 2.0;
 /// Maximum representable utilization in percent.
 pub const MAX_UTILIZATION_PCT: f32 = 100.0;
+/// In-band sentinel for a missing sample. The quantized range only uses
+/// 0..=200, so the top byte value is free to mark slots the monitor never
+/// reported (dropped samples, blackout windows). Missing samples surface
+/// as `None` from [`UtilSeries::get`] and as NaN from the float iterators,
+/// keeping the time grid intact so gaps never shift later samples.
+const MISSING_SAMPLE: u8 = u8::MAX;
 
 /// A fixed-interval CPU-utilization series for one VM (or one node).
 ///
@@ -37,8 +43,9 @@ pub struct UtilSeries {
 }
 
 impl UtilSeries {
-    /// Builds a series from utilization percentages. Values are clamped to
-    /// `[0, 100]` and quantized to 0.5-percent steps.
+    /// Builds a series from utilization percentages. Finite values are
+    /// clamped to `[0, 100]` and quantized to 0.5-percent steps; non-finite
+    /// values (NaN, ±inf) mark the slot as missing.
     #[must_use]
     pub fn from_percentages<I>(start: SimTime, values: I) -> Self
     where
@@ -47,8 +54,12 @@ impl UtilSeries {
         let samples: Vec<u8> = values
             .into_iter()
             .map(|v| {
-                let clamped = v.clamp(0.0, MAX_UTILIZATION_PCT);
-                (clamped * QUANT_STEPS_PER_PERCENT).round() as u8
+                if v.is_finite() {
+                    let clamped = v.clamp(0.0, MAX_UTILIZATION_PCT);
+                    (clamped * QUANT_STEPS_PER_PERCENT).round() as u8
+                } else {
+                    MISSING_SAMPLE
+                }
             })
             .collect();
         Self {
@@ -81,12 +92,38 @@ impl UtilSeries {
         self.start + crate::time::SimDuration::from_minutes(index as i64 * SAMPLE_INTERVAL_MINUTES)
     }
 
-    /// Utilization (percent) of the sample at `index`, if in bounds.
+    /// Utilization (percent) of the sample at `index`. Returns `None` both
+    /// out of bounds and for an in-bounds missing sample.
     #[must_use]
     pub fn get(&self, index: usize) -> Option<f32> {
         self.samples
             .get(index)
+            .filter(|&&q| q != MISSING_SAMPLE)
             .map(|&q| f32::from(q) / QUANT_STEPS_PER_PERCENT)
+    }
+
+    /// `true` if the in-bounds sample at `index` is missing.
+    #[must_use]
+    pub fn is_missing(&self, index: usize) -> bool {
+        self.samples.get(index) == Some(&MISSING_SAMPLE)
+    }
+
+    /// Number of present (non-missing) samples.
+    #[must_use]
+    pub fn present_count(&self) -> usize {
+        self.samples
+            .iter()
+            .filter(|&&q| q != MISSING_SAMPLE)
+            .count()
+    }
+
+    /// Fraction of samples present, in `[0, 1]` (0 for an empty series).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.present_count() as f64 / self.samples.len() as f64
     }
 
     /// Utilization (percent) at simulated time `t`, if the series covers it.
@@ -99,33 +136,47 @@ impl UtilSeries {
         self.get((offset / SAMPLE_INTERVAL_MINUTES) as usize)
     }
 
-    /// Iterates over utilization percentages.
+    /// Iterates over utilization percentages; missing samples yield NaN,
+    /// the gap convention the downstream analysis stack understands.
     pub fn iter(&self) -> impl Iterator<Item = f32> + '_ {
-        self.samples
-            .iter()
-            .map(|&q| f32::from(q) / QUANT_STEPS_PER_PERCENT)
+        self.samples.iter().map(|&q| {
+            if q == MISSING_SAMPLE {
+                f32::NAN
+            } else {
+                f32::from(q) / QUANT_STEPS_PER_PERCENT
+            }
+        })
     }
 
     /// Collects the series into an `f64` vector, the numeric type the
-    /// statistics substrate operates on.
+    /// statistics substrate operates on. Missing samples become NaN.
     #[must_use]
     pub fn to_f64_vec(&self) -> Vec<f64> {
         self.iter().map(f64::from).collect()
     }
 
-    /// Mean utilization in percent (0 for an empty series).
+    /// Mean utilization in percent over the present samples (0 for an
+    /// empty or fully-missing series).
     #[must_use]
     pub fn mean(&self) -> f32 {
-        if self.samples.is_empty() {
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for v in self.iter() {
+            if v.is_finite() {
+                sum += f64::from(v);
+                count += 1;
+            }
+        }
+        if count == 0 {
             return 0.0;
         }
-        let sum: f64 = self.iter().map(f64::from).sum();
-        (sum / self.samples.len() as f64) as f32
+        (sum / count as f64) as f32
     }
 
     /// Averages consecutive samples into buckets of `samples_per_bucket`
     /// (e.g. 12 to go from 5-minute to hourly resolution). The trailing
-    /// partial bucket, if any, is averaged over the samples it has.
+    /// partial bucket, if any, is averaged over the samples it has. Each
+    /// bucket averages its present samples; a fully-missing bucket is NaN.
     ///
     /// # Errors
     /// Returns [`ModelError::InvalidArgument`] if `samples_per_bucket` is 0.
@@ -139,11 +190,19 @@ impl UtilSeries {
             .samples
             .chunks(samples_per_bucket)
             .map(|chunk| {
-                let sum: f64 = chunk
-                    .iter()
-                    .map(|&q| f64::from(q) / f64::from(QUANT_STEPS_PER_PERCENT))
-                    .sum();
-                (sum / chunk.len() as f64) as f32
+                let mut sum = 0.0f64;
+                let mut count = 0usize;
+                for &q in chunk {
+                    if q != MISSING_SAMPLE {
+                        sum += f64::from(q) / f64::from(QUANT_STEPS_PER_PERCENT);
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    f32::NAN
+                } else {
+                    (sum / count as f64) as f32
+                }
             })
             .collect())
     }
@@ -163,7 +222,9 @@ impl UtilSeries {
 }
 
 /// Element-wise average of several equally-long, equally-aligned series —
-/// used e.g. for region-level average utilization of a service.
+/// used e.g. for region-level average utilization of a service. Each slot
+/// averages the series that have a present sample there; a slot missing
+/// everywhere stays missing.
 ///
 /// # Errors
 /// Returns [`ModelError::InvalidArgument`] if `series` is empty or lengths
@@ -180,16 +241,25 @@ pub fn average_series(series: &[&UtilSeries]) -> Result<UtilSeries, ModelError> 
             "series must share start and length",
         ));
     }
-    let n = series.len() as f64;
     let mut acc = vec![0.0f64; first.len()];
+    let mut counts = vec![0usize; first.len()];
     for s in series {
-        for (a, v) in acc.iter_mut().zip(s.iter()) {
-            *a += f64::from(v);
+        for (i, v) in s.iter().enumerate() {
+            if v.is_finite() {
+                acc[i] += f64::from(v);
+                counts[i] += 1;
+            }
         }
     }
     Ok(UtilSeries::from_percentages(
         first.start(),
-        acc.into_iter().map(|a| (a / n) as f32),
+        acc.into_iter().zip(counts).map(|(a, n)| {
+            if n == 0 {
+                f32::NAN
+            } else {
+                (a / n as f64) as f32
+            }
+        }),
     ))
 }
 
@@ -275,5 +345,61 @@ mod tests {
         let s = UtilSeries::from_percentages(SimTime::ZERO, std::iter::empty());
         assert!(s.is_empty());
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn missing_samples_roundtrip_as_gaps() {
+        let s = UtilSeries::from_percentages(SimTime::ZERO, [10.0, f32::NAN, 30.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(0), Some(10.0));
+        assert_eq!(s.get(1), None);
+        assert!(s.is_missing(1));
+        assert!(!s.is_missing(0));
+        assert_eq!(s.present_count(), 2);
+        assert!((s.coverage() - 2.0 / 3.0).abs() < 1e-12);
+        let vals: Vec<f32> = s.iter().collect();
+        assert!(vals[1].is_nan());
+        assert!(s.to_f64_vec()[1].is_nan());
+        // Mean skips the gap rather than poisoning to NaN.
+        assert!((s.mean() - 20.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn gaps_do_not_shift_the_time_grid() {
+        let s = UtilSeries::from_percentages(SimTime::ZERO, [10.0, f32::NAN, 30.0]);
+        assert_eq!(s.at_time(SimTime::from_minutes(10)), Some(30.0));
+        assert_eq!(s.at_time(SimTime::from_minutes(5)), None);
+    }
+
+    #[test]
+    fn downsample_skips_gaps_and_marks_empty_buckets() {
+        let s = UtilSeries::from_percentages(
+            SimTime::ZERO,
+            [10.0, f32::NAN, f32::NAN, f32::NAN, 30.0, 50.0],
+        );
+        let out = s.downsample(2).unwrap();
+        assert_eq!(out[0], 10.0);
+        assert!(out[1].is_nan());
+        assert_eq!(out[2], 40.0);
+    }
+
+    #[test]
+    fn averaging_skips_gaps_per_slot() {
+        let a = UtilSeries::from_percentages(SimTime::ZERO, [10.0, f32::NAN, f32::NAN]);
+        let b = UtilSeries::from_percentages(SimTime::ZERO, [30.0, 40.0, f32::NAN]);
+        let avg = average_series(&[&a, &b]).unwrap();
+        assert_eq!(avg.get(0), Some(20.0));
+        assert_eq!(avg.get(1), Some(40.0));
+        assert_eq!(avg.get(2), None);
+    }
+
+    #[test]
+    fn fully_missing_series_has_zero_coverage_mean() {
+        let s = UtilSeries::from_percentages(SimTime::ZERO, [f32::NAN, f32::INFINITY]);
+        assert_eq!(s.present_count(), 0);
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        let empty = UtilSeries::from_percentages(SimTime::ZERO, std::iter::empty());
+        assert_eq!(empty.coverage(), 0.0);
     }
 }

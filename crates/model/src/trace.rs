@@ -166,6 +166,11 @@ impl Trace {
             let vm_cores = f64::from(vm.size.cores());
             let base = series.start().minutes() / SAMPLE_INTERVAL_MINUTES;
             for (i, v) in series.iter().enumerate() {
+                // Missing samples (NaN) contribute nothing rather than
+                // poisoning the whole node series.
+                if !v.is_finite() {
+                    continue;
+                }
                 let global = base + i as i64;
                 if (0..SAMPLES_PER_WEEK as i64).contains(&global) {
                     let t = SimTime::from_minutes(global * SAMPLE_INTERVAL_MINUTES);

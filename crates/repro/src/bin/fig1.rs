@@ -3,6 +3,7 @@
 
 use cloudscope::analysis::deployment::DeploymentSizeAnalysis;
 use cloudscope::prelude::*;
+use cloudscope_repro::checks::{fig1_checks, CheckProfile};
 use cloudscope_repro::{print_ecdf, ShapeChecks};
 
 fn main() {
@@ -36,19 +37,6 @@ fn main() {
     }
 
     let mut checks = ShapeChecks::new();
-    checks.check(
-        "private deployments larger (Fig 1a)",
-        a.private_vms_per_subscription.median() > 5.0 * a.public_vms_per_subscription.median(),
-        format!(
-            "median {} vs {}",
-            a.private_vms_per_subscription.median(),
-            a.public_vms_per_subscription.median()
-        ),
-    );
-    checks.check(
-        "public cluster hosts many times more subscriptions (paper ~20x)",
-        a.subscriptions_per_cluster_ratio > 5.0,
-        format!("ratio {:.1}x", a.subscriptions_per_cluster_ratio),
-    );
+    fig1_checks(&a, &CheckProfile::full(), &mut checks);
     std::process::exit(i32::from(!checks.finish("fig1")));
 }

@@ -1,6 +1,7 @@
 //! Figure 2: heatmaps of core and memory sizes per VM.
 
 use cloudscope::analysis::vmsize::VmSizeAnalysis;
+use cloudscope_repro::checks::{fig2_checks, CheckProfile};
 use cloudscope_repro::ShapeChecks;
 
 fn main() {
@@ -22,25 +23,6 @@ fn main() {
     }
 
     let mut checks = ShapeChecks::new();
-    // Overlap coefficient: sum of min(p, q) over cells; 1 = identical.
-    let mut overlap = 0.0;
-    for x in 0..a.private.x_axis().bins() {
-        for y in 0..a.private.y_axis().bins() {
-            overlap += a.private.fraction(x, y).min(a.public.fraction(x, y));
-        }
-    }
-    checks.check(
-        "distributions largely similar (mass overlap)",
-        overlap > 0.5,
-        format!("overlap coefficient {overlap:.2}"),
-    );
-    checks.check(
-        "public mass extends to tiny+huge corners (Fig 2b)",
-        a.public_corner_mass > 3.0 * a.private_corner_mass,
-        format!(
-            "corner mass {:.3} vs {:.3}",
-            a.public_corner_mass, a.private_corner_mass
-        ),
-    );
+    fig2_checks(&a, &CheckProfile::full(), &mut checks);
     std::process::exit(i32::from(!checks.finish("fig2")));
 }

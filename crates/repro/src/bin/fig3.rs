@@ -3,6 +3,7 @@
 
 use cloudscope::analysis::temporal::TemporalAnalysis;
 use cloudscope::model::ids::RegionId;
+use cloudscope_repro::checks::{fig3_checks, CheckProfile};
 use cloudscope_repro::{print_csv, print_ecdf, ShapeChecks};
 
 fn main() {
@@ -58,34 +59,6 @@ fn main() {
     }
 
     let mut checks = ShapeChecks::new();
-    checks.check(
-        "shortest bin: paper 49% private vs 81% public",
-        (a.private_short_fraction - 0.49).abs() < 0.15
-            && (a.public_short_fraction - 0.81).abs() < 0.15
-            && a.public_short_fraction > a.private_short_fraction,
-        format!(
-            "measured {:.0}% vs {:.0}%",
-            100.0 * a.private_short_fraction,
-            100.0 * a.public_short_fraction
-        ),
-    );
-    checks.check(
-        "private creations bursty: higher CV in every quartile (Fig 3d)",
-        a.creation_cv.0.median > a.creation_cv.1.median && a.creation_cv.0.q1 > a.creation_cv.1.q3,
-        format!(
-            "median CV {:.2} vs {:.2}",
-            a.creation_cv.0.median, a.creation_cv.1.median
-        ),
-    );
-    let weekend_dip = {
-        let wk: f64 = a.vm_counts.1.values()[..120].iter().sum::<f64>() / 120.0;
-        let we: f64 = a.vm_counts.1.values()[120..].iter().sum::<f64>() / 48.0;
-        we < wk
-    };
-    checks.check(
-        "public VM counts dip on weekends (Fig 3b)",
-        weekend_dip,
-        "weekend mean < weekday mean".into(),
-    );
+    fig3_checks(&a, &CheckProfile::full(), &mut checks);
     std::process::exit(i32::from(!checks.finish("fig3")));
 }

@@ -2,6 +2,7 @@
 //! core-weighted.
 
 use cloudscope::analysis::spatial::SpatialAnalysis;
+use cloudscope_repro::checks::{fig4_checks, CheckProfile};
 use cloudscope_repro::{print_csv, ShapeChecks};
 
 fn main() {
@@ -32,28 +33,6 @@ fn main() {
     }
 
     let mut checks = ShapeChecks::new();
-    checks.check(
-        ">50% of subscriptions single-region in both clouds (Fig 4a)",
-        a.private_regions.eval(1.0) > 0.5 && a.public_regions.eval(1.0) > 0.5,
-        format!(
-            "single-region {:.0}% / {:.0}%",
-            100.0 * a.private_regions.eval(1.0),
-            100.0 * a.public_regions.eval(1.0)
-        ),
-    );
-    checks.check(
-        "private multi-region tail heavier (Fig 4a)",
-        a.private_regions.eval(1.0) < a.public_regions.eval(1.0),
-        "private single-region share lower".into(),
-    );
-    checks.check(
-        "cores: private mostly multi-region, public mostly single (paper 40%/70%)",
-        a.private_single_region_core_share < 0.5 && a.public_single_region_core_share > 0.5,
-        format!(
-            "single-region core share {:.0}% vs {:.0}%",
-            100.0 * a.private_single_region_core_share,
-            100.0 * a.public_single_region_core_share
-        ),
-    );
+    fig4_checks(&a, &CheckProfile::full(), &mut checks);
     std::process::exit(i32::from(!checks.finish("fig4")));
 }

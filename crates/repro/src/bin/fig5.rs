@@ -2,6 +2,7 @@
 
 use cloudscope::analysis::patterns::{pattern_shares, PatternClassifier};
 use cloudscope::prelude::*;
+use cloudscope_repro::checks::{fig5_checks, CheckProfile};
 use cloudscope_repro::ShapeChecks;
 
 fn main() {
@@ -37,44 +38,6 @@ fn main() {
     println!();
 
     let mut checks = ShapeChecks::new();
-    let d = UtilizationPattern::Diurnal;
-    checks.check(
-        "diurnal most common in both clouds",
-        UtilizationPattern::ALL
-            .iter()
-            .all(|&p| private.fraction(d) >= private.fraction(p))
-            && UtilizationPattern::ALL
-                .iter()
-                .all(|&p| public.fraction(d) >= public.fraction(p)),
-        format!(
-            "diurnal {:.2} / {:.2}",
-            private.fraction(d),
-            public.fraction(d)
-        ),
-    );
-    checks.check(
-        "private has roughly double the diurnal share",
-        private.fraction(d) > 1.3 * public.fraction(d),
-        format!("ratio {:.2}", private.fraction(d) / public.fraction(d)),
-    );
-    checks.check(
-        "stable share higher in public",
-        public.fraction(UtilizationPattern::Stable) > private.fraction(UtilizationPattern::Stable),
-        format!(
-            "stable {:.2} vs {:.2}",
-            private.fraction(UtilizationPattern::Stable),
-            public.fraction(UtilizationPattern::Stable)
-        ),
-    );
-    checks.check(
-        "hourly-peak mostly private",
-        private.fraction(UtilizationPattern::HourlyPeak)
-            > 2.0 * public.fraction(UtilizationPattern::HourlyPeak),
-        format!(
-            "hourly {:.2} vs {:.2}",
-            private.fraction(UtilizationPattern::HourlyPeak),
-            public.fraction(UtilizationPattern::HourlyPeak)
-        ),
-    );
+    fig5_checks(&private, &public, &CheckProfile::full(), &mut checks);
     std::process::exit(i32::from(!checks.finish("fig5")));
 }

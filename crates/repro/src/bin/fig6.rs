@@ -2,6 +2,7 @@
 
 use cloudscope::analysis::utilization::UtilizationDistribution;
 use cloudscope::prelude::*;
+use cloudscope_repro::checks::{fig6_checks, CheckProfile};
 use cloudscope_repro::ShapeChecks;
 
 fn main() {
@@ -39,34 +40,6 @@ fn main() {
     }
 
     let mut checks = ShapeChecks::new();
-    checks.check(
-        "p75 utilization stays below ~30% in both clouds",
-        private.p75_peak() < 32.0 && public.p75_peak() < 32.0,
-        format!(
-            "p75 peaks {:.1} / {:.1}",
-            private.p75_peak(),
-            public.p75_peak()
-        ),
-    );
-    checks.check(
-        "private daily profile follows working hours; public flatter",
-        private.daily_median_variability() > 1.5 * public.daily_median_variability(),
-        format!(
-            "daily median std {:.2} vs {:.2}",
-            private.daily_median_variability(),
-            public.daily_median_variability()
-        ),
-    );
-    let weekend_drop = {
-        let median = private.weekly.band(50.0).expect("p50");
-        let weekday: f64 = median[..120].iter().sum::<f64>() / 120.0;
-        let weekend: f64 = median[120..].iter().sum::<f64>() / 48.0;
-        weekend < weekday
-    };
-    checks.check(
-        "private utilization drops on weekends",
-        weekend_drop,
-        "weekend median below weekday median".into(),
-    );
+    fig6_checks(&private, &public, &CheckProfile::full(), &mut checks);
     std::process::exit(i32::from(!checks.finish("fig6")));
 }

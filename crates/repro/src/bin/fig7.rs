@@ -5,6 +5,7 @@ use cloudscope::analysis::correlation::{
     node_vm_correlation_cdf, region_pair_correlation_cdf, service_region_daily_profiles,
 };
 use cloudscope::prelude::*;
+use cloudscope_repro::checks::{fig7_checks, CheckProfile};
 use cloudscope_repro::{print_ecdf, ShapeChecks};
 
 fn main() {
@@ -47,34 +48,18 @@ fn main() {
     }
     println!();
 
-    let mut checks = ShapeChecks::new();
-    checks.check(
-        "node-level correlation higher in private (paper medians 0.55 vs 0.02)",
-        node_private.median() > 0.4 && node_private.median() > node_public.median() + 0.2,
-        format!(
-            "medians {:.2} vs {:.2}",
-            node_private.median(),
-            node_public.median()
-        ),
-    );
-    checks.check(
-        "cross-region correlation higher in private (Fig 7b)",
-        region_private.median() > region_public.median() + 0.3,
-        format!(
-            "medians {:.2} vs {:.2}",
-            region_private.median(),
-            region_public.median()
-        ),
-    );
     let alignment = cloudscope::analysis::correlation::service_region_alignment(
         &generated.trace,
         flagship.service,
     )
     .expect("alignment");
-    checks.check(
-        "ServiceX peaks align across time zones (Fig 7c)",
-        alignment > 0.9,
-        format!("mean pairwise profile correlation {alignment:.2}"),
+    let mut checks = ShapeChecks::new();
+    fig7_checks(
+        &(node_private, node_public),
+        &(region_private, region_public),
+        alignment,
+        &CheckProfile::full(),
+        &mut checks,
     );
     std::process::exit(i32::from(!checks.finish("fig7")));
 }

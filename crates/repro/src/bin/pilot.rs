@@ -2,67 +2,22 @@
 //! to a cold one. Paper: source underutilized cores 23% -> 16%, source
 //! core-utilization rate 42% -> 37%; destination changes minor.
 
-use cloudscope::mgmt::rebalance::{region_capacity_stats, simulate_shift};
 use cloudscope::prelude::*;
+use cloudscope_repro::checks::{pilot_checks, run_pilot, CheckProfile};
 use cloudscope_repro::ShapeChecks;
 
 fn main() {
     let generated = cloudscope_repro::default_trace();
     let at = SimTime::from_minutes(2 * 24 * 60 + 14 * 60);
 
-    // As in the paper's pilot, the moved service is a region-agnostic
-    // one dragging down its source region's health: pick the
-    // (service, region) pair with the most cores on underutilized VMs.
-    let mut best: Option<(&cloudscope::tracegen::ServiceInfo, RegionId, u64)> = None;
-    for svc in generated.services.iter().filter(|s| {
-        s.cloud == CloudKind::Private && s.profile.region_agnostic && s.regions.len() >= 2
-    }) {
-        for &region in &svc.regions {
-            let mut under = 0u64;
-            for &vm_id in generated.trace.vms_of_service(svc.service) {
-                let vm = generated.trace.vm(vm_id).expect("indexed vm");
-                if vm.region == region
-                    && vm.node.is_some()
-                    && vm.alive_at(at)
-                    && generated.trace.util(vm_id).is_some_and(|u| u.mean() < 10.0)
-                {
-                    under += u64::from(vm.size.cores());
-                }
-            }
-            if best.is_none_or(|(_, _, b)| under > b) {
-                best = Some((svc, region, under));
-            }
-        }
-    }
-    let (flagship, hot, _) = best.expect("a shiftable underutilized service");
-    let cold = generated
-        .trace
-        .topology()
-        .regions()
-        .iter()
-        .filter(|r| r.id != hot)
-        .filter_map(|r| {
-            region_capacity_stats(&generated.trace, CloudKind::Private, r.id, at)
-                .ok()
-                .map(|s| (r.id, s.core_utilization_rate()))
-        })
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-        .expect("cold region")
-        .0;
-
-    let outcome = simulate_shift(
-        &generated.trace,
-        CloudKind::Private,
-        flagship.service,
-        hot,
-        cold,
-        at,
-    )
-    .expect("shift");
+    let pilot = run_pilot(&generated, at)
+        .expect("shift simulates")
+        .expect("a shiftable underutilized service exists");
+    let outcome = &pilot.outcome;
 
     println!(
-        "## Pilot: shift ServiceX ({}) {hot} -> {cold}",
-        flagship.service
+        "## Pilot: shift ServiceX ({}) {} -> {}",
+        pilot.service, pilot.hot, pilot.cold
     );
     println!("metric,source_before,source_after,dest_before,dest_after");
     println!(
@@ -83,33 +38,6 @@ fn main() {
     println!();
 
     let mut checks = ShapeChecks::new();
-    checks.check(
-        "source underutilized-core pct decreases (paper 23% -> 16%)",
-        outcome.source_after.underutilized_pct() < outcome.source_before.underutilized_pct(),
-        format!(
-            "{:.1}% -> {:.1}%",
-            100.0 * outcome.source_before.underutilized_pct(),
-            100.0 * outcome.source_after.underutilized_pct()
-        ),
-    );
-    checks.check(
-        "source core-utilization rate decreases (paper 42% -> 37%)",
-        outcome.source_after.core_utilization_rate()
-            < outcome.source_before.core_utilization_rate(),
-        format!(
-            "{:.1}% -> {:.1}%",
-            100.0 * outcome.source_before.core_utilization_rate(),
-            100.0 * outcome.source_after.core_utilization_rate()
-        ),
-    );
-    checks.check(
-        "destination absorbs the shift with capacity to spare",
-        outcome.destination_after.core_utilization_rate() < 0.9,
-        format!(
-            "destination rate {:.1}% -> {:.1}%",
-            100.0 * outcome.destination_before.core_utilization_rate(),
-            100.0 * outcome.destination_after.core_utilization_rate()
-        ),
-    );
+    pilot_checks(outcome, &CheckProfile::full(), &mut checks);
     std::process::exit(i32::from(!checks.finish("pilot")));
 }

@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checks;
+
 use cloudscope::prelude::*;
 use cloudscope::stats::Ecdf;
 
@@ -69,6 +71,39 @@ impl ShapeChecks {
     /// `detail` the measured values.
     pub fn check(&mut self, label: &str, holds: bool, detail: String) {
         self.results.push((holds, format!("{label}: {detail}")));
+    }
+
+    /// Number of checks recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// `true` if no check has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// `true` if every recorded check holds.
+    #[must_use]
+    pub fn all_hold(&self) -> bool {
+        self.results.iter().all(|(h, _)| *h)
+    }
+
+    /// The rendered lines of checks that failed (empty if all hold).
+    #[must_use]
+    pub fn failures(&self) -> Vec<&str> {
+        self.results
+            .iter()
+            .filter(|(h, _)| !h)
+            .map(|(_, line)| line.as_str())
+            .collect()
+    }
+
+    /// Every rendered check line with its verdict, in insertion order.
+    pub fn lines(&self) -> impl Iterator<Item = (bool, &str)> {
+        self.results.iter().map(|(h, line)| (*h, line.as_str()))
     }
 
     /// Prints the verdicts and returns `true` if all hold.

@@ -1,9 +1,10 @@
 //! Property-based tests over the statistics substrate.
 
 use cloudscope_stats::boxplot::BoxPlot;
-use cloudscope_stats::correlation::{pearson, spearman};
+use cloudscope_stats::correlation::{pearson, pearson_or_zero, spearman};
 use cloudscope_stats::dist::{Categorical, Sample, StdNormal};
 use cloudscope_stats::ecdf::Ecdf;
+use cloudscope_stats::error::StatsError;
 use cloudscope_stats::histogram::{Axis, Histogram};
 use cloudscope_stats::percentile::{percentile, percentile_sorted, percentiles};
 use cloudscope_stats::summary::Summary;
@@ -13,6 +14,21 @@ use rand::SeedableRng;
 
 fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+/// Values that may be NaN or ±∞ alongside ordinary finite readings —
+/// the raw material a corrupted telemetry stream hands the stats layer.
+fn messy_value() -> impl Strategy<Value = f64> {
+    (0u32..12, -1e6f64..1e6).prop_map(|(tag, v)| match tag {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => v,
+    })
+}
+
+fn messy_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(messy_value(), 1..max_len)
 }
 
 proptest! {
@@ -151,6 +167,82 @@ proptest! {
         prop_assert_eq!(h.total() + h.overflow(), sample.len() as u64);
         let fr: f64 = h.fractions().iter().sum();
         prop_assert!(h.total() == 0 || (fr - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_inputs_yield_typed_errors_never_panics(
+        sample in messy_vec(64),
+        p in 0.0f64..=100.0,
+    ) {
+        let tainted = sample.iter().any(|v| !v.is_finite());
+        // Every constructor either succeeds (all-finite input) or
+        // reports NonFinite — none of them may panic or poison results.
+        match Ecdf::new(sample.clone()) {
+            Ok(cdf) => {
+                prop_assert!(!tainted);
+                prop_assert!(cdf.eval(0.0).is_finite());
+            }
+            Err(e) => {
+                prop_assert!(tainted);
+                prop_assert!(matches!(e, StatsError::NonFinite(_)));
+            }
+        }
+        match BoxPlot::new(sample.clone()) {
+            Ok(b) => prop_assert!(!tainted && b.median.is_finite()),
+            Err(e) => prop_assert!(matches!(e, StatsError::NonFinite(_))),
+        }
+        match percentile(&sample, p) {
+            Ok(v) => prop_assert!(!tainted && v.is_finite()),
+            Err(e) => prop_assert!(matches!(e, StatsError::NonFinite(_))),
+        }
+        match pearson(&sample, &sample) {
+            // A finite non-constant series correlates perfectly with itself.
+            Ok(r) => prop_assert!(!tainted && (r - 1.0).abs() < 1e-9),
+            Err(e) => prop_assert!(matches!(
+                e,
+                StatsError::NonFinite(_) | StatsError::EmptyInput(_) | StatsError::ZeroVariance(_)
+            )),
+        }
+        // Summary is the lenient path: it skips non-finite observations
+        // instead of erroring, so a tainted stream still summarizes.
+        let s: Summary = sample.iter().copied().collect();
+        prop_assert_eq!(
+            s.count(),
+            sample.iter().filter(|v| v.is_finite()).count() as u64
+        );
+    }
+
+    #[test]
+    fn constant_inputs_degrade_gracefully(
+        c in -1e6f64..1e6,
+        len in 1usize..64,
+        p in 0.0f64..=100.0,
+    ) {
+        let sample = vec![c; len];
+        // ECDF of a constant is a unit step at the constant.
+        let cdf = Ecdf::new(sample.clone()).unwrap();
+        prop_assert_eq!(cdf.eval(c), 1.0);
+        prop_assert_eq!(cdf.eval(c - 1e-3), 0.0);
+        prop_assert_eq!(cdf.median(), c);
+        // Degenerate box plot: everything collapses onto the constant.
+        let b = BoxPlot::new(sample.clone()).unwrap();
+        prop_assert_eq!(b.median, c);
+        prop_assert_eq!(b.lower_whisker, c);
+        prop_assert_eq!(b.upper_whisker, c);
+        prop_assert!(b.outliers.is_empty());
+        // Percentiles are the constant at every level.
+        prop_assert_eq!(percentile(&sample, p).unwrap(), c);
+        // Correlation against a constant is undefined. Summation
+        // rounding can leave a sub-ulp residual variance, in which case
+        // the clamped result must still be a legal coefficient.
+        if len >= 2 {
+            match pearson(&sample, &sample) {
+                Err(e) => prop_assert!(matches!(e, StatsError::ZeroVariance(_))),
+                Ok(r) => prop_assert!((-1.0..=1.0).contains(&r)),
+            }
+            // The lenient wrapper used by the fig-7 pipeline never errors here.
+            prop_assert!(pearson_or_zero(&sample, &sample).is_some());
+        }
     }
 
     #[test]

@@ -99,6 +99,64 @@ pub fn autocorrelation_fft(signal: &[f64], max_lag: usize) -> Result<Vec<f64>, S
     })
 }
 
+/// Mask-and-renormalize autocorrelation for gap-bearing signals (gaps are
+/// NaN slots): mean and variance are taken over the present samples, each
+/// lag's covariance is averaged over the jointly-present pairs, and the
+/// per-lag quotient is rescaled by `(n - lag) / n` so the estimator
+/// reduces *exactly* to the biased estimator of [`autocorrelation`] on a
+/// dense signal. Lags with no jointly-present pair yield 0 (no evidence).
+///
+/// # Errors
+/// - [`SeriesError::TooShort`] if fewer than 2 samples are present or
+///   `max_lag >= len`.
+/// - [`SeriesError::ZeroVariance`] if the present samples are constant.
+pub fn autocorrelation_masked(signal: &[f64], max_lag: usize) -> Result<Vec<f64>, SeriesError> {
+    let n = signal.len();
+    if max_lag >= n {
+        return Err(SeriesError::TooShort(n));
+    }
+    let mut mean = 0.0;
+    let mut present = 0usize;
+    for &v in signal {
+        if v.is_finite() {
+            mean += v;
+            present += 1;
+        }
+    }
+    if present < 2 {
+        return Err(SeriesError::TooShort(present));
+    }
+    mean /= present as f64;
+    let var: f64 = signal
+        .iter()
+        .filter(|v| v.is_finite())
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / present as f64;
+    if var == 0.0 {
+        return Err(SeriesError::ZeroVariance);
+    }
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    acf.push(1.0);
+    for lag in 1..=max_lag {
+        let mut cov = 0.0;
+        let mut pairs = 0usize;
+        for (a, b) in signal[..n - lag].iter().zip(&signal[lag..]) {
+            if a.is_finite() && b.is_finite() {
+                cov += (a - mean) * (b - mean);
+                pairs += 1;
+            }
+        }
+        if pairs == 0 {
+            acf.push(0.0);
+        } else {
+            let damping = (n - lag) as f64 / n as f64;
+            acf.push(cov / pairs as f64 / var * damping);
+        }
+    }
+    Ok(acf)
+}
+
 /// Shared validation: length/lag bounds and the mean/variance pass, with
 /// error semantics identical across both implementations.
 fn check_signal(signal: &[f64], max_lag: usize) -> Result<(f64, f64), SeriesError> {
@@ -287,5 +345,48 @@ mod tests {
         let acf = vec![1.0, 0.9, 0.8];
         assert!(!is_acf_hill(&acf, 0, 0.0));
         assert!(!is_acf_hill(&acf, 2, 0.0));
+    }
+
+    #[test]
+    fn masked_matches_dense_on_gap_free_signal() {
+        let signal = sine(24, 8);
+        let dense = autocorrelation(&signal, signal.len() / 2).unwrap();
+        let masked = autocorrelation_masked(&signal, signal.len() / 2).unwrap();
+        for (lag, (a, b)) in dense.iter().zip(&masked).enumerate() {
+            assert!((a - b).abs() < 1e-9, "lag {lag}: dense {a} vs masked {b}");
+        }
+    }
+
+    #[test]
+    fn masked_recovers_period_under_loss() {
+        // Knock out every 7th sample plus a contiguous blackout; the
+        // period-24 hill must survive.
+        let mut signal = sine(24, 8);
+        for i in (0..signal.len()).step_by(7) {
+            signal[i] = f64::NAN;
+        }
+        for v in &mut signal[60..90] {
+            *v = f64::NAN;
+        }
+        let acf = autocorrelation_masked(&signal, 60).unwrap();
+        assert!(acf[24] > 0.6, "acf[24] = {}", acf[24]);
+        assert!(acf[12] < -0.3, "acf[12] = {}", acf[12]);
+        assert_eq!(acf[0], 1.0);
+    }
+
+    #[test]
+    fn masked_error_conditions() {
+        assert!(matches!(
+            autocorrelation_masked(&[f64::NAN, 1.0, f64::NAN], 1),
+            Err(SeriesError::TooShort(1))
+        ));
+        assert!(matches!(
+            autocorrelation_masked(&[1.0, 2.0], 2),
+            Err(SeriesError::TooShort(2))
+        ));
+        assert!(matches!(
+            autocorrelation_masked(&[3.0, f64::NAN, 3.0, 3.0], 1),
+            Err(SeriesError::ZeroVariance)
+        ));
     }
 }

@@ -328,6 +328,44 @@ pub fn periodogram(signal: &[f64]) -> Result<(Vec<f64>, usize), SeriesError> {
     Ok((power, n))
 }
 
+/// Mask-and-renormalize periodogram for gap-bearing signals (gaps are NaN
+/// slots): the mean is taken over the present samples, gaps are replaced
+/// by it (zero after centring, so they inject no spurious power), and the
+/// one-sided spectrum is rescaled by `len / present` to compensate for
+/// the energy the masked slots cannot contribute. Reduces exactly to
+/// [`periodogram`] on a dense signal.
+///
+/// # Errors
+/// Returns [`SeriesError::TooShort`] if fewer than 4 samples are present.
+pub fn periodogram_masked(signal: &[f64]) -> Result<(Vec<f64>, usize), SeriesError> {
+    let mut mean = 0.0;
+    let mut present = 0usize;
+    for &v in signal {
+        if v.is_finite() {
+            mean += v;
+            present += 1;
+        }
+    }
+    if present < 4 {
+        return Err(SeriesError::TooShort(present));
+    }
+    mean /= present as f64;
+    let n = next_power_of_two(signal.len());
+    let renorm = signal.len() as f64 / present as f64;
+    let power = with_plan(n, |plan, buf| {
+        for (slot, &v) in buf.iter_mut().zip(signal) {
+            let centred = if v.is_finite() { v - mean } else { 0.0 };
+            *slot = Complex::new(centred, 0.0);
+        }
+        plan.forward(buf);
+        buf[..n / 2]
+            .iter()
+            .map(|c| c.norm_sq() / n as f64 * renorm)
+            .collect()
+    })?;
+    Ok((power, n))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +523,50 @@ mod tests {
         // The first run either built the plan or found it from an earlier
         // test on this thread.
         assert!(after_first.hits + after_first.misses > before.hits + before.misses);
+    }
+
+    #[test]
+    fn masked_periodogram_matches_dense_on_gap_free_signal() {
+        let signal: Vec<f64> = (0..256)
+            .map(|i| (std::f64::consts::TAU * 8.0 * i as f64 / 256.0).sin())
+            .collect();
+        let dense = periodogram(&signal).unwrap();
+        let masked = periodogram_masked(&signal).unwrap();
+        assert_eq!(dense.1, masked.1);
+        for (a, b) in dense.0.iter().zip(&masked.0) {
+            assert!(approx(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn masked_periodogram_peak_survives_gaps() {
+        let mut signal: Vec<f64> = (0..256)
+            .map(|i| (std::f64::consts::TAU * 8.0 * i as f64 / 256.0).sin())
+            .collect();
+        for i in (0..signal.len()).step_by(11) {
+            signal[i] = f64::NAN;
+        }
+        for v in &mut signal[100..130] {
+            *v = f64::NAN;
+        }
+        let (power, n) = periodogram_masked(&signal).unwrap();
+        assert_eq!(n, 256);
+        let peak = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 8);
+    }
+
+    #[test]
+    fn masked_periodogram_needs_four_present() {
+        let signal = [1.0, f64::NAN, 2.0, f64::NAN, 3.0];
+        assert!(matches!(
+            periodogram_masked(&signal),
+            Err(SeriesError::TooShort(3))
+        ));
     }
 
     #[test]

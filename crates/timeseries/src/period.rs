@@ -8,9 +8,9 @@
 //! (local maximum above a correlation threshold); spectral leakage and
 //! harmonics land on slopes or valleys and are discarded.
 
-use crate::acf::{autocorrelation, refine_on_acf};
+use crate::acf::{autocorrelation, autocorrelation_masked, refine_on_acf};
 use crate::error::SeriesError;
-use crate::fft::periodogram;
+use crate::fft::{periodogram, periodogram_masked};
 use crate::series::Series;
 use serde::{Deserialize, Serialize};
 
@@ -82,15 +82,31 @@ impl PeriodDetector {
 
     /// Detects periods in a series, strongest (by ACF) first.
     ///
+    /// Gap-bearing series (NaN slots) are handled transparently: both
+    /// stages switch to their mask-and-renormalize estimators
+    /// ([`periodogram_masked`], [`autocorrelation_masked`]), which need at
+    /// least 16 *present* samples.
+    ///
     /// # Errors
-    /// - [`SeriesError::TooShort`] if the series has fewer than 16 samples.
-    /// - [`SeriesError::ZeroVariance`] if the series is constant.
+    /// - [`SeriesError::TooShort`] if the series has fewer than 16
+    ///   (present) samples.
+    /// - [`SeriesError::ZeroVariance`] if the (present) series is constant.
     pub fn detect(&self, series: &Series) -> Result<Vec<DetectedPeriod>, SeriesError> {
         let values = series.values();
-        if values.len() < 16 {
-            return Err(SeriesError::TooShort(values.len()));
+        let has_gaps = values.iter().any(|v| !v.is_finite());
+        let present = if has_gaps {
+            values.iter().filter(|v| v.is_finite()).count()
+        } else {
+            values.len()
+        };
+        if present < 16 {
+            return Err(SeriesError::TooShort(present));
         }
-        let (power, padded_n) = periodogram(values)?;
+        let (power, padded_n) = if has_gaps {
+            periodogram_masked(values)?
+        } else {
+            periodogram(values)?
+        };
         let total_power: f64 = power.iter().skip(1).sum();
         if total_power <= 0.0 {
             return Err(SeriesError::ZeroVariance);
@@ -109,7 +125,11 @@ impl PeriodDetector {
 
         // Stage 2: validate on the ACF.
         let max_lag = values.len() / 2;
-        let acf = autocorrelation(values, max_lag)?;
+        let acf = if has_gaps {
+            autocorrelation_masked(values, max_lag)?
+        } else {
+            autocorrelation(values, max_lag)?
+        };
         let mut found: Vec<DetectedPeriod> = Vec::new();
         for (k, frac) in bins {
             // Bin k of an N-point transform corresponds to period N/k samples.
@@ -257,6 +277,35 @@ mod tests {
             detector.has_period_near(&series, 60.0, 10.0),
             "hourly missing"
         );
+    }
+
+    #[test]
+    fn gap_bearing_series_still_detects_daily_period() {
+        let mut series = weekly_series(288, 10.0, 1.0);
+        let values = series.values_mut();
+        // 5% pseudo-random loss plus a 6-hour blackout (72 slots).
+        for i in (0..values.len()).step_by(20) {
+            values[i] = f64::NAN;
+        }
+        for v in &mut values[500..572] {
+            *v = f64::NAN;
+        }
+        let detector = PeriodDetector::default();
+        assert!(detector.has_period_near(&series, 1440.0, 150.0));
+        assert!(!detector.has_period_near(&series, 60.0, 10.0));
+    }
+
+    #[test]
+    fn gap_bearing_series_needs_sixteen_present() {
+        let mut values = vec![f64::NAN; 64];
+        for (i, v) in values.iter_mut().enumerate().take(10) {
+            *v = i as f64;
+        }
+        let series = Series::new(0, 5, values);
+        assert!(matches!(
+            PeriodDetector::default().detect(&series),
+            Err(SeriesError::TooShort(10))
+        ));
     }
 
     #[test]

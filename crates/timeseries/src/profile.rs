@@ -14,6 +14,8 @@ const MINUTES_PER_WEEK: i64 = 7 * MINUTES_PER_DAY;
 
 /// Folds a series into its average daily shape: bucket `i` is the mean of
 /// all samples whose time-of-day falls in the `i`-th step-sized slot.
+/// Non-finite samples (gaps) are skipped; a bucket with no finite sample
+/// folds to 0, like a bucket the series never covers.
 ///
 /// # Errors
 /// Returns [`SeriesError::TooShort`] if the series is empty or its step
@@ -27,6 +29,9 @@ pub fn daily_profile(series: &Series) -> Result<Vec<f64>, SeriesError> {
     let mut sums = vec![0.0f64; buckets];
     let mut counts = vec![0u32; buckets];
     for (i, &v) in series.values().iter().enumerate() {
+        if !v.is_finite() {
+            continue;
+        }
         let minute = series.time_of(i).rem_euclid(MINUTES_PER_DAY);
         let b = (minute / step) as usize;
         sums[b] += v;
@@ -50,6 +55,9 @@ pub fn weekday_weekend_means(series: &Series) -> Result<(f64, f64), SeriesError>
     }
     let (mut wd_sum, mut wd_n, mut we_sum, mut we_n) = (0.0f64, 0u32, 0.0f64, 0u32);
     for (i, &v) in series.values().iter().enumerate() {
+        if !v.is_finite() {
+            continue;
+        }
         let day = series.time_of(i).rem_euclid(MINUTES_PER_WEEK) / MINUTES_PER_DAY;
         if day >= 5 {
             we_sum += v;
@@ -124,7 +132,17 @@ impl PercentileBands {
         let mut vals = Vec::with_capacity(levels.len());
         for t in 0..first.len() {
             column.clear();
-            column.extend(population.iter().map(|s| s.values()[t]));
+            // Gap slots (NaN) drop out of the column: the band at time t
+            // is the percentile over the series that have a sample there.
+            column.extend(
+                population
+                    .iter()
+                    .map(|s| s.values()[t])
+                    .filter(|v| v.is_finite()),
+            );
+            if column.is_empty() {
+                return Err(SeriesError::TooShort(0));
+            }
             percentiles_into(&column, levels, &mut scratch, &mut vals)
                 .map_err(|_| SeriesError::Misaligned)?;
             for (band, &v) in bands.iter_mut().zip(&vals) {
@@ -252,6 +270,48 @@ mod tests {
         assert!(PercentileBands::across(&[], &[50.0]).is_err());
         let c = Series::new(0, 30, vec![1.0; 24]);
         assert!(PercentileBands::across(&[&a, &c], &[50.0]).is_err());
+    }
+
+    #[test]
+    fn profiles_skip_gap_samples() {
+        let mut s = day_sine(60, 7, 10.0, 0.0);
+        let clean_profile = daily_profile(&s).unwrap();
+        let (clean_wd, clean_we) = weekday_weekend_means(&s).unwrap();
+        // Punch out one full day; all days are identical so the folds
+        // must not move.
+        for v in &mut s.values_mut()[24..48] {
+            *v = f64::NAN;
+        }
+        let gappy_profile = daily_profile(&s).unwrap();
+        for (a, b) in clean_profile.iter().zip(&gappy_profile) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        let (wd, we) = weekday_weekend_means(&s).unwrap();
+        assert!((wd - clean_wd).abs() < 1e-9);
+        assert!((we - clean_we).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bands_skip_gap_columns_per_slot() {
+        let mut population: Vec<Series> = (0..10)
+            .map(|k| Series::new(0, 60, vec![k as f64; 4]))
+            .collect();
+        // At t=1 the top half of the population is missing.
+        for s in population.iter_mut().skip(5) {
+            s.values_mut()[1] = f64::NAN;
+        }
+        let refs: Vec<&Series> = population.iter().collect();
+        let bands = PercentileBands::across(&refs, &[50.0]).unwrap();
+        let median = bands.band(50.0).unwrap();
+        assert!((median[0] - 4.5).abs() < 1e-9);
+        assert!((median[1] - 2.0).abs() < 1e-9, "median over present half");
+        // A slot missing everywhere is an error, not a silent zero.
+        let mut all_gone = population;
+        for s in &mut all_gone {
+            s.values_mut()[2] = f64::NAN;
+        }
+        let refs: Vec<&Series> = all_gone.iter().collect();
+        assert!(PercentileBands::across(&refs, &[50.0]).is_err());
     }
 
     #[test]

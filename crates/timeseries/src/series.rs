@@ -127,7 +127,9 @@ impl Series {
     /// Aggregates consecutive samples into buckets of `factor` samples
     /// using the mean, producing a coarser series (e.g. 5-minute → hourly
     /// with `factor = 12`). A trailing partial bucket is averaged over the
-    /// samples present.
+    /// samples present. Non-finite values (gaps) are skipped per bucket; a
+    /// bucket with no finite value stays NaN instead of poisoning the
+    /// whole bucket mean.
     ///
     /// # Errors
     /// Returns [`SeriesError::BadResampleFactor`] if `factor == 0`.
@@ -138,7 +140,21 @@ impl Series {
         let values = self
             .values
             .chunks(factor)
-            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .map(|c| {
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for &v in c {
+                    if v.is_finite() {
+                        sum += v;
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    f64::NAN
+                } else {
+                    sum / count as f64
+                }
+            })
             .collect();
         Ok(Series {
             start_minute: self.start_minute,
@@ -273,6 +289,15 @@ mod tests {
         let sum = s.downsample_sum(2).unwrap();
         assert_eq!(sum.values(), &[4.0, 12.0, 10.0]);
         assert!(s.downsample_mean(0).is_err());
+    }
+
+    #[test]
+    fn downsample_mean_skips_gaps() {
+        let s = Series::new(0, 5, vec![1.0, f64::NAN, f64::NAN, f64::NAN, 10.0, 20.0]);
+        let out = s.downsample_mean(2).unwrap();
+        assert_eq!(out.values()[0], 1.0);
+        assert!(out.values()[1].is_nan());
+        assert_eq!(out.values()[2], 15.0);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+BASELINE_FILE=scripts/test_count_baseline
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -14,9 +16,33 @@ echo "==> cargo build --release"
 cargo build --release --workspace
 
 echo "==> cargo test -q (debug: catches overflow/shift panics release wraps)"
-cargo test -q --workspace
+debug_out=$(cargo test -q --workspace 2>&1) || {
+  printf '%s\n' "$debug_out"
+  exit 1
+}
+printf '%s\n' "$debug_out"
 
 echo "==> cargo test -q --release"
 cargo test -q --release --workspace
+
+echo "==> robustness gate: all 26 shape checks under telemetry corruption"
+cargo test -q -p cloudscope --test full_pipeline robustness_gate
+cargo test -q -p cloudscope --test full_pipeline --release robustness_gate
+
+# Test-count delta: the suite must never shrink. The baseline is the
+# committed count from the last blessed run; growing it is expected
+# (update the file), shrinking it fails the gate.
+total=$(printf '%s\n' "$debug_out" \
+  | awk '/^test result:/ { for (i = 1; i <= NF; i++) if ($i == "passed;") sum += $(i - 1) } END { print sum + 0 }')
+baseline=$(cat "$BASELINE_FILE" 2>/dev/null || echo 0)
+delta=$((total - baseline))
+echo "==> test count: $total (baseline $baseline, delta ${delta#-} $([ "$delta" -ge 0 ] && echo gained || echo LOST))"
+if [ "$total" -lt "$baseline" ]; then
+  echo "ERROR: test count shrank from $baseline to $total; restore the missing tests" >&2
+  exit 1
+fi
+if [ "$total" -gt "$baseline" ]; then
+  echo "    (new high-water mark; bless it with: echo $total > $BASELINE_FILE)"
+fi
 
 echo "==> OK: all checks passed"

@@ -32,6 +32,36 @@ fn telemetry_free_trace_degrades_typed() {
     )
     .unwrap_err();
     assert!(matches!(err, AnalysisError::NoData(_)));
+    // The fig 5 classifier core: no telemetry means nothing classifies.
+    let err = cloudscope::analysis::patterns::pattern_shares(
+        &g.trace,
+        CloudKind::Private,
+        &PatternClassifier::default(),
+        100,
+    )
+    .unwrap_err();
+    assert!(matches!(err, AnalysisError::NoData(_)));
+    // The fig 7(b) cross-region core.
+    let err = cloudscope::analysis::correlation::region_pair_correlation_cdf(
+        &g.trace,
+        CloudKind::Public,
+        "US",
+    )
+    .unwrap_err();
+    assert!(matches!(err, AnalysisError::NoData(_)));
+}
+
+/// The whole extracted check surface — the same code path the repro
+/// binaries and the robustness gate run — reports a typed error on a
+/// telemetry-free trace instead of panicking partway through.
+#[test]
+fn full_check_surface_errors_typed_without_telemetry() {
+    use cloudscope_repro::checks::{all_figure_checks, CheckProfile};
+    let mut config = GeneratorConfig::small(44);
+    config.telemetry = false;
+    let g = generate(&config);
+    let err = all_figure_checks(&g, &CheckProfile::medium()).unwrap_err();
+    assert!(matches!(err, AnalysisError::NoData(_)));
 }
 
 #[test]

@@ -3,12 +3,33 @@
 //! (the same criteria the `cloudscope-repro` binaries print).
 
 use cloudscope::analysis::correlation::service_region_alignment;
+use cloudscope::faults::{corrupt_trace, FaultPlan, FaultReport};
 use cloudscope::prelude::*;
+use cloudscope_repro::checks::{all_figure_checks, CheckProfile};
 use std::sync::OnceLock;
 
 fn generated() -> &'static GeneratedTrace {
     static TRACE: OnceLock<GeneratedTrace> = OnceLock::new();
     TRACE.get_or_init(|| generate(&GeneratorConfig::medium(99)))
+}
+
+/// The medium trace under the standard corruption profile: 5% uniform
+/// sample loss plus a 6-hour regional blackout (and the light
+/// duplicate/reorder/garbage/skew noise ingest must absorb).
+fn corrupted() -> &'static (GeneratedTrace, FaultReport) {
+    static CORRUPTED: OnceLock<(GeneratedTrace, FaultReport)> = OnceLock::new();
+    CORRUPTED.get_or_init(|| {
+        let clean = generated();
+        let (trace, report) = corrupt_trace(&clean.trace, &FaultPlan::standard(2024));
+        (
+            GeneratedTrace {
+                trace,
+                services: clean.services.clone(),
+                report: clean.report,
+            },
+            report,
+        )
+    })
 }
 
 fn report() -> &'static CharacterizationReport {
@@ -114,6 +135,50 @@ fn fig7c_flagship_service_is_region_aligned() {
     let alignment =
         service_region_alignment(&g.trace, flagship.service).expect("alignment computes");
     assert!(alignment > 0.9, "geo-LB service aligns: {alignment}");
+}
+
+#[test]
+fn robustness_gate_all_shape_checks_hold_on_the_clean_trace() {
+    let checks = all_figure_checks(generated(), &CheckProfile::medium()).expect("pipeline runs");
+    assert_eq!(checks.len(), 26, "the full shape-check surface ran");
+    assert!(
+        checks.all_hold(),
+        "clean-trace shape checks failed:\n{}",
+        checks.failures().join("\n")
+    );
+}
+
+#[test]
+fn robustness_gate_all_shape_checks_hold_under_standard_corruption() {
+    let (degraded, fault_report) = corrupted();
+    // The corruption really happened: ~5% uniform loss plus the
+    // blackout, within sane bounds.
+    let loss = fault_report.loss_fraction();
+    assert!(loss > 0.04, "standard profile lost too little: {loss}");
+    assert!(loss < 0.20, "standard profile lost too much: {loss}");
+    assert!(fault_report.blackout_dropped > 0, "the blackout fired");
+
+    println!(
+        "corruption: {} of {} samples lost ({:.2}%), {} to the blackout, \
+         {} duplicated, {} reordered, {} invalidated, {} skewed off-week",
+        fault_report.samples_in - fault_report.samples_out,
+        fault_report.samples_in,
+        loss * 100.0,
+        fault_report.blackout_dropped,
+        fault_report.duplicated,
+        fault_report.reordered,
+        fault_report.invalidated,
+        fault_report.out_of_week,
+    );
+    let checks = all_figure_checks(degraded, &CheckProfile::medium())
+        .expect("pipeline still runs on the corrupted trace");
+    assert_eq!(checks.len(), 26, "the full shape-check surface ran");
+    assert!(
+        checks.all_hold(),
+        "shape checks failed under {:.1}% sample loss:\n{}",
+        loss * 100.0,
+        checks.failures().join("\n")
+    );
 }
 
 #[test]
