@@ -43,9 +43,11 @@ pub fn filled_week_series(util: &UtilSeries, min_coverage: f64) -> Option<(Vec<f
     let mut grid = week_grid_values(util);
     let cov = coverage(&grid);
     if cov < min_coverage || cov == 0.0 {
+        cloudscope_obs::counter("analysis.coverage.gate_rejections").inc();
         return None;
     }
     fill_linear_capped(&mut grid, SAMPLES_PER_WEEK);
+    cloudscope_obs::counter("analysis.coverage.series_filled").inc();
     Some((grid, cov))
 }
 

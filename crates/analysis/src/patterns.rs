@@ -113,13 +113,19 @@ impl PatternClassifier {
         let filled_storage: Series;
         let series = if has_gaps {
             if coverage(series.values()) < self.config.min_coverage {
+                cloudscope_obs::counter("analysis.classify.coverage_rejections").inc();
                 return None;
             }
+            cloudscope_obs::counter("analysis.classify.masked_dispatch").inc();
             let mut values = series.values().to_vec();
             fill_linear_capped(&mut values, self.config.max_fill_gap_samples);
+            if values.iter().any(|v| !v.is_finite()) {
+                cloudscope_obs::counter("analysis.classify.fill_cap_hits").inc();
+            }
             filled_storage = Series::new(series.start_minute(), series.step_minutes(), values);
             &filled_storage
         } else {
+            cloudscope_obs::counter("analysis.classify.dense_dispatch").inc();
             series
         };
         let present = if has_gaps {

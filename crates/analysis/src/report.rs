@@ -79,41 +79,73 @@ impl CharacterizationReport {
     /// when the trace lacks a population the paper's figures need).
     pub fn analyze(trace: &Trace, config: &ReportConfig) -> Result<Self, AnalysisError> {
         let classifier = PatternClassifier::default();
+        // One child span per figure family, so a metrics snapshot shows
+        // where analysis wall time went.
+        let report_span = cloudscope_obs::span("analysis.report");
+        let deployment = {
+            let _s = report_span.child("deployment");
+            DeploymentSizeAnalysis::run(trace, config.snapshot)?
+        };
+        let vm_size = {
+            let _s = report_span.child("vm_size");
+            VmSizeAnalysis::run(trace)?
+        };
+        let temporal = {
+            let _s = report_span.child("temporal");
+            TemporalAnalysis::run(trace, config.sample_region)?
+        };
+        let spatial = {
+            let _s = report_span.child("spatial");
+            SpatialAnalysis::run(trace)?
+        };
+        let (private_patterns, public_patterns) = {
+            let _s = report_span.child("patterns");
+            (
+                pattern_shares(
+                    trace,
+                    CloudKind::Private,
+                    &classifier,
+                    config.max_classified_vms,
+                )?,
+                pattern_shares(
+                    trace,
+                    CloudKind::Public,
+                    &classifier,
+                    config.max_classified_vms,
+                )?,
+            )
+        };
+        let (private_utilization, public_utilization) = {
+            let _s = report_span.child("utilization");
+            (
+                UtilizationDistribution::run(trace, CloudKind::Private, config.max_band_vms)?,
+                UtilizationDistribution::run(trace, CloudKind::Public, config.max_band_vms)?,
+            )
+        };
+        let (node_correlation, region_correlation) = {
+            let _s = report_span.child("correlation");
+            (
+                (
+                    node_vm_correlation_cdf(trace, CloudKind::Private, config.max_nodes)?,
+                    node_vm_correlation_cdf(trace, CloudKind::Public, config.max_nodes)?,
+                ),
+                (
+                    region_pair_correlation_cdf(trace, CloudKind::Private, &config.geo)?,
+                    region_pair_correlation_cdf(trace, CloudKind::Public, &config.geo)?,
+                ),
+            )
+        };
         Ok(Self {
-            deployment: DeploymentSizeAnalysis::run(trace, config.snapshot)?,
-            vm_size: VmSizeAnalysis::run(trace)?,
-            temporal: TemporalAnalysis::run(trace, config.sample_region)?,
-            spatial: SpatialAnalysis::run(trace)?,
-            private_patterns: pattern_shares(
-                trace,
-                CloudKind::Private,
-                &classifier,
-                config.max_classified_vms,
-            )?,
-            public_patterns: pattern_shares(
-                trace,
-                CloudKind::Public,
-                &classifier,
-                config.max_classified_vms,
-            )?,
-            private_utilization: UtilizationDistribution::run(
-                trace,
-                CloudKind::Private,
-                config.max_band_vms,
-            )?,
-            public_utilization: UtilizationDistribution::run(
-                trace,
-                CloudKind::Public,
-                config.max_band_vms,
-            )?,
-            node_correlation: (
-                node_vm_correlation_cdf(trace, CloudKind::Private, config.max_nodes)?,
-                node_vm_correlation_cdf(trace, CloudKind::Public, config.max_nodes)?,
-            ),
-            region_correlation: (
-                region_pair_correlation_cdf(trace, CloudKind::Private, &config.geo)?,
-                region_pair_correlation_cdf(trace, CloudKind::Public, &config.geo)?,
-            ),
+            deployment,
+            vm_size,
+            temporal,
+            spatial,
+            private_patterns,
+            public_patterns,
+            private_utilization,
+            public_utilization,
+            node_correlation,
+            region_correlation,
         })
     }
 

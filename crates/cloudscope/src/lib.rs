@@ -46,11 +46,21 @@ pub use cloudscope_faults as faults;
 pub use cloudscope_kb as kb;
 pub use cloudscope_mgmt as mgmt;
 pub use cloudscope_model as model;
+pub use cloudscope_obs as obs;
 pub use cloudscope_par as par;
 pub use cloudscope_sim as sim;
 pub use cloudscope_stats as stats;
 pub use cloudscope_timeseries as timeseries;
 pub use cloudscope_tracegen as tracegen;
+
+/// Takes a point-in-time snapshot of the current metrics registry
+/// (scoped if one is installed, global otherwise), counting the
+/// snapshot itself under `facade.obs.snapshots_taken`.
+#[must_use]
+pub fn obs_snapshot() -> obs::Snapshot {
+    obs::counter("facade.obs.snapshots_taken").inc();
+    obs::current().snapshot()
+}
 
 /// The most common imports in one place.
 pub mod prelude {

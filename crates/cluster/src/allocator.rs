@@ -251,10 +251,12 @@ impl ClusterAllocator {
                     }
                     _ => {}
                 }
+                cloudscope_obs::counter("cluster.allocator.placement_failures").inc();
                 return Err(e);
             }
         };
         self.commit(idx, request);
+        cloudscope_obs::counter("cluster.allocator.placements").inc();
         Ok(self.node_ids[idx])
     }
 

@@ -177,6 +177,7 @@ pub fn corrupt_trace(trace: &Trace, plan: &FaultPlan) -> (Trace, FaultReport) {
             .add_vm(vm.clone(), util)
             .expect("original trace already validated this record");
     }
+    report.flush_metrics();
     (builder.build(), report)
 }
 

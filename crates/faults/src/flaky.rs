@@ -71,6 +71,7 @@ impl<S: KbStore> KbStore for FlakyStore<S> {
             .random_bool(self.failure_probability);
         if fail {
             self.injected.fetch_add(1, Ordering::Relaxed);
+            cloudscope_obs::counter("faults.flaky.injected_failures").inc();
             return Err(StoreError::Transient("injected write failure"));
         }
         self.inner.try_upsert(knowledge)

@@ -123,6 +123,26 @@ impl FaultReport {
         }
         1.0 - self.samples_out as f64 / self.samples_in as f64
     }
+
+    /// Publishes this report's tallies as `faults.corrupt.*` counters on
+    /// the current registry. Called once per corruption pass — the
+    /// per-sample hot loops stay metric-free.
+    pub fn flush_metrics(&self) {
+        let counts: [(&str, usize); 9] = [
+            ("faults.corrupt.vms_corrupted", self.vms),
+            ("faults.corrupt.samples_in", self.samples_in),
+            ("faults.corrupt.samples_out", self.samples_out),
+            ("faults.corrupt.samples_dropped", self.dropped),
+            ("faults.corrupt.blackout_dropped", self.blackout_dropped),
+            ("faults.corrupt.duplicated", self.duplicated),
+            ("faults.corrupt.reordered", self.reordered),
+            ("faults.corrupt.invalidated", self.invalidated),
+            ("faults.corrupt.out_of_week", self.out_of_week),
+        ];
+        for (name, value) in counts {
+            cloudscope_obs::counter(name).add(value as u64);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -78,7 +78,9 @@ fn upsert_with_retry<S: KbStore + ?Sized>(
             Err(e) if attempt >= policy.max_attempts => return Err(e),
             Err(_) => {
                 *retries += 1;
+                cloudscope_obs::counter("kb.pipeline.retries").inc();
                 if !backoff.is_zero() {
+                    cloudscope_obs::counter("kb.pipeline.backoff_sleeps").inc();
                     std::thread::sleep(backoff);
                 }
                 backoff = backoff.saturating_mul(2);
@@ -140,9 +142,19 @@ pub fn run_extraction_pipeline_with<S: KbStore + ?Sized>(
     let batch = (workers * EXTRACTION_BATCH_PER_WORKER).max(1);
     let mut stats = PipelineStats::default();
     for chunk in subscriptions.chunks(batch) {
-        let extracted = parallelism.par_map(chunk, |&sub| {
-            extract_subscription_knowledge(trace, sub, classifier, max_classified_vms_per_sub, None)
-        });
+        let extracted = {
+            let _stage = cloudscope_obs::span("kb.pipeline.extract");
+            parallelism.par_map(chunk, |&sub| {
+                extract_subscription_knowledge(
+                    trace,
+                    sub,
+                    classifier,
+                    max_classified_vms_per_sub,
+                    None,
+                )
+            })
+        };
+        let _stage = cloudscope_obs::span("kb.pipeline.upsert");
         for knowledge in extracted {
             stats.processed += 1;
             match knowledge {
@@ -157,6 +169,10 @@ pub fn run_extraction_pipeline_with<S: KbStore + ?Sized>(
             }
         }
     }
+    cloudscope_obs::counter("kb.pipeline.processed").add(stats.processed as u64);
+    cloudscope_obs::counter("kb.pipeline.stored").add(stats.stored as u64);
+    cloudscope_obs::counter("kb.pipeline.skipped").add(stats.skipped as u64);
+    cloudscope_obs::counter("kb.pipeline.failed").add(stats.failed as u64);
     stats
 }
 

@@ -82,6 +82,7 @@ impl KnowledgeBase {
     /// out-of-order feeds are safe. Returns `true` if the entry was
     /// stored.
     pub fn upsert(&self, knowledge: WorkloadKnowledge) -> bool {
+        cloudscope_obs::counter("kb.store.upserts").inc();
         let mut entries = self.write();
         match entries.get(&knowledge.subscription) {
             Some(existing) if existing.updated_at > knowledge.updated_at => false,

@@ -78,7 +78,11 @@ impl AllocFailurePredictor {
     /// `threshold`).
     #[must_use]
     pub fn should_reroute(&self, f: &AllocFailureFeatures, threshold: f64) -> bool {
-        self.failure_risk(f) >= threshold
+        let reroute = self.failure_risk(f) >= threshold;
+        if reroute {
+            cloudscope_obs::counter("mgmt.allocfail.reroutes_flagged").inc();
+        }
+        reroute
     }
 }
 
@@ -116,6 +120,20 @@ mod tests {
         let p = AllocFailurePredictor::default();
         assert!(!p.should_reroute(&features(0.3, 0.02), 0.5));
         assert!(p.should_reroute(&features(0.97, 0.3), 0.5));
+    }
+
+    #[test]
+    fn reroute_threshold_boundary_is_inclusive() {
+        let p = AllocFailurePredictor::default();
+        let f = features(0.8, 0.1);
+        let risk = p.failure_risk(&f);
+        // Exactly at the threshold: reroute (>= semantics).
+        assert!(p.should_reroute(&f, risk));
+        // The next representable threshold above the risk: no reroute.
+        assert!(!p.should_reroute(&f, risk + f64::EPSILON));
+        // Degenerate thresholds bracket every risk.
+        assert!(p.should_reroute(&f, 0.0));
+        assert!(!p.should_reroute(&f, 1.1));
     }
 
     /// The predictor's ranking must agree with failure rates observed on

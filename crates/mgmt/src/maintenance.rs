@@ -151,11 +151,15 @@ pub fn plan_node_maintenance(
     }
     // Longest-remaining first: those migrations are the most urgent.
     decisions.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    Ok(MaintenancePlan {
+    let plan = MaintenancePlan {
         node,
         decisions,
         deadline,
-    })
+    };
+    cloudscope_obs::counter("mgmt.maintenance.plans_computed").inc();
+    cloudscope_obs::counter("mgmt.maintenance.migrations_saved")
+        .add(plan.migrations_saved() as u64);
+    Ok(plan)
 }
 
 /// Evaluates a plan against ground truth: of the VMs left to finish, how
@@ -338,6 +342,30 @@ mod tests {
         .unwrap();
         assert_eq!(plan.migrations().count(), 2);
         assert_eq!(plan.migrations_saved(), 0);
+    }
+
+    #[test]
+    fn migrations_saved_and_migrations_partition_the_decisions() {
+        let (trace, kb) = trace_and_kb();
+        let now = SimTime::from_minutes(1010);
+        // Across a range of deadlines, every decision is exactly one of
+        // migrate / let-finish, so the two tallies always partition.
+        for slack_minutes in [1, 5, 60, 600, 20_000] {
+            let plan = plan_node_maintenance(
+                &trace,
+                &kb,
+                &RemainingLifetimePredictor::default(),
+                NodeId::new(0),
+                now,
+                now + SimDuration::from_minutes(slack_minutes),
+            )
+            .unwrap();
+            assert_eq!(
+                plan.migrations_saved() + plan.migrations().count(),
+                plan.decisions.len(),
+                "slack={slack_minutes}"
+            );
+        }
     }
 
     #[test]

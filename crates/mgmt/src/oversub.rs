@@ -107,6 +107,7 @@ impl OversubPlanner {
         }
         .max(summary.mean().max(1e-9));
         let violations = demand.iter().filter(|&&d| d > reserved).count();
+        cloudscope_obs::counter("mgmt.oversub.plans_computed").inc();
         Ok(OversubPlan {
             requested_cores: requested,
             reserved_cores: reserved,

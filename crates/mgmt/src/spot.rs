@@ -138,6 +138,7 @@ impl SpotMixPolicy {
         if total_vms == 0 || required_vms > total_vms {
             return Err(MgmtError::InvalidParameter("required exceeds total"));
         }
+        cloudscope_obs::counter("mgmt.spot.mix_plans_computed").inc();
         let survival = survival.clamp(0.0, 1.0);
         // Try the largest spot count first; on-demand VMs never die here.
         for spot in (0..=total_vms).rev() {
@@ -272,6 +273,54 @@ mod tests {
         let loose = policy.plan(10, 5, 0.9).unwrap();
         assert!(loose.relative_cost <= strict.relative_cost);
         assert!(loose.spot_vms >= strict.spot_vms);
+    }
+
+    #[test]
+    fn survival_monotone_nonincreasing_in_hours() {
+        let p = EvictionPredictor::default();
+        for alloc in [0.1, 0.5, 0.9] {
+            let f = features(alloc);
+            let mut prev = 1.0f64;
+            for step in 0..=48 {
+                let hours = f64::from(step) * 0.5;
+                let s = p.survival_probability(&f, hours);
+                assert!(
+                    (0.0..=1.0).contains(&s),
+                    "survival out of range at alloc={alloc} hours={hours}: {s}"
+                );
+                assert!(
+                    s <= prev + 1e-12,
+                    "survival must not increase with hours: alloc={alloc} hours={hours} {s} > {prev}"
+                );
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn plan_always_meets_availability_target() {
+        // Sweep survival probabilities and targets: every plan the policy
+        // returns must meet its availability target (the all-on-demand
+        // fallback has availability 1.0, so a valid plan always exists).
+        for &target in &[0.5, 0.9, 0.99, 0.999] {
+            let policy = SpotMixPolicy::new(0.3, target).unwrap();
+            for step in 0..=10 {
+                let survival = f64::from(step) / 10.0;
+                for (total, required) in [(1usize, 1usize), (10, 8), (20, 1), (16, 16)] {
+                    let plan = policy.plan(total, required, survival).unwrap();
+                    assert!(
+                        plan.availability >= target,
+                        "target {target} missed: total={total} required={required} \
+                         survival={survival} -> {plan:?}"
+                    );
+                    assert_eq!(plan.spot_vms + plan.on_demand_vms, total);
+                    assert!(
+                        (0.0..=1.0 + 1e-12).contains(&plan.relative_cost),
+                        "cost out of range: {plan:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -62,6 +62,7 @@ impl UtilSeries {
                 }
             })
             .collect();
+        cloudscope_obs::counter("model.telemetry.series_created").inc();
         Self {
             start,
             samples: Bytes::from(samples),

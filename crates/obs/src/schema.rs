@@ -1,0 +1,89 @@
+//! A metrics schema: the set of metric names a pipeline is expected to
+//! emit and their kinds, without the values. `scripts/check.sh` commits
+//! a schema and validates each run's snapshot against it, so renamed or
+//! retyped metrics fail CI while value drift does not.
+
+use crate::export::{parse_json_object, Json, ParseError};
+use crate::snapshot::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Metric name → kind (`counter` / `gauge` / `histogram`), ordered by
+/// name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    /// Name → kind.
+    pub metrics: BTreeMap<String, String>,
+}
+
+impl Schema {
+    /// The schema a snapshot conforms to: its names and kinds.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        Self {
+            metrics: snapshot
+                .metrics
+                .iter()
+                .map(|(name, value)| (name.clone(), value.kind().to_owned()))
+                .collect(),
+        }
+    }
+
+    /// Serializes as a JSON object of name → kind, one line per metric,
+    /// deterministically ordered.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (name, kind) in &self.metrics {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(out, "  \"{name}\": \"{kind}\"");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses a document produced by [`Schema::to_json`].
+    pub fn parse_json(text: &str) -> Result<Self, ParseError> {
+        let mut metrics = BTreeMap::new();
+        for (name, value) in parse_json_object(text)? {
+            let Json::Str(kind) = value else {
+                return Err(ParseError {
+                    message: format!("schema entry {name}: kind must be a string"),
+                    position: 0,
+                });
+            };
+            if !matches!(kind.as_str(), "counter" | "gauge" | "histogram") {
+                return Err(ParseError {
+                    message: format!("schema entry {name}: unknown kind {kind}"),
+                    position: 0,
+                });
+            }
+            metrics.insert(name, kind);
+        }
+        Ok(Self { metrics })
+    }
+
+    /// Checks that every metric in `snapshot` is declared in this schema
+    /// with a matching kind. Returns the list of violations (empty =
+    /// valid). Metrics declared in the schema but absent from the
+    /// snapshot are allowed — smaller runs exercise fewer code paths.
+    #[must_use]
+    pub fn validate(&self, snapshot: &Snapshot) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (name, value) in &snapshot.metrics {
+            match self.metrics.get(name) {
+                None => violations.push(format!("metric {name} is not in the schema")),
+                Some(kind) if kind != value.kind() => violations.push(format!(
+                    "metric {name} is a {} but the schema says {kind}",
+                    value.kind()
+                )),
+                Some(_) => {}
+            }
+        }
+        violations
+    }
+}

@@ -1,0 +1,175 @@
+//! Point-in-time copies of a registry, with deterministic ordering and
+//! subtraction (`diff`) so a test or tool can measure exactly what one
+//! region of work recorded.
+
+use std::collections::BTreeMap;
+
+/// A frozen histogram: total count, sum, and only the non-empty buckets
+/// as `(inclusive_upper_bound, count)` pairs in ascending bound order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-empty buckets, ascending by bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// One metric's frozen value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Last-written gauge value.
+    Gauge(f64),
+    /// Frozen histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// The metric kind as a lowercase string (`counter` / `gauge` /
+    /// `histogram`) — the vocabulary the schema and exporters share.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A deterministic (name-ordered) copy of every metric in a registry at
+/// one instant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Metric name → frozen value, ordered by name.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, or `None` if absent or a different kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge named `name`, or `None` if absent or a different kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram named `name`, or `None` if absent or a different
+    /// kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// What happened between `earlier` and `self`: counters and
+    /// histograms are subtracted (saturating, so a restarted registry
+    /// never yields negative garbage); gauges keep the later value.
+    /// Metrics absent from `earlier` are carried over as-is.
+    #[must_use]
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(name, later)| {
+                let value = match (later, earlier.metrics.get(name)) {
+                    (MetricValue::Counter(b), Some(MetricValue::Counter(a))) => {
+                        MetricValue::Counter(b.saturating_sub(*a))
+                    }
+                    (MetricValue::Histogram(b), Some(MetricValue::Histogram(a))) => {
+                        MetricValue::Histogram(diff_histogram(b, a))
+                    }
+                    // Gauges, new metrics, and kind changes: later wins.
+                    (later, _) => later.clone(),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+}
+
+fn diff_histogram(later: &HistogramSnapshot, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+    let earlier_by_bound: BTreeMap<u64, u64> = earlier.buckets.iter().copied().collect();
+    let buckets = later
+        .buckets
+        .iter()
+        .filter_map(|&(bound, n)| {
+            let delta = n.saturating_sub(earlier_by_bound.get(&bound).copied().unwrap_or(0));
+            (delta > 0).then_some((bound, delta))
+        })
+        .collect();
+    HistogramSnapshot {
+        count: later.count.saturating_sub(earlier.count),
+        sum: later.sum.saturating_sub(earlier.sum),
+        buckets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn diff_subtracts_counters_and_keeps_latest_gauge() {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        c.add(10);
+        g.set(1.0);
+        let before = reg.snapshot();
+        c.add(5);
+        g.set(7.5);
+        let after = reg.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counter("c"), Some(5));
+        assert_eq!(d.gauge("g"), Some(7.5));
+    }
+
+    #[test]
+    fn diff_subtracts_histogram_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        h.observe(1);
+        h.observe(100);
+        let before = reg.snapshot();
+        h.observe(1);
+        h.observe(1000);
+        let after = reg.snapshot();
+        let d = after.diff(&before);
+        let hs = d.histogram("h").expect("histogram survives diff");
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.sum, 1001);
+        assert_eq!(hs.buckets.iter().map(|(_, n)| n).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn diff_carries_new_metrics_through() {
+        let reg = Registry::new();
+        let before = reg.snapshot();
+        reg.counter("fresh").add(3);
+        let d = reg.snapshot().diff(&before);
+        assert_eq!(d.counter("fresh"), Some(3));
+    }
+}

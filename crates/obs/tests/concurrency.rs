@@ -1,0 +1,120 @@
+//! Property tests for registry behaviour under concurrent updates: the
+//! registry must never lose an increment and histogram bucket counts
+//! must always account for every observation.
+
+use cloudscope_obs::{MetricValue, Registry};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N threads each bump a private counter and one shared counter;
+    /// every increment must be visible in the final snapshot.
+    #[test]
+    fn concurrent_counter_increments_are_exact(
+        threads in 1usize..8,
+        per_thread in prop::collection::vec(1u64..200, 1..8),
+    ) {
+        let reg = Arc::new(Registry::new());
+        let plan: Vec<u64> = (0..threads)
+            .map(|t| per_thread[t % per_thread.len()])
+            .collect();
+        std::thread::scope(|scope| {
+            for (t, &increments) in plan.iter().enumerate() {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    let own = reg.counter(&format!("test.thread_{t}.ops"));
+                    let shared = reg.counter("test.shared.ops");
+                    for _ in 0..increments {
+                        own.inc();
+                        shared.inc();
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        for (t, &increments) in plan.iter().enumerate() {
+            prop_assert_eq!(
+                snap.counter(&format!("test.thread_{t}.ops")),
+                Some(increments)
+            );
+        }
+        prop_assert_eq!(
+            snap.counter("test.shared.ops"),
+            Some(plan.iter().sum::<u64>())
+        );
+    }
+
+    /// Bucket counts sum to the observation count, and the recorded sum
+    /// matches, no matter how observations interleave across threads.
+    #[test]
+    fn concurrent_histogram_buckets_sum_to_count(
+        threads in 1usize..6,
+        values in prop::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let reg = Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for chunk in values.chunks(values.len().div_ceil(threads)) {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    let h = reg.histogram("test.hist");
+                    for &v in chunk {
+                        h.observe(v);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        match snap.metrics.get("test.hist") {
+            Some(MetricValue::Histogram(h)) => {
+                prop_assert_eq!(h.count, values.len() as u64);
+                prop_assert_eq!(
+                    h.buckets.iter().map(|(_, n)| n).sum::<u64>(),
+                    values.len() as u64
+                );
+                let expected_sum = values
+                    .iter()
+                    .fold(0u64, |acc, &v| acc.wrapping_add(v));
+                prop_assert_eq!(h.sum, expected_sum);
+            }
+            other => prop_assert!(false, "expected histogram, got {:?}", other),
+        }
+    }
+}
+
+/// Deterministic smoke check outside proptest: a snapshot taken while
+/// writers are mid-flight is internally consistent (buckets account for
+/// at least `count` observations).
+#[test]
+fn snapshot_under_load_is_consistent() {
+    let reg = Arc::new(Registry::new());
+    std::thread::scope(|scope| {
+        let writer_reg = Arc::clone(&reg);
+        scope.spawn(move || {
+            let h = writer_reg.histogram("test.live");
+            for v in 0..20_000u64 {
+                h.observe(v);
+            }
+        });
+        for _ in 0..50 {
+            let snap = reg.snapshot();
+            if let Some(MetricValue::Histogram(h)) = snap.metrics.get("test.live") {
+                let bucket_total: u64 = h.buckets.iter().map(|(_, n)| n).sum();
+                assert!(
+                    bucket_total >= h.count,
+                    "buckets {bucket_total} must cover count {}",
+                    h.count
+                );
+            }
+        }
+    });
+    let final_snap = reg.snapshot();
+    match final_snap.metrics.get("test.live") {
+        Some(MetricValue::Histogram(h)) => {
+            assert_eq!(h.count, 20_000);
+            assert_eq!(h.buckets.iter().map(|(_, n)| n).sum::<u64>(), 20_000);
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+}

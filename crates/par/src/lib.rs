@@ -16,7 +16,10 @@
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use cloudscope_obs as obs;
 
 /// Upper bound on auto-detected workers: the sweeps here saturate memory
 /// bandwidth well before 16 cores.
@@ -116,7 +119,16 @@ impl Parallelism {
         F: Fn(&T) -> R + Sync,
     {
         let workers = self.workers.min(items.len());
+        // Capture the caller's registry before spawning: worker threads
+        // start with an empty scope stack, so without this a test's
+        // scoped registry would lose everything recorded in parallel
+        // sections, and `f`'s own metrics would leak to the global
+        // registry.
+        let registry = obs::current();
+        let tasks = registry.counter("par.executor.tasks_executed");
+        registry.counter("par.executor.sweeps").inc();
         if workers <= 1 {
+            tasks.add(items.len() as u64);
             return items.iter().map(f).collect();
         }
         let chunk_size = self
@@ -126,18 +138,36 @@ impl Parallelism {
         let num_chunks = items.len().div_ceil(chunk_size);
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Vec<R>>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+        let stolen = registry.counter("par.executor.chunks_stolen");
+        let busy = registry.histogram("par.executor.worker_busy_ns");
 
         std::thread::scope(|scope| {
+            let (items, f, cursor, slots) = (&items, &f, &cursor, &slots);
             for _ in 0..workers.min(num_chunks) {
-                scope.spawn(|| loop {
-                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
-                    if chunk >= num_chunks {
-                        break;
+                let registry = Arc::clone(&registry);
+                let (tasks, stolen, busy) = (tasks.clone(), stolen.clone(), busy.clone());
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let mut chunks_taken = 0u64;
+                    obs::scoped(&registry, || loop {
+                        let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= num_chunks {
+                            break;
+                        }
+                        chunks_taken += 1;
+                        let start = chunk * chunk_size;
+                        let end = (start + chunk_size).min(items.len());
+                        let results: Vec<R> = items[start..end].iter().map(f).collect();
+                        tasks.add((end - start) as u64);
+                        *slots[chunk].lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some(results);
+                    });
+                    // Chunks beyond a worker's first are steals from the
+                    // shared tail.
+                    if chunks_taken > 1 {
+                        stolen.add(chunks_taken - 1);
                     }
-                    let start = chunk * chunk_size;
-                    let end = (start + chunk_size).min(items.len());
-                    let results: Vec<R> = items[start..end].iter().map(&f).collect();
-                    *slots[chunk].lock().unwrap_or_else(PoisonError::into_inner) = Some(results);
+                    busy.observe(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 });
             }
         });
@@ -230,6 +260,43 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn metrics_attribute_to_callers_scoped_registry() {
+        let reg = Arc::new(obs::Registry::new());
+        let items: Vec<u64> = (0..500).collect();
+        obs::scoped(&reg, || {
+            let _ = Parallelism::with_workers(4).par_map(&items, |&x| {
+                obs::counter("par.test.inner").inc();
+                x
+            });
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("par.executor.tasks_executed"), Some(500));
+        assert_eq!(
+            snap.counter("par.test.inner"),
+            Some(500),
+            "f's metrics follow the scope"
+        );
+        assert_eq!(snap.counter("par.executor.sweeps"), Some(1));
+        assert_eq!(obs::global().snapshot().counter("par.test.inner"), None);
+    }
+
+    #[test]
+    fn tasks_executed_is_invariant_across_worker_counts() {
+        let items: Vec<u64> = (0..333).collect();
+        for workers in [1, 2, 5, 16] {
+            let reg = Arc::new(obs::Registry::new());
+            obs::scoped(&reg, || {
+                let _ = Parallelism::with_workers(workers).par_map(&items, |&x| x + 1);
+            });
+            assert_eq!(
+                reg.snapshot().counter("par.executor.tasks_executed"),
+                Some(333),
+                "workers={workers}"
+            );
+        }
     }
 
     #[test]

@@ -257,11 +257,14 @@ fn period_detection_ablation(checks: &mut ShapeChecks) {
 }
 
 fn main() {
+    let metrics = cloudscope_repro::MetricsOpt::from_args();
     let mut checks = ShapeChecks::new();
     allocator_policy_ablation(&mut checks);
     spreading_ablation(&mut checks);
     geo_lb_ablation(&mut checks);
     oversub_ablation(&mut checks);
     period_detection_ablation(&mut checks);
-    std::process::exit(i32::from(!checks.finish("ablation")));
+    let ok = checks.finish("ablation");
+    metrics.write();
+    std::process::exit(i32::from(!ok));
 }

@@ -3,9 +3,10 @@
 
 use cloudscope::analysis::compare::CloudComparison;
 use cloudscope::prelude::*;
-use cloudscope_repro::ShapeChecks;
+use cloudscope_repro::{MetricsOpt, ShapeChecks};
 
 fn main() {
+    let metrics = MetricsOpt::from_args();
     let generated = cloudscope_repro::default_trace();
     let report = CharacterizationReport::analyze(&generated.trace, &ReportConfig::default())
         .expect("analysis");
@@ -24,5 +25,7 @@ fn main() {
             comparison.metrics.len()
         ),
     );
-    std::process::exit(i32::from(!checks.finish("compare")));
+    let ok = checks.finish("compare");
+    metrics.write();
+    std::process::exit(i32::from(!ok));
 }

@@ -6,13 +6,16 @@
 //! ```
 
 use cloudscope::model::export::{write_deployments, write_telemetry};
+use cloudscope_repro::MetricsOpt;
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir: PathBuf = std::env::args()
-        .nth(1)
+    let (metrics, positionals) = MetricsOpt::from_args_with_positionals();
+    let dir: PathBuf = positionals
+        .first()
+        .cloned()
         .unwrap_or_else(|| "trace_export".to_owned())
         .into();
     std::fs::create_dir_all(&dir)?;
@@ -40,5 +43,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         generated.trace.vms().len(),
         dir.display()
     );
+    metrics.write();
     Ok(())
 }

@@ -3,10 +3,11 @@
 
 use cloudscope::analysis::deployment::DeploymentSizeAnalysis;
 use cloudscope::prelude::*;
-use cloudscope_repro::checks::{fig1_checks, CheckProfile};
-use cloudscope_repro::{print_ecdf, ShapeChecks};
+use cloudscope_repro::checks::fig1_checks;
+use cloudscope_repro::{print_ecdf, MetricsOpt, ShapeChecks};
 
 fn main() {
+    let metrics = MetricsOpt::from_args();
     let generated = cloudscope_repro::default_trace();
     let snapshot = SimTime::from_minutes(2 * 24 * 60 + 14 * 60);
     let a = DeploymentSizeAnalysis::run(&generated.trace, snapshot).expect("analysis");
@@ -37,6 +38,8 @@ fn main() {
     }
 
     let mut checks = ShapeChecks::new();
-    fig1_checks(&a, &CheckProfile::full(), &mut checks);
-    std::process::exit(i32::from(!checks.finish("fig1")));
+    fig1_checks(&a, &cloudscope_repro::active_profile(), &mut checks);
+    let ok = checks.finish("fig1");
+    metrics.write();
+    std::process::exit(i32::from(!ok));
 }

@@ -1,10 +1,11 @@
 //! Figure 2: heatmaps of core and memory sizes per VM.
 
 use cloudscope::analysis::vmsize::VmSizeAnalysis;
-use cloudscope_repro::checks::{fig2_checks, CheckProfile};
-use cloudscope_repro::ShapeChecks;
+use cloudscope_repro::checks::fig2_checks;
+use cloudscope_repro::{MetricsOpt, ShapeChecks};
 
 fn main() {
+    let metrics = MetricsOpt::from_args();
     let generated = cloudscope_repro::default_trace();
     let a = VmSizeAnalysis::run(&generated.trace).expect("analysis");
 
@@ -23,6 +24,8 @@ fn main() {
     }
 
     let mut checks = ShapeChecks::new();
-    fig2_checks(&a, &CheckProfile::full(), &mut checks);
-    std::process::exit(i32::from(!checks.finish("fig2")));
+    fig2_checks(&a, &cloudscope_repro::active_profile(), &mut checks);
+    let ok = checks.finish("fig2");
+    metrics.write();
+    std::process::exit(i32::from(!ok));
 }

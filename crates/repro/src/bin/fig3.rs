@@ -3,10 +3,11 @@
 
 use cloudscope::analysis::temporal::TemporalAnalysis;
 use cloudscope::model::ids::RegionId;
-use cloudscope_repro::checks::{fig3_checks, CheckProfile};
-use cloudscope_repro::{print_csv, print_ecdf, ShapeChecks};
+use cloudscope_repro::checks::fig3_checks;
+use cloudscope_repro::{print_csv, print_ecdf, MetricsOpt, ShapeChecks};
 
 fn main() {
+    let metrics = MetricsOpt::from_args();
     let generated = cloudscope_repro::default_trace();
     let a = TemporalAnalysis::run(&generated.trace, RegionId::new(0)).expect("analysis");
 
@@ -59,6 +60,8 @@ fn main() {
     }
 
     let mut checks = ShapeChecks::new();
-    fig3_checks(&a, &CheckProfile::full(), &mut checks);
-    std::process::exit(i32::from(!checks.finish("fig3")));
+    fig3_checks(&a, &cloudscope_repro::active_profile(), &mut checks);
+    let ok = checks.finish("fig3");
+    metrics.write();
+    std::process::exit(i32::from(!ok));
 }

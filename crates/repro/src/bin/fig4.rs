@@ -2,10 +2,11 @@
 //! core-weighted.
 
 use cloudscope::analysis::spatial::SpatialAnalysis;
-use cloudscope_repro::checks::{fig4_checks, CheckProfile};
-use cloudscope_repro::{print_csv, ShapeChecks};
+use cloudscope_repro::checks::fig4_checks;
+use cloudscope_repro::{print_csv, MetricsOpt, ShapeChecks};
 
 fn main() {
+    let metrics = MetricsOpt::from_args();
     let generated = cloudscope_repro::default_trace();
     let a = SpatialAnalysis::run(&generated.trace).expect("analysis");
 
@@ -33,6 +34,8 @@ fn main() {
     }
 
     let mut checks = ShapeChecks::new();
-    fig4_checks(&a, &CheckProfile::full(), &mut checks);
-    std::process::exit(i32::from(!checks.finish("fig4")));
+    fig4_checks(&a, &cloudscope_repro::active_profile(), &mut checks);
+    let ok = checks.finish("fig4");
+    metrics.write();
+    std::process::exit(i32::from(!ok));
 }

@@ -2,10 +2,11 @@
 
 use cloudscope::analysis::patterns::{pattern_shares, PatternClassifier};
 use cloudscope::prelude::*;
-use cloudscope_repro::checks::{fig5_checks, CheckProfile};
-use cloudscope_repro::ShapeChecks;
+use cloudscope_repro::checks::fig5_checks;
+use cloudscope_repro::{MetricsOpt, ShapeChecks};
 
 fn main() {
+    let metrics = MetricsOpt::from_args();
     let generated = cloudscope_repro::default_trace();
     let classifier = PatternClassifier::default();
 
@@ -38,6 +39,13 @@ fn main() {
     println!();
 
     let mut checks = ShapeChecks::new();
-    fig5_checks(&private, &public, &CheckProfile::full(), &mut checks);
-    std::process::exit(i32::from(!checks.finish("fig5")));
+    fig5_checks(
+        &private,
+        &public,
+        &cloudscope_repro::active_profile(),
+        &mut checks,
+    );
+    let ok = checks.finish("fig5");
+    metrics.write();
+    std::process::exit(i32::from(!ok));
 }

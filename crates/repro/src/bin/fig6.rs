@@ -2,10 +2,11 @@
 
 use cloudscope::analysis::utilization::UtilizationDistribution;
 use cloudscope::prelude::*;
-use cloudscope_repro::checks::{fig6_checks, CheckProfile};
-use cloudscope_repro::ShapeChecks;
+use cloudscope_repro::checks::fig6_checks;
+use cloudscope_repro::{MetricsOpt, ShapeChecks};
 
 fn main() {
+    let metrics = MetricsOpt::from_args();
     let generated = cloudscope_repro::default_trace();
     let private =
         UtilizationDistribution::run(&generated.trace, CloudKind::Private, 3000).expect("private");
@@ -40,6 +41,13 @@ fn main() {
     }
 
     let mut checks = ShapeChecks::new();
-    fig6_checks(&private, &public, &CheckProfile::full(), &mut checks);
-    std::process::exit(i32::from(!checks.finish("fig6")));
+    fig6_checks(
+        &private,
+        &public,
+        &cloudscope_repro::active_profile(),
+        &mut checks,
+    );
+    let ok = checks.finish("fig6");
+    metrics.write();
+    std::process::exit(i32::from(!ok));
 }

@@ -5,10 +5,11 @@ use cloudscope::analysis::correlation::{
     node_vm_correlation_cdf, region_pair_correlation_cdf, service_region_daily_profiles,
 };
 use cloudscope::prelude::*;
-use cloudscope_repro::checks::{fig7_checks, CheckProfile};
-use cloudscope_repro::{print_ecdf, ShapeChecks};
+use cloudscope_repro::checks::fig7_checks;
+use cloudscope_repro::{print_ecdf, MetricsOpt, ShapeChecks};
 
 fn main() {
+    let metrics = MetricsOpt::from_args();
     let generated = cloudscope_repro::default_trace();
     let node_private =
         node_vm_correlation_cdf(&generated.trace, CloudKind::Private, 1500).expect("7a private");
@@ -58,8 +59,10 @@ fn main() {
         &(node_private, node_public),
         &(region_private, region_public),
         alignment,
-        &CheckProfile::full(),
+        &cloudscope_repro::active_profile(),
         &mut checks,
     );
-    std::process::exit(i32::from(!checks.finish("fig7")));
+    let ok = checks.finish("fig7");
+    metrics.write();
+    std::process::exit(i32::from(!ok));
 }

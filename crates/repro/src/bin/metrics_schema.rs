@@ -1,0 +1,53 @@
+//! Validates a metrics snapshot (as written by `--metrics <path>`)
+//! against a committed metrics schema: every metric in the snapshot
+//! must appear in the schema with the same instrument kind. Metrics in
+//! the schema but absent from the snapshot are fine — smaller runs
+//! exercise fewer code paths.
+//!
+//! ```sh
+//! cargo run -p cloudscope-repro --bin metrics_schema -- snapshot.json schema.json
+//! ```
+//!
+//! Exits 0 when the snapshot validates, 1 on violations, 2 on usage or
+//! parse errors.
+
+use cloudscope::obs::{parse_json, Schema};
+
+fn read(path: &str, what: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: reading {what} {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [snapshot_path, schema_path] = args.as_slice() else {
+        eprintln!("usage: metrics_schema <snapshot.json> <schema.json>");
+        std::process::exit(2);
+    };
+
+    let snapshot = parse_json(&read(snapshot_path, "snapshot")).unwrap_or_else(|e| {
+        eprintln!("error: parsing snapshot {snapshot_path}: {e}");
+        std::process::exit(2);
+    });
+    let schema = Schema::parse_json(&read(schema_path, "schema")).unwrap_or_else(|e| {
+        eprintln!("error: parsing schema {schema_path}: {e}");
+        std::process::exit(2);
+    });
+
+    let violations = schema.validate(&snapshot);
+    if violations.is_empty() {
+        println!(
+            "ok: {} metrics validate against {} schema entries",
+            snapshot.metrics.len(),
+            schema.metrics.len()
+        );
+    } else {
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        eprintln!("{} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}

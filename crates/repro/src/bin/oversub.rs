@@ -2,14 +2,13 @@
 //! improvement vs safety level. Paper (citing its ref \[17\]): 20%-86%
 //! improvement depending on the safety constraint.
 
-use cloudscope_repro::checks::{
-    oversub_checks, oversub_pool, run_oversub_sweep, CheckProfile, OVERSUB_EPSILONS,
-};
-use cloudscope_repro::ShapeChecks;
+use cloudscope_repro::checks::{oversub_checks, oversub_pool, run_oversub_sweep, OVERSUB_EPSILONS};
+use cloudscope_repro::{MetricsOpt, ShapeChecks};
 
 fn main() {
+    let metrics = MetricsOpt::from_args();
     let generated = cloudscope_repro::default_trace();
-    let profile = CheckProfile::full();
+    let profile = cloudscope_repro::active_profile();
 
     // Pool: public-cloud VMs with (almost) full-week telemetry, gaps
     // repaired (the paper's over-subscription candidates live in the
@@ -33,5 +32,7 @@ fn main() {
 
     let mut checks = ShapeChecks::new();
     oversub_checks(&sweep, &profile, &mut checks);
-    std::process::exit(i32::from(!checks.finish("oversub")));
+    let ok = checks.finish("oversub");
+    metrics.write();
+    std::process::exit(i32::from(!ok));
 }

@@ -3,10 +3,11 @@
 //! core-utilization rate 42% -> 37%; destination changes minor.
 
 use cloudscope::prelude::*;
-use cloudscope_repro::checks::{pilot_checks, run_pilot, CheckProfile};
-use cloudscope_repro::ShapeChecks;
+use cloudscope_repro::checks::{pilot_checks, run_pilot};
+use cloudscope_repro::{MetricsOpt, ShapeChecks};
 
 fn main() {
+    let metrics = MetricsOpt::from_args();
     let generated = cloudscope_repro::default_trace();
     let at = SimTime::from_minutes(2 * 24 * 60 + 14 * 60);
 
@@ -38,6 +39,8 @@ fn main() {
     println!();
 
     let mut checks = ShapeChecks::new();
-    pilot_checks(outcome, &CheckProfile::full(), &mut checks);
-    std::process::exit(i32::from(!checks.finish("pilot")));
+    pilot_checks(outcome, &cloudscope_repro::active_profile(), &mut checks);
+    let ok = checks.finish("pilot");
+    metrics.write();
+    std::process::exit(i32::from(!ok));
 }

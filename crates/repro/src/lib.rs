@@ -12,23 +12,167 @@
 
 pub mod checks;
 
+use crate::checks::CheckProfile;
 use cloudscope::prelude::*;
 use cloudscope::stats::Ecdf;
+use std::path::PathBuf;
 
-/// Generates the default full-scale trace, timing it.
+/// The trace scale the repro binaries run at, selected through the
+/// `CLOUDSCOPE_TRACE_SCALE` environment variable (`full` is the
+/// default; `medium` and `small` reuse the generator's scaled-down
+/// configurations for faster smoke runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceScale {
+    /// The paper-scale default trace.
+    Full,
+    /// `GeneratorConfig::medium`: ~quarter telemetry volume.
+    Medium,
+    /// `GeneratorConfig::small`: unit-test scale. A smoke scale only —
+    /// population-level shape checks may miss on so few VMs.
+    Small,
+}
+
+impl TraceScale {
+    /// Reads `CLOUDSCOPE_TRACE_SCALE`, defaulting to [`TraceScale::Full`].
+    ///
+    /// # Errors
+    /// Returns the offending value when it is not one of
+    /// `full` / `medium` / `small`.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("CLOUDSCOPE_TRACE_SCALE") {
+            Err(_) => Ok(Self::Full),
+            Ok(v) => match v.as_str() {
+                "" | "full" => Ok(Self::Full),
+                "medium" => Ok(Self::Medium),
+                "small" => Ok(Self::Small),
+                _ => Err(v),
+            },
+        }
+    }
+
+    /// The generator configuration for this scale. Medium pins seed 99 —
+    /// the configuration the tier-1 robustness gate validates all 26
+    /// shape checks against — so the binaries at medium scale run the
+    /// exact trace the medium check profile is calibrated to.
+    #[must_use]
+    pub fn generator_config(self) -> GeneratorConfig {
+        match self {
+            Self::Full => GeneratorConfig::default(),
+            Self::Medium => GeneratorConfig::medium(99),
+            Self::Small => GeneratorConfig::small(GeneratorConfig::default().seed),
+        }
+    }
+
+    /// The check thresholds matched to this scale. The `small` trace has
+    /// no dedicated profile; it borrows the relaxed `medium` margins.
+    #[must_use]
+    pub fn check_profile(self) -> CheckProfile {
+        match self {
+            Self::Full => CheckProfile::full(),
+            Self::Medium | Self::Small => CheckProfile::medium(),
+        }
+    }
+}
+
+/// The scale selected by `CLOUDSCOPE_TRACE_SCALE`, exiting with a usage
+/// message on an unknown value (the binaries must not silently run the
+/// wrong profile).
+#[must_use]
+pub fn active_scale() -> TraceScale {
+    TraceScale::from_env().unwrap_or_else(|bad| {
+        eprintln!("error: CLOUDSCOPE_TRACE_SCALE={bad:?} (expected full, medium, or small)");
+        std::process::exit(2);
+    })
+}
+
+/// The [`CheckProfile`] matching [`active_scale`].
+#[must_use]
+pub fn active_profile() -> CheckProfile {
+    active_scale().check_profile()
+}
+
+/// Generates the trace at [`active_scale`], timing it.
 #[must_use]
 pub fn default_trace() -> GeneratedTrace {
+    let scale = active_scale();
     let t0 = std::time::Instant::now();
-    let generated = generate(&GeneratorConfig::default());
+    let generated = generate(&scale.generator_config());
     let stats = generated.trace.stats();
     eprintln!(
-        "# generated trace in {:?}: {} private vms, {} public vms, {} subscriptions",
+        "# generated {:?} trace in {:?}: {} private vms, {} public vms, {} subscriptions",
+        scale,
         t0.elapsed(),
         stats.private_vms,
         stats.public_vms,
         stats.private_subscriptions + stats.public_subscriptions
     );
     generated
+}
+
+/// `--metrics <path>` support for the repro binaries: parse once at
+/// startup, call [`MetricsOpt::write`] right before the binary exits so
+/// the snapshot covers the whole run.
+#[derive(Debug, Default)]
+pub struct MetricsOpt {
+    path: Option<PathBuf>,
+}
+
+impl MetricsOpt {
+    /// Parses `--metrics <path>` (or `--metrics=<path>`) from the
+    /// process arguments, exiting with a usage message when the flag is
+    /// present without a path or an argument is unrecognized.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let (opt, extra) = Self::parse(std::env::args().skip(1));
+        if let Some(arg) = extra.first() {
+            eprintln!("error: unrecognized argument {arg:?} (expected --metrics <path>)");
+            std::process::exit(2);
+        }
+        opt
+    }
+
+    /// Like [`MetricsOpt::from_args`], but returns the non-`--metrics`
+    /// arguments instead of rejecting them (for binaries that take
+    /// positional arguments of their own).
+    #[must_use]
+    pub fn from_args_with_positionals() -> (Self, Vec<String>) {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> (Self, Vec<String>) {
+        let mut path = None;
+        let mut positionals = Vec::new();
+        let mut args = args;
+        while let Some(arg) = args.next() {
+            if arg == "--metrics" {
+                match args.next() {
+                    Some(p) => path = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --metrics requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            } else if let Some(p) = arg.strip_prefix("--metrics=") {
+                path = Some(PathBuf::from(p));
+            } else {
+                positionals.push(arg);
+            }
+        }
+        (Self { path }, positionals)
+    }
+
+    /// Writes the current registry snapshot as JSON to the requested
+    /// path, if any; exits non-zero on I/O failure so scripted runs
+    /// notice the missing artifact.
+    pub fn write(&self) {
+        let Some(path) = &self.path else { return };
+        let json = cloudscope::obs::to_json(&cloudscope::obs_snapshot());
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: writing metrics snapshot to {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("# wrote metrics snapshot to {}", path.display());
+    }
 }
 
 /// Prints a CSV header followed by rows.
@@ -70,6 +214,10 @@ impl ShapeChecks {
     /// Records one check: `label` describes the paper's expectation,
     /// `detail` the measured values.
     pub fn check(&mut self, label: &str, holds: bool, detail: String) {
+        cloudscope_obs::counter("repro.checks.recorded").inc();
+        if !holds {
+            cloudscope_obs::counter("repro.checks.failed").inc();
+        }
         self.results.push((holds, format!("{label}: {detail}")));
     }
 

@@ -190,10 +190,15 @@ impl<E> Simulation<E> {
         F: FnMut(&mut Scheduler<'_, E>, SimTime, E),
     {
         let mut handled = 0;
+        // Track the peak locally and flush once after the loop: the run
+        // loop is the engine's hot path and must not take a registry
+        // lookup per event.
+        let mut peak_depth = self.queue.len();
         while let Some(next) = self.queue.peek_time() {
             if next >= until {
                 break;
             }
+            peak_depth = peak_depth.max(self.queue.len());
             let (time, event) = self.queue.pop().expect("peeked");
             self.now = time;
             let mut scheduler = Scheduler {
@@ -203,6 +208,8 @@ impl<E> Simulation<E> {
             handler(&mut scheduler, time, event);
             handled += 1;
         }
+        cloudscope_obs::counter("sim.engine.events_processed").add(handled);
+        cloudscope_obs::gauge("sim.engine.peak_queue_depth").set_max(peak_depth as f64);
         handled
     }
 }

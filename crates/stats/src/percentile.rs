@@ -58,6 +58,7 @@ pub fn percentile(sample: &[f64], p: f64) -> Result<f64, StatsError> {
         return Err(StatsError::OutOfRange("percentile level"));
     }
     let mut scratch = sample.to_vec();
+    cloudscope_obs::counter("stats.percentile.selections").inc();
     Ok(percentile_select(&mut scratch, p))
 }
 

@@ -267,11 +267,13 @@ pub fn with_plan<R>(
         let plan = match cache.plans.get(&n).map(Rc::clone) {
             Some(plan) => {
                 cache.stats.hits += 1;
+                cloudscope_obs::counter("timeseries.fft.plan_cache_hits").inc();
                 plan
             }
             None => {
                 let plan = Rc::new(FftPlan::new(n)?);
                 cache.stats.misses += 1;
+                cloudscope_obs::counter("timeseries.fft.plan_cache_misses").inc();
                 cache.plans.insert(n, Rc::clone(&plan));
                 plan
             }

@@ -126,6 +126,8 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
         panic!("{e}");
     }
     let factory = RngFactory::new(config.seed);
+    let gen_span = cloudscope_obs::span("tracegen.generate");
+    let stage = gen_span.child("topology");
 
     // 1. Physical plant.
     let mut tb = Topology::builder();
@@ -160,6 +162,9 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
         .map(|r| r.tz_offset_hours)
         .collect();
 
+    stage.finish();
+    let stage = gen_span.child("plans");
+
     // 2. Subscription plans (private first: dense subscription ids).
     let mut plan_rng = factory.stream("plans/private");
     let mut plans = synthesize_plans(
@@ -184,6 +189,9 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
         next_service += plan.groups.len() as u32;
     }
     let mut standing_per_service = vec![0usize; next_service as usize];
+
+    stage.finish();
+    let stage = gen_span.child("specs");
 
     // 3. Materialize VM specs.
     let mut report = GenerationReport::default();
@@ -231,6 +239,9 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
     // Sort churn after standing, by creation time, keeping standing
     // first (they are placed before the week starts).
     specs.sort_by_key(|s| (s.kind != SpecKind::Standing, s.created));
+
+    stage.finish();
+    let stage = gen_span.child("placement");
 
     // 4. Placement through the allocation service, in event order.
     let spreading = SpreadingRule {
@@ -342,6 +353,9 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
     report.private_alloc = fleets[0].stats();
     report.public_alloc = fleets[1].stats();
 
+    stage.finish();
+    let stage = gen_span.child("telemetry");
+
     // 5. Telemetry (deterministic per-VM streams, so order is free).
     let telemetry: Vec<Option<UtilSeries>> = if config.telemetry {
         let tz_of = &tz_of;
@@ -378,6 +392,10 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
     } else {
         vec![None; records.len()]
     };
+
+    stage.finish();
+    let stage = gen_span.child("assemble");
+    let samples_generated: u64 = telemetry.iter().flatten().map(|s| s.len() as u64).sum();
 
     // 6. Assemble the trace.
     let mut builder = Trace::builder(topology);
@@ -417,6 +435,10 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
             });
         }
     }
+
+    stage.finish();
+    cloudscope_obs::counter("tracegen.generate.vms_generated").add(next_id);
+    cloudscope_obs::counter("tracegen.generate.samples_generated").add(samples_generated);
 
     GeneratedTrace {
         trace: builder.build(),

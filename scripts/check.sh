@@ -29,6 +29,21 @@ echo "==> robustness gate: all 26 shape checks under telemetry corruption"
 cargo test -q -p cloudscope --test full_pipeline robustness_gate
 cargo test -q -p cloudscope --test full_pipeline --release robustness_gate
 
+echo "==> observability gate: metrics reconcile with subsystem ground truth"
+cargo test -q -p cloudscope --test observability
+cargo test -q -p cloudscope --test observability --release
+
+# A real binary run must emit a snapshot whose names/kinds validate
+# against the committed schema (values are free to drift; names are not).
+echo "==> metrics schema: fig1 --metrics vs tests/golden/metrics_schema.json"
+ARTIFACTS_DIR=${ARTIFACTS_DIR:-target/check-artifacts}
+mkdir -p "$ARTIFACTS_DIR"
+CLOUDSCOPE_TRACE_SCALE=small cargo run -q --release -p cloudscope-repro --bin fig1 -- \
+  --metrics "$ARTIFACTS_DIR/fig1_metrics.json" > /dev/null
+cargo run -q --release -p cloudscope-repro --bin metrics_schema -- \
+  "$ARTIFACTS_DIR/fig1_metrics.json" tests/golden/metrics_schema.json
+echo "    (metrics snapshot archived at $ARTIFACTS_DIR/fig1_metrics.json)"
+
 # Test-count delta: the suite must never shrink. The baseline is the
 # committed count from the last blessed run; growing it is expected
 # (update the file), shrinking it fails the gate.

@@ -10,6 +10,7 @@
 //! ```
 
 use cloudscope::prelude::*;
+use cloudscope_repro::checks::{oversub_pool, run_oversub_sweep, OVERSUB_EPSILONS};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -101,6 +102,30 @@ fn headline_metrics(seed: u64) -> String {
         "fig6.public_daily_variability",
         report.public_utilization.daily_median_variability(),
     );
+
+    let (node_private, node_public) = &report.node_correlation;
+    put("fig7.private_node_corr_median", node_private.median());
+    put("fig7.public_node_corr_median", node_public.median());
+    let (region_private, region_public) = &report.region_correlation;
+    put("fig7.private_region_corr_median", region_private.median());
+    put("fig7.public_region_corr_median", region_public.median());
+
+    // The over-subscription demand pool and the full epsilon sweep the
+    // oversub binary runs, pinned on the small trace: a planner or
+    // coverage-gate change shifts these before it shifts the figures.
+    let pool = oversub_pool(&generated.trace, 400);
+    put("oversub.pool_vms", pool.len() as f64);
+    let sweep = run_oversub_sweep(&pool).expect("oversub sweep on the small trace");
+    for (eps, plan) in OVERSUB_EPSILONS.iter().zip(&sweep.plans) {
+        put(
+            &format!("oversub.eps{eps}.reserved_cores"),
+            plan.reserved_cores,
+        );
+        put(
+            &format!("oversub.eps{eps}.improvement"),
+            plan.utilization_improvement,
+        );
+    }
 
     out
 }

@@ -1,0 +1,461 @@
+//! Cross-layer observability: the `cloudscope-obs` metrics every
+//! subsystem publishes must reconcile with the ground truth those
+//! subsystems report through their APIs, and the full metric surface
+//! must match the committed schema in `tests/golden/metrics_schema.json`.
+//!
+//! Re-bless the schema after intentionally adding or renaming metrics:
+//!
+//! ```text
+//! CLOUDSCOPE_UPDATE_GOLDEN=1 cargo test -p cloudscope --test observability
+//! ```
+
+use cloudscope::analysis::coverage::filled_week_series;
+use cloudscope::cluster::{ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule};
+use cloudscope::faults::{corrupt_trace, FaultPlan, FlakyStore};
+use cloudscope::kb::{run_extraction_pipeline, run_extraction_pipeline_with, RetryPolicy};
+use cloudscope::mgmt::{
+    plan_node_maintenance, AllocFailureFeatures, AllocFailurePredictor, OversubMethod,
+    OversubPlanner, RemainingLifetimePredictor, SpotMixPolicy, VmDemand,
+};
+use cloudscope::obs::testing::{assert_counter_eq, snapshot_diff};
+use cloudscope::obs::{
+    parse_json, parse_prometheus, to_json, to_prometheus, Registry, Schema, Snapshot,
+};
+use cloudscope::par::Parallelism;
+use cloudscope::prelude::*;
+use cloudscope::timeseries::{fft, Series};
+use cloudscope_repro::ShapeChecks;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Present (non-gap) samples across every telemetry-bearing VM — the
+/// quantity an analysis pass actually observes after ingest.
+fn present_samples(trace: &Trace) -> usize {
+    trace
+        .vms()
+        .iter()
+        .filter_map(|vm| trace.util(vm.id))
+        .map(UtilSeries::present_count)
+        .sum()
+}
+
+/// Under a pure 5% drop plan the `faults.samples_dropped` counter, the
+/// fault report, and the analysis-observed missing samples are the same
+/// number — no other fault channel is open to blur the accounting.
+#[test]
+fn drop_only_losses_reconcile_with_observed_missing_samples() {
+    let g = generate(&GeneratorConfig::small(9101));
+    let pristine = present_samples(&g.trace);
+
+    let registry = Arc::new(Registry::new());
+    let plan = FaultPlan {
+        drop_probability: 0.05,
+        ..FaultPlan::clean(77)
+    };
+    let ((corrupted, report), diff) = snapshot_diff(&registry, || corrupt_trace(&g.trace, &plan));
+
+    let observed_missing = pristine - present_samples(&corrupted);
+    assert!(report.dropped > 0, "a 5% drop plan must drop something");
+    assert_eq!(report.dropped, observed_missing);
+    assert_eq!(report.samples_in - report.samples_out, observed_missing);
+
+    assert_counter_eq(
+        &diff,
+        "faults.corrupt.samples_dropped",
+        report.dropped as u64,
+    );
+    assert_counter_eq(&diff, "faults.corrupt.samples_in", report.samples_in as u64);
+    assert_counter_eq(
+        &diff,
+        "faults.corrupt.samples_out",
+        report.samples_out as u64,
+    );
+    assert_counter_eq(&diff, "faults.corrupt.vms_corrupted", report.vms as u64);
+    // Channels the plan leaves closed publish zeros, not absences.
+    assert_counter_eq(&diff, "faults.corrupt.blackout_dropped", 0);
+    assert_counter_eq(&diff, "faults.corrupt.invalidated", 0);
+    assert_counter_eq(&diff, "faults.corrupt.out_of_week", 0);
+}
+
+/// The PR 2 standard corruption profile (5% loss, one regional
+/// blackout, duplication/reordering/garbage/skew on top): every lost
+/// sample is attributed to exactly one cause, and the counters match
+/// the report field for field.
+#[test]
+fn standard_profile_counters_match_fault_report_accounting() {
+    let g = generate(&GeneratorConfig::small(9102));
+    let pristine = present_samples(&g.trace);
+
+    let registry = Arc::new(Registry::new());
+    let ((corrupted, report), diff) = snapshot_diff(&registry, || {
+        corrupt_trace(&g.trace, &FaultPlan::standard(42))
+    });
+
+    // ±2-minute skew can never move a sample to another 5-minute slot,
+    // so nothing leaves the trace week.
+    assert_eq!(report.out_of_week, 0);
+    // Duplicates collapse at ingest and reorders only swap slots, so
+    // the observed loss decomposes exactly into the three real causes.
+    let observed_missing = pristine - present_samples(&corrupted);
+    assert_eq!(
+        observed_missing,
+        report.dropped + report.blackout_dropped + report.invalidated
+    );
+    assert!(
+        report.blackout_dropped > 0,
+        "the blackout window has traffic"
+    );
+    assert!(report.duplicated > 0 && report.reordered > 0 && report.invalidated > 0);
+
+    for (name, field) in [
+        ("faults.corrupt.samples_dropped", report.dropped),
+        ("faults.corrupt.blackout_dropped", report.blackout_dropped),
+        ("faults.corrupt.invalidated", report.invalidated),
+        ("faults.corrupt.duplicated", report.duplicated),
+        ("faults.corrupt.reordered", report.reordered),
+        ("faults.corrupt.samples_in", report.samples_in),
+        ("faults.corrupt.samples_out", report.samples_out),
+    ] {
+        assert_counter_eq(&diff, name, field as u64);
+    }
+}
+
+/// A clean store never retries: the pipeline stats and the `kb.*`
+/// counters agree that every write landed first try.
+#[test]
+fn kb_pipeline_clean_run_records_zero_retries() {
+    let g = generate(&GeneratorConfig::small(9103));
+    let classifier = PatternClassifier::default();
+    let kb = KnowledgeBase::new();
+
+    let registry = Arc::new(Registry::new());
+    let (stats, diff) = snapshot_diff(&registry, || {
+        run_extraction_pipeline(&g.trace, &kb, &classifier, 64, 2)
+    });
+
+    assert!(stats.stored > 0, "a small trace stores knowledge");
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.failed, 0);
+    // The retry counter is only created by an actual retry.
+    assert_eq!(diff.counter("kb.pipeline.retries").unwrap_or(0), 0);
+    assert_eq!(diff.counter("kb.pipeline.backoff_sleeps").unwrap_or(0), 0);
+    assert_counter_eq(&diff, "kb.pipeline.processed", stats.processed as u64);
+    assert_counter_eq(&diff, "kb.pipeline.stored", stats.stored as u64);
+    assert_counter_eq(&diff, "kb.pipeline.skipped", stats.skipped as u64);
+    assert_counter_eq(&diff, "kb.pipeline.failed", 0);
+    // Fresh store: every upsert call stored an entry.
+    assert_counter_eq(&diff, "kb.store.upserts", stats.stored as u64);
+}
+
+/// With a 30% flaky store, the retry counter equals the pipeline's own
+/// retry tally equals the store's injected-failure tally — three
+/// independent ledgers of the same events.
+#[test]
+fn kb_pipeline_flaky_store_retries_reconcile_three_ways() {
+    let g = generate(&GeneratorConfig::small(9103));
+    let classifier = PatternClassifier::default();
+    let store = FlakyStore::new(KnowledgeBase::new(), 2024, 0.3);
+    let retry = RetryPolicy {
+        max_attempts: 10,
+        base_backoff: Duration::from_nanos(1),
+    };
+
+    let registry = Arc::new(Registry::new());
+    let (stats, diff) = snapshot_diff(&registry, || {
+        run_extraction_pipeline_with(&g.trace, &store, &classifier, 64, 2, &retry)
+    });
+
+    assert!(stats.retries > 0, "a 30% failure rate must trigger retries");
+    assert_eq!(stats.failed, 0, "10 attempts ride out a 30% failure rate");
+    assert_eq!(store.injected_failures(), stats.retries);
+    assert_counter_eq(&diff, "kb.pipeline.retries", stats.retries as u64);
+    assert_counter_eq(&diff, "kb.pipeline.backoff_sleeps", stats.retries as u64);
+    assert_counter_eq(
+        &diff,
+        "faults.flaky.injected_failures",
+        store.injected_failures() as u64,
+    );
+}
+
+/// Work accounting is scheduling-invariant: the same sweep reports the
+/// same `tasks_executed` and `sweeps` for every worker count, even
+/// though stealing and chunking differ run to run.
+#[test]
+fn par_task_accounting_is_invariant_across_worker_counts() {
+    let items: Vec<u64> = (0..357).collect();
+    for workers in [1, 2, 4, 8] {
+        let registry = Arc::new(Registry::new());
+        let (sum, diff) = snapshot_diff(&registry, || {
+            Parallelism::with_workers(workers)
+                .par_map(&items, |&x| x * 2)
+                .iter()
+                .sum::<u64>()
+        });
+        assert_eq!(sum, 357 * 356);
+        assert_counter_eq(&diff, "par.executor.tasks_executed", 357);
+        assert_counter_eq(&diff, "par.executor.sweeps", 1);
+    }
+}
+
+/// One `analyze` call times itself exactly once at the root and once
+/// per figure-family child span.
+#[test]
+fn report_spans_fire_once_per_analysis() {
+    let g = generate(&GeneratorConfig::small(9104));
+    let registry = Arc::new(Registry::new());
+    let (report, diff) = snapshot_diff(&registry, || {
+        CharacterizationReport::analyze(&g.trace, &ReportConfig::default()).expect("analysis")
+    });
+    assert!(!report.insight_verdicts().is_empty());
+
+    for path in [
+        "analysis.report.duration_ns",
+        "analysis.report.deployment.duration_ns",
+        "analysis.report.vm_size.duration_ns",
+        "analysis.report.temporal.duration_ns",
+        "analysis.report.spatial.duration_ns",
+        "analysis.report.patterns.duration_ns",
+        "analysis.report.utilization.duration_ns",
+        "analysis.report.correlation.duration_ns",
+    ] {
+        let h = diff
+            .histogram(path)
+            .unwrap_or_else(|| panic!("span histogram {path} missing"));
+        assert_eq!(h.count, 1, "{path} must fire exactly once");
+        assert!(h.sum > 0, "{path} must record wall-clock time");
+    }
+}
+
+/// Both exporters round-trip a genuinely populated snapshot — counters,
+/// negative/fractional gauges, and multi-bucket histograms — exactly.
+#[test]
+fn exporters_round_trip_a_populated_snapshot() {
+    let registry = Arc::new(Registry::new());
+    let ((), _) = snapshot_diff(&registry, || {
+        let g = generate(&GeneratorConfig::small(9105));
+        let _ = CharacterizationReport::analyze(&g.trace, &ReportConfig::default());
+        cloudscope::obs::gauge("test.gauge.negative").set(-12.75);
+        cloudscope::obs::gauge("test.gauge.tiny").set(1.0e-9);
+        let h = cloudscope::obs::histogram("test.histogram.spread");
+        for v in [0, 1, 17, 4096, u64::MAX / 2] {
+            h.observe(v);
+        }
+    });
+    let snapshot = registry.snapshot();
+    assert!(
+        snapshot.metrics.len() > 20,
+        "a real analysis populates a wide surface, got {}",
+        snapshot.metrics.len()
+    );
+
+    let via_json = parse_json(&to_json(&snapshot)).expect("JSON parses");
+    assert_eq!(via_json, snapshot, "JSON round-trip must be exact");
+    let via_prom = parse_prometheus(&to_prometheus(&snapshot)).expect("Prometheus parses");
+    assert_eq!(via_prom, snapshot, "Prometheus round-trip must be exact");
+}
+
+/// Runs every instrumented subsystem once inside one scoped registry,
+/// deterministically touching the rare paths (placement failure,
+/// coverage gates, classifier branches, retries, forced reroute) so the
+/// full metric *name* surface registers regardless of trace content.
+fn exercise_all_subsystems() -> Snapshot {
+    let registry = Arc::new(Registry::new());
+    cloudscope::obs::scoped(&registry, || {
+        // tracegen + sim + model + stats + cluster placements + par.
+        let g = generate(&GeneratorConfig::small(9106));
+        let report =
+            CharacterizationReport::analyze(&g.trace, &ReportConfig::default()).expect("analysis");
+        assert!(!report.insight_verdicts().is_empty());
+
+        // faults: the standard corruption profile flushes all nine
+        // corruption counters even when a channel tallies zero.
+        let (_, fault_report) = corrupt_trace(&g.trace, &FaultPlan::standard(7));
+        assert!(fault_report.samples_in > 0);
+
+        // kb, clean then flaky, so the retry/backoff counters register.
+        let classifier = PatternClassifier::default();
+        let kb = KnowledgeBase::new();
+        let stats = run_extraction_pipeline(&g.trace, &kb, &classifier, 64, 2);
+        assert!(stats.stored > 0);
+        let flaky = FlakyStore::new(KnowledgeBase::new(), 11, 0.3);
+        let retry = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_nanos(1),
+        };
+        let flaky_stats =
+            run_extraction_pipeline_with(&g.trace, &flaky, &classifier, 64, 2, &retry);
+        assert!(flaky_stats.retries > 0);
+
+        // cluster: force one placement failure on a starved allocator.
+        let mut b = Topology::builder();
+        let r = b.add_region("obs", 0, "US");
+        let d = b.add_datacenter(r);
+        let c = b.add_cluster(d, CloudKind::Private, NodeSku::new(4, 32.0), 1, 1);
+        let topo = b.build();
+        let mut alloc = ClusterAllocator::new(
+            topo.cluster(c).unwrap(),
+            PlacementPolicy::BestFit,
+            SpreadingRule::default(),
+        );
+        alloc
+            .place(PlacementRequest {
+                vm: VmId::new(0),
+                size: VmSize::new(4, 32.0),
+                service: ServiceId::new(0),
+                priority: Priority::OnDemand,
+            })
+            .expect("fits");
+        assert!(alloc
+            .place(PlacementRequest {
+                vm: VmId::new(1),
+                size: VmSize::new(4, 32.0),
+                service: ServiceId::new(1),
+                priority: Priority::OnDemand,
+            })
+            .is_err());
+
+        // analysis classifier: hit all four dispatch branches.
+        let dense: Vec<f64> = (0..2016)
+            .map(|i| 20.0 + 10.0 * (std::f64::consts::TAU * i as f64 / 288.0).sin())
+            .collect();
+        let _ = classifier.classify_series(&Series::new(0, 5, dense.clone()));
+        let mut long_gap = dense.clone();
+        for slot in &mut long_gap[100..112] {
+            *slot = f64::NAN; // 12-sample gap: beyond the 6-sample fill cap.
+        }
+        let _ = classifier.classify_series(&Series::new(0, 5, long_gap));
+        let mut sparse = vec![f64::NAN; 2016];
+        sparse[0] = 1.0; // coverage far below the 0.6 floor.
+        let _ = classifier.classify_series(&Series::new(0, 5, sparse));
+
+        // analysis coverage gate: one rejection, one fill.
+        let util = g
+            .trace
+            .vms()
+            .iter()
+            .find_map(|vm| g.trace.util(vm.id))
+            .expect("telemetry exists");
+        assert!(filled_week_series(util, 1.01).is_none());
+        assert!(filled_week_series(util, 0.0).is_some());
+
+        // timeseries: a unique FFT size registers both plan-cache
+        // counters on this thread (miss, then hit).
+        fft::with_plan(32_768, |_, _| ()).expect("power of two");
+        fft::with_plan(32_768, |_, _| ()).expect("power of two");
+
+        // mgmt: one plan per policy family, plus a forced reroute.
+        SpotMixPolicy::new(0.4, 0.99)
+            .expect("valid policy")
+            .plan(100, 60, 0.9)
+            .expect("plan");
+        OversubPlanner::new(0.02, OversubMethod::EmpiricalQuantile)
+            .expect("valid planner")
+            .plan(&[VmDemand {
+                cores: 8,
+                utilization: dense,
+            }])
+            .expect("plan");
+        let node = g
+            .trace
+            .vms()
+            .iter()
+            .find_map(|vm| vm.node)
+            .expect("placed VMs exist");
+        plan_node_maintenance(
+            &g.trace,
+            &kb,
+            &RemainingLifetimePredictor::default(),
+            node,
+            SimTime::from_days(2),
+            SimTime::from_days(2) + SimDuration::from_hours(8),
+        )
+        .expect("maintenance plan");
+        assert!(AllocFailurePredictor::default().should_reroute(
+            &AllocFailureFeatures {
+                allocation_ratio: 0.95,
+                request_fraction: 0.5,
+                creation_cv: 3.0,
+                spreading_pressure: 0.8,
+            },
+            0.5,
+        ));
+
+        // repro: one passing and one failing shape check.
+        let mut checks = ShapeChecks::new();
+        checks.check("observability pass", true, "forced".to_owned());
+        checks.check("observability fail", false, "forced".to_owned());
+
+        // facade: the snapshot entry point counts itself.
+        cloudscope::obs_snapshot()
+    })
+}
+
+fn schema_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/metrics_schema.json")
+}
+
+/// The full metric surface — names and kinds — matches the committed
+/// schema exactly, and every workspace crate contributes at least one
+/// metric. Renaming, retyping, adding, or losing a metric trips this.
+#[test]
+fn metric_surface_matches_committed_schema() {
+    let snapshot = exercise_all_subsystems();
+    let schema = Schema::from_snapshot(&snapshot);
+
+    for prefix in [
+        "analysis.",
+        "cluster.",
+        "facade.",
+        "faults.",
+        "kb.",
+        "mgmt.",
+        "model.",
+        "par.",
+        "repro.",
+        "sim.",
+        "stats.",
+        "timeseries.",
+        "tracegen.",
+    ] {
+        assert!(
+            schema.metrics.keys().any(|name| name.starts_with(prefix)),
+            "no metric registered under {prefix}"
+        );
+    }
+
+    let path = schema_path();
+    if std::env::var_os("CLOUDSCOPE_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("has parent")).expect("create tests/golden");
+        std::fs::write(&path, schema.to_json()).expect("write schema golden");
+        return;
+    }
+
+    let committed = Schema::parse_json(&std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing schema golden {} ({e}); run with CLOUDSCOPE_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    }))
+    .expect("committed schema parses");
+
+    assert!(
+        committed.validate(&snapshot).is_empty(),
+        "snapshot violates committed schema: {:?}",
+        committed.validate(&snapshot)
+    );
+    let missing: Vec<&String> = committed
+        .metrics
+        .keys()
+        .filter(|name| !schema.metrics.contains_key(*name))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "metrics in the committed schema no longer register: {missing:?}.\n\
+         If removal is intentional, re-bless with CLOUDSCOPE_UPDATE_GOLDEN=1."
+    );
+    assert_eq!(
+        schema, committed,
+        "metric surface drifted; re-bless with CLOUDSCOPE_UPDATE_GOLDEN=1 if intentional"
+    );
+}
