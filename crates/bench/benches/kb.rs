@@ -1,0 +1,307 @@
+//! Benchmarks for the sharded, index-backed knowledge-base serving
+//! layer: a mixed read/write closed loop at 1/2/4/8 threads against the
+//! sharded store vs a single-lock full-scan baseline (the pre-redesign
+//! design), plus non-cloning checks backed by a counting allocator.
+//! Results merge into `BENCH_kb.json` at the repo root.
+//!
+//! The final `verify` "benchmark" asserts the redesign's acceptance
+//! criteria from the measured results: the sharded store must serve at
+//! least 3x the single-lock mixed-workload throughput at 8 threads, and
+//! index-backed candidate queries must not allocate (and hence not
+//! clone) proportionally to the non-matching entries they skip.
+
+use cloudscope::kb::{KbQuery, KnowledgeBase, LifetimeClass, WorkloadKnowledge};
+use cloudscope::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+// --- counting allocator ------------------------------------------------
+
+/// Counts allocation events while [`COUNTING`] is on. The count is the
+/// evidence for the "no cloning of non-matching entries" criterion:
+/// query cost in allocations must track matches, not store size.
+struct CountingAlloc;
+
+static ALLOCATION_EVENTS: AtomicUsize = AtomicUsize::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocation events performed by `f` on this thread (the harness runs
+/// the measured closure single-threaded, so the global count is its).
+fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    ALLOCATION_EVENTS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let value = f();
+    COUNTING.store(false, Ordering::SeqCst);
+    (value, ALLOCATION_EVENTS.load(Ordering::SeqCst))
+}
+
+// --- the pre-redesign baseline ----------------------------------------
+
+/// The store design this PR replaced: one map behind one lock, every
+/// read a predicate scan that clones the matches while holding it.
+struct SingleLockStore {
+    entries: Mutex<HashMap<SubscriptionId, WorkloadKnowledge>>,
+}
+
+impl SingleLockStore {
+    fn new() -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn upsert(&self, knowledge: WorkloadKnowledge) {
+        let mut entries = self.entries.lock().unwrap();
+        match entries.get(&knowledge.subscription) {
+            Some(existing) if existing.updated_at > knowledge.updated_at => {}
+            _ => {
+                entries.insert(knowledge.subscription, knowledge);
+            }
+        }
+    }
+
+    fn query<F: Fn(&WorkloadKnowledge) -> bool>(&self, predicate: F) -> Vec<WorkloadKnowledge> {
+        let entries = self.entries.lock().unwrap();
+        let mut matches: Vec<WorkloadKnowledge> =
+            entries.values().filter(|k| predicate(k)).cloned().collect();
+        matches.sort_unstable_by_key(|k| k.subscription);
+        matches
+    }
+}
+
+// --- workload ----------------------------------------------------------
+
+/// Entries in the populated store. A few percent match each candidate
+/// query, like a real KB where most workloads are not candidates.
+const STORE_SIZE: u32 = 20_000;
+
+/// Mixed-loop shape per iteration: read-dominated, like a policy engine
+/// sweeping the KB between extraction refreshes.
+const READS_PER_ITER: usize = 48;
+const WRITES_PER_ITER: usize = 4;
+
+fn entry(id: u32) -> WorkloadKnowledge {
+    // Deterministic shape: ~3% spot candidates, ~6% shiftable.
+    let spot = id.is_multiple_of(32);
+    WorkloadKnowledge {
+        subscription: SubscriptionId::new(id),
+        cloud: if spot || id.is_multiple_of(2) {
+            CloudKind::Public
+        } else {
+            CloudKind::Private
+        },
+        pattern: Some(if id.is_multiple_of(5) {
+            UtilizationPattern::Stable
+        } else {
+            UtilizationPattern::Irregular
+        }),
+        lifetime: if spot {
+            LifetimeClass::MostlyShort
+        } else {
+            LifetimeClass::MostlyLong
+        },
+        mean_util: f64::from(id % 90),
+        p95_util: f64::from(id % 90) + 5.0,
+        util_cv: 0.3,
+        regions: (id % 3 + 1) as usize,
+        region_agnostic: if id.is_multiple_of(16) {
+            Some(true)
+        } else {
+            None
+        },
+        vm_count: (id % 50 + 1) as usize,
+        cores: u64::from(id % 50) * 4 + 4,
+        updated_at: SimTime::from_minutes(i64::from(id % 100)),
+    }
+}
+
+fn populated_sharded(shards: usize) -> KnowledgeBase {
+    let kb = KnowledgeBase::with_shards(shards);
+    kb.feed((0..STORE_SIZE).map(entry));
+    kb
+}
+
+fn populated_single_lock() -> SingleLockStore {
+    let store = SingleLockStore::new();
+    for id in 0..STORE_SIZE {
+        store.upsert(entry(id));
+    }
+    store
+}
+
+/// One closed-loop iteration against the sharded store: index-backed
+/// candidate reads (non-cloning folds/counts) plus a trickle of writes.
+fn sharded_mixed_iter(kb: &KnowledgeBase, thread: u32, round: u32) -> usize {
+    let mut acc = 0usize;
+    for i in 0..READS_PER_ITER {
+        acc += match i % 3 {
+            0 => KbQuery::spot_candidates().fold(kb, 0usize, |a, k| a + k.vm_count),
+            1 => KbQuery::shiftable().count(kb),
+            _ => KbQuery::oversubscription_candidates(CloudKind::Public).count(kb),
+        };
+    }
+    for w in 0..WRITES_PER_ITER as u32 {
+        let id = (thread * 7919 + round * 131 + w * 37) % STORE_SIZE;
+        let mut k = entry(id);
+        k.updated_at = SimTime::from_minutes(1_000_000);
+        kb.upsert(k);
+    }
+    acc
+}
+
+/// The same closed loop against the baseline: every read is a full scan
+/// that clones the matches under the one lock.
+fn single_lock_mixed_iter(store: &SingleLockStore, thread: u32, round: u32) -> usize {
+    let mut acc = 0usize;
+    for i in 0..READS_PER_ITER {
+        acc += match i % 3 {
+            0 => store
+                .query(WorkloadKnowledge::spot_candidate)
+                .iter()
+                .map(|k| k.vm_count)
+                .sum(),
+            1 => store.query(WorkloadKnowledge::shiftable).len(),
+            _ => store
+                .query(|k| k.cloud == CloudKind::Public && k.oversubscription_candidate())
+                .len(),
+        };
+    }
+    for w in 0..WRITES_PER_ITER as u32 {
+        let id = (thread * 7919 + round * 131 + w * 37) % STORE_SIZE;
+        let mut k = entry(id);
+        k.updated_at = SimTime::from_minutes(1_000_000);
+        store.upsert(k);
+    }
+    acc
+}
+
+/// Runs `per_thread` closed-loop iterations on each of `threads` threads.
+fn run_threads<S: Sync>(store: &S, threads: u32, per_thread: u32, iter: fn(&S, u32, u32) -> usize) {
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let mut acc = 0usize;
+                for round in 0..per_thread {
+                    acc += iter(store, t, round);
+                }
+                black_box(acc);
+            });
+        }
+    });
+}
+
+// --- benchmarks --------------------------------------------------------
+
+const THREAD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+fn bench_kb_mixed(c: &mut Criterion) {
+    // First group to run: point the harness at the repo-root JSON file.
+    c.json_output(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kb.json"));
+    let smoke = std::env::var_os("CLOUDSCOPE_BENCH_SMOKE").is_some();
+    let samples = if smoke { 3 } else { 10 };
+
+    let sharded = populated_sharded(8);
+    let single = populated_single_lock();
+    let mut group = c.benchmark_group("kb_mixed");
+    group.sample_size(samples);
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_threads(&sharded, threads, 1, sharded_mixed_iter)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single_lock", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_threads(&single, threads, 1, single_lock_mixed_iter)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_query_terminals(c: &mut Criterion) {
+    let smoke = std::env::var_os("CLOUDSCOPE_BENCH_SMOKE").is_some();
+    let kb = populated_sharded(8);
+    let mut group = c.benchmark_group("kb_query");
+    group.sample_size(if smoke { 3 } else { 20 });
+    group.bench_function("indexed_count/20k", |b| {
+        b.iter(|| KbQuery::spot_candidates().count(black_box(&kb)));
+    });
+    group.bench_function("indexed_fold/20k", |b| {
+        b.iter(|| KbQuery::spot_candidates().fold(black_box(&kb), 0usize, |a, k| a + k.vm_count));
+    });
+    group.bench_function("scan_count/20k", |b| {
+        b.iter(|| KbQuery::matching(WorkloadKnowledge::spot_candidate).count(black_box(&kb)));
+    });
+    group.bench_function("collect/20k", |b| {
+        b.iter(|| KbQuery::spot_candidates().collect(black_box(&kb)));
+    });
+    group.finish();
+}
+
+/// Not a timing benchmark: checks the acceptance criteria against the
+/// results measured above and the counting allocator, and fails the
+/// bench run (panics) if the redesign regresses.
+fn verify_acceptance(c: &mut Criterion) {
+    let median = |id: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.id == id)
+            .unwrap_or_else(|| panic!("missing bench result {id}"))
+            .median_ns
+    };
+    let speedup = median("kb_mixed/single_lock/8") / median("kb_mixed/sharded/8");
+    println!("kb_mixed 8-thread sharded speedup over single-lock: {speedup:.1}x");
+    assert!(
+        speedup >= 3.0,
+        "sharded store must serve >= 3x the single-lock mixed throughput at 8 threads, got {speedup:.2}x"
+    );
+
+    // Non-cloning criterion: an index-backed count on a 20k-entry store
+    // must allocate O(shards) (the lock-guard scratch), never O(entries)
+    // — the non-matching ~19.4k entries are not visited, let alone
+    // cloned. The fold visits its ~600 matches borrowed, so its
+    // allocations stay O(shards + matches), far below store size.
+    let kb = populated_sharded(8);
+    let matches = KbQuery::spot_candidates().count(&kb);
+    assert!(matches > 0 && matches < STORE_SIZE as usize / 16);
+    let (_, count_allocs) = allocations_during(|| KbQuery::spot_candidates().count(&kb));
+    assert!(
+        count_allocs < 64,
+        "indexed count allocated {count_allocs} times on a {STORE_SIZE}-entry store"
+    );
+    let (total, fold_allocs) =
+        allocations_during(|| KbQuery::spot_candidates().fold(&kb, 0usize, |a, k| a + k.vm_count));
+    black_box(total);
+    assert!(
+        fold_allocs < matches + 64,
+        "non-cloning fold allocated {fold_allocs} times for {matches} matches"
+    );
+    println!(
+        "allocation audit: indexed count {count_allocs} events, fold {fold_allocs} events, \
+         {matches} matches in a {STORE_SIZE}-entry store"
+    );
+}
+
+criterion_group!(kb, bench_kb_mixed, bench_query_terminals, verify_acceptance);
+criterion_main!(kb);

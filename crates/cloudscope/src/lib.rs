@@ -24,6 +24,10 @@
 //!   deferral, allocation-failure prediction).
 //!
 //! ## Quickstart
+//!
+//! Characterize a trace, feed the knowledge base, and run a typed policy
+//! query end-to-end:
+//!
 //! ```no_run
 //! use cloudscope::prelude::*;
 //!
@@ -32,6 +36,22 @@
 //! let report = CharacterizationReport::analyze(&generated.trace, &ReportConfig::default())?;
 //! for (holds, verdict) in report.insight_verdicts() {
 //!     println!("[{}] {verdict}", if holds { "ok" } else { "MISS" });
+//! }
+//!
+//! // Section V: extract per-subscription knowledge into the sharded KB…
+//! let kb = KnowledgeBase::new();
+//! let classifier = PatternClassifier::default();
+//! for cloud in CloudKind::BOTH {
+//!     kb.feed(extract_cloud_knowledge(&generated.trace, cloud, &classifier, 8));
+//! }
+//! // …and serve the policies from its secondary indexes: counting spot
+//! // candidates walks an index (no entry visited), and the filtered
+//! // collect clones exactly the matching entries.
+//! println!("{} spot candidates", KbQuery::spot_candidates().count(&kb));
+//! let big_shiftable = KbQuery::shiftable().filter(|k| k.cores >= 64).collect(&kb);
+//! println!("{} shiftable workloads with 64+ cores", big_shiftable.len());
+//! for (policy, recommendations) in PolicyEngine::standard().run(&kb) {
+//!     println!("{policy}: {} recommendations", recommendations.len());
 //! }
 //! # Ok(())
 //! # }
@@ -66,7 +86,9 @@ pub fn obs_snapshot() -> obs::Snapshot {
 pub mod prelude {
     pub use crate::analysis::report::{CharacterizationReport, ReportConfig};
     pub use crate::analysis::{PatternClassifier, UtilizationPattern};
-    pub use crate::kb::{extract_cloud_knowledge, KnowledgeBase, WorkloadKnowledge};
+    pub use crate::kb::{
+        extract_cloud_knowledge, KbQuery, KbSelector, KnowledgeBase, WorkloadKnowledge,
+    };
     pub use crate::mgmt::{PolicyEngine, Recommendation};
     pub use crate::model::prelude::*;
     pub use crate::tracegen::{generate, GeneratedTrace, GeneratorConfig};

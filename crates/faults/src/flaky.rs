@@ -1,7 +1,7 @@
 //! A knowledge-store wrapper that injects seeded transient write
 //! failures, for exercising the extraction pipeline's retry path.
 
-use cloudscope_kb::{KbStore, StoreError, WorkloadKnowledge};
+use cloudscope_kb::{FeedOutcome, KbStore, StoreError, WorkloadKnowledge};
 use cloudscope_sim::rng::RngFactory;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -76,6 +76,44 @@ impl<S: KbStore> KbStore for FlakyStore<S> {
         }
         self.inner.try_upsert(knowledge)
     }
+
+    fn try_feed(&self, batch: &[WorkloadKnowledge]) -> FeedOutcome {
+        // Inject per entry (each batched entry is one write attempt), so
+        // the failure ledger is identical to feeding the batch through
+        // `try_upsert` one entry at a time. Survivors reach the backend
+        // as one batch, preserving its batched-write semantics.
+        self.attempts.fetch_add(batch.len(), Ordering::Relaxed);
+        let mut outcome = FeedOutcome::default();
+        let mut survivors: Vec<usize> = Vec::with_capacity(batch.len());
+        {
+            let mut rng = self.rng.lock().unwrap_or_else(PoisonError::into_inner);
+            for index in 0..batch.len() {
+                if rng.random_bool(self.failure_probability) {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    cloudscope_obs::counter("faults.flaky.injected_failures").inc();
+                    outcome
+                        .failures
+                        .push((index, StoreError::Transient("injected write failure")));
+                } else {
+                    survivors.push(index);
+                }
+            }
+        }
+        if !survivors.is_empty() {
+            let surviving: Vec<WorkloadKnowledge> =
+                survivors.iter().map(|&i| batch[i].clone()).collect();
+            let inner_outcome = self.inner.try_feed(&surviving);
+            outcome.stored = inner_outcome.stored;
+            outcome.stale = inner_outcome.stale;
+            // Remap the backend's failure indices (positions within the
+            // surviving sub-batch) back to positions in the caller's batch.
+            for (sub_index, error) in inner_outcome.failures {
+                outcome.failures.push((survivors[sub_index], error));
+            }
+        }
+        outcome.failures.sort_by_key(|&(index, _)| index);
+        outcome
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +175,60 @@ mod tests {
         assert_eq!(stats.stored, clean_stats.stored);
         for sub in g.trace.subscriptions() {
             assert_eq!(store.inner().get(sub.id), clean.get(sub.id));
+        }
+    }
+
+    #[test]
+    fn batched_feed_matches_per_entry_injection() {
+        use cloudscope_kb::WorkloadKnowledge;
+        use cloudscope_model::ids::SubscriptionId;
+        use cloudscope_model::prelude::{CloudKind, SimTime};
+
+        let entry = |id: u32| WorkloadKnowledge {
+            subscription: SubscriptionId::new(id),
+            cloud: CloudKind::Public,
+            pattern: None,
+            lifetime: cloudscope_kb::LifetimeClass::Mixed,
+            mean_util: 10.0,
+            p95_util: 20.0,
+            util_cv: 0.1,
+            regions: 1,
+            region_agnostic: None,
+            vm_count: 1,
+            cores: 4,
+            updated_at: SimTime::ZERO,
+        };
+        let batch: Vec<WorkloadKnowledge> = (0..64).map(entry).collect();
+
+        // Same seed, same probability: the batched path must draw the
+        // same injection stream as entry-at-a-time writes.
+        let batched = FlakyStore::new(KnowledgeBase::new(), 77, 0.4);
+        let outcome = batched.try_feed(&batch);
+        assert_eq!(
+            outcome.stored + outcome.stale + outcome.failures.len(),
+            batch.len()
+        );
+        assert_eq!(batched.attempts(), batch.len());
+        assert_eq!(batched.injected_failures(), outcome.failures.len());
+        assert!(
+            outcome.failures.windows(2).all(|w| w[0].0 < w[1].0),
+            "failure indices ascend"
+        );
+
+        let sequential = FlakyStore::new(KnowledgeBase::new(), 77, 0.4);
+        let mut seq_failures = Vec::new();
+        for (index, k) in batch.iter().enumerate() {
+            if sequential.try_upsert(k.clone()).is_err() {
+                seq_failures.push(index);
+            }
+        }
+        let batch_failures: Vec<usize> = outcome.failures.iter().map(|&(i, _)| i).collect();
+        assert_eq!(batch_failures, seq_failures);
+        for k in &batch {
+            assert_eq!(
+                batched.inner().get(k.subscription),
+                sequential.inner().get(k.subscription)
+            );
         }
     }
 

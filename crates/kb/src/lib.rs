@@ -4,13 +4,15 @@
 //! for: extractors turn raw trace telemetry into per-subscription
 //! [`knowledge::WorkloadKnowledge`] (dominant utilization pattern,
 //! lifetime class, burstiness, region-agnosticism, footprint), and a
-//! concurrent [`store::KnowledgeBase`] serves the typed queries that the
-//! optimization policies in `cloudscope-mgmt` consume (spot candidates,
-//! over-subscription candidates, shiftable workloads).
+//! sharded, secondary-indexed [`store::KnowledgeBase`] serves the typed
+//! [`query::KbQuery`] reads that the optimization policies in
+//! `cloudscope-mgmt` consume (spot candidates, over-subscription
+//! candidates, shiftable workloads) — index walks, not full scans, and
+//! no cloning outside `collect`.
 //!
 //! ## Example
 //! ```no_run
-//! use cloudscope_kb::{extract_cloud_knowledge, KnowledgeBase};
+//! use cloudscope_kb::{extract_cloud_knowledge, KbQuery, KnowledgeBase};
 //! use cloudscope_analysis::PatternClassifier;
 //! use cloudscope_model::prelude::CloudKind;
 //! use cloudscope_tracegen::{generate, GeneratorConfig};
@@ -21,7 +23,13 @@
 //! for cloud in CloudKind::BOTH {
 //!     kb.feed(extract_cloud_knowledge(&generated.trace, cloud, &classifier, 8));
 //! }
-//! println!("{} spot candidates", kb.spot_candidates().len());
+//! // Index-backed candidate count: no scan, no clones.
+//! println!("{} spot candidates", KbQuery::spot_candidates().count(&kb));
+//! // Refine with residual predicates; clone only what `collect` returns.
+//! let big_fleets = KbQuery::spot_candidates()
+//!     .filter(|k| k.vm_count >= 10)
+//!     .collect(&kb);
+//! println!("{} with 10+ VMs", big_fleets.len());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -31,6 +39,8 @@ pub mod extract;
 pub mod knowledge;
 pub mod persist;
 pub mod pipeline;
+pub mod query;
+mod shard;
 pub mod store;
 
 pub use extract::{extract_cloud_knowledge, extract_subscription_knowledge};
@@ -39,4 +49,5 @@ pub use persist::{read_snapshot, write_snapshot};
 pub use pipeline::{
     run_extraction_pipeline, run_extraction_pipeline_with, PipelineStats, RetryPolicy,
 };
-pub use store::{KbStore, KnowledgeBase, StoreError};
+pub use query::{KbQuery, KbSelector};
+pub use store::{FeedOutcome, KbStore, KnowledgeBase, StoreError};

@@ -3,6 +3,7 @@
 //! and shared across processes.
 
 use crate::knowledge::{LifetimeClass, WorkloadKnowledge};
+use crate::query::KbQuery;
 use crate::store::KnowledgeBase;
 use cloudscope_analysis::UtilizationPattern;
 use cloudscope_model::ids::SubscriptionId;
@@ -19,26 +20,29 @@ pub const HEADER: &str = "#cloudscope-kb-v1\tsubscription\tcloud\tpattern\tlifet
 /// Propagates I/O errors from the writer.
 pub fn write_snapshot<W: Write>(kb: &KnowledgeBase, mut writer: W) -> std::io::Result<()> {
     writeln!(writer, "{HEADER}")?;
-    for k in kb.query(|_| true) {
-        writeln!(
-            writer,
-            "{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.6}\t{}\t{}\t{}\t{}\t{}",
-            k.subscription.index(),
-            k.cloud,
-            k.pattern.map_or("-".to_owned(), |p| p.to_string()),
-            lifetime_tag(k.lifetime),
-            k.mean_util,
-            k.p95_util,
-            k.util_cv,
-            k.regions,
-            k.region_agnostic
-                .map_or("-", |b| if b { "yes" } else { "no" }),
-            k.vm_count,
-            k.cores,
-            k.updated_at.minutes(),
-        )?;
-    }
-    Ok(())
+    // Non-cloning walk: the fold streams borrowed entries straight into
+    // the writer, short-circuiting further writes after the first error.
+    KbQuery::all().fold(kb, Ok(()), |res: std::io::Result<()>, k| {
+        res.and_then(|()| {
+            writeln!(
+                writer,
+                "{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.6}\t{}\t{}\t{}\t{}\t{}",
+                k.subscription.index(),
+                k.cloud,
+                k.pattern.map_or("-".to_owned(), |p| p.to_string()),
+                lifetime_tag(k.lifetime),
+                k.mean_util,
+                k.p95_util,
+                k.util_cv,
+                k.regions,
+                k.region_agnostic
+                    .map_or("-", |b| if b { "yes" } else { "no" }),
+                k.vm_count,
+                k.cores,
+                k.updated_at.minutes(),
+            )
+        })
+    })
 }
 
 fn lifetime_tag(class: LifetimeClass) -> &'static str {

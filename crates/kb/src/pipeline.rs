@@ -5,7 +5,7 @@
 
 use crate::extract::extract_subscription_knowledge;
 use crate::knowledge::WorkloadKnowledge;
-use crate::store::{KbStore, KnowledgeBase, StoreError};
+use crate::store::{KbStore, KnowledgeBase};
 use cloudscope_analysis::PatternClassifier;
 use cloudscope_model::ids::SubscriptionId;
 use cloudscope_model::trace::Trace;
@@ -33,6 +33,8 @@ pub struct PipelineStats {
     /// Entries dropped because the store kept failing past the retry
     /// budget. Always zero with the infallible in-memory store.
     pub failed: usize,
+    /// Batched writes issued to the store ([`KbStore::try_feed`] calls).
+    pub batches: usize,
 }
 
 /// Bounded retry-with-backoff policy for transient store failures.
@@ -57,35 +59,44 @@ impl Default for RetryPolicy {
     }
 }
 
-/// Writes one entry, retrying transient failures with exponential
-/// backoff per `policy`. Counts retries into `retries`; returns the
-/// final outcome.
-fn upsert_with_retry<S: KbStore + ?Sized>(
+/// Retries one entry whose first (batched) write attempt failed. The
+/// batch write consumed attempt 1; this drives attempts `2..=max` with
+/// exponential backoff, counting each non-terminal failure (including
+/// that first one) into `stats.retries` and a terminal failure into
+/// `stats.failed` — so a permanently failing entry burns exactly
+/// `max_attempts - 1` retries, same as the pre-batching pipeline.
+fn retry_failed_entry<S: KbStore + ?Sized>(
     store: &S,
-    knowledge: WorkloadKnowledge,
+    knowledge: &WorkloadKnowledge,
     policy: &RetryPolicy,
-    retries: &mut usize,
-) -> Result<bool, StoreError> {
-    assert!(
-        policy.max_attempts >= 1,
-        "retry policy needs at least one attempt"
-    );
+    stats: &mut PipelineStats,
+) {
     let mut backoff = policy.base_backoff;
-    let mut attempt = 1;
+    let mut attempts_used: u32 = 1;
     loop {
+        if attempts_used >= policy.max_attempts {
+            stats.failed += 1;
+            return;
+        }
+        // The previous attempt failed and budget remains: retry it.
+        stats.retries += 1;
+        cloudscope_obs::counter("kb.pipeline.retries").inc();
+        if !backoff.is_zero() {
+            cloudscope_obs::counter("kb.pipeline.backoff_sleeps").inc();
+            std::thread::sleep(backoff);
+        }
+        backoff = backoff.saturating_mul(2);
+        attempts_used += 1;
         match store.try_upsert(knowledge.clone()) {
-            Ok(stored) => return Ok(stored),
-            Err(e) if attempt >= policy.max_attempts => return Err(e),
-            Err(_) => {
-                *retries += 1;
-                cloudscope_obs::counter("kb.pipeline.retries").inc();
-                if !backoff.is_zero() {
-                    cloudscope_obs::counter("kb.pipeline.backoff_sleeps").inc();
-                    std::thread::sleep(backoff);
-                }
-                backoff = backoff.saturating_mul(2);
-                attempt += 1;
+            Ok(true) => {
+                stats.stored += 1;
+                return;
             }
+            // Stale by the time the retry landed (another feed won the
+            // race): neither stored nor failed, exactly like a stale
+            // first-try write.
+            Ok(false) => return,
+            Err(_) => {}
         }
     }
 }
@@ -114,9 +125,10 @@ pub fn run_extraction_pipeline(
     )
 }
 
-/// [`run_extraction_pipeline`] over any [`KbStore`] backend: transient
-/// write failures are retried per `retry` (exponential backoff), and
-/// entries the store keeps rejecting are counted into
+/// [`run_extraction_pipeline`] over any [`KbStore`] backend: each chunk
+/// is ingested as one batched write ([`KbStore::try_feed`]), transient
+/// per-entry failures are retried per `retry` (exponential backoff),
+/// and entries the store keeps rejecting are counted into
 /// [`PipelineStats::failed`] rather than aborting the sweep — one bad
 /// entry must not cost the rest of the batch.
 ///
@@ -131,13 +143,18 @@ pub fn run_extraction_pipeline_with<S: KbStore + ?Sized>(
     workers: usize,
     retry: &RetryPolicy,
 ) -> PipelineStats {
+    assert!(
+        retry.max_attempts >= 1,
+        "retry policy needs at least one attempt"
+    );
     let subscriptions: Vec<SubscriptionId> =
         trace.subscriptions().iter().map(|sub| sub.id).collect();
     // Extraction (the expensive part) runs on the shared executor; the
-    // upserts happen on this thread in subscription order, so the KB sees
-    // the same feed sequence for any worker count. Subscriptions are
-    // processed in bounded batches so peak memory holds O(batch) extracted
-    // knowledge values, not O(subscriptions), no matter the trace size.
+    // batched feeds happen on this thread in subscription order, so the
+    // KB sees the same feed sequence for any worker count. Subscriptions
+    // are processed in bounded batches so peak memory holds O(batch)
+    // extracted knowledge values, not O(subscriptions), no matter the
+    // trace size.
     let parallelism = Parallelism::with_workers(workers);
     let batch = (workers * EXTRACTION_BATCH_PER_WORKER).max(1);
     let mut stats = PipelineStats::default();
@@ -155,18 +172,20 @@ pub fn run_extraction_pipeline_with<S: KbStore + ?Sized>(
             })
         };
         let _stage = cloudscope_obs::span("kb.pipeline.upsert");
-        for knowledge in extracted {
-            stats.processed += 1;
-            match knowledge {
-                Some(knowledge) => {
-                    match upsert_with_retry(store, knowledge, retry, &mut stats.retries) {
-                        Ok(true) => stats.stored += 1,
-                        Ok(false) => {}
-                        Err(_) => stats.failed += 1,
-                    }
-                }
-                None => stats.skipped += 1,
-            }
+        stats.processed += extracted.len();
+        let entries: Vec<WorkloadKnowledge> = extracted.into_iter().flatten().collect();
+        stats.skipped += chunk.len() - entries.len();
+        if entries.is_empty() {
+            continue;
+        }
+        // One batched write per chunk (attempt 1 for every entry), then
+        // bounded per-entry retries for whatever the store rejected.
+        stats.batches += 1;
+        cloudscope_obs::counter("kb.pipeline.batches").inc();
+        let outcome = store.try_feed(&entries);
+        stats.stored += outcome.stored;
+        for (index, _first_error) in outcome.failures {
+            retry_failed_entry(store, &entries[index], retry, &mut stats);
         }
     }
     cloudscope_obs::counter("kb.pipeline.processed").add(stats.processed as u64);
@@ -179,6 +198,7 @@ pub fn run_extraction_pipeline_with<S: KbStore + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::StoreError;
     use cloudscope_tracegen::{generate, GeneratorConfig};
 
     #[test]
@@ -245,16 +265,24 @@ mod tests {
             inner: KnowledgeBase::new(),
             calls: std::sync::atomic::AtomicUsize::new(0),
         };
+        // Strict alternation means an entry can fail at most every other
+        // attempt; 4 attempts ride it out with slack.
         let retry = RetryPolicy {
-            max_attempts: 3,
+            max_attempts: 4,
             base_backoff: Duration::ZERO,
         };
         let stats = run_extraction_pipeline_with(&g.trace, &store, &classifier, 2, 2, &retry);
-        // Every write fails once, then lands on the retry.
         assert_eq!(stats.failed, 0);
         assert!(stats.stored > 0);
-        assert_eq!(stats.retries, stats.stored);
+        assert!(stats.retries > 0, "an alternating store must force retries");
+        assert!(stats.batches >= 1);
         assert_eq!(store.inner.len(), stats.stored);
+        // Attempt ledger: every try_upsert call either stored an entry or
+        // was a non-terminal failure that got retried.
+        assert_eq!(
+            store.calls.load(std::sync::atomic::Ordering::SeqCst),
+            stats.stored + stats.retries
+        );
 
         // Same trace against the infallible store: identical contents.
         let clean = KnowledgeBase::new();

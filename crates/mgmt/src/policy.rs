@@ -4,7 +4,7 @@
 //! knowledge base" architecture of the paper's Section V.
 
 use crate::spot::spot_candidates;
-use cloudscope_kb::KnowledgeBase;
+use cloudscope_kb::{KbQuery, KnowledgeBase};
 use cloudscope_model::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -82,12 +82,19 @@ impl Policy for OversubscriptionPolicy {
     }
 
     fn recommend(&self, kb: &KnowledgeBase) -> Vec<Recommendation> {
+        // One index walk per cloud; no entry is cloned — the fold reads
+        // the two fields a recommendation carries straight off the
+        // borrowed entries.
         CloudKind::BOTH
             .iter()
-            .flat_map(|&cloud| kb.oversubscription_candidates(cloud))
-            .map(|k| Recommendation::Oversubscribe {
-                subscription: k.subscription,
-                cores: k.cores,
+            .flat_map(|&cloud| {
+                KbQuery::oversubscription_candidates(cloud).fold(kb, Vec::new(), |mut recs, k| {
+                    recs.push(Recommendation::Oversubscribe {
+                        subscription: k.subscription,
+                        cores: k.cores,
+                    });
+                    recs
+                })
             })
             .collect()
     }
@@ -103,12 +110,12 @@ impl Policy for ShiftabilityPolicy {
     }
 
     fn recommend(&self, kb: &KnowledgeBase) -> Vec<Recommendation> {
-        kb.shiftable_workloads()
-            .into_iter()
-            .map(|k| Recommendation::MarkShiftable {
+        KbQuery::shiftable().fold(kb, Vec::new(), |mut recs, k| {
+            recs.push(Recommendation::MarkShiftable {
                 subscription: k.subscription,
-            })
-            .collect()
+            });
+            recs
+        })
     }
 }
 
@@ -122,12 +129,16 @@ impl Policy for PreProvisionPolicy {
     }
 
     fn recommend(&self, kb: &KnowledgeBase) -> Vec<Recommendation> {
-        kb.query(cloudscope_kb::WorkloadKnowledge::needs_peak_headroom)
-            .into_iter()
-            .map(|k| Recommendation::PreProvision {
-                subscription: k.subscription,
-            })
-            .collect()
+        KbQuery::matching(cloudscope_kb::WorkloadKnowledge::needs_peak_headroom).fold(
+            kb,
+            Vec::new(),
+            |mut recs, k| {
+                recs.push(Recommendation::PreProvision {
+                    subscription: k.subscription,
+                });
+                recs
+            },
+        )
     }
 }
 

@@ -3,7 +3,7 @@
 //! and a Snape-style reliability-aware mixture of spot and on-demand VMs.
 
 use crate::error::MgmtError;
-use cloudscope_kb::{KnowledgeBase, WorkloadKnowledge};
+use cloudscope_kb::{KbQuery, KnowledgeBase, WorkloadKnowledge};
 use serde::{Deserialize, Serialize};
 
 /// Features the eviction predictor scores. All in `[0, 1]`-ish ranges.
@@ -197,7 +197,10 @@ fn binomial_tail_at_least(n: usize, k: usize, p: f64) -> f64 {
 /// lifetime bin shows the considerable number of candidate VMs".
 #[must_use]
 pub fn spot_candidates(kb: &KnowledgeBase) -> Vec<WorkloadKnowledge> {
-    let mut candidates = kb.spot_candidates();
+    // `collect` returns the matches subscription-sorted; the stable sort
+    // then orders by fleet size while keeping subscription order within
+    // equal fleet sizes, so the ranking is fully deterministic.
+    let mut candidates = KbQuery::spot_candidates().collect(kb);
     candidates.sort_by_key(|c| std::cmp::Reverse(c.vm_count));
     candidates
 }

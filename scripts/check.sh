@@ -44,6 +44,29 @@ cargo run -q --release -p cloudscope-repro --bin metrics_schema -- \
   "$ARTIFACTS_DIR/fig1_metrics.json" tests/golden/metrics_schema.json
 echo "    (metrics snapshot archived at $ARTIFACTS_DIR/fig1_metrics.json)"
 
+# KB serving-layer bench smoke: a short criterion run must produce a
+# parseable BENCH_kb.json covering the mixed closed loop at every thread
+# count. The bench binary itself enforces the >= 3x sharded-vs-single-lock
+# acceptance ratio and the no-cloning allocation audit (it panics, and
+# this step fails, if either regresses).
+echo "==> kb bench smoke: sharded serving layer vs single-lock baseline"
+rm -f BENCH_kb.json
+CLOUDSCOPE_BENCH_SMOKE=1 cargo bench -q -p cloudscope-bench --bench kb > /dev/null
+test -s BENCH_kb.json || { echo "ERROR: BENCH_kb.json not produced" >&2; exit 1; }
+python3 - <<'PY'
+import json, sys
+results = json.load(open("BENCH_kb.json"))
+missing = [
+    f"kb_mixed/{store}/{threads}"
+    for store in ("sharded", "single_lock")
+    for threads in (1, 2, 4, 8)
+    if f"kb_mixed/{store}/{threads}" not in results
+]
+if missing:
+    sys.exit(f"ERROR: BENCH_kb.json missing ids: {missing}")
+print(f"    (BENCH_kb.json parses: {len(results)} benchmark ids)")
+PY
+
 # Test-count delta: the suite must never shrink. The baseline is the
 # committed count from the last blessed run; growing it is expected
 # (update the file), shrinking it fails the gate.

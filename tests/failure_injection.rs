@@ -131,6 +131,43 @@ fn allocator_failure_taxonomy_is_stable() {
 }
 
 #[test]
+fn kb_indexes_stay_consistent_under_corrupted_telemetry() {
+    use cloudscope::faults::{corrupt_trace, FaultPlan};
+    use cloudscope::kb::run_extraction_pipeline;
+
+    // Extraction over a corrupted trace must leave the sharded store's
+    // secondary indexes exactly consistent with its entries, and the
+    // served results identical for any shard count.
+    let g = generate(&GeneratorConfig::small(45));
+    let (corrupted, _report) = corrupt_trace(&g.trace, &FaultPlan::standard(45));
+    let classifier = PatternClassifier::default();
+
+    let reference = KnowledgeBase::with_shards(1);
+    let ref_stats = run_extraction_pipeline(&corrupted, &reference, &classifier, 2, 2);
+    assert!(ref_stats.stored > 0, "corruption must not empty the KB");
+    assert_eq!(
+        reference.check_consistency().expect("reference consistent"),
+        reference.len()
+    );
+
+    for shards in [2usize, 8] {
+        let kb = KnowledgeBase::with_shards(shards);
+        let stats = run_extraction_pipeline(&corrupted, &kb, &classifier, 2, 2);
+        assert_eq!(stats, ref_stats);
+        assert_eq!(kb.check_consistency().expect("consistent"), kb.len());
+        assert_eq!(
+            KbQuery::all().collect(&kb),
+            KbQuery::all().collect(&reference),
+            "shard count changed served results under corruption"
+        );
+        assert_eq!(
+            KbQuery::spot_candidates().count(&kb),
+            KbQuery::spot_candidates().count(&reference)
+        );
+    }
+}
+
+#[test]
 fn partial_telemetry_windows_are_tolerated() {
     // Churn VMs have short telemetry windows; every analysis that
     // touches them must handle sub-day series without panicking.

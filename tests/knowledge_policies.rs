@@ -38,33 +38,34 @@ fn kb_covers_active_subscriptions() {
 
 #[test]
 fn spot_candidates_are_public_and_nontrivial() {
-    let candidates = kb().spot_candidates();
+    let query = KbQuery::spot_candidates();
     assert!(
-        !candidates.is_empty(),
+        query.count(kb()) > 0,
         "the public cloud's short-lived churn yields candidates"
     );
-    assert!(candidates.iter().all(|k| k.cloud == CloudKind::Public));
+    // Non-cloning check over the borrowed entries.
+    query.for_each(kb(), |k| assert_eq!(k.cloud, CloudKind::Public));
 }
 
 #[test]
 fn shiftable_workloads_are_private_multi_region() {
-    let shiftable = kb().shiftable_workloads();
+    let shiftable = KbQuery::shiftable();
     assert!(
-        !shiftable.is_empty(),
+        shiftable.count(kb()) > 0,
         "geo-LB private services are shiftable"
     );
-    for k in &shiftable {
+    shiftable.for_each(kb(), |k| {
         assert!(k.regions >= 2, "shiftable implies multi-region");
-    }
+    });
     // Prevalence within each cloud: among subscriptions whose
     // agnosticism was measurable, the private fraction is much higher.
     let fraction = |cloud: CloudKind| {
-        let measured = kb().query(|k| k.cloud == cloud && k.region_agnostic.is_some());
-        let agnostic = measured
-            .iter()
+        let measured =
+            KbQuery::matching(|k| k.cloud == cloud && k.region_agnostic.is_some()).count(kb());
+        let agnostic = KbQuery::matching(|k| k.cloud == cloud)
             .filter(|k| k.region_agnostic == Some(true))
-            .count();
-        agnostic as f64 / measured.len().max(1) as f64
+            .count(kb());
+        agnostic as f64 / measured.max(1) as f64
     };
     let private = fraction(CloudKind::Private);
     let public = fraction(CloudKind::Public);
@@ -89,7 +90,7 @@ fn kb_driven_shift_improves_source_region() {
     let g = generated();
     let at = SimTime::from_minutes(2 * 24 * 60 + 14 * 60);
     // Take any shiftable subscription's service with alive VMs somewhere.
-    let shiftable = kb().shiftable_workloads();
+    let shiftable = KbQuery::shiftable().collect(kb());
     let mut shifted = false;
     'outer: for k in &shiftable {
         for svc in g
@@ -126,12 +127,12 @@ fn kb_driven_shift_improves_source_region() {
 
 #[test]
 fn knowledge_values_are_physical() {
-    for k in kb().query(|_| true) {
+    KbQuery::all().for_each(kb(), |k| {
         assert!(k.mean_util >= 0.0 && k.mean_util <= 100.0);
         assert!(k.p95_util >= 0.0 && k.p95_util <= 100.0);
         assert!(k.util_cv >= 0.0);
         assert!(k.vm_count > 0);
         assert!(k.cores > 0);
         assert!((1..=10).contains(&k.regions));
-    }
+    });
 }

@@ -146,6 +146,14 @@ fn kb_pipeline_clean_run_records_zero_retries() {
     assert_counter_eq(&diff, "kb.pipeline.failed", 0);
     // Fresh store: every upsert call stored an entry.
     assert_counter_eq(&diff, "kb.store.upserts", stats.stored as u64);
+    // Every chunk with entries became exactly one batched write, and the
+    // store's feed ledger agrees with the pipeline's.
+    assert!(stats.batches >= 1);
+    assert_counter_eq(&diff, "kb.pipeline.batches", stats.batches as u64);
+    assert_counter_eq(&diff, "kb.store.feed_batches", stats.batches as u64);
+    // No stale writes happened, so the counter saw no traffic inside the
+    // scope (the store registered its zero at construction, outside).
+    assert_eq!(diff.counter("kb.store.stale_rejected").unwrap_or(0), 0);
 }
 
 /// With a 30% flaky store, the retry counter equals the pipeline's own
@@ -176,6 +184,64 @@ fn kb_pipeline_flaky_store_retries_reconcile_three_ways() {
         "faults.flaky.injected_failures",
         store.injected_failures() as u64,
     );
+    // Per-batch accounting: the flaky store saw one batched write per
+    // pipeline chunk (attempt 1 for each entry), and retries happened on
+    // top of — not instead of — those batches.
+    assert!(stats.batches >= 1);
+    assert_counter_eq(&diff, "kb.pipeline.batches", stats.batches as u64);
+    assert_eq!(
+        store.attempts(),
+        stats.stored + stats.retries,
+        "every write attempt either stored or was retried"
+    );
+}
+
+/// The serving-layer counters reconcile with ground truth: every query
+/// is tallied as indexed or scanned by its selector, `entries_cloned`
+/// counts exactly what `collect` returned, and the write-side counters
+/// match the upsert/stale/remove outcomes the API reported.
+#[test]
+fn kb_serving_counters_reconcile_with_query_outcomes() {
+    use cloudscope::kb::KbQuery;
+
+    let g = generate(&GeneratorConfig::small(9107));
+    let classifier = PatternClassifier::default();
+
+    let registry = Arc::new(Registry::new());
+    let ((spot_len, all_len, removed), diff) = snapshot_diff(&registry, || {
+        let kb = KnowledgeBase::with_shards(4);
+        let stats = run_extraction_pipeline(&g.trace, &kb, &classifier, 64, 2);
+        assert!(stats.stored > 0);
+
+        // Three indexed queries, two full scans.
+        let spot = KbQuery::spot_candidates().collect(&kb);
+        assert!(KbQuery::shiftable().count(&kb) <= kb.len());
+        KbQuery::oversubscription_candidates(CloudKind::Public).for_each(&kb, |_| {});
+        let everything = KbQuery::all().collect(&kb);
+        assert_eq!(everything.len(), kb.len());
+        assert_eq!(KbQuery::matching(|k| k.vm_count > 0).count(&kb), kb.len());
+
+        // One remove and one stale write (rejected by freshness).
+        let mut stale = everything[0].clone();
+        stale.updated_at = SimTime::from_minutes(stale.updated_at.minutes() - 1);
+        assert!(!kb.upsert(stale));
+        let removed = kb.remove(everything[0].subscription).is_some();
+        (spot.len(), everything.len(), removed)
+    });
+    assert!(removed);
+
+    // Selector routing: 3 indexed reads, 2 full scans.
+    assert_counter_eq(&diff, "kb.store.queries_indexed", 3);
+    assert_counter_eq(&diff, "kb.store.queries_scanned", 2);
+    // Cloning happened exactly at the two collects — count() / for_each
+    // contributed nothing.
+    assert_counter_eq(
+        &diff,
+        "kb.store.entries_cloned",
+        (spot_len + all_len) as u64,
+    );
+    assert_counter_eq(&diff, "kb.store.removes", 1);
+    assert_counter_eq(&diff, "kb.store.stale_rejected", 1);
 }
 
 /// Work accounting is scheduling-invariant: the same sweep reports the
