@@ -1,0 +1,193 @@
+//! Benchmarks for the scale-out trace generator: an allocator-level
+//! place/release microbench (free-capacity index vs the linear-scan
+//! reference) and end-to-end generation at 1/2/4/8 workers against
+//! [`generate_serial_reference`] — the pre-optimization path preserved
+//! in-tree, so the baseline is re-measured honestly on every run instead
+//! of compared to a remembered number. Results merge into
+//! `BENCH_tracegen.json` at the repo root.
+//!
+//! The final `verify` "benchmark" asserts the acceptance criterion: the
+//! indexed, region-parallel path at 8 workers must generate the medium
+//! deployment-only trace at least 4x faster than the serial reference.
+//! Byte-identity of the two paths is locked elsewhere (golden trace
+//! digests and `serial_reference_matches_parallel`); this file only has
+//! to prove the speed.
+
+use cloudscope::cluster::{ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule};
+use cloudscope::par::Parallelism;
+use cloudscope::prelude::*;
+use cloudscope::tracegen::{generate_serial_reference, generate_with};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+// --- allocator microbench ----------------------------------------------
+
+/// Cluster shape for the placement microbench: one medium-config cluster
+/// (3 racks x 40 nodes), the scale at which the old per-placement scan
+/// walks 120 nodes.
+fn bench_allocator(policy: PlacementPolicy) -> ClusterAllocator {
+    let mut b = Topology::builder();
+    let r = b.add_region("bench", 0, "US");
+    let d = b.add_datacenter(r);
+    let c = b.add_cluster(d, CloudKind::Private, NodeSku::new(48, 384.0), 3, 40);
+    let topo = b.build();
+    let mut alloc = ClusterAllocator::new(
+        topo.cluster(c).expect("cluster just added"),
+        policy,
+        SpreadingRule {
+            max_same_service_per_rack: Some(64),
+        },
+    );
+    // Prefill to ~70% so the steady-state churn below runs against a
+    // realistically fragmented cluster, not an empty one.
+    for i in 0..1000u64 {
+        let placed = alloc.place(PlacementRequest {
+            vm: VmId::new(i),
+            size: VmSize::new(4, 32.0),
+            service: ServiceId::new((i % 24) as u32),
+            priority: if i.is_multiple_of(5) {
+                Priority::Spot
+            } else {
+                Priority::OnDemand
+            },
+        });
+        assert!(placed.is_ok(), "prefill must fit");
+    }
+    alloc
+}
+
+const CHURN_PER_ITER: u64 = 256;
+
+/// One steady-state iteration: place a mixed batch, then release it, so
+/// every iteration sees the same occupancy and the numbers compare.
+fn churn_iter(alloc: &mut ClusterAllocator) {
+    for i in 0..CHURN_PER_ITER {
+        let cores = [2u32, 4, 8][(i % 3) as usize];
+        let placed = alloc.place(PlacementRequest {
+            vm: VmId::new(1_000_000 + i),
+            size: VmSize::new(cores, f64::from(cores) * 8.0),
+            service: ServiceId::new((i % 24) as u32),
+            priority: Priority::OnDemand,
+        });
+        assert!(placed.is_ok(), "churn batch must fit");
+    }
+    for i in 0..CHURN_PER_ITER {
+        alloc
+            .release(VmId::new(1_000_000 + i))
+            .expect("placed above");
+    }
+}
+
+fn bench_place(c: &mut Criterion) {
+    // First group to run: point the harness at the repo-root JSON file.
+    c.json_output(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_tracegen.json"
+    ));
+    let smoke = std::env::var_os("CLOUDSCOPE_BENCH_SMOKE").is_some();
+
+    let mut group = c.benchmark_group("tracegen_place");
+    group.sample_size(if smoke { 3 } else { 20 });
+    for policy in [
+        PlacementPolicy::BestFit,
+        PlacementPolicy::FirstFit,
+        PlacementPolicy::WorstFit,
+    ] {
+        let mut indexed = bench_allocator(policy);
+        let mut scan = bench_allocator(policy).scan_reference_mode();
+        group.bench_function(&format!("indexed/{policy:?}"), |b| {
+            b.iter(|| churn_iter(black_box(&mut indexed)));
+        });
+        group.bench_function(&format!("scan/{policy:?}"), |b| {
+            b.iter(|| churn_iter(black_box(&mut scan)));
+        });
+    }
+    group.finish();
+}
+
+// --- end-to-end generation ---------------------------------------------
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The acceptance-criterion workload: the medium subscription load on
+/// full-scale clusters (25 racks x 40 nodes = 1000 nodes per cluster,
+/// the size the tentpole targets — the test preset's 120-node clusters
+/// are deliberately small and under-exercise the per-placement node
+/// scan this PR removes). Telemetry is off so the measured cost is
+/// placement + simulation + assembly — the paths this PR rebuilt.
+fn medium_deploy_config() -> GeneratorConfig {
+    let mut cfg = GeneratorConfig::medium(7);
+    cfg.topology.racks_per_cluster = 25;
+    cfg.topology.nodes_per_rack = 40;
+    cfg.telemetry = false;
+    cfg
+}
+
+fn bench_e2e_medium(c: &mut Criterion) {
+    let smoke = std::env::var_os("CLOUDSCOPE_BENCH_SMOKE").is_some();
+    let cfg = medium_deploy_config();
+    let mut group = c.benchmark_group("tracegen_e2e");
+    group.sample_size(if smoke { 3 } else { 10 });
+    group.bench_function("serial_reference/medium", |b| {
+        b.iter(|| generate_serial_reference(black_box(&cfg)));
+    });
+    for workers in WORKER_COUNTS {
+        group.bench_with_input(BenchmarkId::new("parallel", workers), &workers, |b, &w| {
+            b.iter(|| generate_with(black_box(&cfg), Parallelism::with_workers(w)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_e2e_small(c: &mut Criterion) {
+    let smoke = std::env::var_os("CLOUDSCOPE_BENCH_SMOKE").is_some();
+    let cfg = GeneratorConfig::small(7);
+    let mut group = c.benchmark_group("tracegen_small");
+    group.sample_size(if smoke { 3 } else { 10 });
+    group.bench_function("serial_reference/small", |b| {
+        b.iter(|| generate_serial_reference(black_box(&cfg)));
+    });
+    for workers in WORKER_COUNTS {
+        group.bench_with_input(BenchmarkId::new("parallel", workers), &workers, |b, &w| {
+            b.iter(|| generate_with(black_box(&cfg), Parallelism::with_workers(w)));
+        });
+    }
+    group.finish();
+}
+
+/// Not a timing benchmark: checks the acceptance criteria against the
+/// results measured above and fails the bench run (panics) on
+/// regression.
+fn verify_acceptance(c: &mut Criterion) {
+    let median = |id: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.id == id)
+            .unwrap_or_else(|| panic!("missing bench result {id}"))
+            .median_ns
+    };
+
+    let place_speedup =
+        median("tracegen_place/scan/BestFit") / median("tracegen_place/indexed/BestFit");
+    println!("placement microbench indexed speedup over scan (BestFit): {place_speedup:.1}x");
+    assert!(
+        place_speedup >= 2.0,
+        "indexed placement must beat the 120-node scan by >= 2x, got {place_speedup:.2}x"
+    );
+
+    let e2e = median("tracegen_e2e/serial_reference/medium") / median("tracegen_e2e/parallel/8");
+    println!("end-to-end medium generation speedup at 8 workers over serial reference: {e2e:.1}x");
+    assert!(
+        e2e >= 4.0,
+        "medium-scale generation at 8 workers must be >= 4x the serial reference, got {e2e:.2}x"
+    );
+}
+
+criterion_group!(
+    tracegen,
+    bench_place,
+    bench_e2e_medium,
+    bench_e2e_small,
+    verify_acceptance
+);
+criterion_main!(tracegen);

@@ -8,11 +8,11 @@
 
 use crate::error::AllocationError;
 use crate::node::NodeState;
+use cloudscope_model::fast_hash::FastMap;
 use cloudscope_model::ids::{ClusterId, NodeId, RackId, ServiceId, VmId};
 use cloudscope_model::topology::Cluster;
 use cloudscope_model::vm::{Priority, VmSize};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A placement request, as the allocation service sees it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,17 +87,51 @@ struct Placement {
 }
 
 /// The allocation service for one cluster.
+///
+/// Node selection is served from an incrementally maintained
+/// free-capacity index: nodes are bucketed by free cores (the SKU is
+/// uniform within a cluster, so buckets form a dense `0..=sku.cores`
+/// array), each bucket keeping node offsets in ascending order. Every
+/// [`PlacementPolicy`] walks the buckets in its own direction and
+/// reproduces the linear scan's tie-breaks exactly; debug builds
+/// cross-check each selection against the scan, and
+/// `tests/index_oracle.rs` proptests the equivalence in release mode.
 #[derive(Debug, Clone)]
 pub struct ClusterAllocator {
     id: ClusterId,
     node_ids: Vec<NodeId>,
     nodes: Vec<NodeState>,
-    node_offset: HashMap<NodeId, usize>,
-    placements: HashMap<VmId, Placement>,
-    rack_service: HashMap<(RackId, ServiceId), u32>,
+    node_offset: FastMap<NodeId, usize>,
+    placements: FastMap<VmId, Placement>,
+    rack_service: FastMap<(RackId, ServiceId), u32>,
     policy: PlacementPolicy,
     spreading: SpreadingRule,
     stats: AllocatorStats,
+    /// `free_index[f]` = offsets of nodes with exactly `f` free cores,
+    /// ascending. Buckets are small sorted vectors (at most the node
+    /// count, usually a handful): binary-search insert/remove beats a
+    /// tree at this size, and walking a bucket is a slice scan.
+    free_index: Vec<Vec<u32>>,
+    /// Bitmask over `free_index`: bit `f` of word `f / 64` is set iff
+    /// bucket `f` is non-empty, so policy walks jump straight to
+    /// occupied buckets instead of probing every empty one.
+    occupied: Vec<u64>,
+    /// Evictable (spot) cores per node, for the eviction-plan prefilter.
+    spot_cores: Vec<u32>,
+    /// Running totals so `core_allocation_ratio` is O(1).
+    cores_used_total: u64,
+    cores_capacity: u64,
+    /// Nodes probed by the index walk (see `index_candidates()`).
+    index_candidates: u64,
+    /// Reference mode: answer from the pre-index linear scans instead of
+    /// the index, reconstructing the old cost model for benchmarks.
+    scan_reference: bool,
+    /// Cached handles for the per-placement metrics, fetched once from
+    /// the registry current at construction: the place path is hot, and
+    /// a registry name lookup per call would dominate it.
+    metric_placements: cloudscope_obs::Counter,
+    metric_failures: cloudscope_obs::Counter,
+    metric_candidates: cloudscope_obs::Counter,
 }
 
 impl ClusterAllocator {
@@ -106,7 +140,8 @@ impl ClusterAllocator {
     pub fn new(cluster: &Cluster, policy: PlacementPolicy, spreading: SpreadingRule) -> Self {
         let mut node_ids = Vec::with_capacity(cluster.nodes.len());
         let mut nodes = Vec::with_capacity(cluster.nodes.len());
-        let mut node_offset = HashMap::with_capacity(cluster.nodes.len());
+        let mut node_offset =
+            FastMap::with_capacity_and_hasher(cluster.nodes.len(), Default::default());
         let nodes_per_rack = cluster.nodes.len() / cluster.racks.len();
         for (i, &nid) in cluster.nodes.iter().enumerate() {
             let rack = cluster.racks[(i / nodes_per_rack).min(cluster.racks.len() - 1)];
@@ -114,17 +149,54 @@ impl ClusterAllocator {
             nodes.push(NodeState::new(cluster.sku, rack));
             node_offset.insert(nid, i);
         }
+        let buckets = cluster.sku.cores as usize + 1;
+        let mut free_index = vec![Vec::new(); buckets];
+        free_index[buckets - 1] = (0..nodes.len() as u32).collect();
+        let mut occupied = vec![0u64; buckets.div_ceil(64)];
+        if !nodes.is_empty() {
+            occupied[(buckets - 1) / 64] |= 1 << ((buckets - 1) % 64);
+        }
+        let cores_capacity = nodes.iter().map(|n| u64::from(n.cores_total())).sum();
         Self {
             id: cluster.id,
             node_ids,
+            spot_cores: vec![0; nodes.len()],
             nodes,
             node_offset,
-            placements: HashMap::new(),
-            rack_service: HashMap::new(),
+            placements: FastMap::default(),
+            rack_service: FastMap::default(),
             policy,
             spreading,
             stats: AllocatorStats::default(),
+            free_index,
+            occupied,
+            cores_used_total: 0,
+            cores_capacity,
+            index_candidates: 0,
+            scan_reference: false,
+            metric_placements: cloudscope_obs::counter("cluster.allocator.placements"),
+            metric_failures: cloudscope_obs::counter("cluster.allocator.placement_failures"),
+            metric_candidates: cloudscope_obs::counter("cluster.alloc.index_candidates"),
         }
+    }
+
+    /// Switches this allocator to the pre-index reference path: node
+    /// selection, `core_allocation_ratio`, and the eviction plan all run
+    /// the original O(nodes) scans. Placement decisions are identical
+    /// (the index reproduces the scan byte-for-byte); only the cost
+    /// model changes. Benchmarks use this as the serial baseline, and
+    /// the oracle proptests compare both paths on live allocators.
+    #[must_use]
+    pub fn scan_reference_mode(mut self) -> Self {
+        self.scan_reference = true;
+        self
+    }
+
+    /// Whether this allocator is in [`scan reference
+    /// mode`](Self::scan_reference_mode).
+    #[must_use]
+    pub const fn is_scan_reference(&self) -> bool {
+        self.scan_reference
     }
 
     /// The cluster this allocator manages.
@@ -146,15 +218,35 @@ impl ClusterAllocator {
     }
 
     /// Fraction of the cluster's cores currently allocated.
+    ///
+    /// Served from running counters maintained by `commit`/`release`
+    /// (O(1)); the counts are exact integer sums, so the value is
+    /// bit-identical to a fresh scan over the nodes.
     #[must_use]
     pub fn core_allocation_ratio(&self) -> f64 {
-        let used: u64 = self.nodes.iter().map(|n| u64::from(n.cores_used())).sum();
-        let total: u64 = self.nodes.iter().map(|n| u64::from(n.cores_total())).sum();
-        if total == 0 {
+        if self.scan_reference {
+            let used: u64 = self.nodes.iter().map(|n| u64::from(n.cores_used())).sum();
+            let total: u64 = self.nodes.iter().map(|n| u64::from(n.cores_total())).sum();
+            return if total == 0 {
+                0.0
+            } else {
+                used as f64 / total as f64
+            };
+        }
+        if self.cores_capacity == 0 {
             0.0
         } else {
-            used as f64 / total as f64
+            self.cores_used_total as f64 / self.cores_capacity as f64
         }
+    }
+
+    /// Total nodes the index walk has probed while answering placement
+    /// requests. Flushed to the `cluster.alloc.index_candidates` metric;
+    /// the ratio `index_candidates / attempts` is the per-request probe
+    /// cost the index achieves (the scan's equivalent is the node count).
+    #[must_use]
+    pub const fn index_candidates(&self) -> u64 {
+        self.index_candidates
     }
 
     /// Read-only view of a node's state.
@@ -194,9 +286,25 @@ impl ClusterAllocator {
         }
     }
 
-    /// Chooses a node for `request` per the policy, or classifies the
-    /// failure. Does not mutate state.
-    fn choose_node(&self, request: &PlacementRequest) -> Result<usize, AllocationError> {
+    /// Chooses a node for `request`, or classifies the failure. Does not
+    /// mutate state. Answers from the free-capacity index (debug builds
+    /// cross-check the linear scan) unless in scan-reference mode.
+    fn choose_node(&self, request: &PlacementRequest) -> (Result<usize, AllocationError>, u64) {
+        if self.scan_reference {
+            return (self.choose_node_scan(request), self.nodes.len() as u64);
+        }
+        let chosen = self.choose_node_indexed(request);
+        debug_assert_eq!(
+            chosen.0,
+            self.choose_node_scan(request),
+            "free-capacity index diverged from the linear-scan oracle"
+        );
+        chosen
+    }
+
+    /// The original O(nodes) selection scan, kept as the oracle the
+    /// index is checked against (debug asserts + release proptests).
+    fn choose_node_scan(&self, request: &PlacementRequest) -> Result<usize, AllocationError> {
         let mut any_fits = false;
         let mut best: Option<(usize, u32)> = None;
         for (i, node) in self.nodes.iter().enumerate() {
@@ -228,6 +336,159 @@ impl ClusterAllocator {
         }
     }
 
+    /// Lowest non-empty bucket index `>= from`, via the occupancy
+    /// bitmask.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        if from >= self.free_index.len() {
+            return None;
+        }
+        let mut word = from / 64;
+        let mut bits = self.occupied[word] & (u64::MAX << (from % 64));
+        loop {
+            if bits != 0 {
+                let f = word * 64 + bits.trailing_zeros() as usize;
+                return (f < self.free_index.len()).then_some(f);
+            }
+            word += 1;
+            if word >= self.occupied.len() {
+                return None;
+            }
+            bits = self.occupied[word];
+        }
+    }
+
+    /// Highest non-empty bucket index `<= upto`, via the occupancy
+    /// bitmask.
+    fn prev_occupied(&self, upto: usize) -> Option<usize> {
+        let upto = upto.min(self.free_index.len() - 1);
+        let mut word = upto / 64;
+        let mut bits = self.occupied[word] & (u64::MAX >> (63 - upto % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + 63 - bits.leading_zeros() as usize);
+            }
+            if word == 0 {
+                return None;
+            }
+            word -= 1;
+            bits = self.occupied[word];
+        }
+    }
+
+    /// Index-backed selection. Walks the free-cores buckets in the
+    /// policy's direction; within a bucket every node shares the same
+    /// `free_after`, so the scan's strict-inequality tie-break (lowest
+    /// offset wins among equals) is exactly the bucket's ascending
+    /// order. Returns the choice plus the number of nodes probed.
+    ///
+    /// Failure classification matches the scan: when no feasible node
+    /// exists the walk has visited every node with enough free cores, so
+    /// "did anything fit before spreading" is known exactly.
+    fn choose_node_indexed(
+        &self,
+        request: &PlacementRequest,
+    ) -> (Result<usize, AllocationError>, u64) {
+        let needed = request.size.cores() as usize;
+        let mut probed = 0u64;
+        let mut any_fits = false;
+        if needed < self.free_index.len() {
+            match self.policy {
+                PlacementPolicy::BestFit => {
+                    // Lowest feasible free count = tightest fit.
+                    let mut f = self.next_occupied(needed);
+                    while let Some(b) = f {
+                        for &i in &self.free_index[b] {
+                            let i = i as usize;
+                            probed += 1;
+                            if !self.nodes[i].fits(request.size) {
+                                continue; // enough cores, not enough memory
+                            }
+                            any_fits = true;
+                            if self.spreading_ok(i, request.service) {
+                                return (Ok(i), probed);
+                            }
+                        }
+                        f = self.next_occupied(b + 1);
+                    }
+                }
+                PlacementPolicy::WorstFit => {
+                    let mut f = self.prev_occupied(self.free_index.len() - 1);
+                    while let Some(b) = f {
+                        if b < needed {
+                            break;
+                        }
+                        for &i in &self.free_index[b] {
+                            let i = i as usize;
+                            probed += 1;
+                            if !self.nodes[i].fits(request.size) {
+                                continue;
+                            }
+                            any_fits = true;
+                            if self.spreading_ok(i, request.service) {
+                                return (Ok(i), probed);
+                            }
+                        }
+                        f = b.checked_sub(1).and_then(|b| self.prev_occupied(b));
+                    }
+                }
+                PlacementPolicy::FirstFit => {
+                    // Lowest offset across all eligible buckets. Buckets
+                    // iterate ascending, so a bucket stops contributing
+                    // once its offsets pass the best found so far.
+                    let mut best: Option<usize> = None;
+                    let mut f = self.next_occupied(needed);
+                    while let Some(b) = f {
+                        for &i in &self.free_index[b] {
+                            let i = i as usize;
+                            if best.is_some_and(|b| i >= b) {
+                                break;
+                            }
+                            probed += 1;
+                            if !self.nodes[i].fits(request.size) {
+                                continue;
+                            }
+                            any_fits = true;
+                            if self.spreading_ok(i, request.service) {
+                                best = Some(i);
+                                break;
+                            }
+                        }
+                        f = self.next_occupied(b + 1);
+                    }
+                    if let Some(i) = best {
+                        return (Ok(i), probed);
+                    }
+                }
+            }
+        }
+        let err = if any_fits {
+            AllocationError::SpreadingViolation(self.id)
+        } else {
+            AllocationError::InsufficientCapacity(self.id)
+        };
+        (Err(err), probed)
+    }
+
+    /// Non-mutating placement probe through the index path, as a
+    /// [`NodeId`]. The release-mode oracle proptests compare this
+    /// against [`ClusterAllocator::probe_scan`] on live allocators.
+    ///
+    /// # Errors
+    /// Same classification as [`ClusterAllocator::place`].
+    pub fn probe(&self, request: &PlacementRequest) -> Result<NodeId, AllocationError> {
+        self.choose_node_indexed(request)
+            .0
+            .map(|i| self.node_ids[i])
+    }
+
+    /// Non-mutating placement probe through the linear-scan oracle.
+    ///
+    /// # Errors
+    /// Same classification as [`ClusterAllocator::place`].
+    pub fn probe_scan(&self, request: &PlacementRequest) -> Result<NodeId, AllocationError> {
+        self.choose_node_scan(request).map(|i| self.node_ids[i])
+    }
+
     /// Places a VM, returning the chosen node.
     ///
     /// # Errors
@@ -239,7 +500,9 @@ impl ClusterAllocator {
             return Err(AllocationError::AlreadyPlaced(request.vm));
         }
         self.stats.attempts += 1;
-        let idx = match self.choose_node(&request) {
+        let (chosen, probed) = self.choose_node(&request);
+        self.index_candidates += probed;
+        let idx = match chosen {
             Ok(idx) => idx,
             Err(e) => {
                 match e {
@@ -251,17 +514,48 @@ impl ClusterAllocator {
                     }
                     _ => {}
                 }
-                cloudscope_obs::counter("cluster.allocator.placement_failures").inc();
+                self.metric_failures.inc();
+                self.metric_candidates.add(probed);
                 return Err(e);
             }
         };
         self.commit(idx, request);
-        cloudscope_obs::counter("cluster.allocator.placements").inc();
+        self.metric_placements.inc();
+        self.metric_candidates.add(probed);
         Ok(self.node_ids[idx])
     }
 
+    /// Moves node `idx` between free-cores buckets after its free count
+    /// changed from `old_free` to its current value.
+    fn reindex_node(&mut self, idx: usize, old_free: u32) {
+        let new_free = self.nodes[idx].cores_free();
+        if new_free == old_free {
+            return;
+        }
+        let old_bucket = &mut self.free_index[old_free as usize];
+        let pos = old_bucket
+            .binary_search(&(idx as u32))
+            .expect("node missing from its free-cores bucket");
+        old_bucket.remove(pos);
+        if old_bucket.is_empty() {
+            self.occupied[old_free as usize / 64] &= !(1u64 << (old_free % 64));
+        }
+        let new_bucket = &mut self.free_index[new_free as usize];
+        let pos = new_bucket
+            .binary_search(&(idx as u32))
+            .expect_err("node already in target bucket");
+        new_bucket.insert(pos, idx as u32);
+        self.occupied[new_free as usize / 64] |= 1u64 << (new_free % 64);
+    }
+
     fn commit(&mut self, idx: usize, request: PlacementRequest) {
+        let old_free = self.nodes[idx].cores_free();
         self.nodes[idx].place(request.vm, request.size);
+        self.reindex_node(idx, old_free);
+        self.cores_used_total += u64::from(request.size.cores());
+        if request.priority == Priority::Spot {
+            self.spot_cores[idx] += request.size.cores();
+        }
         let rack = self.nodes[idx].rack();
         *self
             .rack_service
@@ -317,12 +611,25 @@ impl ClusterAllocator {
 
     /// Finds the node where evicting the fewest spot VMs makes the
     /// request fit; returns node index and victim list.
+    ///
+    /// Rides the same incremental indexes as placement: a per-node
+    /// evictable-cores counter prefilters nodes that could not reach the
+    /// requested core count even with every spot VM gone (an exact
+    /// integer bound, so the surviving candidate set — and therefore the
+    /// chosen plan — is identical to the full scan's). Memory is left to
+    /// the per-victim walk: it accumulates `f64` sizes in eviction
+    /// order, and short-circuiting it on a precomputed total could
+    /// reorder those additions.
     fn eviction_plan(&self, request: &PlacementRequest) -> Option<(usize, Vec<VmId>)> {
         if request.priority != Priority::OnDemand {
             return None;
         }
         let mut best: Option<(usize, Vec<VmId>)> = None;
         for (i, node) in self.nodes.iter().enumerate() {
+            if !self.scan_reference && node.cores_free() + self.spot_cores[i] < request.size.cores()
+            {
+                continue;
+            }
             let mut free_cores = node.cores_free();
             let mut free_mem = node.memory_free();
             let mut victims = Vec::new();
@@ -363,8 +670,14 @@ impl ClusterAllocator {
             .remove(&vm)
             .ok_or(AllocationError::UnknownVm(vm))?;
         let idx = self.node_offset[&placement.node];
+        let old_free = self.nodes[idx].cores_free();
         let released = self.nodes[idx].release(vm, placement.size);
         debug_assert!(released, "placement table and node state diverged");
+        self.reindex_node(idx, old_free);
+        self.cores_used_total -= u64::from(placement.size.cores());
+        if placement.priority == Priority::Spot {
+            self.spot_cores[idx] -= placement.size.cores();
+        }
         let rack = self.nodes[idx].rack();
         if let Some(count) = self.rack_service.get_mut(&(rack, placement.service)) {
             *count = count.saturating_sub(1);

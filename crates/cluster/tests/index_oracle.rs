@@ -1,0 +1,315 @@
+//! Index-vs-scan oracle: the free-capacity index must reproduce the
+//! linear-scan node selection byte-for-byte.
+//!
+//! Debug builds already cross-check every `choose_node` against the scan
+//! via `debug_assert_eq!`; these proptests drive an indexed allocator and
+//! a `scan_reference_mode` twin through identical operation sequences in
+//! *release* mode (scripts/check.sh runs them there), covering every
+//! `PlacementPolicy` × `SpreadingRule`, plus eviction and the running
+//! `core_allocation_ratio` counters.
+
+use cloudscope_cluster::{
+    AllocationError, ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule,
+};
+use cloudscope_model::ids::{NodeId, ServiceId, VmId};
+use cloudscope_model::subscription::CloudKind;
+use cloudscope_model::topology::{NodeSku, Topology};
+use cloudscope_model::vm::{Priority, VmSize};
+use proptest::prelude::*;
+
+fn build_allocator(policy: PlacementPolicy, spread: Option<u32>) -> ClusterAllocator {
+    let mut b = Topology::builder();
+    let r = b.add_region("oracle", 0, "US");
+    let d = b.add_datacenter(r);
+    let c = b.add_cluster(d, CloudKind::Public, NodeSku::new(16, 128.0), 3, 4);
+    let topo = b.build();
+    ClusterAllocator::new(
+        topo.cluster(c).unwrap(),
+        policy,
+        SpreadingRule {
+            max_same_service_per_rack: spread,
+        },
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Place {
+        cores: u32,
+        service: u32,
+        spot: bool,
+    },
+    PlaceEvict {
+        cores: u32,
+        service: u32,
+    },
+    Release {
+        slot: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..=16, 0u32..4, any::<bool>()).prop_map(|(cores, service, spot)| Op::Place {
+            cores,
+            service,
+            spot
+        }),
+        (1u32..=16, 0u32..4).prop_map(|(cores, service)| Op::PlaceEvict { cores, service }),
+        (0usize..64).prop_map(|slot| Op::Release { slot }),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = PlacementPolicy> {
+    prop_oneof![
+        Just(PlacementPolicy::FirstFit),
+        Just(PlacementPolicy::BestFit),
+        Just(PlacementPolicy::WorstFit),
+    ]
+}
+
+/// Fresh O(nodes) recomputation of the allocation ratio, the oracle for
+/// the running counters behind `core_allocation_ratio`.
+fn scanned_ratio(alloc: &ClusterAllocator) -> f64 {
+    let mut used = 0u64;
+    let mut total = 0u64;
+    for (_, state) in alloc.nodes() {
+        used += u64::from(state.cores_used());
+        total += u64::from(state.cores_total());
+    }
+    if total == 0 {
+        0.0
+    } else {
+        used as f64 / total as f64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drive an indexed allocator and its scan-reference twin through the
+    /// same random sequence of placements, evicting placements, and
+    /// releases: every returned node, error variant, victim list, stat
+    /// counter, and the running allocation ratio must agree exactly.
+    #[test]
+    fn index_matches_scan_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..150),
+        policy in policy_strategy(),
+        spread in prop_oneof![Just(None), (1u32..4).prop_map(Some)],
+    ) {
+        let mut indexed = build_allocator(policy, spread);
+        let mut scan = build_allocator(policy, spread).scan_reference_mode();
+        let mut placed: Vec<VmId> = Vec::new();
+        let mut next_vm = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Place { cores, service, spot } => {
+                    let request = PlacementRequest {
+                        vm: VmId::new(next_vm),
+                        size: VmSize::new(cores, f64::from(cores) * 4.0),
+                        service: ServiceId::new(service),
+                        priority: if spot { Priority::Spot } else { Priority::OnDemand },
+                    };
+                    next_vm += 1;
+                    // Non-mutating probes first: the index path and the
+                    // scan path must agree on the same live state.
+                    prop_assert_eq!(indexed.probe(&request), indexed.probe_scan(&request));
+                    let a = indexed.place(request);
+                    let b = scan.place(request);
+                    prop_assert_eq!(a, b, "place diverged");
+                    if a.is_ok() {
+                        placed.push(request.vm);
+                    }
+                }
+                Op::PlaceEvict { cores, service } => {
+                    let request = PlacementRequest {
+                        vm: VmId::new(next_vm),
+                        size: VmSize::new(cores, f64::from(cores) * 4.0),
+                        service: ServiceId::new(service),
+                        priority: Priority::OnDemand,
+                    };
+                    next_vm += 1;
+                    let a = indexed.place_with_eviction(request);
+                    let b = scan.place_with_eviction(request);
+                    prop_assert_eq!(&a, &b, "place_with_eviction diverged");
+                    if let Ok((_, victims)) = a {
+                        placed.retain(|vm| !victims.contains(vm));
+                        placed.push(request.vm);
+                    }
+                }
+                Op::Release { slot } => {
+                    if !placed.is_empty() {
+                        let vm = placed.swap_remove(slot % placed.len());
+                        let a = indexed.release(vm);
+                        let b = scan.release(vm);
+                        prop_assert_eq!(a, b, "release diverged");
+                    }
+                }
+            }
+
+            prop_assert_eq!(indexed.stats(), scan.stats());
+            prop_assert_eq!(indexed.placed_count(), scan.placed_count());
+            // Running-counter ratio is bit-identical to a fresh scan.
+            prop_assert_eq!(
+                indexed.core_allocation_ratio().to_bits(),
+                scanned_ratio(&indexed).to_bits(),
+                "running core counters drifted from node state"
+            );
+            prop_assert_eq!(
+                indexed.core_allocation_ratio().to_bits(),
+                scan.core_allocation_ratio().to_bits()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Eviction / migration edge cases
+// ---------------------------------------------------------------------
+
+/// 2 racks × 2 nodes of 8 cores / 64 GiB each.
+fn small_allocator(policy: PlacementPolicy, spread: Option<u32>) -> ClusterAllocator {
+    let mut b = Topology::builder();
+    let r = b.add_region("edge", 0, "US");
+    let d = b.add_datacenter(r);
+    let c = b.add_cluster(d, CloudKind::Private, NodeSku::new(8, 64.0), 2, 2);
+    let topo = b.build();
+    ClusterAllocator::new(
+        topo.cluster(c).unwrap(),
+        policy,
+        SpreadingRule {
+            max_same_service_per_rack: spread,
+        },
+    )
+}
+
+fn node_ids(alloc: &ClusterAllocator) -> Vec<NodeId> {
+    alloc.nodes().map(|(id, _)| id).collect()
+}
+
+fn req(vm: u64, cores: u32, service: u32, priority: Priority) -> PlacementRequest {
+    PlacementRequest {
+        vm: VmId::new(vm),
+        size: VmSize::new(cores, f64::from(cores) * 4.0),
+        service: ServiceId::new(service),
+        priority,
+    }
+}
+
+/// Evicting the node's spot VMs frees *exactly* the requested size: the
+/// boundary where `free_cores >= needed` first holds with equality.
+#[test]
+fn eviction_exactly_fills_the_gap() {
+    let mut a = small_allocator(PlacementPolicy::BestFit, None);
+    let ids = node_ids(&a);
+    // Fill every node to 8/8 so plain placement cannot succeed anywhere:
+    // node 0 gets on-demand 4 + spot 4, the rest are fully on-demand.
+    a.place(req(0, 4, 0, Priority::OnDemand)).unwrap();
+    a.place(req(1, 4, 0, Priority::Spot)).unwrap();
+    for (i, vm) in (2..=4).enumerate() {
+        a.place(req(vm, 8, 0, Priority::OnDemand)).unwrap();
+        let _ = i;
+    }
+    assert!((a.core_allocation_ratio() - 1.0).abs() < 1e-12);
+
+    // 4 on-demand cores: only node 0 can help, and evicting its single
+    // 4-core spot VM frees exactly 4 cores — no slack on either side.
+    let (node, victims) = a
+        .place_with_eviction(req(9, 4, 0, Priority::OnDemand))
+        .unwrap();
+    assert_eq!(node, ids[0]);
+    assert_eq!(victims, vec![VmId::new(1)]);
+    assert_eq!(a.stats().evictions, 1);
+    assert_eq!(a.placement_of(VmId::new(1)), None);
+    // The cluster is full again: exactly filled, nothing over-freed.
+    assert!((a.core_allocation_ratio() - 1.0).abs() < 1e-12);
+}
+
+/// When no node's spot mix can free enough cores, eviction must refuse
+/// and leave every placement untouched.
+#[test]
+fn eviction_refuses_when_spot_mix_insufficient() {
+    let mut a = small_allocator(PlacementPolicy::BestFit, None);
+    // Each node: 5 on-demand + 2 spot = 7/8 used, 1 free. Evicting all
+    // spot frees at most 1 + 2 = 3 cores per node.
+    for n in 0..4u64 {
+        a.place(req(n * 2, 5, 0, Priority::OnDemand)).unwrap();
+        a.place(req(n * 2 + 1, 2, 0, Priority::Spot)).unwrap();
+    }
+    let before_placed = a.placed_count();
+    let before_stats = *a.stats();
+
+    let err = a.place_with_eviction(req(100, 6, 0, Priority::OnDemand));
+    assert!(matches!(err, Err(AllocationError::InsufficientCapacity(_))));
+    assert_eq!(a.placed_count(), before_placed, "no VM may be disturbed");
+    assert_eq!(a.stats().evictions, 0);
+    assert_eq!(a.stats().successes, before_stats.successes);
+    // Every spot VM is still where it was.
+    for n in 0..4u64 {
+        assert!(a.placement_of(VmId::new(n * 2 + 1)).is_some());
+    }
+}
+
+/// Migration deliberately skips the spreading re-check (evacuations take
+/// priority), but the inflated rack counts must still steer *subsequent*
+/// placements away from the over-packed rack.
+#[test]
+fn migrate_may_violate_spreading_but_counts_stick() {
+    let mut a = small_allocator(PlacementPolicy::BestFit, Some(1));
+    let ids = node_ids(&a);
+    // Nodes 0,1 are rack 0; nodes 2,3 are rack 1 (cap: 1 per rack).
+    let n0 = a.place(req(0, 2, 7, Priority::OnDemand)).unwrap();
+    assert_eq!(n0, ids[0]);
+    let n1 = a.place(req(1, 2, 7, Priority::OnDemand)).unwrap();
+    assert_eq!(n1, ids[2], "spreading must push the second VM to rack 1");
+
+    // Evacuate vm1 into rack 0 — now rack 0 holds two service-7 VMs,
+    // exceeding the cap. The migration itself must succeed.
+    a.migrate(VmId::new(1), ids[1]).unwrap();
+    assert_eq!(a.placement_of(VmId::new(1)), Some(ids[1]));
+    assert_eq!(a.stats().migrations, 1);
+
+    // A third service-7 placement must avoid rack 0 (count 2 >= cap 1)
+    // and land in the now-empty rack 1.
+    let n2 = a.place(req(2, 2, 7, Priority::OnDemand)).unwrap();
+    assert_eq!(n2, ids[2]);
+
+    // With rack 1 also at its cap, the next one fails on spreading, not
+    // capacity — plenty of cores remain.
+    let err = a.place(req(3, 2, 7, Priority::OnDemand));
+    assert!(matches!(err, Err(AllocationError::SpreadingViolation(_))));
+}
+
+/// Release after migrate must settle accounts against the *destination*
+/// node and fully unwind rack/spreading/core counters.
+#[test]
+fn release_after_migrate_accounting() {
+    let mut a = small_allocator(PlacementPolicy::BestFit, Some(1));
+    let ids = node_ids(&a);
+    a.place(req(0, 4, 3, Priority::OnDemand)).unwrap();
+    a.migrate(VmId::new(0), ids[2]).unwrap();
+
+    let released_from = a.release(VmId::new(0)).unwrap();
+    assert_eq!(
+        released_from, ids[2],
+        "release must hit the migrated-to node"
+    );
+    assert_eq!(a.placed_count(), 0);
+    assert!(a.core_allocation_ratio() < 1e-12);
+    for (_, state) in a.nodes() {
+        assert_eq!(state.cores_used(), 0);
+        assert!(state.vms().is_empty());
+    }
+
+    // Both racks' service counts must be back to zero: a fresh placement
+    // of the same service is free to take rack 0 again.
+    let n = a.place(req(1, 4, 3, Priority::OnDemand)).unwrap();
+    assert_eq!(n, ids[0]);
+    let stats = a.stats();
+    assert_eq!(
+        (stats.attempts, stats.successes, stats.migrations),
+        (3, 3, 1),
+        "place + migrate + place, all successful"
+    );
+}

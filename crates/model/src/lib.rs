@@ -33,6 +33,7 @@
 
 pub mod error;
 pub mod export;
+pub mod fast_hash;
 pub mod ids;
 pub mod subscription;
 pub mod telemetry;

@@ -6,6 +6,7 @@
 //! region, and service) so the characterization pipeline never scans.
 
 use crate::error::ModelError;
+use crate::fast_hash::FastMap;
 use crate::ids::{NodeId, RegionId, ServiceId, SubscriptionId, VmId};
 use crate::subscription::{CloudKind, Subscription};
 use crate::telemetry::UtilSeries;
@@ -13,7 +14,6 @@ use crate::time::{SimTime, SAMPLES_PER_WEEK, SAMPLE_INTERVAL_MINUTES};
 use crate::topology::Topology;
 use crate::vm::VmRecord;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A complete one-week workload trace for one or both clouds.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -22,10 +22,10 @@ pub struct Trace {
     subscriptions: Vec<Subscription>,
     vms: Vec<VmRecord>,
     util: Vec<Option<UtilSeries>>,
-    by_subscription: HashMap<SubscriptionId, Vec<VmId>>,
-    by_node: HashMap<NodeId, Vec<VmId>>,
-    by_region: HashMap<RegionId, Vec<VmId>>,
-    by_service: HashMap<ServiceId, Vec<VmId>>,
+    by_subscription: FastMap<SubscriptionId, Vec<VmId>>,
+    by_node: FastMap<NodeId, Vec<VmId>>,
+    by_region: FastMap<RegionId, Vec<VmId>>,
+    by_service: FastMap<ServiceId, Vec<VmId>>,
 }
 
 impl Trace {

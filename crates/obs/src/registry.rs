@@ -136,9 +136,14 @@ pub struct Histogram(Arc<HistogramCore>);
 impl Histogram {
     /// Records one observation.
     pub fn observe(&self, value: u64) {
-        self.0.count.fetch_add(1, Ordering::Relaxed);
+        // Bucket before count, with the count increment releasing: a
+        // snapshot that observes a count value also observes the bucket
+        // increments of every observe() that produced it, so the bucket
+        // sum can trail count in neither direction — only lead it (from
+        // observes still mid-flight).
         self.0.sum.fetch_add(value, Ordering::Relaxed);
         self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Release);
     }
 
     /// Observations recorded so far.
@@ -154,9 +159,10 @@ impl Histogram {
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
-        // Count first: a concurrent observe between the two loads can
-        // only make the buckets sum >= count, never under-report count.
-        let count = self.0.count.load(Ordering::Relaxed);
+        // Count first, acquiring: pairs with the releasing increment in
+        // observe(), so every observation counted here already has its
+        // bucket store visible — the bucket sum below is >= count.
+        let count = self.0.count.load(Ordering::Acquire);
         let sum = self.0.sum.load(Ordering::Relaxed);
         let buckets = self
             .0

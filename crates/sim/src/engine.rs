@@ -103,6 +103,11 @@ impl<E> EventQueue<E> {
 /// A discrete-event simulation: an event queue plus a clock. The handler
 /// receives each event and a [`Scheduler`] handle to enqueue follow-ups.
 ///
+/// Events are queued on a [`crate::CalendarQueue`] (O(1) per operation
+/// over the trace week's minute grid); [`EventQueue`]'s binary heap
+/// remains public as the semantics oracle the calendar is tested
+/// against. Both pop in `(time, insertion order)`.
+///
 /// # Examples
 /// ```
 /// # use cloudscope_sim::engine::Simulation;
@@ -120,14 +125,18 @@ impl<E> EventQueue<E> {
 /// ```
 #[derive(Debug, Default)]
 pub struct Simulation<E> {
-    queue: EventQueue<E>,
+    queue: crate::CalendarQueue<E>,
     now: SimTime,
+    /// Watermarks of queue totals already flushed to the metrics
+    /// registry, so repeated `run` calls emit deltas, not re-counts.
+    flushed_scheduled: u64,
+    flushed_overflow: u64,
 }
 
 /// Handle given to event handlers for scheduling follow-up events.
 #[derive(Debug)]
 pub struct Scheduler<'a, E> {
-    queue: &'a mut EventQueue<E>,
+    queue: &'a mut crate::CalendarQueue<E>,
     now: SimTime,
 }
 
@@ -150,18 +159,22 @@ impl<E> Simulation<E> {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            queue: EventQueue::new(),
+            queue: crate::CalendarQueue::new(),
             now: SimTime::ZERO,
+            flushed_scheduled: 0,
+            flushed_overflow: 0,
         }
     }
 
     /// Creates an empty simulation whose queue has room for `capacity`
-    /// pending events; see [`EventQueue::with_capacity`].
+    /// pending events; see [`crate::CalendarQueue::with_capacity`].
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            queue: EventQueue::with_capacity(capacity),
+            queue: crate::CalendarQueue::with_capacity(capacity),
             now: SimTime::ZERO,
+            flushed_scheduled: 0,
+            flushed_overflow: 0,
         }
     }
 
@@ -210,6 +223,12 @@ impl<E> Simulation<E> {
         }
         cloudscope_obs::counter("sim.engine.events_processed").add(handled);
         cloudscope_obs::gauge("sim.engine.peak_queue_depth").set_max(peak_depth as f64);
+        let scheduled = self.queue.scheduled_total();
+        cloudscope_obs::counter("sim.queue.scheduled").add(scheduled - self.flushed_scheduled);
+        self.flushed_scheduled = scheduled;
+        let overflow = self.queue.overflow_total();
+        cloudscope_obs::counter("sim.queue.overflow_events").add(overflow - self.flushed_overflow);
+        self.flushed_overflow = overflow;
         handled
     }
 }

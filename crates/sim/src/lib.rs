@@ -31,8 +31,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod engine;
 pub mod rng;
 
+pub use calendar::CalendarQueue;
 pub use engine::{EventQueue, Scheduler, Simulation};
 pub use rng::RngFactory;

@@ -1,0 +1,57 @@
+//! Phase-level profile of one medium deployment-only generation run.
+//!
+//! Runs the generator once to warm caches, then once under a private
+//! metrics registry, and prints every counter and span-histogram the run
+//! recorded, largest first. Histogram sums are nanoseconds (printed as
+//! milliseconds); counters are event counts. Useful for spotting which
+//! phase regressed after a change to the placement or simulation paths:
+//!
+//! ```text
+//! cargo run --release -p cloudscope-tracegen --example profile_generate
+//! ```
+
+use cloudscope_obs::{scoped, MetricValue, Registry};
+use cloudscope_tracegen::{generate, GeneratorConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut cfg = GeneratorConfig::medium(7);
+    cfg.telemetry = false;
+
+    // Warm-up run outside the registry so one-time costs (lazy statics,
+    // allocator warm pages) don't pollute the profile.
+    black_box(generate(&cfg));
+
+    let reg = Arc::new(Registry::new());
+    let t = Instant::now();
+    let g = scoped(&reg, || black_box(generate(&cfg)));
+    println!(
+        "medium deploy-only: {:.1} ms ({} vms)",
+        t.elapsed().as_secs_f64() * 1e3,
+        g.trace.vms().len()
+    );
+
+    let snap = reg.snapshot();
+    let mut spans: Vec<(String, u64)> = Vec::new();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    for (name, value) in &snap.metrics {
+        match value {
+            MetricValue::Histogram(h) => spans.push((name.clone(), h.sum)),
+            MetricValue::Counter(c) => counters.push((name.clone(), *c)),
+            MetricValue::Gauge(_) => {}
+        }
+    }
+    spans.sort_by_key(|&(_, sum)| std::cmp::Reverse(sum));
+    counters.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+
+    println!("spans (total ns as ms):");
+    for (name, sum) in spans {
+        println!("  {name}: {:.2} ms", sum as f64 / 1e6);
+    }
+    println!("counters:");
+    for (name, count) in counters {
+        println!("  {name}: {count}");
+    }
+}

@@ -2,6 +2,36 @@
 //! subscription plans, drives standing deployments and week-long churn
 //! through the allocation service on the discrete-event engine, and
 //! attaches per-VM 5-minute telemetry.
+//!
+//! ## Region-parallel drive
+//!
+//! Placement routes every request to the clusters of the VM's region and
+//! nothing else — operations on different regions commute. The generator
+//! exploits this by partitioning the sorted spec list by region, driving
+//! each region's standing placements and churn simulation independently
+//! over [`cloudscope_par::Parallelism`], then merging the outcomes back
+//! in ascending global spec order. Determinism is preserved end to end:
+//!
+//! - **Sizes** are pre-drawn serially from the dedicated `"sizes"` RNG
+//!   stream in global spec order, exactly the draws the serial loop made
+//!   inline.
+//! - **Event order within a region** is the serial order restricted to
+//!   that region: each worker schedules its region's events in the same
+//!   relative sequence, and same-timestamp FIFO tie-breaks only matter
+//!   within a region (cross-region events touch disjoint state).
+//! - **VM identities** used during a worker's drive are region-local and
+//!   affect no output byte (they key hash maps); the merge re-assigns
+//!   each record the id the serial loop would have used — its position
+//!   among materialized records in global spec order (standing placement
+//!   failures consume no id) — *before* telemetry derives per-VM RNG
+//!   streams from those ids.
+//! - **Counters** ([`cloudscope_cluster::AllocatorStats`], drop counts)
+//!   are commutative integer sums over per-region partials.
+//!
+//! The result is byte-identical to the serial reference at any worker
+//! count; `tests/trace_digest.rs` and the worker-invariance tests lock
+//! this, and [`crate::reference::generate_serial_reference`] keeps the
+//! pre-index serial path alive as the benchmark baseline and oracle.
 
 use crate::arrivals::{sample_bursts_week, sample_nhpp_week};
 use crate::config::GeneratorConfig;
@@ -87,18 +117,18 @@ impl GeneratedTrace {
 
 /// One VM to be materialized, before placement.
 #[derive(Debug, Clone, Copy)]
-struct VmSpec {
-    subscription: usize,
-    group: usize,
-    region: RegionId,
-    created: SimTime,
-    ended: Option<SimTime>,
-    priority: Priority,
-    kind: SpecKind,
+pub(crate) struct VmSpec {
+    pub(crate) subscription: usize,
+    pub(crate) group: usize,
+    pub(crate) region: RegionId,
+    pub(crate) created: SimTime,
+    pub(crate) ended: Option<SimTime>,
+    pub(crate) priority: Priority,
+    pub(crate) kind: SpecKind,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SpecKind {
+pub(crate) enum SpecKind {
     Standing,
     Churn,
     Burst,
@@ -106,27 +136,46 @@ enum SpecKind {
 
 /// Discrete events driving placement in time order.
 #[derive(Debug, Clone, Copy)]
-enum Event {
+pub(crate) enum Event {
     Create(usize),
     Release(VmId),
 }
 
-/// Generates a full synthetic trace from a configuration.
-///
-/// Deterministic in `config.seed`: the same configuration always yields
-/// the same trace, regardless of thread scheduling.
-///
-/// # Panics
-/// Panics if the configuration is invalid; call
-/// [`GeneratorConfig::validate`] first to get a typed
-/// [`crate::ConfigError`] instead.
-#[must_use]
-pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
-    if let Err(e) = config.validate() {
-        panic!("{e}");
+/// Everything the placement drive consumes, produced identically by the
+/// parallel and serial-reference paths: phases 1–3 (topology, plans,
+/// specs) plus the serially pre-drawn VM sizes.
+pub(crate) struct Prepared {
+    pub(crate) topology: Topology,
+    pub(crate) region_ids: Vec<RegionId>,
+    pub(crate) tz_of: Vec<i32>,
+    pub(crate) plans: Vec<SubscriptionPlan>,
+    /// First global service id of each subscription.
+    pub(crate) service_base: Vec<u32>,
+    pub(crate) next_service: u32,
+    pub(crate) standing_per_service: Vec<usize>,
+    /// Sorted: standing first, then churn/burst by creation time.
+    pub(crate) specs: Vec<VmSpec>,
+    /// `sizes[i]` is the size drawn for `specs[i]` from the `"sizes"`
+    /// stream, in spec order — the exact draws the serial loop made.
+    pub(crate) sizes: Vec<VmSize>,
+    pub(crate) report: GenerationReport,
+}
+
+/// The fault-domain spreading rule both fleets run under.
+pub(crate) const fn spreading_rule() -> SpreadingRule {
+    SpreadingRule {
+        max_same_service_per_rack: Some(MAX_SAME_SERVICE_PER_RACK),
     }
-    let factory = RngFactory::new(config.seed);
-    let gen_span = cloudscope_obs::span("tracegen.generate");
+}
+
+/// Phases 1–3: physical plant, subscription plans, VM specs, sizes.
+/// Entirely serial and shared by [`generate_with`] and
+/// [`crate::reference::generate_serial_reference`].
+pub(crate) fn prepare(
+    config: &GeneratorConfig,
+    factory: &RngFactory,
+    gen_span: &cloudscope_obs::Span,
+) -> Prepared {
     let stage = gen_span.child("topology");
 
     // 1. Physical plant.
@@ -231,7 +280,7 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
         &plans,
         &region_ids,
         &tz_of,
-        &factory,
+        factory,
         &mut specs,
         &mut report,
     );
@@ -240,48 +289,92 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
     // first (they are placed before the week starts).
     specs.sort_by_key(|s| (s.kind != SpecKind::Standing, s.created));
 
-    stage.finish();
-    let stage = gen_span.child("placement");
-
-    // 4. Placement through the allocation service, in event order.
-    let spreading = SpreadingRule {
-        max_same_service_per_rack: Some(MAX_SAME_SERVICE_PER_RACK),
-    };
-    let mut fleets = [
-        Fleet::new(
-            &topology,
-            CloudKind::Private,
-            PlacementPolicy::BestFit,
-            spreading,
-        ),
-        Fleet::new(
-            &topology,
-            CloudKind::Public,
-            PlacementPolicy::BestFit,
-            spreading,
-        ),
-    ];
+    // 3b. Pre-draw every VM's size from the dedicated stream, in spec
+    // order. The serial loop drew these inline between placements; the
+    // stream is placement-independent, so drawing up front consumes the
+    // identical sequence while freeing the drive to run per region.
     let size_samplers = [
         SizeSampler::new(config.private.size),
         SizeSampler::new(config.public.size),
     ];
     let mut size_rng = factory.stream("sizes");
+    let sizes: Vec<VmSize> = specs
+        .iter()
+        .map(|spec| {
+            size_samplers[fleet_index(plans[spec.subscription].cloud)].sample(&mut size_rng)
+        })
+        .collect();
 
-    // Dense output tables, indexed by VmId.
-    let mut records: Vec<VmRecord> = Vec::with_capacity(specs.len());
+    stage.finish();
 
-    // Standing VMs place first (outside the DES), then churn replays
-    // through the event queue so releases free capacity for later
-    // creations.
-    let mut sim: Simulation<Event> = Simulation::with_capacity(specs.len());
-    for spec in &specs {
-        let plan = &plans[spec.subscription];
+    Prepared {
+        topology,
+        region_ids,
+        tz_of,
+        plans,
+        service_base,
+        next_service,
+        standing_per_service,
+        specs,
+        sizes,
+        report,
+    }
+}
+
+/// One region's slice of the drive: the region, and its specs as
+/// `(global spec index, spec, size)` in global spec order.
+struct RegionTask {
+    region: RegionId,
+    specs: Vec<(usize, VmSpec, VmSize)>,
+}
+
+/// What one region's drive produced: for every spec of the region (in
+/// the task's order), either a materialized record or `None` (standing
+/// placement failure), plus the region's allocator counters.
+struct RegionOutcome {
+    outcomes: Vec<(usize, Option<VmRecord>)>,
+    dropped_standing: u64,
+    stats: [AllocatorStats; 2],
+}
+
+/// Drives one region: standing placements in spec order, then the
+/// churn/release simulation over the calendar queue — exactly the
+/// serial loop restricted to this region's specs and clusters.
+fn drive_region(task: &RegionTask, prep: &Prepared) -> RegionOutcome {
+    let spreading = spreading_rule();
+    let mut fleets = [
+        Fleet::for_region(
+            &prep.topology,
+            CloudKind::Private,
+            task.region,
+            PlacementPolicy::BestFit,
+            spreading,
+        ),
+        Fleet::for_region(
+            &prep.topology,
+            CloudKind::Public,
+            task.region,
+            PlacementPolicy::BestFit,
+            spreading,
+        ),
+    ];
+
+    // Region-local records; identities are provisional (they key the
+    // fleet's hash maps and route Release events) and are re-assigned at
+    // merge, so they carry no cross-region information.
+    let mut records: Vec<VmRecord> = Vec::with_capacity(task.specs.len());
+    let mut outcomes: Vec<(usize, Option<usize>)> = Vec::with_capacity(task.specs.len());
+    let mut dropped_standing = 0u64;
+    let mut sim: Simulation<Event> = Simulation::with_capacity(task.specs.len());
+
+    for &(global_idx, spec, size) in &task.specs {
+        let spec = &spec;
+        let plan = &prep.plans[spec.subscription];
         let fleet_idx = fleet_index(plan.cloud);
-        let size = size_samplers[fleet_idx].sample(&mut size_rng);
         let request = PlacementRequest {
             vm: VmId::new(records.len() as u64),
             size,
-            service: ServiceId::new(service_base[spec.subscription] + spec.group as u32),
+            service: ServiceId::new(prep.service_base[spec.subscription] + spec.group as u32),
             priority: spec.priority,
         };
         match spec.kind {
@@ -291,9 +384,11 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
                         sim.schedule(end, Event::Release(request.vm));
                     }
                     records.push(make_record(request, spec, plan, cluster, Some(node)));
+                    outcomes.push((global_idx, Some(records.len() - 1)));
                 }
                 Err(_) => {
-                    report.dropped_vms += 1;
+                    dropped_standing += 1;
+                    outcomes.push((global_idx, None));
                 }
             },
             SpecKind::Churn | SpecKind::Burst => {
@@ -306,6 +401,7 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
                     None,
                 ));
                 sim.schedule(spec.created, Event::Create(records.len() - 1));
+                outcomes.push((global_idx, Some(records.len() - 1)));
             }
         }
     }
@@ -314,7 +410,7 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
     {
         let fleets = &mut fleets;
         let records_ref = &mut records;
-        let plans_ref = &plans;
+        let plans_ref = &prep.plans;
         sim.run(week_end, |scheduler, time, event| match event {
             Event::Create(record_idx) => {
                 let record = &mut records_ref[record_idx];
@@ -350,10 +446,174 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
         });
     }
 
-    report.private_alloc = fleets[0].stats();
-    report.public_alloc = fleets[1].stats();
+    let stats = [fleets[0].stats(), fleets[1].stats()];
+    let mut record_slots: Vec<Option<VmRecord>> = records.into_iter().map(Some).collect();
+    RegionOutcome {
+        outcomes: outcomes
+            .into_iter()
+            .map(|(global_idx, local)| {
+                (
+                    global_idx,
+                    local.map(|i| record_slots[i].take().expect("each record consumed once")),
+                )
+            })
+            .collect(),
+        dropped_standing,
+        stats,
+    }
+}
+
+/// Generates a full synthetic trace from a configuration, using the
+/// shared executor's auto-detected worker count (`CLOUDSCOPE_WORKERS`
+/// overrides) for the region drive and the telemetry sweep.
+///
+/// Deterministic in `config.seed`: the same configuration always yields
+/// the same trace, regardless of thread scheduling or worker count.
+///
+/// # Panics
+/// Panics if the configuration is invalid; call
+/// [`GeneratorConfig::validate`] first to get a typed
+/// [`crate::ConfigError`] instead.
+#[must_use]
+pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
+    generate_with(config, Parallelism::auto())
+}
+
+/// [`generate`] with an explicit parallelism configuration. Output is
+/// byte-identical for every worker count.
+///
+/// # Panics
+/// Panics if the configuration is invalid.
+#[must_use]
+pub fn generate_with(config: &GeneratorConfig, par: Parallelism) -> GeneratedTrace {
+    if let Err(e) = config.validate() {
+        panic!("{e}");
+    }
+    let factory = RngFactory::new(config.seed);
+    let gen_span = cloudscope_obs::span("tracegen.generate");
+    let prep = prepare(config, &factory, &gen_span);
+
+    let stage = gen_span.child("placement");
+
+    // 4. Placement, partitioned by region: each task carries one
+    // region's specs (with pre-drawn sizes) in global spec order.
+    let mut by_region: Vec<Vec<(usize, VmSpec, VmSize)>> = vec![Vec::new(); prep.region_ids.len()];
+    for (idx, (spec, &size)) in prep.specs.iter().zip(&prep.sizes).enumerate() {
+        by_region[spec.region.as_usize()].push((idx, *spec, size));
+    }
+    let tasks: Vec<RegionTask> = prep
+        .region_ids
+        .iter()
+        .zip(by_region)
+        .filter(|(_, specs)| !specs.is_empty())
+        .map(|(&region, specs)| RegionTask { region, specs })
+        .collect();
+    cloudscope_obs::counter("tracegen.generate.regions_driven").add(tasks.len() as u64);
+    cloudscope_obs::gauge("tracegen.generate.region_workers").set(par.workers() as f64);
+
+    let region_outcomes = par.par_map(&tasks, |task| drive_region(task, &prep));
 
     stage.finish();
+    let stage = gen_span.child("merge");
+
+    // Deterministic merge, ascending region (par_map returns input
+    // order): scatter per-spec outcomes back to global spec order, then
+    // assign each materialized record the id the serial loop would have
+    // used — its position among materialized records.
+    let Prepared {
+        topology,
+        tz_of,
+        plans,
+        service_base,
+        next_service,
+        standing_per_service,
+        specs,
+        mut report,
+        ..
+    } = prep;
+    let mut outcome_by_spec: Vec<Option<VmRecord>> = (0..specs.len()).map(|_| None).collect();
+    let mut private_alloc = AllocatorStats::default();
+    let mut public_alloc = AllocatorStats::default();
+    for outcome in region_outcomes {
+        report.dropped_vms += outcome.dropped_standing;
+        for (total, part) in [&mut private_alloc, &mut public_alloc]
+            .into_iter()
+            .zip(outcome.stats)
+        {
+            total.attempts += part.attempts;
+            total.successes += part.successes;
+            total.capacity_failures += part.capacity_failures;
+            total.spreading_failures += part.spreading_failures;
+            total.evictions += part.evictions;
+            total.migrations += part.migrations;
+        }
+        for (global_idx, record) in outcome.outcomes {
+            outcome_by_spec[global_idx] = record;
+        }
+    }
+    report.private_alloc = private_alloc;
+    report.public_alloc = public_alloc;
+
+    let mut records: Vec<VmRecord> = Vec::with_capacity(specs.len());
+    for mut record in outcome_by_spec.into_iter().flatten() {
+        record.id = VmId::new(records.len() as u64);
+        records.push(record);
+    }
+    cloudscope_obs::counter("tracegen.generate.merged_records").add(records.len() as u64);
+
+    stage.finish();
+
+    finish(
+        config,
+        &factory,
+        &gen_span,
+        par,
+        FinishInputs {
+            topology,
+            tz_of,
+            plans,
+            service_base,
+            next_service,
+            standing_per_service,
+            records,
+            report,
+        },
+    )
+}
+
+/// Everything the shared telemetry + assemble phases consume.
+pub(crate) struct FinishInputs {
+    pub(crate) topology: Topology,
+    pub(crate) tz_of: Vec<i32>,
+    pub(crate) plans: Vec<SubscriptionPlan>,
+    pub(crate) service_base: Vec<u32>,
+    pub(crate) next_service: u32,
+    pub(crate) standing_per_service: Vec<usize>,
+    /// Placement outcomes with final pre-assemble ids (dense over
+    /// materialized records in global spec order).
+    pub(crate) records: Vec<VmRecord>,
+    pub(crate) report: GenerationReport,
+}
+
+/// Phases 5–6: per-VM telemetry and trace assembly, shared by the
+/// parallel and serial-reference paths.
+pub(crate) fn finish(
+    config: &GeneratorConfig,
+    factory: &RngFactory,
+    gen_span: &cloudscope_obs::Span,
+    par: Parallelism,
+    inputs: FinishInputs,
+) -> GeneratedTrace {
+    let FinishInputs {
+        topology,
+        tz_of,
+        plans,
+        service_base,
+        next_service,
+        standing_per_service,
+        records,
+        mut report,
+    } = inputs;
     let stage = gen_span.child("telemetry");
 
     // 5. Telemetry (deterministic per-VM streams, so order is free).
@@ -388,7 +648,7 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
         };
         // Parallel sweep on the shared executor; per-VM RNG streams keep
         // results independent of the worker count.
-        Parallelism::auto().par_map(records_ref, gen_one)
+        par.par_map(records_ref, gen_one)
     } else {
         vec![None; records.len()]
     };
@@ -447,7 +707,7 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
     }
 }
 
-fn fleet_index(cloud: CloudKind) -> usize {
+pub(crate) fn fleet_index(cloud: CloudKind) -> usize {
     match cloud {
         CloudKind::Private => 0,
         CloudKind::Public => 1,
@@ -461,7 +721,7 @@ fn cloud_profile(config: &GeneratorConfig, cloud: CloudKind) -> &crate::config::
     }
 }
 
-fn make_record(
+pub(crate) fn make_record(
     request: PlacementRequest,
     spec: &VmSpec,
     plan: &SubscriptionPlan,
@@ -720,5 +980,19 @@ mod tests {
             .filter(|v| v.priority == Priority::Spot)
             .count();
         assert!(spot_public > 0, "public cloud should have spot VMs");
+    }
+
+    /// Worker-count invariance at the unit level: explicit worker counts
+    /// through [`generate_with`] must agree exactly (the integration
+    /// digest test locks the same property against the golden bytes).
+    #[test]
+    fn generate_with_is_worker_count_invariant() {
+        let cfg = GeneratorConfig::small(11);
+        let base = generate_with(&cfg, Parallelism::with_workers(1));
+        for workers in [2, 4, 8] {
+            let got = generate_with(&cfg, Parallelism::with_workers(workers));
+            assert_eq!(got.trace.stats(), base.trace.stats(), "workers={workers}");
+            assert_eq!(got.report, base.report, "workers={workers}");
+        }
     }
 }

@@ -31,6 +31,7 @@ pub mod arrivals;
 pub mod config;
 pub mod generate;
 pub mod lifetime;
+pub mod reference;
 pub mod services;
 pub mod sizes;
 pub mod utilization;
@@ -40,8 +41,9 @@ pub use config::{
     ArrivalProfile, CloudProfile, GeneratorConfig, LifetimeProfile, PatternMix, RegionSpec,
     SizeProfile, TopologyConfig,
 };
-pub use generate::{generate, GeneratedTrace, GenerationReport, ServiceInfo};
+pub use generate::{generate, generate_with, GeneratedTrace, GenerationReport, ServiceInfo};
 pub use lifetime::LifetimeSampler;
+pub use reference::generate_serial_reference;
 pub use sizes::SizeSampler;
 pub use utilization::{generate_vm_series, PatternKind, ServiceUtilProfile};
 pub use validate::ConfigError;

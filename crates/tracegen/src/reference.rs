@@ -1,0 +1,201 @@
+//! The pre-optimization serial generation path, kept alive on purpose.
+//!
+//! [`generate_serial_reference`] reproduces the generator exactly as it
+//! ran before the scale-out work: whole-cloud fleets whose allocators
+//! answer from the O(nodes) linear scan
+//! ([`cloudscope_cluster::ClusterAllocator::scan_reference_mode`]), one
+//! global discrete-event drive on the binary-heap
+//! [`cloudscope_sim::EventQueue`] (not the calendar queue), and a
+//! single-worker telemetry sweep. Its output is byte-identical to
+//! [`crate::generate`] — locked by `serial_reference_matches_parallel`
+//! below and by the golden trace digests — which makes it serve two
+//! jobs:
+//!
+//! - **Benchmark baseline**: `benches/tracegen.rs` measures the
+//!   end-to-end speedup of the indexed/parallel path against this
+//!   function, reconstructing the pre-PR cost model honestly instead of
+//!   against a remembered number.
+//! - **Oracle**: any divergence between the two paths is a determinism
+//!   bug, caught as an equality failure rather than silent drift.
+
+use crate::config::GeneratorConfig;
+use crate::generate::{
+    finish, fleet_index, make_record, prepare, spreading_rule, Event, FinishInputs, GeneratedTrace,
+    SpecKind,
+};
+use cloudscope_cluster::{Fleet, PlacementPolicy, PlacementRequest};
+use cloudscope_model::prelude::*;
+use cloudscope_par::Parallelism;
+use cloudscope_sim::rng::RngFactory;
+use cloudscope_sim::EventQueue;
+
+/// Generates a trace on the pre-optimization serial path: linear-scan
+/// allocators, binary-heap event queue, single global drive, one-worker
+/// telemetry. Byte-identical to [`crate::generate`], at the original
+/// cost.
+///
+/// # Panics
+/// Panics if the configuration is invalid, like [`crate::generate`].
+#[must_use]
+pub fn generate_serial_reference(config: &GeneratorConfig) -> GeneratedTrace {
+    if let Err(e) = config.validate() {
+        panic!("{e}");
+    }
+    let factory = RngFactory::new(config.seed);
+    let gen_span = cloudscope_obs::span("tracegen.generate");
+    let prep = prepare(config, &factory, &gen_span);
+    let stage = gen_span.child("placement");
+
+    // Whole-cloud fleets in scan-reference mode: node selection and the
+    // cluster-ordering ratio run the original O(nodes) scans.
+    let spreading = spreading_rule();
+    let mut fleets = [
+        Fleet::new(
+            &prep.topology,
+            CloudKind::Private,
+            PlacementPolicy::BestFit,
+            spreading,
+        )
+        .scan_reference_mode(),
+        Fleet::new(
+            &prep.topology,
+            CloudKind::Public,
+            PlacementPolicy::BestFit,
+            spreading,
+        )
+        .scan_reference_mode(),
+    ];
+
+    let mut report = prep.report;
+    let mut records: Vec<VmRecord> = Vec::with_capacity(prep.specs.len());
+
+    // Standing VMs place first (outside the DES), then churn replays
+    // through the heap queue so releases free capacity for later
+    // creations — the original single-threaded drive.
+    let mut queue: EventQueue<Event> = EventQueue::with_capacity(prep.specs.len());
+    for (spec, &size) in prep.specs.iter().zip(&prep.sizes) {
+        let plan = &prep.plans[spec.subscription];
+        let fleet_idx = fleet_index(plan.cloud);
+        let request = PlacementRequest {
+            vm: VmId::new(records.len() as u64),
+            size,
+            service: ServiceId::new(prep.service_base[spec.subscription] + spec.group as u32),
+            priority: spec.priority,
+        };
+        match spec.kind {
+            SpecKind::Standing => match fleets[fleet_idx].place_in_region(spec.region, request) {
+                Ok((cluster, node)) => {
+                    if let Some(end) = spec.ended {
+                        queue.schedule(end, Event::Release(request.vm));
+                    }
+                    records.push(make_record(request, spec, plan, cluster, Some(node)));
+                }
+                Err(_) => {
+                    report.dropped_vms += 1;
+                }
+            },
+            SpecKind::Churn | SpecKind::Burst => {
+                records.push(make_record(
+                    request,
+                    spec,
+                    plan,
+                    ClusterId::new(u32::MAX),
+                    None,
+                ));
+                queue.schedule(spec.created, Event::Create(records.len() - 1));
+            }
+        }
+    }
+
+    let week_end = SimTime::WEEK_END;
+    while let Some(next) = queue.peek_time() {
+        if next >= week_end {
+            break;
+        }
+        let (time, event) = queue.pop().expect("peeked");
+        match event {
+            Event::Create(record_idx) => {
+                let record = &mut records[record_idx];
+                let plan = &prep.plans[record.subscription.as_usize()];
+                let fleet_idx = fleet_index(plan.cloud);
+                let request = PlacementRequest {
+                    vm: record.id,
+                    size: record.size,
+                    service: record.service,
+                    priority: record.priority,
+                };
+                match fleets[fleet_idx].place_in_region(record.region, request) {
+                    Ok((cluster, node)) => {
+                        record.cluster = cluster;
+                        record.node = Some(node);
+                        if let Some(end) = record.ended {
+                            if end < week_end {
+                                queue.schedule(end.max(time), Event::Release(record.id));
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        record.node = None;
+                    }
+                }
+            }
+            Event::Release(vm) => {
+                let record = &records[vm.as_usize()];
+                let plan = &prep.plans[record.subscription.as_usize()];
+                let _ = fleets[fleet_index(plan.cloud)].release(vm);
+            }
+        }
+    }
+
+    report.private_alloc = fleets[0].stats();
+    report.public_alloc = fleets[1].stats();
+    stage.finish();
+
+    finish(
+        config,
+        &factory,
+        &gen_span,
+        Parallelism::with_workers(1),
+        FinishInputs {
+            topology: prep.topology,
+            tz_of: prep.tz_of,
+            plans: prep.plans,
+            service_base: prep.service_base,
+            next_service: prep.next_service,
+            standing_per_service: prep.standing_per_service,
+            records,
+            report,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_with;
+
+    /// The oracle property the whole PR rests on: the region-parallel
+    /// indexed path and the pre-optimization serial path emit the same
+    /// trace, record for record and sample for sample.
+    #[test]
+    fn serial_reference_matches_parallel() {
+        for seed in [7, 42] {
+            let cfg = GeneratorConfig::small(seed);
+            let reference = generate_serial_reference(&cfg);
+            let parallel = generate_with(&cfg, Parallelism::with_workers(4));
+            assert_eq!(reference.report, parallel.report, "seed {seed}");
+            assert_eq!(
+                reference.trace.stats(),
+                parallel.trace.stats(),
+                "seed {seed}"
+            );
+            assert_eq!(reference.services, parallel.services, "seed {seed}");
+            let vms = reference.trace.vms();
+            assert_eq!(vms.len(), parallel.trace.vms().len());
+            for (a, b) in vms.iter().zip(parallel.trace.vms()) {
+                assert_eq!(a, b, "seed {seed}");
+                assert_eq!(reference.trace.util(a.id), parallel.trace.util(b.id));
+            }
+        }
+    }
+}

@@ -9,8 +9,8 @@ BASELINE_FILE=scripts/test_count_baseline
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings -D deprecated"
+cargo clippy --workspace --all-targets -- -D warnings -D deprecated
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -32,6 +32,14 @@ cargo test -q -p cloudscope --test full_pipeline --release robustness_gate
 echo "==> observability gate: metrics reconcile with subsystem ground truth"
 cargo test -q -p cloudscope --test observability
 cargo test -q -p cloudscope --test observability --release
+
+# The free-capacity index must select the identical node the linear scan
+# would, for every policy, on long randomized place/release/evict
+# histories. Release mode matters: this is the mode the benchmarks and
+# binaries run in, and the debug-assert oracle inside place() is
+# compiled out here, so the proptest is the only release-mode witness.
+echo "==> allocator index oracle: indexed placement replays the scan (release)"
+cargo test -q -p cloudscope-cluster --test index_oracle --release
 
 # A real binary run must emit a snapshot whose names/kinds validate
 # against the committed schema (values are free to drift; names are not).
@@ -65,6 +73,35 @@ missing = [
 if missing:
     sys.exit(f"ERROR: BENCH_kb.json missing ids: {missing}")
 print(f"    (BENCH_kb.json parses: {len(results)} benchmark ids)")
+PY
+
+# Tracegen bench smoke: the indexed, region-parallel generator must
+# produce a parseable BENCH_tracegen.json. The bench binary enforces the
+# acceptance ratios (indexed placement >= 2x the 120-node scan;
+# end-to-end medium generation at 8 workers >= 4x the serial reference)
+# and panics — failing this step — if either regresses. While here,
+# every committed BENCH_*.json must parse.
+echo "==> tracegen bench smoke: indexed parallel generator vs serial reference"
+rm -f BENCH_tracegen.json
+CLOUDSCOPE_BENCH_SMOKE=1 cargo bench -q -p cloudscope-bench --bench tracegen > /dev/null
+test -s BENCH_tracegen.json || { echo "ERROR: BENCH_tracegen.json not produced" >&2; exit 1; }
+python3 - <<'PY'
+import json, sys
+for path in ("BENCH_analysis.json", "BENCH_kb.json", "BENCH_tracegen.json"):
+    try:
+        results = json.load(open(path))
+    except (OSError, ValueError) as e:
+        sys.exit(f"ERROR: {path} unreadable: {e}")
+    if not results:
+        sys.exit(f"ERROR: {path} is empty")
+    print(f"    ({path} parses: {len(results)} benchmark ids)")
+expected = ["tracegen_e2e/serial_reference/medium"] + [
+    f"tracegen_e2e/parallel/{w}" for w in (1, 2, 4, 8)
+]
+results = json.load(open("BENCH_tracegen.json"))
+missing = [k for k in expected if k not in results]
+if missing:
+    sys.exit(f"ERROR: BENCH_tracegen.json missing ids: {missing}")
 PY
 
 # Test-count delta: the suite must never shrink. The baseline is the

@@ -264,6 +264,64 @@ fn par_task_accounting_is_invariant_across_worker_counts() {
     }
 }
 
+/// The scale-out generation metrics reconcile with trace ground truth:
+/// one region task per topology region, one merged record per VM in the
+/// trace, one successful placement per VM that got a node, and at least
+/// one index candidate probed per placement attempt. The queue counters
+/// stay consistent with the engine's own event tally.
+#[test]
+fn generation_metrics_reconcile_with_trace_ground_truth() {
+    let registry = Arc::new(Registry::new());
+    let (g, diff) = snapshot_diff(&registry, || generate(&GeneratorConfig::small(9108)));
+
+    let regions = g.trace.topology().regions().len() as u64;
+    assert_counter_eq(&diff, "tracegen.generate.regions_driven", regions);
+    assert_counter_eq(
+        &diff,
+        "tracegen.generate.vms_generated",
+        g.trace.vms().len() as u64,
+    );
+    // Conservation: every spec the generator created either made it into
+    // the trace or is accounted as dropped, and the merge counter sits
+    // between the two (merge happens before unplaced churn is culled).
+    let created = g.report.standing_vms + g.report.churn_vms + g.report.burst_vms;
+    assert_eq!(g.trace.vms().len() as u64 + g.report.dropped_vms, created);
+    let merged = diff
+        .counter("tracegen.generate.merged_records")
+        .expect("merge counter registers");
+    assert!(
+        merged >= g.trace.vms().len() as u64 && merged <= created,
+        "merged {merged} outside [{}, {created}]",
+        g.trace.vms().len()
+    );
+    let workers = diff
+        .gauge("tracegen.generate.region_workers")
+        .expect("worker gauge registers");
+    assert!(workers >= 1.0, "at least one region worker, got {workers}");
+
+    let placed = g.trace.vms().iter().filter(|vm| vm.node.is_some()).count() as u64;
+    assert_counter_eq(&diff, "cluster.allocator.placements", placed);
+    let candidates = diff
+        .counter("cluster.alloc.index_candidates")
+        .expect("index candidates register");
+    assert!(
+        candidates >= placed,
+        "every placement probes at least one candidate ({candidates} < {placed})"
+    );
+
+    // Every event the DES processed went through the calendar queue, and
+    // nothing the generator schedules lands past the one-week horizon.
+    let scheduled = diff.counter("sim.queue.scheduled").expect("queue counter");
+    let processed = diff
+        .counter("sim.engine.events_processed")
+        .expect("engine counter");
+    assert!(
+        scheduled >= processed,
+        "processed events exceed scheduled ({processed} > {scheduled})"
+    );
+    assert_counter_eq(&diff, "sim.queue.overflow_events", 0);
+}
+
 /// One `analyze` call times itself exactly once at the root and once
 /// per figure-family child span.
 #[test]
