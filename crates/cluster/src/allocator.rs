@@ -67,6 +67,18 @@ pub struct AllocatorStats {
 }
 
 impl AllocatorStats {
+    /// Adds another counter set into this one. Stats are commutative
+    /// integer sums, so partials from independently driven clusters (or
+    /// cluster-group generation tasks) merge in any order.
+    pub fn absorb(&mut self, other: &AllocatorStats) {
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+        self.capacity_failures += other.capacity_failures;
+        self.spreading_failures += other.spreading_failures;
+        self.evictions += other.evictions;
+        self.migrations += other.migrations;
+    }
+
     /// Failure rate over all attempts (0 if no attempts).
     #[must_use]
     pub fn failure_rate(&self) -> f64 {

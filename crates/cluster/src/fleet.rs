@@ -170,13 +170,7 @@ impl Fleet {
     pub fn stats(&self) -> AllocatorStats {
         let mut total = AllocatorStats::default();
         for c in &self.clusters {
-            let s = c.stats();
-            total.attempts += s.attempts;
-            total.successes += s.successes;
-            total.capacity_failures += s.capacity_failures;
-            total.spreading_failures += s.spreading_failures;
-            total.evictions += s.evictions;
-            total.migrations += s.migrations;
+            total.absorb(c.stats());
         }
         total
     }

@@ -13,6 +13,7 @@ use crate::telemetry::UtilSeries;
 use crate::time::{SimTime, SAMPLES_PER_WEEK, SAMPLE_INTERVAL_MINUTES};
 use crate::topology::Topology;
 use crate::vm::VmRecord;
+use cloudscope_par::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// A complete one-week workload trace for one or both clouds.
@@ -256,51 +257,9 @@ impl TraceBuilder {
     /// Returns [`ModelError::InconsistentTrace`] on any integrity
     /// violation.
     pub fn add_vm(&mut self, vm: VmRecord, util: Option<UtilSeries>) -> Result<(), ModelError> {
-        if vm.id.as_usize() != self.trace.vms.len() {
-            return Err(ModelError::InconsistentTrace(format!(
-                "vm {} arrived out of order (expected index {})",
-                vm.id,
-                self.trace.vms.len()
-            )));
-        }
-        if vm.subscription.as_usize() >= self.trace.subscriptions.len() {
-            return Err(ModelError::InconsistentTrace(format!(
-                "vm {} references unknown subscription {}",
-                vm.id, vm.subscription
-            )));
-        }
-        let cluster = self
-            .trace
-            .topology
-            .cluster(vm.cluster)
-            .map_err(|e| ModelError::InconsistentTrace(e.to_string()))?;
-        if cluster.region != vm.region {
-            return Err(ModelError::InconsistentTrace(format!(
-                "vm {} region {} disagrees with cluster {} region {}",
-                vm.id, vm.region, vm.cluster, cluster.region
-            )));
-        }
+        validate_record(&self.trace, self.trace.vms.len(), &vm)?;
         if let Some(node) = vm.node {
-            let node_info = self
-                .trace
-                .topology
-                .node(node)
-                .map_err(|e| ModelError::InconsistentTrace(e.to_string()))?;
-            if node_info.cluster != vm.cluster {
-                return Err(ModelError::InconsistentTrace(format!(
-                    "vm {} node {} is not in cluster {}",
-                    vm.id, node, vm.cluster
-                )));
-            }
             self.trace.by_node.entry(node).or_default().push(vm.id);
-        }
-        if let (Some(end), created) = (vm.ended, vm.created) {
-            if end < created {
-                return Err(ModelError::InconsistentTrace(format!(
-                    "vm {} ends before it starts",
-                    vm.id
-                )));
-            }
         }
         self.trace
             .by_subscription
@@ -322,11 +281,197 @@ impl TraceBuilder {
         Ok(())
     }
 
+    /// Bulk [`TraceBuilder::add_vm`]: registers a batch of records (and
+    /// their telemetry, index-aligned) with validation sharded over range
+    /// chunks and the four secondary indices built concurrently, one
+    /// index per worker. Behaviour is identical to calling `add_vm` for
+    /// each record in order — the same integrity checks run, the first
+    /// violation (in record order) is reported, and index insertion order
+    /// matches the serial loop exactly — so traces built either way are
+    /// indistinguishable, at any worker count.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InconsistentTrace`] on the first integrity
+    /// violation in record order, or if `records` and `util` lengths
+    /// disagree. On error nothing is added.
+    pub fn add_vms_bulk(
+        &mut self,
+        records: Vec<VmRecord>,
+        util: Vec<Option<UtilSeries>>,
+        par: &Parallelism,
+    ) -> Result<(), ModelError> {
+        if records.len() != util.len() {
+            return Err(ModelError::InconsistentTrace(format!(
+                "bulk add: {} records but {} telemetry slots",
+                records.len(),
+                util.len()
+            )));
+        }
+        let base = self.trace.vms.len();
+        let trace = &self.trace;
+        let records_ref = &records;
+        // Validation is pure reads over the immutable topology and the
+        // already-registered subscriptions, so chunks are independent.
+        // Ranges come back in ascending order: the first error found is
+        // the one the serial loop would have hit first.
+        par.par_map_ranges(records.len(), |range| {
+            for i in range {
+                validate_record(trace, base + i, &records_ref[i])?;
+            }
+            Ok(())
+        })
+        .into_iter()
+        .collect::<Result<Vec<()>, ModelError>>()?;
+
+        // One task per secondary index. Each walks the batch in record
+        // order, so per-key id lists and key first-appearance order are
+        // exactly what the serial push loop produces.
+        let kinds = [
+            IndexKind::Subscription,
+            IndexKind::Node,
+            IndexKind::Region,
+            IndexKind::Service,
+        ];
+        for partial in par.par_map(&kinds, |kind| kind.build(records_ref)) {
+            partial.merge_into(&mut self.trace);
+        }
+        self.trace.vms.extend(records);
+        self.trace.util.extend(util);
+        Ok(())
+    }
+
     /// Finishes building.
     #[must_use]
     pub fn build(self) -> Trace {
         self.trace
     }
+}
+
+/// The integrity checks [`TraceBuilder::add_vm`] enforces, against the
+/// expected dense index `expected` — shared by the serial and bulk paths
+/// so they cannot drift.
+fn validate_record(trace: &Trace, expected: usize, vm: &VmRecord) -> Result<(), ModelError> {
+    if vm.id.as_usize() != expected {
+        return Err(ModelError::InconsistentTrace(format!(
+            "vm {} arrived out of order (expected index {expected})",
+            vm.id,
+        )));
+    }
+    if vm.subscription.as_usize() >= trace.subscriptions.len() {
+        return Err(ModelError::InconsistentTrace(format!(
+            "vm {} references unknown subscription {}",
+            vm.id, vm.subscription
+        )));
+    }
+    let cluster = trace
+        .topology
+        .cluster(vm.cluster)
+        .map_err(|e| ModelError::InconsistentTrace(e.to_string()))?;
+    if cluster.region != vm.region {
+        return Err(ModelError::InconsistentTrace(format!(
+            "vm {} region {} disagrees with cluster {} region {}",
+            vm.id, vm.region, vm.cluster, cluster.region
+        )));
+    }
+    if let Some(node) = vm.node {
+        let node_info = trace
+            .topology
+            .node(node)
+            .map_err(|e| ModelError::InconsistentTrace(e.to_string()))?;
+        if node_info.cluster != vm.cluster {
+            return Err(ModelError::InconsistentTrace(format!(
+                "vm {} node {} is not in cluster {}",
+                vm.id, node, vm.cluster
+            )));
+        }
+    }
+    if let (Some(end), created) = (vm.ended, vm.created) {
+        if end < created {
+            return Err(ModelError::InconsistentTrace(format!(
+                "vm {} ends before it starts",
+                vm.id
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Which secondary index a bulk-assembly task builds.
+#[derive(Debug, Clone, Copy)]
+enum IndexKind {
+    Subscription,
+    Node,
+    Region,
+    Service,
+}
+
+/// One index's contribution from a record batch: `(key, ids)` pairs in
+/// key first-appearance order, ids in record order — the order a serial
+/// `entry().push()` loop would have produced.
+enum IndexPartial {
+    Subscription(Vec<(SubscriptionId, Vec<VmId>)>),
+    Node(Vec<(NodeId, Vec<VmId>)>),
+    Region(Vec<(RegionId, Vec<VmId>)>),
+    Service(Vec<(ServiceId, Vec<VmId>)>),
+}
+
+impl IndexKind {
+    fn build(self, records: &[VmRecord]) -> IndexPartial {
+        match self {
+            IndexKind::Subscription => IndexPartial::Subscription(group_in_order(
+                records.iter().map(|vm| (vm.subscription, vm.id)),
+            )),
+            IndexKind::Node => IndexPartial::Node(group_in_order(
+                records
+                    .iter()
+                    .filter_map(|vm| vm.node.map(|node| (node, vm.id))),
+            )),
+            IndexKind::Region => {
+                IndexPartial::Region(group_in_order(records.iter().map(|vm| (vm.region, vm.id))))
+            }
+            IndexKind::Service => {
+                IndexPartial::Service(group_in_order(records.iter().map(|vm| (vm.service, vm.id))))
+            }
+        }
+    }
+}
+
+impl IndexPartial {
+    /// Folds this partial into the trace's maps, preserving key
+    /// first-appearance order for traces that already hold entries.
+    fn merge_into(self, trace: &mut Trace) {
+        fn fold<K: std::hash::Hash + Eq>(
+            map: &mut FastMap<K, Vec<VmId>>,
+            pairs: Vec<(K, Vec<VmId>)>,
+        ) {
+            for (key, ids) in pairs {
+                map.entry(key).or_default().extend(ids);
+            }
+        }
+        match self {
+            IndexPartial::Subscription(pairs) => fold(&mut trace.by_subscription, pairs),
+            IndexPartial::Node(pairs) => fold(&mut trace.by_node, pairs),
+            IndexPartial::Region(pairs) => fold(&mut trace.by_region, pairs),
+            IndexPartial::Service(pairs) => fold(&mut trace.by_service, pairs),
+        }
+    }
+}
+
+/// Groups `(key, id)` pairs into per-key id vectors, keys ordered by
+/// first appearance, ids kept in input order.
+fn group_in_order<K: std::hash::Hash + Eq + Copy>(
+    pairs: impl Iterator<Item = (K, VmId)>,
+) -> Vec<(K, Vec<VmId>)> {
+    let mut slot_of: FastMap<K, usize> = FastMap::default();
+    let mut grouped: Vec<(K, Vec<VmId>)> = Vec::new();
+    for (key, id) in pairs {
+        let slot = *slot_of.entry(key).or_insert_with(|| {
+            grouped.push((key, Vec::new()));
+            grouped.len() - 1
+        });
+        grouped[slot].1.push(id);
+    }
+    grouped
 }
 
 #[cfg(test)]
@@ -382,6 +527,148 @@ mod tests {
         assert_eq!(stats.private_vms, 2);
         assert_eq!(stats.public_vms, 0);
         assert_eq!(stats.occupied_nodes, 1);
+    }
+
+    /// Bulk assembly must be indistinguishable from the serial add_vm
+    /// loop: same records, same index contents, same iteration order —
+    /// at any worker count.
+    #[test]
+    fn bulk_add_matches_sequential() {
+        let mut topo_b = Topology::builder();
+        let r0 = topo_b.add_region("us-west", -8, "US");
+        let r1 = topo_b.add_region("eu-north", 1, "EU");
+        let d0 = topo_b.add_datacenter(r0);
+        let d1 = topo_b.add_datacenter(r1);
+        topo_b.add_cluster(d0, CloudKind::Private, NodeSku::new(10, 64.0), 1, 4);
+        topo_b.add_cluster(d1, CloudKind::Public, NodeSku::new(10, 64.0), 1, 4);
+        let topo = topo_b.build();
+
+        let mut records = Vec::new();
+        let mut util = Vec::new();
+        for i in 0..200u64 {
+            let mut vm = record(i, (i % 3) as u32, None);
+            // Alternate regions/clusters/nodes so every index gets
+            // interleaved keys, and leave some VMs unplaced.
+            if i % 2 == 0 {
+                vm.region = RegionId::new(1);
+                vm.cluster = ClusterId::new(1);
+                vm.node = (i % 4 == 0).then(|| NodeId::new(4 + (i % 4) as u32));
+            } else {
+                vm.node = (i % 3 == 0).then(|| NodeId::new((i % 4) as u32));
+            }
+            vm.service = ServiceId::new((i % 5) as u32);
+            util.push(
+                (i % 7 == 0)
+                    .then(|| UtilSeries::from_percentages(SimTime::ZERO, [i as f32 % 100.0])),
+            );
+            records.push(vm);
+        }
+
+        let subscriptions = || {
+            (0..3).map(|s| {
+                Subscription::new(
+                    SubscriptionId::new(s),
+                    CloudKind::Private,
+                    PartyKind::FirstParty,
+                )
+            })
+        };
+        let mut serial = Trace::builder(topo.clone());
+        for s in subscriptions() {
+            serial.add_subscription(s).unwrap();
+        }
+        for (vm, u) in records.iter().zip(&util) {
+            serial.add_vm(vm.clone(), u.clone()).unwrap();
+        }
+        let serial = serial.build();
+
+        for workers in [1, 3, 8] {
+            let mut bulk = Trace::builder(topo.clone());
+            for s in subscriptions() {
+                bulk.add_subscription(s).unwrap();
+            }
+            bulk.add_vms_bulk(
+                records.clone(),
+                util.clone(),
+                &Parallelism::with_workers(workers),
+            )
+            .unwrap();
+            let bulk = bulk.build();
+            assert_eq!(bulk.vms(), serial.vms());
+            assert_eq!(
+                bulk.services().collect::<Vec<_>>(),
+                serial.services().collect::<Vec<_>>(),
+                "service iteration order must match at {workers} workers"
+            );
+            assert_eq!(
+                bulk.occupied_nodes().collect::<Vec<_>>(),
+                serial.occupied_nodes().collect::<Vec<_>>(),
+                "node index order must match at {workers} workers"
+            );
+            for s in 0..3 {
+                assert_eq!(
+                    bulk.vms_of_subscription(SubscriptionId::new(s)),
+                    serial.vms_of_subscription(SubscriptionId::new(s))
+                );
+            }
+            for r in 0..2 {
+                assert_eq!(
+                    bulk.vms_in_region(RegionId::new(r)),
+                    serial.vms_in_region(RegionId::new(r))
+                );
+            }
+            assert_eq!(
+                format!("{:?}", bulk.stats()),
+                format!("{:?}", serial.stats())
+            );
+        }
+    }
+
+    /// The bulk path reports the same first error the serial loop would,
+    /// and leaves the builder untouched on failure.
+    #[test]
+    fn bulk_add_error_parity_and_atomicity() {
+        let par = Parallelism::with_workers(4);
+        let serial_err = |records: &[VmRecord]| {
+            let mut b = Trace::builder(topo());
+            b.add_subscription(Subscription::new(
+                SubscriptionId::new(0),
+                CloudKind::Private,
+                PartyKind::FirstParty,
+            ))
+            .unwrap();
+            records
+                .iter()
+                .map(|vm| b.add_vm(vm.clone(), None))
+                .find_map(Result::err)
+                .expect("serial loop should fail")
+        };
+        // Two violations — the earlier (unknown node at index 1) must win
+        // over the later (unknown subscription at index 3).
+        let mut records: Vec<VmRecord> = (0..4).map(|i| record(i, 0, None)).collect();
+        records[1].node = Some(NodeId::new(99));
+        records[3].subscription = SubscriptionId::new(9);
+
+        let mut b = Trace::builder(topo());
+        b.add_subscription(Subscription::new(
+            SubscriptionId::new(0),
+            CloudKind::Private,
+            PartyKind::FirstParty,
+        ))
+        .unwrap();
+        let utils = vec![None; records.len()];
+        let err = b
+            .add_vms_bulk(records.clone(), utils, &par)
+            .expect_err("bulk must reject the batch");
+        assert_eq!(err.to_string(), serial_err(&records).to_string());
+        let t = b.build();
+        assert!(t.vms().is_empty(), "failed bulk add must not leave records");
+
+        // Length mismatch is rejected before any validation.
+        let mut b = Trace::builder(topo());
+        assert!(b
+            .add_vms_bulk(vec![record(0, 0, None)], vec![], &par)
+            .is_err());
     }
 
     #[test]

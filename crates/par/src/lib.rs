@@ -182,6 +182,43 @@ impl Parallelism {
             .collect()
     }
 
+    /// Splits `0..len` into contiguous ranges (one steal unit each) and
+    /// maps `f` over them on the configured workers, returning the
+    /// per-range results in ascending-range order. The split depends only
+    /// on `len` and the configuration — never on scheduling — so the
+    /// concatenated output is identical for every worker count.
+    ///
+    /// This is the building block for sweeps that want slice-granular
+    /// work (prefix-sum merges, chunked validation) instead of
+    /// item-granular work: the caller gets the range and indexes shared
+    /// state itself.
+    ///
+    /// ```
+    /// use cloudscope_par::Parallelism;
+    ///
+    /// let items: Vec<u64> = (0..100).collect();
+    /// let partials = Parallelism::with_workers(4)
+    ///     .par_map_ranges(items.len(), |r| items[r].iter().sum::<u64>());
+    /// assert_eq!(partials.iter().sum::<u64>(), items.iter().sum());
+    /// ```
+    pub fn par_map_ranges<R, F>(&self, len: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(std::ops::Range<usize>) -> R + Sync,
+    {
+        if len == 0 {
+            return Vec::new();
+        }
+        let chunk_size = self
+            .chunk_size
+            .unwrap_or_else(|| len.div_ceil(self.workers * CHUNKS_PER_WORKER))
+            .max(1);
+        let ranges: Vec<std::ops::Range<usize>> = (0..len.div_ceil(chunk_size))
+            .map(|i| i * chunk_size..((i + 1) * chunk_size).min(len))
+            .collect();
+        self.par_map(&ranges, |r| f(r.clone()))
+    }
+
     /// [`par_map`](Self::par_map) followed by a sequential left fold over
     /// the results in input order — the map runs in parallel, the
     /// reduction stays deterministic.
@@ -242,6 +279,33 @@ mod tests {
         );
         let expected: String = (1..=50).map(|x| format!("{x},")).collect();
         assert_eq!(concat, expected);
+    }
+
+    #[test]
+    fn map_ranges_covers_exactly_once_in_order() {
+        for len in [0usize, 1, 2, 7, 100, 1001] {
+            for workers in [1, 3, 8] {
+                let covered: Vec<usize> = Parallelism::with_workers(workers)
+                    .par_map_ranges(len, |r| r.collect::<Vec<usize>>())
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let expected: Vec<usize> = (0..len).collect();
+                assert_eq!(covered, expected, "len={len} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_ranges_split_is_worker_count_invariant_given_chunk_size() {
+        let a = Parallelism::with_workers(2)
+            .chunk_size(10)
+            .par_map_ranges(95, |r| (r.start, r.end));
+        let b = Parallelism::with_workers(8)
+            .chunk_size(10)
+            .par_map_ranges(95, |r| (r.start, r.end));
+        assert_eq!(a, b);
+        assert_eq!(a.last(), Some(&(90, 95)));
     }
 
     #[test]

@@ -1,39 +1,29 @@
-//! Phase-level profile of one medium deployment-only generation run.
+//! Phase-level profile of medium deployment-only generation.
 //!
-//! Runs the generator once to warm caches, then once under a private
-//! metrics registry, and prints every counter and span-histogram the run
-//! recorded, largest first. Histogram sums are nanoseconds (printed as
-//! milliseconds); counters are event counts. Useful for spotting which
-//! phase regressed after a change to the placement or simulation paths:
+//! Two passes. First, one run under a private metrics registry prints
+//! every counter and span-histogram the run recorded, largest first —
+//! useful for spotting which phase regressed after a change to the
+//! placement or simulation paths. Second, a worker sweep (1/2/4/8)
+//! prints the median wall-clock and the per-phase gauges
+//! (`tracegen.generate.phase_*_ns`) at each worker count, so a flat
+//! scaling curve is attributable to the phase that refused to shrink.
+//! Histogram sums are nanoseconds (printed as milliseconds); counters
+//! are event counts:
 //!
 //! ```text
 //! cargo run --release -p cloudscope-tracegen --example profile_generate
 //! ```
 
-use cloudscope_obs::{scoped, MetricValue, Registry};
-use cloudscope_tracegen::{generate, GeneratorConfig};
+use cloudscope_obs::{scoped, MetricValue, Registry, Snapshot};
+use cloudscope_par::Parallelism;
+use cloudscope_tracegen::{generate, generate_with, GeneratorConfig};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
-fn main() {
-    let mut cfg = GeneratorConfig::medium(7);
-    cfg.telemetry = false;
+const PHASES: [&str; 5] = ["prepare", "placement", "merge", "telemetry", "assemble"];
 
-    // Warm-up run outside the registry so one-time costs (lazy statics,
-    // allocator warm pages) don't pollute the profile.
-    black_box(generate(&cfg));
-
-    let reg = Arc::new(Registry::new());
-    let t = Instant::now();
-    let g = scoped(&reg, || black_box(generate(&cfg)));
-    println!(
-        "medium deploy-only: {:.1} ms ({} vms)",
-        t.elapsed().as_secs_f64() * 1e3,
-        g.trace.vms().len()
-    );
-
-    let snap = reg.snapshot();
+fn print_spans_and_counters(snap: &Snapshot) {
     let mut spans: Vec<(String, u64)> = Vec::new();
     let mut counters: Vec<(String, u64)> = Vec::new();
     for (name, value) in &snap.metrics {
@@ -54,4 +44,50 @@ fn main() {
     for (name, count) in counters {
         println!("  {name}: {count}");
     }
+}
+
+fn worker_sweep(cfg: &GeneratorConfig) {
+    println!("\nworker sweep (median of 5, per-phase last-run gauges):");
+    for workers in [1usize, 2, 4, 8] {
+        let par = Parallelism::with_workers(workers);
+        let reg = Arc::new(Registry::new());
+        let mut times = Vec::new();
+        for _ in 0..5 {
+            let t = Instant::now();
+            black_box(scoped(&reg, || generate_with(cfg, par)));
+            times.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        times.sort_by(f64::total_cmp);
+        println!(
+            "  workers={workers}: median {:.2} ms",
+            times[times.len() / 2]
+        );
+        let snap = reg.snapshot();
+        for phase in PHASES {
+            if let Some(ns) = snap.gauge(&format!("tracegen.generate.phase_{phase}_ns")) {
+                println!("    phase {phase:<9} {:>8.2} ms", ns / 1e6);
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = GeneratorConfig::medium(7);
+    cfg.telemetry = false;
+
+    // Warm-up run outside the registry so one-time costs (lazy statics,
+    // allocator warm pages) don't pollute the profile.
+    black_box(generate(&cfg));
+
+    let reg = Arc::new(Registry::new());
+    let t = Instant::now();
+    let g = scoped(&reg, || black_box(generate(&cfg)));
+    println!(
+        "medium deploy-only: {:.1} ms ({} vms)",
+        t.elapsed().as_secs_f64() * 1e3,
+        g.trace.vms().len()
+    );
+    print_spans_and_counters(&reg.snapshot());
+
+    worker_sweep(&cfg);
 }

@@ -3,35 +3,57 @@
 //! through the allocation service on the discrete-event engine, and
 //! attaches per-VM 5-minute telemetry.
 //!
-//! ## Region-parallel drive
+//! ## Cluster-granularity parallel drive
 //!
-//! Placement routes every request to the clusters of the VM's region and
-//! nothing else — operations on different regions commute. The generator
-//! exploits this by partitioning the sorted spec list by region, driving
-//! each region's standing placements and churn simulation independently
-//! over [`cloudscope_par::Parallelism`], then merging the outcomes back
-//! in ascending global spec order. Determinism is preserved end to end:
+//! Placement routes every request to the clusters of the VM's region
+//! *and cloud* and nothing else — the private and public fleets are
+//! disjoint objects whose operations commute even inside one region.
+//! A cheap serial **routing pre-pass** ([`partition_specs`]) assigns
+//! every spec its drive task from deterministic, placement-independent
+//! inputs (the spec's region plus its subscription plan's cloud), so
+//! the drive fans out over one task per *(region, cloud)* cluster
+//! group — twice the task count of region granularity, and literal
+//! cluster granularity on single-cluster-per-cloud topologies. The
+//! coarser one-task-per-region partition is kept as an oracle
+//! ([`PartitionMode::Region`]), and below
+//! [`SERIAL_DRIVE_SPEC_THRESHOLD`] specs [`PartitionMode::Auto`]
+//! short-circuits to a whole-trace serial drive
+//! ([`PartitionMode::Serial`]) where fan-out overhead would dominate.
+//! Determinism is preserved end to end:
 //!
 //! - **Sizes** are pre-drawn serially from the dedicated `"sizes"` RNG
 //!   stream in global spec order, exactly the draws the serial loop made
 //!   inline.
-//! - **Event order within a region** is the serial order restricted to
-//!   that region: each worker schedules its region's events in the same
-//!   relative sequence, and same-timestamp FIFO tie-breaks only matter
-//!   within a region (cross-region events touch disjoint state).
-//! - **VM identities** used during a worker's drive are region-local and
+//! - **Event order within a cluster group** is the serial order
+//!   restricted to that group: each worker schedules its group's events
+//!   in the same relative sequence, and same-timestamp FIFO tie-breaks
+//!   only matter within one fleet (events on other regions or the other
+//!   cloud touch disjoint state). Cross-cluster placement fallback stays
+//!   inside a group — [`cloudscope_cluster::Fleet::place_in_region`]
+//!   only ever falls back across one region's clusters of one cloud —
+//!   which is exactly why *(region, cloud)* is the finest safe
+//!   granularity.
+//! - **VM identities** used during a worker's drive are group-local and
 //!   affect no output byte (they key hash maps); the merge re-assigns
 //!   each record the id the serial loop would have used — its position
 //!   among materialized records in global spec order (standing placement
 //!   failures consume no id) — *before* telemetry derives per-VM RNG
-//!   streams from those ids.
+//!   streams from those ids. The merge itself is parallel: a chunked
+//!   prefix sum over materialized counts yields each chunk's id base,
+//!   then workers emit final records concurrently ([`merge_outcomes`]).
 //! - **Counters** ([`cloudscope_cluster::AllocatorStats`], drop counts)
-//!   are commutative integer sums over per-region partials.
+//!   are commutative integer sums over per-group partials.
 //!
 //! The result is byte-identical to the serial reference at any worker
-//! count; `tests/trace_digest.rs` and the worker-invariance tests lock
+//! count and partition granularity; `tests/trace_digest.rs`, the
+//! worker-invariance tests, and the `partition_oracle` proptests lock
 //! this, and [`crate::reference::generate_serial_reference`] keeps the
 //! pre-index serial path alive as the benchmark baseline and oracle.
+//!
+//! Each phase (prepare, placement, merge, telemetry, assemble) exports
+//! its wall-clock both as a span histogram and as a last-run
+//! `tracegen.generate.phase_*_ns` gauge, so flat scaling is diagnosable
+//! straight from a metrics dump or the bench output.
 
 use crate::arrivals::{sample_bursts_week, sample_nhpp_week};
 use crate::config::GeneratorConfig;
@@ -321,59 +343,98 @@ pub(crate) fn prepare(
     }
 }
 
-/// One region's slice of the drive: the region, and its specs as
-/// `(global spec index, spec, size)` in global spec order.
-struct RegionTask {
-    region: RegionId,
-    specs: Vec<(usize, VmSpec, VmSize)>,
+/// How [`generate_with_partition`] splits the placement drive into
+/// parallel tasks. Every mode emits byte-identical traces — the modes
+/// trade fan-out width against partition/merge overhead, nothing else —
+/// so the non-default modes double as oracles for the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionMode {
+    /// Pick per run: [`PartitionMode::Serial`] at one worker or below
+    /// [`SERIAL_DRIVE_SPEC_THRESHOLD`] specs, else
+    /// [`PartitionMode::ClusterGroup`].
+    #[default]
+    Auto,
+    /// One whole-trace serial drive on the indexed allocators and
+    /// calendar queue — no partition, no merge. (Distinct from
+    /// [`crate::reference::generate_serial_reference`], which also
+    /// reverts to scan-mode allocators and the heap queue.)
+    Serial,
+    /// One task per region, both clouds driven together — the original
+    /// scale-out granularity, kept as an oracle for
+    /// [`PartitionMode::ClusterGroup`].
+    Region,
+    /// One task per *(region, cloud)* cluster group — the finest
+    /// granularity at which placements stay independent, since
+    /// cross-cluster fallback never leaves one region's clusters of one
+    /// cloud. On single-cluster-per-cloud topologies this is literal
+    /// cluster granularity.
+    ClusterGroup,
 }
 
-/// What one region's drive produced: for every spec of the region (in
-/// the task's order), either a materialized record or `None` (standing
-/// placement failure), plus the region's allocator counters.
-struct RegionOutcome {
-    outcomes: Vec<(usize, Option<VmRecord>)>,
+/// Below this many specs [`PartitionMode::Auto`] drives the whole trace
+/// serially: partitioning, per-task fleet construction, and the merge
+/// cost more than they recover on traces this small (the small-config
+/// parallel path used to lose ~6% to the serial reference end to end).
+pub(crate) const SERIAL_DRIVE_SPEC_THRESHOLD: usize = 10_000;
+
+/// The partition [`PartitionMode::Auto`] resolves to for a drive of
+/// `spec_count` specs on `workers` workers.
+pub(crate) const fn resolve_auto(spec_count: usize, workers: usize) -> PartitionMode {
+    if workers <= 1 || spec_count < SERIAL_DRIVE_SPEC_THRESHOLD {
+        PartitionMode::Serial
+    } else {
+        PartitionMode::ClusterGroup
+    }
+}
+
+/// One drive task: a cluster group's (or, in region-oracle mode, a whole
+/// region's) specs in global spec order, with their pre-drawn sizes.
+struct DriveTask {
+    region: RegionId,
+    /// `Some(cloud)` drives that cloud's cluster group only;
+    /// `None` drives both clouds' region fleets together
+    /// ([`PartitionMode::Region`]).
+    cloud: Option<CloudKind>,
+    specs: Vec<(VmSpec, VmSize)>,
+}
+
+/// What one task's drive produced: for every spec of the task (in task
+/// order), either a materialized record or `None` (standing placement
+/// failure), plus allocator counters split by cloud.
+struct TaskOutcome {
+    outcomes: Vec<Option<VmRecord>>,
     dropped_standing: u64,
     stats: [AllocatorStats; 2],
 }
 
-/// Drives one region: standing placements in spec order, then the
-/// churn/release simulation over the calendar queue — exactly the
-/// serial loop restricted to this region's specs and clusters.
-fn drive_region(task: &RegionTask, prep: &Prepared) -> RegionOutcome {
-    let spreading = spreading_rule();
-    let mut fleets = [
-        Fleet::for_region(
-            &prep.topology,
-            CloudKind::Private,
-            task.region,
-            PlacementPolicy::BestFit,
-            spreading,
-        ),
-        Fleet::for_region(
-            &prep.topology,
-            CloudKind::Public,
-            task.region,
-            PlacementPolicy::BestFit,
-            spreading,
-        ),
-    ];
-
-    // Region-local records; identities are provisional (they key the
-    // fleet's hash maps and route Release events) and are re-assigned at
-    // merge, so they carry no cross-region information.
-    let mut records: Vec<VmRecord> = Vec::with_capacity(task.specs.len());
-    let mut outcomes: Vec<(usize, Option<usize>)> = Vec::with_capacity(task.specs.len());
+/// The placement drive shared by every granularity: standing placements
+/// in spec order, then the churn/release simulation over the calendar
+/// queue. `slot_of` routes a cloud to its index in `fleets` — identity
+/// for whole-trace and region drives, constant `0` for single-cloud
+/// cluster-group drives.
+///
+/// Returns the materialized records (with provisional drive-local ids),
+/// each spec's index into them (`None` for standing placement
+/// failures), and the standing drop count. In a whole-trace drive the
+/// provisional ids are already final: position among materialized
+/// records in global spec order.
+fn drive_specs(
+    specs: &[(VmSpec, VmSize)],
+    fleets: &mut [Fleet],
+    slot_of: impl Fn(CloudKind) -> usize,
+    prep: &Prepared,
+) -> (Vec<VmRecord>, Vec<Option<u32>>, u64) {
+    let mut records: Vec<VmRecord> = Vec::with_capacity(specs.len());
+    let mut placed: Vec<Option<u32>> = Vec::with_capacity(specs.len());
     let mut dropped_standing = 0u64;
-    let mut sim: Simulation<Event> = Simulation::with_capacity(task.specs.len());
+    let mut sim: Simulation<Event> = Simulation::with_capacity(specs.len());
 
-    for &(global_idx, spec, size) in &task.specs {
-        let spec = &spec;
+    for (spec, size) in specs {
         let plan = &prep.plans[spec.subscription];
-        let fleet_idx = fleet_index(plan.cloud);
+        let fleet_idx = slot_of(plan.cloud);
         let request = PlacementRequest {
             vm: VmId::new(records.len() as u64),
-            size,
+            size: *size,
             service: ServiceId::new(prep.service_base[spec.subscription] + spec.group as u32),
             priority: spec.priority,
         };
@@ -384,11 +445,11 @@ fn drive_region(task: &RegionTask, prep: &Prepared) -> RegionOutcome {
                         sim.schedule(end, Event::Release(request.vm));
                     }
                     records.push(make_record(request, spec, plan, cluster, Some(node)));
-                    outcomes.push((global_idx, Some(records.len() - 1)));
+                    placed.push(Some(records.len() as u32 - 1));
                 }
                 Err(_) => {
                     dropped_standing += 1;
-                    outcomes.push((global_idx, None));
+                    placed.push(None);
                 }
             },
             SpecKind::Churn | SpecKind::Burst => {
@@ -401,21 +462,20 @@ fn drive_region(task: &RegionTask, prep: &Prepared) -> RegionOutcome {
                     None,
                 ));
                 sim.schedule(spec.created, Event::Create(records.len() - 1));
-                outcomes.push((global_idx, Some(records.len() - 1)));
+                placed.push(Some(records.len() as u32 - 1));
             }
         }
     }
 
     let week_end = SimTime::WEEK_END;
     {
-        let fleets = &mut fleets;
         let records_ref = &mut records;
         let plans_ref = &prep.plans;
         sim.run(week_end, |scheduler, time, event| match event {
             Event::Create(record_idx) => {
                 let record = &mut records_ref[record_idx];
                 let plan = &plans_ref[record.subscription.as_usize()];
-                let fleet_idx = fleet_index(plan.cloud);
+                let fleet_idx = slot_of(plan.cloud);
                 let request = PlacementRequest {
                     vm: record.id,
                     size: record.size,
@@ -441,27 +501,183 @@ fn drive_region(task: &RegionTask, prep: &Prepared) -> RegionOutcome {
             Event::Release(vm) => {
                 let record = &records_ref[vm.as_usize()];
                 let plan = &plans_ref[record.subscription.as_usize()];
-                let _ = fleets[fleet_index(plan.cloud)].release(vm);
+                let _ = fleets[slot_of(plan.cloud)].release(vm);
             }
         });
     }
 
-    let stats = [fleets[0].stats(), fleets[1].stats()];
-    let mut record_slots: Vec<Option<VmRecord>> = records.into_iter().map(Some).collect();
-    RegionOutcome {
-        outcomes: outcomes
+    (records, placed, dropped_standing)
+}
+
+/// Drives one partition task: builds the task's fleet(s) and replays its
+/// specs — exactly the serial loop restricted to this task's specs and
+/// clusters. Local record identities are provisional (they key the
+/// fleet's hash maps and route Release events) and are re-assigned at
+/// merge, so they carry no cross-task information.
+fn drive_task(task: &DriveTask, prep: &Prepared) -> TaskOutcome {
+    let spreading = spreading_rule();
+    let mut fleets: Vec<Fleet> = match task.cloud {
+        Some(cloud) => vec![Fleet::for_region(
+            &prep.topology,
+            cloud,
+            task.region,
+            PlacementPolicy::BestFit,
+            spreading,
+        )],
+        None => [CloudKind::Private, CloudKind::Public]
             .into_iter()
-            .map(|(global_idx, local)| {
-                (
-                    global_idx,
-                    local.map(|i| record_slots[i].take().expect("each record consumed once")),
+            .map(|cloud| {
+                Fleet::for_region(
+                    &prep.topology,
+                    cloud,
+                    task.region,
+                    PlacementPolicy::BestFit,
+                    spreading,
                 )
+            })
+            .collect(),
+    };
+    let single_cloud = task.cloud.is_some();
+    let slot_of = |cloud: CloudKind| if single_cloud { 0 } else { fleet_index(cloud) };
+    let (records, placed, dropped_standing) = drive_specs(&task.specs, &mut fleets, slot_of, prep);
+
+    let mut stats = [AllocatorStats::default(), AllocatorStats::default()];
+    for fleet in &fleets {
+        stats[fleet_index(fleet.cloud())].absorb(&fleet.stats());
+    }
+    let mut slots: Vec<Option<VmRecord>> = records.into_iter().map(Some).collect();
+    TaskOutcome {
+        outcomes: placed
+            .iter()
+            .map(|local| {
+                local.map(|i| slots[i as usize].take().expect("each record consumed once"))
             })
             .collect(),
         dropped_standing,
         stats,
     }
 }
+
+/// The routing pre-pass: assigns every spec its drive task from
+/// deterministic, placement-independent inputs (the spec's region and,
+/// at cluster-group granularity, its plan's cloud) — the part of the
+/// old per-region drive that coupled partitioning to regions, hoisted
+/// out so the drive can fan out wider.
+///
+/// Returns the tasks (ascending region, private before public) and, for
+/// every global spec index, its `(task, position-within-task)` locator —
+/// what the merge uses to reassemble outcomes in global spec order.
+fn partition_specs(prep: &Prepared, mode: PartitionMode) -> (Vec<DriveTask>, Vec<(u32, u32)>) {
+    let per_region = match mode {
+        PartitionMode::Region => 1,
+        PartitionMode::ClusterGroup => 2,
+        PartitionMode::Auto | PartitionMode::Serial => {
+            unreachable!("serial drives are not partitioned")
+        }
+    };
+    let buckets_len = prep.region_ids.len() * per_region;
+    let mut buckets: Vec<Vec<(VmSpec, VmSize)>> = vec![Vec::new(); buckets_len];
+    let mut locator: Vec<(u32, u32)> = Vec::with_capacity(prep.specs.len());
+    for (spec, &size) in prep.specs.iter().zip(&prep.sizes) {
+        let cloud_slot = if per_region == 2 {
+            fleet_index(prep.plans[spec.subscription].cloud)
+        } else {
+            0
+        };
+        let key = spec.region.as_usize() * per_region + cloud_slot;
+        locator.push((key as u32, buckets[key].len() as u32));
+        buckets[key].push((*spec, size));
+    }
+
+    // Compact away empty groups, remapping locator keys to task indices.
+    let mut task_of_bucket = vec![u32::MAX; buckets_len];
+    let mut tasks = Vec::new();
+    for (key, specs) in buckets.into_iter().enumerate() {
+        if specs.is_empty() {
+            continue;
+        }
+        task_of_bucket[key] = tasks.len() as u32;
+        tasks.push(DriveTask {
+            region: prep.region_ids[key / per_region],
+            cloud: (per_region == 2).then(|| {
+                if key % per_region == 0 {
+                    CloudKind::Private
+                } else {
+                    CloudKind::Public
+                }
+            }),
+            specs,
+        });
+    }
+    for loc in &mut locator {
+        loc.0 = task_of_bucket[loc.0 as usize];
+    }
+    (tasks, locator)
+}
+
+/// The parallel merge: re-assembles per-task outcomes into the final
+/// record list in global spec order, assigning each materialized record
+/// the id the serial loop would have used (its rank among materialized
+/// records; standing placement failures consume no id).
+///
+/// Two chunked passes over the global spec index replace the old serial
+/// scatter-then-renumber: workers count materialized specs per chunk, a
+/// (tiny) serial scan turns the counts into per-chunk id bases, then
+/// workers emit each chunk's records concurrently with final ids and the
+/// ordered chunks concatenate into an exactly-sized output.
+fn merge_outcomes(
+    locator: &[(u32, u32)],
+    outcomes: &[TaskOutcome],
+    par: Parallelism,
+) -> Vec<VmRecord> {
+    let record_of = |global: usize| -> Option<&VmRecord> {
+        let (task, local) = locator[global];
+        outcomes[task as usize].outcomes[local as usize].as_ref()
+    };
+    let chunk_size = locator
+        .len()
+        .div_ceil(par.workers().max(1) * MERGE_CHUNKS_PER_WORKER)
+        .max(1);
+    let ranges: Vec<std::ops::Range<usize>> = (0..locator.len().div_ceil(chunk_size))
+        .map(|i| i * chunk_size..((i + 1) * chunk_size).min(locator.len()))
+        .collect();
+
+    let counts = par.par_map(&ranges, |range| {
+        range.clone().filter(|&g| record_of(g).is_some()).count()
+    });
+    let mut total = 0usize;
+    let chunks: Vec<(std::ops::Range<usize>, usize, usize)> = ranges
+        .into_iter()
+        .zip(counts)
+        .map(|(range, count)| {
+            let base = total;
+            total += count;
+            (range, base, count)
+        })
+        .collect();
+
+    let parts = par.par_map(&chunks, |(range, base, count)| {
+        let mut out = Vec::with_capacity(*count);
+        let mut id = *base as u64;
+        for global in range.clone() {
+            if let Some(record) = record_of(global) {
+                let mut record = record.clone();
+                record.id = VmId::new(id);
+                id += 1;
+                out.push(record);
+            }
+        }
+        out
+    });
+    let mut records = Vec::with_capacity(total);
+    for part in parts {
+        records.extend(part);
+    }
+    records
+}
+
+/// Merge chunking: a few chunks per worker so stragglers rebalance.
+const MERGE_CHUNKS_PER_WORKER: usize = 4;
 
 /// Generates a full synthetic trace from a configuration, using the
 /// shared executor's auto-detected worker count (`CLOUDSCOPE_WORKERS`
@@ -486,40 +702,91 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedTrace {
 /// Panics if the configuration is invalid.
 #[must_use]
 pub fn generate_with(config: &GeneratorConfig, par: Parallelism) -> GeneratedTrace {
+    generate_with_partition(config, par, PartitionMode::Auto)
+}
+
+/// [`generate_with`] with an explicit drive partition. Output is
+/// byte-identical for every mode and worker count — the non-default
+/// modes exist for the oracle tests and for profiling the partition
+/// machinery itself.
+///
+/// # Panics
+/// Panics if the configuration is invalid.
+#[must_use]
+pub fn generate_with_partition(
+    config: &GeneratorConfig,
+    par: Parallelism,
+    mode: PartitionMode,
+) -> GeneratedTrace {
     if let Err(e) = config.validate() {
         panic!("{e}");
     }
     let factory = RngFactory::new(config.seed);
     let gen_span = cloudscope_obs::span("tracegen.generate");
+    let phase_start = std::time::Instant::now();
     let prep = prepare(config, &factory, &gen_span);
+    record_phase("tracegen.generate.phase_prepare_ns", phase_start);
+
+    let mode = match mode {
+        PartitionMode::Auto => resolve_auto(prep.specs.len(), par.workers()),
+        forced => forced,
+    };
 
     let stage = gen_span.child("placement");
-
-    // 4. Placement, partitioned by region: each task carries one
-    // region's specs (with pre-drawn sizes) in global spec order.
-    let mut by_region: Vec<Vec<(usize, VmSpec, VmSize)>> = vec![Vec::new(); prep.region_ids.len()];
-    for (idx, (spec, &size)) in prep.specs.iter().zip(&prep.sizes).enumerate() {
-        by_region[spec.region.as_usize()].push((idx, *spec, size));
+    let phase_start = std::time::Instant::now();
+    let mut region_seen = vec![false; prep.region_ids.len()];
+    for spec in &prep.specs {
+        region_seen[spec.region.as_usize()] = true;
     }
-    let tasks: Vec<RegionTask> = prep
-        .region_ids
-        .iter()
-        .zip(by_region)
-        .filter(|(_, specs)| !specs.is_empty())
-        .map(|(&region, specs)| RegionTask { region, specs })
-        .collect();
-    cloudscope_obs::counter("tracegen.generate.regions_driven").add(tasks.len() as u64);
-    cloudscope_obs::gauge("tracegen.generate.region_workers").set(par.workers() as f64);
+    cloudscope_obs::counter("tracegen.generate.regions_driven")
+        .add(region_seen.iter().filter(|&&seen| seen).count() as u64);
 
-    let region_outcomes = par.par_map(&tasks, |task| drive_region(task, &prep));
-
+    // 4. Placement. Either one whole-trace serial drive, or the routing
+    // pre-pass followed by the parallel per-task drive.
+    enum Driven {
+        Serial {
+            records: Vec<VmRecord>,
+            dropped_standing: u64,
+            stats: [AllocatorStats; 2],
+        },
+        Tasks {
+            outcomes: Vec<TaskOutcome>,
+            locator: Vec<(u32, u32)>,
+        },
+    }
+    let driven = if mode == PartitionMode::Serial {
+        let spreading = spreading_rule();
+        let mut fleets: Vec<Fleet> = [CloudKind::Private, CloudKind::Public]
+            .into_iter()
+            .map(|cloud| Fleet::new(&prep.topology, cloud, PlacementPolicy::BestFit, spreading))
+            .collect();
+        let specs_sized: Vec<(VmSpec, VmSize)> = prep
+            .specs
+            .iter()
+            .zip(&prep.sizes)
+            .map(|(spec, &size)| (*spec, size))
+            .collect();
+        let (records, _placed, dropped_standing) =
+            drive_specs(&specs_sized, &mut fleets, fleet_index, &prep);
+        cloudscope_obs::counter("tracegen.generate.tasks_driven").add(1);
+        cloudscope_obs::gauge("tracegen.generate.region_workers").set(1.0);
+        Driven::Serial {
+            records,
+            dropped_standing,
+            stats: [fleets[0].stats(), fleets[1].stats()],
+        }
+    } else {
+        let (tasks, locator) = partition_specs(&prep, mode);
+        cloudscope_obs::counter("tracegen.generate.tasks_driven").add(tasks.len() as u64);
+        cloudscope_obs::gauge("tracegen.generate.region_workers").set(par.workers() as f64);
+        let outcomes = par.par_map(&tasks, |task| drive_task(task, &prep));
+        Driven::Tasks { outcomes, locator }
+    };
     stage.finish();
-    let stage = gen_span.child("merge");
+    record_phase("tracegen.generate.phase_placement_ns", phase_start);
 
-    // Deterministic merge, ascending region (par_map returns input
-    // order): scatter per-spec outcomes back to global spec order, then
-    // assign each materialized record the id the serial loop would have
-    // used — its position among materialized records.
+    let stage = gen_span.child("merge");
+    let phase_start = std::time::Instant::now();
     let Prepared {
         topology,
         tz_of,
@@ -527,41 +794,35 @@ pub fn generate_with(config: &GeneratorConfig, par: Parallelism) -> GeneratedTra
         service_base,
         next_service,
         standing_per_service,
-        specs,
         mut report,
         ..
     } = prep;
-    let mut outcome_by_spec: Vec<Option<VmRecord>> = (0..specs.len()).map(|_| None).collect();
-    let mut private_alloc = AllocatorStats::default();
-    let mut public_alloc = AllocatorStats::default();
-    for outcome in region_outcomes {
-        report.dropped_vms += outcome.dropped_standing;
-        for (total, part) in [&mut private_alloc, &mut public_alloc]
-            .into_iter()
-            .zip(outcome.stats)
-        {
-            total.attempts += part.attempts;
-            total.successes += part.successes;
-            total.capacity_failures += part.capacity_failures;
-            total.spreading_failures += part.spreading_failures;
-            total.evictions += part.evictions;
-            total.migrations += part.migrations;
+    // 4b. Merge. A serial drive already produced final ids; the parallel
+    // drive reassembles per-task outcomes over the global spec order.
+    let records = match driven {
+        Driven::Serial {
+            records,
+            dropped_standing,
+            stats,
+        } => {
+            report.dropped_vms += dropped_standing;
+            [report.private_alloc, report.public_alloc] = stats;
+            records
         }
-        for (global_idx, record) in outcome.outcomes {
-            outcome_by_spec[global_idx] = record;
+        Driven::Tasks { outcomes, locator } => {
+            let mut stats = [AllocatorStats::default(), AllocatorStats::default()];
+            for outcome in &outcomes {
+                report.dropped_vms += outcome.dropped_standing;
+                stats[0].absorb(&outcome.stats[0]);
+                stats[1].absorb(&outcome.stats[1]);
+            }
+            [report.private_alloc, report.public_alloc] = stats;
+            merge_outcomes(&locator, &outcomes, par)
         }
-    }
-    report.private_alloc = private_alloc;
-    report.public_alloc = public_alloc;
-
-    let mut records: Vec<VmRecord> = Vec::with_capacity(specs.len());
-    for mut record in outcome_by_spec.into_iter().flatten() {
-        record.id = VmId::new(records.len() as u64);
-        records.push(record);
-    }
+    };
     cloudscope_obs::counter("tracegen.generate.merged_records").add(records.len() as u64);
-
     stage.finish();
+    record_phase("tracegen.generate.phase_merge_ns", phase_start);
 
     finish(
         config,
@@ -579,6 +840,13 @@ pub fn generate_with(config: &GeneratorConfig, par: Parallelism) -> GeneratedTra
             report,
         },
     )
+}
+
+/// Records one generation phase's wall-clock as a last-run gauge (in
+/// nanoseconds) — the per-phase breakdown benches and profiling read
+/// without histogram-bucket math.
+fn record_phase(metric: &str, started: std::time::Instant) {
+    cloudscope_obs::gauge(metric).set(started.elapsed().as_nanos() as f64);
 }
 
 /// Everything the shared telemetry + assemble phases consume.
@@ -615,6 +883,7 @@ pub(crate) fn finish(
         mut report,
     } = inputs;
     let stage = gen_span.child("telemetry");
+    let phase_start = std::time::Instant::now();
 
     // 5. Telemetry (deterministic per-VM streams, so order is free).
     let telemetry: Vec<Option<UtilSeries>> = if config.telemetry {
@@ -654,7 +923,9 @@ pub(crate) fn finish(
     };
 
     stage.finish();
+    record_phase("tracegen.generate.phase_telemetry_ns", phase_start);
     let stage = gen_span.child("assemble");
+    let phase_start = std::time::Instant::now();
     let samples_generated: u64 = telemetry.iter().flatten().map(|s| s.len() as u64).sum();
 
     // 6. Assemble the trace.
@@ -669,17 +940,25 @@ pub(crate) fn finish(
             .expect("dense subscription ids");
     }
     // Unplaced churn VMs are dropped (the platform never ran them), and
-    // the survivors renumbered so VmIds stay dense in the trace.
-    let mut next_id = 0u64;
+    // the survivors renumbered so VmIds stay dense in the trace — a
+    // cheap serial move pass. The builder then validates the batch and
+    // builds its four secondary indices on the worker pool, with
+    // serial-identical insertion order.
+    let mut kept_records = Vec::with_capacity(records.len());
+    let mut kept_util = Vec::with_capacity(records.len());
     for (mut record, util) in records.into_iter().zip(telemetry) {
         if record.node.is_none() && record.cluster.index() == u32::MAX {
             report.dropped_vms += 1;
             continue;
         }
-        record.id = VmId::new(next_id);
-        next_id += 1;
-        builder.add_vm(record, util).expect("consistent record");
+        record.id = VmId::new(kept_records.len() as u64);
+        kept_records.push(record);
+        kept_util.push(util);
     }
+    let next_id = kept_records.len() as u64;
+    builder
+        .add_vms_bulk(kept_records, kept_util, &par)
+        .expect("consistent records");
 
     let mut services = Vec::with_capacity(next_service as usize);
     for (idx, plan) in plans.iter().enumerate() {
@@ -697,6 +976,7 @@ pub(crate) fn finish(
     }
 
     stage.finish();
+    record_phase("tracegen.generate.phase_assemble_ns", phase_start);
     cloudscope_obs::counter("tracegen.generate.vms_generated").add(next_id);
     cloudscope_obs::counter("tracegen.generate.samples_generated").add(samples_generated);
 
@@ -982,17 +1262,77 @@ mod tests {
         assert!(spot_public > 0, "public cloud should have spot VMs");
     }
 
-    /// Worker-count invariance at the unit level: explicit worker counts
-    /// through [`generate_with`] must agree exactly (the integration
-    /// digest test locks the same property against the golden bytes).
+    /// Worker-count and partition-granularity invariance at the unit
+    /// level: every forced mode at every worker count must agree exactly
+    /// with the serial drive (the integration digest test locks the same
+    /// property against the golden bytes). Modes are forced because the
+    /// small config would otherwise short-circuit to
+    /// [`PartitionMode::Serial`] under Auto and test nothing.
     #[test]
     fn generate_with_is_worker_count_invariant() {
         let cfg = GeneratorConfig::small(11);
-        let base = generate_with(&cfg, Parallelism::with_workers(1));
-        for workers in [2, 4, 8] {
-            let got = generate_with(&cfg, Parallelism::with_workers(workers));
-            assert_eq!(got.trace.stats(), base.trace.stats(), "workers={workers}");
-            assert_eq!(got.report, base.report, "workers={workers}");
+        let base =
+            generate_with_partition(&cfg, Parallelism::with_workers(1), PartitionMode::Serial);
+        for mode in [PartitionMode::Region, PartitionMode::ClusterGroup] {
+            for workers in [1, 2, 4, 8] {
+                let got = generate_with_partition(&cfg, Parallelism::with_workers(workers), mode);
+                assert_eq!(
+                    got.trace.stats(),
+                    base.trace.stats(),
+                    "{mode:?} workers={workers}"
+                );
+                assert_eq!(got.report, base.report, "{mode:?} workers={workers}");
+            }
+        }
+    }
+
+    /// Pins the Auto-mode heuristic: one worker or a small spec count
+    /// short-circuits to the serial drive; everything else fans out at
+    /// cluster-group granularity.
+    #[test]
+    fn auto_mode_resolution_pinned() {
+        assert_eq!(resolve_auto(0, 8), PartitionMode::Serial);
+        assert_eq!(
+            resolve_auto(SERIAL_DRIVE_SPEC_THRESHOLD - 1, 8),
+            PartitionMode::Serial
+        );
+        assert_eq!(
+            resolve_auto(SERIAL_DRIVE_SPEC_THRESHOLD, 8),
+            PartitionMode::ClusterGroup
+        );
+        assert_eq!(
+            resolve_auto(SERIAL_DRIVE_SPEC_THRESHOLD * 10, 1),
+            PartitionMode::Serial,
+            "one worker never pays partition overhead"
+        );
+        assert_eq!(
+            resolve_auto(SERIAL_DRIVE_SPEC_THRESHOLD, 2),
+            PartitionMode::ClusterGroup
+        );
+    }
+
+    /// Byte-identity across the serial-drive threshold: the small config
+    /// sits below [`SERIAL_DRIVE_SPEC_THRESHOLD`] (asserted, so the test
+    /// fails loudly if the config grows past it), meaning Auto takes the
+    /// serial path — and the trace it emits must equal the forced
+    /// parallel modes' output exactly.
+    #[test]
+    fn serial_short_circuit_is_byte_identical() {
+        let cfg = GeneratorConfig::small(13);
+        let par = Parallelism::with_workers(4);
+        let auto = generate_with(&cfg, par);
+        let spec_count = auto.report.standing_vms + auto.report.churn_vms + auto.report.burst_vms;
+        assert!(
+            (spec_count as usize) < SERIAL_DRIVE_SPEC_THRESHOLD,
+            "small config grew past the serial threshold ({spec_count}); \
+             this test no longer exercises the short-circuit"
+        );
+        for mode in [PartitionMode::Region, PartitionMode::ClusterGroup] {
+            let forced = generate_with_partition(&cfg, par, mode);
+            assert_eq!(auto.trace.stats(), forced.trace.stats(), "{mode:?}");
+            assert_eq!(auto.report, forced.report, "{mode:?}");
+            assert_eq!(auto.services, forced.services, "{mode:?}");
+            assert_eq!(auto.trace.vms(), forced.trace.vms(), "{mode:?}");
         }
     }
 }

@@ -41,7 +41,10 @@ pub use config::{
     ArrivalProfile, CloudProfile, GeneratorConfig, LifetimeProfile, PatternMix, RegionSpec,
     SizeProfile, TopologyConfig,
 };
-pub use generate::{generate, generate_with, GeneratedTrace, GenerationReport, ServiceInfo};
+pub use generate::{
+    generate, generate_with, generate_with_partition, GeneratedTrace, GenerationReport,
+    PartitionMode, ServiceInfo,
+};
 pub use lifetime::LifetimeSampler;
 pub use reference::generate_serial_reference;
 pub use sizes::SizeSampler;

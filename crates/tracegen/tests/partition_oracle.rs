@@ -1,0 +1,98 @@
+//! Partition-granularity oracle: the cluster-group drive must be
+//! byte-identical to the region-granularity drive (kept as
+//! [`PartitionMode::Region`] exactly for this comparison) and to the
+//! whole-trace serial drive, over randomized configurations.
+//!
+//! The strategy deliberately includes the configurations where the
+//! granularities could plausibly diverge:
+//!
+//! - **Multiple clusters per region per cloud**, so
+//!   `Fleet::place_in_region` exercises the coupled
+//!   least-allocated-first ordering and cross-cluster fallback that make
+//!   clusters within one (region, cloud) non-independent — the reason
+//!   the partition stops at cluster *groups* rather than clusters.
+//! - **Capacity pressure** (small nodes, few racks, many standing VMs),
+//!   so placements fail, fall back across clusters, and drop — the
+//!   generator's equivalent of eviction-heavy churn (the drive places
+//!   without eviction, so contention shows up as fallback and drops).
+//! - **High spot fractions**, so priority-dependent placement paths run.
+
+use cloudscope_par::Parallelism;
+use cloudscope_tracegen::{
+    generate_with_partition, GeneratedTrace, GeneratorConfig, PartitionMode,
+};
+use proptest::prelude::*;
+
+/// Small configurations biased toward placement contention.
+fn contended_config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        (
+            any::<u64>(),
+            2usize..4, // regions
+            1usize..4, // private clusters per region (>1 exercises fallback)
+            1usize..4, // public clusters per region
+            1usize..3, // racks per cluster
+        ),
+        (
+            3usize..8,       // nodes per rack (small: capacity pressure)
+            4usize..12,      // private subscriptions
+            20usize..60,     // public subscriptions
+            0.0f64..0.9,     // public spot fraction
+            prop::bool::ANY, // telemetry
+        ),
+    )
+        .prop_map(
+            |(
+                (seed, regions, private_clusters, public_clusters, racks),
+                (nodes, private_subs, public_subs, spot, telemetry),
+            )| {
+                let mut cfg = GeneratorConfig::small(seed);
+                cfg.topology.regions.truncate(regions);
+                cfg.topology.private_clusters_per_region = private_clusters;
+                cfg.topology.public_clusters_per_region = public_clusters;
+                cfg.topology.racks_per_cluster = racks;
+                cfg.topology.nodes_per_rack = nodes;
+                cfg.private.subscriptions = private_subs;
+                cfg.public.subscriptions = public_subs;
+                cfg.public.spot_fraction = spot;
+                cfg.private.arrival.base_rate_per_hour = 1.0;
+                cfg.public.arrival.base_rate_per_hour = 3.0;
+                cfg.telemetry = telemetry;
+                cfg
+            },
+        )
+}
+
+/// Full-output equality: stats, report, service directory, every record,
+/// every telemetry series.
+fn assert_identical(a: &GeneratedTrace, b: &GeneratedTrace, label: &str) {
+    assert_eq!(a.report, b.report, "{label}: report");
+    assert_eq!(a.trace.stats(), b.trace.stats(), "{label}: stats");
+    assert_eq!(a.services, b.services, "{label}: services");
+    assert_eq!(a.trace.vms(), b.trace.vms(), "{label}: records");
+    for vm in a.trace.vms() {
+        assert_eq!(
+            a.trace.util(vm.id),
+            b.trace.util(vm.id),
+            "{label}: telemetry of {}",
+            vm.id
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cluster_group_drive_matches_region_and_serial(config in contended_config_strategy()) {
+        let serial =
+            generate_with_partition(&config, Parallelism::with_workers(1), PartitionMode::Serial);
+        for workers in [1usize, 3, 8] {
+            let par = Parallelism::with_workers(workers);
+            let region = generate_with_partition(&config, par, PartitionMode::Region);
+            let group = generate_with_partition(&config, par, PartitionMode::ClusterGroup);
+            assert_identical(&serial, &region, &format!("region mode, {workers} workers"));
+            assert_identical(&serial, &group, &format!("cluster-group mode, {workers} workers"));
+        }
+    }
+}

@@ -77,6 +77,22 @@ impl Criterion {
         &self.results
     }
 
+    /// Records an externally measured value under `id`, printing it and
+    /// merging it into the JSON output alongside timed benchmarks. The
+    /// hook benches use to publish derived numbers — per-phase medians,
+    /// ratios — next to the raw medians they came from. (Upstream
+    /// criterion has no equivalent; this shim is offline-only.)
+    pub fn report_metric(&mut self, id: impl Into<String>, value: f64) -> &mut Self {
+        let id = id.into();
+        println!("bench {id:<60} {value:>14.1} (reported)");
+        self.results.push(BenchResult {
+            id,
+            median_ns: value,
+            samples: 0,
+        });
+        self
+    }
+
     /// Prints results and merges them into the JSON output file, if one
     /// was configured here or via `BENCH_JSON`. Called by
     /// `criterion_main!`; safe to call repeatedly.
@@ -290,6 +306,21 @@ mod tests {
         }
         let ids: Vec<&str> = c.results().iter().map(|r| r.id.as_str()).collect();
         assert_eq!(ids, ["g/f", "g/4"]);
+    }
+
+    #[test]
+    fn reported_metrics_merge_like_benchmarks() {
+        let dir = std::env::temp_dir().join("criterion_shim_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion::default();
+        c.json_output(&path);
+        c.report_metric("phase/x/8", 1234.5);
+        assert_eq!(c.results().last().unwrap().median_ns, 1234.5);
+        assert_eq!(c.results().last().unwrap().samples, 0);
+        c.finalize();
+        assert_eq!(read_flat_json(&path).get("phase/x/8"), Some(&1234.5));
     }
 
     #[test]
