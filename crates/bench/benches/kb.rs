@@ -10,7 +10,7 @@
 //! index-backed candidate queries must not allocate (and hence not
 //! clone) proportionally to the non-matching entries they skip.
 
-use cloudscope::kb::{KbQuery, KnowledgeBase, LifetimeClass, WorkloadKnowledge};
+use cloudscope::kb::{DurableKb, KbQuery, KnowledgeBase, LifetimeClass, WorkloadKnowledge};
 use cloudscope::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -239,6 +239,105 @@ fn bench_kb_mixed(c: &mut Criterion) {
     group.finish();
 }
 
+/// A unique scratch directory under the system temp dir.
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cloudscope-bench-kb-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A populated durable store: every entry WAL-committed, then
+/// checkpointed, like a KB that has been serving for a while.
+fn populated_durable(dir: &std::path::Path, shards: usize) -> DurableKb {
+    let db = DurableKb::open_with_shards(dir, Some(shards)).expect("open durable kb");
+    let batch: Vec<WorkloadKnowledge> = (0..STORE_SIZE).map(entry).collect();
+    db.feed(&batch).expect("feed");
+    db.snapshot().expect("snapshot");
+    db
+}
+
+/// The sharded mixed loop with every write going through the WAL —
+/// measures the durability tax on the serving workload.
+fn durable_mixed_iter(db: &DurableKb, thread: u32, round: u32) -> usize {
+    let kb = db.kb();
+    let mut acc = 0usize;
+    for i in 0..READS_PER_ITER {
+        acc += match i % 3 {
+            0 => KbQuery::spot_candidates().fold(kb, 0usize, |a, k| a + k.vm_count),
+            1 => KbQuery::shiftable().count(kb),
+            _ => KbQuery::oversubscription_candidates(CloudKind::Public).count(kb),
+        };
+    }
+    for w in 0..WRITES_PER_ITER as u32 {
+        let id = (thread * 7919 + round * 131 + w * 37) % STORE_SIZE;
+        let mut k = entry(id);
+        k.updated_at = SimTime::from_minutes(1_000_000);
+        db.upsert(k).expect("durable upsert");
+    }
+    acc
+}
+
+/// The identical loop with the writes bypassing the WAL (straight into
+/// the inner store) — the adjacent baseline the overhead gate divides
+/// by, so machine drift between bench groups cannot fake (or mask) a
+/// durability tax.
+fn durable_plain_iter(db: &DurableKb, thread: u32, round: u32) -> usize {
+    sharded_mixed_iter(db.kb(), thread, round)
+}
+
+/// Serving under churn with the WAL on, plus recovery time: the
+/// mixed loop through [`DurableKb`] at 1 and 8 threads (with its
+/// WAL-bypassing twin as the overhead baseline), and a cold `open()`
+/// of a checkpointed-plus-tail 20k-entry directory.
+fn bench_kb_durable(c: &mut Criterion) {
+    let smoke = std::env::var_os("CLOUDSCOPE_BENCH_SMOKE").is_some();
+    let samples = if smoke { 3 } else { 10 };
+
+    let mixed_dir = bench_dir("mixed");
+    let durable = populated_durable(&mixed_dir, 8);
+    let mut group = c.benchmark_group("kb_durable");
+    group.sample_size(samples);
+    for threads in [1u32, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("mixed_plain", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_threads(&durable, threads, 1, durable_plain_iter)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mixed_wal", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_threads(&durable, threads, 1, durable_mixed_iter)),
+        );
+    }
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&mixed_dir);
+
+    // Recovery: snapshot holds the full population, the WAL tail holds
+    // 5% refreshed entries — both recovery paths exercised.
+    let recovery_dir = bench_dir("recovery");
+    let db = populated_durable(&recovery_dir, 8);
+    let tail: Vec<WorkloadKnowledge> = (0..STORE_SIZE / 20)
+        .map(|id| {
+            let mut k = entry(id);
+            k.updated_at = SimTime::from_minutes(1_000_000);
+            k
+        })
+        .collect();
+    db.feed(&tail).expect("tail feed");
+    drop(db);
+    let recovery_id = format!("recovery/{STORE_SIZE}");
+    group.bench_function(&recovery_id, |b| {
+        b.iter(|| {
+            let recovered = DurableKb::open(black_box(&recovery_dir)).expect("recover");
+            assert_eq!(recovered.kb().len(), STORE_SIZE as usize);
+            recovered
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&recovery_dir);
+}
+
 fn bench_query_terminals(c: &mut Criterion) {
     let smoke = std::env::var_os("CLOUDSCOPE_BENCH_SMOKE").is_some();
     let kb = populated_sharded(8);
@@ -301,7 +400,42 @@ fn verify_acceptance(c: &mut Criterion) {
         "allocation audit: indexed count {count_allocs} events, fold {fold_allocs} events, \
          {matches} matches in a {STORE_SIZE}-entry store"
     );
+
+    // Durability gates: the WAL must tax the mixed serving loop by at
+    // most 50% single-threaded (expected: single-digit %, since the
+    // loop is read-dominated and reads bypass the WAL mutex), and cold
+    // recovery of the 20k-entry store must land well under 5 seconds.
+    // The baseline is the adjacent WAL-bypassing twin of the same loop
+    // on the same store, not the kb_mixed group measured minutes
+    // earlier, so cross-group machine drift cannot decide the gate.
+    let wal_overhead_pct =
+        (median("kb_durable/mixed_wal/1") / median("kb_durable/mixed_plain/1") - 1.0) * 100.0;
+    let recovery_ns = median(&format!("kb_durable/recovery/{STORE_SIZE}"));
+    c.report_metric("kb_durable/wal_overhead_pct", wal_overhead_pct);
+    println!("kb_durable WAL overhead over in-memory sharded (1 thread): {wal_overhead_pct:.1}%");
+    assert!(
+        wal_overhead_pct <= 50.0,
+        "WAL tax on the mixed loop must stay <= 50%, got {wal_overhead_pct:.1}%"
+    );
+
+    let entries_per_sec = f64::from(STORE_SIZE) / (recovery_ns / 1e9);
+    c.report_metric("kb_durable/recovery_entries_per_sec", entries_per_sec);
+    println!(
+        "kb_durable recovery: {:.1} ms for {STORE_SIZE} entries ({entries_per_sec:.0} entries/s)",
+        recovery_ns / 1e6
+    );
+    assert!(
+        recovery_ns < 5e9,
+        "recovering a {STORE_SIZE}-entry store must take < 5s, took {:.2}s",
+        recovery_ns / 1e9
+    );
 }
 
-criterion_group!(kb, bench_kb_mixed, bench_query_terminals, verify_acceptance);
+criterion_group!(
+    kb,
+    bench_kb_mixed,
+    bench_kb_durable,
+    bench_query_terminals,
+    verify_acceptance
+);
 criterion_main!(kb);

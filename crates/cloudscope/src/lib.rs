@@ -87,7 +87,7 @@ pub mod prelude {
     pub use crate::analysis::report::{CharacterizationReport, ReportConfig};
     pub use crate::analysis::{PatternClassifier, UtilizationPattern};
     pub use crate::kb::{
-        extract_cloud_knowledge, KbQuery, KbSelector, KnowledgeBase, WorkloadKnowledge,
+        extract_cloud_knowledge, DurableKb, KbQuery, KbSelector, KnowledgeBase, WorkloadKnowledge,
     };
     pub use crate::mgmt::{PolicyEngine, Recommendation};
     pub use crate::model::prelude::*;

@@ -45,7 +45,10 @@ pub mod store;
 
 pub use extract::{extract_cloud_knowledge, extract_subscription_knowledge};
 pub use knowledge::{LifetimeClass, WorkloadKnowledge};
-pub use persist::{read_snapshot, write_snapshot};
+pub use persist::{
+    read_snapshot, write_snapshot, CrashPlan, CrashPoint, DurableKb, PersistError, RecoveryStats,
+    SnapshotReport,
+};
 pub use pipeline::{
     run_extraction_pipeline, run_extraction_pipeline_with, PipelineStats, RetryPolicy,
 };

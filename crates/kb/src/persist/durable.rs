@@ -1,0 +1,479 @@
+//! [`DurableKb`]: the knowledge base behind a write-ahead log and
+//! per-shard snapshots, with crash recovery.
+//!
+//! Every write (`upsert`/`feed`/`remove`) appends one framed record to
+//! `wal.log` *before* mutating the in-memory store, under one mutex that
+//! spans both steps — so the log order is exactly the apply order and a
+//! snapshot cut taken under the same mutex is consistent. Reads go
+//! straight to the inner [`KnowledgeBase`] (no lock beyond the store's
+//! own shard locks). [`DurableKb::snapshot`] writes one file per
+//! in-memory shard in parallel over `cloudscope-par`, each committed by
+//! an atomic rename, then commits the generation by renaming the
+//! manifest. [`DurableKb::open`] recovers: newest committed generation,
+//! then the WAL tail — tolerating a torn final record — reproducing the
+//! pre-crash committed state exactly, at *any* shard count.
+
+use super::crash::{CrashPlan, CrashPoint, CrashSwitch};
+use super::snapshot::{self, Manifest};
+use super::wal::{self, WalRecord};
+use super::{codec, PersistError};
+use crate::knowledge::WorkloadKnowledge;
+use crate::store::{FeedOutcome, KbStore, KnowledgeBase, StoreError};
+use cloudscope_model::ids::SubscriptionId;
+use cloudscope_par::Parallelism;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// What recovery found when a [`DurableKb`] was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Committed snapshot generation loaded (0 = no snapshot yet).
+    pub generation: u64,
+    /// Entries loaded from the snapshot files.
+    pub snapshot_entries: usize,
+    /// WAL records replayed after the snapshot cut.
+    pub replayed_records: usize,
+    /// Entries those records carried (upserts + removes).
+    pub replayed_entries: usize,
+    /// `true` if a torn final WAL record was dropped (the residue of a
+    /// crash mid-append; everything before it was kept).
+    pub torn_tail: bool,
+}
+
+/// What one completed [`DurableKb::snapshot`] wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotReport {
+    /// The generation this snapshot committed.
+    pub generation: u64,
+    /// Shard files written (one per in-memory shard).
+    pub shard_files: usize,
+    /// Entries captured across all shard files.
+    pub entries: usize,
+    /// WAL byte offset the snapshot cut at: recovery replays from here.
+    pub wal_offset: u64,
+}
+
+/// Serialized writer state: the WAL handle plus the bookkeeping that
+/// must move in lockstep with it (the apply-to-memory step and the
+/// snapshot generation counter).
+#[derive(Debug)]
+struct WalWriter {
+    file: File,
+    /// Valid bytes in `wal.log` (magic included).
+    len: u64,
+    /// Last snapshot generation started (committed or not; generations
+    /// only ever grow, and only the manifest commits one).
+    generation: u64,
+}
+
+/// A [`KnowledgeBase`] that survives restarts: WAL on every write,
+/// parallel per-shard snapshots, crash recovery on open.
+///
+/// # Example
+/// ```no_run
+/// use cloudscope_kb::{DurableKb, KbQuery};
+///
+/// let db = DurableKb::open("/var/lib/cloudscope/kb").unwrap();
+/// // ... feed extraction sweeps through the KbStore trait ...
+/// let snap = db.snapshot().unwrap();
+/// println!("generation {} captured {} entries", snap.generation, snap.entries);
+/// // After a restart, open() replays the WAL tail on top of the
+/// // snapshot: the store is exactly what was committed before.
+/// let restored = DurableKb::open("/var/lib/cloudscope/kb").unwrap();
+/// println!("{} spot candidates", KbQuery::spot_candidates().count(restored.kb()));
+/// ```
+#[derive(Debug)]
+pub struct DurableKb {
+    kb: KnowledgeBase,
+    dir: PathBuf,
+    wal: Mutex<WalWriter>,
+    crash: Arc<CrashSwitch>,
+    recovery: RecoveryStats,
+}
+
+impl DurableKb {
+    /// Opens (creating if absent) the durable KB at `dir` with the
+    /// default in-memory shard count, recovering any committed state:
+    /// the newest valid snapshot generation plus the WAL tail.
+    ///
+    /// # Errors
+    /// I/O errors, and loud [`PersistError::Corrupt`] /
+    /// [`PersistError::Malformed`] for any checksum or format defect —
+    /// silently loading corrupt state is never an option. The only
+    /// tolerated defect is a torn *final* WAL record (a crash
+    /// mid-append), which is dropped and truncated away.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::open_with_shards(dir, None)
+    }
+
+    /// [`DurableKb::open`] with an explicit in-memory shard count. The
+    /// shard count is a concurrency knob of *this* process: recovery
+    /// accepts snapshots written at any other count and produces
+    /// identical query results.
+    ///
+    /// # Errors
+    /// See [`DurableKb::open`].
+    ///
+    /// # Panics
+    /// Panics if `shards == Some(0)`.
+    pub fn open_with_shards(
+        dir: impl AsRef<Path>,
+        shards: Option<usize>,
+    ) -> Result<Self, PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| PersistError::io(&dir, e))?;
+        for name in [
+            "kb.persist.wal_appends",
+            "kb.persist.wal_bytes",
+            "kb.persist.snapshots_written",
+            "kb.persist.recovery_replayed",
+        ] {
+            cloudscope_obs::counter(name).add(0);
+        }
+        let started = Instant::now();
+        let kb = match shards {
+            Some(n) => KnowledgeBase::with_shards(n),
+            None => KnowledgeBase::new(),
+        };
+        let mut recovery = RecoveryStats::default();
+
+        // 1. The manifest names the committed generation, if any.
+        let manifest_path = dir.join(snapshot::MANIFEST_FILE);
+        let manifest: Option<Manifest> = match std::fs::read(&manifest_path) {
+            Ok(bytes) => Some(snapshot::decode_manifest(&bytes, snapshot::MANIFEST_FILE)?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(PersistError::io(&manifest_path, e)),
+        };
+
+        // 2. Load every shard file of that generation.
+        if let Some(m) = manifest {
+            recovery.generation = m.generation;
+            for shard in 0..m.shard_files as usize {
+                let name = snapshot::shard_file_name(m.generation, shard);
+                let path = dir.join(&name);
+                let bytes = std::fs::read(&path).map_err(|e| PersistError::io(&path, e))?;
+                let entries = snapshot::decode_shard_snapshot(&bytes, &name, m.generation, shard)?;
+                recovery.snapshot_entries += entries.len();
+                let outcome = kb.feed_batch(&entries);
+                debug_assert_eq!(outcome.stored, entries.len(), "snapshot entries are unique");
+            }
+        }
+
+        // 3. Replay the WAL tail on top.
+        let wal_path = dir.join(wal::WAL_FILE);
+        let wal_offset = manifest.map_or(wal::WAL_MAGIC.len() as u64, |m| m.wal_offset);
+        let buf = match std::fs::read(&wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if manifest.is_some() {
+                    return Err(PersistError::Malformed {
+                        file: wal::WAL_FILE.to_owned(),
+                        reason: "manifest present but wal.log is missing".to_owned(),
+                    });
+                }
+                let mut file =
+                    File::create(&wal_path).map_err(|e| PersistError::io(&wal_path, e))?;
+                file.write_all(wal::WAL_MAGIC)
+                    .map_err(|e| PersistError::io(&wal_path, e))?;
+                wal::WAL_MAGIC.to_vec()
+            }
+            Err(e) => return Err(PersistError::io(&wal_path, e)),
+        };
+        let replayed = wal::replay(&buf, wal_offset, wal::WAL_FILE)?;
+        recovery.torn_tail = replayed.torn_tail;
+        recovery.replayed_records = replayed.records.len();
+        for record in &replayed.records {
+            recovery.replayed_entries += record.entry_count();
+            match record {
+                WalRecord::Feed(batch) => {
+                    let _ = kb.feed_batch(batch);
+                }
+                WalRecord::Remove(id) => {
+                    let _ = kb.remove(*id);
+                }
+            }
+        }
+
+        // 4. Truncate any torn tail and keep appending after the valid
+        // prefix — new records must never follow garbage bytes.
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&wal_path)
+            .map_err(|e| PersistError::io(&wal_path, e))?;
+        file.set_len(replayed.valid_len)
+            .map_err(|e| PersistError::io(&wal_path, e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| PersistError::io(&wal_path, e))?;
+
+        cloudscope_obs::counter("kb.persist.recovery_replayed")
+            .add(recovery.replayed_entries as u64);
+        cloudscope_obs::gauge("kb.persist.recovery_ns").set(started.elapsed().as_nanos() as f64);
+
+        Ok(Self {
+            kb,
+            dir,
+            wal: Mutex::new(WalWriter {
+                file,
+                len: replayed.valid_len,
+                generation: recovery.generation,
+            }),
+            crash: Arc::new(CrashSwitch::default()),
+            recovery,
+        })
+    }
+
+    /// The in-memory store, for queries ([`KbQuery`](crate::KbQuery)
+    /// terminals take `&KnowledgeBase`). Writes through this reference
+    /// bypass the WAL and will not survive a restart — route writes
+    /// through [`DurableKb::upsert`]/[`DurableKb::feed`]/
+    /// [`DurableKb::remove`] (or the [`KbStore`] impl) instead.
+    #[must_use]
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// What recovery found when this handle was opened.
+    #[must_use]
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// The directory this KB persists into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Arms a crash: the durability layer will simulate a process kill
+    /// at the planned point. A test hook — after the crash fires, every
+    /// operation fails with [`PersistError::Crashed`] until the
+    /// directory is recovered by a fresh [`DurableKb::open`].
+    pub fn arm_crash(&self, plan: CrashPlan) {
+        self.crash.arm(plan);
+    }
+
+    /// `true` once an armed crash has fired.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.crash.is_dead()
+    }
+
+    fn lock_wal(&self) -> MutexGuard<'_, WalWriter> {
+        self.wal.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends one framed record, observing the write-path crash
+    /// points. On success the record is durable.
+    fn append(&self, wal: &mut WalWriter, payload: &[u8]) -> Result<(), PersistError> {
+        self.crash.reached(CrashPoint::BeforeWalAppend)?;
+        let mut framed = Vec::with_capacity(codec::FRAME_HEADER + payload.len());
+        codec::append_frame(&mut framed, payload);
+        if self.crash.should_die(CrashPoint::MidWalRecord) {
+            // A torn write: the first half of the record reaches disk,
+            // the rest never does.
+            let half = &framed[..framed.len() / 2];
+            let _ = wal.file.write_all(half);
+            wal.len += half.len() as u64;
+            return Err(PersistError::Crashed);
+        }
+        let wal_path = self.dir.join(wal::WAL_FILE);
+        wal.file
+            .write_all(&framed)
+            .map_err(|e| PersistError::io(&wal_path, e))?;
+        wal.len += framed.len() as u64;
+        cloudscope_obs::counter("kb.persist.wal_appends").inc();
+        cloudscope_obs::counter("kb.persist.wal_bytes").add(framed.len() as u64);
+        self.crash.reached(CrashPoint::AfterWalAppend)?;
+        Ok(())
+    }
+
+    /// Durably inserts or refreshes one entry: WAL append, then the
+    /// in-memory upsert. Returns the store's verdict (`false` = stale).
+    ///
+    /// # Errors
+    /// The WAL append's I/O error (the store is untouched then), or
+    /// [`PersistError::Crashed`] under an armed crash plan.
+    pub fn upsert(&self, knowledge: WorkloadKnowledge) -> Result<bool, PersistError> {
+        let mut wal = self.lock_wal();
+        self.append(
+            &mut wal,
+            &wal::encode_feed(std::slice::from_ref(&knowledge)),
+        )?;
+        Ok(self.kb.upsert(knowledge))
+    }
+
+    /// Durably ingests one batch as a single WAL record, then one
+    /// in-memory batched write. Atomic under crash: recovery sees the
+    /// whole batch or none of it.
+    ///
+    /// # Errors
+    /// See [`DurableKb::upsert`].
+    pub fn feed(&self, batch: &[WorkloadKnowledge]) -> Result<FeedOutcome, PersistError> {
+        if batch.is_empty() {
+            return Ok(FeedOutcome::default());
+        }
+        let mut wal = self.lock_wal();
+        self.append(&mut wal, &wal::encode_feed(batch))?;
+        Ok(self.kb.feed_batch(batch))
+    }
+
+    /// Durably removes one subscription.
+    ///
+    /// # Errors
+    /// See [`DurableKb::upsert`].
+    pub fn remove(
+        &self,
+        subscription: SubscriptionId,
+    ) -> Result<Option<WorkloadKnowledge>, PersistError> {
+        let mut wal = self.lock_wal();
+        self.append(&mut wal, &wal::encode_remove(subscription))?;
+        Ok(self.kb.remove(subscription))
+    }
+
+    /// Takes a snapshot with [`Parallelism::auto`] workers.
+    ///
+    /// # Errors
+    /// See [`DurableKb::snapshot_with`].
+    pub fn snapshot(&self) -> Result<SnapshotReport, PersistError> {
+        self.snapshot_with(&Parallelism::auto())
+    }
+
+    /// Writes one snapshot file per in-memory shard (in parallel over
+    /// `parallelism`), each committed by an atomic rename, then commits
+    /// the generation by atomically renaming the manifest. The cut is
+    /// consistent: it is taken under the WAL mutex, so it sits exactly
+    /// between two records. A crash anywhere before the manifest rename
+    /// leaves the previous generation live and loses nothing — the WAL
+    /// still covers every committed write.
+    ///
+    /// # Errors
+    /// I/O errors from the file writes/renames, or
+    /// [`PersistError::Crashed`] under an armed crash plan.
+    pub fn snapshot_with(&self, parallelism: &Parallelism) -> Result<SnapshotReport, PersistError> {
+        let (generation, wal_offset, dumps) = {
+            let mut wal = self.lock_wal();
+            self.crash.reached(CrashPoint::BeforeSnapshot)?;
+            wal.generation += 1;
+            (wal.generation, wal.len, self.kb.export_shard_entries())
+        };
+        let entries: usize = dumps.iter().map(|(_, v)| v.len()).sum();
+
+        // Parallel per-shard writes; each task is independent and each
+        // file is atomically renamed, so any subset surviving a crash is
+        // harmless (recovery only reads manifest-named generations).
+        let results = parallelism.par_map(&dumps, |(shard, entries)| {
+            self.write_shard_file(generation, *shard, entries)
+        });
+        for result in results {
+            result?;
+        }
+
+        self.crash.reached(CrashPoint::BeforeManifestRename)?;
+        let manifest = Manifest {
+            generation,
+            shard_files: dumps.len() as u32,
+            wal_offset,
+        };
+        let final_path = self.dir.join(snapshot::MANIFEST_FILE);
+        let tmp_path = self.dir.join(format!("{}.tmp", snapshot::MANIFEST_FILE));
+        write_then_rename(
+            &tmp_path,
+            &final_path,
+            &snapshot::encode_manifest(&manifest),
+        )?;
+        self.crash.reached(CrashPoint::AfterManifestRename)?;
+
+        cloudscope_obs::counter("kb.persist.snapshots_written").add(dumps.len() as u64);
+        self.cleanup_stale_generations(generation);
+        Ok(SnapshotReport {
+            generation,
+            shard_files: dumps.len(),
+            entries,
+            wal_offset,
+        })
+    }
+
+    /// Writes one shard's snapshot file (tmp → fsync → rename),
+    /// observing the snapshot-path crash points.
+    fn write_shard_file(
+        &self,
+        generation: u64,
+        shard: usize,
+        entries: &[WorkloadKnowledge],
+    ) -> Result<(), PersistError> {
+        self.crash.alive()?;
+        let bytes = snapshot::encode_shard_snapshot(generation, shard, entries);
+        let name = snapshot::shard_file_name(generation, shard);
+        let final_path = self.dir.join(&name);
+        let tmp_path = self.dir.join(format!("{name}.tmp"));
+        if self.crash.should_die(CrashPoint::MidShardSnapshot) {
+            // A torn temp file that never gets renamed into place.
+            let _ = std::fs::write(&tmp_path, &bytes[..bytes.len() / 2]);
+            return Err(PersistError::Crashed);
+        }
+        write_then_rename(&tmp_path, &final_path, &bytes)?;
+        self.crash.reached(CrashPoint::BetweenShardSnapshots)?;
+        Ok(())
+    }
+
+    /// Best-effort removal of snapshot files from generations older
+    /// than `live` and of leftover `.tmp` files. Failures are ignored:
+    /// recovery never reads anything the manifest does not name.
+    fn cleanup_stale_generations(&self, live: u64) {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in dir.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale_snap = name
+                .strip_prefix("snap-")
+                .and_then(|rest| rest.split('-').next())
+                .and_then(|generation| generation.parse::<u64>().ok())
+                .is_some_and(|generation| generation < live);
+            if (stale_snap && name.ends_with(".snap")) || name.ends_with(".tmp") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// Writes `bytes` to `tmp`, fsyncs, and atomically renames onto
+/// `target` — the commit idiom every snapshot artifact uses.
+fn write_then_rename(tmp: &Path, target: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let io = |e| PersistError::io(tmp, e);
+    let mut file = File::create(tmp).map_err(io)?;
+    file.write_all(bytes).map_err(io)?;
+    file.sync_all().map_err(io)?;
+    drop(file);
+    std::fs::rename(tmp, target).map_err(|e| PersistError::io(target, e))
+}
+
+impl KbStore for DurableKb {
+    /// [`DurableKb::upsert`] surfaced as a [`KbStore`] write: WAL I/O
+    /// failures become transient store errors the extraction pipeline
+    /// already knows how to retry.
+    fn try_upsert(&self, knowledge: WorkloadKnowledge) -> Result<bool, StoreError> {
+        self.upsert(knowledge)
+            .map_err(|_| StoreError::Transient("kb durability layer unavailable"))
+    }
+
+    /// One WAL record per batch, then the store's native batched write.
+    /// If the append fails, the whole batch is reported failed (the
+    /// record is all-or-nothing), preserving per-entry retryability.
+    fn try_feed(&self, batch: &[WorkloadKnowledge]) -> FeedOutcome {
+        match self.feed(batch) {
+            Ok(outcome) => outcome,
+            Err(_) => FeedOutcome {
+                failures: (0..batch.len())
+                    .map(|i| (i, StoreError::Transient("kb durability layer unavailable")))
+                    .collect(),
+                ..FeedOutcome::default()
+            },
+        }
+    }
+}

@@ -1,6 +1,11 @@
-//! Knowledge-base persistence: a line-oriented TSV snapshot format, so
-//! the extracted knowledge can be checkpointed between extraction sweeps
-//! and shared across processes.
+//! Human-readable TSV export/import of the knowledge base. The binary
+//! WAL + snapshot layer ([`DurableKb`](super::DurableKb)) is the real
+//! durability path; TSV stays as the greppable interchange format.
+//!
+//! Floats are written with Rust's shortest round-trip `Display`, so a
+//! TSV round trip is value-exact (not bit-exact: `-0.0` prints as `-0`
+//! and reparses equal). Every read error carries the 1-based line
+//! number of the offending row.
 
 use crate::knowledge::{LifetimeClass, WorkloadKnowledge};
 use crate::query::KbQuery;
@@ -26,7 +31,7 @@ pub fn write_snapshot<W: Write>(kb: &KnowledgeBase, mut writer: W) -> std::io::R
         res.and_then(|()| {
             writeln!(
                 writer,
-                "{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.6}\t{}\t{}\t{}\t{}\t{}",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
                 k.subscription.index(),
                 k.cloud,
                 k.pattern.map_or("-".to_owned(), |p| p.to_string()),
@@ -58,24 +63,28 @@ fn lifetime_tag(class: LifetimeClass) -> &'static str {
 /// freshness rule).
 ///
 /// # Errors
-/// Returns a descriptive error string for malformed input; I/O errors
-/// are folded into the same error type.
+/// Returns a descriptive error string for malformed input, prefixed
+/// with the 1-based line number of the offending row (the header is
+/// line 1); I/O errors are folded into the same error type.
 pub fn read_snapshot<R: BufRead>(kb: &KnowledgeBase, reader: R) -> Result<usize, String> {
     let mut lines = reader.lines();
     let header = lines
         .next()
-        .ok_or_else(|| "empty snapshot".to_owned())?
-        .map_err(|e| format!("io error: {e}"))?;
+        .ok_or_else(|| "line 1: empty snapshot (missing header)".to_owned())?
+        .map_err(|e| format!("line 1: io error: {e}"))?;
     if header != HEADER {
-        return Err(format!("unexpected snapshot header: {header}"));
+        return Err(format!("line 1: unexpected snapshot header: {header}"));
     }
     let mut stored = 0;
-    for line in lines {
-        let line = line.map_err(|e| format!("io error: {e}"))?;
+    for (i, line) in lines.enumerate() {
+        // The header was line 1, so data row i (0-based) is line i + 2.
+        let line_no = i + 2;
+        let line = line.map_err(|e| format!("line {line_no}: io error: {e}"))?;
         if line.is_empty() {
             continue;
         }
-        if kb.upsert(parse_row(&line)?) {
+        let row = parse_row(&line).map_err(|e| format!("line {line_no}: {e}"))?;
+        if kb.upsert(row) {
             stored += 1;
         }
     }
@@ -140,9 +149,9 @@ mod tests {
             cloud: CloudKind::Private,
             pattern,
             lifetime: LifetimeClass::Mixed,
-            mean_util: 12.3456,
+            mean_util: 12.345_678_901_234_567,
             p95_util: 45.5,
-            util_cv: 0.123456,
+            util_cv: 0.123_456_789_012_345_68,
             regions: 3,
             region_agnostic: agnostic,
             vm_count: 42,
@@ -152,7 +161,7 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_roundtrip() {
+    fn snapshot_roundtrip_is_exact() {
         let kb = KnowledgeBase::new();
         kb.upsert(entry(0, Some(UtilizationPattern::Diurnal), Some(true)));
         kb.upsert(entry(1, None, None));
@@ -166,12 +175,26 @@ mod tests {
         for id in 0..3 {
             let orig = kb.get(SubscriptionId::new(id)).unwrap();
             let back = restored.get(SubscriptionId::new(id)).unwrap();
-            assert_eq!(orig.pattern, back.pattern);
-            assert_eq!(orig.region_agnostic, back.region_agnostic);
-            assert_eq!(orig.lifetime, back.lifetime);
-            assert!((orig.mean_util - back.mean_util).abs() < 1e-3);
-            assert_eq!(orig.updated_at, back.updated_at);
+            // Whole-struct equality: shortest-roundtrip float formatting
+            // makes the TSV trip lossless, not approximately close.
+            assert_eq!(orig, back);
         }
+        restored.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn extreme_floats_roundtrip_exactly() {
+        let kb = KnowledgeBase::new();
+        let mut k = entry(0, None, None);
+        k.mean_util = f64::MIN_POSITIVE;
+        k.p95_util = 1.0e300;
+        k.util_cv = 1.0 / 3.0;
+        kb.upsert(k.clone());
+        let mut buf = Vec::new();
+        write_snapshot(&kb, &mut buf).unwrap();
+        let restored = KnowledgeBase::new();
+        read_snapshot(&restored, buf.as_slice()).unwrap();
+        assert_eq!(restored.get(SubscriptionId::new(0)).unwrap(), k);
     }
 
     #[test]
@@ -201,5 +224,38 @@ mod tests {
         assert!(read_snapshot(&kb, "wrong-header\n".as_bytes()).is_err());
         let bad_row = format!("{HEADER}\n1\tprivate\tnope\tshort\t1\t1\t1\t1\t-\t1\t1\t0");
         assert!(read_snapshot(&kb, bad_row.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn errors_carry_the_offending_line_number() {
+        let kb = KnowledgeBase::new();
+
+        // Header defects are line 1.
+        let err = read_snapshot(&kb, "wrong-header\n".as_bytes()).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = read_snapshot(&kb, "".as_bytes()).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+
+        // Two good rows, then a bad pattern on the file's 4th line.
+        let good_kb = KnowledgeBase::new();
+        good_kb.upsert(entry(1, None, None));
+        good_kb.upsert(entry(2, None, None));
+        let mut buf = Vec::new();
+        write_snapshot(&good_kb, &mut buf).unwrap();
+        buf.extend_from_slice(b"9\tprivate\tnope\tshort\t1\t1\t1\t1\t-\t1\t1\t0\n");
+        let err = read_snapshot(&kb, buf.as_slice()).unwrap_err();
+        assert!(err.starts_with("line 4:"), "{err}");
+        assert!(err.contains("pattern"), "{err}");
+
+        // Blank lines still count toward line numbers: header, row,
+        // blank, bad row => the defect is on line 4.
+        let one_kb = KnowledgeBase::new();
+        one_kb.upsert(entry(1, None, None));
+        let mut buf = Vec::new();
+        write_snapshot(&one_kb, &mut buf).unwrap();
+        buf.extend_from_slice(b"\nnot-a-number\tprivate\t-\tshort\t1\t1\t1\t1\t-\t1\t1\t0\n");
+        let err = read_snapshot(&kb, buf.as_slice()).unwrap_err();
+        assert!(err.starts_with("line 4:"), "{err}");
+        assert!(err.contains("subscription"), "{err}");
     }
 }

@@ -1,0 +1,312 @@
+//! The write-ahead log: one append-only file (`wal.log`) of framed
+//! records, written *before* the in-memory store applies an operation.
+//! Replaying the log from any snapshot cut reproduces the store exactly,
+//! because the store's freshness rule is deterministic in feed order.
+//!
+//! File layout: an 8-byte magic, then frames ([`codec::append_frame`]).
+//! Each frame's payload is one [`WalRecord`]: a feed batch (tag 1) or a
+//! removal (tag 2). A torn final frame — the residue of a crash
+//! mid-append — is tolerated and truncated on the next open; a checksum
+//! mismatch or implausible length anywhere is corruption and fails
+//! loudly with the offending record's number.
+
+use super::codec::{self, FrameOutcome, ENTRY_BYTES};
+use super::PersistError;
+use crate::knowledge::WorkloadKnowledge;
+use cloudscope_model::ids::SubscriptionId;
+
+/// Magic prefix of `wal.log` (also the format version marker).
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"CSKBWAL1";
+
+/// The WAL's file name inside a durable KB directory.
+pub(crate) const WAL_FILE: &str = "wal.log";
+
+/// Record tag: a batch of upserts ([`WalRecord::Feed`]).
+const TAG_FEED: u8 = 1;
+/// Record tag: one removal ([`WalRecord::Remove`]).
+const TAG_REMOVE: u8 = 2;
+
+/// One logical WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WalRecord {
+    /// A batch of upserts, applied in order (the unit of one
+    /// `upsert`/`feed` call).
+    Feed(Vec<WorkloadKnowledge>),
+    /// One subscription removal.
+    Remove(SubscriptionId),
+}
+
+impl WalRecord {
+    /// Entries this record carries (for replay accounting).
+    pub(crate) fn entry_count(&self) -> usize {
+        match self {
+            WalRecord::Feed(batch) => batch.len(),
+            WalRecord::Remove(_) => 1,
+        }
+    }
+}
+
+/// Encodes a feed batch as one record payload.
+pub(crate) fn encode_feed(batch: &[WorkloadKnowledge]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(5 + batch.len() * ENTRY_BYTES);
+    payload.push(TAG_FEED);
+    payload.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    for k in batch {
+        codec::encode_entry(k, &mut payload);
+    }
+    payload
+}
+
+/// Encodes a removal as one record payload.
+pub(crate) fn encode_remove(id: SubscriptionId) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(5);
+    payload.push(TAG_REMOVE);
+    payload.extend_from_slice(&id.index().to_le_bytes());
+    payload
+}
+
+/// Decodes one record payload. `record` is the frame's 1-based ordinal
+/// in `file`, for error attribution.
+pub(crate) fn decode_record(
+    payload: &[u8],
+    file: &str,
+    record: u64,
+) -> Result<WalRecord, PersistError> {
+    let corrupt = |reason: String| PersistError::Corrupt {
+        file: file.to_owned(),
+        record,
+        reason,
+    };
+    let Some((&tag, body)) = payload.split_first() else {
+        return Err(corrupt("empty record payload".to_owned()));
+    };
+    match tag {
+        TAG_FEED => {
+            if body.len() < 4 {
+                return Err(corrupt(
+                    "feed record shorter than its count field".to_owned(),
+                ));
+            }
+            let count =
+                u32::from_le_bytes(body[0..4].try_into().expect("4 bytes present")) as usize;
+            let entries = &body[4..];
+            if entries.len() != count * ENTRY_BYTES {
+                return Err(corrupt(format!(
+                    "feed record declares {count} entries but carries {} bytes",
+                    entries.len()
+                )));
+            }
+            let mut batch = Vec::with_capacity(count);
+            for (i, chunk) in entries.chunks_exact(ENTRY_BYTES).enumerate() {
+                batch.push(codec::decode_entry(chunk).map_err(|reason| {
+                    corrupt(format!("feed entry {} of {count}: {reason}", i + 1))
+                })?);
+            }
+            Ok(WalRecord::Feed(batch))
+        }
+        TAG_REMOVE => {
+            if body.len() != 4 {
+                return Err(corrupt(format!(
+                    "remove record carries {} bytes, expected 4",
+                    body.len()
+                )));
+            }
+            Ok(WalRecord::Remove(SubscriptionId::new(u32::from_le_bytes(
+                body.try_into().expect("4 bytes present"),
+            ))))
+        }
+        other => Err(corrupt(format!("unknown record tag {other}"))),
+    }
+}
+
+/// Result of replaying a WAL buffer.
+#[derive(Debug)]
+pub(crate) struct WalReplay {
+    /// Decoded records from the requested offset onward, in log order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid log prefix (the append point after a
+    /// torn tail is truncated away).
+    pub valid_len: u64,
+    /// `true` if a torn final record was dropped.
+    pub torn_tail: bool,
+}
+
+/// Validates `buf` (the whole `wal.log`) and decodes every record at or
+/// after byte offset `from`. Frames before `from` (already captured by
+/// a snapshot) are CRC-validated but not decoded.
+///
+/// # Errors
+/// [`PersistError::Malformed`] for a bad magic or an offset that does
+/// not land on a record boundary; [`PersistError::Corrupt`] (with the
+/// 1-based record number) for any checksum or decode failure.
+pub(crate) fn replay(buf: &[u8], from: u64, file: &str) -> Result<WalReplay, PersistError> {
+    let malformed = |reason: String| PersistError::Malformed {
+        file: file.to_owned(),
+        reason,
+    };
+    if buf.len() < WAL_MAGIC.len() || &buf[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(malformed("bad magic (not a cloudscope KB WAL)".to_owned()));
+    }
+    let from = usize::try_from(from).map_err(|_| malformed("offset beyond memory".to_owned()))?;
+    if from < WAL_MAGIC.len() || from > buf.len() {
+        return Err(malformed(format!(
+            "snapshot cut at byte {from} is outside the log (len {})",
+            buf.len()
+        )));
+    }
+    let mut pos = WAL_MAGIC.len();
+    let mut record_no = 0u64;
+    let mut records = Vec::new();
+    loop {
+        record_no += 1;
+        match codec::next_frame(buf, pos, file, record_no)? {
+            FrameOutcome::End => {
+                if pos < from {
+                    return Err(malformed(format!(
+                        "snapshot cut at byte {from} is past the log's records"
+                    )));
+                }
+                return Ok(WalReplay {
+                    records,
+                    valid_len: pos as u64,
+                    torn_tail: false,
+                });
+            }
+            FrameOutcome::TornTail => {
+                if pos < from {
+                    return Err(malformed(format!(
+                        "snapshot cut at byte {from} lands inside a torn record"
+                    )));
+                }
+                return Ok(WalReplay {
+                    records,
+                    valid_len: pos as u64,
+                    torn_tail: true,
+                });
+            }
+            FrameOutcome::Frame(payload, next) => {
+                if pos >= from {
+                    records.push(decode_record(payload, file, record_no)?);
+                } else if next > from {
+                    return Err(malformed(format!(
+                        "snapshot cut at byte {from} lands inside record {record_no}"
+                    )));
+                }
+                pos = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::LifetimeClass;
+    use cloudscope_model::prelude::{CloudKind, SimTime};
+
+    fn entry(id: u32, minutes: i64) -> WorkloadKnowledge {
+        WorkloadKnowledge {
+            subscription: SubscriptionId::new(id),
+            cloud: CloudKind::Public,
+            pattern: None,
+            lifetime: LifetimeClass::MostlyShort,
+            mean_util: 0.125,
+            p95_util: 0.25,
+            util_cv: 0.5,
+            regions: 1,
+            region_agnostic: None,
+            vm_count: 1,
+            cores: 2,
+            updated_at: SimTime::from_minutes(minutes),
+        }
+    }
+
+    fn log_with(records: &[WalRecord]) -> Vec<u8> {
+        let mut buf = WAL_MAGIC.to_vec();
+        for record in records {
+            let payload = match record {
+                WalRecord::Feed(batch) => encode_feed(batch),
+                WalRecord::Remove(id) => encode_remove(*id),
+            };
+            codec::append_frame(&mut buf, &payload);
+        }
+        buf
+    }
+
+    #[test]
+    fn roundtrip_and_offset_replay() {
+        let records = vec![
+            WalRecord::Feed(vec![entry(1, 0), entry(2, 5)]),
+            WalRecord::Remove(SubscriptionId::new(1)),
+            WalRecord::Feed(vec![entry(3, 9)]),
+        ];
+        let buf = log_with(&records);
+        let all = replay(&buf, WAL_MAGIC.len() as u64, "wal.log").unwrap();
+        assert_eq!(all.records, records);
+        assert_eq!(all.valid_len, buf.len() as u64);
+        assert!(!all.torn_tail);
+
+        // Replay from the second record's boundary: first is skipped but
+        // still CRC-validated.
+        let first_len = log_with(&records[..1]).len() as u64;
+        let tail = replay(&buf, first_len, "wal.log").unwrap();
+        assert_eq!(tail.records, records[1..]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_reported() {
+        let records = vec![
+            WalRecord::Feed(vec![entry(1, 0)]),
+            WalRecord::Feed(vec![entry(2, 0)]),
+        ];
+        let buf = log_with(&records);
+        let first_len = log_with(&records[..1]).len();
+        for cut in first_len + 1..buf.len() {
+            let replayed = replay(&buf[..cut], WAL_MAGIC.len() as u64, "wal.log").unwrap();
+            assert_eq!(replayed.records, records[..1], "cut at {cut}");
+            assert_eq!(replayed.valid_len as usize, first_len);
+            assert!(replayed.torn_tail);
+        }
+    }
+
+    #[test]
+    fn corrupt_record_errors_name_the_record_number() {
+        let records = vec![
+            WalRecord::Feed(vec![entry(1, 0)]),
+            WalRecord::Remove(SubscriptionId::new(9)),
+            WalRecord::Feed(vec![entry(2, 0)]),
+        ];
+        let mut buf = log_with(&records);
+        // Flip one payload byte inside the *second* record.
+        let second_start = log_with(&records[..1]).len();
+        buf[second_start + codec::FRAME_HEADER] ^= 0x01;
+        let err = replay(&buf, WAL_MAGIC.len() as u64, "wal.log").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("wal.log"), "{msg}");
+        assert!(msg.contains("record 2"), "{msg}");
+    }
+
+    #[test]
+    fn bad_magic_and_bad_offsets_are_malformed() {
+        let buf = log_with(&[WalRecord::Remove(SubscriptionId::new(1))]);
+        assert!(replay(b"NOTAWAL0", 8, "wal.log").is_err());
+        // Offsets inside the magic, inside a record, or past the end.
+        for bad in [0, 3, buf.len() as u64 - 1, buf.len() as u64 + 4] {
+            let err = replay(&buf, bad, "wal.log").unwrap_err();
+            assert!(
+                matches!(err, PersistError::Malformed { .. }),
+                "offset {bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn feed_count_mismatch_is_corrupt() {
+        let mut payload = encode_feed(&[entry(1, 0)]);
+        payload[1] = 7; // declare 7 entries, carry 1
+        let err = decode_record(&payload, "wal.log", 5).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("record 5"), "{msg}");
+        assert!(msg.contains("declares 7 entries"), "{msg}");
+    }
+}

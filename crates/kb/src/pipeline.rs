@@ -316,6 +316,50 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_over_a_crashing_durable_store() {
+        // Drive the pipeline into a DurableKb whose durability layer
+        // dies mid-sweep: the pipeline must absorb the failures (counted
+        // into `failed`, never panicking), and everything it reports as
+        // stored must actually be recoverable from disk.
+        let g = generate(&GeneratorConfig::small(66));
+        let classifier = PatternClassifier::default();
+        let dir = std::env::temp_dir().join(format!(
+            "cloudscope-kb-pipeline-crash-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let db = crate::persist::DurableKb::open_with_shards(&dir, Some(2)).unwrap();
+        // Die at the second WAL append: batch 1 commits, batch 2 onward
+        // is refused (each refused batch costs one append attempt on the
+        // batched write plus one per retry).
+        db.arm_crash(crate::persist::CrashPlan::at_occurrence(
+            crate::persist::CrashPoint::BeforeWalAppend,
+            2,
+        ));
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::ZERO,
+        };
+        // workers = 1 keeps batches small enough that several feeds
+        // happen, so the crash lands between batches.
+        let stats = run_extraction_pipeline_with(&g.trace, &db, &classifier, 2, 1, &retry);
+        assert!(db.crashed());
+        assert!(stats.batches >= 2, "need a multi-batch sweep");
+        assert!(stats.stored > 0, "the first batch committed");
+        assert!(stats.failed > 0, "post-crash batches must fail");
+        assert_eq!(stats.stored + stats.skipped + stats.failed, stats.processed);
+        // Each failed entry burned attempt 1 (batch) + 1 retry.
+        assert_eq!(stats.retries, stats.failed);
+        drop(db);
+
+        let recovered = crate::persist::DurableKb::open(&dir).unwrap();
+        assert_eq!(recovered.kb().len(), stats.stored);
+        recovered.kb().check_consistency().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let g = generate(&GeneratorConfig::small(63));

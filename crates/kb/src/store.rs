@@ -385,6 +385,23 @@ impl KnowledgeBase {
         out
     }
 
+    /// Clones every shard's entries, sorted by subscription within each
+    /// shard, tagged with the shard index — the unit of one snapshot
+    /// file. Deterministic: the same store contents always produce the
+    /// same byte-identical snapshot files.
+    pub(crate) fn export_shard_entries(&self) -> Vec<(usize, Vec<WorkloadKnowledge>)> {
+        let guards = self.read_all();
+        guards
+            .iter()
+            .enumerate()
+            .map(|(shard, guard)| {
+                let mut entries: Vec<WorkloadKnowledge> = guard.entries().cloned().collect();
+                entries.sort_unstable_by_key(|k| k.subscription);
+                (shard, entries)
+            })
+            .collect()
+    }
+
     /// Verifies every shard's index ↔ entry consistency (by full
     /// rebuild) and that every entry lives in the shard its hash maps
     /// to. Returns the number of entries checked. A test/debug aid —

@@ -1,0 +1,367 @@
+//! Durability proptests and fuzz tests: arbitrary entries must survive
+//! a write → recover cycle byte-identically at any shard count, and any
+//! corruption of the on-disk bytes must fail loudly — recovery never
+//! silently loads corrupt state.
+
+mod common;
+
+use cloudscope_analysis::UtilizationPattern;
+use cloudscope_kb::knowledge::LifetimeClass;
+use cloudscope_kb::{DurableKb, KnowledgeBase, PersistError, WorkloadKnowledge};
+use cloudscope_model::ids::SubscriptionId;
+use cloudscope_model::prelude::{CloudKind, SimTime};
+use common::{all_queries, assert_kb_equal, entry, TempDir};
+use proptest::prelude::*;
+use std::path::Path;
+
+/// NaN-free but otherwise extreme floats: subnormals, huge magnitudes,
+/// negative zero, and ordinary values.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-1.0e3..1.0e3f64).boxed(),
+        Just(f64::MIN_POSITIVE).boxed(),
+        Just(-0.0f64).boxed(),
+        Just(1.0e300f64).boxed(),
+        Just(-1.0e-300f64).boxed(),
+        Just(f64::MAX).boxed(),
+    ]
+}
+
+/// A fully arbitrary entry: every enum variant, extreme minutes,
+/// extreme floats — everything the codec must carry.
+fn arb_entry() -> impl Strategy<Value = WorkloadKnowledge> {
+    let minutes = prop_oneof![
+        (-1_000_000i64..1_000_000).boxed(),
+        Just(i64::MIN).boxed(),
+        Just(i64::MAX).boxed(),
+    ];
+    (
+        (0u32..10_000, any::<bool>(), 0u8..5, 0u8..3),
+        (finite_f64(), finite_f64(), finite_f64()),
+        (0usize..1_000, 0u8..3, 0usize..1_000_000, any::<u64>()),
+        minutes,
+    )
+        .prop_map(
+            |(
+                (id, cloud_pub, pattern_tag, lifetime_tag),
+                (mean_util, p95_util, util_cv),
+                (regions, agnostic_tag, vm_count, cores),
+                minutes,
+            )| WorkloadKnowledge {
+                subscription: SubscriptionId::new(id),
+                cloud: if cloud_pub {
+                    CloudKind::Public
+                } else {
+                    CloudKind::Private
+                },
+                pattern: match pattern_tag {
+                    0 => None,
+                    1 => Some(UtilizationPattern::Diurnal),
+                    2 => Some(UtilizationPattern::Stable),
+                    3 => Some(UtilizationPattern::Irregular),
+                    _ => Some(UtilizationPattern::HourlyPeak),
+                },
+                lifetime: match lifetime_tag {
+                    0 => LifetimeClass::MostlyShort,
+                    1 => LifetimeClass::Mixed,
+                    _ => LifetimeClass::MostlyLong,
+                },
+                mean_util,
+                p95_util,
+                util_cv,
+                regions,
+                region_agnostic: match agnostic_tag {
+                    0 => None,
+                    1 => Some(false),
+                    _ => Some(true),
+                },
+                vm_count,
+                cores,
+                updated_at: SimTime::from_minutes(minutes),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary entries written through the WAL (and optionally a
+    /// snapshot) come back bit-identical at any shard count.
+    #[test]
+    fn arbitrary_entries_roundtrip_bit_identically(
+        entries in proptest::collection::vec(arb_entry(), 1..40),
+        writer_shards in 1usize..9,
+        recover_shards in 1usize..9,
+        snapshot in any::<bool>(),
+    ) {
+        let dir = TempDir::new("prop-roundtrip");
+        let db = DurableKb::open_with_shards(dir.path(), Some(writer_shards)).unwrap();
+        db.feed(&entries).unwrap();
+        if snapshot {
+            db.snapshot().unwrap();
+        }
+        let expected: Vec<WorkloadKnowledge> =
+            cloudscope_kb::KbQuery::all().collect(db.kb());
+        drop(db);
+
+        let recovered =
+            DurableKb::open_with_shards(dir.path(), Some(recover_shards)).unwrap();
+        let got: Vec<WorkloadKnowledge> =
+            cloudscope_kb::KbQuery::all().collect(recovered.kb());
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            // Bit-level float equality, not just PartialEq (which treats
+            // -0.0 == 0.0).
+            prop_assert_eq!(g.subscription, e.subscription);
+            prop_assert_eq!(g.mean_util.to_bits(), e.mean_util.to_bits());
+            prop_assert_eq!(g.p95_util.to_bits(), e.p95_util.to_bits());
+            prop_assert_eq!(g.util_cv.to_bits(), e.util_cv.to_bits());
+            prop_assert_eq!(g, e);
+        }
+        recovered.kb().check_consistency().unwrap();
+    }
+
+    /// Changing the shard count between write and recovery changes no
+    /// query result on the whole typed-query surface.
+    #[test]
+    fn shard_count_change_preserves_query_results(
+        ids in proptest::collection::vec(0u32..200, 1..60),
+        writer_shards in 1usize..9,
+        recover_shards in 1usize..9,
+    ) {
+        let dir = TempDir::new("prop-shards");
+        let db = DurableKb::open_with_shards(dir.path(), Some(writer_shards)).unwrap();
+        let batch: Vec<WorkloadKnowledge> = ids.iter().map(|&id| entry(id)).collect();
+        db.feed(&batch).unwrap();
+        db.snapshot().unwrap();
+        // A post-snapshot tail so recovery exercises both paths.
+        db.feed(&ids.iter().map(|&id| entry(id + 200)).collect::<Vec<_>>()).unwrap();
+        drop(db);
+
+        let reference = KnowledgeBase::with_shards(1);
+        reference.feed(batch);
+        reference.feed(ids.iter().map(|&id| entry(id + 200)));
+
+        let recovered =
+            DurableKb::open_with_shards(dir.path(), Some(recover_shards)).unwrap();
+        for query in all_queries() {
+            prop_assert_eq!(
+                query.collect(recovered.kb()),
+                query.collect(&reference),
+                "writer {} shards, recovery {} shards",
+                writer_shards,
+                recover_shards
+            );
+        }
+    }
+}
+
+/// Builds a durable dir with `n` single-upsert WAL records (no
+/// snapshot) and returns the byte offsets at which each record ends —
+/// i.e. the committed-prefix boundaries.
+fn wal_fixture(dir: &Path, n: u32) -> Vec<u64> {
+    let db = DurableKb::open_with_shards(dir, Some(2)).unwrap();
+    let mut boundaries = vec![std::fs::metadata(dir.join("wal.log")).unwrap().len()];
+    for i in 0..n {
+        db.upsert(entry(i)).unwrap();
+        boundaries.push(std::fs::metadata(dir.join("wal.log")).unwrap().len());
+    }
+    boundaries
+}
+
+/// The state after the first `k` ops of [`wal_fixture`]'s sequence.
+fn prefix_state(k: usize) -> KnowledgeBase {
+    let kb = KnowledgeBase::with_shards(1);
+    kb.feed((0..k as u32).map(entry));
+    kb
+}
+
+/// Recovery of a truncated WAL keeps exactly the records that fit whole
+/// under the cut: the torn last record is dropped, nothing else.
+#[test]
+fn wal_truncation_recovers_longest_committed_prefix() {
+    const OPS: u32 = 6;
+    let dir = TempDir::new("fuzz-trunc");
+    let boundaries = wal_fixture(dir.path(), OPS);
+    let full = std::fs::read(dir.path().join("wal.log")).unwrap();
+
+    for cut in boundaries[0]..=*boundaries.last().unwrap() {
+        std::fs::write(dir.path().join("wal.log"), &full[..cut as usize]).unwrap();
+        let recovered = DurableKb::open_with_shards(dir.path(), Some(3)).unwrap();
+        // Number of records wholly under the cut.
+        let k = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        assert_kb_equal(
+            recovered.kb(),
+            &prefix_state(k),
+            &format!("truncated at byte {cut}"),
+        );
+        let torn = boundaries[k] != cut;
+        assert_eq!(
+            recovered.recovery_stats().torn_tail,
+            torn,
+            "cut {cut}: torn-tail flag"
+        );
+        drop(recovered);
+        // Recovery truncates the torn tail away on disk.
+        assert_eq!(
+            std::fs::metadata(dir.path().join("wal.log")).unwrap().len(),
+            boundaries[k],
+            "cut {cut}: torn bytes not truncated"
+        );
+    }
+}
+
+/// Every single-byte corruption of the WAL either fails loudly or — if
+/// it can masquerade as a torn tail (only possible in the final
+/// record's frame) — recovers a committed prefix. Never garbage.
+#[test]
+fn wal_bit_flips_never_load_silently_corrupt_state() {
+    const OPS: u32 = 4;
+    let dir = TempDir::new("fuzz-flip");
+    let boundaries = wal_fixture(dir.path(), OPS);
+    let full = std::fs::read(dir.path().join("wal.log")).unwrap();
+    let prefixes: Vec<KnowledgeBase> = (0..=OPS as usize).map(prefix_state).collect();
+
+    for at in 0..full.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut bad = full.clone();
+            bad[at] ^= bit;
+            std::fs::write(dir.path().join("wal.log"), &bad).unwrap();
+            match DurableKb::open_with_shards(dir.path(), Some(2)) {
+                Err(PersistError::Corrupt { .. } | PersistError::Malformed { .. }) => {}
+                Err(other) => panic!("byte {at} bit {bit:#04x}: unexpected error {other}"),
+                Ok(recovered) => {
+                    // Tolerated only as a torn tail: the state must be
+                    // exactly one of the committed prefixes.
+                    let matched = prefixes.iter().enumerate().any(|(k, p)| {
+                        recovered.kb().len() == p.len()
+                            && cloudscope_kb::KbQuery::all().collect(recovered.kb())
+                                == cloudscope_kb::KbQuery::all().collect(p)
+                            && recovered.recovery_stats().torn_tail
+                            && boundaries[k] < full.len() as u64
+                    });
+                    assert!(
+                        matched,
+                        "byte {at} bit {bit:#04x}: accepted without matching any \
+                         committed prefix"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Every single-byte corruption of a committed snapshot file or the
+/// manifest fails loudly — these files are renamed into place whole, so
+/// no torn-tail tolerance applies.
+#[test]
+fn snapshot_and_manifest_bit_flips_fail_loudly() {
+    let dir = TempDir::new("fuzz-snapflip");
+    let db = DurableKb::open_with_shards(dir.path(), Some(2)).unwrap();
+    db.feed(&(0..25).map(entry).collect::<Vec<_>>()).unwrap();
+    let report = db.snapshot().unwrap();
+    drop(db);
+
+    let mut victims: Vec<String> = (0..report.shard_files)
+        .map(|s| format!("snap-{}-{s}.snap", report.generation))
+        .collect();
+    victims.push("MANIFEST".to_owned());
+
+    for name in victims {
+        let path = dir.path().join(&name);
+        let good = std::fs::read(&path).unwrap();
+        // Stride 3 keeps the matrix fast while still hitting header,
+        // checksum, and payload bytes of every region.
+        for at in (0..good.len()).step_by(3) {
+            let mut bad = good.clone();
+            bad[at] ^= 0x20;
+            std::fs::write(&path, &bad).unwrap();
+            let result = DurableKb::open(dir.path());
+            assert!(
+                matches!(
+                    result,
+                    Err(PersistError::Corrupt { .. } | PersistError::Malformed { .. })
+                ),
+                "{name} byte {at}: corruption accepted"
+            );
+        }
+        std::fs::write(&path, &good).unwrap();
+    }
+
+    // Restored bytes: recovery works again and the state is complete.
+    let recovered = DurableKb::open(dir.path()).unwrap();
+    let shadow = KnowledgeBase::new();
+    shadow.feed((0..25).map(entry));
+    assert_kb_equal(recovered.kb(), &shadow, "restored fixture");
+}
+
+/// Corruption errors point at the offending record: flip a byte in a
+/// known record of the WAL and of a snapshot file and check the 1-based
+/// record number in the message.
+#[test]
+fn corruption_errors_name_file_and_record() {
+    let dir = TempDir::new("fuzz-attrib");
+    let boundaries = wal_fixture(dir.path(), 5);
+    let wal_path = dir.path().join("wal.log");
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    // Flip a payload byte inside record 3 (the third upsert): its frame
+    // starts at boundary[2]; skip the 8-byte header.
+    bytes[boundaries[2] as usize + 8 + 4] ^= 0xFF;
+    std::fs::write(&wal_path, &bytes).unwrap();
+    let err = DurableKb::open(dir.path()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("wal.log"), "{msg}");
+    assert!(msg.contains("record 3"), "{msg}");
+
+    // Snapshot attribution: corrupt the second entry of one shard file.
+    let dir2 = TempDir::new("fuzz-attrib-snap");
+    let db = DurableKb::open_with_shards(dir2.path(), Some(1)).unwrap();
+    db.feed(&(0..5).map(entry).collect::<Vec<_>>()).unwrap();
+    let report = db.snapshot().unwrap();
+    drop(db);
+    let snap = dir2
+        .path()
+        .join(format!("snap-{}-0.snap", report.generation));
+    let mut bytes = std::fs::read(&snap).unwrap();
+    // magic(8) + header frame(8+16) + first entry frame(8+64), then the
+    // second entry's frame header — flip its first payload byte.
+    let second_entry_payload = 8 + (8 + 16) + (8 + 64) + 8;
+    bytes[second_entry_payload] ^= 0x01;
+    std::fs::write(&snap, &bytes).unwrap();
+    let err = DurableKb::open(dir2.path()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains(".snap"), "{msg}");
+    // Header is record 1, so the second entry is record 3.
+    assert!(msg.contains("record 3"), "{msg}");
+}
+
+/// A manifest pointing at missing shard files or a missing WAL fails
+/// loudly instead of quietly serving partial state.
+#[test]
+fn missing_files_behind_a_manifest_fail_loudly() {
+    let dir = TempDir::new("fuzz-missing");
+    let db = DurableKb::open_with_shards(dir.path(), Some(3)).unwrap();
+    db.feed(&(0..30).map(entry).collect::<Vec<_>>()).unwrap();
+    let report = db.snapshot().unwrap();
+    drop(db);
+
+    // Remove one committed shard file.
+    let victim = dir
+        .path()
+        .join(format!("snap-{}-1.snap", report.generation));
+    let saved = std::fs::read(&victim).unwrap();
+    std::fs::remove_file(&victim).unwrap();
+    assert!(matches!(
+        DurableKb::open(dir.path()),
+        Err(PersistError::Io { .. })
+    ));
+    std::fs::write(&victim, &saved).unwrap();
+
+    // Remove the WAL while a manifest exists.
+    let wal = dir.path().join("wal.log");
+    std::fs::remove_file(&wal).unwrap();
+    assert!(matches!(
+        DurableKb::open(dir.path()),
+        Err(PersistError::Malformed { .. })
+    ));
+}

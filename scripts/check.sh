@@ -33,6 +33,16 @@ echo "==> observability gate: metrics reconcile with subsystem ground truth"
 cargo test -q -p cloudscope --test observability
 cargo test -q -p cloudscope --test observability --release
 
+# Durability gate: the crash-point matrix (simulated kills at every WAL
+# append / shard snapshot / manifest rename boundary, plus random
+# interleavings) and the corruption fuzz suite (bit flips, truncation)
+# must pass in release — the mode real recovery runs in, where
+# debug-asserts are compiled out and torn-tail handling is the only
+# safety net.
+echo "==> kb durability gate: crash matrix + corruption fuzzing (release)"
+cargo test -q -p cloudscope-kb --test crash_matrix --release
+cargo test -q -p cloudscope-kb --test durability --release
+
 # The free-capacity index must select the identical node the linear scan
 # would, for every policy, on long randomized place/release/evict
 # histories. Release mode matters: this is the mode the benchmarks and
@@ -55,8 +65,9 @@ echo "    (metrics snapshot archived at $ARTIFACTS_DIR/fig1_metrics.json)"
 # KB serving-layer bench smoke: a short criterion run must produce a
 # parseable BENCH_kb.json covering the mixed closed loop at every thread
 # count. The bench binary itself enforces the >= 3x sharded-vs-single-lock
-# acceptance ratio and the no-cloning allocation audit (it panics, and
-# this step fails, if either regresses).
+# acceptance ratio, the no-cloning allocation audit, the <= 50% WAL
+# overhead gate, and the < 5s cold-recovery gate (it panics, and this
+# step fails, if any regresses).
 echo "==> kb bench smoke: sharded serving layer vs single-lock baseline"
 rm -f BENCH_kb.json
 CLOUDSCOPE_BENCH_SMOKE=1 cargo bench -q -p cloudscope-bench --bench kb > /dev/null
@@ -64,12 +75,19 @@ test -s BENCH_kb.json || { echo "ERROR: BENCH_kb.json not produced" >&2; exit 1;
 python3 - <<'PY'
 import json, sys
 results = json.load(open("BENCH_kb.json"))
-missing = [
+expected = [
     f"kb_mixed/{store}/{threads}"
     for store in ("sharded", "single_lock")
     for threads in (1, 2, 4, 8)
-    if f"kb_mixed/{store}/{threads}" not in results
+] + [
+    "kb_durable/mixed_plain/1",
+    "kb_durable/mixed_wal/1",
+    "kb_durable/mixed_wal/8",
+    "kb_durable/recovery/20000",
+    "kb_durable/wal_overhead_pct",
+    "kb_durable/recovery_entries_per_sec",
 ]
+missing = [k for k in expected if k not in results]
 if missing:
     sys.exit(f"ERROR: BENCH_kb.json missing ids: {missing}")
 print(f"    (BENCH_kb.json parses: {len(results)} benchmark ids)")

@@ -12,7 +12,9 @@
 use cloudscope::analysis::coverage::filled_week_series;
 use cloudscope::cluster::{ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule};
 use cloudscope::faults::{corrupt_trace, FaultPlan, FlakyStore};
-use cloudscope::kb::{run_extraction_pipeline, run_extraction_pipeline_with, RetryPolicy};
+use cloudscope::kb::{
+    run_extraction_pipeline, run_extraction_pipeline_with, DurableKb, RetryPolicy,
+};
 use cloudscope::mgmt::{
     plan_node_maintenance, AllocFailureFeatures, AllocFailurePredictor, OversubMethod,
     OversubPlanner, RemainingLifetimePredictor, SpotMixPolicy, VmDemand,
@@ -242,6 +244,70 @@ fn kb_serving_counters_reconcile_with_query_outcomes() {
     );
     assert_counter_eq(&diff, "kb.store.removes", 1);
     assert_counter_eq(&diff, "kb.store.stale_rejected", 1);
+}
+
+/// The durability counters reconcile with on-disk ground truth: one WAL
+/// append per write call, `wal_bytes` matching the log's length beyond
+/// its magic, one snapshot file per shard, and recovery replaying
+/// exactly the entries written after the last snapshot cut.
+#[test]
+fn kb_persist_counters_reconcile_with_disk_state() {
+    let g = generate(&GeneratorConfig::small(9109));
+    let classifier = PatternClassifier::default();
+    let staging = KnowledgeBase::new();
+    let stats = run_extraction_pipeline(&g.trace, &staging, &classifier, 64, 2);
+    assert!(stats.stored > 0);
+    let entries = cloudscope::kb::KbQuery::all().collect(&staging);
+
+    let dir = std::env::temp_dir().join(format!("cloudscope-obs-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    const SHARDS: usize = 3;
+    const TAIL_WRITES: usize = 5;
+
+    let registry = Arc::new(Registry::new());
+    let ((), diff) = snapshot_diff(&registry, || {
+        let db = DurableKb::open_with_shards(&dir, Some(SHARDS)).expect("open");
+        // One batched feed, then a snapshot, then a post-snapshot tail
+        // of single upserts — the part recovery must replay.
+        db.feed(&entries).expect("feed");
+        let report = db.snapshot().expect("snapshot");
+        assert_eq!(report.shard_files, SHARDS);
+        for k in entries.iter().take(TAIL_WRITES) {
+            db.upsert(k.clone()).expect("upsert");
+        }
+        drop(db);
+        let recovered = DurableKb::open_with_shards(&dir, Some(SHARDS)).expect("recover");
+        let recovery = recovered.recovery_stats();
+        assert_eq!(recovery.generation, 1);
+        assert_eq!(recovery.snapshot_entries, entries.len());
+        assert_eq!(recovery.replayed_records, TAIL_WRITES);
+        assert_eq!(recovery.replayed_entries, TAIL_WRITES);
+        assert!(!recovery.torn_tail);
+        assert_eq!(recovered.kb().len(), entries.len());
+    });
+
+    // One append per write call: the batched feed plus each tail upsert.
+    assert_counter_eq(&diff, "kb.persist.wal_appends", 1 + TAIL_WRITES as u64);
+    // The log is its 8-byte magic plus exactly the appended frames.
+    let wal_len = std::fs::metadata(dir.join("wal.log"))
+        .expect("wal exists")
+        .len();
+    assert_counter_eq(&diff, "kb.persist.wal_bytes", wal_len - 8);
+    // One snapshot file per shard, and they are all on disk.
+    assert_counter_eq(&diff, "kb.persist.snapshots_written", SHARDS as u64);
+    for shard in 0..SHARDS {
+        assert!(
+            dir.join(format!("snap-1-{shard}.snap")).exists(),
+            "snapshot file for shard {shard} missing"
+        );
+    }
+    // Recovery replayed exactly the post-snapshot tail and timed itself.
+    assert_counter_eq(&diff, "kb.persist.recovery_replayed", TAIL_WRITES as u64);
+    let ns = diff
+        .gauge("kb.persist.recovery_ns")
+        .expect("recovery gauge registers");
+    assert!(ns > 0.0, "recovery must take measurable time, got {ns}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Work accounting is scheduling-invariant: the same sweep reports the
@@ -542,6 +608,22 @@ fn exercise_all_subsystems() -> Snapshot {
             },
             0.5,
         ));
+
+        // kb durability: a write-snapshot-reopen cycle registers the
+        // whole kb.persist.* surface (WAL appends, snapshot files,
+        // recovery replay and timing).
+        let dir =
+            std::env::temp_dir().join(format!("cloudscope-obs-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = DurableKb::open_with_shards(&dir, Some(2)).expect("open durable kb");
+        let everything = cloudscope::kb::KbQuery::all().collect(&kb);
+        db.feed(&everything).expect("durable feed");
+        db.snapshot().expect("durable snapshot");
+        db.upsert(everything[0].clone()).expect("durable upsert");
+        drop(db);
+        let recovered = DurableKb::open_with_shards(&dir, Some(2)).expect("recover durable kb");
+        assert_eq!(recovered.kb().len(), everything.len());
+        let _ = std::fs::remove_dir_all(&dir);
 
         // repro: one passing and one failing shape check.
         let mut checks = ShapeChecks::new();
