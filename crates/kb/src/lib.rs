@@ -47,7 +47,7 @@ pub use extract::{extract_cloud_knowledge, extract_subscription_knowledge};
 pub use knowledge::{LifetimeClass, WorkloadKnowledge};
 pub use persist::{
     read_snapshot, write_snapshot, CrashPlan, CrashPoint, DurableKb, PersistError, RecoveryStats,
-    SnapshotReport,
+    SnapshotReport, SyncPolicy,
 };
 pub use pipeline::{
     run_extraction_pipeline, run_extraction_pipeline_with, PipelineStats, RetryPolicy,

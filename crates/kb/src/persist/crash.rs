@@ -11,7 +11,7 @@
 //! recovers from the directory with a fresh open.
 
 use super::PersistError;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Mutex;
 
 /// Every boundary in the durability layer where a process can die. The
@@ -42,13 +42,21 @@ pub enum CrashPoint {
     /// manifest rename never happened: the old generation stays live.
     BeforeManifestRename,
     /// After the manifest rename: the new generation is committed; only
-    /// the post-commit cleanup is lost.
+    /// the post-commit cleanup and WAL rotation are lost.
     AfterManifestRename,
+    /// Mid-write of the rotated WAL segment's temp file (the manifest
+    /// already committed; the torn `wal.log.tmp` is never renamed, so
+    /// the old segment keeps serving the manifest's cut offset).
+    MidWalRotate,
+    /// After the rotated WAL segment replaced `wal.log`: the new
+    /// generation is committed and the log holds only the post-cut
+    /// tail.
+    AfterWalRotate,
 }
 
 impl CrashPoint {
     /// Every crash point, for matrix-style enumeration.
-    pub const ALL: [CrashPoint; 8] = [
+    pub const ALL: [CrashPoint; 10] = [
         CrashPoint::BeforeWalAppend,
         CrashPoint::MidWalRecord,
         CrashPoint::AfterWalAppend,
@@ -57,6 +65,8 @@ impl CrashPoint {
         CrashPoint::BetweenShardSnapshots,
         CrashPoint::BeforeManifestRename,
         CrashPoint::AfterManifestRename,
+        CrashPoint::MidWalRotate,
+        CrashPoint::AfterWalRotate,
     ];
 
     /// The points reached by write operations (`upsert`/`feed`/`remove`).
@@ -67,12 +77,14 @@ impl CrashPoint {
     ];
 
     /// The points reached by [`DurableKb::snapshot`](super::DurableKb::snapshot).
-    pub const SNAPSHOT_PATH: [CrashPoint; 5] = [
+    pub const SNAPSHOT_PATH: [CrashPoint; 7] = [
         CrashPoint::BeforeSnapshot,
         CrashPoint::MidShardSnapshot,
         CrashPoint::BetweenShardSnapshots,
         CrashPoint::BeforeManifestRename,
         CrashPoint::AfterManifestRename,
+        CrashPoint::MidWalRotate,
+        CrashPoint::AfterWalRotate,
     ];
 
     /// `true` if an operation crashed at this point is nonetheless
@@ -80,6 +92,18 @@ impl CrashPoint {
     #[must_use]
     pub fn op_survives(self) -> bool {
         self == CrashPoint::AfterWalAppend
+    }
+
+    /// `true` if a snapshot crashed at this point nonetheless committed
+    /// its generation: the manifest rename had already landed, so
+    /// recovery must report the *new* generation (everything at or
+    /// after [`CrashPoint::AfterManifestRename`]).
+    #[must_use]
+    pub fn snapshot_commits(self) -> bool {
+        matches!(
+            self,
+            CrashPoint::AfterManifestRename | CrashPoint::MidWalRotate | CrashPoint::AfterWalRotate
+        )
     }
 }
 
@@ -124,6 +148,11 @@ impl CrashPlan {
 pub(crate) struct CrashSwitch {
     dead: AtomicBool,
     armed: Mutex<Option<(CrashPlan, u32)>>,
+    /// Pending *transient* torn-append faults (not kills): each makes
+    /// one WAL append write a partial frame and report an I/O error
+    /// while the process stays alive — the disk-full/EIO shape whose
+    /// retry path must not corrupt the log.
+    torn_faults: AtomicU32,
 }
 
 impl CrashSwitch {
@@ -133,6 +162,18 @@ impl CrashSwitch {
             .armed
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = Some((plan, 0));
+    }
+
+    /// Queues `count` transient torn-append faults.
+    pub(crate) fn arm_torn_appends(&self, count: u32) {
+        self.torn_faults.fetch_add(count, Ordering::SeqCst);
+    }
+
+    /// Consumes one pending torn-append fault, if any.
+    pub(crate) fn take_torn_fault(&self) -> bool {
+        self.torn_faults
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
     }
 
     /// `true` once a crash has fired.

@@ -6,12 +6,26 @@
 //! spans both steps — so the log order is exactly the apply order and a
 //! snapshot cut taken under the same mutex is consistent. Reads go
 //! straight to the inner [`KnowledgeBase`] (no lock beyond the store's
-//! own shard locks). [`DurableKb::snapshot`] writes one file per
-//! in-memory shard in parallel over `cloudscope-par`, each committed by
-//! an atomic rename, then commits the generation by renaming the
-//! manifest. [`DurableKb::open`] recovers: newest committed generation,
-//! then the WAL tail — tolerating a torn final record — reproducing the
-//! pre-crash committed state exactly, at *any* shard count.
+//! own shard locks). [`DurableKb::snapshot`] (serialized: one snapshot
+//! at a time) writes one file per in-memory shard in parallel over
+//! `cloudscope-par`, each committed by an atomic rename, commits the
+//! generation by renaming the manifest, then rotates the WAL down to
+//! the post-cut tail so log size and recovery cost track
+//! since-last-snapshot volume, not lifetime volume. [`DurableKb::open`]
+//! recovers: newest committed generation, then the WAL tail —
+//! tolerating a torn final record — reproducing the pre-crash committed
+//! state exactly, at *any* shard count.
+//!
+//! # Durability scope
+//!
+//! Under the default [`SyncPolicy::OsBuffered`], an acknowledged write
+//! has reached the OS page cache: it survives any process crash or kill
+//! (the failure mode the [`CrashPoint`] harness simulates), but an OS
+//! crash or power failure may lose the most recent appends.
+//! [`SyncPolicy::Always`] adds an `fdatasync` per append for
+//! power-failure durability at a per-write latency cost. Snapshot
+//! artifacts are always committed by write → fsync → rename → directory
+//! fsync, whichever policy is active.
 
 use super::crash::{CrashPlan, CrashPoint, CrashSwitch};
 use super::snapshot::{self, Manifest};
@@ -52,8 +66,29 @@ pub struct SnapshotReport {
     pub shard_files: usize,
     /// Entries captured across all shard files.
     pub entries: usize,
-    /// WAL byte offset the snapshot cut at: recovery replays from here.
+    /// WAL byte offset the snapshot cut at: recovery replays from here
+    /// (until the post-commit rotation folds the cut away).
     pub wal_offset: u64,
+}
+
+/// How aggressively WAL appends are pushed to stable storage. Snapshot
+/// artifacts (shard files, manifest, rotated segments) are always
+/// fsynced and committed by rename plus directory fsync regardless of
+/// policy; this knob only governs the per-append hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SyncPolicy {
+    /// Appends reach the OS page cache and flush on the kernel's
+    /// schedule: durable against process crashes and kills (the
+    /// failure mode the crash harness simulates), but an OS crash or
+    /// power failure may lose the most recent appends. The default —
+    /// no fsync on the write path.
+    #[default]
+    OsBuffered,
+    /// `fdatasync` after every append: acknowledged records survive OS
+    /// crashes and power failure (to the extent the storage stack
+    /// honours flushes), at a large per-write latency cost.
+    Always,
 }
 
 /// Serialized writer state: the WAL handle plus the bookkeeping that
@@ -62,11 +97,17 @@ pub struct SnapshotReport {
 #[derive(Debug)]
 struct WalWriter {
     file: File,
-    /// Valid bytes in `wal.log` (magic included).
+    /// Valid bytes in `wal.log` (header included).
     len: u64,
+    /// Segment sequence in the live log's header.
+    seq: u64,
     /// Last snapshot generation started (committed or not; generations
     /// only ever grow, and only the manifest commits one).
     generation: u64,
+    /// `false` after a failed append whose rollback (truncate back to
+    /// `len`) also failed: the file may end in garbage, so no further
+    /// append or rotation may trust it until the rollback succeeds.
+    healthy: bool,
 }
 
 /// A [`KnowledgeBase`] that survives restarts: WAL on every write,
@@ -90,6 +131,12 @@ pub struct DurableKb {
     kb: KnowledgeBase,
     dir: PathBuf,
     wal: Mutex<WalWriter>,
+    /// Serializes whole snapshots: generation bump → shard files →
+    /// manifest rename → cleanup → WAL rotation. Without it, a newer
+    /// generation's cleanup could delete shard files an older in-flight
+    /// snapshot is about to commit a manifest for.
+    snapshots: Mutex<()>,
+    sync: SyncPolicy,
     crash: Arc<CrashSwitch>,
     recovery: RecoveryStats,
 }
@@ -123,11 +170,29 @@ impl DurableKb {
         dir: impl AsRef<Path>,
         shards: Option<usize>,
     ) -> Result<Self, PersistError> {
+        Self::open_with(dir, shards, SyncPolicy::default())
+    }
+
+    /// [`DurableKb::open_with_shards`] with an explicit WAL
+    /// [`SyncPolicy`] (see the module docs for the durability scope of
+    /// each).
+    ///
+    /// # Errors
+    /// See [`DurableKb::open`].
+    ///
+    /// # Panics
+    /// Panics if `shards == Some(0)`.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        shards: Option<usize>,
+        sync: SyncPolicy,
+    ) -> Result<Self, PersistError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| PersistError::io(&dir, e))?;
         for name in [
             "kb.persist.wal_appends",
             "kb.persist.wal_bytes",
+            "kb.persist.wal_rotations",
             "kb.persist.snapshots_written",
             "kb.persist.recovery_replayed",
         ] {
@@ -162,9 +227,12 @@ impl DurableKb {
             }
         }
 
-        // 3. Replay the WAL tail on top.
+        // 3. Replay the WAL tail on top. The segment sequence decides
+        // where the tail starts: the manifest's cut offset points into
+        // the segment it was taken in; a segment carrying the
+        // manifest's generation was rotated after that commit and
+        // replays whole.
         let wal_path = dir.join(wal::WAL_FILE);
-        let wal_offset = manifest.map_or(wal::WAL_MAGIC.len() as u64, |m| m.wal_offset);
         let buf = match std::fs::read(&wal_path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -174,13 +242,40 @@ impl DurableKb {
                         reason: "manifest present but wal.log is missing".to_owned(),
                     });
                 }
-                let mut file =
-                    File::create(&wal_path).map_err(|e| PersistError::io(&wal_path, e))?;
-                file.write_all(wal::WAL_MAGIC)
-                    .map_err(|e| PersistError::io(&wal_path, e))?;
-                wal::WAL_MAGIC.to_vec()
+                // Create segment 0 whole via tmp → fsync → rename, so
+                // a crash mid-creation can never leave a torn header.
+                let header = wal::encode_header(0);
+                let tmp_path = dir.join(format!("{}.tmp", wal::WAL_FILE));
+                write_then_rename(&tmp_path, &wal_path, &header)?;
+                fsync_dir(&dir)?;
+                header.to_vec()
             }
             Err(e) => return Err(PersistError::io(&wal_path, e)),
+        };
+        let seq = wal::parse_seq(&buf, wal::WAL_FILE)?;
+        let wal_offset = match manifest {
+            None if seq == 0 => wal::WAL_HEADER as u64,
+            None => {
+                return Err(PersistError::Malformed {
+                    file: wal::WAL_FILE.to_owned(),
+                    reason: format!(
+                        "log is rotated segment {seq} but the manifest that committed \
+                         it is missing"
+                    ),
+                });
+            }
+            Some(m) if seq == m.wal_seq => m.wal_offset,
+            Some(m) if seq == m.generation => wal::WAL_HEADER as u64,
+            Some(m) => {
+                return Err(PersistError::Malformed {
+                    file: wal::WAL_FILE.to_owned(),
+                    reason: format!(
+                        "log segment {seq} matches neither the manifest's cut segment {} \
+                         nor its generation {}",
+                        m.wal_seq, m.generation
+                    ),
+                });
+            }
         };
         let replayed = wal::replay(&buf, wal_offset, wal::WAL_FILE)?;
         recovery.torn_tail = replayed.torn_tail;
@@ -219,8 +314,12 @@ impl DurableKb {
             wal: Mutex::new(WalWriter {
                 file,
                 len: replayed.valid_len,
+                seq,
                 generation: recovery.generation,
+                healthy: true,
             }),
+            snapshots: Mutex::new(()),
+            sync,
             crash: Arc::new(CrashSwitch::default()),
             recovery,
         })
@@ -256,6 +355,16 @@ impl DurableKb {
         self.crash.arm(plan);
     }
 
+    /// Queues `count` *transient* torn-append faults: each makes one
+    /// WAL append write a partial frame and then fail with an I/O error
+    /// — the ENOSPC/EIO shape — while the process stays alive. A test
+    /// hook for the retry path: unlike [`DurableKb::arm_crash`], the
+    /// handle stays usable, and a retried append must land on the valid
+    /// log prefix, never after the failed append's garbage bytes.
+    pub fn arm_torn_append_faults(&self, count: u32) {
+        self.crash.arm_torn_appends(count);
+    }
+
     /// `true` once an armed crash has fired.
     #[must_use]
     pub fn crashed(&self) -> bool {
@@ -266,24 +375,54 @@ impl DurableKb {
         self.wal.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Appends one framed record, observing the write-path crash
-    /// points. On success the record is durable.
+    /// Appends one framed record, observing the write-path crash points
+    /// and fault injection. On success the record has reached the OS
+    /// (and stable storage under [`SyncPolicy::Always`]); on failure
+    /// the file is rolled back to the valid prefix, so a later retry
+    /// appends after valid records — never after the failed append's
+    /// partial bytes, which would corrupt the log mid-file.
     fn append(&self, wal: &mut WalWriter, payload: &[u8]) -> Result<(), PersistError> {
         self.crash.reached(CrashPoint::BeforeWalAppend)?;
+        let wal_path = self.dir.join(wal::WAL_FILE);
+        if !wal.healthy {
+            // An earlier failed append could not be rolled back; retry
+            // that rollback before accepting new records.
+            restore_append_point(wal).map_err(|e| PersistError::io(&wal_path, e))?;
+            wal.healthy = true;
+        }
         let mut framed = Vec::with_capacity(codec::FRAME_HEADER + payload.len());
         codec::append_frame(&mut framed, payload);
         if self.crash.should_die(CrashPoint::MidWalRecord) {
             // A torn write: the first half of the record reaches disk,
-            // the rest never does.
+            // the rest never does (and the process is dead, so no
+            // rollback runs — recovery truncates the torn tail).
             let half = &framed[..framed.len() / 2];
             let _ = wal.file.write_all(half);
             wal.len += half.len() as u64;
             return Err(PersistError::Crashed);
         }
-        let wal_path = self.dir.join(wal::WAL_FILE);
-        wal.file
-            .write_all(&framed)
-            .map_err(|e| PersistError::io(&wal_path, e))?;
+        let wrote = if self.crash.take_torn_fault() {
+            // Injected transient failure: some bytes reach the file,
+            // then the device errors — but the process lives on.
+            let _ = wal.file.write_all(&framed[..framed.len() / 2]);
+            Err(std::io::Error::other("injected torn-append fault"))
+        } else {
+            wal.file.write_all(&framed)
+        };
+        let synced = wrote.and_then(|()| match self.sync {
+            SyncPolicy::Always => wal.file.sync_data(),
+            SyncPolicy::OsBuffered => Ok(()),
+        });
+        if let Err(e) = synced {
+            // Partial frame bytes may sit after the valid prefix now;
+            // truncate them away and repark the cursor. If even that
+            // fails, poison the writer so nothing appends after the
+            // garbage.
+            if restore_append_point(wal).is_err() {
+                wal.healthy = false;
+            }
+            return Err(PersistError::io(&wal_path, e));
+        }
         wal.len += framed.len() as u64;
         cloudscope_obs::counter("kb.persist.wal_appends").inc();
         cloudscope_obs::counter("kb.persist.wal_bytes").add(framed.len() as u64);
@@ -343,23 +482,40 @@ impl DurableKb {
     }
 
     /// Writes one snapshot file per in-memory shard (in parallel over
-    /// `parallelism`), each committed by an atomic rename, then commits
-    /// the generation by atomically renaming the manifest. The cut is
-    /// consistent: it is taken under the WAL mutex, so it sits exactly
-    /// between two records. A crash anywhere before the manifest rename
-    /// leaves the previous generation live and loses nothing — the WAL
-    /// still covers every committed write.
+    /// `parallelism`), each committed by an atomic rename, commits the
+    /// generation by atomically renaming the manifest, then rotates the
+    /// WAL down to the post-cut tail. The cut is consistent: it is
+    /// taken under the WAL mutex, so it sits exactly between two
+    /// records. A crash anywhere before the manifest rename leaves the
+    /// previous generation live and loses nothing — the WAL still
+    /// covers every committed write; a crash after it (cleanup or
+    /// rotation) has already committed the new generation.
+    ///
+    /// Snapshots are serialized on a dedicated mutex: a second
+    /// concurrent call blocks until the first finishes, so a newer
+    /// generation can never delete files an in-flight older one is
+    /// still committing.
     ///
     /// # Errors
     /// I/O errors from the file writes/renames, or
     /// [`PersistError::Crashed`] under an armed crash plan.
     pub fn snapshot_with(&self, parallelism: &Parallelism) -> Result<SnapshotReport, PersistError> {
-        let (generation, wal_offset, dumps) = {
+        let _one_at_a_time = self
+            .snapshots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let (generation, wal_seq, wal_offset, dumps) = {
             let mut wal = self.lock_wal();
             self.crash.reached(CrashPoint::BeforeSnapshot)?;
             wal.generation += 1;
-            (wal.generation, wal.len, self.kb.export_shard_entries())
+            (
+                wal.generation,
+                wal.seq,
+                wal.len,
+                self.kb.export_shard_entries(),
+            )
         };
+        debug_assert!(wal_seq < generation, "rotation sequences trail generations");
         let entries: usize = dumps.iter().map(|(_, v)| v.len()).sum();
 
         // Parallel per-shard writes; each task is independent and each
@@ -371,11 +527,15 @@ impl DurableKb {
         for result in results {
             result?;
         }
+        // One directory fsync covers all the shard renames, so the
+        // manifest can never commit names the directory might forget.
+        fsync_dir(&self.dir)?;
 
         self.crash.reached(CrashPoint::BeforeManifestRename)?;
         let manifest = Manifest {
             generation,
             shard_files: dumps.len() as u32,
+            wal_seq,
             wal_offset,
         };
         let final_path = self.dir.join(snapshot::MANIFEST_FILE);
@@ -385,16 +545,74 @@ impl DurableKb {
             &final_path,
             &snapshot::encode_manifest(&manifest),
         )?;
+        fsync_dir(&self.dir)?;
         self.crash.reached(CrashPoint::AfterManifestRename)?;
 
         cloudscope_obs::counter("kb.persist.snapshots_written").add(dumps.len() as u64);
         self.cleanup_stale_generations(generation);
+        self.rotate_wal(generation, wal_offset)?;
         Ok(SnapshotReport {
             generation,
             shard_files: dumps.len(),
             entries,
             wal_offset,
         })
+    }
+
+    /// Rewrites `wal.log` as a fresh segment (sequence = the committed
+    /// `generation`) holding only the records after byte `cut` — the
+    /// part no snapshot covers — so log size and recovery replay cost
+    /// track since-last-snapshot write volume instead of lifetime
+    /// volume. Runs strictly after the manifest rename: until the
+    /// atomic segment swap lands, the manifest's `(wal_seq, wal_offset)`
+    /// cut stays valid against the old segment, and afterwards recovery
+    /// recognizes the rotated segment by its sequence. A crash or error
+    /// mid-rotation leaves the old segment live — pure growth, no
+    /// correctness loss.
+    fn rotate_wal(&self, generation: u64, cut: u64) -> Result<(), PersistError> {
+        let mut wal = self.lock_wal();
+        if !wal.healthy {
+            // A failed append's rollback is still pending; the file
+            // tail is not trustworthy, so keep the old segment.
+            return Ok(());
+        }
+        let wal_path = self.dir.join(wal::WAL_FILE);
+        let tmp_path = self.dir.join(format!("{}.tmp", wal::WAL_FILE));
+        let buf = std::fs::read(&wal_path).map_err(|e| PersistError::io(&wal_path, e))?;
+        let tail =
+            buf.get(cut as usize..wal.len as usize)
+                .ok_or_else(|| PersistError::Malformed {
+                    file: wal::WAL_FILE.to_owned(),
+                    reason: format!(
+                        "log shrank below its own append point ({} bytes, cursor {})",
+                        buf.len(),
+                        wal.len
+                    ),
+                })?;
+        if self.crash.should_die(CrashPoint::MidWalRotate) {
+            // A torn rotation temp that never replaces the live
+            // segment; the manifest's cut keeps working.
+            let _ = std::fs::write(&tmp_path, &wal::encode_header(generation)[..4]);
+            return Err(PersistError::Crashed);
+        }
+        let io = |e| PersistError::io(&tmp_path, e);
+        let mut file = File::create(&tmp_path).map_err(io)?;
+        file.write_all(&wal::encode_header(generation))
+            .map_err(io)?;
+        file.write_all(tail).map_err(io)?;
+        file.sync_all().map_err(io)?;
+        let new_len = (wal::WAL_HEADER + tail.len()) as u64;
+        std::fs::rename(&tmp_path, &wal_path).map_err(|e| PersistError::io(&wal_path, e))?;
+        // The tmp handle owns the inode now named `wal.log`, cursor at
+        // the end — swap it in before anything else can fail, so the
+        // writer never keeps appending to the unlinked old inode.
+        wal.file = file;
+        wal.len = new_len;
+        wal.seq = generation;
+        cloudscope_obs::counter("kb.persist.wal_rotations").inc();
+        fsync_dir(&self.dir)?;
+        self.crash.reached(CrashPoint::AfterWalRotate)?;
+        Ok(())
     }
 
     /// Writes one shard's snapshot file (tmp → fsync → rename),
@@ -421,8 +639,13 @@ impl DurableKb {
     }
 
     /// Best-effort removal of snapshot files from generations older
-    /// than `live` and of leftover `.tmp` files. Failures are ignored:
-    /// recovery never reads anything the manifest does not name.
+    /// than `live` and of leftover `.tmp` files. Only ever called under
+    /// the snapshot mutex, after this generation's shard files and
+    /// manifest have been renamed into place and before its WAL
+    /// rotation starts — so every `.tmp` it can see is a dead leftover
+    /// (a crashed snapshot or rotation), never an in-flight artifact.
+    /// Failures are ignored: recovery never reads anything the manifest
+    /// does not name.
     fn cleanup_stale_generations(&self, live: u64) {
         let Ok(dir) = std::fs::read_dir(&self.dir) else {
             return;
@@ -443,7 +666,8 @@ impl DurableKb {
 }
 
 /// Writes `bytes` to `tmp`, fsyncs, and atomically renames onto
-/// `target` — the commit idiom every snapshot artifact uses.
+/// `target` — the commit idiom every snapshot artifact uses. Callers
+/// follow up with [`fsync_dir`] once their batch of renames is done.
 fn write_then_rename(tmp: &Path, target: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     let io = |e| PersistError::io(tmp, e);
     let mut file = File::create(tmp).map_err(io)?;
@@ -451,6 +675,23 @@ fn write_then_rename(tmp: &Path, target: &Path, bytes: &[u8]) -> Result<(), Pers
     file.sync_all().map_err(io)?;
     drop(file);
     std::fs::rename(tmp, target).map_err(|e| PersistError::io(target, e))
+}
+
+/// Fsyncs the directory itself, making prior renames durable against
+/// power loss (a rename alone only updates the in-memory dirent on
+/// most filesystems).
+fn fsync_dir(dir: &Path) -> Result<(), PersistError> {
+    let handle = File::open(dir).map_err(|e| PersistError::io(dir, e))?;
+    handle.sync_all().map_err(|e| PersistError::io(dir, e))
+}
+
+/// Truncates the WAL file back to `wal.len` and reparks the cursor
+/// there — the rollback that keeps a failed append's partial bytes out
+/// of the record stream.
+fn restore_append_point(wal: &mut WalWriter) -> std::io::Result<()> {
+    wal.file.set_len(wal.len)?;
+    wal.file.seek(SeekFrom::Start(wal.len))?;
+    Ok(())
 }
 
 impl KbStore for DurableKb {

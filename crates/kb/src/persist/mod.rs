@@ -24,7 +24,7 @@ mod tsv;
 mod wal;
 
 pub use crash::{CrashPlan, CrashPoint};
-pub use durable::{DurableKb, RecoveryStats, SnapshotReport};
+pub use durable::{DurableKb, RecoveryStats, SnapshotReport, SyncPolicy};
 pub use tsv::{read_snapshot, write_snapshot, HEADER};
 
 /// Errors from the durability layer.

@@ -21,7 +21,7 @@ use crate::knowledge::WorkloadKnowledge;
 pub(crate) const SNAP_MAGIC: &[u8; 8] = b"CSKBSNP1";
 
 /// Magic prefix of the manifest.
-pub(crate) const MANIFEST_MAGIC: &[u8; 8] = b"CSKBMAN1";
+pub(crate) const MANIFEST_MAGIC: &[u8; 8] = b"CSKBMAN2";
 
 /// The manifest's file name inside a durable KB directory.
 pub(crate) const MANIFEST_FILE: &str = "MANIFEST";
@@ -39,15 +39,24 @@ pub(crate) struct Manifest {
     pub generation: u64,
     /// Number of shard files in that generation.
     pub shard_files: u32,
+    /// Segment sequence of the WAL the cut was taken in: `wal_offset`
+    /// is only meaningful inside that segment. A log whose header
+    /// carries `generation` instead was rotated after this manifest
+    /// committed and replays from its own start.
+    pub wal_seq: u64,
     /// WAL byte offset the snapshot captured: replay starts here.
     pub wal_offset: u64,
 }
 
+/// Byte length of the manifest's framed payload.
+const MANIFEST_PAYLOAD: usize = 28;
+
 /// Serializes a manifest (magic + one framed payload).
 pub(crate) fn encode_manifest(m: &Manifest) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(20);
+    let mut payload = Vec::with_capacity(MANIFEST_PAYLOAD);
     payload.extend_from_slice(&m.generation.to_le_bytes());
     payload.extend_from_slice(&m.shard_files.to_le_bytes());
+    payload.extend_from_slice(&m.wal_seq.to_le_bytes());
     payload.extend_from_slice(&m.wal_offset.to_le_bytes());
     let mut buf = MANIFEST_MAGIC.to_vec();
     codec::append_frame(&mut buf, &payload);
@@ -81,16 +90,17 @@ pub(crate) fn decode_manifest(buf: &[u8], file: &str) -> Result<Manifest, Persis
             return Err(malformed("truncated manifest record".to_owned()));
         }
     };
-    if payload.len() != 20 {
+    if payload.len() != MANIFEST_PAYLOAD {
         return Err(malformed(format!(
-            "manifest payload is {} bytes, expected 20",
+            "manifest payload is {} bytes, expected {MANIFEST_PAYLOAD}",
             payload.len()
         )));
     }
     Ok(Manifest {
         generation: u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes")),
         shard_files: u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")),
-        wal_offset: u64::from_le_bytes(payload[12..20].try_into().expect("8 bytes")),
+        wal_seq: u64::from_le_bytes(payload[12..20].try_into().expect("8 bytes")),
+        wal_offset: u64::from_le_bytes(payload[20..28].try_into().expect("8 bytes")),
     })
 }
 
@@ -223,6 +233,7 @@ mod tests {
         let m = Manifest {
             generation: 3,
             shard_files: 8,
+            wal_seq: 2,
             wal_offset: 4096,
         };
         let buf = encode_manifest(&m);

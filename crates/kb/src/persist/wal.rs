@@ -3,12 +3,20 @@
 //! Replaying the log from any snapshot cut reproduces the store exactly,
 //! because the store's freshness rule is deterministic in feed order.
 //!
-//! File layout: an 8-byte magic, then frames ([`codec::append_frame`]).
-//! Each frame's payload is one [`WalRecord`]: a feed batch (tag 1) or a
-//! removal (tag 2). A torn final frame — the residue of a crash
-//! mid-append — is tolerated and truncated on the next open; a checksum
-//! mismatch or implausible length anywhere is corruption and fails
-//! loudly with the offending record's number.
+//! File layout: a 16-byte header — an 8-byte magic plus a `u64` segment
+//! sequence — then frames ([`codec::append_frame`]). The sequence ties
+//! the log to the manifest across rotations: after a snapshot commits,
+//! [`DurableKb`](super::DurableKb) rewrites `wal.log` to just the
+//! post-cut tail under a new sequence (the committed generation), so
+//! recovery can tell "this is the segment the manifest's offset points
+//! into" (sequences match: replay from the offset) from "the log was
+//! rotated after the commit" (sequence equals the manifest's
+//! generation: replay from the header). Each frame's payload is one
+//! [`WalRecord`]: a feed batch (tag 1) or a removal (tag 2). A torn
+//! final frame — the residue of a crash mid-append — is tolerated and
+//! truncated on the next open; a checksum mismatch or implausible
+//! length anywhere is corruption and fails loudly with the offending
+//! record's number.
 
 use super::codec::{self, FrameOutcome, ENTRY_BYTES};
 use super::PersistError;
@@ -16,10 +24,22 @@ use crate::knowledge::WorkloadKnowledge;
 use cloudscope_model::ids::SubscriptionId;
 
 /// Magic prefix of `wal.log` (also the format version marker).
-pub(crate) const WAL_MAGIC: &[u8; 8] = b"CSKBWAL1";
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"CSKBWAL2";
+
+/// Bytes before the first frame: the magic plus the `u64` segment
+/// sequence.
+pub(crate) const WAL_HEADER: usize = WAL_MAGIC.len() + 8;
 
 /// The WAL's file name inside a durable KB directory.
 pub(crate) const WAL_FILE: &str = "wal.log";
+
+/// Builds a segment header carrying `seq`.
+pub(crate) fn encode_header(seq: u64) -> [u8; WAL_HEADER] {
+    let mut header = [0u8; WAL_HEADER];
+    header[..WAL_MAGIC.len()].copy_from_slice(WAL_MAGIC);
+    header[WAL_MAGIC.len()..].copy_from_slice(&seq.to_le_bytes());
+    header
+}
 
 /// Record tag: a batch of upserts ([`WalRecord::Feed`]).
 const TAG_FEED: u8 = 1;
@@ -131,15 +151,13 @@ pub(crate) struct WalReplay {
     pub torn_tail: bool,
 }
 
-/// Validates `buf` (the whole `wal.log`) and decodes every record at or
-/// after byte offset `from`. Frames before `from` (already captured by
-/// a snapshot) are CRC-validated but not decoded.
+/// Parses the segment header, returning its sequence.
 ///
 /// # Errors
-/// [`PersistError::Malformed`] for a bad magic or an offset that does
-/// not land on a record boundary; [`PersistError::Corrupt`] (with the
-/// 1-based record number) for any checksum or decode failure.
-pub(crate) fn replay(buf: &[u8], from: u64, file: &str) -> Result<WalReplay, PersistError> {
+/// [`PersistError::Malformed`] for a bad magic or a file shorter than
+/// the header (the header is written whole via rename, so a short one
+/// is never a tolerable torn tail).
+pub(crate) fn parse_seq(buf: &[u8], file: &str) -> Result<u64, PersistError> {
     let malformed = |reason: String| PersistError::Malformed {
         file: file.to_owned(),
         reason,
@@ -147,14 +165,41 @@ pub(crate) fn replay(buf: &[u8], from: u64, file: &str) -> Result<WalReplay, Per
     if buf.len() < WAL_MAGIC.len() || &buf[..WAL_MAGIC.len()] != WAL_MAGIC {
         return Err(malformed("bad magic (not a cloudscope KB WAL)".to_owned()));
     }
+    if buf.len() < WAL_HEADER {
+        return Err(malformed(format!(
+            "log is {} bytes, shorter than its {WAL_HEADER}-byte header",
+            buf.len()
+        )));
+    }
+    Ok(u64::from_le_bytes(
+        buf[WAL_MAGIC.len()..WAL_HEADER]
+            .try_into()
+            .expect("8 bytes present"),
+    ))
+}
+
+/// Validates `buf` (the whole `wal.log`) and decodes every record at or
+/// after byte offset `from`. Frames before `from` (already captured by
+/// a snapshot) are CRC-validated but not decoded.
+///
+/// # Errors
+/// [`PersistError::Malformed`] for a bad header or an offset that does
+/// not land on a record boundary; [`PersistError::Corrupt`] (with the
+/// 1-based record number) for any checksum or decode failure.
+pub(crate) fn replay(buf: &[u8], from: u64, file: &str) -> Result<WalReplay, PersistError> {
+    let malformed = |reason: String| PersistError::Malformed {
+        file: file.to_owned(),
+        reason,
+    };
+    parse_seq(buf, file)?;
     let from = usize::try_from(from).map_err(|_| malformed("offset beyond memory".to_owned()))?;
-    if from < WAL_MAGIC.len() || from > buf.len() {
+    if from < WAL_HEADER || from > buf.len() {
         return Err(malformed(format!(
             "snapshot cut at byte {from} is outside the log (len {})",
             buf.len()
         )));
     }
-    let mut pos = WAL_MAGIC.len();
+    let mut pos = WAL_HEADER;
     let mut record_no = 0u64;
     let mut records = Vec::new();
     loop {
@@ -222,7 +267,7 @@ mod tests {
     }
 
     fn log_with(records: &[WalRecord]) -> Vec<u8> {
-        let mut buf = WAL_MAGIC.to_vec();
+        let mut buf = encode_header(7).to_vec();
         for record in records {
             let payload = match record {
                 WalRecord::Feed(batch) => encode_feed(batch),
@@ -241,7 +286,8 @@ mod tests {
             WalRecord::Feed(vec![entry(3, 9)]),
         ];
         let buf = log_with(&records);
-        let all = replay(&buf, WAL_MAGIC.len() as u64, "wal.log").unwrap();
+        let all = replay(&buf, WAL_HEADER as u64, "wal.log").unwrap();
+        assert_eq!(parse_seq(&buf, "wal.log").unwrap(), 7);
         assert_eq!(all.records, records);
         assert_eq!(all.valid_len, buf.len() as u64);
         assert!(!all.torn_tail);
@@ -262,7 +308,7 @@ mod tests {
         let buf = log_with(&records);
         let first_len = log_with(&records[..1]).len();
         for cut in first_len + 1..buf.len() {
-            let replayed = replay(&buf[..cut], WAL_MAGIC.len() as u64, "wal.log").unwrap();
+            let replayed = replay(&buf[..cut], WAL_HEADER as u64, "wal.log").unwrap();
             assert_eq!(replayed.records, records[..1], "cut at {cut}");
             assert_eq!(replayed.valid_len as usize, first_len);
             assert!(replayed.torn_tail);
@@ -280,7 +326,7 @@ mod tests {
         // Flip one payload byte inside the *second* record.
         let second_start = log_with(&records[..1]).len();
         buf[second_start + codec::FRAME_HEADER] ^= 0x01;
-        let err = replay(&buf, WAL_MAGIC.len() as u64, "wal.log").unwrap_err();
+        let err = replay(&buf, WAL_HEADER as u64, "wal.log").unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("wal.log"), "{msg}");
         assert!(msg.contains("record 2"), "{msg}");
@@ -289,9 +335,11 @@ mod tests {
     #[test]
     fn bad_magic_and_bad_offsets_are_malformed() {
         let buf = log_with(&[WalRecord::Remove(SubscriptionId::new(1))]);
-        assert!(replay(b"NOTAWAL0", 8, "wal.log").is_err());
-        // Offsets inside the magic, inside a record, or past the end.
-        for bad in [0, 3, buf.len() as u64 - 1, buf.len() as u64 + 4] {
+        assert!(replay(b"NOTAWAL0AAAAAAAA", 16, "wal.log").is_err());
+        // A file shorter than the header is malformed, not a torn tail.
+        assert!(parse_seq(&buf[..WAL_HEADER - 3], "wal.log").is_err());
+        // Offsets inside the header, inside a record, or past the end.
+        for bad in [0, 3, 12, buf.len() as u64 - 1, buf.len() as u64 + 4] {
             let err = replay(&buf, bad, "wal.log").unwrap_err();
             assert!(
                 matches!(err, PersistError::Malformed { .. }),

@@ -335,6 +335,107 @@ fn corruption_errors_name_file_and_record() {
     assert!(msg.contains("record 3"), "{msg}");
 }
 
+/// A committed snapshot rotates the WAL down to the post-cut tail: the
+/// log shrinks to its bare segment header, and recovery replay cost
+/// tracks since-last-snapshot volume across repeated cycles.
+#[test]
+fn snapshot_rotates_wal_to_post_cut_tail() {
+    let dir = TempDir::new("rotate");
+    let wal = dir.path().join("wal.log");
+    let db = DurableKb::open_with_shards(dir.path(), Some(3)).unwrap();
+    db.feed(&(0..40).map(entry).collect::<Vec<_>>()).unwrap();
+    assert!(std::fs::metadata(&wal).unwrap().len() > 16);
+    db.snapshot().unwrap();
+    // Everything the snapshot covers is folded out of the log: only the
+    // 16-byte segment header (magic + sequence) remains.
+    assert_eq!(std::fs::metadata(&wal).unwrap().len(), 16);
+    for i in 40..43 {
+        db.upsert(entry(i)).unwrap();
+    }
+    drop(db);
+
+    let recovered = DurableKb::open_with_shards(dir.path(), Some(2)).unwrap();
+    let stats = recovered.recovery_stats();
+    assert_eq!(stats.generation, 1);
+    assert_eq!(stats.replayed_records, 3, "replay covers only the tail");
+    let shadow = KnowledgeBase::new();
+    shadow.feed((0..43).map(entry));
+    assert_kb_equal(recovered.kb(), &shadow, "first rotation");
+
+    // Second cycle: the log keeps shrinking back to its header and
+    // replay stays tail-sized — lifetime volume never accumulates.
+    recovered.snapshot().unwrap();
+    assert_eq!(std::fs::metadata(&wal).unwrap().len(), 16);
+    recovered.upsert(entry(50)).unwrap();
+    drop(recovered);
+    let again = DurableKb::open(dir.path()).unwrap();
+    assert_eq!(again.recovery_stats().generation, 2);
+    assert_eq!(again.recovery_stats().replayed_records, 1);
+    shadow.upsert(entry(50));
+    assert_kb_equal(again.kb(), &shadow, "second rotation");
+}
+
+/// A rotated WAL segment names the generation that committed it; if
+/// that manifest disappears, recovery refuses the orphan segment rather
+/// than replaying a tail whose base snapshot is gone.
+#[test]
+fn rotated_segment_without_its_manifest_fails_loudly() {
+    let dir = TempDir::new("rotate-orphan");
+    let db = DurableKb::open(dir.path()).unwrap();
+    db.feed(&(0..10).map(entry).collect::<Vec<_>>()).unwrap();
+    db.snapshot().unwrap();
+    drop(db);
+    std::fs::remove_file(dir.path().join("MANIFEST")).unwrap();
+    assert!(matches!(
+        DurableKb::open(dir.path()),
+        Err(PersistError::Malformed { .. })
+    ));
+}
+
+/// Tampering with the segment sequence in the WAL header fails loudly:
+/// a sequence matching neither the manifest's cut segment nor its
+/// generation means the log and snapshot disagree about history.
+#[test]
+fn wal_header_seq_tamper_fails_loudly() {
+    let dir = TempDir::new("rotate-seq");
+    let db = DurableKb::open(dir.path()).unwrap();
+    db.feed(&(0..10).map(entry).collect::<Vec<_>>()).unwrap();
+    db.snapshot().unwrap();
+    db.upsert(entry(99)).unwrap();
+    drop(db);
+    let wal = dir.path().join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    // The segment sequence lives in header bytes 8..16 (after the
+    // magic); any flip makes it match neither cut segment nor
+    // generation.
+    bytes[8] ^= 0x04;
+    std::fs::write(&wal, &bytes).unwrap();
+    assert!(matches!(
+        DurableKb::open(dir.path()),
+        Err(PersistError::Malformed { .. })
+    ));
+}
+
+/// [`SyncPolicy::Always`] (fdatasync per append) roundtrips identically
+/// to the default policy — it only changes when bytes reach stable
+/// storage, never what recovery reads.
+#[test]
+fn sync_always_policy_roundtrips() {
+    use cloudscope_kb::SyncPolicy;
+    let dir = TempDir::new("sync-always");
+    let db = DurableKb::open_with(dir.path(), Some(2), SyncPolicy::Always).unwrap();
+    db.feed(&(0..12).map(entry).collect::<Vec<_>>()).unwrap();
+    db.snapshot().unwrap();
+    db.upsert(entry(20)).unwrap();
+    drop(db);
+
+    let recovered = DurableKb::open(dir.path()).unwrap();
+    let shadow = KnowledgeBase::new();
+    shadow.feed((0..12).map(entry));
+    shadow.upsert(entry(20));
+    assert_kb_equal(recovered.kb(), &shadow, "sync=always");
+}
+
 /// A manifest pointing at missing shard files or a missing WAL fails
 /// loudly instead of quietly serving partial state.
 #[test]

@@ -247,9 +247,10 @@ fn kb_serving_counters_reconcile_with_query_outcomes() {
 }
 
 /// The durability counters reconcile with on-disk ground truth: one WAL
-/// append per write call, `wal_bytes` matching the log's length beyond
-/// its magic, one snapshot file per shard, and recovery replaying
-/// exactly the entries written after the last snapshot cut.
+/// append per write call, `wal_bytes` matching the frames on disk
+/// across the snapshot rotation, one snapshot file per shard, and
+/// recovery replaying exactly the entries written after the last
+/// snapshot cut.
 #[test]
 fn kb_persist_counters_reconcile_with_disk_state() {
     let g = generate(&GeneratorConfig::small(9109));
@@ -263,15 +264,28 @@ fn kb_persist_counters_reconcile_with_disk_state() {
     let _ = std::fs::remove_dir_all(&dir);
     const SHARDS: usize = 3;
     const TAIL_WRITES: usize = 5;
+    // Segment header: 8-byte magic + 8-byte sequence.
+    const WAL_HEADER: u64 = 16;
 
     let registry = Arc::new(Registry::new());
-    let ((), diff) = snapshot_diff(&registry, || {
+    let (pre_rotation_len, diff) = snapshot_diff(&registry, || {
         let db = DurableKb::open_with_shards(&dir, Some(SHARDS)).expect("open");
         // One batched feed, then a snapshot, then a post-snapshot tail
         // of single upserts — the part recovery must replay.
         db.feed(&entries).expect("feed");
+        let pre_rotation_len = std::fs::metadata(dir.join("wal.log"))
+            .expect("wal exists")
+            .len();
         let report = db.snapshot().expect("snapshot");
         assert_eq!(report.shard_files, SHARDS);
+        // The snapshot rotated everything it covers out of the log:
+        // only a fresh segment header remains.
+        assert_eq!(
+            std::fs::metadata(dir.join("wal.log"))
+                .expect("wal exists")
+                .len(),
+            WAL_HEADER
+        );
         for k in entries.iter().take(TAIL_WRITES) {
             db.upsert(k.clone()).expect("upsert");
         }
@@ -284,15 +298,23 @@ fn kb_persist_counters_reconcile_with_disk_state() {
         assert_eq!(recovery.replayed_entries, TAIL_WRITES);
         assert!(!recovery.torn_tail);
         assert_eq!(recovered.kb().len(), entries.len());
+        pre_rotation_len
     });
 
     // One append per write call: the batched feed plus each tail upsert.
     assert_counter_eq(&diff, "kb.persist.wal_appends", 1 + TAIL_WRITES as u64);
-    // The log is its 8-byte magic plus exactly the appended frames.
+    // Appended bytes = frames in the pre-rotation segment (the feed)
+    // plus frames in the live segment (the tail upserts); headers are
+    // file structure, not appends, and the snapshot rotated exactly once.
     let wal_len = std::fs::metadata(dir.join("wal.log"))
         .expect("wal exists")
         .len();
-    assert_counter_eq(&diff, "kb.persist.wal_bytes", wal_len - 8);
+    assert_counter_eq(
+        &diff,
+        "kb.persist.wal_bytes",
+        (pre_rotation_len - WAL_HEADER) + (wal_len - WAL_HEADER),
+    );
+    assert_counter_eq(&diff, "kb.persist.wal_rotations", 1);
     // One snapshot file per shard, and they are all on disk.
     assert_counter_eq(&diff, "kb.persist.snapshots_written", SHARDS as u64);
     for shard in 0..SHARDS {
