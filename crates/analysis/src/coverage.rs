@@ -60,7 +60,7 @@ pub fn telemetry_slot_coverage(trace: &Trace, cloud: CloudKind) -> Option<f64> {
     let mut count = 0usize;
     for vm in trace.vms_of(cloud) {
         if let Some(util) = trace.util(vm.id) {
-            sum += coverage(&week_grid_values(util));
+            sum += coverage(&week_grid_values(&util));
             count += 1;
         }
     }

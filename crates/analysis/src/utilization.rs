@@ -24,10 +24,18 @@ pub const MIN_POPULATION_COVERAGE: f64 = 0.75;
 /// with gaps repaired. Returns the series and the mean pre-fill
 /// coverage.
 fn full_week_hourly_series(trace: &Trace, cloud: CloudKind, max_vms: usize) -> (Vec<Series>, f64) {
-    let candidates: Vec<(Vec<f64>, f64)> = trace
+    // Pass 1 keeps only (id, coverage) per eligible VM — the filled
+    // week vectors are dropped immediately, so memory stays O(eligible
+    // VMs), not O(eligible VMs × week length). Pass 2 re-derives the
+    // series for just the strided selection; on an out-of-core trace
+    // that means streaming the telemetry twice instead of ever
+    // materializing every series at once.
+    let candidates: Vec<(VmId, f64)> = trace
         .vms_of(cloud)
-        .filter_map(|vm| trace.util(vm.id))
-        .filter_map(|u| filled_week_series(u, MIN_VM_WEEK_COVERAGE))
+        .filter_map(|vm| {
+            let util = trace.util(vm.id)?;
+            filled_week_series(&util, MIN_VM_WEEK_COVERAGE).map(|(_, cov)| (vm.id, cov))
+        })
         .collect();
     let stride = (candidates.len() / max_vms.max(1)).max(1);
     let mut coverage_sum = 0.0;
@@ -35,8 +43,11 @@ fn full_week_hourly_series(trace: &Trace, cloud: CloudKind, max_vms: usize) -> (
         .into_iter()
         .step_by(stride)
         .take(max_vms)
-        .map(|(values, cov)| {
+        .map(|(id, cov)| {
             coverage_sum += cov;
+            let util = trace.util(id).expect("eligible in pass 1");
+            let (values, _) =
+                filled_week_series(&util, MIN_VM_WEEK_COVERAGE).expect("eligible in pass 1");
             Series::new(0, SAMPLE_INTERVAL_MINUTES, values)
                 .downsample_mean(12)
                 .expect("positive factor")

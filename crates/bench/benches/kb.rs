@@ -405,14 +405,51 @@ fn verify_acceptance(c: &mut Criterion) {
     // most 50% single-threaded (expected: single-digit %, since the
     // loop is read-dominated and reads bypass the WAL mutex), and cold
     // recovery of the 20k-entry store must land well under 5 seconds.
-    // The baseline is the adjacent WAL-bypassing twin of the same loop
-    // on the same store, not the kb_mixed group measured minutes
-    // earlier, so cross-group machine drift cannot decide the gate.
-    let wal_overhead_pct =
-        (median("kb_durable/mixed_wal/1") / median("kb_durable/mixed_plain/1") - 1.0) * 100.0;
+    //
+    // The overhead estimate deliberately does NOT divide the two
+    // criterion medians above: those twins run as separate benchmarks
+    // seconds apart, and on a busy machine that gap alone has produced
+    // readings like -9% — a nonsensical "WAL speedup" that was pure
+    // drift. Instead the twins run here strictly interleaved on one
+    // store — plain round, WAL round, repeat — and the estimate is the
+    // median of per-round ratios, so slow drift cancels within each
+    // round. A still-negative median is logged loudly and clamped to
+    // zero rather than reported as a speedup.
+    let smoke = std::env::var_os("CLOUDSCOPE_BENCH_SMOKE").is_some();
+    let overhead_dir = bench_dir("overhead");
+    let db = populated_durable(&overhead_dir, 8);
+    let (rounds, iters_per_round) = if smoke { (3, 1) } else { (15, 4) };
+    run_threads(&db, 1, 1, durable_plain_iter); // warm caches and WAL
+    run_threads(&db, 1, 1, durable_mixed_iter);
+    let mut ratios = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = std::time::Instant::now();
+        run_threads(&db, 1, iters_per_round, durable_plain_iter);
+        let plain = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        run_threads(&db, 1, iters_per_round, durable_mixed_iter);
+        let wal = t1.elapsed().as_secs_f64();
+        ratios.push(wal / plain);
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&overhead_dir);
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let measured_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+    let wal_overhead_pct = if measured_pct < 0.0 {
+        println!(
+            "note: interleaved WAL overhead measured negative ({measured_pct:.1}%) — \
+             measurement noise, clamping to 0"
+        );
+        0.0
+    } else {
+        measured_pct
+    };
     let recovery_ns = median(&format!("kb_durable/recovery/{STORE_SIZE}"));
     c.report_metric("kb_durable/wal_overhead_pct", wal_overhead_pct);
-    println!("kb_durable WAL overhead over in-memory sharded (1 thread): {wal_overhead_pct:.1}%");
+    println!(
+        "kb_durable WAL overhead over in-memory sharded (1 thread, {rounds} interleaved \
+         rounds): {wal_overhead_pct:.1}%"
+    );
     assert!(
         wal_overhead_pct <= 50.0,
         "WAL tax on the mixed loop must stay <= 50%, got {wal_overhead_pct:.1}%"

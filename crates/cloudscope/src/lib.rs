@@ -17,6 +17,9 @@
 //!   figure, plus the four insight verdicts.
 //! - [`kb`]: the centralized workload knowledge base of Section V.
 //! - [`par`]: the shared deterministic fork-join executor.
+//! - [`store`]: the out-of-core columnar trace store — compressed
+//!   column chunks, atomic manifest commits, streamed reads in
+//!   bounded memory.
 //! - [`faults`]: deterministic telemetry fault injection — the seeded
 //!   corruption plans and flaky stores the robustness tests run under.
 //! - [`mgmt`]: the management policies the insights motivate (spot,
@@ -70,6 +73,7 @@ pub use cloudscope_obs as obs;
 pub use cloudscope_par as par;
 pub use cloudscope_sim as sim;
 pub use cloudscope_stats as stats;
+pub use cloudscope_store as store;
 pub use cloudscope_timeseries as timeseries;
 pub use cloudscope_tracegen as tracegen;
 

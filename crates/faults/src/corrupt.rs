@@ -171,7 +171,7 @@ pub fn corrupt_trace(trace: &Trace, plan: &FaultPlan) -> (Trace, FaultReport) {
     for vm in trace.vms() {
         let util = trace.util(vm.id).and_then(|series| {
             let mut rng = factory.indexed_stream("vm", vm.id.index());
-            corrupt_util_series(series, vm.region, plan, &mut rng, &mut report)
+            corrupt_util_series(&series, vm.region, plan, &mut rng, &mut report)
         });
         builder
             .add_vm(vm.clone(), util)

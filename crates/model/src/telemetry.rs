@@ -220,6 +220,26 @@ impl UtilSeries {
             samples: self.samples.slice(from..to),
         }
     }
+
+    /// The raw quantized samples — the exact storage representation
+    /// (half-percent steps, `0xFF` marking a missing slot). This is the
+    /// byte-level interface the on-disk trace store persists, so a
+    /// series survives an encode/decode round trip bit-identically.
+    #[must_use]
+    pub fn as_quantized(&self) -> &[u8] {
+        &self.samples
+    }
+
+    /// Rebuilds a series from its storage representation (the bytes
+    /// [`UtilSeries::as_quantized`] exposes), without re-quantizing —
+    /// the decode half of the trace store's round trip. Counts under
+    /// `model.telemetry.series_decoded`, not `series_created`, so
+    /// generation-side reconciliation stays exact under lazy loading.
+    #[must_use]
+    pub fn from_quantized(start: SimTime, samples: Bytes) -> Self {
+        cloudscope_obs::counter("model.telemetry.series_decoded").inc();
+        Self { start, samples }
+    }
 }
 
 /// Element-wise average of several equally-long, equally-aligned series —
@@ -392,6 +412,15 @@ mod tests {
         assert_eq!(avg.get(0), Some(20.0));
         assert_eq!(avg.get(1), Some(40.0));
         assert_eq!(avg.get(2), None);
+    }
+
+    #[test]
+    fn quantized_roundtrip_is_bit_exact() {
+        let s = UtilSeries::from_percentages(SimTime::from_hours(2), [0.0, 12.3, f32::NAN, 99.9]);
+        let back = UtilSeries::from_quantized(s.start(), Bytes::copy_from_slice(s.as_quantized()));
+        assert_eq!(s, back);
+        assert!(back.is_missing(2));
+        assert_eq!(back.start(), SimTime::from_hours(2));
     }
 
     #[test]

@@ -15,6 +15,80 @@ use crate::topology::Topology;
 use crate::vm::VmRecord;
 use cloudscope_par::Parallelism;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Where a trace's telemetry lives: resident in memory, or behind a
+/// lazy [`TelemetrySource`] (an out-of-core chunk store) that loads
+/// series on demand. A presence vector makes `has_util` and telemetry
+/// counting cheap in both representations, so the metadata-only
+/// analyses never touch the source.
+#[derive(Debug, Clone)]
+enum TelemetryColumn {
+    /// Every series held in memory, index-aligned with the VM records.
+    Resident(Vec<Option<UtilSeries>>),
+    /// Series loaded on demand; `present[vm]` says whether one exists.
+    Lazy {
+        present: Vec<bool>,
+        source: Arc<dyn TelemetrySource>,
+    },
+}
+
+impl Default for TelemetryColumn {
+    fn default() -> Self {
+        Self::Resident(Vec::new())
+    }
+}
+
+impl TelemetryColumn {
+    fn get(&self, idx: usize) -> Option<UtilSeries> {
+        match self {
+            Self::Resident(col) => col.get(idx)?.clone(),
+            Self::Lazy { present, source } => {
+                if !*present.get(idx)? {
+                    return None;
+                }
+                source.load(VmId::new(idx as u64))
+            }
+        }
+    }
+
+    fn has(&self, idx: usize) -> bool {
+        match self {
+            Self::Resident(col) => col.get(idx).is_some_and(Option::is_some),
+            Self::Lazy { present, .. } => present.get(idx).copied().unwrap_or(false),
+        }
+    }
+
+    fn present_count(&self) -> usize {
+        match self {
+            Self::Resident(col) => col.iter().filter(|u| u.is_some()).count(),
+            Self::Lazy { present, .. } => present.iter().filter(|&&p| p).count(),
+        }
+    }
+
+    /// Builder-side append. The builder starts from `Trace::default()`
+    /// and a source can only be attached to a finished trace, so the
+    /// column is always resident here.
+    fn resident_mut(&mut self) -> &mut Vec<Option<UtilSeries>> {
+        match self {
+            Self::Resident(col) => col,
+            Self::Lazy { .. } => unreachable!("the builder always holds resident telemetry"),
+        }
+    }
+}
+
+/// A lazy telemetry provider a [`Trace`] can be re-pointed at, so the
+/// existing analyses run out-of-core unchanged: `cloudscope-store`
+/// implements this over its compressed chunk files with a bounded
+/// cache, and [`Trace::util`] pulls each series through it on demand.
+///
+/// Implementations must be deterministic — `load` returns the exact
+/// series the resident trace would have held (or `None`), every time —
+/// so a lazy trace is observationally identical to a resident one.
+pub trait TelemetrySource: std::fmt::Debug + Send + Sync {
+    /// The series for `id`, or `None` if the VM has no telemetry.
+    fn load(&self, id: VmId) -> Option<UtilSeries>;
+}
 
 /// A complete one-week workload trace for one or both clouds.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -22,7 +96,7 @@ pub struct Trace {
     topology: Topology,
     subscriptions: Vec<Subscription>,
     vms: Vec<VmRecord>,
-    util: Vec<Option<UtilSeries>>,
+    util: TelemetryColumn,
     by_subscription: FastMap<SubscriptionId, Vec<VmId>>,
     by_node: FastMap<NodeId, Vec<VmId>>,
     by_region: FastMap<RegionId, Vec<VmId>>,
@@ -83,9 +157,53 @@ impl Trace {
     }
 
     /// Utilization telemetry for a VM, if the monitor captured any.
+    ///
+    /// Returns the series by value: on a resident trace this is a cheap
+    /// refcount clone of the shared sample buffer; on a lazy trace (see
+    /// [`Trace::attach_telemetry_source`]) the series is loaded from the
+    /// out-of-core source on demand. Either way the samples are
+    /// bit-identical, so analyses are representation-agnostic.
     #[must_use]
-    pub fn util(&self, id: VmId) -> Option<&UtilSeries> {
-        self.util.get(id.as_usize()).and_then(Option::as_ref)
+    pub fn util(&self, id: VmId) -> Option<UtilSeries> {
+        self.util.get(id.as_usize())
+    }
+
+    /// `true` if the VM has telemetry — without loading the series, so
+    /// presence scans stay cheap on an out-of-core trace.
+    #[must_use]
+    pub fn has_util(&self, id: VmId) -> bool {
+        self.util.has(id.as_usize())
+    }
+
+    /// `true` if telemetry is served by a lazy [`TelemetrySource`]
+    /// rather than held resident.
+    #[must_use]
+    pub fn telemetry_is_lazy(&self) -> bool {
+        matches!(self.util, TelemetryColumn::Lazy { .. })
+    }
+
+    /// Replaces the telemetry column with a lazy source: `present[i]`
+    /// says whether VM `i` has a series, and `source` loads it on
+    /// demand. Any resident telemetry is dropped — this is how a trace
+    /// read from the on-disk store keeps only metadata in memory.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InconsistentTrace`] if `present` is not
+    /// index-aligned with the VM records.
+    pub fn attach_telemetry_source(
+        &mut self,
+        present: Vec<bool>,
+        source: Arc<dyn TelemetrySource>,
+    ) -> Result<(), ModelError> {
+        if present.len() != self.vms.len() {
+            return Err(ModelError::InconsistentTrace(format!(
+                "telemetry presence for {} VMs attached to a trace of {}",
+                present.len(),
+                self.vms.len()
+            )));
+        }
+        self.util = TelemetryColumn::Lazy { present, source };
+        Ok(())
     }
 
     /// The cloud a VM belongs to (through its subscription).
@@ -200,7 +318,7 @@ impl Trace {
             *vm_slot = self.vms_of(cloud).count();
             *sub_slot = self.subscriptions_of(cloud).count();
         }
-        stats.vms_with_telemetry = self.util.iter().filter(|u| u.is_some()).count();
+        stats.vms_with_telemetry = self.util.present_count();
         stats.services = self.by_service.len();
         stats.occupied_nodes = self.by_node.len();
         stats
@@ -277,7 +395,7 @@ impl TraceBuilder {
             .or_default()
             .push(vm.id);
         self.trace.vms.push(vm);
-        self.trace.util.push(util);
+        self.trace.util.resident_mut().push(util);
         Ok(())
     }
 
@@ -336,7 +454,7 @@ impl TraceBuilder {
             partial.merge_into(&mut self.trace);
         }
         self.trace.vms.extend(records);
-        self.trace.util.extend(util);
+        self.trace.util.resident_mut().extend(util);
         Ok(())
     }
 

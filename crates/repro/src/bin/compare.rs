@@ -7,7 +7,7 @@ use cloudscope_repro::{MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = cloudscope_repro::default_trace();
+    let generated = metrics.load_trace();
     let report = CharacterizationReport::analyze(&generated.trace, &ReportConfig::default())
         .expect("analysis");
     let comparison = CloudComparison::from_report(&report);

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(|| "trace_export".to_owned())
         .into();
     std::fs::create_dir_all(&dir)?;
-    let generated = cloudscope_repro::default_trace();
+    let generated = metrics.load_trace();
 
     let deployments_path = dir.join("deployments.csv");
     write_deployments(

@@ -8,7 +8,7 @@ use cloudscope_repro::{print_ecdf, MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = cloudscope_repro::default_trace();
+    let generated = metrics.load_trace();
     let snapshot = SimTime::from_minutes(2 * 24 * 60 + 14 * 60);
     let a = DeploymentSizeAnalysis::run(&generated.trace, snapshot).expect("analysis");
 

@@ -6,7 +6,7 @@ use cloudscope_repro::{MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = cloudscope_repro::default_trace();
+    let generated = metrics.load_trace();
     let a = VmSizeAnalysis::run(&generated.trace).expect("analysis");
 
     for (label, hm) in [("private", &a.private), ("public", &a.public)] {

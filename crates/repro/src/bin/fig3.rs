@@ -8,7 +8,7 @@ use cloudscope_repro::{print_csv, print_ecdf, MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = cloudscope_repro::default_trace();
+    let generated = metrics.load_trace();
     let a = TemporalAnalysis::run(&generated.trace, RegionId::new(0)).expect("analysis");
 
     print_ecdf(

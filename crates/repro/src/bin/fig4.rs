@@ -7,7 +7,7 @@ use cloudscope_repro::{print_csv, MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = cloudscope_repro::default_trace();
+    let generated = metrics.load_trace();
     let a = SpatialAnalysis::run(&generated.trace).expect("analysis");
 
     for (label, cdf) in [

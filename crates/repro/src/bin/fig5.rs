@@ -7,7 +7,7 @@ use cloudscope_repro::{MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = cloudscope_repro::default_trace();
+    let generated = metrics.load_trace();
     let classifier = PatternClassifier::default();
 
     // Fig 5(a-c): one sample series per pattern, from ground truth.

@@ -7,7 +7,7 @@ use cloudscope_repro::{MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = cloudscope_repro::default_trace();
+    let generated = metrics.load_trace();
     let private =
         UtilizationDistribution::run(&generated.trace, CloudKind::Private, 3000).expect("private");
     let public =

@@ -10,7 +10,7 @@ use cloudscope_repro::{print_ecdf, MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = cloudscope_repro::default_trace();
+    let generated = metrics.load_trace();
     let node_private =
         node_vm_correlation_cdf(&generated.trace, CloudKind::Private, 1500).expect("7a private");
     let node_public =

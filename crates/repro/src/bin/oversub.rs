@@ -7,7 +7,7 @@ use cloudscope_repro::{MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = cloudscope_repro::default_trace();
+    let generated = metrics.load_trace();
     let profile = cloudscope_repro::active_profile();
 
     // Pool: public-cloud VMs with (almost) full-week telemetry, gaps

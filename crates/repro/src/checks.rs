@@ -466,7 +466,7 @@ pub fn oversub_pool(trace: &Trace, cap: usize) -> Vec<VmDemand> {
         .vms_of(CloudKind::Public)
         .filter_map(|vm| {
             let util = trace.util(vm.id)?;
-            let (utilization, _) = filled_week_series(util, MIN_VM_WEEK_COVERAGE)?;
+            let (utilization, _) = filled_week_series(&util, MIN_VM_WEEK_COVERAGE)?;
             Some(VmDemand {
                 cores: vm.size.cores(),
                 utilization,

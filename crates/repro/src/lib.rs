@@ -109,12 +109,33 @@ pub fn default_trace() -> GeneratedTrace {
     generated
 }
 
-/// `--metrics <path>` support for the repro binaries: parse once at
-/// startup, call [`MetricsOpt::write`] right before the binary exits so
-/// the snapshot covers the whole run.
+/// Decoded-telemetry-chunk cache size for out-of-core runs, overridable
+/// through `CLOUDSCOPE_STORE_CACHE`. The default 0 asks the store to
+/// auto-size to one chunk per (region, day) lane — the working set of
+/// an id-ordered sweep over the trace.
+fn store_cache_chunks() -> usize {
+    std::env::var("CLOUDSCOPE_STORE_CACHE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Common CLI options of the repro binaries: parse once at startup,
+/// obtain the trace through [`MetricsOpt::load_trace`], and call
+/// [`MetricsOpt::write`] right before the binary exits so the metrics
+/// snapshot covers the whole run.
+///
+/// - `--metrics <path>`: write a metrics-registry JSON snapshot.
+/// - `--trace-dir <dir>`: analyze a disk-resident trace store instead
+///   of generating, streaming telemetry out-of-core.
+/// - `--trace-out <dir>`: persist the trace as a store; without
+///   `--trace-dir` the generator streams straight to disk and the
+///   analysis then runs out-of-core from it.
 #[derive(Debug, Default)]
 pub struct MetricsOpt {
     path: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 impl MetricsOpt {
@@ -140,25 +161,111 @@ impl MetricsOpt {
     }
 
     fn parse(args: impl Iterator<Item = String>) -> (Self, Vec<String>) {
-        let mut path = None;
+        let mut slots: [(&str, Option<PathBuf>); 3] = [
+            ("--metrics", None),
+            ("--trace-dir", None),
+            ("--trace-out", None),
+        ];
         let mut positionals = Vec::new();
         let mut args = args;
-        while let Some(arg) = args.next() {
-            if arg == "--metrics" {
-                match args.next() {
-                    Some(p) => path = Some(PathBuf::from(p)),
-                    None => {
-                        eprintln!("error: --metrics requires a path");
-                        std::process::exit(2);
+        'outer: while let Some(arg) = args.next() {
+            for (flag, slot) in &mut slots {
+                if arg == *flag {
+                    match args.next() {
+                        Some(p) => *slot = Some(PathBuf::from(p)),
+                        None => {
+                            eprintln!("error: {flag} requires a path");
+                            std::process::exit(2);
+                        }
                     }
+                    continue 'outer;
                 }
-            } else if let Some(p) = arg.strip_prefix("--metrics=") {
-                path = Some(PathBuf::from(p));
-            } else {
-                positionals.push(arg);
+                if let Some(p) = arg.strip_prefix(&format!("{flag}=")) {
+                    *slot = Some(PathBuf::from(p));
+                    continue 'outer;
+                }
             }
+            positionals.push(arg);
         }
-        (Self { path }, positionals)
+        let [(_, path), (_, trace_dir), (_, trace_out)] = slots;
+        (
+            Self {
+                path,
+                trace_dir,
+                trace_out,
+            },
+            positionals,
+        )
+    }
+
+    /// Produces the run's trace according to the trace flags:
+    ///
+    /// - `--trace-dir`: open that store and stream it out-of-core.
+    /// - `--trace-out` alone: generate **straight to disk** at
+    ///   [`active_scale`], then analyze out-of-core from the new store.
+    /// - both: read from `--trace-dir`, persist a copy to `--trace-out`.
+    /// - neither: the in-memory [`default_trace`].
+    ///
+    /// Exits non-zero with the store error on any I/O or validation
+    /// failure — a damaged store must never silently degrade to a
+    /// freshly generated trace.
+    #[must_use]
+    pub fn load_trace(&self) -> GeneratedTrace {
+        let par = cloudscope::par::Parallelism::auto();
+        let mode = cloudscope::store::TelemetryMode::OutOfCore {
+            cache_chunks: store_cache_chunks(),
+        };
+        let fail = |what: &str, e: cloudscope::store::StoreError| -> ! {
+            eprintln!("error: {what}: {e}");
+            std::process::exit(2);
+        };
+        if let Some(dir) = &self.trace_dir {
+            let t0 = std::time::Instant::now();
+            let generated = cloudscope::tracegen::read_generated(dir, mode, &par)
+                .unwrap_or_else(|e| fail(&format!("reading trace store {}", dir.display()), e));
+            let cache = store_cache_chunks();
+            eprintln!(
+                "# streamed trace store {} in {:?} (telemetry out-of-core, cache {})",
+                dir.display(),
+                t0.elapsed(),
+                if cache == 0 {
+                    "auto-sized".to_string()
+                } else {
+                    format!("{cache} chunks")
+                }
+            );
+            if let Some(out) = &self.trace_out {
+                cloudscope::tracegen::write_generated(
+                    &generated,
+                    out,
+                    cloudscope::store::WriteOptions::default(),
+                    &par,
+                )
+                .unwrap_or_else(|e| fail(&format!("writing trace store {}", out.display()), e));
+                eprintln!("# wrote trace store to {}", out.display());
+            }
+            return generated;
+        }
+        if let Some(out) = &self.trace_out {
+            let scale = active_scale();
+            let t0 = std::time::Instant::now();
+            cloudscope::tracegen::generate_to_store(
+                &scale.generator_config(),
+                out,
+                cloudscope::store::WriteOptions::default(),
+                par,
+            )
+            .unwrap_or_else(|e| fail(&format!("writing trace store {}", out.display()), e));
+            eprintln!(
+                "# generated {:?} trace straight to store {} in {:?}",
+                scale,
+                out.display(),
+                t0.elapsed()
+            );
+            return cloudscope::tracegen::read_generated(out, mode, &par)
+                .unwrap_or_else(|e| fail(&format!("reading trace store {}", out.display()), e));
+        }
+        default_trace()
     }
 
     /// Writes the current registry snapshot as JSON to the requested

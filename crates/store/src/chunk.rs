@@ -1,0 +1,365 @@
+//! The chunk file: one `(kind, region, day, seq)` cell of the columnar
+//! layout, columns compressed independently so a projected read only
+//! decompresses what it asks for.
+//!
+//! ```text
+//! "CSCHUNK1"                                  8-byte file magic
+//! header   version, kind, level, region, day, seq, rows,
+//!          min_vm, max_vm, column count
+//! directory per column: id, raw_len, comp_len, raw_crc
+//! blocks   column blocks, concatenated in directory order
+//! footer   crc32 over everything above · "CSCKEND1"
+//! ```
+//!
+//! The footer CRC covers every preceding byte, so any single-bit flip
+//! anywhere in the file — header, directory, blocks, even inside the
+//! CRC field itself — fails validation. Per-column raw CRCs re-check
+//! the *decompressed* bytes, catching faults the file CRC cannot see
+//! (a decompressor bug, a partially cached block).
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::layout::{Dec, Enc};
+use std::path::Path;
+
+/// 8-byte magic opening every chunk file.
+pub(crate) const CHUNK_MAGIC: &[u8; 8] = b"CSCHUNK1";
+/// 8-byte magic closing every chunk file.
+pub(crate) const CHUNK_END_MAGIC: &[u8; 8] = b"CSCKEND1";
+/// Chunk format version.
+const CHUNK_VERSION: u16 = 1;
+/// Footer size: file CRC + end magic.
+const FOOTER_LEN: usize = 4 + 8;
+
+/// What a chunk stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// VM deployment-record columns.
+    VmMeta,
+    /// Telemetry run columns (per-day slices of utilization series).
+    Telemetry,
+}
+
+impl ChunkKind {
+    pub(crate) const fn tag(self) -> u8 {
+        match self {
+            ChunkKind::VmMeta => 0,
+            ChunkKind::Telemetry => 1,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Result<Self, String> {
+        match tag {
+            0 => Ok(ChunkKind::VmMeta),
+            1 => Ok(ChunkKind::Telemetry),
+            other => Err(format!("unknown chunk kind {other}")),
+        }
+    }
+
+    /// The kind's segment in chunk file names.
+    pub(crate) const fn name(self) -> &'static str {
+        match self {
+            ChunkKind::VmMeta => "vmmeta",
+            ChunkKind::Telemetry => "telemetry",
+        }
+    }
+}
+
+/// A chunk's identity and row statistics — shared by the in-file
+/// header and the manifest's chunk table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// What the chunk stores.
+    pub kind: ChunkKind,
+    /// Region of every row in the chunk.
+    pub region: u32,
+    /// Trace-week day (0 = Monday … 6 = Sunday) of every row.
+    pub day: u8,
+    /// Split ordinal within the `(kind, region, day)` cell.
+    pub seq: u32,
+    /// Rows in the chunk.
+    pub rows: u32,
+    /// Smallest VM id referenced (rows are sorted by VM id).
+    pub min_vm: u64,
+    /// Largest VM id referenced.
+    pub max_vm: u64,
+}
+
+impl ChunkMeta {
+    /// The chunk's manifest name, also its file stem:
+    /// `vmmeta-r3-d0-0`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!(
+            "{}-r{}-d{}-{}",
+            self.kind.name(),
+            self.region,
+            self.day,
+            self.seq
+        )
+    }
+
+    /// The chunk's file name: `<name>.chunk`.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("{}.chunk", self.name())
+    }
+}
+
+/// One raw (uncompressed) column heading into a chunk file.
+#[derive(Debug)]
+pub(crate) struct RawColumn {
+    /// Physical column id (see `columns`).
+    pub(crate) id: u16,
+    /// The column's raw bytes.
+    pub(crate) bytes: Vec<u8>,
+}
+
+/// A decoded chunk: its identity plus the requested columns' raw bytes
+/// in file order.
+#[derive(Debug)]
+pub(crate) struct DecodedChunk {
+    pub(crate) meta: ChunkMeta,
+    /// `(column id, raw bytes)` for every column that was both present
+    /// and requested.
+    pub(crate) columns: Vec<(u16, Vec<u8>)>,
+}
+
+impl DecodedChunk {
+    /// The raw bytes of column `id`, if decoded.
+    pub(crate) fn column(&self, id: u16) -> Option<&[u8]> {
+        self.columns
+            .iter()
+            .find(|(cid, _)| *cid == id)
+            .map(|(_, b)| b.as_slice())
+    }
+}
+
+/// Encodes a complete chunk file, compressing each column at `level`.
+/// Returns the file bytes and the raw payload size (for the
+/// compression-ratio metrics).
+pub(crate) fn encode_chunk_file(
+    meta: &ChunkMeta,
+    columns: &[RawColumn],
+    level: u8,
+) -> (Vec<u8>, u64) {
+    let mut raw_total = 0u64;
+    let blocks: Vec<(u32, Vec<u8>)> = columns
+        .iter()
+        .map(|col| {
+            raw_total += col.bytes.len() as u64;
+            (crc32(&col.bytes), crate::codec::compress(&col.bytes, level))
+        })
+        .collect();
+
+    let mut e = Enc::with_capacity(blocks.iter().map(|(_, b)| b.len()).sum::<usize>() + 256);
+    e.put_slice(CHUNK_MAGIC);
+    e.put_u16(CHUNK_VERSION);
+    e.put_u8(meta.kind.tag());
+    e.put_u8(level);
+    e.put_u32(meta.region);
+    e.put_u8(meta.day);
+    e.put_u32(meta.seq);
+    e.put_u32(meta.rows);
+    e.put_u64(meta.min_vm);
+    e.put_u64(meta.max_vm);
+    e.put_u16(columns.len() as u16);
+    for (col, (raw_crc, block)) in columns.iter().zip(&blocks) {
+        e.put_u16(col.id);
+        e.put_u32(col.bytes.len() as u32);
+        e.put_u32(block.len() as u32);
+        e.put_u32(*raw_crc);
+    }
+    for (_, block) in &blocks {
+        e.put_slice(block);
+    }
+    let crc = crc32(e.as_slice());
+    e.put_u32(crc);
+    e.put_slice(CHUNK_END_MAGIC);
+    (e.into_vec(), raw_total)
+}
+
+/// Decodes a chunk file, validating magic, footer CRC, structure, and
+/// per-column raw CRCs. `wanted` limits which columns are
+/// decompressed (`None` = all); the file-level CRC is always checked
+/// over the whole file regardless of projection.
+///
+/// # Errors
+/// [`StoreError::Corrupt`] (naming `path` and `name`) on any
+/// validation failure.
+pub(crate) fn decode_chunk_file(
+    path: &Path,
+    name: &str,
+    bytes: &[u8],
+    wanted: Option<&[u16]>,
+) -> Result<DecodedChunk, StoreError> {
+    let fail = |reason: String| StoreError::corrupt(path, name, reason);
+
+    if bytes.len() < CHUNK_MAGIC.len() + FOOTER_LEN {
+        return Err(fail(format!("file is only {} bytes", bytes.len())));
+    }
+    if &bytes[..CHUNK_MAGIC.len()] != CHUNK_MAGIC {
+        return Err(fail("bad chunk magic".to_owned()));
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    if &footer[4..] != CHUNK_END_MAGIC {
+        return Err(fail("bad end-of-chunk magic (truncated file?)".to_owned()));
+    }
+    let stored_crc = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
+    let actual_crc = crc32(body);
+    if stored_crc != actual_crc {
+        return Err(fail(format!(
+            "file crc mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+        )));
+    }
+
+    let mut d = Dec::new(&body[CHUNK_MAGIC.len()..]);
+    let take = |what: &str, r: Result<u64, String>| -> Result<u64, StoreError> {
+        r.map_err(|e| StoreError::corrupt(path, name, format!("{what}: {e}")))
+    };
+    let version = take("version", d.take_u16().map(u64::from))?;
+    if version != u64::from(CHUNK_VERSION) {
+        return Err(fail(format!("unsupported chunk version {version}")));
+    }
+    let kind_tag = take("kind", d.take_u8().map(u64::from))? as u8;
+    let kind = ChunkKind::from_tag(kind_tag).map_err(&fail)?;
+    let _level = take("level", d.take_u8().map(u64::from))?;
+    let region = take("region", d.take_u32().map(u64::from))? as u32;
+    let day = take("day", d.take_u8().map(u64::from))? as u8;
+    let seq = take("seq", d.take_u32().map(u64::from))? as u32;
+    let rows = take("rows", d.take_u32().map(u64::from))? as u32;
+    let min_vm = take("min_vm", d.take_u64())?;
+    let max_vm = take("max_vm", d.take_u64())?;
+    let col_count = take("column count", d.take_u16().map(u64::from))? as usize;
+    if day > 6 {
+        return Err(fail(format!("day {day} out of the trace week")));
+    }
+
+    let mut dir: Vec<(u16, usize, usize, u32)> = Vec::with_capacity(col_count);
+    for i in 0..col_count {
+        let ctx = |what: &str, e: String| {
+            StoreError::corrupt(path, name, format!("column {i} {what}: {e}"))
+        };
+        let id = d.take_u16().map_err(|e| ctx("id", e))?;
+        let raw_len = d.take_u32().map_err(|e| ctx("raw length", e))? as usize;
+        let comp_len = d.take_u32().map_err(|e| ctx("compressed length", e))? as usize;
+        let raw_crc = d.take_u32().map_err(|e| ctx("crc", e))?;
+        dir.push((id, raw_len, comp_len, raw_crc));
+    }
+    let blocks_len: usize = dir.iter().map(|&(_, _, c, _)| c).sum();
+    if blocks_len != d.remaining() {
+        return Err(fail(format!(
+            "directory promises {blocks_len} block bytes but {} remain",
+            d.remaining()
+        )));
+    }
+
+    let mut columns = Vec::new();
+    for &(id, raw_len, comp_len, raw_crc) in &dir {
+        let block = d
+            .take_slice(comp_len)
+            .map_err(|e| StoreError::corrupt(path, name, format!("column {id} block: {e}")))?;
+        if wanted.is_some_and(|w| !w.contains(&id)) {
+            continue;
+        }
+        let raw = crate::codec::decompress(block, raw_len)
+            .map_err(|e| StoreError::corrupt(path, name, format!("column {id}: {e}")))?;
+        let crc = crc32(&raw);
+        if crc != raw_crc {
+            return Err(fail(format!(
+                "column {id} raw crc mismatch: stored {raw_crc:#010x}, computed {crc:#010x}"
+            )));
+        }
+        columns.push((id, raw));
+    }
+
+    let meta = ChunkMeta {
+        kind,
+        region,
+        day,
+        seq,
+        rows,
+        min_vm,
+        max_vm,
+    };
+    cloudscope_obs::counter("store.read.chunks").inc();
+    Ok(DecodedChunk { meta, columns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta() -> ChunkMeta {
+        ChunkMeta {
+            kind: ChunkKind::Telemetry,
+            region: 2,
+            day: 3,
+            seq: 1,
+            rows: 4,
+            min_vm: 10,
+            max_vm: 40,
+        }
+    }
+
+    fn sample_columns() -> Vec<RawColumn> {
+        vec![
+            RawColumn {
+                id: 0,
+                bytes: (0u8..100).collect(),
+            },
+            RawColumn {
+                id: 3,
+                bytes: vec![42; 5000],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_and_projected() {
+        let meta = sample_meta();
+        let (file, raw_total) = encode_chunk_file(&meta, &sample_columns(), 2);
+        assert_eq!(raw_total, 5100);
+        let p = Path::new("test.chunk");
+        let all = decode_chunk_file(p, "test", &file, None).unwrap();
+        assert_eq!(all.meta, meta);
+        assert_eq!(all.column(0).unwrap().len(), 100);
+        assert_eq!(all.column(3).unwrap(), &[42u8; 5000][..]);
+        let proj = decode_chunk_file(p, "test", &file, Some(&[3])).unwrap();
+        assert!(proj.column(0).is_none());
+        assert!(proj.column(3).is_some());
+        assert_eq!(proj.meta.rows, 4);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(sample_meta().name(), "telemetry-r2-d3-1");
+        assert_eq!(sample_meta().file_name(), "telemetry-r2-d3-1.chunk");
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let (file, _) = encode_chunk_file(&sample_meta(), &sample_columns(), 1);
+        let p = Path::new("test.chunk");
+        for byte in 0..file.len() {
+            let mut bad = file.clone();
+            bad[byte] ^= 1;
+            assert!(
+                decode_chunk_file(p, "test", &bad, None).is_err(),
+                "flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let (file, _) = encode_chunk_file(&sample_meta(), &sample_columns(), 1);
+        let p = Path::new("test.chunk");
+        for cut in 0..file.len() {
+            assert!(
+                decode_chunk_file(p, "test", &file[..cut], None).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Little-endian byte-level encode/decode helpers shared by the chunk
+//! and manifest formats. The decoder side validates every length
+//! before consuming bytes, so truncated or bit-flipped files surface
+//! as typed errors rather than panics or silent misreads.
+
+/// Append-only little-endian encoder over a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        // IEEE-754 bit pattern: exact round trip, no formatting loss.
+        self.put_u64(v.to_bits());
+    }
+
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed (u16) UTF-8 string.
+    ///
+    /// # Panics
+    /// Panics if the string exceeds 64 KiB — format names never do.
+    pub fn put_str(&mut self, s: &str) {
+        let len = u16::try_from(s.len()).expect("store strings fit in u16");
+        self.put_u16(len);
+        self.put_slice(s.as_bytes());
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Checked little-endian decoder over a byte slice. Every `take_*`
+/// verifies the bytes exist first; errors are reason strings the
+/// caller wraps with file/chunk context.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    pub fn take_slice(&mut self, len: usize) -> Result<&'a [u8], String> {
+        if len > self.remaining() {
+            return Err(format!(
+                "need {len} bytes at offset {} but only {} remain",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    pub fn take_u8(&mut self) -> Result<u8, String> {
+        Ok(self.take_slice(1)?[0])
+    }
+
+    pub fn take_u16(&mut self) -> Result<u16, String> {
+        let s = self.take_slice(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    pub fn take_u32(&mut self) -> Result<u32, String> {
+        let s = self.take_slice(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    pub fn take_u64(&mut self) -> Result<u64, String> {
+        let s = self.take_slice(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    pub fn take_i64(&mut self) -> Result<i64, String> {
+        Ok(self.take_u64()? as i64)
+    }
+
+    pub fn take_f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    pub fn take_str(&mut self) -> Result<String, String> {
+        let len = self.take_u16()? as usize;
+        let bytes = self.take_slice(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "string is not UTF-8".to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut e = Enc::with_capacity(64);
+        e.put_u8(7);
+        e.put_u16(300);
+        e.put_u32(70_000);
+        e.put_u64(1 << 40);
+        e.put_i64(-5);
+        e.put_f64(-0.125);
+        e.put_str("hello");
+        let bytes = e.into_vec();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.take_u8().unwrap(), 7);
+        assert_eq!(d.take_u16().unwrap(), 300);
+        assert_eq!(d.take_u32().unwrap(), 70_000);
+        assert_eq!(d.take_u64().unwrap(), 1 << 40);
+        assert_eq!(d.take_i64().unwrap(), -5);
+        assert_eq!(d.take_f64().unwrap(), -0.125);
+        assert_eq!(d.take_str().unwrap(), "hello");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut d = Dec::new(&[1, 2]);
+        assert!(d.take_u32().is_err());
+        assert_eq!(d.take_u16().unwrap(), 0x0201);
+        assert!(d.take_u8().is_err());
+        // A length prefix larger than the buffer must not allocate.
+        let mut d = Dec::new(&[0xFF, 0xFF, b'x']);
+        assert!(d.take_str().is_err());
+    }
+}

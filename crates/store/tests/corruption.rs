@@ -1,0 +1,265 @@
+//! Corruption fuzz suite: every single-byte truncation and every
+//! single-bit flip of every store file must surface as a loud, typed
+//! [`StoreError`] naming the damaged file — never a silently wrong
+//! trace. Also covers missing chunks and stale manifests.
+
+mod common;
+
+use cloudscope_par::Parallelism;
+use cloudscope_store::{
+    write_trace, Projection, StoreError, TelemetryMode, TraceReader, WriteOptions,
+};
+use common::{trace_from_seeds, TempDir};
+use std::path::Path;
+
+/// A small store: every chunk kind present, a few KiB total, so the
+/// every-offset loops stay fast.
+fn build_store(dir: &Path) {
+    let seeds: Vec<u64> = (0..40u64)
+        .map(|i| i.wrapping_mul(0xA076_1D64_78BD_642F))
+        .collect();
+    let trace = trace_from_seeds(&seeds);
+    write_trace(
+        &trace,
+        dir,
+        WriteOptions {
+            target_chunk_rows: 16,
+            target_chunk_bytes: 2048,
+            level: 2,
+        },
+        &Parallelism::with_workers(2),
+    )
+    .unwrap();
+}
+
+/// Fully reads the store: open, every chunk, the assembled trace.
+/// Returns the first error. A corrupted store must never get through
+/// this whole path cleanly.
+fn read_everything(dir: &Path) -> Result<(), StoreError> {
+    let reader = TraceReader::open(dir)?;
+    let entries: Vec<_> = reader.chunks(Default::default()).cloned().collect();
+    for entry in &entries {
+        reader.read_chunk(entry, Projection::all())?;
+    }
+    reader.read_trace(TelemetryMode::Resident, &Parallelism::with_workers(1))?;
+    Ok(())
+}
+
+/// Offset stride for the every-offset loops: exhaustive in release —
+/// the mode check.sh runs this suite in — and strided in debug so the
+/// tier-1 workspace test run stays fast.
+fn stride() -> usize {
+    if cfg!(debug_assertions) {
+        13
+    } else {
+        1
+    }
+}
+
+/// Bits to flip per sampled byte: all eight in release, one in debug.
+fn bits() -> std::ops::Range<u8> {
+    if cfg!(debug_assertions) {
+        0..1
+    } else {
+        0..8
+    }
+}
+
+/// The store's files, manifest last (largest blast radius first).
+fn store_files(dir: &Path) -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_truncation_of_every_file_errors_loudly() {
+    let dir = TempDir::new("fuzz-trunc");
+    build_store(dir.path());
+    assert!(read_everything(dir.path()).is_ok(), "clean store must read");
+
+    for file in store_files(dir.path()) {
+        let clean = std::fs::read(&file).unwrap();
+        let name = file.file_name().unwrap().to_string_lossy().into_owned();
+        for cut in (0..clean.len()).step_by(stride()) {
+            std::fs::write(&file, &clean[..cut]).unwrap();
+            let err = read_everything(dir.path())
+                .expect_err(&format!("{name} truncated to {cut} bytes read cleanly"));
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&name),
+                "{name} truncated to {cut}: error does not name the file: {msg}"
+            );
+        }
+        std::fs::write(&file, &clean).unwrap();
+        assert!(read_everything(dir.path()).is_ok(), "restore after {name}");
+    }
+}
+
+#[test]
+fn every_bit_flip_of_every_file_errors_loudly() {
+    let dir = TempDir::new("fuzz-flip");
+    build_store(dir.path());
+
+    for file in store_files(dir.path()) {
+        let clean = std::fs::read(&file).unwrap();
+        let name = file.file_name().unwrap().to_string_lossy().into_owned();
+        for byte in (0..clean.len()).step_by(stride()) {
+            for bit in bits() {
+                let mut evil = clean.clone();
+                evil[byte] ^= 1 << bit;
+                std::fs::write(&file, &evil).unwrap();
+                let err = read_everything(dir.path()).expect_err(&format!(
+                    "{name} with byte {byte} bit {bit} flipped read cleanly"
+                ));
+                let msg = err.to_string();
+                assert!(
+                    msg.contains(&name),
+                    "{name} byte {byte} bit {bit}: error does not name the file: {msg}"
+                );
+            }
+        }
+        std::fs::write(&file, &clean).unwrap();
+    }
+    assert!(read_everything(dir.path()).is_ok());
+}
+
+#[test]
+fn chunk_errors_name_file_and_chunk() {
+    let dir = TempDir::new("fuzz-naming");
+    build_store(dir.path());
+    let reader = TraceReader::open(dir.path()).unwrap();
+    let entry = reader.chunks(Default::default()).next().unwrap().clone();
+    let chunk_name = entry.meta.name();
+    let file = dir.path().join(format!("{chunk_name}.chunk"));
+    let mut bytes = std::fs::read(&file).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&file, &bytes).unwrap();
+
+    let err = reader.read_chunk(&entry, Projection::all()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&chunk_name),
+        "error must name the chunk: {msg}"
+    );
+    assert!(
+        msg.contains(&file.display().to_string()),
+        "error must name the file: {msg}"
+    );
+    assert!(
+        matches!(err, StoreError::Corrupt { .. }),
+        "bit flip must classify as corruption, got {err:?}"
+    );
+}
+
+#[test]
+fn missing_chunk_is_loud_at_open() {
+    let dir = TempDir::new("fuzz-missing");
+    build_store(dir.path());
+    let reader = TraceReader::open(dir.path()).unwrap();
+    let victim = reader
+        .chunks(Default::default())
+        .next()
+        .unwrap()
+        .meta
+        .name();
+    drop(reader);
+    std::fs::remove_file(dir.path().join(format!("{victim}.chunk"))).unwrap();
+
+    let err = TraceReader::open(dir.path()).unwrap_err();
+    assert!(
+        matches!(&err, StoreError::Missing { chunk, .. } if *chunk == victim),
+        "expected Missing for {victim}, got {err:?}"
+    );
+    assert!(err.to_string().contains(&victim));
+}
+
+#[test]
+fn stale_manifest_is_loud_at_open() {
+    let dir = TempDir::new("fuzz-stale");
+    build_store(dir.path());
+    let reader = TraceReader::open(dir.path()).unwrap();
+    let victim = reader
+        .chunks(Default::default())
+        .next()
+        .unwrap()
+        .meta
+        .name();
+    drop(reader);
+    // The chunk grew after the manifest was committed: stale manifest.
+    let path = dir.path().join(format!("{victim}.chunk"));
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.push(0);
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = TraceReader::open(dir.path()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        matches!(err, StoreError::Corrupt { .. }) && msg.contains("stale manifest"),
+        "expected a stale-manifest report, got {msg}"
+    );
+    assert!(msg.contains(&victim), "must name the chunk: {msg}");
+}
+
+#[test]
+fn missing_manifest_is_not_a_store() {
+    let dir = TempDir::new("fuzz-nomanifest");
+    build_store(dir.path());
+    std::fs::remove_file(dir.path().join("manifest.csm")).unwrap();
+    assert!(!cloudscope_store::store_exists(dir.path()));
+    let err = TraceReader::open(dir.path()).unwrap_err();
+    assert!(matches!(err, StoreError::Io { .. }), "got {err:?}");
+}
+
+/// A chunk file swapped with another (valid!) chunk file must still be
+/// rejected: internal checksums pass, but the manifest CRC, length, or
+/// header identity disagrees.
+#[test]
+fn swapped_chunk_files_are_rejected() {
+    let dir = TempDir::new("fuzz-swap");
+    build_store(dir.path());
+    let reader = TraceReader::open(dir.path()).unwrap();
+    let names: Vec<String> = reader
+        .chunks(Default::default())
+        .map(|e| e.meta.name())
+        .collect();
+    assert!(names.len() >= 2, "need two chunks to swap");
+    drop(reader);
+    let a = dir.path().join(format!("{}.chunk", names[0]));
+    let b = dir.path().join(format!("{}.chunk", names[1]));
+    let (ba, bb) = (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    std::fs::write(&a, &bb).unwrap();
+    std::fs::write(&b, &ba).unwrap();
+    assert!(
+        read_everything(dir.path()).is_err(),
+        "swapped chunk files read cleanly"
+    );
+}
+
+/// Corruption is detected under projection too — the file-level CRC
+/// guards even the columns a projected read skips decompressing.
+#[test]
+fn projection_does_not_weaken_integrity() {
+    let dir = TempDir::new("fuzz-projected");
+    build_store(dir.path());
+    let reader = TraceReader::open(dir.path()).unwrap();
+    let entry = reader.chunks(Default::default()).next().unwrap().clone();
+    let file = dir.path().join(entry.meta.file_name());
+    let clean = std::fs::read(&file).unwrap();
+    // Flip one bit in every byte position; a projected read must fail
+    // for all of them even though it decodes only the id column.
+    let projection = Projection::columns(&[]);
+    for byte in (0..clean.len()).step_by(7) {
+        let mut evil = clean.clone();
+        evil[byte] ^= 0x01;
+        std::fs::write(&file, &evil).unwrap();
+        assert!(
+            reader.read_chunk(&entry, projection).is_err(),
+            "projected read survived a flip at byte {byte}"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Round-trip property suite: arbitrary traces written with random
+//! chunk sizes, writer counts, and compression levels must decode
+//! bit-identically — resident and out-of-core alike — and the store's
+//! byte content must not depend on the worker count.
+
+mod common;
+
+use cloudscope_par::Parallelism;
+use cloudscope_store::{
+    store_exists, write_trace, Batch, ChunkKind, Column, Projection, ScanFilter, TelemetryMode,
+    TraceReader, WriteOptions,
+};
+use common::{assert_traces_equal, dir_snapshot, trace_from_seeds, TempDir};
+use proptest::prelude::*;
+
+fn options(chunk_rows: u32, chunk_kib: usize, level: u8) -> WriteOptions {
+    WriteOptions {
+        target_chunk_rows: chunk_rows,
+        target_chunk_bytes: chunk_kib * 1024,
+        level,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: any trace, any chunk geometry, any
+    /// compression level, any worker count — the trace read back from
+    /// disk is observationally identical in both telemetry modes.
+    #[test]
+    fn arbitrary_traces_roundtrip_bit_identically(
+        seeds in proptest::collection::vec(any::<u64>(), 1..80),
+        chunk_rows in 1u32..64,
+        chunk_kib in 1usize..64,
+        level in 0u8..4,
+        workers in 1usize..9,
+        cache_chunks in 1usize..5,
+    ) {
+        let trace = trace_from_seeds(&seeds);
+        let dir = TempDir::new("roundtrip");
+        let par = Parallelism::with_workers(workers);
+        write_trace(&trace, dir.path(), options(chunk_rows, chunk_kib, level), &par).unwrap();
+        prop_assert!(store_exists(dir.path()));
+
+        let reader = TraceReader::open(dir.path()).unwrap();
+        prop_assert_eq!(reader.vm_count(), seeds.len() as u64);
+
+        let resident = reader.read_trace(TelemetryMode::Resident, &par).unwrap();
+        assert_traces_equal(&trace, &resident);
+        prop_assert!(!resident.telemetry_is_lazy());
+
+        let lazy = reader
+            .read_trace(TelemetryMode::OutOfCore { cache_chunks }, &par)
+            .unwrap();
+        prop_assert!(lazy.telemetry_is_lazy());
+        assert_traces_equal(&trace, &lazy);
+    }
+
+    /// The store's on-disk bytes are a pure function of the data and
+    /// the options: worker count must not change a single byte.
+    #[test]
+    fn store_bytes_do_not_depend_on_worker_count(
+        seeds in proptest::collection::vec(any::<u64>(), 1..60),
+        chunk_rows in 1u32..32,
+        chunk_kib in 1usize..32,
+        level in 0u8..4,
+    ) {
+        let trace = trace_from_seeds(&seeds);
+        let baseline = TempDir::new("det-base");
+        write_trace(
+            &trace,
+            baseline.path(),
+            options(chunk_rows, chunk_kib, level),
+            &Parallelism::with_workers(1),
+        )
+        .unwrap();
+        let expected = dir_snapshot(baseline.path());
+        prop_assert!(!expected.is_empty());
+        for workers in [2usize, 8] {
+            let dir = TempDir::new("det-par");
+            write_trace(
+                &trace,
+                dir.path(),
+                options(chunk_rows, chunk_kib, level),
+                &Parallelism::with_workers(workers),
+            )
+            .unwrap();
+            prop_assert_eq!(&dir_snapshot(dir.path()), &expected, "workers = {}", workers);
+        }
+    }
+
+    /// Projection and predicate pushdown return exactly the rows and
+    /// columns a full scan would, just fewer of them.
+    #[test]
+    fn projected_scans_agree_with_full_scans(
+        seeds in proptest::collection::vec(any::<u64>(), 1..60),
+        chunk_rows in 1u32..16,
+    ) {
+        let trace = trace_from_seeds(&seeds);
+        let dir = TempDir::new("projection");
+        let par = Parallelism::with_workers(2);
+        write_trace(&trace, dir.path(), options(chunk_rows, 4, 2), &par).unwrap();
+        let reader = TraceReader::open(dir.path()).unwrap();
+
+        // Projected metadata scan: created times only.
+        let mut projected: Vec<(u64, i64)> = Vec::new();
+        for batch in reader.scan(
+            ScanFilter::all().kind(ChunkKind::VmMeta),
+            Projection::columns(&[Column::Created]),
+        ) {
+            let Batch::VmMeta(b) = batch.unwrap() else { panic!("filtered to vm-meta") };
+            prop_assert!(b.sizes.is_none(), "unprojected column was decoded");
+            let created = b.created.as_ref().expect("projected column");
+            projected.extend(
+                b.ids.iter().zip(created).map(|(id, t)| (id.index(), t.minutes())),
+            );
+        }
+        projected.sort_unstable();
+        let expected: Vec<(u64, i64)> = trace
+            .vms()
+            .iter()
+            .map(|vm| (vm.id.index(), vm.created.minutes()))
+            .collect();
+        prop_assert_eq!(projected, expected);
+
+        // Region pushdown: region-1 chunks hold exactly the region-1 rows.
+        let mut region1 = 0usize;
+        for batch in reader.scan(
+            ScanFilter::all().kind(ChunkKind::VmMeta).region(1),
+            Projection::columns(&[Column::Region]),
+        ) {
+            let Batch::VmMeta(b) = batch.unwrap() else { panic!("filtered to vm-meta") };
+            for r in b.regions.as_ref().expect("projected column") {
+                prop_assert_eq!(r.index(), 1);
+                region1 += 1;
+            }
+        }
+        prop_assert_eq!(region1, trace.vms().iter().filter(|vm| vm.region.index() == 1).count());
+    }
+}
+
+/// One fixed mid-size trace exercised without proptest so the suite
+/// keeps a deterministic smoke test that fails with readable output.
+#[test]
+fn fixed_trace_roundtrip_smoke() {
+    let seeds: Vec<u64> = (0..200u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 7)
+        .collect();
+    let trace = trace_from_seeds(&seeds);
+    let dir = TempDir::new("smoke");
+    let par = Parallelism::with_workers(4);
+    write_trace(&trace, dir.path(), WriteOptions::default(), &par).unwrap();
+    let reader = TraceReader::open(dir.path()).unwrap();
+    let back = reader.read_trace(TelemetryMode::Resident, &par).unwrap();
+    assert_traces_equal(&trace, &back);
+
+    // The manifest names every chunk and the blobs carry the model.
+    assert!(reader
+        .manifest()
+        .chunks
+        .iter()
+        .any(|c| c.meta.kind == ChunkKind::VmMeta));
+    assert!(reader
+        .manifest()
+        .chunks
+        .iter()
+        .any(|c| c.meta.kind == ChunkKind::Telemetry));
+    assert!(reader.read_blob("topology").is_ok());
+    assert!(reader.read_blob("subscriptions").is_ok());
+    assert!(reader.read_blob("nope").is_err());
+}
+
+/// Chunk day/region pushdown prunes chunks without reading them: a
+/// filter on a day that holds no rows yields no batches at all.
+#[test]
+fn empty_filters_read_nothing() {
+    let trace = trace_from_seeds(&[1, 2, 3]);
+    let dir = TempDir::new("empty-filter");
+    let par = Parallelism::with_workers(1);
+    write_trace(&trace, dir.path(), WriteOptions::default(), &par).unwrap();
+    let reader = TraceReader::open(dir.path()).unwrap();
+    let batches: Vec<_> = reader
+        .scan(ScanFilter::all().region(99), Projection::all())
+        .collect();
+    assert!(batches.is_empty());
+}

@@ -723,8 +723,24 @@ pub fn generate_with_partition(
     }
     let factory = RngFactory::new(config.seed);
     let gen_span = cloudscope_obs::span("tracegen.generate");
+    let inputs = drive_all(config, &factory, &gen_span, par, mode);
+    finish(config, &factory, &gen_span, par, inputs)
+}
+
+/// Phases 1–4b (prepare, placement, merge): everything up to — but
+/// not including — telemetry and assembly. Shared by
+/// [`generate_with_partition`] and the streaming
+/// [`crate::store_io::generate_to_store`] path, which swaps the
+/// in-memory assemble for a chunked write-out.
+pub(crate) fn drive_all(
+    config: &GeneratorConfig,
+    factory: &RngFactory,
+    gen_span: &cloudscope_obs::Span,
+    par: Parallelism,
+    mode: PartitionMode,
+) -> FinishInputs {
     let phase_start = std::time::Instant::now();
-    let prep = prepare(config, &factory, &gen_span);
+    let prep = prepare(config, factory, gen_span);
     record_phase("tracegen.generate.phase_prepare_ns", phase_start);
 
     let mode = match mode {
@@ -824,22 +840,16 @@ pub fn generate_with_partition(
     stage.finish();
     record_phase("tracegen.generate.phase_merge_ns", phase_start);
 
-    finish(
-        config,
-        &factory,
-        &gen_span,
-        par,
-        FinishInputs {
-            topology,
-            tz_of,
-            plans,
-            service_base,
-            next_service,
-            standing_per_service,
-            records,
-            report,
-        },
-    )
+    FinishInputs {
+        topology,
+        tz_of,
+        plans,
+        service_base,
+        next_service,
+        standing_per_service,
+        records,
+        report,
+    }
 }
 
 /// Records one generation phase's wall-clock as a last-run gauge (in
@@ -886,38 +896,12 @@ pub(crate) fn finish(
     let phase_start = std::time::Instant::now();
 
     // 5. Telemetry (deterministic per-VM streams, so order is free).
+    // Parallel sweep on the shared executor; per-VM RNG streams keep
+    // results independent of the worker count.
     let telemetry: Vec<Option<UtilSeries>> = if config.telemetry {
-        let tz_of = &tz_of;
-        let plans = &plans;
-        let records_ref = &records;
-        let service_base = &service_base;
-        let gen_one = |record: &VmRecord| -> Option<UtilSeries> {
-            record.node?;
-            let plan = &plans[record.subscription.as_usize()];
-            let group =
-                (record.service.index() - service_base[record.subscription.as_usize()]) as usize;
-            let first_sample = (record.created.minutes().max(0) + SAMPLE_INTERVAL_MINUTES - 1)
-                / SAMPLE_INTERVAL_MINUTES;
-            let end_minute = record
-                .ended
-                .map_or(MINUTES_PER_WEEK, |e| e.minutes().min(MINUTES_PER_WEEK));
-            let end_sample = end_minute / SAMPLE_INTERVAL_MINUTES;
-            let samples = end_sample - first_sample;
-            if samples < 2 {
-                return None;
-            }
-            let mut rng = factory.indexed_stream("telemetry", record.id.index());
-            Some(generate_vm_series(
-                &plan.groups[group],
-                tz_of[record.region.as_usize()],
-                SimTime::from_minutes(first_sample * SAMPLE_INTERVAL_MINUTES),
-                samples as usize,
-                &mut rng,
-            ))
-        };
-        // Parallel sweep on the shared executor; per-VM RNG streams keep
-        // results independent of the worker count.
-        par.par_map(records_ref, gen_one)
+        par.par_map(&records, |record| {
+            vm_telemetry(record, &plans, &service_base, &tz_of, factory)
+        })
     } else {
         vec![None; records.len()]
     };
@@ -960,6 +944,62 @@ pub(crate) fn finish(
         .add_vms_bulk(kept_records, kept_util, &par)
         .expect("consistent records");
 
+    let services = build_services(&plans, &service_base, &standing_per_service, next_service);
+
+    stage.finish();
+    record_phase("tracegen.generate.phase_assemble_ns", phase_start);
+    cloudscope_obs::counter("tracegen.generate.vms_generated").add(next_id);
+    cloudscope_obs::counter("tracegen.generate.samples_generated").add(samples_generated);
+
+    GeneratedTrace {
+        trace: builder.build(),
+        services,
+        report,
+    }
+}
+
+/// The telemetry series one placed record carries. The RNG stream is
+/// keyed by the record's *pre-renumber* id — its position among
+/// materialized records in global spec order — which is exactly the
+/// stream the serial reference drew from, so the streamed and
+/// in-memory paths produce identical samples.
+pub(crate) fn vm_telemetry(
+    record: &VmRecord,
+    plans: &[SubscriptionPlan],
+    service_base: &[u32],
+    tz_of: &[i32],
+    factory: &RngFactory,
+) -> Option<UtilSeries> {
+    record.node?;
+    let plan = &plans[record.subscription.as_usize()];
+    let group = (record.service.index() - service_base[record.subscription.as_usize()]) as usize;
+    let first_sample =
+        (record.created.minutes().max(0) + SAMPLE_INTERVAL_MINUTES - 1) / SAMPLE_INTERVAL_MINUTES;
+    let end_minute = record
+        .ended
+        .map_or(MINUTES_PER_WEEK, |e| e.minutes().min(MINUTES_PER_WEEK));
+    let end_sample = end_minute / SAMPLE_INTERVAL_MINUTES;
+    let samples = end_sample - first_sample;
+    if samples < 2 {
+        return None;
+    }
+    let mut rng = factory.indexed_stream("telemetry", record.id.index());
+    Some(generate_vm_series(
+        &plan.groups[group],
+        tz_of[record.region.as_usize()],
+        SimTime::from_minutes(first_sample * SAMPLE_INTERVAL_MINUTES),
+        samples as usize,
+        &mut rng,
+    ))
+}
+
+/// The ground-truth service directory, dense by [`ServiceId`] index.
+pub(crate) fn build_services(
+    plans: &[SubscriptionPlan],
+    service_base: &[u32],
+    standing_per_service: &[usize],
+    next_service: u32,
+) -> Vec<ServiceInfo> {
     let mut services = Vec::with_capacity(next_service as usize);
     for (idx, plan) in plans.iter().enumerate() {
         for (group, profile) in plan.groups.iter().enumerate() {
@@ -974,17 +1014,7 @@ pub(crate) fn finish(
             });
         }
     }
-
-    stage.finish();
-    record_phase("tracegen.generate.phase_assemble_ns", phase_start);
-    cloudscope_obs::counter("tracegen.generate.vms_generated").add(next_id);
-    cloudscope_obs::counter("tracegen.generate.samples_generated").add(samples_generated);
-
-    GeneratedTrace {
-        trace: builder.build(),
-        services,
-        report,
-    }
+    services
 }
 
 pub(crate) fn fleet_index(cloud: CloudKind) -> usize {

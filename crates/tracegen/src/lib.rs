@@ -34,6 +34,7 @@ pub mod lifetime;
 pub mod reference;
 pub mod services;
 pub mod sizes;
+pub mod store_io;
 pub mod utilization;
 pub mod validate;
 
@@ -48,5 +49,6 @@ pub use generate::{
 pub use lifetime::LifetimeSampler;
 pub use reference::generate_serial_reference;
 pub use sizes::SizeSampler;
+pub use store_io::{generate_to_store, read_generated, read_trace_only, write_generated};
 pub use utilization::{generate_vm_series, PatternKind, ServiceUtilProfile};
 pub use validate::ConfigError;

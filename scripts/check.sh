@@ -43,6 +43,16 @@ echo "==> kb durability gate: crash matrix + corruption fuzzing (release)"
 cargo test -q -p cloudscope-kb --test crash_matrix --release
 cargo test -q -p cloudscope-kb --test durability --release
 
+# Trace-store gate: the columnar store's round-trip proptests, the
+# corruption fuzz suite (bit flips and truncations at every offset,
+# missing chunks, stale manifests), and the generator ↔ store
+# byte-identity tests must pass in release — the mode the repro
+# binaries stream traces in, where debug asserts are compiled out and
+# the CRC-checked footers are the only safety net.
+echo "==> trace store gate: round-trip + corruption fuzzing (release)"
+cargo test -q -p cloudscope-store --release
+cargo test -q -p cloudscope-tracegen --test store_roundtrip --release
+
 # The free-capacity index must select the identical node the linear scan
 # would, for every policy, on long randomized place/release/evict
 # histories. Release mode matters: this is the mode the benchmarks and
@@ -106,7 +116,7 @@ CLOUDSCOPE_BENCH_SMOKE=1 cargo bench -q -p cloudscope-bench --bench tracegen > /
 test -s BENCH_tracegen.json || { echo "ERROR: BENCH_tracegen.json not produced" >&2; exit 1; }
 python3 - <<'PY'
 import json, sys
-for path in ("BENCH_analysis.json", "BENCH_kb.json", "BENCH_tracegen.json"):
+for path in ("BENCH_analysis.json", "BENCH_kb.json", "BENCH_tracegen.json", "BENCH_store.json"):
     try:
         results = json.load(open(path))
     except (OSError, ValueError) as e:
@@ -152,6 +162,50 @@ else:
 print(f"    (1->8 workers: {scaling:.2f}x; gate >= {floor}x: {label})")
 if scaling < floor:
     sys.exit(f"ERROR: tracegen scaling gate failed: {scaling:.2f}x < {floor}x")
+PY
+
+# Trace-store bench smoke: a short criterion run must produce a
+# parseable BENCH_store.json. The bench binary enforces the acceptance
+# gates in-process (compression ratio > 1x, out-of-core analysis peak
+# heap under a budget the fully-materialized pass exceeds) and panics —
+# failing this step — if either regresses. The budget claim is then
+# re-derived from the JSON it wrote, so a stale or hand-edited
+# BENCH_store.json cannot hide a regression.
+echo "==> trace store bench smoke: compressed streaming I/O + peak-heap budget"
+rm -f BENCH_store.json
+CLOUDSCOPE_BENCH_SMOKE=1 cargo bench -q -p cloudscope-bench --bench store > /dev/null
+test -s BENCH_store.json || { echo "ERROR: BENCH_store.json not produced" >&2; exit 1; }
+python3 - <<'PY'
+import json, sys
+results = json.load(open("BENCH_store.json"))
+expected = [
+    "store_write/parallel/1",
+    "store_write/parallel/8",
+    "store_read/resident",
+    "store_read/out_of_core_sweep",
+    "store_read/metadata_only",
+    "store/compression_ratio",
+    "store/write_mb_per_sec",
+    "store/out_of_core_sweep_mb_per_sec",
+    "store/peak_heap_resident_mb",
+    "store/peak_heap_out_of_core_mb",
+    "store/peak_heap_budget_mb",
+]
+missing = [k for k in expected if k not in results]
+if missing:
+    sys.exit(f"ERROR: BENCH_store.json missing ids: {missing}")
+ooc = results["store/peak_heap_out_of_core_mb"]
+budget = results["store/peak_heap_budget_mb"]
+resident = results["store/peak_heap_resident_mb"]
+if not ooc < budget < resident:
+    sys.exit(
+        f"ERROR: out-of-core peak-heap budget violated: "
+        f"out-of-core {ooc:.1f} MB, budget {budget:.1f} MB, resident {resident:.1f} MB"
+    )
+print(
+    f"    (BENCH_store.json parses: {len(results)} ids; peak heap "
+    f"{ooc:.1f} MB out-of-core vs {resident:.1f} MB resident)"
+)
 PY
 
 # Test-count delta: the suite must never shrink. The baseline is the

@@ -137,9 +137,27 @@ fn fig7c_flagship_service_is_region_aligned() {
     assert!(alignment > 0.9, "geo-LB service aligns: {alignment}");
 }
 
+/// The clean-trace shape checks, computed once and shared by the
+/// robustness gate and the out-of-core parity gate.
+fn clean_checks() -> &'static cloudscope_repro::ShapeChecks {
+    static CHECKS: OnceLock<cloudscope_repro::ShapeChecks> = OnceLock::new();
+    CHECKS.get_or_init(|| {
+        all_figure_checks(generated(), &CheckProfile::medium()).expect("pipeline runs")
+    })
+}
+
+/// The corrupted-trace shape checks, shared the same way.
+fn corrupted_checks() -> &'static cloudscope_repro::ShapeChecks {
+    static CHECKS: OnceLock<cloudscope_repro::ShapeChecks> = OnceLock::new();
+    CHECKS.get_or_init(|| {
+        all_figure_checks(&corrupted().0, &CheckProfile::medium())
+            .expect("pipeline still runs on the corrupted trace")
+    })
+}
+
 #[test]
 fn robustness_gate_all_shape_checks_hold_on_the_clean_trace() {
-    let checks = all_figure_checks(generated(), &CheckProfile::medium()).expect("pipeline runs");
+    let checks = clean_checks();
     assert_eq!(checks.len(), 26, "the full shape-check surface ran");
     assert!(
         checks.all_hold(),
@@ -150,7 +168,7 @@ fn robustness_gate_all_shape_checks_hold_on_the_clean_trace() {
 
 #[test]
 fn robustness_gate_all_shape_checks_hold_under_standard_corruption() {
-    let (degraded, fault_report) = corrupted();
+    let (_, fault_report) = corrupted();
     // The corruption really happened: ~5% uniform loss plus the
     // blackout, within sane bounds.
     let loss = fault_report.loss_fraction();
@@ -170,8 +188,7 @@ fn robustness_gate_all_shape_checks_hold_under_standard_corruption() {
         fault_report.invalidated,
         fault_report.out_of_week,
     );
-    let checks = all_figure_checks(degraded, &CheckProfile::medium())
-        .expect("pipeline still runs on the corrupted trace");
+    let checks = corrupted_checks();
     assert_eq!(checks.len(), 26, "the full shape-check surface ran");
     assert!(
         checks.all_hold(),
@@ -208,5 +225,87 @@ fn classifier_agrees_with_generator_ground_truth() {
     assert!(
         accuracy > 0.7,
         "classifier accuracy vs ground truth: {accuracy:.2}"
+    );
+}
+
+/// The out-of-core gate: the entire figure pipeline — every fig1–fig7
+/// analysis core and all 26 shape checks — must produce byte-identical
+/// results when the trace streams from a disk store with a small
+/// telemetry chunk cache instead of sitting fully in memory, on the
+/// clean medium trace *and* under the standard fault plan.
+#[test]
+fn out_of_core_pipeline_matches_in_memory_byte_for_byte() {
+    use cloudscope::store::{TelemetryMode, WriteOptions};
+    use cloudscope::tracegen::{read_generated, write_generated};
+
+    struct TempDir(std::path::PathBuf);
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let dir = TempDir(
+        std::env::temp_dir().join(format!("cloudscope-pipeline-store-{}", std::process::id())),
+    );
+
+    let clean = generated();
+    let par = cloudscope::par::Parallelism::auto();
+    write_generated(clean, &dir.0, WriteOptions::default(), &par).expect("store writes");
+
+    // Auto-sized chunk cache (one slot per (region, day) lane):
+    // telemetry pages in and out, but an id-ordered sweep decompresses
+    // each chunk only once instead of thrashing cyclically.
+    let streamed = read_generated(&dir.0, TelemetryMode::OutOfCore { cache_chunks: 0 }, &par)
+        .expect("store reads");
+    assert!(
+        streamed.trace.telemetry_is_lazy(),
+        "telemetry must stay on disk"
+    );
+
+    let render = |checks: &cloudscope_repro::ShapeChecks| -> Vec<(bool, String)> {
+        checks
+            .lines()
+            .map(|(h, line)| (h, line.to_owned()))
+            .collect()
+    };
+
+    // 26 shape checks, byte-identical to the in-memory run.
+    let in_memory = clean_checks();
+    let out_of_core =
+        all_figure_checks(&streamed, &CheckProfile::medium()).expect("out-of-core pipeline");
+    assert_eq!(out_of_core.len(), 26, "the full shape-check surface ran");
+    assert_eq!(
+        render(&out_of_core),
+        render(in_memory),
+        "out-of-core shape checks diverge from in-memory"
+    );
+    assert!(out_of_core.all_hold());
+
+    // Every figure core, compared through the full report's rendering.
+    let streamed_report =
+        CharacterizationReport::analyze(&streamed.trace, &ReportConfig::default())
+            .expect("out-of-core analysis");
+    assert_eq!(
+        format!("{streamed_report:?}"),
+        format!("{:?}", report()),
+        "out-of-core characterization diverges from in-memory"
+    );
+
+    // Under the standard fault plan the parity must survive too: the
+    // injector pulls every series through the chunk cache.
+    let (corrupted_trace, fault_report) =
+        corrupt_trace(&streamed.trace, &FaultPlan::standard(2024));
+    let degraded = GeneratedTrace {
+        trace: corrupted_trace,
+        services: streamed.services.clone(),
+        report: streamed.report,
+    };
+    let under_faults = all_figure_checks(&degraded, &CheckProfile::medium())
+        .expect("out-of-core pipeline under faults");
+    assert!(fault_report.blackout_dropped > 0, "the blackout fired");
+    assert_eq!(
+        render(&under_faults),
+        render(corrupted_checks()),
+        "fault-plan shape checks diverge between disk and memory"
     );
 }

@@ -38,7 +38,7 @@ fn present_samples(trace: &Trace) -> usize {
         .vms()
         .iter()
         .filter_map(|vm| trace.util(vm.id))
-        .map(UtilSeries::present_count)
+        .map(|u| u.present_count())
         .sum()
 }
 
@@ -586,8 +586,8 @@ fn exercise_all_subsystems() -> Snapshot {
             .iter()
             .find_map(|vm| g.trace.util(vm.id))
             .expect("telemetry exists");
-        assert!(filled_week_series(util, 1.01).is_none());
-        assert!(filled_week_series(util, 0.0).is_some());
+        assert!(filled_week_series(&util, 1.01).is_none());
+        assert!(filled_week_series(&util, 0.0).is_some());
 
         // timeseries: a unique FFT size registers both plan-cache
         // counters on this thread (miss, then hit).
@@ -647,6 +647,56 @@ fn exercise_all_subsystems() -> Snapshot {
         assert_eq!(recovered.kb().len(), everything.len());
         let _ = std::fs::remove_dir_all(&dir);
 
+        // store: a write → out-of-core read cycle through a one-chunk
+        // cache registers the whole store.* surface — compression and
+        // commit counters on the write side; batch, chunk, and series
+        // reads plus cache hits/misses/evictions on the read side —
+        // and one rejected blob registers corruption detection.
+        let store_dir =
+            std::env::temp_dir().join(format!("cloudscope-obs-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let store_par = Parallelism::with_workers(2);
+        let opts = cloudscope::store::WriteOptions {
+            target_chunk_rows: 64,
+            ..cloudscope::store::WriteOptions::default()
+        };
+        cloudscope::tracegen::write_generated(&g, &store_dir, opts, &store_par)
+            .expect("store write");
+        let back = cloudscope::tracegen::read_generated(
+            &store_dir,
+            cloudscope::store::TelemetryMode::OutOfCore { cache_chunks: 1 },
+            &store_par,
+        )
+        .expect("store read");
+        assert!(back.trace.telemetry_is_lazy());
+        for vm in back.trace.vms() {
+            let _ = back.trace.util(vm.id); // stream every chunk through the 1-chunk cache
+        }
+        // A week-long series spans one chunk per day, so the 1-chunk
+        // cache above can never serve a hit — every access is a
+        // miss+evict pair. A cache wide enough for a whole series makes
+        // the second load of the same VM all hits.
+        let hot = cloudscope::tracegen::read_generated(
+            &store_dir,
+            cloudscope::store::TelemetryMode::OutOfCore { cache_chunks: 64 },
+            &store_par,
+        )
+        .expect("store read (hot)");
+        let first = hot
+            .trace
+            .vms()
+            .iter()
+            .find(|vm| hot.trace.has_util(vm.id))
+            .expect("telemetry exists")
+            .id;
+        let _ = hot.trace.util(first); // cold: populates the cache
+        let _ = hot.trace.util(first); // hot: guaranteed cache hits
+        assert!(
+            cloudscope::tracegen::store_io::decode_report(&store_dir, &[0xFF; 4]).is_err(),
+            "garbage blob must be rejected"
+        );
+        let _ = std::fs::remove_dir_all(&store_dir);
+
         // repro: one passing and one failing shape check.
         let mut checks = ShapeChecks::new();
         checks.check("observability pass", true, "forced".to_owned());
@@ -681,6 +731,7 @@ fn metric_surface_matches_committed_schema() {
         "repro.",
         "sim.",
         "stats.",
+        "store.",
         "timeseries.",
         "tracegen.",
     ] {

@@ -146,3 +146,54 @@ fn digest_is_worker_count_invariant() {
     std::env::remove_var("CLOUDSCOPE_WORKERS");
     assert_eq!(via_env, base, "CLOUDSCOPE_WORKERS=8 changed the digest");
 }
+
+/// Golden digests hold across a disk round trip: a trace persisted to
+/// the columnar store and read back — resident or streaming
+/// out-of-core — digests to the identical value, and so does a store
+/// produced by the streamed [`generate_to_store`] path.
+#[test]
+fn digest_survives_disk_round_trip() {
+    use cloudscope::store::{TelemetryMode, WriteOptions};
+    use cloudscope::tracegen::{generate_to_store, read_generated, write_generated};
+
+    struct TempDir(PathBuf);
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let base = std::env::temp_dir().join(format!("cloudscope-digest-store-{}", std::process::id()));
+
+    let cfg = GeneratorConfig::small(7);
+    let par = Parallelism::with_workers(4);
+    let generated = generate_with(&cfg, par);
+    let expected = trace_digest(&generated);
+
+    let written = TempDir(base.join("written"));
+    write_generated(&generated, &written.0, WriteOptions::default(), &par).expect("store writes");
+    for (label, mode) in [
+        ("resident", TelemetryMode::Resident),
+        ("out-of-core", TelemetryMode::OutOfCore { cache_chunks: 2 }),
+    ] {
+        let back = read_generated(&written.0, mode, &par).expect("store reads");
+        assert_eq!(
+            trace_digest(&back),
+            expected,
+            "{label} round trip changed the digest"
+        );
+    }
+
+    let streamed = TempDir(base.join("streamed"));
+    generate_to_store(&cfg, &streamed.0, WriteOptions::default(), par).expect("streamed write");
+    let back = read_generated(
+        &streamed.0,
+        TelemetryMode::OutOfCore { cache_chunks: 2 },
+        &par,
+    )
+    .expect("streamed store reads");
+    assert_eq!(
+        trace_digest(&back),
+        expected,
+        "generate_to_store changed the digest"
+    );
+}
