@@ -6,6 +6,18 @@ use cloudscope_model::prelude::*;
 use cloudscope_stats::{BoxPlot, Ecdf};
 use std::collections::{HashMap, HashSet};
 
+/// Whether `vm` belongs to `cloud`, resolved through the dense
+/// subscription table (the record itself does not carry the cloud).
+pub(crate) fn record_in_cloud(
+    vm: &VmRecord,
+    subscriptions: &[Subscription],
+    cloud: CloudKind,
+) -> bool {
+    subscriptions
+        .get(vm.subscription.as_usize())
+        .is_some_and(|s| s.cloud == cloud)
+}
+
 /// ECDF of the number of alive VMs per subscription at time `at`
 /// (Figure 1(a)). Subscriptions with zero alive VMs are excluded, as the
 /// trace only records deploying subscriptions.
@@ -18,9 +30,26 @@ pub fn vms_per_subscription_cdf(
     cloud: CloudKind,
     at: SimTime,
 ) -> Result<Ecdf, AnalysisError> {
+    vms_per_subscription_cdf_from(trace.vms(), trace.subscriptions(), cloud, at)
+}
+
+/// [`vms_per_subscription_cdf`] over a bare record slice — the entry
+/// point for metadata-only scans (e.g. a store read pushed down to the
+/// snapshot's creation days). `records` may be any superset of the VMs
+/// alive at `at`; the liveness filter still applies.
+///
+/// # Errors
+/// Returns [`AnalysisError::NoData`] if no subscription of `cloud` has an
+/// alive VM at `at`.
+pub fn vms_per_subscription_cdf_from(
+    records: &[VmRecord],
+    subscriptions: &[Subscription],
+    cloud: CloudKind,
+    at: SimTime,
+) -> Result<Ecdf, AnalysisError> {
     let mut counts: HashMap<SubscriptionId, u64> = HashMap::new();
-    for vm in trace.vms_of(cloud) {
-        if vm.node.is_some() && vm.alive_at(at) {
+    for vm in records {
+        if record_in_cloud(vm, subscriptions, cloud) && vm.node.is_some() && vm.alive_at(at) {
             *counts.entry(vm.subscription).or_insert(0) += 1;
         }
     }
@@ -41,9 +70,22 @@ pub fn subscriptions_per_cluster(
     cloud: CloudKind,
     at: SimTime,
 ) -> Result<BoxPlot, AnalysisError> {
+    subscriptions_per_cluster_from(trace.vms(), trace.subscriptions(), cloud, at)
+}
+
+/// [`subscriptions_per_cluster`] over a bare record slice.
+///
+/// # Errors
+/// Returns [`AnalysisError::NoData`] if no cluster of `cloud` hosts VMs.
+pub fn subscriptions_per_cluster_from(
+    records: &[VmRecord],
+    subscriptions: &[Subscription],
+    cloud: CloudKind,
+    at: SimTime,
+) -> Result<BoxPlot, AnalysisError> {
     let mut per_cluster: HashMap<ClusterId, HashSet<SubscriptionId>> = HashMap::new();
-    for vm in trace.vms_of(cloud) {
-        if vm.node.is_some() && vm.alive_at(at) {
+    for vm in records {
+        if record_in_cloud(vm, subscriptions, cloud) && vm.node.is_some() && vm.alive_at(at) {
             per_cluster
                 .entry(vm.cluster)
                 .or_default()
@@ -85,10 +127,29 @@ impl DeploymentSizeAnalysis {
     /// # Errors
     /// Returns [`AnalysisError::NoData`] if either cloud is empty at `at`.
     pub fn run(trace: &Trace, at: SimTime) -> Result<Self, AnalysisError> {
-        let private_vms = vms_per_subscription_cdf(trace, CloudKind::Private, at)?;
-        let public_vms = vms_per_subscription_cdf(trace, CloudKind::Public, at)?;
-        let private_clusters = subscriptions_per_cluster(trace, CloudKind::Private, at)?;
-        let public_clusters = subscriptions_per_cluster(trace, CloudKind::Public, at)?;
+        Self::run_from_records(trace.vms(), trace.subscriptions(), at)
+    }
+
+    /// Runs the Figure 1 analyses over a bare record slice — every
+    /// input is point-in-time metadata, so a pushed-down store read of
+    /// the snapshot's creation days reproduces [`DeploymentSizeAnalysis::run`]
+    /// exactly without materializing a [`Trace`].
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::NoData`] if either cloud is empty at `at`.
+    pub fn run_from_records(
+        records: &[VmRecord],
+        subscriptions: &[Subscription],
+        at: SimTime,
+    ) -> Result<Self, AnalysisError> {
+        let private_vms =
+            vms_per_subscription_cdf_from(records, subscriptions, CloudKind::Private, at)?;
+        let public_vms =
+            vms_per_subscription_cdf_from(records, subscriptions, CloudKind::Public, at)?;
+        let private_clusters =
+            subscriptions_per_cluster_from(records, subscriptions, CloudKind::Private, at)?;
+        let public_clusters =
+            subscriptions_per_cluster_from(records, subscriptions, CloudKind::Public, at)?;
         let ratio = if private_clusters.median > 0.0 {
             public_clusters.median / private_clusters.median
         } else {

@@ -51,5 +51,8 @@ pub(crate) mod test_support;
 pub use compare::{CloudComparison, ComparedMetric};
 pub use coverage::{filled_week_series, telemetry_slot_coverage, week_grid_values};
 pub use error::AnalysisError;
-pub use patterns::{PatternClassifier, PatternClassifierConfig, PatternShares, UtilizationPattern};
+pub use patterns::{
+    pattern_shares, pattern_shares_from, PatternClassifier, PatternClassifierConfig, PatternShares,
+    UtilizationPattern,
+};
 pub use report::{CharacterizationReport, ReportConfig};

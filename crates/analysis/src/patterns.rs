@@ -169,11 +169,18 @@ impl PatternClassifier {
         Some(UtilizationPattern::Irregular)
     }
 
-    /// Classifies one VM of a trace; `None` if it lacks telemetry or the
-    /// telemetry is too short.
+    /// Classifies one VM given any [`TelemetrySource`] — a resident
+    /// [`Trace`], an out-of-core store, or a live ingest session — and
+    /// returns `None` if the VM lacks telemetry or the telemetry is too
+    /// short. The batch, out-of-core, and streaming paths all land here,
+    /// which is what makes their outputs directly comparable.
     #[must_use]
-    pub fn classify_vm(&self, trace: &Trace, vm: VmId) -> Option<UtilizationPattern> {
-        let util = trace.util(vm)?;
+    pub fn classify_vm(
+        &self,
+        source: &(impl TelemetrySource + ?Sized),
+        vm: VmId,
+    ) -> Option<UtilizationPattern> {
+        let util = source.load(vm)?;
         let series = Series::new(
             util.start().minutes(),
             cloudscope_model::time::SAMPLE_INTERVAL_MINUTES,
@@ -254,9 +261,29 @@ pub fn pattern_shares(
     classifier: &PatternClassifier,
     max_vms: usize,
 ) -> Result<PatternShares, AnalysisError> {
+    pattern_shares_from(trace, trace, cloud, classifier, max_vms)
+}
+
+/// [`pattern_shares`] with telemetry decoupled from VM metadata: `trace`
+/// supplies the population, `source` the samples. Pass the trace itself
+/// for resident telemetry, a [`StoreTelemetry`] for out-of-core reads,
+/// or an `IngestSession` for streamed state — same classifier, same
+/// tallies.
+///
+/// [`StoreTelemetry`]: https://docs.rs/cloudscope-store
+///
+/// # Errors
+/// Returns [`AnalysisError::NoData`] if no VM could be classified.
+pub fn pattern_shares_from(
+    trace: &Trace,
+    source: &(impl TelemetrySource + ?Sized),
+    cloud: CloudKind,
+    classifier: &PatternClassifier,
+    max_vms: usize,
+) -> Result<PatternShares, AnalysisError> {
     let candidates: Vec<VmId> = trace
         .vms_of(cloud)
-        .filter(|vm| trace.util(vm.id).is_some())
+        .filter(|vm| source.has(vm.id))
         .map(|vm| vm.id)
         .collect();
     let stride = (candidates.len() / max_vms.max(1)).max(1);
@@ -268,7 +295,7 @@ pub fn pattern_shares(
 
     let shares = Parallelism::auto().par_map_reduce(
         &sampled,
-        |&vm| classifier.classify_vm(trace, vm),
+        |&vm| classifier.classify_vm(source, vm),
         PatternShares::default(),
         |mut acc, pattern| {
             acc.add(pattern);

@@ -1,11 +1,13 @@
 //! Temporal deployment analyses (Figure 3): lifetime CDFs, VM counts and
 //! creations per hour, and the cross-region coefficient of variation.
 
+use crate::deployment::record_in_cloud;
 use crate::error::AnalysisError;
 use cloudscope_model::prelude::*;
 use cloudscope_model::time::MINUTES_PER_HOUR;
 use cloudscope_stats::{coefficient_of_variation, BoxPlot, Ecdf};
 use cloudscope_timeseries::Series;
+use std::collections::BTreeSet;
 
 /// Hours in the trace week.
 const HOURS_PER_WEEK: usize = 168;
@@ -16,8 +18,21 @@ const HOURS_PER_WEEK: usize = 168;
 /// # Errors
 /// Returns [`AnalysisError::NoData`] if no bounded VM exists.
 pub fn lifetime_cdf(trace: &Trace, cloud: CloudKind) -> Result<Ecdf, AnalysisError> {
-    let lifetimes: Vec<f64> = trace
-        .vms_of(cloud)
+    lifetime_cdf_from(trace.vms(), trace.subscriptions(), cloud)
+}
+
+/// [`lifetime_cdf`] over a bare record slice.
+///
+/// # Errors
+/// Returns [`AnalysisError::NoData`] if no bounded VM exists.
+pub fn lifetime_cdf_from(
+    records: &[VmRecord],
+    subscriptions: &[Subscription],
+    cloud: CloudKind,
+) -> Result<Ecdf, AnalysisError> {
+    let lifetimes: Vec<f64> = records
+        .iter()
+        .filter(|vm| record_in_cloud(vm, subscriptions, cloud))
         .filter(|vm| vm.bounded_by_trace_week())
         .filter_map(|vm| vm.lifetime())
         .map(|d| d.minutes() as f64)
@@ -48,9 +63,22 @@ pub fn shortest_bin_fraction(
 /// each boundary.
 #[must_use]
 pub fn vm_counts_per_hour(trace: &Trace, cloud: CloudKind, region: RegionId) -> Series {
+    vm_counts_per_hour_from(trace.vms(), trace.subscriptions(), cloud, region)
+}
+
+/// [`vm_counts_per_hour`] over a bare record slice — `records` may
+/// already be sliced to `region` (a pushed-down store read); any
+/// other-region record is still filtered out.
+#[must_use]
+pub fn vm_counts_per_hour_from(
+    records: &[VmRecord],
+    subscriptions: &[Subscription],
+    cloud: CloudKind,
+    region: RegionId,
+) -> Series {
     let mut counts = vec![0.0f64; HOURS_PER_WEEK];
-    for vm in trace.vms_of(cloud) {
-        if vm.region != region || vm.node.is_none() {
+    for vm in records {
+        if vm.region != region || vm.node.is_none() || !record_in_cloud(vm, subscriptions, cloud) {
             continue;
         }
         let Some((start, end)) = vm.overlap_with(SimTime::ZERO, SimTime::WEEK_END) else {
@@ -70,25 +98,39 @@ pub fn vm_counts_per_hour(trace: &Trace, cloud: CloudKind, region: RegionId) -> 
 /// (Figure 3(c)).
 #[must_use]
 pub fn creations_per_hour(trace: &Trace, cloud: CloudKind, region: RegionId) -> Series {
-    events_per_hour(trace, cloud, region, |vm| Some(vm.created))
+    creations_per_hour_from(trace.vms(), trace.subscriptions(), cloud, region)
+}
+
+/// [`creations_per_hour`] over a bare record slice.
+#[must_use]
+pub fn creations_per_hour_from(
+    records: &[VmRecord],
+    subscriptions: &[Subscription],
+    cloud: CloudKind,
+    region: RegionId,
+) -> Series {
+    events_per_hour(records, subscriptions, cloud, region, |vm| Some(vm.created))
 }
 
 /// Hourly series of VM removals in one region over the trace week (the
 /// paper studies removals alongside creations and finds the same shape).
 #[must_use]
 pub fn removals_per_hour(trace: &Trace, cloud: CloudKind, region: RegionId) -> Series {
-    events_per_hour(trace, cloud, region, |vm| vm.ended)
+    events_per_hour(trace.vms(), trace.subscriptions(), cloud, region, |vm| {
+        vm.ended
+    })
 }
 
 fn events_per_hour(
-    trace: &Trace,
+    records: &[VmRecord],
+    subscriptions: &[Subscription],
     cloud: CloudKind,
     region: RegionId,
     event_time: impl Fn(&VmRecord) -> Option<SimTime>,
 ) -> Series {
     let mut counts = vec![0.0f64; HOURS_PER_WEEK];
-    for vm in trace.vms_of(cloud) {
-        if vm.region != region {
+    for vm in records {
+        if vm.region != region || !record_in_cloud(vm, subscriptions, cloud) {
             continue;
         }
         if let Some(t) = event_time(vm) {
@@ -128,6 +170,30 @@ pub fn creation_cv_by_region(trace: &Trace, cloud: CloudKind) -> Vec<f64> {
         .collect()
 }
 
+/// [`creation_cv_by_region`] over a bare record slice. The regions are
+/// the distinct ones appearing in `records` (in id order) rather than
+/// the topology's — identical output, since a region absent from the
+/// records has no creations and would be skipped anyway.
+#[must_use]
+pub fn creation_cv_by_region_from(
+    records: &[VmRecord],
+    subscriptions: &[Subscription],
+    cloud: CloudKind,
+) -> Vec<f64> {
+    let regions: BTreeSet<RegionId> = records
+        .iter()
+        .filter(|vm| record_in_cloud(vm, subscriptions, cloud))
+        .map(|vm| vm.region)
+        .collect();
+    regions
+        .into_iter()
+        .filter_map(|region| {
+            let series = creations_per_hour_from(records, subscriptions, cloud, region);
+            coefficient_of_variation(series.values())
+        })
+        .collect()
+}
+
 /// The Figure 3 bundle for both clouds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TemporalAnalysis {
@@ -155,12 +221,38 @@ impl TemporalAnalysis {
     /// Returns [`AnalysisError::NoData`] if either cloud lacks bounded
     /// VMs or creations.
     pub fn run(trace: &Trace, sample_region: RegionId) -> Result<Self, AnalysisError> {
-        let private_lifetimes = lifetime_cdf(trace, CloudKind::Private)?;
-        let public_lifetimes = lifetime_cdf(trace, CloudKind::Public)?;
+        Self::run_from_records(
+            trace.vms(),
+            trace.vms(),
+            trace.subscriptions(),
+            sample_region,
+        )
+    }
+
+    /// Runs the Figure 3 analyses over bare record slices: `records`
+    /// feeds the global curves (lifetimes, per-region CVs) and
+    /// `region_records` the `sample_region`-sliced 3(b)/(c) series —
+    /// the split lets a store-backed run push the region predicate
+    /// down to the chunk scan instead of sweeping every VM.
+    /// `region_records` may be any superset of the region's records
+    /// (the region filter still applies), so passing the full set
+    /// reproduces [`TemporalAnalysis::run`] exactly.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::NoData`] if either cloud lacks bounded
+    /// VMs or creations.
+    pub fn run_from_records(
+        records: &[VmRecord],
+        region_records: &[VmRecord],
+        subscriptions: &[Subscription],
+        sample_region: RegionId,
+    ) -> Result<Self, AnalysisError> {
+        let private_lifetimes = lifetime_cdf_from(records, subscriptions, CloudKind::Private)?;
+        let public_lifetimes = lifetime_cdf_from(records, subscriptions, CloudKind::Public)?;
         let private_short_fraction = private_lifetimes.eval(60.0);
         let public_short_fraction = public_lifetimes.eval(60.0);
-        let cv_private = creation_cv_by_region(trace, CloudKind::Private);
-        let cv_public = creation_cv_by_region(trace, CloudKind::Public);
+        let cv_private = creation_cv_by_region_from(records, subscriptions, CloudKind::Private);
+        let cv_public = creation_cv_by_region_from(records, subscriptions, CloudKind::Public);
         if cv_private.is_empty() || cv_public.is_empty() {
             return Err(AnalysisError::NoData("per-region creation CVs"));
         }
@@ -170,12 +262,32 @@ impl TemporalAnalysis {
             private_short_fraction,
             public_short_fraction,
             vm_counts: (
-                vm_counts_per_hour(trace, CloudKind::Private, sample_region),
-                vm_counts_per_hour(trace, CloudKind::Public, sample_region),
+                vm_counts_per_hour_from(
+                    region_records,
+                    subscriptions,
+                    CloudKind::Private,
+                    sample_region,
+                ),
+                vm_counts_per_hour_from(
+                    region_records,
+                    subscriptions,
+                    CloudKind::Public,
+                    sample_region,
+                ),
             ),
             creations: (
-                creations_per_hour(trace, CloudKind::Private, sample_region),
-                creations_per_hour(trace, CloudKind::Public, sample_region),
+                creations_per_hour_from(
+                    region_records,
+                    subscriptions,
+                    CloudKind::Private,
+                    sample_region,
+                ),
+                creations_per_hour_from(
+                    region_records,
+                    subscriptions,
+                    CloudKind::Public,
+                    sample_region,
+                ),
             ),
             creation_cv: (BoxPlot::new(cv_private)?, BoxPlot::new(cv_public)?),
         })

@@ -23,7 +23,12 @@ pub const MIN_POPULATION_COVERAGE: f64 = 0.75;
 /// VMs of one cloud whose telemetry covers (almost all of) the week,
 /// with gaps repaired. Returns the series and the mean pre-fill
 /// coverage.
-fn full_week_hourly_series(trace: &Trace, cloud: CloudKind, max_vms: usize) -> (Vec<Series>, f64) {
+fn full_week_hourly_series(
+    trace: &Trace,
+    source: &(impl TelemetrySource + ?Sized),
+    cloud: CloudKind,
+    max_vms: usize,
+) -> (Vec<Series>, f64) {
     // Pass 1 keeps only (id, coverage) per eligible VM — the filled
     // week vectors are dropped immediately, so memory stays O(eligible
     // VMs), not O(eligible VMs × week length). Pass 2 re-derives the
@@ -33,7 +38,7 @@ fn full_week_hourly_series(trace: &Trace, cloud: CloudKind, max_vms: usize) -> (
     let candidates: Vec<(VmId, f64)> = trace
         .vms_of(cloud)
         .filter_map(|vm| {
-            let util = trace.util(vm.id)?;
+            let util = source.load(vm.id)?;
             filled_week_series(&util, MIN_VM_WEEK_COVERAGE).map(|(_, cov)| (vm.id, cov))
         })
         .collect();
@@ -45,7 +50,7 @@ fn full_week_hourly_series(trace: &Trace, cloud: CloudKind, max_vms: usize) -> (
         .take(max_vms)
         .map(|(id, cov)| {
             coverage_sum += cov;
-            let util = trace.util(id).expect("eligible in pass 1");
+            let util = source.load(id).expect("eligible in pass 1");
             let (values, _) =
                 filled_week_series(&util, MIN_VM_WEEK_COVERAGE).expect("eligible in pass 1");
             Series::new(0, SAMPLE_INTERVAL_MINUTES, values)
@@ -88,7 +93,22 @@ impl UtilizationDistribution {
     /// - [`AnalysisError::InsufficientData`] if VMs qualified but their
     ///   mean coverage falls below [`MIN_POPULATION_COVERAGE`].
     pub fn run(trace: &Trace, cloud: CloudKind, max_vms: usize) -> Result<Self, AnalysisError> {
-        let (hourly, coverage) = full_week_hourly_series(trace, cloud, max_vms);
+        Self::run_from(trace, trace, cloud, max_vms)
+    }
+
+    /// [`UtilizationDistribution::run`] with telemetry decoupled from VM
+    /// metadata: `trace` enumerates the population, `source` serves the
+    /// samples (resident, out-of-core, or streamed).
+    ///
+    /// # Errors
+    /// Same as [`UtilizationDistribution::run`].
+    pub fn run_from(
+        trace: &Trace,
+        source: &(impl TelemetrySource + ?Sized),
+        cloud: CloudKind,
+        max_vms: usize,
+    ) -> Result<Self, AnalysisError> {
+        let (hourly, coverage) = full_week_hourly_series(trace, source, cloud, max_vms);
         if hourly.is_empty() {
             return Err(AnalysisError::NoData("full-week telemetry"));
         }

@@ -22,6 +22,9 @@
 //!   bounded memory.
 //! - [`faults`]: deterministic telemetry fault injection — the seeded
 //!   corruption plans and flaky stores the robustness tests run under.
+//! - [`ingest`]: the online ingestion service — watermarked per-VM
+//!   windows over a live wire-sample stream, streaming Figure 5
+//!   classification at window close, publication into the KB.
 //! - [`mgmt`]: the management policies the insights motivate (spot,
 //!   over-subscription, regional rebalancing, pre-provisioning,
 //!   deferral, allocation-failure prediction).
@@ -59,6 +62,51 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## One classifier, three telemetry sources
+//!
+//! Every analysis that reads samples goes through the
+//! [`TelemetrySource`] trait, so the *same* classifier code runs over a
+//! resident trace, the out-of-core store, and a live ingestion session:
+//!
+//! ```no_run
+//! use cloudscope::prelude::*;
+//! use cloudscope::analysis::pattern_shares_from;
+//! use cloudscope::faults::FaultPlan;
+//! use cloudscope::ingest::{drive_ingest, IngestConfig};
+//! use cloudscope::par::Parallelism;
+//! use cloudscope::store::{write_trace, StoreTelemetry, WriteOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let generated = generate(&GeneratorConfig::default());
+//! let classifier = PatternClassifier::default();
+//!
+//! // Batch: samples resident in the trace.
+//! let batch = pattern_shares_from(
+//!     &generated.trace, &generated.trace, CloudKind::Public, &classifier, 64)?;
+//!
+//! // Out-of-core: samples streamed from compressed column chunks.
+//! write_trace(&generated.trace, "trace-dir", WriteOptions::default(), &Parallelism::auto())?;
+//! let store = StoreTelemetry::open("trace-dir", 0)?;
+//! let cold = pattern_shares_from(
+//!     &generated.trace, &store, CloudKind::Public, &classifier, 64)?;
+//!
+//! // Streaming: samples consumed one wire sample at a time.
+//! let kb = KnowledgeBase::new();
+//! let outcome = drive_ingest(
+//!     &generated.trace, &FaultPlan::clean(1), &IngestConfig::default(),
+//!     &classifier, &kb);
+//! let live = pattern_shares_from(
+//!     &generated.trace, &outcome.session, CloudKind::Public, &classifier, 64)?;
+//!
+//! // All three saw identical samples, so the shares agree exactly.
+//! assert_eq!(batch, cold);
+//! assert_eq!(batch, live);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`TelemetrySource`]: model::trace::TelemetrySource
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,6 +114,7 @@
 pub use cloudscope_analysis as analysis;
 pub use cloudscope_cluster as cluster;
 pub use cloudscope_faults as faults;
+pub use cloudscope_ingest as ingest;
 pub use cloudscope_kb as kb;
 pub use cloudscope_mgmt as mgmt;
 pub use cloudscope_model as model;
@@ -90,6 +139,7 @@ pub fn obs_snapshot() -> obs::Snapshot {
 pub mod prelude {
     pub use crate::analysis::report::{CharacterizationReport, ReportConfig};
     pub use crate::analysis::{PatternClassifier, UtilizationPattern};
+    pub use crate::ingest::{IngestConfig, IngestSession, Ingestor};
     pub use crate::kb::{
         extract_cloud_knowledge, DurableKb, KbQuery, KbSelector, KnowledgeBase, WorkloadKnowledge,
     };

@@ -97,6 +97,23 @@ fn corrupt_samples(
     out
 }
 
+/// Explodes one VM's series into wire samples and applies the plan's
+/// corruptions, returning the stream in transmission order — the form a
+/// streaming ingester consumes one sample at a time. With a clean plan
+/// this is exactly the pristine wire stream (one sample per present
+/// slot, at its true grid timestamp). Batch ingestion of the result via
+/// [`ingest_wire_samples`] is what [`corrupt_util_series`] does.
+#[must_use]
+pub fn corrupt_wire_samples(
+    series: &UtilSeries,
+    region: RegionId,
+    plan: &FaultPlan,
+    rng: &mut StdRng,
+    report: &mut FaultReport,
+) -> Vec<WireSample> {
+    corrupt_samples(explode(series), region, plan, rng, report)
+}
+
 /// Re-assembles wire samples into a [`UtilSeries`] the way a collector
 /// would: garbage readings (non-finite or negative) are rejected,
 /// timestamps snap to the nearest 5-minute slot, slots outside the
@@ -145,7 +162,7 @@ pub fn corrupt_util_series(
     report: &mut FaultReport,
 ) -> Option<UtilSeries> {
     report.vms += 1;
-    let wire = corrupt_samples(explode(series), region, plan, rng, report);
+    let wire = corrupt_wire_samples(series, region, plan, rng, report);
     ingest_wire_samples(&wire, report)
 }
 

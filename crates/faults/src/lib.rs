@@ -44,6 +44,8 @@ pub mod corrupt;
 pub mod flaky;
 pub mod plan;
 
-pub use corrupt::{corrupt_trace, corrupt_util_series, ingest_wire_samples, WireSample};
+pub use corrupt::{
+    corrupt_trace, corrupt_util_series, corrupt_wire_samples, ingest_wire_samples, WireSample,
+};
 pub use flaky::FlakyStore;
 pub use plan::{Blackout, FaultPlan, FaultReport};

@@ -1,0 +1,174 @@
+//! The discrete-event driver: a trace replayed as a live telemetry
+//! stream against the ingestion service.
+
+use crate::ingestor::{IngestConfig, Ingestor};
+use crate::publish::publish_closed_windows;
+use crate::session::IngestSession;
+use cloudscope_analysis::PatternClassifier;
+use cloudscope_faults::{corrupt_wire_samples, FaultPlan, FaultReport, WireSample};
+use cloudscope_kb::{KbStore, PipelineStats, RetryPolicy};
+use cloudscope_model::prelude::*;
+use cloudscope_model::time::{MINUTES_PER_HOUR, MINUTES_PER_WEEK, SAMPLE_INTERVAL_MINUTES};
+use cloudscope_sim::rng::RngFactory;
+use cloudscope_sim::Simulation;
+use std::collections::HashMap;
+
+/// How many VMs' classification work one publish batch may trigger —
+/// the same per-subscription cap the batch extraction pipeline takes.
+const MAX_CLASSIFIED_VMS_PER_SUB: usize = 4;
+
+/// Events of the ingestion simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestEvent {
+    /// Delivery of one VM's next wire sample (position `index` of its
+    /// corrupted stream, delivered at the monitor cadence).
+    Deliver {
+        /// The reporting VM.
+        vm: VmId,
+        /// Position in the VM's wire stream.
+        index: u32,
+    },
+    /// Periodic watermark advance: seals ripe slots, closes windows the
+    /// watermark crossed, publishes the refreshed knowledge.
+    WatermarkTick,
+}
+
+/// The result of one driven ingestion run.
+#[derive(Debug)]
+pub struct DriveOutcome {
+    /// Frozen end state (a [`TelemetrySource`] over the streamed data).
+    ///
+    /// [`TelemetrySource`]: cloudscope_model::trace::TelemetrySource
+    pub session: IngestSession,
+    /// Corruption ledger of the wire streams (what the fault plan did).
+    pub fault_report: FaultReport,
+    /// KB publication ledger (batches, retries, failures).
+    pub pipeline_stats: PipelineStats,
+    /// Discrete events processed by the simulation.
+    pub events_processed: u64,
+}
+
+/// Replays `trace`'s telemetry as a live stream through the ingestion
+/// service, under the discrete-event clock:
+///
+/// - Each VM's series is exploded into wire samples and corrupted under
+///   `plan` (same per-VM seeded streams as
+///   [`cloudscope_faults::corrupt_trace`], so the stream *content* is
+///   byte-comparable to batch corruption). Corruption shuffles content,
+///   not cadence: stream position `j` is delivered at the VM's series
+///   start plus `j` sample intervals, which is how a reordered sample
+///   actually arrives late.
+/// - An hourly watermark tick seals ripe slots, closes any window the
+///   watermark crossed (re-running Figure 5 classification per VM), and
+///   publishes the refreshed subscription knowledge into `store`
+///   through the batched feed + retry path.
+/// - After the stream drains past the final watermark, a catch-up
+///   drain closes whatever remains and the state freezes into an
+///   [`IngestSession`].
+///
+/// With [`FaultPlan::clean`] the session's series and classifications
+/// are byte-identical to batch ingestion of the same trace; under
+/// faults, any divergence from the batch-corrupted trace is confined to
+/// VMs named by [`IngestSession::had_drops`].
+pub fn drive_ingest<S: KbStore + ?Sized>(
+    trace: &Trace,
+    plan: &FaultPlan,
+    config: &IngestConfig,
+    classifier: &PatternClassifier,
+    store: &S,
+) -> DriveOutcome {
+    let _run = cloudscope_obs::span("ingest.drive");
+    let factory = RngFactory::new(plan.seed).child("faults");
+    let mut fault_report = FaultReport::default();
+    let mut streams: HashMap<VmId, (i64, Vec<WireSample>)> = HashMap::new();
+    let mut sim: Simulation<IngestEvent> = Simulation::new();
+    for vm in trace.vms() {
+        let Some(util) = trace.util(vm.id) else {
+            continue;
+        };
+        fault_report.vms += 1;
+        let mut rng = factory.indexed_stream("vm", vm.id.index());
+        let wire = corrupt_wire_samples(&util, vm.region, plan, &mut rng, &mut fault_report);
+        if wire.is_empty() {
+            continue;
+        }
+        let start = util.start().minutes();
+        sim.schedule(
+            SimTime::from_minutes(start),
+            IngestEvent::Deliver {
+                vm: vm.id,
+                index: 0,
+            },
+        );
+        streams.insert(vm.id, (start, wire));
+    }
+
+    // The run must outlast the final watermark tick that seals the last
+    // week slot: watermark = now - delay reaches the week end one delay
+    // later, and ticks land hourly after that.
+    let end_minute = MINUTES_PER_WEEK + config.watermark_delay_minutes + MINUTES_PER_HOUR;
+    sim.schedule(
+        SimTime::from_minutes(MINUTES_PER_HOUR),
+        IngestEvent::WatermarkTick,
+    );
+
+    let mut ingestor = Ingestor::new(*config, *classifier);
+    let mut pipeline_stats = PipelineStats::default();
+    let retry = RetryPolicy::default();
+    let events_processed = sim.run(
+        SimTime::from_minutes(end_minute + 1),
+        |scheduler, time, event| match event {
+            IngestEvent::Deliver { vm, index } => {
+                let (_, wire) = &streams[&vm];
+                ingestor.offer(vm, wire[index as usize]);
+                if (index as usize) + 1 < wire.len() {
+                    scheduler.schedule(
+                        time + SimDuration::from_minutes(SAMPLE_INTERVAL_MINUTES),
+                        IngestEvent::Deliver {
+                            vm,
+                            index: index + 1,
+                        },
+                    );
+                }
+            }
+            IngestEvent::WatermarkTick => {
+                let closes = ingestor.advance_watermark(time);
+                publish_closed_windows(
+                    trace,
+                    &ingestor,
+                    &closes,
+                    store,
+                    classifier,
+                    MAX_CLASSIFIED_VMS_PER_SUB,
+                    &retry,
+                    &mut pipeline_stats,
+                );
+                if time.minutes() + MINUTES_PER_HOUR <= end_minute {
+                    scheduler.schedule(
+                        time + SimDuration::from_minutes(MINUTES_PER_HOUR),
+                        IngestEvent::WatermarkTick,
+                    );
+                }
+            }
+        },
+    );
+
+    let final_closes = ingestor.drain(SimTime::from_minutes(end_minute));
+    publish_closed_windows(
+        trace,
+        &ingestor,
+        &final_closes,
+        store,
+        classifier,
+        MAX_CLASSIFIED_VMS_PER_SUB,
+        &retry,
+        &mut pipeline_stats,
+    );
+    fault_report.flush_metrics();
+    DriveOutcome {
+        session: ingestor.finish(),
+        fault_report,
+        pipeline_stats,
+        events_processed,
+    }
+}

@@ -1,0 +1,442 @@
+//! The watermarked per-VM window state machine: offer → seal → close.
+
+use cloudscope_analysis::{PatternClassifier, UtilizationPattern};
+use cloudscope_faults::WireSample;
+use cloudscope_model::prelude::*;
+use cloudscope_model::telemetry::{quantize_percentage, MISSING_SAMPLE_BYTE};
+use cloudscope_model::time::{
+    MINUTES_PER_WEEK, SAMPLES_PER_DAY, SAMPLES_PER_WEEK, SAMPLE_INTERVAL_MINUTES,
+};
+use cloudscope_stats::sketch::P2Quantile;
+use cloudscope_timeseries::acf::autocorrelation_masked;
+use cloudscope_timeseries::Series;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of the ingestion service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// How far (in minutes) the low watermark trails the clock. A slot
+    /// seals once the watermark has passed its entire 5-minute
+    /// interval; samples arriving for a sealed slot are counted in
+    /// `dropped_late`, never applied. 10 minutes absorbs the standard
+    /// fault plan's worst case (±2 min clock skew plus one
+    /// adjacent-swap reorder).
+    pub watermark_delay_minutes: i64,
+    /// Window length in minutes; classification re-runs every time the
+    /// watermark crosses a multiple of it. Defaults to the trace week,
+    /// so the final close sees exactly the batch classifier's input.
+    pub window_minutes: i64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            watermark_delay_minutes: 2 * SAMPLE_INTERVAL_MINUTES,
+            window_minutes: MINUTES_PER_WEEK,
+        }
+    }
+}
+
+/// Per-VM lane: the mutable buffer ahead of the watermark plus the
+/// immutable sealed window state behind it.
+#[derive(Debug)]
+struct VmLane {
+    /// Unsealed slots, quantized on arrival; last write wins.
+    pending: BTreeMap<i64, u8>,
+    /// Sealed (slot, quantized value) pairs, ascending. Sealing is
+    /// monotone, so this vector only ever appends.
+    sealed: Vec<(i64, u8)>,
+    /// Rolling sums over sealed percent values (mean / std in O(1)).
+    sum: f64,
+    sumsq: f64,
+    /// Streaming p95 over sealed samples, observed in slot order —
+    /// deterministic for any arrival interleaving of the same stream.
+    p95: P2Quantile,
+    /// Samples that arrived for an already-sealed slot.
+    dropped_late: u64,
+    /// Latest classification (refreshed at every window close).
+    pattern: Option<UtilizationPattern>,
+}
+
+impl VmLane {
+    fn new() -> Self {
+        Self {
+            pending: BTreeMap::new(),
+            sealed: Vec::new(),
+            sum: 0.0,
+            sumsq: 0.0,
+            p95: P2Quantile::new(0.95).expect("0.95 is a valid level"),
+            dropped_late: 0,
+            pattern: None,
+        }
+    }
+
+    /// Seals every pending slot below `floor`, folding the values into
+    /// the rolling state in ascending slot order. Returns how many
+    /// samples sealed.
+    fn seal_upto(&mut self, floor: i64) -> usize {
+        if self
+            .pending
+            .first_key_value()
+            .is_none_or(|(&slot, _)| slot >= floor)
+        {
+            return 0;
+        }
+        let rest = self.pending.split_off(&floor);
+        let ripe = std::mem::replace(&mut self.pending, rest);
+        let sealed_now = ripe.len();
+        for (slot, q) in ripe {
+            let pct = f64::from(q) / 2.0;
+            self.sum += pct;
+            self.sumsq += pct * pct;
+            self.p95.observe(pct);
+            self.sealed.push((slot, q));
+        }
+        sealed_now
+    }
+
+    /// Reconstructs the sealed slots in `lo..hi` as a gap-preserving
+    /// series — byte-identical to what the batch collector assembles
+    /// from the same samples. `None` if the range holds no samples.
+    fn reconstruct(&self, lo: i64, hi: i64) -> Option<UtilSeries> {
+        let from = self.sealed.partition_point(|&(slot, _)| slot < lo);
+        let to = self.sealed.partition_point(|&(slot, _)| slot < hi);
+        let window = &self.sealed[from..to];
+        let (first, _) = *window.first()?;
+        let (last, _) = *window.last().expect("non-empty window has a last");
+        let mut bytes = vec![MISSING_SAMPLE_BYTE; usize::try_from(last - first + 1).expect("span")];
+        for &(slot, q) in window {
+            bytes[usize::try_from(slot - first).expect("slot in span")] = q;
+        }
+        Some(UtilSeries::from_quantized(
+            SimTime::from_minutes(first * SAMPLE_INTERVAL_MINUTES),
+            bytes.into(),
+        ))
+    }
+}
+
+/// One VM's summary at a window close.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowClose {
+    /// The VM.
+    pub vm: VmId,
+    /// End of the closed window (exclusive), in trace time.
+    pub window_end: SimTime,
+    /// Sealed samples inside the window.
+    pub samples: usize,
+    /// Fraction of the window's slots with a sealed sample.
+    pub coverage: f64,
+    /// Rolling mean utilization over all sealed samples, in percent.
+    pub mean_util: f64,
+    /// Streaming p95 estimate over all sealed samples, in percent.
+    pub p95_util: f64,
+    /// Masked autocorrelation of the window at the daily lag (computed
+    /// on a half-hourly downsample); `None` if the window is too short.
+    pub daily_acf: Option<f64>,
+    /// Classification of the window, via the batch classifier.
+    pub pattern: Option<UtilizationPattern>,
+    /// Cumulative late-dropped samples of this VM.
+    pub dropped_late: u64,
+}
+
+/// Aggregate counters of one ingestion run. Accumulated off the hot
+/// path and flushed to the metrics registry once, by
+/// [`IngestReport::flush_metrics`] — the same report-then-flush pattern
+/// the fault injector uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestReport {
+    /// Distinct VMs that ever offered a sample.
+    pub vms: usize,
+    /// Wire samples offered.
+    pub samples_offered: u64,
+    /// Samples accepted into a window (including duplicate overwrites).
+    pub samples_applied: u64,
+    /// Accepted samples that overwrote an already-buffered slot.
+    pub duplicates_collapsed: u64,
+    /// Samples rejected by validation (non-finite or negative).
+    pub rejected_invalid: u64,
+    /// Samples whose timestamp fell outside the trace week.
+    pub out_of_week: u64,
+    /// Samples that arrived after their slot sealed.
+    pub dropped_late: u64,
+    /// Window closes performed (one per lane per boundary).
+    pub windows_closed: u64,
+    /// Window classifications that produced a pattern.
+    pub classifications: u64,
+    /// VMs with at least one late-dropped sample.
+    pub vms_with_drops: usize,
+    /// Peak buffered (unsealed) samples across all lanes — the
+    /// backpressure the watermark delay costs.
+    pub peak_pending_samples: usize,
+}
+
+impl IngestReport {
+    /// Flushes the counters into the current metrics registry under
+    /// `ingest.*`, and the backpressure peak into a gauge.
+    pub fn flush_metrics(&self) {
+        use cloudscope_obs::{counter, gauge};
+        counter("ingest.samples_offered").add(self.samples_offered);
+        counter("ingest.samples_applied").add(self.samples_applied);
+        counter("ingest.duplicates_collapsed").add(self.duplicates_collapsed);
+        counter("ingest.rejected_invalid").add(self.rejected_invalid);
+        counter("ingest.out_of_week").add(self.out_of_week);
+        counter("ingest.dropped_late").add(self.dropped_late);
+        counter("ingest.windows_closed").add(self.windows_closed);
+        counter("ingest.classifications").add(self.classifications);
+        gauge("ingest.backpressure.peak_pending_samples").set_max(self.peak_pending_samples as f64);
+    }
+}
+
+/// The ingestion state machine: per-VM lanes behind a global watermark.
+///
+/// Memory is bounded by construction: ahead of the watermark each lane
+/// buffers at most `watermark_delay / 5 + 1` live slots (older offers
+/// drop, newer ones cannot exist yet), and behind it only the quantized
+/// sealed bytes and O(1) rolling state remain.
+#[derive(Debug)]
+pub struct Ingestor {
+    config: IngestConfig,
+    classifier: PatternClassifier,
+    lanes: BTreeMap<VmId, VmLane>,
+    /// Slots strictly below this are sealed; lanes apply it lazily.
+    seal_floor: i64,
+    /// Next window boundary (minutes) the watermark has not crossed.
+    next_window_close: i64,
+    /// Live buffered samples across lanes (maintained incrementally).
+    pending_samples: usize,
+    /// True if any sample was applied since the last window close —
+    /// whether [`Ingestor::finish`] owes a final catch-up close.
+    dirty: bool,
+    report: IngestReport,
+    vms_with_drops: BTreeSet<VmId>,
+}
+
+impl Ingestor {
+    /// Creates an idle ingestor.
+    #[must_use]
+    pub fn new(config: IngestConfig, classifier: PatternClassifier) -> Self {
+        assert!(config.watermark_delay_minutes >= 0, "negative watermark");
+        assert!(config.window_minutes > 0, "window must be positive");
+        Self {
+            next_window_close: config.window_minutes,
+            config,
+            classifier,
+            lanes: BTreeMap::new(),
+            seal_floor: 0,
+            pending_samples: 0,
+            dirty: false,
+            report: IngestReport::default(),
+            vms_with_drops: BTreeSet::new(),
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &IngestConfig {
+        &self.config
+    }
+
+    /// Counters so far (vms/peaks refreshed on read).
+    #[must_use]
+    pub fn report(&self) -> IngestReport {
+        let mut report = self.report;
+        report.vms = self.lanes.len();
+        report.vms_with_drops = self.vms_with_drops.len();
+        report
+    }
+
+    /// Offers one wire sample for `vm`, mirroring the batch collector's
+    /// validation exactly: reject garbage, snap to the grid, discard
+    /// out-of-week slots, last write wins on duplicates — plus the one
+    /// rule batch ingestion cannot need: a sample for a sealed slot is
+    /// counted in `dropped_late` and never applied.
+    pub fn offer(&mut self, vm: VmId, sample: WireSample) {
+        self.report.samples_offered += 1;
+        if !sample.value.is_finite() || sample.value < 0.0 {
+            self.report.rejected_invalid += 1;
+            return;
+        }
+        let slot =
+            (sample.minute + SAMPLE_INTERVAL_MINUTES / 2).div_euclid(SAMPLE_INTERVAL_MINUTES);
+        if !(0..SAMPLES_PER_WEEK as i64).contains(&slot) {
+            self.report.out_of_week += 1;
+            return;
+        }
+        let lane = self.lanes.entry(vm).or_insert_with(VmLane::new);
+        // Lazy sealing: fold this lane's ripe slots before judging the
+        // new sample, so the drop decision always uses the global floor.
+        self.pending_samples -= lane.seal_upto(self.seal_floor);
+        if slot < self.seal_floor {
+            lane.dropped_late += 1;
+            self.report.dropped_late += 1;
+            self.vms_with_drops.insert(vm);
+            return;
+        }
+        self.report.samples_applied += 1;
+        if lane
+            .pending
+            .insert(slot, quantize_percentage(sample.value))
+            .is_some()
+        {
+            self.report.duplicates_collapsed += 1;
+        } else {
+            self.pending_samples += 1;
+        }
+        self.dirty = true;
+        if self.pending_samples > self.report.peak_pending_samples {
+            self.report.peak_pending_samples = self.pending_samples;
+        }
+    }
+
+    /// Advances the clock to `now`, moving the watermark
+    /// `watermark_delay_minutes` behind it. Slots wholly behind the new
+    /// watermark become sealable (lanes seal them lazily on next
+    /// touch); every window boundary the watermark crossed closes, and
+    /// the per-VM summaries of the closed windows are returned in VM
+    /// order, ready for [`crate::publish_closed_windows`].
+    pub fn advance_watermark(&mut self, now: SimTime) -> Vec<WindowClose> {
+        let watermark = now.minutes() - self.config.watermark_delay_minutes;
+        let floor = watermark.div_euclid(SAMPLE_INTERVAL_MINUTES);
+        if floor > self.seal_floor {
+            self.seal_floor = floor;
+        }
+        let mut closes = Vec::new();
+        while watermark >= self.next_window_close {
+            let end = self.next_window_close;
+            closes.extend(self.close_window(SimTime::from_minutes(end)));
+            self.next_window_close = end + self.config.window_minutes;
+        }
+        closes
+    }
+
+    /// Closes the window ending at `end`: seals every lane up to the
+    /// global floor, reconstructs each lane's window, recomputes the
+    /// summary statistics, and re-runs the pattern classifier.
+    fn close_window(&mut self, end: SimTime) -> Vec<WindowClose> {
+        let _stage = cloudscope_obs::span("ingest.close");
+        let lo = (end.minutes() - self.config.window_minutes).div_euclid(SAMPLE_INTERVAL_MINUTES);
+        let hi = end.minutes().div_euclid(SAMPLE_INTERVAL_MINUTES);
+        let mut closes = Vec::with_capacity(self.lanes.len());
+        for (&vm, lane) in &mut self.lanes {
+            self.pending_samples -= lane.seal_upto(self.seal_floor);
+            let window = lane.reconstruct(lo, hi);
+            let samples = window.as_ref().map_or(0, UtilSeries::present_count);
+            let pattern = window.as_ref().and_then(|w| {
+                let series =
+                    Series::new(w.start().minutes(), SAMPLE_INTERVAL_MINUTES, w.to_f64_vec());
+                self.classifier.classify_series(&series)
+            });
+            lane.pattern = pattern;
+            self.report.windows_closed += 1;
+            if pattern.is_some() {
+                self.report.classifications += 1;
+            }
+            let sealed_total = lane.sealed.len();
+            let mean = if sealed_total == 0 {
+                0.0
+            } else {
+                lane.sum / sealed_total as f64
+            };
+            closes.push(WindowClose {
+                vm,
+                window_end: end,
+                samples,
+                coverage: samples as f64 / (hi - lo).max(1) as f64,
+                mean_util: mean,
+                p95_util: lane.p95.estimate().unwrap_or(0.0),
+                daily_acf: window.as_ref().and_then(daily_masked_acf),
+                pattern,
+                dropped_late: lane.dropped_late,
+            });
+        }
+        self.dirty = false;
+        closes
+    }
+
+    /// Drains the stream at end of input: seals everything buffered and,
+    /// if any sample arrived since the last boundary close, performs a
+    /// final catch-up close at `now` and returns its summaries (publish
+    /// them, then call [`Ingestor::finish`]).
+    pub fn drain(&mut self, now: SimTime) -> Vec<WindowClose> {
+        self.seal_floor = SAMPLES_PER_WEEK as i64;
+        if self.dirty {
+            self.close_window(now)
+        } else {
+            // Nothing new since the last boundary close, but lanes may
+            // still hold unsealed slots (inside the watermark at the
+            // last tick): seal them without re-classifying.
+            for lane in self.lanes.values_mut() {
+                self.pending_samples -= lane.seal_upto(self.seal_floor);
+            }
+            Vec::new()
+        }
+    }
+
+    /// Freezes the (drained) state into an [`IngestSession`] and
+    /// flushes the run's counters into the metrics registry.
+    #[must_use]
+    pub fn finish(mut self) -> crate::IngestSession {
+        // Defensive: a caller that skipped `drain` still gets every
+        // buffered sample sealed into the frozen series.
+        self.seal_floor = SAMPLES_PER_WEEK as i64;
+        for lane in self.lanes.values_mut() {
+            self.pending_samples -= lane.seal_upto(self.seal_floor);
+        }
+        let report = self.report();
+        report.flush_metrics();
+        crate::IngestSession::freeze(
+            self.lanes.into_iter().map(|(vm, lane)| {
+                let series = lane.reconstruct(0, SAMPLES_PER_WEEK as i64);
+                (vm, series, lane.pattern, lane.dropped_late)
+            }),
+            report,
+        )
+    }
+}
+
+/// The live view over *sealed* state: between a window close and the
+/// next offer, the ingestor itself serves as a [`TelemetrySource`], so
+/// knowledge re-extraction at publish time reads exactly the window
+/// state the close just classified. Unsealed (still-mutable) slots are
+/// invisible by design.
+impl cloudscope_model::trace::TelemetrySource for Ingestor {
+    fn load(&self, id: VmId) -> Option<UtilSeries> {
+        self.lanes.get(&id)?.reconstruct(0, SAMPLES_PER_WEEK as i64)
+    }
+
+    fn has(&self, id: VmId) -> bool {
+        self.lanes
+            .get(&id)
+            .is_some_and(|lane| !lane.sealed.is_empty())
+    }
+}
+
+/// Masked autocorrelation at the daily lag, on a half-hourly downsample
+/// (gap slots average out of each block; fully-missing blocks stay
+/// masked). `None` when the window is shorter than a day.
+fn daily_masked_acf(window: &UtilSeries) -> Option<f64> {
+    const BLOCK: usize = 6; // 6 × 5 min = half-hourly
+    let values = window.to_f64_vec();
+    let coarse: Vec<f64> = values
+        .chunks(BLOCK)
+        .map(|block| {
+            let (sum, n) = block
+                .iter()
+                .filter(|v| v.is_finite())
+                .fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
+            if n == 0 {
+                f64::NAN
+            } else {
+                sum / n as f64
+            }
+        })
+        .collect();
+    let lag = SAMPLES_PER_DAY / BLOCK;
+    if coarse.len() <= lag {
+        return None;
+    }
+    autocorrelation_masked(&coarse, lag)
+        .ok()
+        .and_then(|acf| acf.get(lag).copied())
+        .filter(|v| v.is_finite())
+}

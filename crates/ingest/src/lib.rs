@@ -1,0 +1,95 @@
+//! # cloudscope-ingest
+//!
+//! The online ingestion service: the paper's characterization pipeline
+//! run against a *live* telemetry stream instead of a finished trace.
+//! Production monitors do not hand the analyst a clean week-long
+//! [`UtilSeries`] per VM — they emit one wire sample at a time, late,
+//! duplicated, reordered, and occasionally garbage. This crate consumes
+//! that stream continuously, keeps per-VM sliding-window state in
+//! bounded memory, re-runs the Figure 5 pattern classification as each
+//! window closes, and publishes refreshed knowledge into the KB through
+//! the same batched write path the batch extraction pipeline uses.
+//!
+//! The pipeline, stage by stage:
+//!
+//! 1. **Offer** — [`Ingestor::offer`] validates each [`WireSample`]
+//!    exactly like the batch collector
+//!    ([`cloudscope_faults::ingest_wire_samples`]): garbage readings are
+//!    rejected, timestamps snap to the 5-minute grid, out-of-week slots
+//!    are discarded, and duplicate slots keep the last delivered value.
+//!    Accepted samples are quantized on arrival
+//!    ([`quantize_percentage`]) and buffered per VM.
+//! 2. **Seal** — [`Ingestor::advance_watermark`] moves the low
+//!    watermark. Slots that fall entirely behind it *seal*: their values
+//!    become immutable window state (rolling mean, P² p95 sketch,
+//!    coverage) and their buffer entries are freed. A sample arriving
+//!    for an already-sealed slot is counted in `dropped_late` — never
+//!    silently applied.
+//! 3. **Close** — when the watermark crosses a window boundary, every
+//!    lane reconstructs its window as a gap-preserving series, computes
+//!    the masked daily autocorrelation, and re-runs the batch
+//!    [`PatternClassifier`] on it. Because sealed state is
+//!    byte-identical to what the batch collector would have assembled
+//!    from the same stream, streaming classification *converges to the
+//!    batch classifier output exactly* on clean data; under faults the
+//!    divergence is bounded and fully accounted for by reported drops.
+//! 4. **Publish** — [`publish_closed_windows`] re-extracts
+//!    [`WorkloadKnowledge`](cloudscope_kb::WorkloadKnowledge) for the
+//!    affected subscriptions from the live window state and feeds it
+//!    through [`cloudscope_kb::publish_batch`] — the identical
+//!    `try_feed` + retry-ledger path, so a durable KB's WAL semantics
+//!    apply unchanged.
+//!
+//! [`drive_ingest`] wires the stages to the discrete-event clock of
+//! `cloudscope-sim`: per-VM delivery events at the monitor cadence
+//! (content corrupted by a seeded [`FaultPlan`], cadence preserved),
+//! periodic watermark ticks, and a final catch-up close. The end state
+//! is an [`IngestSession`] — a [`TelemetrySource`] interchangeable with
+//! a resident [`Trace`](cloudscope_model::trace::Trace) or the
+//! out-of-core store, so every analysis that accepts a source runs
+//! unmodified over streamed telemetry.
+//!
+//! ## Example
+//! ```no_run
+//! use cloudscope_ingest::{drive_ingest, DriveOutcome, IngestConfig};
+//! use cloudscope_analysis::PatternClassifier;
+//! use cloudscope_faults::FaultPlan;
+//! use cloudscope_kb::KnowledgeBase;
+//! # use cloudscope_tracegen::{generate, GeneratorConfig};
+//! let generated = generate(&GeneratorConfig::small(7));
+//! let kb = KnowledgeBase::new();
+//! let DriveOutcome { session, fault_report, .. } = drive_ingest(
+//!     &generated.trace,
+//!     &FaultPlan::standard(7),
+//!     &IngestConfig::default(),
+//!     &PatternClassifier::default(),
+//!     &kb,
+//! );
+//! println!(
+//!     "streamed {} samples, dropped {} late, {} KB entries live",
+//!     session.report().samples_offered,
+//!     session.report().dropped_late,
+//!     kb.len(),
+//! );
+//! # let _ = fault_report;
+//! ```
+//!
+//! [`UtilSeries`]: cloudscope_model::telemetry::UtilSeries
+//! [`WireSample`]: cloudscope_faults::WireSample
+//! [`FaultPlan`]: cloudscope_faults::FaultPlan
+//! [`PatternClassifier`]: cloudscope_analysis::PatternClassifier
+//! [`quantize_percentage`]: cloudscope_model::telemetry::quantize_percentage
+//! [`TelemetrySource`]: cloudscope_model::trace::TelemetrySource
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drive;
+pub mod ingestor;
+pub mod publish;
+pub mod session;
+
+pub use drive::{drive_ingest, DriveOutcome, IngestEvent};
+pub use ingestor::{IngestConfig, IngestReport, Ingestor, WindowClose};
+pub use publish::publish_closed_windows;
+pub use session::IngestSession;

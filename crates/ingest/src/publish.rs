@@ -1,0 +1,65 @@
+//! Publication of closed-window state into the knowledge base, through
+//! the extraction pipeline's own batched write path.
+
+use crate::ingestor::WindowClose;
+use cloudscope_analysis::PatternClassifier;
+use cloudscope_kb::{
+    extract_subscription_knowledge_from, publish_batch, KbStore, PipelineStats, RetryPolicy,
+    WorkloadKnowledge,
+};
+use cloudscope_model::prelude::*;
+use cloudscope_model::trace::TelemetrySource;
+use std::collections::BTreeSet;
+
+/// Re-extracts [`WorkloadKnowledge`] for every subscription touched by
+/// `closes` — reading telemetry from `source`, the live window state —
+/// and publishes it as one batch through [`cloudscope_kb::publish_batch`]
+/// (a single `try_feed` plus the bounded retry ledger), so a durable
+/// store's WAL semantics apply to streamed refreshes exactly as they do
+/// to batch extraction sweeps. Entries are stamped with each window's
+/// close time, letting the KB's staleness gate order refreshes.
+///
+/// `trace` supplies only the metadata (ownership, sizes, lifetimes);
+/// all samples come from `source`.
+#[allow(clippy::too_many_arguments)]
+pub fn publish_closed_windows<S: KbStore + ?Sized>(
+    trace: &Trace,
+    source: &(impl TelemetrySource + ?Sized),
+    closes: &[WindowClose],
+    store: &S,
+    classifier: &PatternClassifier,
+    max_classified_vms_per_sub: usize,
+    retry: &RetryPolicy,
+    stats: &mut PipelineStats,
+) {
+    if closes.is_empty() {
+        return;
+    }
+    let _stage = cloudscope_obs::span("ingest.publish");
+    let updated_at = closes
+        .iter()
+        .map(|c| c.window_end)
+        .max()
+        .expect("non-empty closes");
+    let subscriptions: BTreeSet<SubscriptionId> = closes
+        .iter()
+        .filter_map(|c| trace.vm(c.vm).ok().map(|vm| vm.subscription))
+        .collect();
+    let mut entries: Vec<WorkloadKnowledge> = Vec::with_capacity(subscriptions.len());
+    for sub in subscriptions {
+        stats.processed += 1;
+        match extract_subscription_knowledge_from(
+            trace,
+            source,
+            sub,
+            classifier,
+            max_classified_vms_per_sub,
+            None,
+            updated_at,
+        ) {
+            Some(knowledge) => entries.push(knowledge),
+            None => stats.skipped += 1,
+        }
+    }
+    publish_batch(store, &entries, retry, stats);
+}

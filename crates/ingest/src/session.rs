@@ -1,0 +1,108 @@
+//! The frozen end state of an ingestion run, served as a
+//! [`TelemetrySource`].
+
+use crate::ingestor::IngestReport;
+use cloudscope_analysis::UtilizationPattern;
+use cloudscope_model::prelude::*;
+use cloudscope_model::trace::TelemetrySource;
+use std::collections::BTreeMap;
+
+/// What one VM's lane froze into.
+#[derive(Debug, Clone)]
+struct FrozenLane {
+    /// Full sealed series (gap-preserving); `None` if no valid sample
+    /// ever sealed — the VM has no telemetry, as `Trace::util` models.
+    series: Option<UtilSeries>,
+    /// Classification at the last window close.
+    pattern: Option<UtilizationPattern>,
+    /// Late-dropped samples of this VM.
+    dropped_late: u64,
+}
+
+/// The immutable result of [`Ingestor::finish`](crate::Ingestor::finish):
+/// per-VM reconstructed telemetry plus the streaming classifications.
+///
+/// As a [`TelemetrySource`] it is interchangeable with a resident
+/// [`Trace`](cloudscope_model::trace::Trace) or the out-of-core store —
+/// the same classifier code runs over all three. On a clean stream the
+/// served series are byte-identical to what batch ingestion of the same
+/// samples produces; under faults, every divergent VM is named by
+/// [`IngestSession::had_drops`].
+#[derive(Debug, Clone)]
+pub struct IngestSession {
+    lanes: BTreeMap<VmId, FrozenLane>,
+    report: IngestReport,
+}
+
+impl IngestSession {
+    /// Freezes per-lane end state (series, last pattern, drop count)
+    /// into a session.
+    pub(crate) fn freeze(
+        lanes: impl Iterator<Item = (VmId, Option<UtilSeries>, Option<UtilizationPattern>, u64)>,
+        report: IngestReport,
+    ) -> Self {
+        Self {
+            lanes: lanes
+                .map(|(vm, series, pattern, dropped_late)| {
+                    (
+                        vm,
+                        FrozenLane {
+                            series,
+                            pattern,
+                            dropped_late,
+                        },
+                    )
+                })
+                .collect(),
+            report,
+        }
+    }
+
+    /// The run's aggregate counters.
+    #[must_use]
+    pub fn report(&self) -> &IngestReport {
+        &self.report
+    }
+
+    /// The streaming classification of `vm` at its last window close;
+    /// `None` if the VM never classified (or never appeared).
+    #[must_use]
+    pub fn pattern(&self, vm: VmId) -> Option<UtilizationPattern> {
+        self.lanes.get(&vm).and_then(|lane| lane.pattern)
+    }
+
+    /// `true` if at least one of `vm`'s samples arrived too late and
+    /// was dropped — the only way a clean-ingest invariant can break,
+    /// so any divergence from batch output must be inside this set.
+    #[must_use]
+    pub fn had_drops(&self, vm: VmId) -> bool {
+        self.lanes
+            .get(&vm)
+            .is_some_and(|lane| lane.dropped_late > 0)
+    }
+
+    /// VMs with at least one late-dropped sample, ascending.
+    pub fn vms_with_drops(&self) -> impl Iterator<Item = VmId> + '_ {
+        self.lanes
+            .iter()
+            .filter(|(_, lane)| lane.dropped_late > 0)
+            .map(|(&vm, _)| vm)
+    }
+
+    /// VMs that ever offered a sample, ascending.
+    pub fn vms(&self) -> impl Iterator<Item = VmId> + '_ {
+        self.lanes.keys().copied()
+    }
+}
+
+impl TelemetrySource for IngestSession {
+    fn load(&self, id: VmId) -> Option<UtilSeries> {
+        self.lanes.get(&id)?.series.clone()
+    }
+
+    fn has(&self, id: VmId) -> bool {
+        self.lanes
+            .get(&id)
+            .is_some_and(|lane| lane.series.is_some())
+    }
+}

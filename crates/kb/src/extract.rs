@@ -66,6 +66,33 @@ pub fn extract_subscription_knowledge(
     max_classified_vms: usize,
     region_agnostic: Option<bool>,
 ) -> Option<WorkloadKnowledge> {
+    extract_subscription_knowledge_from(
+        trace,
+        trace,
+        subscription,
+        classifier,
+        max_classified_vms,
+        region_agnostic,
+        SimTime::WEEK_END,
+    )
+}
+
+/// [`extract_subscription_knowledge`] with telemetry decoupled from VM
+/// metadata: `trace` supplies the subscription's population, `source`
+/// the samples, and `updated_at` stamps the entry — the batch path
+/// passes week-end, a streaming producer passes its window-close time so
+/// the KB's staleness gate orders refreshes correctly.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn extract_subscription_knowledge_from(
+    trace: &Trace,
+    source: &(impl TelemetrySource + ?Sized),
+    subscription: SubscriptionId,
+    classifier: &PatternClassifier,
+    max_classified_vms: usize,
+    region_agnostic: Option<bool>,
+    updated_at: SimTime,
+) -> Option<WorkloadKnowledge> {
     let vm_ids = trace.vms_of_subscription(subscription);
     if vm_ids.is_empty() {
         return None;
@@ -92,7 +119,7 @@ pub fn extract_subscription_knowledge(
                 bounded_short += 1;
             }
         }
-        if let Some(util) = trace.util(vm_id) {
+        if let Some(util) = source.load(vm_id) {
             let offset = (util.start().minutes() / SAMPLE_INTERVAL_MINUTES) as usize;
             for (i, v) in util.iter().enumerate() {
                 let slot = offset + i;
@@ -109,7 +136,7 @@ pub fn extract_subscription_knowledge(
     // deterministically in Figure 5 order (diurnal first).
     let mut votes = [0usize; UtilizationPattern::ALL.len()];
     for &vm_id in vm_ids.iter().take(max_classified_vms) {
-        if let Some(p) = classifier.classify_vm(trace, vm_id) {
+        if let Some(p) = classifier.classify_vm(source, vm_id) {
             let idx = UtilizationPattern::ALL
                 .iter()
                 .position(|&q| q == p)
@@ -158,7 +185,7 @@ pub fn extract_subscription_knowledge(
         region_agnostic,
         vm_count: vm_ids.len(),
         cores,
-        updated_at: SimTime::WEEK_END,
+        updated_at,
     })
 }
 

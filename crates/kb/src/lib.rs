@@ -43,14 +43,17 @@ pub mod query;
 mod shard;
 pub mod store;
 
-pub use extract::{extract_cloud_knowledge, extract_subscription_knowledge};
+pub use extract::{
+    extract_cloud_knowledge, extract_subscription_knowledge, extract_subscription_knowledge_from,
+};
 pub use knowledge::{LifetimeClass, WorkloadKnowledge};
 pub use persist::{
     read_snapshot, write_snapshot, CrashPlan, CrashPoint, DurableKb, PersistError, RecoveryStats,
     SnapshotReport, SyncPolicy,
 };
 pub use pipeline::{
-    run_extraction_pipeline, run_extraction_pipeline_with, PipelineStats, RetryPolicy,
+    publish_batch, run_extraction_pipeline, run_extraction_pipeline_with, PipelineStats,
+    RetryPolicy,
 };
 pub use query::{KbQuery, KbSelector};
 pub use store::{FeedOutcome, KbStore, KnowledgeBase, StoreError};

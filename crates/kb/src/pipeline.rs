@@ -101,6 +101,42 @@ fn retry_failed_entry<S: KbStore + ?Sized>(
     }
 }
 
+/// Publishes one batch of extracted knowledge into any [`KbStore`]: a
+/// single batched write ([`KbStore::try_feed`] — attempt 1 for every
+/// entry), then bounded per-entry retries per `retry` for whatever the
+/// store rejected, with terminal failures counted into
+/// [`PipelineStats::failed`] rather than aborting the batch.
+///
+/// This is the *one* write path into the KB: the batch extraction
+/// pipeline feeds each chunk through it, and the streaming ingestion
+/// service (`cloudscope-ingest`) publishes every closed window through
+/// it — so a durable backend's WAL semantics apply identically to
+/// either producer.
+///
+/// # Panics
+/// Panics if `retry.max_attempts == 0`.
+pub fn publish_batch<S: KbStore + ?Sized>(
+    store: &S,
+    entries: &[WorkloadKnowledge],
+    retry: &RetryPolicy,
+    stats: &mut PipelineStats,
+) {
+    assert!(
+        retry.max_attempts >= 1,
+        "retry policy needs at least one attempt"
+    );
+    if entries.is_empty() {
+        return;
+    }
+    stats.batches += 1;
+    cloudscope_obs::counter("kb.pipeline.batches").inc();
+    let outcome = store.try_feed(entries);
+    stats.stored += outcome.stored;
+    for (index, _first_error) in outcome.failures {
+        retry_failed_entry(store, &entries[index], retry, stats);
+    }
+}
+
 /// Runs the extraction pipeline over every subscription in the trace
 /// with `workers` threads, feeding `kb`. Per-subscription extraction is
 /// independent, so results are identical to a sequential sweep.
@@ -175,18 +211,7 @@ pub fn run_extraction_pipeline_with<S: KbStore + ?Sized>(
         stats.processed += extracted.len();
         let entries: Vec<WorkloadKnowledge> = extracted.into_iter().flatten().collect();
         stats.skipped += chunk.len() - entries.len();
-        if entries.is_empty() {
-            continue;
-        }
-        // One batched write per chunk (attempt 1 for every entry), then
-        // bounded per-entry retries for whatever the store rejected.
-        stats.batches += 1;
-        cloudscope_obs::counter("kb.pipeline.batches").inc();
-        let outcome = store.try_feed(&entries);
-        stats.stored += outcome.stored;
-        for (index, _first_error) in outcome.failures {
-            retry_failed_entry(store, &entries[index], retry, &mut stats);
-        }
+        publish_batch(store, &entries, retry, &mut stats);
     }
     cloudscope_obs::counter("kb.pipeline.processed").add(stats.processed as u64);
     cloudscope_obs::counter("kb.pipeline.stored").add(stats.stored as u64);

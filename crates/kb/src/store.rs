@@ -292,17 +292,6 @@ impl KnowledgeBase {
         self.len() == 0
     }
 
-    /// Snapshot of entries matching a predicate, sorted by subscription.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the typed query API: `KbQuery::matching(predicate).collect(&kb)` \
-                (or an index-backed selector that avoids the full scan)"
-    )]
-    #[must_use]
-    pub fn query<F: Fn(&WorkloadKnowledge) -> bool>(&self, predicate: F) -> Vec<WorkloadKnowledge> {
-        KbQuery::matching(predicate).collect(self)
-    }
-
     /// Read guards over every shard, acquired in shard order (the one
     /// canonical order, so two concurrent queries can never deadlock).
     /// Holding all of them gives the query one atomic view of the store.
@@ -505,20 +494,6 @@ mod tests {
             2
         );
         assert_eq!(KbQuery::shiftable().count(&kb), 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_query_shim_matches_kbquery() {
-        let kb = KnowledgeBase::new();
-        kb.feed([
-            knowledge(1, CloudKind::Public, 0),
-            knowledge(2, CloudKind::Private, 0),
-        ]);
-        let via_shim = kb.query(|k| k.cloud == CloudKind::Public);
-        let via_query = KbQuery::matching(|k| k.cloud == CloudKind::Public).collect(&kb);
-        assert_eq!(via_shim, via_query);
-        assert_eq!(via_shim.len(), 1);
     }
 
     #[test]

@@ -52,6 +52,6 @@ pub mod prelude {
     pub use crate::telemetry::UtilSeries;
     pub use crate::time::{SimDuration, SimTime, Weekday};
     pub use crate::topology::{Cluster, Node, NodeSku, Region, Topology};
-    pub use crate::trace::{Trace, TraceBuilder, TraceStats};
+    pub use crate::trace::{TelemetrySource, Trace, TraceBuilder, TraceStats};
     pub use crate::vm::{Priority, ServiceModel, VmRecord, VmSize};
 }

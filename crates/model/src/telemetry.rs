@@ -23,6 +23,26 @@ pub const MAX_UTILIZATION_PCT: f32 = 100.0;
 /// keeping the time grid intact so gaps never shift later samples.
 const MISSING_SAMPLE: u8 = u8::MAX;
 
+/// Quantizes one utilization percentage to its stored byte: finite
+/// values clamp to `[0, 100]` and round to half-percent steps; non-finite
+/// values map to the missing-sample sentinel. This is *the* quantization
+/// — [`UtilSeries::from_percentages`] applies it per sample, and a
+/// streaming ingester that quantizes at arrival must use it too, so that
+/// its window state is byte-identical to a batch-built series.
+#[must_use]
+pub fn quantize_percentage(v: f32) -> u8 {
+    if v.is_finite() {
+        let clamped = v.clamp(0.0, MAX_UTILIZATION_PCT);
+        (clamped * QUANT_STEPS_PER_PERCENT).round() as u8
+    } else {
+        MISSING_SAMPLE
+    }
+}
+
+/// The stored byte marking a missing sample, for producers assembling
+/// quantized buffers directly (see [`UtilSeries::from_quantized`]).
+pub const MISSING_SAMPLE_BYTE: u8 = MISSING_SAMPLE;
+
 /// A fixed-interval CPU-utilization series for one VM (or one node).
 ///
 /// Samples are average utilization in percent over each 5-minute interval,
@@ -51,17 +71,7 @@ impl UtilSeries {
     where
         I: IntoIterator<Item = f32>,
     {
-        let samples: Vec<u8> = values
-            .into_iter()
-            .map(|v| {
-                if v.is_finite() {
-                    let clamped = v.clamp(0.0, MAX_UTILIZATION_PCT);
-                    (clamped * QUANT_STEPS_PER_PERCENT).round() as u8
-                } else {
-                    MISSING_SAMPLE
-                }
-            })
-            .collect();
+        let samples: Vec<u8> = values.into_iter().map(quantize_percentage).collect();
         cloudscope_obs::counter("model.telemetry.series_created").inc();
         Self {
             start,

@@ -77,17 +77,42 @@ impl TelemetryColumn {
     }
 }
 
-/// A lazy telemetry provider a [`Trace`] can be re-pointed at, so the
-/// existing analyses run out-of-core unchanged: `cloudscope-store`
-/// implements this over its compressed chunk files with a bounded
-/// cache, and [`Trace::util`] pulls each series through it on demand.
+/// The one interface through which analyses consume per-VM telemetry,
+/// whichever way it arrives: resident in a [`Trace`], out-of-core in
+/// `cloudscope-store`'s compressed chunk files (loaded on demand through
+/// a bounded cache), or live from `cloudscope-ingest`'s sliding-window
+/// session. A [`Trace`] can also be re-pointed at a lazy source so the
+/// existing analyses run out-of-core unchanged.
 ///
 /// Implementations must be deterministic — `load` returns the exact
 /// series the resident trace would have held (or `None`), every time —
-/// so a lazy trace is observationally identical to a resident one.
+/// so every representation is observationally identical to a resident
+/// one.
 pub trait TelemetrySource: std::fmt::Debug + Send + Sync {
     /// The series for `id`, or `None` if the VM has no telemetry.
     fn load(&self, id: VmId) -> Option<UtilSeries>;
+
+    /// `true` if the VM has telemetry. The default loads the series and
+    /// discards it; implementations with a cheaper presence check (a
+    /// bitmap, an id index) should override it so candidate scans never
+    /// materialize samples.
+    fn has(&self, id: VmId) -> bool {
+        self.load(id).is_some()
+    }
+}
+
+/// A resident (or lazily re-pointed) trace is itself a telemetry
+/// source: `load` is [`Trace::util`], `has` the cheap presence check.
+/// This is what lets one classifier call run batch, out-of-core, and
+/// streaming without caring which representation backs it.
+impl TelemetrySource for Trace {
+    fn load(&self, id: VmId) -> Option<UtilSeries> {
+        self.util(id)
+    }
+
+    fn has(&self, id: VmId) -> bool {
+        self.has_util(id)
+    }
 }
 
 /// A complete one-week workload trace for one or both clouds.

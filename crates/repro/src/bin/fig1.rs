@@ -2,15 +2,53 @@
 //! box-plots of subscriptions per cluster.
 
 use cloudscope::analysis::deployment::DeploymentSizeAnalysis;
+use cloudscope::model::time::MINUTES_PER_DAY;
+use cloudscope::par::Parallelism;
 use cloudscope::prelude::*;
+use cloudscope::store::{ScanFilter, TraceReader};
 use cloudscope_repro::checks::fig1_checks;
 use cloudscope_repro::{print_ecdf, MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = metrics.load_trace();
     let snapshot = SimTime::from_minutes(2 * 24 * 60 + 14 * 60);
-    let a = DeploymentSizeAnalysis::run(&generated.trace, snapshot).expect("analysis");
+    // Figure 1 is a pure point-in-time metadata analysis, so a
+    // store-backed run pushes the snapshot day into the chunk scan: a
+    // VM alive at the snapshot was created on a (clamped) day <= its
+    // day, and chunks are keyed by creation day, so later-day chunks
+    // are never read. (With --trace-out the full trace is still needed
+    // for the copy, so the pushdown path is skipped.)
+    let a = match (metrics.trace_dir(), metrics.trace_out()) {
+        (Some(dir), None) => {
+            let fail = |what: &str, e: cloudscope::store::StoreError| -> ! {
+                eprintln!("error: {what}: {e}");
+                std::process::exit(2);
+            };
+            let reader = TraceReader::open(dir)
+                .unwrap_or_else(|e| fail(&format!("opening trace store {}", dir.display()), e));
+            let subscriptions = reader
+                .read_subscriptions()
+                .unwrap_or_else(|e| fail("reading subscription table", e));
+            let snapshot_day = u8::try_from(snapshot.minutes() / MINUTES_PER_DAY).expect("day");
+            let records = reader
+                .read_vm_records(
+                    ScanFilter::all().max_day(snapshot_day),
+                    &Parallelism::auto(),
+                )
+                .unwrap_or_else(|e| fail("reading metadata chunks", e));
+            eprintln!(
+                "# pushdown: read {} records from creation days <= {snapshot_day} of {}",
+                records.len(),
+                dir.display()
+            );
+            DeploymentSizeAnalysis::run_from_records(&records, &subscriptions, snapshot)
+        }
+        _ => {
+            let generated = metrics.load_trace();
+            DeploymentSizeAnalysis::run(&generated.trace, snapshot)
+        }
+    }
+    .expect("analysis");
 
     print_ecdf(
         "Fig 1(a) private: VMs per subscription",

@@ -3,13 +3,58 @@
 
 use cloudscope::analysis::temporal::TemporalAnalysis;
 use cloudscope::model::ids::RegionId;
+use cloudscope::par::Parallelism;
+use cloudscope::store::{ScanFilter, TraceReader};
 use cloudscope_repro::checks::fig3_checks;
 use cloudscope_repro::{print_csv, print_ecdf, MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = metrics.load_trace();
-    let a = TemporalAnalysis::run(&generated.trace, RegionId::new(0)).expect("analysis");
+    let sample_region = RegionId::new(0);
+    // Figure 3 is metadata-only: a store-backed run never assembles the
+    // trace. The global curves (lifetimes, per-region CVs) need every
+    // record, but the region-sliced 3(b)/(c) series re-read only the
+    // sample region's chunks through predicate pushdown. (With
+    // --trace-out the full trace is still needed for the copy, so the
+    // pushdown path is skipped.)
+    let a = match (metrics.trace_dir(), metrics.trace_out()) {
+        (Some(dir), None) => {
+            let fail = |what: &str, e: cloudscope::store::StoreError| -> ! {
+                eprintln!("error: {what}: {e}");
+                std::process::exit(2);
+            };
+            let par = Parallelism::auto();
+            let reader = TraceReader::open(dir)
+                .unwrap_or_else(|e| fail(&format!("opening trace store {}", dir.display()), e));
+            let subscriptions = reader
+                .read_subscriptions()
+                .unwrap_or_else(|e| fail("reading subscription table", e));
+            let records = reader
+                .read_vm_records(ScanFilter::all(), &par)
+                .unwrap_or_else(|e| fail("reading metadata chunks", e));
+            let region_records = reader
+                .read_vm_records(ScanFilter::all().region(sample_region.index()), &par)
+                .unwrap_or_else(|e| fail("reading region-sliced metadata chunks", e));
+            eprintln!(
+                "# pushdown: region {} slice holds {} of {} records from {}",
+                sample_region.index(),
+                region_records.len(),
+                records.len(),
+                dir.display()
+            );
+            TemporalAnalysis::run_from_records(
+                &records,
+                &region_records,
+                &subscriptions,
+                sample_region,
+            )
+        }
+        _ => {
+            let generated = metrics.load_trace();
+            TemporalAnalysis::run(&generated.trace, sample_region)
+        }
+    }
+    .expect("analysis");
 
     print_ecdf(
         "Fig 3(a) private: VM lifetime (minutes)",

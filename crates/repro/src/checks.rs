@@ -462,10 +462,22 @@ pub const OVERSUB_EPSILONS: [f64; 6] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.2];
 /// corrupted trace yields (nearly) the same pool a pristine one does.
 #[must_use]
 pub fn oversub_pool(trace: &Trace, cap: usize) -> Vec<VmDemand> {
+    oversub_pool_from(trace, trace, cap)
+}
+
+/// [`oversub_pool`] with telemetry decoupled from VM metadata: `trace`
+/// enumerates the public-cloud population, `source` serves the samples
+/// (resident, out-of-core, or streamed).
+#[must_use]
+pub fn oversub_pool_from(
+    trace: &Trace,
+    source: &(impl TelemetrySource + ?Sized),
+    cap: usize,
+) -> Vec<VmDemand> {
     trace
         .vms_of(CloudKind::Public)
         .filter_map(|vm| {
-            let util = trace.util(vm.id)?;
+            let util = source.load(vm.id)?;
             let (utilization, _) = filled_week_series(&util, MIN_VM_WEEK_COVERAGE)?;
             Some(VmDemand {
                 cores: vm.size.cores(),

@@ -15,7 +15,7 @@ pub mod checks;
 use crate::checks::CheckProfile;
 use cloudscope::prelude::*;
 use cloudscope::stats::Ecdf;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// The trace scale the repro binaries run at, selected through the
 /// `CLOUDSCOPE_TRACE_SCALE` environment variable (`full` is the
@@ -196,6 +196,20 @@ impl MetricsOpt {
             },
             positionals,
         )
+    }
+
+    /// The `--trace-dir` store directory, when one was given — binaries
+    /// whose analysis is metadata-only use it to push their region/day
+    /// predicates into the chunk scan instead of loading the trace.
+    #[must_use]
+    pub fn trace_dir(&self) -> Option<&Path> {
+        self.trace_dir.as_deref()
+    }
+
+    /// The `--trace-out` store directory, when one was given.
+    #[must_use]
+    pub fn trace_out(&self) -> Option<&Path> {
+        self.trace_out.as_deref()
     }
 
     /// Produces the run's trace according to the trace flags:

@@ -13,6 +13,7 @@ use crate::error::StoreError;
 use crate::manifest::{ChunkEntry, Manifest, MANIFEST_NAME};
 use crate::source::StoreTelemetry;
 use bytes::Bytes;
+use cloudscope_model::subscription::Subscription;
 use cloudscope_model::telemetry::UtilSeries;
 use cloudscope_model::time::{SimTime, SAMPLE_INTERVAL_MINUTES};
 use cloudscope_model::trace::Trace;
@@ -32,6 +33,11 @@ pub struct ScanFilter {
     pub region: Option<u32>,
     /// Restrict to one trace-week day.
     pub day: Option<u8>,
+    /// Restrict to days up to and including this one — the snapshot
+    /// pushdown: a VM alive at time `t` was necessarily created on a
+    /// (clamped) day `<= day_of(t)`, so chunks keyed by later creation
+    /// days can be skipped without reading them.
+    pub max_day: Option<u8>,
 }
 
 impl ScanFilter {
@@ -62,10 +68,18 @@ impl ScanFilter {
         self
     }
 
+    /// Restricts the filter to days `<= day`.
+    #[must_use]
+    pub fn max_day(mut self, day: u8) -> Self {
+        self.max_day = Some(day);
+        self
+    }
+
     fn matches(&self, entry: &ChunkEntry) -> bool {
         self.kind.is_none_or(|k| entry.meta.kind == k)
             && self.region.is_none_or(|r| entry.meta.region == r)
             && self.day.is_none_or(|d| entry.meta.day == d)
+            && self.max_day.is_none_or(|d| entry.meta.day <= d)
     }
 }
 
@@ -235,6 +249,52 @@ impl TraceReader {
             .iter()
             .filter(move |e| filter.matches(e))
             .map(move |e| self.read_chunk(e, projection))
+    }
+
+    /// The subscription table from the manifest blob — everything a
+    /// metadata-only analysis needs to resolve a record's cloud,
+    /// without touching a single chunk.
+    ///
+    /// # Errors
+    /// [`StoreError::Missing`] if the blob is absent,
+    /// [`StoreError::Malformed`] if it fails to decode.
+    pub fn read_subscriptions(&self) -> Result<Vec<Subscription>, StoreError> {
+        let manifest_path = self.dir.join(MANIFEST_NAME);
+        decode_subscriptions(&manifest_path, self.read_blob(BLOB_SUBSCRIPTIONS)?)
+    }
+
+    /// Reads the VM records of every metadata chunk matching `filter`
+    /// (the kind is forced to [`ChunkKind::VmMeta`]), decoded in
+    /// parallel and returned in id order.
+    ///
+    /// This is the predicate-pushdown entry point for metadata-only
+    /// analyses: a region or creation-day restriction skips
+    /// non-matching chunks entirely — they are never read, CRC-checked,
+    /// or decompressed — so a sliced scan costs proportionally fewer
+    /// `store.read.chunks` than a full sweep. Unlike
+    /// [`TraceReader::read_trace`], the result is *not* required to be
+    /// dense: it holds exactly the records of the matching chunks.
+    ///
+    /// # Errors
+    /// Any [`StoreError`] from chunk I/O or validation.
+    pub fn read_vm_records(
+        &self,
+        filter: ScanFilter,
+        par: &Parallelism,
+    ) -> Result<Vec<VmRecord>, StoreError> {
+        let entries: Vec<&ChunkEntry> = self.chunks(filter.kind(ChunkKind::VmMeta)).collect();
+        let decoded = par.par_map(&entries, |entry| {
+            match self.read_chunk(entry, Projection::all())? {
+                Batch::VmMeta(b) => b.records(),
+                Batch::Telemetry(_) => unreachable!("filtered to vm-meta"),
+            }
+        });
+        let mut records = Vec::new();
+        for batch in decoded {
+            records.extend(batch?);
+        }
+        records.sort_unstable_by_key(|r| r.id);
+        Ok(records)
     }
 
     /// Reconstructs the full [`Trace`]. In `Resident` mode the result

@@ -197,6 +197,21 @@ impl StoreTelemetry {
 }
 
 impl TelemetrySource for StoreTelemetry {
+    /// Presence without materializing samples: manifest id-range
+    /// pruning plus the resident id index. Only the ids-only projected
+    /// read happens on a cold index — sample payloads never decompress.
+    fn has(&self, id: VmId) -> bool {
+        let raw = id.index();
+        self.entries.iter().enumerate().any(|(idx, entry)| {
+            raw >= entry.meta.min_vm
+                && raw <= entry.meta.max_vm
+                && match self.chunk_ids(idx) {
+                    Ok(ids) => ids.binary_search(&id).is_ok(),
+                    Err(e) => panic!("out-of-core telemetry presence check for {id} failed: {e}"),
+                }
+        })
+    }
+
     fn load(&self, id: VmId) -> Option<UtilSeries> {
         let mut runs = match self.load_runs(id) {
             Ok(runs) => runs,

@@ -116,7 +116,13 @@ CLOUDSCOPE_BENCH_SMOKE=1 cargo bench -q -p cloudscope-bench --bench tracegen > /
 test -s BENCH_tracegen.json || { echo "ERROR: BENCH_tracegen.json not produced" >&2; exit 1; }
 python3 - <<'PY'
 import json, sys
-for path in ("BENCH_analysis.json", "BENCH_kb.json", "BENCH_tracegen.json", "BENCH_store.json"):
+for path in (
+    "BENCH_analysis.json",
+    "BENCH_kb.json",
+    "BENCH_tracegen.json",
+    "BENCH_store.json",
+    "BENCH_ingest.json",
+):
     try:
         results = json.load(open(path))
     except (OSError, ValueError) as e:
@@ -205,6 +211,53 @@ if not ooc < budget < resident:
 print(
     f"    (BENCH_store.json parses: {len(results)} ids; peak heap "
     f"{ooc:.1f} MB out-of-core vs {resident:.1f} MB resident)"
+)
+PY
+
+# Ingest gate: the headline convergence claim must hold in release —
+# the mode the service runs in, where debug asserts are compiled out.
+# A clean stream's classifications converge to the batch classifier
+# output exactly; under the standard fault plan the divergence is
+# bounded and fully accounted for by reported drops. The property
+# suite replays shuffled/duplicated deliveries and stragglers.
+echo "==> ingest gate: streaming/batch convergence + watermark properties (release)"
+cargo test -q -p cloudscope-ingest --test convergence --release
+cargo test -q -p cloudscope-ingest --test properties --release
+cargo test -q -p cloudscope-ingest --test streaming --release
+
+# Ingest bench smoke: a short criterion run must produce a parseable
+# BENCH_ingest.json. The bench binary enforces the acceptance gates
+# in-process (sustained samples/sec floor, p99 offer latency bound,
+# hardware-aware worker scaling) and panics — failing this step — if
+# any regresses. The floors are then re-derived from the JSON it
+# wrote, so a stale or hand-edited BENCH_ingest.json cannot hide a
+# regression.
+echo "==> ingest bench smoke: partitioned live-stream replay at 1/2/4/8 workers"
+rm -f BENCH_ingest.json
+CLOUDSCOPE_BENCH_SMOKE=1 cargo bench -q -p cloudscope-bench --bench ingest > /dev/null
+test -s BENCH_ingest.json || { echo "ERROR: BENCH_ingest.json not produced" >&2; exit 1; }
+python3 - <<'PY'
+import json, os, sys
+results = json.load(open("BENCH_ingest.json"))
+expected = [f"ingest_stream/workers/{w}" for w in (1, 2, 4, 8)] + [
+    f"ingest/samples_per_sec/{w}" for w in (1, 2, 4, 8)
+] + ["ingest/samples_total", "ingest/p50_offer_ns", "ingest/p99_offer_ns"]
+missing = [k for k in expected if k not in results]
+if missing:
+    sys.exit(f"ERROR: BENCH_ingest.json missing ids: {missing}")
+best = max(results[f"ingest/samples_per_sec/{w}"] for w in (1, 2, 4, 8))
+p99 = results["ingest/p99_offer_ns"]
+if best < 200_000:
+    sys.exit(f"ERROR: sustained ingest throughput floor violated: {best:.0f} samples/s")
+if p99 >= 1_000_000:
+    sys.exit(f"ERROR: p99 offer latency bound violated: {p99:.0f} ns")
+cores = os.cpu_count() or 1
+speedup = results["ingest_stream/workers/1"] / results["ingest_stream/workers/8"]
+if cores >= 8 and speedup < 1.2:
+    sys.exit(f"ERROR: ingest worker scaling gate failed: {speedup:.2f}x on {cores}-thread host")
+print(
+    f"    (BENCH_ingest.json parses: {len(results)} ids; best {best:.0f} samples/s, "
+    f"p99 offer {p99:.0f} ns, 1->8 workers {speedup:.2f}x)"
 )
 PY
 

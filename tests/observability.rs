@@ -12,6 +12,7 @@
 use cloudscope::analysis::coverage::filled_week_series;
 use cloudscope::cluster::{ClusterAllocator, PlacementPolicy, PlacementRequest, SpreadingRule};
 use cloudscope::faults::{corrupt_trace, FaultPlan, FlakyStore};
+use cloudscope::ingest::{drive_ingest, IngestConfig};
 use cloudscope::kb::{
     run_extraction_pipeline, run_extraction_pipeline_with, DurableKb, RetryPolicy,
 };
@@ -332,6 +333,58 @@ fn kb_persist_counters_reconcile_with_disk_state() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The streaming-ingestion counters reconcile with the session's own
+/// report: the offer-accounting identity holds both in the report and
+/// in the flushed counters, the drive span fires exactly once per run,
+/// and the backpressure gauge carries the report's peak.
+#[test]
+fn ingest_counters_reconcile_with_session_report() {
+    let g = generate(&GeneratorConfig::small(9110));
+    let registry = Arc::new(Registry::new());
+    let (outcome, diff) = snapshot_diff(&registry, || {
+        drive_ingest(
+            &g.trace,
+            &FaultPlan::standard(9110),
+            &IngestConfig::default(),
+            &PatternClassifier::default(),
+            &KnowledgeBase::new(),
+        )
+    });
+    let report = outcome.session.report();
+
+    // Exhaustive accounting: nothing offered vanishes untallied.
+    assert_eq!(
+        report.samples_offered,
+        report.samples_applied + report.rejected_invalid + report.out_of_week + report.dropped_late
+    );
+    for (name, field) in [
+        ("ingest.samples_offered", report.samples_offered),
+        ("ingest.samples_applied", report.samples_applied),
+        ("ingest.duplicates_collapsed", report.duplicates_collapsed),
+        ("ingest.rejected_invalid", report.rejected_invalid),
+        ("ingest.out_of_week", report.out_of_week),
+        ("ingest.dropped_late", report.dropped_late),
+        ("ingest.windows_closed", report.windows_closed),
+        ("ingest.classifications", report.classifications),
+    ] {
+        assert_counter_eq(&diff, name, field);
+    }
+    assert_eq!(
+        diff.gauge("ingest.backpressure.peak_pending_samples"),
+        Some(report.peak_pending_samples as f64)
+    );
+    let drive = diff
+        .histogram("ingest.drive.duration_ns")
+        .expect("drive span records");
+    assert_eq!(drive.count, 1, "one drive, one span");
+    // Every published batch went through the shared KB pipeline path.
+    assert_counter_eq(
+        &diff,
+        "kb.pipeline.batches",
+        outcome.pipeline_stats.batches as u64,
+    );
+}
+
 /// Work accounting is scheduling-invariant: the same sweep reports the
 /// same `tasks_executed` and `sweeps` for every worker count, even
 /// though stealing and chunking differ run to run.
@@ -522,6 +575,19 @@ fn exercise_all_subsystems() -> Snapshot {
         // corruption counters even when a channel tallies zero.
         let (_, fault_report) = corrupt_trace(&g.trace, &FaultPlan::standard(7));
         assert!(fault_report.samples_in > 0);
+
+        // ingest: one driven streaming run under the standard fault
+        // plan registers the whole ingest.* surface — the offer/drop
+        // accounting counters, the drive/close/publish spans, and the
+        // backpressure gauge.
+        let ingest_outcome = drive_ingest(
+            &g.trace,
+            &FaultPlan::standard(7),
+            &IngestConfig::default(),
+            &PatternClassifier::default(),
+            &KnowledgeBase::new(),
+        );
+        assert!(ingest_outcome.session.report().samples_offered > 0);
 
         // kb, clean then flaky, so the retry/backoff counters register.
         let classifier = PatternClassifier::default();
@@ -724,6 +790,7 @@ fn metric_surface_matches_committed_schema() {
         "cluster.",
         "facade.",
         "faults.",
+        "ingest.",
         "kb.",
         "mgmt.",
         "model.",

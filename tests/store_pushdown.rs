@@ -1,0 +1,125 @@
+//! Predicate pushdown through the trace store: region/day-sliced
+//! metadata reads must touch strictly fewer chunks than a full sweep
+//! while reproducing the trace-backed analyses exactly.
+
+use cloudscope::analysis::deployment::DeploymentSizeAnalysis;
+use cloudscope::analysis::temporal::TemporalAnalysis;
+use cloudscope::model::ids::RegionId;
+use cloudscope::model::time::MINUTES_PER_DAY;
+use cloudscope::obs::testing::snapshot_diff;
+use cloudscope::par::Parallelism;
+use cloudscope::prelude::*;
+use cloudscope::store::{write_trace, ScanFilter, TraceReader, WriteOptions};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A unique temp store directory, removed on drop.
+struct TempStore {
+    path: PathBuf,
+}
+
+impl TempStore {
+    fn new(tag: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("cloudscope-pushdown-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        Self { path }
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+fn chunks_read(diff: &cloudscope::obs::Snapshot) -> u64 {
+    diff.counter("store.read.chunks").unwrap_or(0)
+}
+
+#[test]
+fn sliced_metadata_reads_touch_fewer_chunks_and_agree_with_the_trace() {
+    let g = generate(&GeneratorConfig::small(11));
+    let dir = TempStore::new("sliced");
+    let par = Parallelism::auto();
+    write_trace(&g.trace, &dir.path, WriteOptions::default(), &par).expect("write store");
+    let reader = TraceReader::open(&dir.path).expect("open store");
+    let subscriptions = reader.read_subscriptions().expect("subscriptions blob");
+    assert_eq!(subscriptions, g.trace.subscriptions());
+
+    let registry = Arc::new(cloudscope::obs::Registry::new());
+
+    // Full metadata sweep: every record, in id order.
+    let (all, full_diff) = snapshot_diff(&registry, || {
+        reader
+            .read_vm_records(ScanFilter::all(), &par)
+            .expect("full sweep")
+    });
+    assert_eq!(all, g.trace.vms());
+    let full_chunks = chunks_read(&full_diff);
+    assert!(full_chunks > 1, "small trace must span several chunks");
+
+    // Region pushdown: only the sample region's chunks are read.
+    let region = RegionId::new(0);
+    let (region_records, region_diff) = snapshot_diff(&registry, || {
+        reader
+            .read_vm_records(ScanFilter::all().region(region.index()), &par)
+            .expect("region slice")
+    });
+    assert!(
+        chunks_read(&region_diff) < full_chunks,
+        "region slice read {} of {} chunks",
+        chunks_read(&region_diff),
+        full_chunks
+    );
+    assert!(!region_records.is_empty());
+    assert!(region_records.iter().all(|vm| vm.region == region));
+    let expected: Vec<_> = g
+        .trace
+        .vms()
+        .iter()
+        .filter(|vm| vm.region == region)
+        .cloned()
+        .collect();
+    assert_eq!(region_records, expected);
+
+    // Day pushdown: chunks are keyed by (clamped) creation day, so a
+    // snapshot on day 2 never reads later-day chunks.
+    let snapshot = SimTime::from_minutes(2 * 24 * 60 + 14 * 60);
+    let snapshot_day = u8::try_from(snapshot.minutes() / MINUTES_PER_DAY).expect("day");
+    let (day_records, day_diff) = snapshot_diff(&registry, || {
+        reader
+            .read_vm_records(ScanFilter::all().max_day(snapshot_day), &par)
+            .expect("day slice")
+    });
+    assert!(
+        chunks_read(&day_diff) < full_chunks,
+        "day slice read {} of {} chunks",
+        chunks_read(&day_diff),
+        full_chunks
+    );
+    // The slice is a superset of the VMs alive at the snapshot…
+    assert!(day_records
+        .iter()
+        .all(|vm| vm.created.minutes() < (i64::from(snapshot_day) + 1) * MINUTES_PER_DAY));
+    assert!(g
+        .trace
+        .vms()
+        .iter()
+        .filter(|vm| vm.alive_at(snapshot))
+        .all(|vm| day_records.contains(vm)));
+
+    // …so the pushed-down Figure 1 equals the trace-backed run exactly.
+    let pushed = DeploymentSizeAnalysis::run_from_records(&day_records, &subscriptions, snapshot)
+        .expect("pushed-down fig1");
+    let full = DeploymentSizeAnalysis::run(&g.trace, snapshot).expect("trace fig1");
+    assert_eq!(pushed, full);
+
+    // Figure 3 from records: global curves from the full sweep, the
+    // region-sliced 3(b)/(c) series from the pushed-down slice.
+    let pushed = TemporalAnalysis::run_from_records(&all, &region_records, &subscriptions, region)
+        .expect("pushed-down fig3");
+    let full = TemporalAnalysis::run(&g.trace, region).expect("trace fig3");
+    assert_eq!(pushed, full);
+}
