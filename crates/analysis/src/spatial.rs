@@ -1,6 +1,7 @@
 //! Spatial deployment analyses (Figure 4): regions per subscription and
 //! the core-weighted variant.
 
+use crate::deployment::record_in_cloud;
 use crate::error::AnalysisError;
 use cloudscope_model::prelude::*;
 use cloudscope_stats::Ecdf;
@@ -22,10 +23,22 @@ pub struct SubscriptionExtent {
 /// placed at least one VM.
 #[must_use]
 pub fn subscription_extents(trace: &Trace, cloud: CloudKind) -> Vec<SubscriptionExtent> {
+    subscription_extents_from(trace.vms(), trace.subscriptions(), cloud)
+}
+
+/// Record-slice variant of [`subscription_extents`] — deployment extent
+/// only needs VM metadata, so a pushed-down store read that skips every
+/// telemetry chunk reproduces it exactly.
+#[must_use]
+pub fn subscription_extents_from(
+    records: &[VmRecord],
+    subscriptions: &[Subscription],
+    cloud: CloudKind,
+) -> Vec<SubscriptionExtent> {
     let mut regions: HashMap<SubscriptionId, HashSet<RegionId>> = HashMap::new();
     let mut cores: HashMap<SubscriptionId, u64> = HashMap::new();
-    for vm in trace.vms_of(cloud) {
-        if vm.node.is_none() {
+    for vm in records {
+        if !record_in_cloud(vm, subscriptions, cloud) || vm.node.is_none() {
             continue;
         }
         regions
@@ -56,7 +69,10 @@ pub fn regions_per_subscription_cdf(
     trace: &Trace,
     cloud: CloudKind,
 ) -> Result<Ecdf, AnalysisError> {
-    let extents = subscription_extents(trace, cloud);
+    regions_cdf_from_extents(subscription_extents(trace, cloud))
+}
+
+fn regions_cdf_from_extents(extents: Vec<SubscriptionExtent>) -> Result<Ecdf, AnalysisError> {
     if extents.is_empty() {
         return Err(AnalysisError::NoData("regions per subscription"));
     }
@@ -73,7 +89,12 @@ pub fn core_weighted_regions_cdf(
     trace: &Trace,
     cloud: CloudKind,
 ) -> Result<Vec<(usize, f64)>, AnalysisError> {
-    let extents = subscription_extents(trace, cloud);
+    core_weighted_from_extents(&subscription_extents(trace, cloud))
+}
+
+fn core_weighted_from_extents(
+    extents: &[SubscriptionExtent],
+) -> Result<Vec<(usize, f64)>, AnalysisError> {
     let total: u64 = extents.iter().map(|e| e.cores).sum();
     if total == 0 {
         return Err(AnalysisError::NoData("allocated cores"));
@@ -117,12 +138,27 @@ impl SpatialAnalysis {
     /// # Errors
     /// Returns [`AnalysisError::NoData`] if either cloud is empty.
     pub fn run(trace: &Trace) -> Result<Self, AnalysisError> {
-        let private_core_weighted = core_weighted_regions_cdf(trace, CloudKind::Private)?;
-        let public_core_weighted = core_weighted_regions_cdf(trace, CloudKind::Public)?;
+        Self::run_from_records(trace.vms(), trace.subscriptions())
+    }
+
+    /// Runs the Figure 4 analyses over a bare record slice, as produced
+    /// by a metadata-only store scan (`read_vm_records`) that never
+    /// touches a telemetry chunk.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::NoData`] if either cloud is empty.
+    pub fn run_from_records(
+        records: &[VmRecord],
+        subscriptions: &[Subscription],
+    ) -> Result<Self, AnalysisError> {
+        let private_extents = subscription_extents_from(records, subscriptions, CloudKind::Private);
+        let public_extents = subscription_extents_from(records, subscriptions, CloudKind::Public);
+        let private_core_weighted = core_weighted_from_extents(&private_extents)?;
+        let public_core_weighted = core_weighted_from_extents(&public_extents)?;
         let single_share = |curve: &[(usize, f64)]| curve.first().map_or(0.0, |&(_, f)| f);
         Ok(Self {
-            private_regions: regions_per_subscription_cdf(trace, CloudKind::Private)?,
-            public_regions: regions_per_subscription_cdf(trace, CloudKind::Public)?,
+            private_regions: regions_cdf_from_extents(private_extents)?,
+            public_regions: regions_cdf_from_extents(public_extents)?,
             private_single_region_core_share: single_share(&private_core_weighted),
             public_single_region_core_share: single_share(&public_core_weighted),
             private_core_weighted,

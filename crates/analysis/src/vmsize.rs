@@ -2,6 +2,7 @@
 //! corner-mass statistic that distinguishes the public cloud's demand for
 //! very small and very large VMs.
 
+use crate::deployment::record_in_cloud;
 use crate::error::AnalysisError;
 use cloudscope_model::prelude::*;
 use cloudscope_stats::{Axis, Heatmap};
@@ -13,11 +14,28 @@ use cloudscope_stats::{Axis, Heatmap};
 /// # Errors
 /// Returns [`AnalysisError::NoData`] if the cloud has no VMs.
 pub fn vm_size_heatmap(trace: &Trace, cloud: CloudKind) -> Result<Heatmap, AnalysisError> {
+    vm_size_heatmap_from(trace.vms(), trace.subscriptions(), cloud)
+}
+
+/// Record-slice variant of [`vm_size_heatmap`] — the whole figure is
+/// metadata-only, so a pushed-down store read that skips every
+/// telemetry chunk reproduces it exactly.
+///
+/// # Errors
+/// Returns [`AnalysisError::NoData`] if the cloud has no VMs.
+pub fn vm_size_heatmap_from(
+    records: &[VmRecord],
+    subscriptions: &[Subscription],
+    cloud: CloudKind,
+) -> Result<Heatmap, AnalysisError> {
     let x = Axis::logarithmic(1.0, 128.0, 7).expect("static axis");
     let y = Axis::logarithmic(1.0, 1024.0, 10).expect("static axis");
     let mut heatmap = Heatmap::new(x, y);
     let mut any = false;
-    for vm in trace.vms_of(cloud) {
+    for vm in records {
+        if !record_in_cloud(vm, subscriptions, cloud) {
+            continue;
+        }
         heatmap.push(f64::from(vm.size.cores()), vm.size.memory_gb());
         any = true;
     }
@@ -46,8 +64,21 @@ impl VmSizeAnalysis {
     /// # Errors
     /// Returns [`AnalysisError::NoData`] if either cloud has no VMs.
     pub fn run(trace: &Trace) -> Result<Self, AnalysisError> {
-        let private = vm_size_heatmap(trace, CloudKind::Private)?;
-        let public = vm_size_heatmap(trace, CloudKind::Public)?;
+        Self::run_from_records(trace.vms(), trace.subscriptions())
+    }
+
+    /// Runs the Figure 2 analysis over a bare record slice, as produced
+    /// by a metadata-only store scan (`read_vm_records`) that never
+    /// touches a telemetry chunk.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::NoData`] if either cloud has no VMs.
+    pub fn run_from_records(
+        records: &[VmRecord],
+        subscriptions: &[Subscription],
+    ) -> Result<Self, AnalysisError> {
+        let private = vm_size_heatmap_from(records, subscriptions, CloudKind::Private)?;
+        let public = vm_size_heatmap_from(records, subscriptions, CloudKind::Public)?;
         // Two bins from each edge ≈ the "corner" regions of the figure.
         let private_corner_mass = private.corner_mass(2);
         let public_corner_mass = public.corner_mass(2);

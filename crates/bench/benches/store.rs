@@ -196,8 +196,50 @@ fn verify_acceptance(c: &mut Criterion) {
             .unwrap_or_else(|| panic!("missing bench result {id}"))
             .median_ns
     };
+    let write_serial_ns = median("store_write/parallel/1");
     let write_median_ns = median("store_write/parallel/8");
+    let resident_median_ns = median("store_read/resident");
     let sweep_median_ns = median("store_read/out_of_core_sweep");
+
+    // Overlap gate: the pipelined out-of-core sweep (prefetch +
+    // parallel block decode + retire-aware eviction) must land within
+    // 1.4x of the fully-resident sweep over the same store.
+    let ooc_over_resident = sweep_median_ns / resident_median_ns;
+    c.report_metric("store/out_of_core_over_resident", ooc_over_resident);
+    println!(
+        "store sweep overlap: out-of-core {:.1} ms vs resident {:.1} ms ({ooc_over_resident:.2}x)",
+        sweep_median_ns / 1e6,
+        resident_median_ns / 1e6,
+    );
+    assert!(
+        ooc_over_resident <= 1.4,
+        "pipelined out-of-core sweep must stay within 1.4x of resident, got {ooc_over_resident:.2}x"
+    );
+
+    // Write scaling: the per-(chunk, column) compression fan-out must
+    // actually use extra workers. On a multi-core box 8 workers must
+    // beat 1; a starved CI box can't show a speedup, so there the gate
+    // only bounds the parallel overhead.
+    let write_scaling = write_serial_ns / write_median_ns;
+    c.report_metric("store/write_scaling_1_to_8", write_scaling);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "store write scaling: 1 worker {:.1} ms, 8 workers {:.1} ms ({write_scaling:.2}x on {cores} cores)",
+        write_serial_ns / 1e6,
+        write_median_ns / 1e6,
+    );
+    if cores >= 8 {
+        assert!(
+            write_scaling > 1.15,
+            "8 write workers on {cores} cores must beat 1 measurably, got {write_scaling:.2}x"
+        );
+    } else {
+        assert!(
+            write_scaling > 0.75,
+            "8 write workers on {cores} cores must not cost more than 1.33x serial, \
+             got {write_scaling:.2}x"
+        );
+    }
 
     // Compression: raw vs compressed bytes over every chunk written by
     // this process (the counters are cumulative, the ratio is exact).

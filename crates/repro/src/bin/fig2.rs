@@ -1,13 +1,44 @@
 //! Figure 2: heatmaps of core and memory sizes per VM.
 
 use cloudscope::analysis::vmsize::VmSizeAnalysis;
+use cloudscope::par::Parallelism;
+use cloudscope::store::{ScanFilter, TraceReader};
 use cloudscope_repro::checks::fig2_checks;
 use cloudscope_repro::{MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = metrics.load_trace();
-    let a = VmSizeAnalysis::run(&generated.trace).expect("analysis");
+    // Figure 2 only looks at VM shapes, so a store-backed run reads the
+    // metadata chunks alone and never decodes a telemetry chunk. (With
+    // --trace-out the full trace is still needed for the copy, so the
+    // pushdown path is skipped.)
+    let a = match (metrics.trace_dir(), metrics.trace_out()) {
+        (Some(dir), None) => {
+            let fail = |what: &str, e: cloudscope::store::StoreError| -> ! {
+                eprintln!("error: {what}: {e}");
+                std::process::exit(2);
+            };
+            let reader = TraceReader::open(dir)
+                .unwrap_or_else(|e| fail(&format!("opening trace store {}", dir.display()), e));
+            let subscriptions = reader
+                .read_subscriptions()
+                .unwrap_or_else(|e| fail("reading subscription table", e));
+            let records = reader
+                .read_vm_records(ScanFilter::all(), &Parallelism::auto())
+                .unwrap_or_else(|e| fail("reading metadata chunks", e));
+            eprintln!(
+                "# pushdown: read {} records (metadata only) from {}",
+                records.len(),
+                dir.display()
+            );
+            VmSizeAnalysis::run_from_records(&records, &subscriptions)
+        }
+        _ => {
+            let generated = metrics.load_trace();
+            VmSizeAnalysis::run(&generated.trace)
+        }
+    }
+    .expect("analysis");
 
     for (label, hm) in [("private", &a.private), ("public", &a.public)] {
         println!("## Fig 2 {label}: cores x memory heatmap (fractions)");

@@ -2,13 +2,44 @@
 //! core-weighted.
 
 use cloudscope::analysis::spatial::SpatialAnalysis;
+use cloudscope::par::Parallelism;
+use cloudscope::store::{ScanFilter, TraceReader};
 use cloudscope_repro::checks::fig4_checks;
 use cloudscope_repro::{print_csv, MetricsOpt, ShapeChecks};
 
 fn main() {
     let metrics = MetricsOpt::from_args();
-    let generated = metrics.load_trace();
-    let a = SpatialAnalysis::run(&generated.trace).expect("analysis");
+    // Figure 4 is a pure placement-metadata analysis, so a store-backed
+    // run reads the metadata chunks alone and never decodes a telemetry
+    // chunk. (With --trace-out the full trace is still needed for the
+    // copy, so the pushdown path is skipped.)
+    let a = match (metrics.trace_dir(), metrics.trace_out()) {
+        (Some(dir), None) => {
+            let fail = |what: &str, e: cloudscope::store::StoreError| -> ! {
+                eprintln!("error: {what}: {e}");
+                std::process::exit(2);
+            };
+            let reader = TraceReader::open(dir)
+                .unwrap_or_else(|e| fail(&format!("opening trace store {}", dir.display()), e));
+            let subscriptions = reader
+                .read_subscriptions()
+                .unwrap_or_else(|e| fail("reading subscription table", e));
+            let records = reader
+                .read_vm_records(ScanFilter::all(), &Parallelism::auto())
+                .unwrap_or_else(|e| fail("reading metadata chunks", e));
+            eprintln!(
+                "# pushdown: read {} records (metadata only) from {}",
+                records.len(),
+                dir.display()
+            );
+            SpatialAnalysis::run_from_records(&records, &subscriptions)
+        }
+        _ => {
+            let generated = metrics.load_trace();
+            SpatialAnalysis::run(&generated.trace)
+        }
+    }
+    .expect("analysis");
 
     for (label, cdf) in [
         ("private", &a.private_regions),

@@ -20,16 +20,23 @@
 use crate::crc::crc32;
 use crate::error::StoreError;
 use crate::layout::{Dec, Enc};
+use cloudscope_par::Parallelism;
 use std::path::Path;
 
 /// 8-byte magic opening every chunk file.
 pub(crate) const CHUNK_MAGIC: &[u8; 8] = b"CSCHUNK1";
 /// 8-byte magic closing every chunk file.
 pub(crate) const CHUNK_END_MAGIC: &[u8; 8] = b"CSCKEND1";
-/// Chunk format version.
-const CHUNK_VERSION: u16 = 1;
+/// Chunk format version. v2 splits each column into independently
+/// compressed sub-blocks so decompression can fan out within a single
+/// chunk.
+const CHUNK_VERSION: u16 = 2;
 /// Footer size: file CRC + end magic.
 const FOOTER_LEN: usize = 4 + 8;
+/// Raw bytes per compression sub-block. Large enough that the codec's
+/// 64 KiB window still sees long matches, small enough that a default
+/// 1 MiB column fans out over several decompression tasks.
+pub(crate) const SUB_BLOCK_RAW: usize = 128 << 10;
 
 /// What a chunk stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,24 +142,54 @@ impl DecodedChunk {
     }
 }
 
-/// Encodes a complete chunk file, compressing each column at `level`.
+/// One column compressed into its sub-block series, ready for
+/// assembly into a chunk file. Produced by [`compress_column`] — a pure
+/// function of the column and the level, so the writer can fan
+/// compression out over `(chunk, column)` tasks without changing a
+/// byte of the output.
+#[derive(Debug)]
+pub(crate) struct CompressedColumn {
+    pub(crate) id: u16,
+    pub(crate) raw_len: usize,
+    pub(crate) raw_crc: u32,
+    /// Compressed sub-blocks, each covering [`SUB_BLOCK_RAW`] raw bytes
+    /// (the last one covers the remainder).
+    pub(crate) blocks: Vec<Vec<u8>>,
+}
+
+/// Compresses one raw column into its deterministic sub-block series.
+pub(crate) fn compress_column(col: &RawColumn, level: u8) -> CompressedColumn {
+    let blocks = if col.bytes.is_empty() {
+        Vec::new()
+    } else {
+        col.bytes
+            .chunks(SUB_BLOCK_RAW)
+            .map(|raw| crate::codec::compress(raw, level))
+            .collect()
+    };
+    CompressedColumn {
+        id: col.id,
+        raw_len: col.bytes.len(),
+        raw_crc: crc32(&col.bytes),
+        blocks,
+    }
+}
+
+/// Assembles pre-compressed columns into a complete chunk file.
 /// Returns the file bytes and the raw payload size (for the
 /// compression-ratio metrics).
-pub(crate) fn encode_chunk_file(
+pub(crate) fn assemble_chunk_file(
     meta: &ChunkMeta,
-    columns: &[RawColumn],
+    columns: &[CompressedColumn],
     level: u8,
 ) -> (Vec<u8>, u64) {
-    let mut raw_total = 0u64;
-    let blocks: Vec<(u32, Vec<u8>)> = columns
+    let raw_total: u64 = columns.iter().map(|c| c.raw_len as u64).sum();
+    let blocks_len: usize = columns
         .iter()
-        .map(|col| {
-            raw_total += col.bytes.len() as u64;
-            (crc32(&col.bytes), crate::codec::compress(&col.bytes, level))
-        })
-        .collect();
-
-    let mut e = Enc::with_capacity(blocks.iter().map(|(_, b)| b.len()).sum::<usize>() + 256);
+        .flat_map(|c| c.blocks.iter())
+        .map(Vec::len)
+        .sum();
+    let mut e = Enc::with_capacity(blocks_len + 256);
     e.put_slice(CHUNK_MAGIC);
     e.put_u16(CHUNK_VERSION);
     e.put_u8(meta.kind.tag());
@@ -164,13 +201,16 @@ pub(crate) fn encode_chunk_file(
     e.put_u64(meta.min_vm);
     e.put_u64(meta.max_vm);
     e.put_u16(columns.len() as u16);
-    for (col, (raw_crc, block)) in columns.iter().zip(&blocks) {
+    for col in columns {
         e.put_u16(col.id);
-        e.put_u32(col.bytes.len() as u32);
-        e.put_u32(block.len() as u32);
-        e.put_u32(*raw_crc);
+        e.put_u32(col.raw_len as u32);
+        e.put_u32(col.raw_crc);
+        e.put_u16(col.blocks.len() as u16);
+        for block in &col.blocks {
+            e.put_u32(block.len() as u32);
+        }
     }
-    for (_, block) in &blocks {
+    for block in columns.iter().flat_map(|c| c.blocks.iter()) {
         e.put_slice(block);
     }
     let crc = crc32(e.as_slice());
@@ -179,10 +219,38 @@ pub(crate) fn encode_chunk_file(
     (e.into_vec(), raw_total)
 }
 
+/// Encodes a complete chunk file, compressing each column at `level` —
+/// the serial reference the fanned-out writer must match byte for byte.
+#[cfg(test)]
+pub(crate) fn encode_chunk_file(
+    meta: &ChunkMeta,
+    columns: &[RawColumn],
+    level: u8,
+) -> (Vec<u8>, u64) {
+    let compressed: Vec<CompressedColumn> =
+        columns.iter().map(|c| compress_column(c, level)).collect();
+    assemble_chunk_file(meta, &compressed, level)
+}
+
+/// One column's directory entry: identity, raw extent, and the
+/// compressed length of each of its sub-blocks.
+#[derive(Debug)]
+struct DirEntry {
+    id: u16,
+    raw_len: usize,
+    raw_crc: u32,
+    comp_lens: Vec<usize>,
+}
+
 /// Decodes a chunk file, validating magic, footer CRC, structure, and
 /// per-column raw CRCs. `wanted` limits which columns are
-/// decompressed (`None` = all); the file-level CRC is always checked
-/// over the whole file regardless of projection.
+/// decompressed (`None` = all). When `par` is given, the wanted
+/// sub-blocks decompress as parallel tasks — results are stitched back
+/// in file order, so the output is identical for any worker count.
+///
+/// `verify_file_crc: false` skips the footer-CRC pass for callers that
+/// already validated the exact file bytes against the manifest's
+/// whole-file CRC (one pass covers every flip the footer pass would).
 ///
 /// # Errors
 /// [`StoreError::Corrupt`] (naming `path` and `name`) on any
@@ -192,6 +260,8 @@ pub(crate) fn decode_chunk_file(
     name: &str,
     bytes: &[u8],
     wanted: Option<&[u16]>,
+    par: Option<&Parallelism>,
+    verify_file_crc: bool,
 ) -> Result<DecodedChunk, StoreError> {
     let fail = |reason: String| StoreError::corrupt(path, name, reason);
 
@@ -205,12 +275,14 @@ pub(crate) fn decode_chunk_file(
     if &footer[4..] != CHUNK_END_MAGIC {
         return Err(fail("bad end-of-chunk magic (truncated file?)".to_owned()));
     }
-    let stored_crc = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
-    let actual_crc = crc32(body);
-    if stored_crc != actual_crc {
-        return Err(fail(format!(
-            "file crc mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
-        )));
+    if verify_file_crc {
+        let stored_crc = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
+        let actual_crc = crc32(body);
+        if stored_crc != actual_crc {
+            return Err(fail(format!(
+                "file crc mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+            )));
+        }
     }
 
     let mut d = Dec::new(&body[CHUNK_MAGIC.len()..]);
@@ -235,18 +307,35 @@ pub(crate) fn decode_chunk_file(
         return Err(fail(format!("day {day} out of the trace week")));
     }
 
-    let mut dir: Vec<(u16, usize, usize, u32)> = Vec::with_capacity(col_count);
+    let mut dir: Vec<DirEntry> = Vec::with_capacity(col_count);
     for i in 0..col_count {
         let ctx = |what: &str, e: String| {
             StoreError::corrupt(path, name, format!("column {i} {what}: {e}"))
         };
         let id = d.take_u16().map_err(|e| ctx("id", e))?;
         let raw_len = d.take_u32().map_err(|e| ctx("raw length", e))? as usize;
-        let comp_len = d.take_u32().map_err(|e| ctx("compressed length", e))? as usize;
         let raw_crc = d.take_u32().map_err(|e| ctx("crc", e))?;
-        dir.push((id, raw_len, comp_len, raw_crc));
+        let block_count = d.take_u16().map_err(|e| ctx("block count", e))? as usize;
+        if block_count != raw_len.div_ceil(SUB_BLOCK_RAW) {
+            return Err(fail(format!(
+                "column {i} declares {block_count} sub-blocks for {raw_len} raw bytes"
+            )));
+        }
+        let mut comp_lens = Vec::with_capacity(block_count);
+        for b in 0..block_count {
+            let len = d
+                .take_u32()
+                .map_err(|e| ctx(&format!("sub-block {b} length"), e))?;
+            comp_lens.push(len as usize);
+        }
+        dir.push(DirEntry {
+            id,
+            raw_len,
+            raw_crc,
+            comp_lens,
+        });
     }
-    let blocks_len: usize = dir.iter().map(|&(_, _, c, _)| c).sum();
+    let blocks_len: usize = dir.iter().flat_map(|e| e.comp_lens.iter()).sum();
     if blocks_len != d.remaining() {
         return Err(fail(format!(
             "directory promises {blocks_len} block bytes but {} remain",
@@ -254,23 +343,76 @@ pub(crate) fn decode_chunk_file(
         )));
     }
 
-    let mut columns = Vec::new();
-    for &(id, raw_len, comp_len, raw_crc) in &dir {
-        let block = d
-            .take_slice(comp_len)
-            .map_err(|e| StoreError::corrupt(path, name, format!("column {id} block: {e}")))?;
-        if wanted.is_some_and(|w| !w.contains(&id)) {
+    // One decompression unit per wanted sub-block: the compressed
+    // slice, its expected raw length, and which column it belongs to.
+    struct Unit<'a> {
+        col: usize,
+        block: &'a [u8],
+        raw_len: usize,
+    }
+    let mut units: Vec<Unit<'_>> = Vec::new();
+    let mut decode_cols: Vec<usize> = Vec::new();
+    for (col_idx, entry) in dir.iter().enumerate() {
+        let col_blocks_len: usize = entry.comp_lens.iter().sum();
+        if wanted.is_some_and(|w| !w.contains(&entry.id)) {
+            d.take_slice(col_blocks_len).map_err(|e| {
+                StoreError::corrupt(path, name, format!("column {} block: {e}", entry.id))
+            })?;
             continue;
         }
-        let raw = crate::codec::decompress(block, raw_len)
-            .map_err(|e| StoreError::corrupt(path, name, format!("column {id}: {e}")))?;
+        decode_cols.push(col_idx);
+        for (b, &comp_len) in entry.comp_lens.iter().enumerate() {
+            let block = d.take_slice(comp_len).map_err(|e| {
+                StoreError::corrupt(path, name, format!("column {} block: {e}", entry.id))
+            })?;
+            let raw_len = if b + 1 == entry.comp_lens.len() {
+                entry.raw_len - b * SUB_BLOCK_RAW
+            } else {
+                SUB_BLOCK_RAW
+            };
+            units.push(Unit {
+                col: col_idx,
+                block,
+                raw_len,
+            });
+        }
+    }
+
+    // Decompress every unit — fanned out when a `Parallelism` is given
+    // (and worth spawning for), serial otherwise. Results come back in
+    // unit order either way, so assembly below is order-identical.
+    let decompress_unit = |u: &Unit<'_>| crate::codec::decompress(u.block, u.raw_len);
+    let decoded_blocks: Vec<Result<Vec<u8>, String>> = match par {
+        Some(par) if par.workers() > 1 && units.len() > 1 => par.par_map(&units, decompress_unit),
+        _ => units.iter().map(decompress_unit).collect(),
+    };
+
+    let mut columns = Vec::with_capacity(decode_cols.len());
+    for &col_idx in &decode_cols {
+        let entry = &dir[col_idx];
+        let mut raw = Vec::with_capacity(entry.raw_len);
+        for (unit, block) in units.iter().zip(&decoded_blocks) {
+            if unit.col != col_idx {
+                continue;
+            }
+            let block = block.as_ref().map_err(|e| {
+                StoreError::corrupt(path, name, format!("column {}: {e}", entry.id))
+            })?;
+            if raw.is_empty() && block.len() == entry.raw_len {
+                // Single-block column: adopt the buffer, skip the copy.
+                raw = block.clone();
+            } else {
+                raw.extend_from_slice(block);
+            }
+        }
         let crc = crc32(&raw);
-        if crc != raw_crc {
+        if crc != entry.raw_crc {
             return Err(fail(format!(
-                "column {id} raw crc mismatch: stored {raw_crc:#010x}, computed {crc:#010x}"
+                "column {} raw crc mismatch: stored {:#010x}, computed {crc:#010x}",
+                entry.id, entry.raw_crc
             )));
         }
-        columns.push((id, raw));
+        columns.push((entry.id, raw));
     }
 
     let meta = ChunkMeta {
@@ -321,14 +463,58 @@ mod tests {
         let (file, raw_total) = encode_chunk_file(&meta, &sample_columns(), 2);
         assert_eq!(raw_total, 5100);
         let p = Path::new("test.chunk");
-        let all = decode_chunk_file(p, "test", &file, None).unwrap();
+        let all = decode_chunk_file(p, "test", &file, None, None, true).unwrap();
         assert_eq!(all.meta, meta);
         assert_eq!(all.column(0).unwrap().len(), 100);
         assert_eq!(all.column(3).unwrap(), &[42u8; 5000][..]);
-        let proj = decode_chunk_file(p, "test", &file, Some(&[3])).unwrap();
+        let proj = decode_chunk_file(p, "test", &file, Some(&[3]), None, true).unwrap();
         assert!(proj.column(0).is_none());
         assert!(proj.column(3).is_some());
         assert_eq!(proj.meta.rows, 4);
+    }
+
+    #[test]
+    fn multi_block_columns_roundtrip_serial_and_parallel() {
+        let meta = sample_meta();
+        // Two and a half sub-blocks of patterned, compressible data.
+        let big: Vec<u8> = (0..SUB_BLOCK_RAW * 2 + SUB_BLOCK_RAW / 2)
+            .map(|i| (i / 97) as u8)
+            .collect();
+        let columns = vec![
+            RawColumn {
+                id: 0,
+                bytes: (0u8..200).collect(),
+            },
+            RawColumn {
+                id: 3,
+                bytes: big.clone(),
+            },
+        ];
+        let (file, raw_total) = encode_chunk_file(&meta, &columns, 2);
+        assert_eq!(raw_total as usize, 200 + big.len());
+        let p = Path::new("test.chunk");
+        let serial = decode_chunk_file(p, "test", &file, None, None, true).unwrap();
+        assert_eq!(serial.column(3).unwrap(), &big[..]);
+        for workers in [1, 2, 7] {
+            let par = Parallelism::with_workers(workers);
+            let fanned = decode_chunk_file(p, "test", &file, None, Some(&par), true).unwrap();
+            assert_eq!(fanned.column(0), serial.column(0));
+            assert_eq!(fanned.column(3), serial.column(3));
+        }
+    }
+
+    #[test]
+    fn empty_column_roundtrips() {
+        let meta = sample_meta();
+        let columns = vec![RawColumn {
+            id: 5,
+            bytes: Vec::new(),
+        }];
+        let (file, raw_total) = encode_chunk_file(&meta, &columns, 1);
+        assert_eq!(raw_total, 0);
+        let p = Path::new("test.chunk");
+        let decoded = decode_chunk_file(p, "test", &file, None, None, true).unwrap();
+        assert_eq!(decoded.column(5).unwrap(), &[] as &[u8]);
     }
 
     #[test]
@@ -345,7 +531,7 @@ mod tests {
             let mut bad = file.clone();
             bad[byte] ^= 1;
             assert!(
-                decode_chunk_file(p, "test", &bad, None).is_err(),
+                decode_chunk_file(p, "test", &bad, None, None, true).is_err(),
                 "flip at byte {byte} went undetected"
             );
         }
@@ -357,7 +543,7 @@ mod tests {
         let p = Path::new("test.chunk");
         for cut in 0..file.len() {
             assert!(
-                decode_chunk_file(p, "test", &file[..cut], None).is_err(),
+                decode_chunk_file(p, "test", &file[..cut], None, None, true).is_err(),
                 "truncation to {cut} bytes went undetected"
             );
         }

@@ -735,13 +735,13 @@ mod tests {
         let (file, _) = encode_chunk_file(&meta, &cols.into_columns(), 2);
         let p = Path::new("t.chunk");
 
-        let full = decode_chunk_file(p, "t", &file, None).unwrap();
+        let full = decode_chunk_file(p, "t", &file, None, None, true).unwrap();
         let batch = decode_vm_meta(p, &full).unwrap();
         assert_eq!(batch.records().unwrap(), records);
 
         let proj = Projection::columns(&[Column::Created]);
         let wanted = proj.physical(ChunkKind::VmMeta);
-        let partial = decode_chunk_file(p, "t", &file, Some(&wanted)).unwrap();
+        let partial = decode_chunk_file(p, "t", &file, Some(&wanted), None, true).unwrap();
         let batch = decode_vm_meta(p, &partial).unwrap();
         assert_eq!(batch.ids, vec![VmId::new(5), VmId::new(9)]);
         assert_eq!(
@@ -768,7 +768,7 @@ mod tests {
         };
         let (file, _) = encode_chunk_file(&meta, &cols.into_columns(), 1);
         let p = Path::new("t.chunk");
-        let decoded = decode_chunk_file(p, "t", &file, None).unwrap();
+        let decoded = decode_chunk_file(p, "t", &file, None, None, true).unwrap();
         let batch = decode_telemetry(p, &decoded).unwrap();
         assert_eq!(batch.ids, vec![VmId::new(2), VmId::new(7)]);
         let samples = batch.samples.unwrap();
@@ -796,7 +796,7 @@ mod tests {
         };
         let (file, _) = encode_chunk_file(&meta, &cols.into_columns(), 0);
         let p = Path::new("t.chunk");
-        let decoded = decode_chunk_file(p, "t", &file, None).unwrap();
+        let decoded = decode_chunk_file(p, "t", &file, None, None, true).unwrap();
         assert!(decode_telemetry(p, &decoded).is_err());
     }
 }

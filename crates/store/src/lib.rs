@@ -66,5 +66,5 @@ pub use columns::{Batch, Column, Projection, TelemetryBatch, VmMetaBatch};
 pub use error::StoreError;
 pub use manifest::{ChunkEntry, Manifest, MANIFEST_NAME};
 pub use reader::{ScanFilter, TelemetryMode, TraceReader};
-pub use source::StoreTelemetry;
+pub use source::{PrefetchConfig, StoreTelemetry};
 pub use writer::{store_exists, write_trace, TraceWriter, WriteOptions};

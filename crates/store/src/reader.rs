@@ -196,6 +196,21 @@ impl TraceReader {
         entry: &ChunkEntry,
         projection: Projection,
     ) -> Result<Batch, StoreError> {
+        self.read_chunk_with(entry, projection, None)
+    }
+
+    /// [`TraceReader::read_chunk`] with an optional [`Parallelism`] to
+    /// fan the per-column sub-block decompression out across workers.
+    /// Output is identical at any worker count.
+    ///
+    /// # Errors
+    /// Any [`StoreError`] from I/O or validation.
+    pub(crate) fn read_chunk_with(
+        &self,
+        entry: &ChunkEntry,
+        projection: Projection,
+        par: Option<&Parallelism>,
+    ) -> Result<Batch, StoreError> {
         let path = self.dir.join(entry.meta.file_name());
         let name = entry.meta.name();
         let bytes = std::fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
@@ -218,7 +233,10 @@ impl TraceReader {
             ));
         }
         let wanted = projection.physical(entry.meta.kind);
-        let decoded = decode_chunk_file(&path, &name, &bytes, Some(&wanted))?;
+        // The manifest whole-file CRC above already covered every byte,
+        // so the decoder's footer-CRC pass would be a second scan of
+        // the same bytes — skip it.
+        let decoded = decode_chunk_file(&path, &name, &bytes, Some(&wanted), par, false)?;
         if decoded.meta != entry.meta {
             return Err(StoreError::corrupt(
                 &path,
@@ -360,11 +378,19 @@ impl TraceReader {
                 Ok(builder.build())
             }
             TelemetryMode::OutOfCore { cache_chunks } => {
+                // Records are sorted by dense id, so position = id.
+                let vm_regions: Vec<u32> = records.iter().map(|r| r.region.index()).collect();
                 builder
                     .add_vms_bulk(records, vec![None; vm_count], par)
                     .map_err(|e| StoreError::Inconsistent(e.to_string()))?;
                 let mut trace = builder.build();
-                let source = StoreTelemetry::open(&self.dir, cache_chunks)?;
+                let source = StoreTelemetry::open_with(
+                    &self.dir,
+                    cache_chunks,
+                    crate::source::PrefetchConfig::default(),
+                    *par,
+                )?;
+                source.attach_vm_regions(vm_regions);
                 trace
                     .attach_telemetry_source(present, Arc::new(source))
                     .map_err(|e| StoreError::Inconsistent(e.to_string()))?;

@@ -1,17 +1,47 @@
 //! The out-of-core telemetry source: a [`TelemetrySource`] that loads
 //! per-VM utilization series from the chunk store on demand, through a
-//! bounded LRU cache of decoded telemetry chunks.
+//! bounded LRU cache of decoded telemetry chunks fed by a pipelined
+//! prefetcher.
 //!
 //! A `Trace` re-pointed at this source keeps only VM metadata and a
 //! presence bitmap resident; every analysis that calls `Trace::util`
 //! pulls series through here and observes bit-identical samples.
 //!
+//! # Pipelined reads
+//!
+//! An id-ordered sweep consumes each `(region, day)` lane's chunks in
+//! ascending sequence order, so the next chunk a lane will need is the
+//! successor of the one being demanded now. Three mechanisms overlap
+//! and shrink that work:
+//!
+//! - **Readahead planner**: every demand for chunk `i` plans the next
+//!   [`PrefetchConfig::depth`] chunks along `i`'s lane chain and hands
+//!   them to background decode workers, bounded by a decoded-bytes
+//!   window ([`PrefetchConfig::window_bytes`]) — when the window is
+//!   full no new prefetch is issued (backpressure), and the planner
+//!   simply retries at the next demand.
+//! - **Rendezvous**: demand for a chunk that is already decoding waits
+//!   on the in-flight slot instead of duplicating the decode. A failed
+//!   decode parks a typed [`StoreError`] in the slot; every consumer of
+//!   that chunk — present and future — receives it. Corruption is
+//!   never silent and never reordered past the demand that hit it.
+//! - **Retire-aware eviction**: a chunk whose `max_vm` is below the
+//!   sweep frontier (the highest VM id demanded so far) cannot be
+//!   demanded again by an id-ordered sweep, so eviction removes retired
+//!   chunks first and falls back to strict LRU order only when nothing
+//!   has retired. This keeps sparse lanes' live chunks cached across
+//!   lane transitions without growing the cache.
+//!
+//! Results are byte-identical to the serial reader at any worker
+//! count, prefetch depth, or cache size: the planner only changes
+//! *when* a chunk decodes, never *what* a demand returns.
+//!
 //! Corruption discovered during a lazy load panics with the full
 //! [`StoreError`] display (file and chunk named): `TelemetrySource::
 //! load` returns `Option`, and silently mapping a corrupt chunk to
 //! "no telemetry" would be exactly the quiet data loss this store
-//! exists to prevent. Fail-fast paths that want a typed error instead
-//! validate up front via [`crate::TraceReader::open`].
+//! exists to prevent. Fail-fast paths that want the typed error use
+//! [`StoreTelemetry::try_load`].
 
 use crate::chunk::ChunkKind;
 use crate::columns::{Batch, Projection};
@@ -22,9 +52,59 @@ use bytes::Bytes;
 use cloudscope_model::ids::VmId;
 use cloudscope_model::telemetry::UtilSeries;
 use cloudscope_model::trace::TelemetrySource;
-use cloudscope_obs::counter;
+use cloudscope_obs::{Counter, Gauge, Histogram};
+use cloudscope_par::{Parallelism, PoolHandle, TaskPool};
+use std::collections::HashMap;
 use std::path::Path;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Tuning for the pipelined read path.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchConfig {
+    /// Background decode workers. `0` auto-sizes to the machine: one
+    /// worker per available core, capped at 4.
+    pub workers: usize,
+    /// How many chunks ahead to plan along each lane chain. `0`
+    /// disables prefetching entirely (pure demand path).
+    pub depth: usize,
+    /// Decoded-bytes budget for in-flight and not-yet-consumed
+    /// prefetches. A full window applies backpressure: no new prefetch
+    /// is issued until a consumer drains a slot.
+    pub window_bytes: usize,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            depth: 2,
+            window_bytes: 2 << 20,
+        }
+    }
+}
+
+impl PrefetchConfig {
+    /// A configuration with prefetching disabled.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            workers: 0,
+            depth: 0,
+            window_bytes: 0,
+        }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(4)
+    }
+}
 
 /// One decoded telemetry chunk held by the cache. Row order matches
 /// the chunk's id column (held separately in the id index).
@@ -32,6 +112,14 @@ use std::sync::{Arc, Mutex, OnceLock};
 struct CachedChunk {
     starts: Vec<i64>,
     samples: Vec<Bytes>,
+}
+
+impl CachedChunk {
+    /// Approximate decoded footprint, charged against the window.
+    fn decoded_bytes(&self) -> usize {
+        self.starts.len() * (std::mem::size_of::<i64>() + std::mem::size_of::<Bytes>())
+            + self.samples.iter().map(|b| b.len()).sum::<usize>()
+    }
 }
 
 /// Least-recently-used cache of decoded telemetry chunks, keyed by
@@ -51,38 +139,172 @@ impl LruCache {
         Some(chunk)
     }
 
-    fn insert(&mut self, key: usize, chunk: Arc<CachedChunk>, capacity: usize) {
-        self.entries.push((key, chunk));
-        while self.entries.len() > capacity {
-            self.entries.remove(0);
-            counter("store.cache.evictions").inc();
+    fn contains(&self, key: usize) -> bool {
+        self.entries.iter().any(|(k, _)| *k == key)
+    }
+}
+
+/// Where a rendezvous slot came from — only prefetch-issued slots
+/// count toward the `store.prefetch.*` hit/wasted reconciliation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotOrigin {
+    Prefetch,
+    Demand,
+}
+
+/// A chunk decode in flight (or parked): the rendezvous point between
+/// the planner, the decode workers, and demand.
+#[derive(Debug)]
+enum SlotState {
+    Running,
+    Ready(Arc<CachedChunk>),
+    Failed(Arc<StoreError>),
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: SlotState,
+    origin: SlotOrigin,
+    /// Bytes currently charged against the window for this slot — an
+    /// estimate while `Running`, corrected to the actual decoded size
+    /// at `Ready`, zeroed at `Failed`.
+    accounted: usize,
+}
+
+/// Mutable pipeline state, guarded by one mutex.
+#[derive(Debug, Default)]
+struct State {
+    lru: LruCache,
+    slots: HashMap<usize, Slot>,
+    /// Bytes charged for all live slots.
+    window_used: usize,
+    /// Running prefetch slots (the `store.prefetch.in_flight` gauge).
+    running_prefetches: usize,
+    /// Highest VM id demanded so far — the sweep frontier that lets
+    /// eviction retire chunks no id-ordered sweep will revisit.
+    frontier: u64,
+}
+
+/// Metric handles resolved once at open time, so every recording —
+/// including those from pool worker threads and the final drop —
+/// lands in the opener's registry, and every metric exists (at zero)
+/// from the moment the source opens.
+#[derive(Debug)]
+struct Metrics {
+    cache_hits: Counter,
+    cache_misses: Counter,
+    evictions: Counter,
+    series_loaded: Counter,
+    prefetch_issued: Counter,
+    prefetch_hits: Counter,
+    prefetch_wasted: Counter,
+    prefetch_in_flight: Gauge,
+    prefetch_decode_ns: Histogram,
+}
+
+impl Metrics {
+    fn resolve() -> Self {
+        let reg = cloudscope_obs::current();
+        Self {
+            cache_hits: reg.counter("store.cache.hits"),
+            cache_misses: reg.counter("store.cache.misses"),
+            evictions: reg.counter("store.cache.evictions"),
+            series_loaded: reg.counter("store.read.series_loaded"),
+            prefetch_issued: reg.counter("store.prefetch.issued"),
+            prefetch_hits: reg.counter("store.prefetch.hits"),
+            prefetch_wasted: reg.counter("store.prefetch.wasted"),
+            prefetch_in_flight: reg.gauge("store.prefetch.in_flight"),
+            prefetch_decode_ns: reg.histogram("store.prefetch.decode_ns"),
         }
     }
+}
+
+/// Everything the pipeline shares between the demand thread and the
+/// decode workers. Worker jobs hold only a [`Weak`] reference, so the
+/// pool can always be joined without a job keeping `Inner` alive.
+#[derive(Debug)]
+struct Inner {
+    reader: TraceReader,
+    /// Telemetry chunk entries, in manifest order.
+    entries: Vec<ChunkEntry>,
+    /// Per-chunk sorted id membership. Populated by any full decode of
+    /// the chunk (prefetched or demanded) or, when presence is probed
+    /// before the chunk body is needed, by a cheap ids-only projected
+    /// read. VM ids are contiguous per *subscription*, not per region,
+    /// so the `min_vm..max_vm` ranges of different regions' chunks
+    /// interleave — without this index every lookup would decompress
+    /// each range-overlapping chunk just to miss its binary search.
+    /// The index is the only per-chunk state that stays resident:
+    /// 8 bytes per telemetry run, ~1% of the samples.
+    ids: Vec<OnceLock<Arc<Vec<VmId>>>>,
+    /// `lane_next[i]` = the chunk after `i` in `i`'s (region, day)
+    /// lane, in ascending sequence order — the readahead chain.
+    lane_next: Vec<Option<usize>>,
+    /// Entry indices per region, in manifest order.
+    by_region: HashMap<u32, Vec<usize>>,
+    /// Dense VM-id → region map, when the opener already holds the
+    /// metadata (the `read_trace` path always does). A VM's telemetry
+    /// lives only in its own region's lanes, so with this map a lookup
+    /// probes ~`days` chunks instead of every chunk whose interleaved
+    /// `min_vm..max_vm` range happens to cover the id — which also
+    /// stops cross-region probes from forcing ids-only reads of chunks
+    /// that were about to be prefetched anyway.
+    vm_regions: OnceLock<Vec<u32>>,
+    cache_chunks: usize,
+    cfg: PrefetchConfig,
+    par: Parallelism,
+    metrics: Metrics,
+    state: Mutex<State>,
+    /// Signalled whenever a slot transitions out of `Running`.
+    ready: Condvar,
 }
 
 /// Lazy telemetry over a committed trace directory.
 #[derive(Debug)]
 pub struct StoreTelemetry {
-    reader: TraceReader,
-    /// Telemetry chunk entries, in manifest order.
-    entries: Vec<ChunkEntry>,
-    /// Per-chunk sorted id membership, each loaded once through an
-    /// ids-only projected read (the id column decompresses alone,
-    /// without the sample payloads). VM ids are contiguous per
-    /// *subscription*, not per region, so the `min_vm..max_vm` ranges
-    /// of different regions' chunks interleave — without this index
-    /// every lookup would decompress each range-overlapping chunk just
-    /// to miss its binary search, and a VM-ordered sweep would thrash
-    /// any bounded cache. The index is the only per-chunk state that
-    /// stays resident: 8 bytes per telemetry run, ~1% of the samples.
-    ids: Vec<OnceLock<Arc<Vec<VmId>>>>,
-    cache: Mutex<LruCache>,
-    cache_chunks: usize,
+    /// Declared (and therefore dropped) before `inner`: dropping the
+    /// pool joins the workers, so no decode job can outlive the state
+    /// it records into.
+    pool: Option<TaskPool>,
+    inner: Arc<Inner>,
+}
+
+/// Rebuilds a [`StoreError`] for a second consumer of a parked
+/// failure. `StoreError` holds a non-clonable `std::io::Error`, so the
+/// I/O variant is reconstructed from its kind and message. Variants
+/// are built directly — the corruption counter was already bumped when
+/// the original error was raised.
+fn clone_error(e: &StoreError) -> StoreError {
+    match e {
+        StoreError::Io { file, source } => StoreError::Io {
+            file: file.clone(),
+            source: std::io::Error::new(source.kind(), source.to_string()),
+        },
+        StoreError::Malformed { file, reason } => StoreError::Malformed {
+            file: file.clone(),
+            reason: reason.clone(),
+        },
+        StoreError::Corrupt {
+            file,
+            chunk,
+            reason,
+        } => StoreError::Corrupt {
+            file: file.clone(),
+            chunk: chunk.clone(),
+            reason: reason.clone(),
+        },
+        StoreError::Missing { file, chunk } => StoreError::Missing {
+            file: file.clone(),
+            chunk: chunk.clone(),
+        },
+        StoreError::Inconsistent(reason) => StoreError::Inconsistent(reason.clone()),
+    }
 }
 
 impl StoreTelemetry {
     /// Opens the store at `dir` as a telemetry source with a cache of
-    /// at most `cache_chunks` decoded chunks (minimum 1).
+    /// at most `cache_chunks` decoded chunks (minimum 1) and default
+    /// prefetching.
     ///
     /// `cache_chunks == 0` auto-sizes the cache to the id-ordered sweep
     /// working set: one chunk per distinct (region, day) lane plus one.
@@ -95,6 +317,27 @@ impl StoreTelemetry {
     /// # Errors
     /// Any [`StoreError`] from [`TraceReader::open`].
     pub fn open(dir: impl AsRef<Path>, cache_chunks: usize) -> Result<Self, StoreError> {
+        Self::open_with(
+            dir,
+            cache_chunks,
+            PrefetchConfig::default(),
+            Parallelism::default(),
+        )
+    }
+
+    /// [`StoreTelemetry::open`] with explicit pipeline tuning: `cfg`
+    /// shapes the prefetcher, `par` fans out sub-block decompression
+    /// inside each chunk decode. Every combination returns
+    /// byte-identical series.
+    ///
+    /// # Errors
+    /// Any [`StoreError`] from [`TraceReader::open`].
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        cache_chunks: usize,
+        cfg: PrefetchConfig,
+        par: Parallelism,
+    ) -> Result<Self, StoreError> {
         let reader = TraceReader::open(dir.as_ref())?;
         let entries: Vec<ChunkEntry> = reader
             .chunks(ScanFilter::all().kind(ChunkKind::Telemetry))
@@ -109,26 +352,160 @@ impl StoreTelemetry {
         } else {
             cache_chunks
         };
+
+        // Chain each lane's chunks in ascending sequence order.
+        let mut lane_order: HashMap<(u32, u8), Vec<usize>> = HashMap::new();
+        for (idx, entry) in entries.iter().enumerate() {
+            lane_order
+                .entry((entry.meta.region, entry.meta.day))
+                .or_default()
+                .push(idx);
+        }
+        let mut lane_next: Vec<Option<usize>> = vec![None; entries.len()];
+        for lane in lane_order.values_mut() {
+            lane.sort_by_key(|&i| entries[i].meta.seq);
+            for pair in lane.windows(2) {
+                lane_next[pair[0]] = Some(pair[1]);
+            }
+        }
+        let mut by_region: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (idx, entry) in entries.iter().enumerate() {
+            by_region.entry(entry.meta.region).or_default().push(idx);
+        }
+
         let ids = entries.iter().map(|_| OnceLock::new()).collect();
-        Ok(Self {
+        let inner = Arc::new(Inner {
             reader,
             entries,
             ids,
-            cache: Mutex::new(LruCache::default()),
+            lane_next,
+            by_region,
+            vm_regions: OnceLock::new(),
             cache_chunks: cache_chunks.max(1),
-        })
+            cfg,
+            par,
+            metrics: Metrics::resolve(),
+            state: Mutex::new(State::default()),
+            ready: Condvar::new(),
+        });
+        let pool = (cfg.depth > 0).then(|| TaskPool::new(cfg.resolved_workers()));
+        Ok(Self { pool, inner })
     }
 
     /// Decoded-chunk cache capacity.
     #[must_use]
     pub fn cache_capacity(&self) -> usize {
-        self.cache_chunks
+        self.inner.cache_chunks
     }
 
-    /// The sorted id column of the telemetry chunk at `idx`, loaded
-    /// once through an ids-only projected read. A lost set race only
-    /// duplicates that one cheap read.
+    /// The runs for `id`, or the typed error naming the chunk that
+    /// failed — including a failure first hit by a background prefetch
+    /// worker, which parks in the chunk's slot and surfaces here on the
+    /// consuming thread.
+    ///
+    /// # Errors
+    /// Any [`StoreError`] from chunk I/O or validation.
+    pub fn try_load(&self, id: VmId) -> Result<Option<UtilSeries>, StoreError> {
+        let mut runs = self.load_runs(id)?;
+        if runs.is_empty() {
+            return Ok(None);
+        }
+        let series = assemble_series(id.index(), &mut runs).map_err(StoreError::Inconsistent)?;
+        self.inner.metrics.series_loaded.inc();
+        Ok(Some(series))
+    }
+
+    /// Restricts lookups for each VM to its own region's lanes. The
+    /// map must be dense (index = VM id); `read_trace` derives it from
+    /// the metadata chunks it decodes anyway, so attaching costs no
+    /// extra I/O. First attach wins; ids beyond the map fall back to
+    /// the all-regions probe.
+    pub(crate) fn attach_vm_regions(&self, regions: Vec<u32>) {
+        let _ = self.inner.vm_regions.set(regions);
+    }
+
+    /// The runs for `id`. Chunks are pruned to the VM's region (when
+    /// the region map is attached), then by the manifest id range, then
+    /// by the id index; the full chunk decodes only when the VM
+    /// actually has a run in it (rows are sorted by id, at most one
+    /// per chunk).
+    fn load_runs(&self, id: VmId) -> Result<Vec<(i64, Bytes)>, StoreError> {
+        let raw = id.index();
+        let region_entries = self
+            .inner
+            .vm_regions
+            .get()
+            .and_then(|regions| regions.get(usize::try_from(raw).ok()?))
+            .and_then(|region| self.inner.by_region.get(region));
+        let probe = |idx: usize, runs: &mut Vec<(i64, Bytes)>| -> Result<(), StoreError> {
+            let entry = &self.inner.entries[idx];
+            if raw < entry.meta.min_vm || raw > entry.meta.max_vm {
+                return Ok(());
+            }
+            let Ok(row) = self.inner.chunk_ids(idx)?.binary_search(&id) else {
+                return Ok(());
+            };
+            let chunk = self.inner.demand_chunk(idx, raw, self.pool.as_ref())?;
+            runs.push((chunk.starts[row], chunk.samples[row].clone()));
+            Ok(())
+        };
+        let mut runs = Vec::new();
+        match region_entries {
+            Some(indices) => {
+                for &idx in indices {
+                    probe(idx, &mut runs)?;
+                }
+            }
+            None => {
+                for idx in 0..self.inner.entries.len() {
+                    probe(idx, &mut runs)?;
+                }
+            }
+        }
+        Ok(runs)
+    }
+}
+
+impl Drop for StoreTelemetry {
+    fn drop(&mut self) {
+        // Join the workers first so no job mutates state concurrently.
+        self.pool.take();
+        let mut state = self.inner.state.lock().expect("store state lock");
+        let wasted = state
+            .slots
+            .values()
+            .filter(|s| s.origin == SlotOrigin::Prefetch)
+            .count();
+        self.inner.metrics.prefetch_wasted.add(wasted as u64);
+        state.slots.clear();
+        state.running_prefetches = 0;
+        self.inner.metrics.prefetch_in_flight.set(0.0);
+    }
+}
+
+impl Inner {
+    /// The sorted id column of the telemetry chunk at `idx`. Served
+    /// from the resident index when any earlier full decode populated
+    /// it; otherwise loaded through an ids-only projected read (the id
+    /// column decompresses alone, without the sample payloads). A lost
+    /// set race only duplicates that one cheap read.
     fn chunk_ids(&self, idx: usize) -> Result<Arc<Vec<VmId>>, StoreError> {
+        if let Some(ids) = self.ids[idx].get() {
+            return Ok(Arc::clone(ids));
+        }
+        // A decode already in flight will populate the index as a side
+        // effect — wait for it instead of re-reading the file for the
+        // id column alone. (A parked failure falls through: the
+        // ids-only read below surfaces the same typed error.)
+        {
+            let mut state = self.state.lock().expect("store state lock");
+            while matches!(
+                state.slots.get(&idx).map(|s| &s.state),
+                Some(SlotState::Running)
+            ) {
+                state = self.ready.wait(state).expect("store state lock");
+            }
+        }
         if let Some(ids) = self.ids[idx].get() {
             return Ok(Arc::clone(ids));
         }
@@ -144,17 +521,15 @@ impl StoreTelemetry {
         Ok(ids)
     }
 
-    /// Fetches (or decodes) the telemetry chunk at `idx`.
-    fn chunk(&self, idx: usize) -> Result<Arc<CachedChunk>, StoreError> {
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(idx) {
-            counter("store.cache.hits").inc();
-            return Ok(hit);
-        }
-        counter("store.cache.misses").inc();
-        let batch = match self
-            .reader
-            .read_chunk(&self.entries[idx], Projection::all())?
-        {
+    /// Fully decodes the chunk at `idx` (all columns), populating the
+    /// resident id index as a side effect. Runs on demand threads and
+    /// on prefetch workers alike.
+    fn decode_chunk(&self, idx: usize) -> Result<Arc<CachedChunk>, StoreError> {
+        let batch = match self.reader.read_chunk_with(
+            &self.entries[idx],
+            Projection::all(),
+            Some(&self.par),
+        )? {
             Batch::Telemetry(b) => b,
             Batch::VmMeta(_) => unreachable!("entry table holds telemetry chunks only"),
         };
@@ -164,35 +539,197 @@ impl StoreTelemetry {
         let samples = batch.samples.ok_or_else(|| {
             StoreError::Inconsistent(format!("chunk {}: no samples column", batch.chunk))
         })?;
-        let chunk = Arc::new(CachedChunk {
+        let _ = self.ids[idx].set(Arc::new(batch.ids));
+        Ok(Arc::new(CachedChunk {
             starts: starts.into_iter().map(|t| t.minutes()).collect(),
             samples,
-        });
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .insert(idx, Arc::clone(&chunk), self.cache_chunks);
-        Ok(chunk)
+        }))
     }
 
-    /// The runs for `id`, or an error naming the chunk that failed.
-    /// Chunks are pruned by the manifest id range, then by the id
-    /// index; the full chunk decompresses only when the VM actually
-    /// has a run in it (rows are sorted by id, at most one per chunk).
-    fn load_runs(&self, id: VmId) -> Result<Vec<(i64, Bytes)>, StoreError> {
-        let mut runs = Vec::new();
-        for (idx, entry) in self.entries.iter().enumerate() {
-            let raw = id.index();
-            if raw < entry.meta.min_vm || raw > entry.meta.max_vm {
+    /// Window charge for a not-yet-decoded chunk: the compressed file
+    /// length scaled by a conservative expansion factor. Corrected to
+    /// the actual decoded size when the slot turns `Ready`.
+    fn estimate_decoded(&self, idx: usize) -> usize {
+        (self.entries[idx].file_len as usize).saturating_mul(2)
+    }
+
+    /// Inserts a decoded chunk, evicting retired chunks first (their
+    /// `max_vm` is behind the sweep frontier, so an id-ordered sweep
+    /// cannot demand them again) and falling back to LRU order.
+    fn insert_into_cache(&self, state: &mut State, idx: usize, chunk: Arc<CachedChunk>) {
+        state.lru.entries.push((idx, chunk));
+        while state.lru.entries.len() > self.cache_chunks {
+            let victim = state
+                .lru
+                .entries
+                .iter()
+                .position(|&(k, _)| self.entries[k].meta.max_vm < state.frontier)
+                .unwrap_or(0);
+            state.lru.entries.remove(victim);
+            self.metrics.evictions.inc();
+        }
+    }
+
+    /// Plans prefetches for the successors of `idx` along its lane
+    /// chain, bounded by depth and the decoded-bytes window.
+    fn plan_after(self: &Arc<Self>, state: &mut State, idx: usize, pool: &PoolHandle) {
+        let mut next = self.lane_next[idx];
+        for _ in 0..self.cfg.depth {
+            let Some(candidate) = next else { break };
+            if state.lru.contains(candidate) || state.slots.contains_key(&candidate) {
+                next = self.lane_next[candidate];
                 continue;
             }
-            let Ok(row) = self.chunk_ids(idx)?.binary_search(&id) else {
-                continue;
-            };
-            let chunk = self.chunk(idx)?;
-            runs.push((chunk.starts[row], chunk.samples[row].clone()));
+            let estimate = self.estimate_decoded(candidate);
+            if state.window_used + estimate > self.cfg.window_bytes {
+                break; // backpressure: the window is full
+            }
+            state.slots.insert(
+                candidate,
+                Slot {
+                    state: SlotState::Running,
+                    origin: SlotOrigin::Prefetch,
+                    accounted: estimate,
+                },
+            );
+            state.window_used += estimate;
+            state.running_prefetches += 1;
+            self.metrics.prefetch_issued.inc();
+            self.metrics
+                .prefetch_in_flight
+                .set(state.running_prefetches as f64);
+            pool.submit({
+                let weak = Arc::downgrade(self);
+                move || {
+                    if let Some(inner) = weak.upgrade() {
+                        inner.run_prefetch(candidate);
+                    }
+                }
+            });
+            next = self.lane_next[candidate];
         }
-        Ok(runs)
+    }
+
+    /// A decode worker's job: decode `idx` and fulfil its slot.
+    fn run_prefetch(self: &Arc<Self>, idx: usize) {
+        let started = Instant::now();
+        let result = self.decode_chunk(idx);
+        let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.metrics.prefetch_decode_ns.observe(elapsed);
+        let mut state = self.state.lock().expect("store state lock");
+        let Some(slot) = state.slots.get_mut(&idx) else {
+            return; // cancelled at shutdown
+        };
+        let accounted = slot.accounted;
+        match result {
+            Ok(chunk) => {
+                let actual = chunk.decoded_bytes();
+                slot.accounted = actual;
+                slot.state = SlotState::Ready(chunk);
+                state.window_used = state.window_used - accounted + actual;
+            }
+            Err(e) => {
+                slot.accounted = 0;
+                slot.state = SlotState::Failed(Arc::new(e));
+                state.window_used -= accounted;
+            }
+        }
+        state.running_prefetches -= 1;
+        self.metrics
+            .prefetch_in_flight
+            .set(state.running_prefetches as f64);
+        self.ready.notify_all();
+    }
+
+    /// Demand entry point: returns the decoded chunk at `idx`, serving
+    /// from the cache, rendezvousing with an in-flight prefetch, or
+    /// decoding on this thread — and plans readahead either way.
+    /// `demand_vm` advances the sweep frontier for retire-aware
+    /// eviction.
+    fn demand_chunk(
+        self: &Arc<Self>,
+        idx: usize,
+        demand_vm: u64,
+        pool: Option<&TaskPool>,
+    ) -> Result<Arc<CachedChunk>, StoreError> {
+        let pool_handle = pool.map(TaskPool::handle);
+        let mut state = self.state.lock().expect("store state lock");
+        state.frontier = state.frontier.max(demand_vm);
+        loop {
+            if let Some(hit) = state.lru.get(idx) {
+                self.metrics.cache_hits.inc();
+                return Ok(hit);
+            }
+            match state.slots.get(&idx).map(|s| (&s.state, s.origin)) {
+                Some((SlotState::Ready(_), origin)) => {
+                    let slot = state.slots.remove(&idx).expect("slot present");
+                    let SlotState::Ready(chunk) = slot.state else {
+                        unreachable!("matched Ready above")
+                    };
+                    state.window_used -= slot.accounted;
+                    self.metrics.cache_misses.inc();
+                    if origin == SlotOrigin::Prefetch {
+                        self.metrics.prefetch_hits.inc();
+                    }
+                    self.insert_into_cache(&mut state, idx, Arc::clone(&chunk));
+                    if let Some(handle) = &pool_handle {
+                        self.plan_after(&mut state, idx, handle);
+                    }
+                    return Ok(chunk);
+                }
+                Some((SlotState::Running, _)) => {
+                    state = self.ready.wait(state).expect("store state lock");
+                }
+                Some((SlotState::Failed(e), _)) => {
+                    // The slot keeps its parked error: every demand for
+                    // this chunk fails the same way, loudly.
+                    return Err(clone_error(e));
+                }
+                None => break,
+            }
+        }
+
+        // Cold miss: rendezvous as a demand decode, plan readahead so
+        // the workers run ahead while this thread decodes, then decode
+        // here.
+        self.metrics.cache_misses.inc();
+        let estimate = self.estimate_decoded(idx);
+        state.slots.insert(
+            idx,
+            Slot {
+                state: SlotState::Running,
+                origin: SlotOrigin::Demand,
+                accounted: estimate,
+            },
+        );
+        state.window_used += estimate;
+        if let Some(handle) = &pool_handle {
+            self.plan_after(&mut state, idx, handle);
+        }
+        drop(state);
+
+        let result = self.decode_chunk(idx);
+        let mut state = self.state.lock().expect("store state lock");
+        let outcome = match result {
+            Ok(chunk) => {
+                let slot = state.slots.remove(&idx).expect("demand slot present");
+                state.window_used -= slot.accounted;
+                self.insert_into_cache(&mut state, idx, Arc::clone(&chunk));
+                Ok(chunk)
+            }
+            Err(e) => {
+                let shared = Arc::new(e);
+                if let Some(slot) = state.slots.get_mut(&idx) {
+                    let accounted = std::mem::take(&mut slot.accounted);
+                    slot.state = SlotState::Failed(Arc::clone(&shared));
+                    state.window_used -= accounted;
+                }
+                Err(clone_error(&shared))
+            }
+        };
+        drop(state);
+        self.ready.notify_all();
+        outcome
     }
 }
 
@@ -202,29 +739,31 @@ impl TelemetrySource for StoreTelemetry {
     /// read happens on a cold index — sample payloads never decompress.
     fn has(&self, id: VmId) -> bool {
         let raw = id.index();
-        self.entries.iter().enumerate().any(|(idx, entry)| {
+        let probe = |idx: usize| {
+            let entry = &self.inner.entries[idx];
             raw >= entry.meta.min_vm
                 && raw <= entry.meta.max_vm
-                && match self.chunk_ids(idx) {
+                && match self.inner.chunk_ids(idx) {
                     Ok(ids) => ids.binary_search(&id).is_ok(),
                     Err(e) => panic!("out-of-core telemetry presence check for {id} failed: {e}"),
                 }
-        })
+        };
+        let region_entries = self
+            .inner
+            .vm_regions
+            .get()
+            .and_then(|regions| regions.get(usize::try_from(raw).ok()?))
+            .and_then(|region| self.inner.by_region.get(region));
+        match region_entries {
+            Some(indices) => indices.iter().any(|&idx| probe(idx)),
+            None => (0..self.inner.entries.len()).any(probe),
+        }
     }
 
     fn load(&self, id: VmId) -> Option<UtilSeries> {
-        let mut runs = match self.load_runs(id) {
-            Ok(runs) => runs,
+        match self.try_load(id) {
+            Ok(series) => series,
             Err(e) => panic!("out-of-core telemetry load for {id} failed: {e}"),
-        };
-        if runs.is_empty() {
-            return None;
         }
-        let series = match assemble_series(id.index(), &mut runs) {
-            Ok(s) => s,
-            Err(e) => panic!("out-of-core telemetry load failed: {e}"),
-        };
-        counter("store.read.series_loaded").inc();
-        Some(series)
     }
 }

@@ -10,7 +10,9 @@ use crate::blobs::{
     encode_presence, encode_subscriptions, encode_topology, BLOB_SUBSCRIPTIONS,
     BLOB_TELEMETRY_PRESENT, BLOB_TOPOLOGY,
 };
-use crate::chunk::{encode_chunk_file, ChunkKind, ChunkMeta, RawColumn};
+use crate::chunk::{
+    assemble_chunk_file, compress_column, ChunkKind, ChunkMeta, CompressedColumn, RawColumn,
+};
 use crate::columns::{TelemetryColumns, VmMetaColumns};
 use crate::crc::crc32;
 use crate::error::StoreError;
@@ -237,25 +239,59 @@ impl<'p> TraceWriter<'p> {
 
     /// Compresses pending chunks in parallel, then writes them out and
     /// records their manifest entries in seal order.
+    ///
+    /// The fan-out unit is a *(chunk, column)*, not a chunk: a flush
+    /// batch holds only a handful of chunks, and per-chunk tasks left
+    /// most workers idle while the widest chunk serialized the flush
+    /// (the flat 1→8 write scaling the bench used to show). Columns of
+    /// one chunk compress independently by construction, so splitting
+    /// them costs nothing and multiplies the batch's task count by the
+    /// column width. Assembly stitches the compressed columns back in
+    /// column order and the write-out (file bytes, fsync, CRC) fans out
+    /// per chunk — the manifest entries are still pushed in seal order,
+    /// so the store's bytes remain a pure function of the appended
+    /// data.
     fn flush_pending(&mut self) -> Result<(), StoreError> {
         if self.pending.is_empty() {
             return Ok(());
         }
         let level = self.opts.level;
         let batch = std::mem::take(&mut self.pending);
-        let encoded = self.par.par_map(&batch, |sealed| {
-            encode_chunk_file(&sealed.meta, &sealed.columns, level)
+        let units: Vec<(usize, &RawColumn)> = batch
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, sealed)| sealed.columns.iter().map(move |col| (ci, col)))
+            .collect();
+        let compressed = self
+            .par
+            .par_map(&units, |&(_, col)| compress_column(col, level));
+        let mut per_chunk: Vec<Vec<CompressedColumn>> = batch
+            .iter()
+            .map(|sealed| Vec::with_capacity(sealed.columns.len()))
+            .collect();
+        for (&(ci, _), comp) in units.iter().zip(compressed) {
+            per_chunk[ci].push(comp);
+        }
+        let files: Vec<(PathBuf, Vec<u8>, u64)> = batch
+            .iter()
+            .zip(&per_chunk)
+            .map(|(sealed, cols)| {
+                let (bytes, raw_total) = assemble_chunk_file(&sealed.meta, cols, level);
+                (self.dir.join(sealed.meta.file_name()), bytes, raw_total)
+            })
+            .collect();
+        let written = self.par.par_map(&files, |(path, bytes, _)| {
+            write_then_rename(path, bytes).map(|()| crc32(bytes))
         });
-        for (sealed, (bytes, raw_total)) in batch.into_iter().zip(encoded) {
-            let path = self.dir.join(sealed.meta.file_name());
-            write_then_rename(&path, &bytes)?;
+        for ((sealed, (_, bytes, raw_total)), crc) in batch.iter().zip(&files).zip(written) {
+            let file_crc = crc?;
             counter("store.write.chunks").inc();
-            counter("store.write.bytes_raw").add(raw_total);
+            counter("store.write.bytes_raw").add(*raw_total);
             counter("store.write.bytes_compressed").add(bytes.len() as u64);
             self.chunks.push(ChunkEntry {
-                meta: sealed.meta,
+                meta: sealed.meta.clone(),
                 file_len: bytes.len() as u64,
-                file_crc: crc32(&bytes),
+                file_crc,
             });
         }
         Ok(())

@@ -7,7 +7,8 @@ mod common;
 
 use cloudscope_par::Parallelism;
 use cloudscope_store::{
-    write_trace, Projection, StoreError, TelemetryMode, TraceReader, WriteOptions,
+    write_trace, PrefetchConfig, Projection, StoreError, StoreTelemetry, TelemetryMode,
+    TraceReader, WriteOptions,
 };
 use common::{trace_from_seeds, TempDir};
 use std::path::Path;
@@ -237,6 +238,93 @@ fn swapped_chunk_files_are_rejected() {
     assert!(
         read_everything(dir.path()).is_err(),
         "swapped chunk files read cleanly"
+    );
+}
+
+/// A bit flip decoded asynchronously by a prefetch worker must surface
+/// as a typed [`StoreError`] on the thread that demands the chunk —
+/// never a silently wrong series, and never out of order: VMs whose
+/// series avoid the damaged chunk still decode byte-identically.
+#[test]
+fn prefetched_corruption_fails_on_the_consuming_thread() {
+    let dir = TempDir::new("fuzz-prefetch");
+    build_store(dir.path());
+    let trace = trace_from_seeds(
+        &(0..40u64)
+            .map(|i| i.wrapping_mul(0xA076_1D64_78BD_642F))
+            .collect::<Vec<_>>(),
+    );
+
+    // Corrupt a chunk that has a lane predecessor, so the id-ordered
+    // sweep's readahead planner targets it before any demand does.
+    let reader = TraceReader::open(dir.path()).unwrap();
+    let mut lanes: std::collections::HashMap<(u32, u8), Vec<_>> = std::collections::HashMap::new();
+    for entry in reader
+        .chunks(cloudscope_store::ScanFilter::all().kind(cloudscope_store::ChunkKind::Telemetry))
+    {
+        lanes
+            .entry((entry.meta.region, entry.meta.day))
+            .or_default()
+            .push(entry.clone());
+    }
+    drop(reader);
+    let mut lane = lanes
+        .into_values()
+        .find(|chunks| chunks.len() >= 2)
+        .expect("a lane with a successor chunk");
+    lane.sort_by_key(|e| e.meta.seq);
+    let victim = lane[1].meta.name();
+    let file = dir.path().join(format!("{victim}.chunk"));
+    let mut bytes = std::fs::read(&file).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&file, &bytes).unwrap();
+
+    let registry = std::sync::Arc::new(cloudscope_obs::Registry::new());
+    let (issued, failures) = cloudscope_obs::scoped(&registry, || {
+        let telemetry = StoreTelemetry::open_with(
+            dir.path(),
+            2,
+            PrefetchConfig {
+                workers: 2,
+                depth: 2,
+                window_bytes: 1 << 20,
+            },
+            Parallelism::with_workers(2),
+        )
+        .unwrap();
+
+        // Id-ordered sweep, exactly like an out-of-core analysis pass.
+        let mut failures = Vec::new();
+        for vm in trace.vms() {
+            match telemetry.try_load(vm.id) {
+                Ok(series) => assert_eq!(series, trace.util(vm.id), "vm {:?}", vm.id),
+                Err(err) => {
+                    assert!(
+                        matches!(err, StoreError::Corrupt { .. }),
+                        "expected Corrupt, got {err:?}"
+                    );
+                    assert!(
+                        err.to_string().contains(&victim),
+                        "error must name the damaged chunk: {err}"
+                    );
+                    // The failure is sticky: a retry re-fails rather
+                    // than serving a half-decoded chunk.
+                    assert!(telemetry.try_load(vm.id).is_err(), "retry must re-fail");
+                    failures.push(vm.id);
+                }
+            }
+        }
+        let issued = registry.snapshot().counter("store.prefetch.issued");
+        (issued, failures)
+    });
+    assert!(
+        !failures.is_empty(),
+        "no demand ever touched the corrupted chunk"
+    );
+    assert!(
+        issued.unwrap_or(0) >= 1,
+        "the readahead planner never issued a prefetch: {issued:?}"
     );
 }
 

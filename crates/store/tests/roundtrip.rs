@@ -7,8 +7,8 @@ mod common;
 
 use cloudscope_par::Parallelism;
 use cloudscope_store::{
-    store_exists, write_trace, Batch, ChunkKind, Column, Projection, ScanFilter, TelemetryMode,
-    TraceReader, WriteOptions,
+    store_exists, write_trace, Batch, ChunkKind, Column, PrefetchConfig, Projection, ScanFilter,
+    StoreTelemetry, TelemetryMode, TraceReader, WriteOptions,
 };
 use common::{assert_traces_equal, dir_snapshot, trace_from_seeds, TempDir};
 use proptest::prelude::*;
@@ -86,6 +86,45 @@ proptest! {
             )
             .unwrap();
             prop_assert_eq!(&dir_snapshot(dir.path()), &expected, "workers = {}", workers);
+        }
+    }
+
+    /// Prefetch tuning is invisible: any cache size × prefetch depth ×
+    /// decode-worker count × in-flight window budget must return series
+    /// byte-identical to the serial, prefetch-disabled reader — and to
+    /// the trace the store was written from.
+    #[test]
+    fn prefetch_tuning_never_changes_a_byte(
+        seeds in proptest::collection::vec(any::<u64>(), 1..60),
+        chunk_rows in 1u32..32,
+        cache_chunks in 1usize..5,
+        depth in 0usize..4,
+        workers in 1usize..5,
+        window_kib in 1usize..129,
+    ) {
+        let trace = trace_from_seeds(&seeds);
+        let dir = TempDir::new("prefetch");
+        let par = Parallelism::with_workers(workers);
+        write_trace(&trace, dir.path(), options(chunk_rows, 4, 2), &par).unwrap();
+
+        let baseline = StoreTelemetry::open_with(
+            dir.path(),
+            cache_chunks,
+            PrefetchConfig::disabled(),
+            Parallelism::with_workers(1),
+        )
+        .unwrap();
+        let tuned = StoreTelemetry::open_with(
+            dir.path(),
+            cache_chunks,
+            PrefetchConfig { workers, depth, window_bytes: window_kib * 1024 },
+            par,
+        )
+        .unwrap();
+        for vm in trace.vms() {
+            let expected = baseline.try_load(vm.id).unwrap();
+            prop_assert_eq!(&expected, &trace.util(vm.id));
+            prop_assert_eq!(&tuned.try_load(vm.id).unwrap(), &expected);
         }
     }
 

@@ -843,3 +843,73 @@ fn metric_surface_matches_committed_schema() {
         "metric surface drifted; re-bless with CLOUDSCOPE_UPDATE_GOLDEN=1 if intentional"
     );
 }
+
+/// The prefetch pipeline's counters reconcile at quiesce: every issued
+/// prefetch is eventually consumed by a demand (hit) or retired unused
+/// at close (wasted), the in-flight gauge returns to zero, and every
+/// background decode lands in the latency histogram.
+#[test]
+fn store_prefetch_metrics_reconcile_at_quiesce() {
+    let g = generate(&GeneratorConfig::small(29));
+    let dir = std::env::temp_dir().join(format!("cloudscope-obs-prefetch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let par = Parallelism::with_workers(2);
+    // Tiny chunks so every (region, day) lane spans several chunks and
+    // the sweep has successors to read ahead into.
+    let opts = cloudscope::store::WriteOptions {
+        target_chunk_rows: 16,
+        target_chunk_bytes: 2048,
+        ..cloudscope::store::WriteOptions::default()
+    };
+    cloudscope::tracegen::write_generated(&g, &dir, opts, &par).expect("store write");
+
+    let registry = Arc::new(Registry::new());
+    let snap = cloudscope::obs::scoped(&registry, || {
+        let back = cloudscope::tracegen::read_generated(
+            &dir,
+            cloudscope::store::TelemetryMode::OutOfCore { cache_chunks: 0 },
+            &par,
+        )
+        .expect("store read");
+        // Id-ordered full sweep: the access pattern the readahead
+        // planner predicts.
+        for vm in back.trace.vms() {
+            let _ = back.trace.util(vm.id);
+        }
+        drop(back); // quiesce: joins the decode workers
+        registry.snapshot()
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let issued = snap.counter("store.prefetch.issued").unwrap_or(0);
+    let hits = snap.counter("store.prefetch.hits").unwrap_or(0);
+    let wasted = snap.counter("store.prefetch.wasted").unwrap_or(0);
+    assert!(issued > 0, "the sweep must trigger the readahead planner");
+    assert_eq!(
+        issued,
+        hits + wasted,
+        "issued prefetches must be consumed or retired: {issued} != {hits} + {wasted}"
+    );
+    assert_eq!(
+        snap.gauge("store.prefetch.in_flight"),
+        Some(0.0),
+        "no prefetch may be left in flight after close"
+    );
+    let decode = snap
+        .histogram("store.prefetch.decode_ns")
+        .expect("decode histogram registers");
+    // Every consumed prefetch was decoded in the background; prefetches
+    // still queued at close are discarded undecoded, so the histogram
+    // count sits between the hits and the issue count.
+    assert!(
+        hits <= decode.count && decode.count <= issued,
+        "background decodes ({}) must cover hits ({hits}) and never exceed issues ({issued})",
+        decode.count
+    );
+    // Prefetch hits are a subset of the LRU misses they absorbed.
+    let misses = snap.counter("store.cache.misses").unwrap_or(0);
+    assert!(
+        hits <= misses,
+        "prefetch hits ({hits}) cannot exceed cache misses ({misses})"
+    );
+}

@@ -3,13 +3,15 @@
 //! while reproducing the trace-backed analyses exactly.
 
 use cloudscope::analysis::deployment::DeploymentSizeAnalysis;
+use cloudscope::analysis::spatial::SpatialAnalysis;
 use cloudscope::analysis::temporal::TemporalAnalysis;
+use cloudscope::analysis::vmsize::VmSizeAnalysis;
 use cloudscope::model::ids::RegionId;
 use cloudscope::model::time::MINUTES_PER_DAY;
 use cloudscope::obs::testing::snapshot_diff;
 use cloudscope::par::Parallelism;
 use cloudscope::prelude::*;
-use cloudscope::store::{write_trace, ScanFilter, TraceReader, WriteOptions};
+use cloudscope::store::{write_trace, ScanFilter, TelemetryMode, TraceReader, WriteOptions};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -121,5 +123,49 @@ fn sliced_metadata_reads_touch_fewer_chunks_and_agree_with_the_trace() {
     let pushed = TemporalAnalysis::run_from_records(&all, &region_records, &subscriptions, region)
         .expect("pushed-down fig3");
     let full = TemporalAnalysis::run(&g.trace, region).expect("trace fig3");
+    assert_eq!(pushed, full);
+}
+
+#[test]
+fn metadata_only_figures_skip_every_telemetry_chunk() {
+    let g = generate(&GeneratorConfig::small(13));
+    let dir = TempStore::new("metaonly");
+    let par = Parallelism::auto();
+    write_trace(&g.trace, &dir.path, WriteOptions::default(), &par).expect("write store");
+    let reader = TraceReader::open(&dir.path).expect("open store");
+    let subscriptions = reader.read_subscriptions().expect("subscriptions blob");
+
+    let registry = Arc::new(cloudscope::obs::Registry::new());
+
+    // Baseline: materializing the whole trace decodes metadata AND
+    // telemetry chunks.
+    let (trace, full_diff) = snapshot_diff(&registry, || {
+        reader
+            .read_trace(TelemetryMode::Resident, &par)
+            .expect("full trace")
+    });
+    let full_chunks = chunks_read(&full_diff);
+
+    // The fig2/fig4 pushdown path: a metadata-only sweep.
+    let (records, meta_diff) = snapshot_diff(&registry, || {
+        reader
+            .read_vm_records(ScanFilter::all(), &par)
+            .expect("metadata sweep")
+    });
+    let meta_chunks = chunks_read(&meta_diff);
+    assert!(
+        meta_chunks < full_chunks,
+        "metadata sweep read {meta_chunks} of {full_chunks} chunks"
+    );
+    assert_eq!(records, g.trace.vms());
+
+    // Both metadata-only figures reproduce the trace-backed runs
+    // exactly from the pushed-down slice.
+    let pushed = VmSizeAnalysis::run_from_records(&records, &subscriptions).expect("records fig2");
+    let full = VmSizeAnalysis::run(&trace).expect("trace fig2");
+    assert_eq!(pushed, full);
+
+    let pushed = SpatialAnalysis::run_from_records(&records, &subscriptions).expect("records fig4");
+    let full = SpatialAnalysis::run(&trace).expect("trace fig4");
     assert_eq!(pushed, full);
 }
